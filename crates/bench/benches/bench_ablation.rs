@@ -1,0 +1,99 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * beam width `q` — time/quality knob of k-LPLE (§4.4.2);
+//! * memoization — cache reuse across the selections of one tree build;
+//! * greedy selection strategy cost — MostEven vs InfoGain vs LB₁ (all pick
+//!   the same entity by Lemma 4.3; their scoring costs differ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{IndistinguishablePairs, InfoGain, Lb1, MostEven, SelectionStrategy};
+
+fn bench_beam(c: &mut Criterion) {
+    let collection = setdisc_bench::synthetic(120, 0.9);
+    let mut g = c.benchmark_group("ablation_beam_width");
+    g.sample_size(10);
+    for &q in &[1usize, 5, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let mut s = KLp::<AvgDepth>::limited(3, q);
+                let tree = build_tree(&collection.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.total_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memo(c: &mut Criterion) {
+    let collection = setdisc_bench::synthetic(80, 0.9);
+    let view = collection.full_view();
+    let mut g = c.benchmark_group("ablation_memoization");
+    g.sample_size(10);
+    g.bench_function("warm_cache_select", |b| {
+        let mut s = KLp::<AvgDepth>::new(3);
+        let _ = s.select(&view); // warm
+        b.iter(|| std::hint::black_box(s.select(&view)))
+    });
+    g.bench_function("cold_cache_select", |b| {
+        b.iter(|| {
+            let mut s = KLp::<AvgDepth>::new(3);
+            std::hint::black_box(s.select(&view))
+        })
+    });
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let collection = setdisc_bench::synthetic(300, 0.9);
+    let view = collection.full_view();
+    let mut g = c.benchmark_group("ablation_greedy_strategies");
+    g.sample_size(10);
+    g.bench_function("most_even", |b| {
+        let mut s = MostEven::new();
+        b.iter(|| std::hint::black_box(s.select(&view)))
+    });
+    g.bench_function("info_gain", |b| {
+        let mut s = InfoGain::new();
+        b.iter(|| std::hint::black_box(s.select(&view)))
+    });
+    g.bench_function("indistinguishable_pairs", |b| {
+        let mut s = IndistinguishablePairs::new();
+        b.iter(|| std::hint::black_box(s.select(&view)))
+    });
+    g.bench_function("lb1_ad", |b| {
+        let mut s = Lb1::<AvgDepth>::new();
+        b.iter(|| std::hint::black_box(s.select(&view)))
+    });
+    g.finish();
+}
+
+fn bench_collapse(c: &mut Criterion) {
+    // Entity collapsing matters most for query-output collections, where
+    // thousands of rows share a membership pattern.
+    let fixture = setdisc_bench::baseball_fixture(1_500, 40);
+    let collapsed =
+        setdisc_core::transform::collapse_equivalent_entities(&fixture.collection);
+    let mut g = c.benchmark_group("ablation_entity_collapse");
+    g.sample_size(10);
+    g.bench_function("select_original_universe", |b| {
+        let view = fixture.collection.full_view();
+        b.iter(|| {
+            let mut s = KLp::<AvgDepth>::new(2);
+            std::hint::black_box(s.select(&view))
+        })
+    });
+    g.bench_function("select_collapsed_universe", |b| {
+        let view = collapsed.collection.full_view();
+        b.iter(|| {
+            let mut s = KLp::<AvgDepth>::new(2);
+            std::hint::black_box(s.select(&view))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_beam, bench_memo, bench_greedy, bench_collapse);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Tables 2 & 3 — People table generation, target evaluation, and
+//! candidate-query generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setdisc_relation::candgen::{generate_candidates, ReferenceValues};
+use setdisc_relation::people::people_table_sized;
+use setdisc_relation::targets::target_queries;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseball");
+    g.sample_size(10);
+
+    g.bench_function("table2_generate_people_5k", |b| {
+        b.iter(|| std::hint::black_box(people_table_sized(5_000, setdisc_bench::SEED)))
+    });
+
+    let table = people_table_sized(5_000, setdisc_bench::SEED);
+    g.bench_function("table2_evaluate_all_targets", |b| {
+        b.iter(|| {
+            let total: usize = target_queries(&table)
+                .iter()
+                .map(|t| t.query.evaluate(&table).len())
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+
+    let targets = target_queries(&table);
+    let rows = targets[2].query.evaluate(&table);
+    let examples = [rows[0], rows[rows.len() / 2]];
+    g.bench_function("table3_generate_candidates", |b| {
+        b.iter(|| {
+            let cands =
+                generate_candidates(&table, &examples, &ReferenceValues::paper_defaults());
+            std::hint::black_box(cands.collection.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3 — k-LP tree construction time versus lookahead depth k on
+//! web-table sub-collections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+
+fn bench(c: &mut Criterion) {
+    let (collection, lists) = setdisc_bench::web_subcollections(15, 3, 40);
+    let ids = lists.first().expect("a sub-collection").clone();
+    let mut g = c.benchmark_group("fig3_klp_vs_k");
+    g.sample_size(10);
+    for k in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter(|| {
+                let view = setdisc_bench::view_of(&collection, &ids);
+                let mut s = KLp::<AvgDepth>::new(k);
+                let tree = build_tree(&view, &mut s).expect("tree");
+                std::hint::black_box(tree.total_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4 — pruned k-LP versus unpruned gain-k tree construction, on the
+//! synthetic copy-add workload (panel b) at two collection sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::{GainK, KLp};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_speedup");
+    g.sample_size(10);
+    for &n in &[32usize, 64] {
+        let collection = setdisc_bench::synthetic(n, 0.9);
+        g.bench_with_input(BenchmarkId::new("klp2", n), &collection, |b, coll| {
+            b.iter(|| {
+                let mut s = KLp::<AvgDepth>::new(2);
+                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.total_depth())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gain2", n), &collection, |b, coll| {
+            b.iter(|| {
+                let mut s = GainK::<AvgDepth>::new(2);
+                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.total_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 5 — tree construction time as the overlap ratio varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_overlap");
+    g.sample_size(10);
+    for &alpha in &[0.65, 0.80, 0.95] {
+        let collection = setdisc_bench::synthetic(150, alpha);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha}")),
+            &collection,
+            |b, coll| {
+                b.iter(|| {
+                    let mut s = KLp::<AvgDepth>::limited(3, 10);
+                    let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                    std::hint::black_box(tree.avg_depth())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 6 — tree construction time as the distinct-entity count grows
+//! (driven by the set-size range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_entities");
+    g.sample_size(10);
+    for &(lo, hi) in &[(10usize, 20usize), (30, 50), (60, 90)] {
+        let collection = generate_copy_add(&CopyAddConfig {
+            n_sets: 150,
+            size_range: (lo, hi),
+            overlap: 0.9,
+            seed: setdisc_bench::SEED,
+        });
+        let label = format!("d={lo}-{hi} (m={})", collection.distinct_entities());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &collection, |b, coll| {
+            b.iter(|| {
+                let mut s = KLp::<AvgDepth>::limited(3, 10);
+                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.avg_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 7 — tree construction time as the number of sets grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sets");
+    g.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let collection = setdisc_bench::synthetic(n, 0.9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &collection, |b, coll| {
+            b.iter(|| {
+                let mut s = KLp::<AvgDepth>::limited_variable(3, 10);
+                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.avg_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 8 — interactive query discovery time per strategy on a
+//! baseball-style candidate collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::discovery::{Session, SimulatedOracle};
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{InfoGain, SelectionStrategy};
+
+fn bench(c: &mut Criterion) {
+    let fixture = setdisc_bench::baseball_fixture(1_500, 60);
+    let mut g = c.benchmark_group("fig8_discovery");
+    g.sample_size(10);
+
+    let run = |strategy: Box<dyn SelectionStrategy>| {
+        let mut session = Session::over(fixture.collection.full_view(), strategy);
+        let outcome = session
+            .run(&mut SimulatedOracle::new(&fixture.target))
+            .expect("resolves");
+        assert_eq!(outcome.discovered(), Some(fixture.target_set));
+        outcome.questions
+    };
+
+    g.bench_function("infogain", |b| b.iter(|| run(Box::new(InfoGain::new()))));
+    g.bench_function("klp2", |b| {
+        b.iter(|| run(Box::new(KLp::<AvgDepth>::new(2))))
+    });
+    g.bench_function("klple_3_10", |b| {
+        b.iter(|| run(Box::new(KLp::<AvgDepth>::limited(3, 10))))
+    });
+    g.bench_function("klplve_3_10", |b| {
+        b.iter(|| run(Box::new(KLp::<AvgDepth>::limited_variable(3, 10))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! §5.3.2 — exact optimal solver versus greedy InfoGain on small
+//! sub-collections (the optimal-gap measurement's kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::optimal::OptimalSolver;
+use setdisc_core::strategy::InfoGain;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_gap");
+    g.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        let collection = setdisc_bench::synthetic(n, 0.85);
+        g.bench_with_input(BenchmarkId::new("optimal_dp", n), &collection, |b, coll| {
+            b.iter(|| {
+                let mut solver = OptimalSolver::<AvgDepth>::new();
+                std::hint::black_box(solver.optimal_cost(&coll.full_view()).expect("small"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("infogain_greedy", n), &collection, |b, coll| {
+            b.iter(|| {
+                let mut s = InfoGain::new();
+                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                std::hint::black_box(tree.total_depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

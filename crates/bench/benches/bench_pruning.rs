@@ -1,0 +1,32 @@
+//! Table 4 / §5.3.3 — pruning effectiveness: a single k-LP selection on a
+//! baseball-style candidate collection, with prune statistics on, versus
+//! the unpruned gain-k selection on the same view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::{GainK, KLp};
+use setdisc_core::strategy::SelectionStrategy;
+
+fn bench(c: &mut Criterion) {
+    let fixture = setdisc_bench::baseball_fixture(1_500, 40);
+    let view = fixture.collection.full_view();
+    let mut g = c.benchmark_group("table4_pruning");
+    g.sample_size(10);
+
+    g.bench_function("klp2_select_with_stats", |b| {
+        b.iter(|| {
+            let mut s = KLp::<AvgDepth>::new(2).record_stats(true);
+            std::hint::black_box(s.select(&view))
+        })
+    });
+    g.bench_function("gain2_select_unpruned", |b| {
+        b.iter(|| {
+            let mut s = GainK::<AvgDepth>::new(2);
+            std::hint::black_box(s.select(&view))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 1 — copy-add generation cost across overlap ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_copy_add_generation");
+    g.sample_size(10);
+    for &alpha in &[0.65, 0.90, 0.99] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha}")),
+            &alpha,
+            |b, &alpha| {
+                let cfg = CopyAddConfig {
+                    n_sets: 2_000,
+                    size_range: (50, 60),
+                    overlap: alpha,
+                    seed: setdisc_bench::SEED,
+                };
+                b.iter(|| {
+                    let c = generate_copy_add(&cfg);
+                    std::hint::black_box(c.distinct_entities())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

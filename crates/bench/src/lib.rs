@@ -1,0 +1,118 @@
+//! Shared fixtures for the per-figure Criterion benchmarks.
+//!
+//! Benchmarks run at deliberately small sizes (criterion repeats each body
+//! many times); the `experiments` binary is the tool for paper-scale
+//! numbers. Fixtures are deterministic so criterion's statistics compare
+//! the same workload across runs.
+
+use setdisc_core::{Collection, SubCollection};
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+use setdisc_synth::webtables::{self, WebTablesConfig};
+
+/// Canonical bench seed.
+pub const SEED: u64 = 0xBE_7C11;
+
+/// A small copy-add collection (n sets, d=10–15, given α).
+pub fn synthetic(n: usize, alpha: f64) -> Collection {
+    generate_copy_add(&CopyAddConfig {
+        n_sets: n,
+        size_range: (10, 15),
+        overlap: alpha,
+        seed: SEED,
+    })
+}
+
+/// A tiny web-tables corpus and the id-lists of its seed-query
+/// sub-collections (each with ≥ `min_candidates` sets, truncated to `cap`).
+pub fn web_subcollections(
+    min_candidates: usize,
+    max_queries: usize,
+    cap: usize,
+) -> (Collection, Vec<Vec<setdisc_core::entity::SetId>>) {
+    let corpus = webtables::generate(&WebTablesConfig::tiny(SEED));
+    let queries = webtables::seed_queries(&corpus.collection, min_candidates, max_queries, SEED);
+    let lists = queries
+        .iter()
+        .map(|q| {
+            let mut ids = corpus.collection.supersets_of(&q.entities).ids().to_vec();
+            ids.truncate(cap);
+            ids
+        })
+        .filter(|ids| ids.len() >= 2)
+        .collect();
+    (corpus.collection, lists)
+}
+
+/// View over an id list.
+pub fn view_of<'c>(
+    collection: &'c Collection,
+    ids: &[setdisc_core::entity::SetId],
+) -> SubCollection<'c> {
+    SubCollection::from_ids(collection, ids.to_vec())
+}
+
+/// A small baseball-style fixture: People table, one target's candidate
+/// sets capped for bench speed, and the target row set.
+pub struct BaseballFixture {
+    /// Candidate collection (entities = row ids).
+    pub collection: Collection,
+    /// Target output as an entity set.
+    pub target: setdisc_core::EntitySet,
+    /// The candidate set equal to the target output.
+    pub target_set: setdisc_core::entity::SetId,
+}
+
+/// Builds the fixture from a scaled-down table.
+pub fn baseball_fixture(rows: usize, cap: usize) -> BaseballFixture {
+    use setdisc_relation::candgen::{generate_candidates, ReferenceValues};
+    use setdisc_relation::people::people_table_sized;
+    use setdisc_relation::targets::target_queries;
+    let table = people_table_sized(rows, SEED);
+    let targets = target_queries(&table);
+    // T3 (bats=L AND throws=R) has broad support at every table size.
+    let t3 = &targets[2];
+    let rows_out = t3.query.evaluate(&table);
+    let examples = [rows_out[0], rows_out[rows_out.len() / 2]];
+    let cands = generate_candidates(&table, &examples, &ReferenceValues::paper_defaults());
+    let target = setdisc_core::EntitySet::from_raw(rows_out.iter().copied());
+    // Cap candidates, always keeping the target set.
+    let mut kept: Vec<setdisc_core::EntitySet> = Vec::new();
+    for (_, s) in cands.collection.iter() {
+        if *s == target || kept.len() < cap - 1 {
+            kept.push(s.clone());
+        }
+    }
+    if !kept.contains(&target) {
+        kept.push(target.clone());
+    }
+    let collection = Collection::new(kept).expect("non-empty");
+    let target_set = collection
+        .iter()
+        .find(|(_, s)| **s == target)
+        .map(|(id, _)| id)
+        .expect("target kept");
+    BaseballFixture {
+        collection,
+        target,
+        target_set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_wellformed() {
+        let c = synthetic(50, 0.9);
+        assert!(c.len() >= 40);
+        let (web, lists) = web_subcollections(10, 4, 30);
+        assert!(!lists.is_empty());
+        for ids in &lists {
+            assert!(view_of(&web, ids).len() >= 2);
+        }
+        let bb = baseball_fixture(1_500, 60);
+        assert!(bb.collection.len() >= 10);
+        assert_eq!(bb.collection.set(bb.target_set), &bb.target);
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline decision-tree construction — Algorithm 3 of the paper.
+//!
+//! Recursively selects an entity with the configured strategy, splits the
+//! sub-collection, and recurses into both sides. Implemented with an
+//! explicit work stack so collections whose optimal trees are deep (e.g.
+//! nearly-disjoint sets, where the tree degenerates to a chain of `n − 1`
+//! questions) cannot overflow the call stack.
+
+use crate::error::{Result, SetDiscError};
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::SubCollection;
+use crate::tree::{DecisionTree, Node, NodeId};
+use crate::entity::SetId;
+
+/// Builds a full binary decision tree over `view` using `strategy` for
+/// entity selection (Algorithm 3).
+///
+/// Errors with [`SetDiscError::EmptyCollection`] on an empty view and with
+/// [`SetDiscError::NoInformativeEntity`] if the strategy cannot split a
+/// group of two or more sets (impossible when the sets are unique, which
+/// [`crate::Collection`] guarantees).
+pub fn build_tree(
+    view: &SubCollection<'_>,
+    strategy: &mut dyn SelectionStrategy,
+) -> Result<DecisionTree> {
+    if view.is_empty() {
+        return Err(SetDiscError::EmptyCollection);
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * view.len() - 1);
+    // Placeholder overwritten by the frame that owns the slot.
+    const PLACEHOLDER: Node = Node::Leaf {
+        set: SetId(u32::MAX),
+    };
+    nodes.push(PLACEHOLDER);
+    let mut stack: Vec<(SubCollection<'_>, NodeId)> = vec![(view.clone(), 0)];
+
+    while let Some((sub, slot)) = stack.pop() {
+        if sub.len() == 1 {
+            nodes[slot as usize] = Node::Leaf { set: sub.ids()[0] };
+            continue;
+        }
+        let entity = strategy
+            .select(&sub)
+            .ok_or(SetDiscError::NoInformativeEntity { group: sub.len() })?;
+        let (yes, no) = sub.partition(entity);
+        if yes.is_empty() || no.is_empty() {
+            // The strategy returned an uninformative entity — a strategy
+            // bug, surfaced as an error rather than an infinite loop.
+            return Err(SetDiscError::NoInformativeEntity { group: sub.len() });
+        }
+        let yes_slot = nodes.len() as NodeId;
+        nodes.push(PLACEHOLDER);
+        let no_slot = nodes.len() as NodeId;
+        nodes.push(PLACEHOLDER);
+        nodes[slot as usize] = Node::Internal {
+            entity,
+            yes: yes_slot,
+            no: no_slot,
+        };
+        stack.push((yes, yes_slot));
+        stack.push((no, no_slot));
+    }
+
+    let tree = DecisionTree::from_parts(nodes, 0);
+    debug_assert!(tree.validate(view).is_ok());
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::cost::{AvgDepth, Height};
+    use crate::lookahead::KLp;
+    use crate::strategy::{InfoGain, MostEven};
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_valid_full_binary_tree() {
+        let c = figure1();
+        let v = c.full_view();
+        for strategy in [
+            &mut MostEven::new() as &mut dyn SelectionStrategy,
+            &mut InfoGain::new(),
+            &mut KLp::<AvgDepth>::new(2),
+            &mut KLp::<Height>::new(3),
+        ] {
+            let t = build_tree(&v, strategy).unwrap();
+            assert_eq!(t.n_leaves(), 7);
+            assert_eq!(t.n_internal(), 6);
+            t.validate(&v).unwrap();
+        }
+    }
+
+    #[test]
+    fn klp3_reaches_optimal_height_on_figure1() {
+        // k=3 ≥ optimal height 3 → k-LP builds an optimal tree (§4.4.1).
+        let c = figure1();
+        let v = c.full_view();
+        let mut s = KLp::<Height>::new(3);
+        let t = build_tree(&v, &mut s).unwrap();
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn klp3_reaches_optimal_avg_depth_on_figure1() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut s = KLp::<AvgDepth>::new(3);
+        let t = build_tree(&v, &mut s).unwrap();
+        assert_eq!(t.total_depth(), 20, "AD optimum 20/7 (Lemma 3.3)");
+    }
+
+    #[test]
+    fn singleton_view_is_a_leaf() {
+        let c = figure1();
+        let v = crate::subcollection::SubCollection::from_ids(&c, vec![SetId(2)]);
+        let t = build_tree(&v, &mut MostEven::new()).unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.depth_of(SetId(2)), Some(0));
+    }
+
+    #[test]
+    fn empty_view_errors() {
+        let c = figure1();
+        let v = crate::subcollection::SubCollection::from_ids(&c, vec![]);
+        assert_eq!(
+            build_tree(&v, &mut MostEven::new()).err(),
+            Some(SetDiscError::EmptyCollection)
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_build_a_chain() {
+        // n pairwise-disjoint singleton sets: every question eliminates one
+        // set → height n−1 (the worst case discussed in §1 and §5.3.4).
+        let n = 40u32;
+        let c = Collection::from_raw_sets((0..n).map(|i| vec![i]).collect()).unwrap();
+        let v = c.full_view();
+        let t = build_tree(&v, &mut MostEven::new()).unwrap();
+        assert_eq!(t.height(), n - 1);
+        t.validate(&v).unwrap();
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 20_000u32;
+        let c = Collection::from_raw_sets((0..n).map(|i| vec![i]).collect()).unwrap();
+        let v = c.full_view();
+        let t = build_tree(&v, &mut MostEven::new()).unwrap();
+        assert_eq!(t.n_leaves(), n as usize);
+        assert_eq!(t.height(), n - 1);
+    }
+
+    #[test]
+    fn tree_descend_finds_every_target() {
+        let c = figure1();
+        let v = c.full_view();
+        let t = build_tree(&v, &mut KLp::<AvgDepth>::new(2)).unwrap();
+        for (id, set) in c.iter() {
+            let (_, found) = t.descend(&c, set);
+            assert_eq!(found, id);
+        }
+    }
+
+    #[test]
+    fn power_of_two_collection_builds_perfect_tree() {
+        // 8 sets pairwise distinguished by 3 "bit" entities → a perfect
+        // depth-3 tree under every sensible strategy.
+        let sets: Vec<Vec<u32>> = (0..8u32)
+            .map(|i| {
+                (0..3u32)
+                    .filter(|b| i >> b & 1 == 1)
+                    .map(|b| b + 1)
+                    .chain([0]) // shared uninformative entity
+                    .collect()
+            })
+            .collect();
+        let c = Collection::from_raw_sets(sets).unwrap();
+        let v = c.full_view();
+        let t = build_tree(&v, &mut MostEven::new()).unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.total_depth(), 24);
+        t.validate(&v).unwrap();
+    }
+}

@@ -1,0 +1,365 @@
+//! Collections of unique sets with an inverted entity index.
+//!
+//! A [`Collection`] owns the sets and two indexes the algorithms rely on:
+//!
+//! * `sets[set_id]` — the sorted entity list of each set, and
+//! * `inverted[entity_id]` — the sorted list of sets containing each entity.
+//!
+//! The paper assumes sets are unique (§3); [`CollectionBuilder`] enforces
+//! this by construction and reports how many duplicates it dropped, so noisy
+//! loaders (web tables) can surface the statistic.
+
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::set::EntitySet;
+use crate::subcollection::SubCollection;
+use setdisc_util::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone token distinguishing collection instances, used by lookahead
+/// caches to detect reuse of a strategy across different collections.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable collection of unique entity sets.
+pub struct Collection {
+    sets: Vec<EntitySet>,
+    inverted: Vec<Vec<SetId>>,
+    universe: u32,
+    token: u64,
+}
+
+impl Collection {
+    /// Builds a collection from pre-built sets, deduplicating and dropping
+    /// empty sets. Fails on an empty result.
+    pub fn new(sets: Vec<EntitySet>) -> Result<Self> {
+        let built = CollectionBuilder::from_sets(sets).build()?;
+        Ok(built.collection)
+    }
+
+    /// Convenience: builds from raw `u32` element lists.
+    pub fn from_raw_sets(raw: Vec<Vec<u32>>) -> Result<Self> {
+        Self::new(
+            raw.into_iter()
+                .map(EntitySet::from_raw)
+                .collect(),
+        )
+    }
+
+    /// Number of sets `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when the collection is empty (unreachable through constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Universe size `m` (one past the largest entity id present).
+    #[inline]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Number of distinct entities that actually occur in some set.
+    pub fn distinct_entities(&self) -> usize {
+        self.inverted.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// The set with the given id. Panics if out of range.
+    #[inline]
+    pub fn set(&self, id: SetId) -> &EntitySet {
+        &self.sets[id.0 as usize]
+    }
+
+    /// The set with the given id, or an error.
+    pub fn try_set(&self, id: SetId) -> Result<&EntitySet> {
+        self.sets
+            .get(id.0 as usize)
+            .ok_or(SetDiscError::UnknownSet(id))
+    }
+
+    /// Iterates `(id, set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &EntitySet)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SetId(i as u32), s))
+    }
+
+    /// Sorted ids of the sets containing entity `e` (empty if none).
+    #[inline]
+    pub fn sets_containing(&self, e: EntityId) -> &[SetId] {
+        self.inverted
+            .get(e.0 as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// A view over the whole collection.
+    pub fn full_view(&self) -> SubCollection<'_> {
+        SubCollection::full(self)
+    }
+
+    /// A view over the sets that are supersets of `initial` — the candidate
+    /// sub-collection of Algorithm 2, lines 2–4.
+    pub fn supersets_of(&self, initial: &[EntityId]) -> SubCollection<'_> {
+        if initial.is_empty() {
+            return self.full_view();
+        }
+        // Intersect the (sorted) inverted lists, rarest entity first.
+        let mut lists: Vec<&[SetId]> = initial
+            .iter()
+            .map(|&e| self.sets_containing(e))
+            .collect();
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<SetId> = lists[0].to_vec();
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = intersect_sorted(&acc, list);
+        }
+        SubCollection::from_ids(self, acc)
+    }
+
+    /// Mean set size.
+    pub fn avg_set_size(&self) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.sets.iter().map(EntitySet::len).sum::<usize>() as f64 / self.sets.len() as f64
+    }
+
+    /// Instance token (see [`NEXT_TOKEN`]); stable for the lifetime of this
+    /// collection, unique across collections within a process.
+    #[inline]
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Full set contents for small collections (proptest shrink output),
+        // summary statistics beyond that.
+        if self.len() <= 16 {
+            f.debug_list().entries(self.sets.iter()).finish()
+        } else {
+            write!(
+                f,
+                "Collection({} sets, {} distinct entities)",
+                self.len(),
+                self.distinct_entities()
+            )
+        }
+    }
+}
+
+/// Intersection of two sorted `SetId` slices.
+fn intersect_sorted(a: &[SetId], b: &[SetId]) -> Vec<SetId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Incremental builder enforcing the paper's uniqueness assumption.
+#[derive(Default)]
+pub struct CollectionBuilder {
+    sets: Vec<EntitySet>,
+    seen: FxHashMap<EntitySet, ()>,
+    duplicates_dropped: usize,
+    empties_dropped: usize,
+}
+
+/// Result of [`CollectionBuilder::build`]: the collection plus cleaning
+/// statistics (mirroring the dataset-cleaning counts reported in §5.2).
+pub struct BuiltCollection {
+    /// The deduplicated collection.
+    pub collection: Collection,
+    /// Duplicate sets dropped during building.
+    pub duplicates_dropped: usize,
+    /// Empty sets dropped during building.
+    pub empties_dropped: usize,
+}
+
+impl CollectionBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder seeded with `sets`.
+    pub fn from_sets(sets: Vec<EntitySet>) -> Self {
+        let mut b = Self::new();
+        for s in sets {
+            b.push(s);
+        }
+        b
+    }
+
+    /// Adds one set; drops it if empty or already present.
+    pub fn push(&mut self, set: EntitySet) -> &mut Self {
+        if set.is_empty() {
+            self.empties_dropped += 1;
+        } else if self.seen.insert(set.clone(), ()).is_some() {
+            self.duplicates_dropped += 1;
+        } else {
+            self.sets.push(set);
+        }
+        self
+    }
+
+    /// Number of (unique, non-empty) sets accumulated so far.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no set has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Finalizes into a [`Collection`], computing the inverted index.
+    pub fn build(self) -> Result<BuiltCollection> {
+        if self.sets.is_empty() {
+            return Err(SetDiscError::EmptyCollection);
+        }
+        let universe = self
+            .sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|e| e.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut inverted: Vec<Vec<SetId>> = vec![Vec::new(); universe as usize];
+        for (i, set) in self.sets.iter().enumerate() {
+            for e in set.iter() {
+                inverted[e.0 as usize].push(SetId(i as u32));
+            }
+        }
+        // Set ids were appended in increasing order, so lists are sorted.
+        Ok(BuiltCollection {
+            collection: Collection {
+                sets: self.sets,
+                inverted,
+                universe,
+                token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+            },
+            duplicates_dropped: self.duplicates_dropped,
+            empties_dropped: self.empties_dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seven sets from Figure 1 (entities a..k ↦ 0..10).
+    pub(crate) fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_with_inverted_index() {
+        let c = figure1();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.universe(), 11);
+        // Entity a=0 is in all sets; d=3 in S1,S2,S3.
+        assert_eq!(c.sets_containing(EntityId(0)).len(), 7);
+        assert_eq!(
+            c.sets_containing(EntityId(3)),
+            &[SetId(0), SetId(1), SetId(2)]
+        );
+        assert!(c.sets_containing(EntityId(99)).is_empty());
+    }
+
+    #[test]
+    fn distinct_entities_counts_occupied_ids() {
+        let c = Collection::from_raw_sets(vec![vec![0, 5], vec![5, 9]]).unwrap();
+        assert_eq!(c.universe(), 10);
+        assert_eq!(c.distinct_entities(), 3);
+    }
+
+    #[test]
+    fn dedup_and_empty_drop() {
+        let mut b = CollectionBuilder::new();
+        b.push(EntitySet::from_raw([1, 2]));
+        b.push(EntitySet::from_raw([2, 1])); // duplicate after sorting
+        b.push(EntitySet::from_raw([]));
+        b.push(EntitySet::from_raw([3]));
+        let built = b.build().unwrap();
+        assert_eq!(built.collection.len(), 2);
+        assert_eq!(built.duplicates_dropped, 1);
+        assert_eq!(built.empties_dropped, 1);
+    }
+
+    #[test]
+    fn empty_collection_is_an_error() {
+        assert_eq!(
+            CollectionBuilder::new().build().err(),
+            Some(SetDiscError::EmptyCollection)
+        );
+        assert!(Collection::from_raw_sets(vec![]).is_err());
+    }
+
+    #[test]
+    fn supersets_of_initial_examples() {
+        let c = figure1();
+        // {b, c} = {1, 2} is contained in S1, S3, S4.
+        let v = c.supersets_of(&[EntityId(1), EntityId(2)]);
+        assert_eq!(v.ids(), &[SetId(0), SetId(2), SetId(3)]);
+        // {d} = {3} → S1, S2, S3.
+        let v = c.supersets_of(&[EntityId(3)]);
+        assert_eq!(v.ids(), &[SetId(0), SetId(1), SetId(2)]);
+        // Empty initial set → everything (Algorithm 2 degenerate case).
+        assert_eq!(c.supersets_of(&[]).len(), 7);
+        // Unsatisfiable example.
+        assert!(c.supersets_of(&[EntityId(4), EntityId(10)]).is_empty());
+        // Unknown entity → no supersets.
+        assert!(c.supersets_of(&[EntityId(1000)]).is_empty());
+    }
+
+    #[test]
+    fn tokens_are_unique_per_collection() {
+        let a = figure1();
+        let b = figure1();
+        assert_ne!(a.token(), b.token());
+        assert_eq!(a.token(), a.token());
+    }
+
+    #[test]
+    fn try_set_bounds() {
+        let c = figure1();
+        assert!(c.try_set(SetId(6)).is_ok());
+        assert_eq!(c.try_set(SetId(7)).err(), Some(SetDiscError::UnknownSet(SetId(7))));
+    }
+
+    #[test]
+    fn avg_set_size() {
+        let c = Collection::from_raw_sets(vec![vec![1], vec![1, 2, 3]]).unwrap();
+        assert!((c.avg_set_size() - 2.0).abs() < 1e-12);
+    }
+}

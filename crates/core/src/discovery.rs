@@ -1,0 +1,479 @@
+//! Interactive set discovery — Algorithm 2 of the paper.
+//!
+//! A [`Session`] filters the collection to the supersets of the user's
+//! initial examples, then repeatedly asks the entity chosen by the selection
+//! strategy Υ and narrows the candidates with each answer, until a single
+//! set remains or a halt condition Γ (question budget, caller-controlled
+//! stepping) intervenes.
+//!
+//! Answers come from an [`Oracle`]. [`SimulatedOracle`] answers from a known
+//! target (the evaluation protocol of §5); [`NoisyOracle`] flips answers
+//! with a configured probability (§6 "possibility of errors"); "don't know"
+//! answers (§6 "unanswered questions") exclude the entity and re-select, as
+//! the paper prescribes.
+
+use crate::collection::Collection;
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::set::EntitySet;
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::SubCollection;
+use setdisc_util::{FxHashSet, Rng};
+
+/// A user's reply to a membership question.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// The entity is in the target set.
+    Yes,
+    /// The entity is not in the target set.
+    No,
+    /// The user cannot tell (§6) — the entity is excluded from future
+    /// questions and the candidates are left unchanged.
+    Unknown,
+}
+
+/// Source of answers to membership questions.
+pub trait Oracle {
+    /// Answers "is `entity` in the target set?".
+    fn answer(&mut self, entity: EntityId) -> Answer;
+}
+
+/// Answers truthfully from a known target set (the simulated user of §5).
+pub struct SimulatedOracle<'a> {
+    target: &'a EntitySet,
+}
+
+impl<'a> SimulatedOracle<'a> {
+    /// Oracle for the given target.
+    pub fn new(target: &'a EntitySet) -> Self {
+        Self { target }
+    }
+}
+
+impl Oracle for SimulatedOracle<'_> {
+    fn answer(&mut self, entity: EntityId) -> Answer {
+        if self.target.contains(entity) {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// Answers from a target but flips each answer independently with
+/// probability `error_rate` (failure-injection for the §6 recovery
+/// extension).
+pub struct NoisyOracle<'a> {
+    target: &'a EntitySet,
+    error_rate: f64,
+    rng: Rng,
+    /// Number of answers flipped so far.
+    pub flips: usize,
+}
+
+impl<'a> NoisyOracle<'a> {
+    /// Oracle flipping answers with probability `error_rate`.
+    pub fn new(target: &'a EntitySet, error_rate: f64, seed: u64) -> Self {
+        Self {
+            target,
+            error_rate,
+            rng: Rng::new(seed),
+            flips: 0,
+        }
+    }
+}
+
+impl Oracle for NoisyOracle<'_> {
+    fn answer(&mut self, entity: EntityId) -> Answer {
+        let truth = self.target.contains(entity);
+        let lie = self.rng.chance(self.error_rate);
+        if lie {
+            self.flips += 1;
+        }
+        if truth != lie {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// Answers truthfully but replies [`Answer::Unknown`] with probability
+/// `unknown_rate` (the §6 "unanswered questions" scenario).
+pub struct UnsureOracle<'a> {
+    target: &'a EntitySet,
+    unknown_rate: f64,
+    rng: Rng,
+}
+
+impl<'a> UnsureOracle<'a> {
+    /// Oracle that shrugs with probability `unknown_rate`.
+    pub fn new(target: &'a EntitySet, unknown_rate: f64, seed: u64) -> Self {
+        Self {
+            target,
+            unknown_rate,
+            rng: Rng::new(seed),
+        }
+    }
+}
+
+impl Oracle for UnsureOracle<'_> {
+    fn answer(&mut self, entity: EntityId) -> Answer {
+        if self.rng.chance(self.unknown_rate) {
+            Answer::Unknown
+        } else if self.target.contains(entity) {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// Outcome of a discovery run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Sets consistent with every answer (one element = discovered).
+    pub candidates: Vec<SetId>,
+    /// Yes/no questions answered (Unknown replies are not counted, matching
+    /// the paper's cost model where a question's cost is a *decision*).
+    pub questions: usize,
+    /// Unknown replies received.
+    pub unknowns: usize,
+}
+
+impl Outcome {
+    /// The discovered set when exactly one candidate remains.
+    pub fn discovered(&self) -> Option<SetId> {
+        match self.candidates.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+}
+
+/// An interactive discovery session (Algorithm 2).
+pub struct Session<'c, S: SelectionStrategy> {
+    candidates: SubCollection<'c>,
+    strategy: S,
+    excluded: FxHashSet<EntityId>,
+    history: Vec<(EntityId, Answer)>,
+    questions: usize,
+    unknowns: usize,
+}
+
+impl<'c, S: SelectionStrategy> Session<'c, S> {
+    /// Starts a session over the supersets of `initial` (Algorithm 2,
+    /// lines 1–4). An empty `initial` considers every set.
+    pub fn new(collection: &'c Collection, initial: &[EntityId], strategy: S) -> Self {
+        Self::over(collection.supersets_of(initial), strategy)
+    }
+
+    /// Starts a session over an explicit candidate view.
+    pub fn over(candidates: SubCollection<'c>, strategy: S) -> Self {
+        Self {
+            candidates,
+            strategy,
+            excluded: FxHashSet::default(),
+            history: Vec::new(),
+            questions: 0,
+            unknowns: 0,
+        }
+    }
+
+    /// Current candidate sets.
+    pub fn candidates(&self) -> &SubCollection<'c> {
+        &self.candidates
+    }
+
+    /// True when at most one candidate remains.
+    pub fn is_resolved(&self) -> bool {
+        self.candidates.len() <= 1
+    }
+
+    /// Questions answered yes/no so far.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+
+    /// Full question/answer history, including Unknowns.
+    pub fn history(&self) -> &[(EntityId, Answer)] {
+        &self.history
+    }
+
+    /// Access to the strategy (e.g. to read prune statistics).
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Mutable access to the strategy.
+    pub fn strategy_mut(&mut self) -> &mut S {
+        &mut self.strategy
+    }
+
+    /// Selects the next question (Algorithm 2, line 6); `None` when the
+    /// session is resolved or every informative entity has been excluded.
+    pub fn next_question(&mut self) -> Option<EntityId> {
+        if self.is_resolved() {
+            return None;
+        }
+        self.strategy
+            .select_excluding(&self.candidates, &self.excluded)
+    }
+
+    /// Applies an answer for `entity` (lines 8–12), narrowing candidates.
+    pub fn answer(&mut self, entity: EntityId, answer: Answer) {
+        self.history.push((entity, answer));
+        match answer {
+            Answer::Yes => {
+                self.questions += 1;
+                let (yes, _) = self.candidates.partition(entity);
+                self.candidates = yes;
+            }
+            Answer::No => {
+                self.questions += 1;
+                let (_, no) = self.candidates.partition(entity);
+                self.candidates = no;
+            }
+            Answer::Unknown => {
+                self.unknowns += 1;
+                self.excluded.insert(entity);
+            }
+        }
+    }
+
+    /// Runs the loop to resolution with no question budget.
+    pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<Outcome> {
+        self.run_bounded(oracle, usize::MAX)
+    }
+
+    /// Runs until resolved, the budget is exhausted, or no further question
+    /// can be asked (the halt condition Γ).
+    pub fn run_bounded(
+        &mut self,
+        oracle: &mut dyn Oracle,
+        max_questions: usize,
+    ) -> Result<Outcome> {
+        while !self.is_resolved() && self.questions < max_questions {
+            let Some(entity) = self.next_question() else {
+                break; // everything informative excluded — return survivors
+            };
+            let answer = oracle.answer(entity);
+            self.answer(entity, answer);
+            if self.candidates.is_empty() {
+                return Err(SetDiscError::ContradictoryAnswers {
+                    after_questions: self.questions,
+                });
+            }
+        }
+        Ok(self.outcome())
+    }
+
+    /// Snapshot of the current state as an [`Outcome`].
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            candidates: self.candidates.ids().to_vec(),
+            questions: self.questions,
+            unknowns: self.unknowns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AvgDepth;
+    use crate::lookahead::KLp;
+    use crate::strategy::{InfoGain, MostEven};
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn discovers_every_set_from_empty_initial() {
+        let c = figure1();
+        for (id, target) in c.iter() {
+            let mut session = Session::new(&c, &[], KLp::<AvgDepth>::new(2));
+            let outcome = session
+                .run(&mut SimulatedOracle::new(target))
+                .unwrap();
+            assert_eq!(outcome.discovered(), Some(id), "target {id}");
+            assert!(outcome.questions <= 6, "worst case is n-1");
+        }
+    }
+
+    #[test]
+    fn initial_examples_narrow_the_start() {
+        let c = figure1();
+        // I = {d} → candidates {S1, S2, S3}; discovering S2 takes ≤ 2 questions.
+        let target = c.set(SetId(1)).clone();
+        let mut session = Session::new(&c, &[EntityId(3)], MostEven::new());
+        assert_eq!(session.candidates().len(), 3);
+        let outcome = session.run(&mut SimulatedOracle::new(&target)).unwrap();
+        assert_eq!(outcome.discovered(), Some(SetId(1)));
+        assert!(outcome.questions <= 2);
+    }
+
+    #[test]
+    fn fully_specified_initial_set_needs_no_questions() {
+        let c = figure1();
+        // I = {e} uniquely identifies S2 = {a,d,e}.
+        let target = c.set(SetId(1)).clone();
+        let mut session = Session::new(&c, &[EntityId(4)], MostEven::new());
+        let outcome = session.run(&mut SimulatedOracle::new(&target)).unwrap();
+        assert_eq!(outcome.questions, 0);
+        assert_eq!(outcome.discovered(), Some(SetId(1)));
+    }
+
+    #[test]
+    fn unsatisfiable_initial_yields_empty() {
+        let c = figure1();
+        let session = Session::new(&c, &[EntityId(4), EntityId(8)], MostEven::new());
+        assert!(session.candidates().is_empty());
+        assert!(session.is_resolved());
+    }
+
+    #[test]
+    fn question_budget_halts_early() {
+        let c = figure1();
+        let target = c.set(SetId(4)).clone();
+        let mut session = Session::new(&c, &[], InfoGain::new());
+        let outcome = session
+            .run_bounded(&mut SimulatedOracle::new(&target), 1)
+            .unwrap();
+        assert_eq!(outcome.questions, 1);
+        assert!(outcome.candidates.len() > 1, "halted before resolution");
+        assert!(outcome.candidates.contains(&SetId(4)), "target survives");
+    }
+
+    #[test]
+    fn unknown_answers_exclude_entities_and_still_resolve() {
+        let c = figure1();
+        let target = c.set(SetId(5)).clone(); // S6 = {a,b,j,k}
+        let mut session = Session::new(&c, &[], MostEven::new());
+        // Shrug on the first two proposed entities, then answer honestly.
+        let e1 = session.next_question().unwrap();
+        session.answer(e1, Answer::Unknown);
+        let e2 = session.next_question().unwrap();
+        assert_ne!(e1, e2, "excluded entity must not be re-asked");
+        session.answer(e2, Answer::Unknown);
+        let outcome = session.run(&mut SimulatedOracle::new(&target)).unwrap();
+        assert_eq!(outcome.discovered(), Some(SetId(5)));
+        assert_eq!(outcome.unknowns, 2);
+        let asked: Vec<EntityId> = session.history().iter().map(|&(e, _)| e).collect();
+        assert_eq!(asked.iter().filter(|&&e| e == e1).count(), 1);
+    }
+
+    #[test]
+    fn all_entities_unknown_returns_survivors() {
+        let c = Collection::from_raw_sets(vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let target = c.set(SetId(0)).clone();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        struct AlwaysUnknown;
+        impl Oracle for AlwaysUnknown {
+            fn answer(&mut self, _: EntityId) -> Answer {
+                Answer::Unknown
+            }
+        }
+        let _ = &target;
+        let outcome = session.run(&mut AlwaysUnknown).unwrap();
+        assert_eq!(outcome.candidates.len(), 2, "search cannot resolve");
+        assert_eq!(outcome.questions, 0);
+        assert_eq!(outcome.unknowns, 2);
+    }
+
+    #[test]
+    fn noisy_answers_resolve_to_the_wrong_set_silently() {
+        // Within run() every question is informative for the *current*
+        // candidates, so both answer branches are non-empty and the session
+        // always resolves — a lying oracle therefore produces a wrong set
+        // rather than a contradiction. This is exactly the failure mode the
+        // §6 recovery extension (ext::noisy) exists to detect and repair.
+        let c = figure1();
+        let target = c.set(SetId(0)).clone();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        let mut oracle = NoisyOracle::new(&target, 1.0, 0);
+        let outcome = session.run(&mut oracle).unwrap();
+        let found = outcome.discovered().expect("always resolves");
+        assert_ne!(found, SetId(0), "all-lies cannot find the true target");
+        assert!(oracle.flips > 0);
+    }
+
+    #[test]
+    fn manually_applied_inconsistent_answers_empty_the_candidates() {
+        // The contradiction error is reachable through the stepping API,
+        // where callers may apply answers about arbitrary entities.
+        let c = figure1();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        session.answer(EntityId(4), Answer::Yes); // e → only S2
+        assert_eq!(session.candidates().ids(), &[SetId(1)]);
+        session.answer(EntityId(8), Answer::Yes); // i → S5: contradiction
+        assert!(session.candidates().is_empty());
+        assert_eq!(session.outcome().candidates.len(), 0);
+    }
+
+    #[test]
+    fn noisy_oracle_with_zero_rate_is_truthful() {
+        let c = figure1();
+        let target = c.set(SetId(3)).clone();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        let mut oracle = NoisyOracle::new(&target, 0.0, 1);
+        let outcome = session.run(&mut oracle).unwrap();
+        assert_eq!(outcome.discovered(), Some(SetId(3)));
+        assert_eq!(oracle.flips, 0);
+    }
+
+    #[test]
+    fn unsure_oracle_resolves_despite_shrugs() {
+        let c = figure1();
+        let target = c.set(SetId(2)).clone();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        let mut oracle = UnsureOracle::new(&target, 0.3, 42);
+        let outcome = session.run(&mut oracle).unwrap();
+        // With shrugs the session may end unresolved only if every
+        // informative entity got excluded — not the case at rate 0.3 here.
+        assert_eq!(outcome.discovered(), Some(SetId(2)));
+    }
+
+    #[test]
+    fn questions_match_tree_depth_for_same_strategy() {
+        // Online discovery asks exactly the questions on the offline tree's
+        // root-to-leaf path when both use the same deterministic strategy
+        // (the paper's tree-construction/discovery duality, §4.5).
+        let c = figure1();
+        let v = c.full_view();
+        let tree =
+            crate::builder::build_tree(&v, &mut KLp::<AvgDepth>::new(2)).unwrap();
+        for (id, target) in c.iter() {
+            let mut session = Session::new(&c, &[], KLp::<AvgDepth>::new(2));
+            let outcome = session.run(&mut SimulatedOracle::new(target)).unwrap();
+            assert_eq!(outcome.discovered(), Some(id));
+            assert_eq!(
+                outcome.questions,
+                tree.depth_of(id).unwrap() as usize,
+                "set {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_snapshot_midway() {
+        let c = figure1();
+        let mut session = Session::new(&c, &[], MostEven::new());
+        let e = session.next_question().unwrap();
+        session.answer(e, Answer::No);
+        let outcome = session.outcome();
+        assert_eq!(outcome.questions, 1);
+        assert!(!outcome.candidates.is_empty());
+        assert_eq!(outcome.discovered(), None);
+    }
+}

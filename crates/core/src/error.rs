@@ -1,0 +1,83 @@
+//! Error types for the set-discovery crate.
+
+use crate::entity::{EntityId, SetId};
+
+/// Errors surfaced by collection construction, tree building and discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetDiscError {
+    /// A collection must contain at least one set.
+    EmptyCollection,
+    /// An operation referenced a set id outside the collection.
+    UnknownSet(SetId),
+    /// An operation referenced an entity id outside the universe.
+    UnknownEntity(EntityId),
+    /// Tree construction needed to split a group of distinct sets but found
+    /// no informative entity — possible only if the sets are not unique.
+    NoInformativeEntity {
+        /// Size of the indistinguishable group.
+        group: usize,
+    },
+    /// The user's answers are mutually inconsistent with every candidate set
+    /// (only possible with a noisy oracle).
+    ContradictoryAnswers {
+        /// Number of questions answered before the contradiction appeared.
+        after_questions: usize,
+    },
+    /// Backtracking recovery exhausted its retry budget.
+    RecoveryExhausted {
+        /// Retries attempted.
+        retries: usize,
+    },
+    /// A tree failed structural validation.
+    InvalidTree(String),
+}
+
+impl std::fmt::Display for SetDiscError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyCollection => write!(f, "collection contains no sets"),
+            Self::UnknownSet(id) => write!(f, "set id {} out of range", id.0),
+            Self::UnknownEntity(id) => write!(f, "entity id {} out of range", id.0),
+            Self::NoInformativeEntity { group } => write!(
+                f,
+                "no informative entity to split a group of {group} sets (duplicate sets?)"
+            ),
+            Self::ContradictoryAnswers { after_questions } => write!(
+                f,
+                "answers contradict every candidate set after {after_questions} questions"
+            ),
+            Self::RecoveryExhausted { retries } => {
+                write!(f, "backtracking recovery failed after {retries} retries")
+            }
+            Self::InvalidTree(msg) => write!(f, "invalid decision tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SetDiscError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SetDiscError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SetDiscError::EmptyCollection.to_string(),
+            "collection contains no sets"
+        );
+        assert!(SetDiscError::UnknownSet(SetId(3)).to_string().contains('3'));
+        assert!(SetDiscError::NoInformativeEntity { group: 2 }
+            .to_string()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SetDiscError::EmptyCollection);
+    }
+}

@@ -1,0 +1,230 @@
+//! Multiple-choice questions (§6 "multiple-choice examples").
+//!
+//! Instead of one entity per interaction, show the user a small batch of
+//! `b` entities and ask which of them belong to the target set. A batch of
+//! `b` entities partitions the candidates into up to `2ᵇ` answer-signature
+//! cells, so one interaction can carry up to `b` bits.
+//!
+//! Exhaustively optimizing the batch squares the already huge search space
+//! (§6 notes this), so selection is greedy — each added entity maximizes the
+//! number of non-empty signature cells, breaking ties by the most balanced
+//! cell-size distribution (minimum sum of squared cell sizes), which is the
+//! natural generalization of most-even partitioning.
+
+use crate::entity::{EntityId, SetId};
+use crate::set::EntitySet;
+use crate::subcollection::{CountScratch, SubCollection};
+use setdisc_util::FxHashMap;
+
+/// Greedily selects up to `b` entities forming one multiple-choice question.
+/// Returns fewer when the candidates are fully distinguished earlier, and an
+/// empty vector when `view` has no informative entity.
+pub fn select_batch(
+    view: &SubCollection<'_>,
+    b: usize,
+    scratch: &mut CountScratch,
+) -> Vec<EntityId> {
+    if view.len() < 2 || b == 0 {
+        return Vec::new();
+    }
+    let inf = view.informative_entities(scratch);
+    let mut chosen: Vec<EntityId> = Vec::with_capacity(b);
+    // signature[i] = bitmask of chosen-entity membership for candidate i.
+    let mut signatures: Vec<u64> = vec![0; view.len()];
+
+    for round in 0..b.min(63) {
+        let mut best: Option<(usize, u64, EntityId)> = None; // (-cells, sumsq, id) minimized
+        for ec in &inf {
+            if chosen.contains(&ec.entity) {
+                continue;
+            }
+            // Extend each candidate's signature by this entity's bit.
+            let mut cells: FxHashMap<u64, u64> = FxHashMap::default();
+            for (i, &id) in view.ids().iter().enumerate() {
+                let bit = u64::from(view.collection().set(id).contains(ec.entity));
+                let sig = signatures[i] | (bit << round);
+                *cells.entry(sig).or_insert(0) += 1;
+            }
+            let n_cells = cells.len();
+            let sumsq: u64 = cells.values().map(|&c| c * c).sum();
+            let key = (usize::MAX - n_cells, sumsq, ec.entity);
+            if best.is_none_or(|(a, b_, e)| key < (a, b_, e)) {
+                best = Some(key);
+            }
+        }
+        let Some((inv_cells, _, e)) = best else { break };
+        let n_cells = usize::MAX - inv_cells;
+        chosen.push(e);
+        for (i, &id) in view.ids().iter().enumerate() {
+            let bit = u64::from(view.collection().set(id).contains(e));
+            signatures[i] |= bit << round;
+        }
+        if n_cells == view.len() {
+            break; // fully distinguished — no point adding more entities
+        }
+    }
+    chosen
+}
+
+/// Filters `view` to the candidates whose membership pattern over `batch`
+/// matches `answers` (answers\[i\] ⇔ batch\[i\] is in the target).
+pub fn apply_batch_answer<'c>(
+    view: &SubCollection<'c>,
+    batch: &[EntityId],
+    answers: &[bool],
+) -> SubCollection<'c> {
+    assert_eq!(batch.len(), answers.len(), "one answer per entity");
+    view.filter(|id| {
+        let set = view.collection().set(id);
+        batch
+            .iter()
+            .zip(answers)
+            .all(|(&e, &a)| set.contains(e) == a)
+    })
+}
+
+/// Simulated multi-choice user: marks which batch entities are in `target`.
+pub fn simulate_batch_answers(target: &EntitySet, batch: &[EntityId]) -> Vec<bool> {
+    batch.iter().map(|&e| target.contains(e)).collect()
+}
+
+/// Outcome of a batch-mode discovery run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Remaining candidates (one = discovered).
+    pub candidates: Vec<SetId>,
+    /// Number of multi-choice interactions (screens shown).
+    pub interactions: usize,
+    /// Total entities the user had to judge across interactions.
+    pub entities_judged: usize,
+}
+
+/// Runs batched discovery for a known target: at most `b` entities per
+/// interaction, until one candidate remains.
+pub fn run_batched(
+    view: &SubCollection<'_>,
+    target: &EntitySet,
+    b: usize,
+) -> BatchOutcome {
+    let mut scratch = CountScratch::new();
+    let mut current = view.clone();
+    let mut interactions = 0;
+    let mut entities_judged = 0;
+    while current.len() > 1 {
+        let batch = select_batch(&current, b, &mut scratch);
+        if batch.is_empty() {
+            break;
+        }
+        let answers = simulate_batch_answers(target, &batch);
+        interactions += 1;
+        entities_judged += batch.len();
+        current = apply_batch_answer(&current, &batch, &answers);
+    }
+    BatchOutcome {
+        candidates: current.ids().to_vec(),
+        interactions,
+        entities_judged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::discovery::{Session, SimulatedOracle};
+    use crate::strategy::MostEven;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_selection_is_informative_and_distinct() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut scratch = CountScratch::new();
+        let batch = select_batch(&v, 3, &mut scratch);
+        assert!(!batch.is_empty() && batch.len() <= 3);
+        let unique: std::collections::HashSet<_> = batch.iter().collect();
+        assert_eq!(unique.len(), batch.len());
+        assert!(!batch.contains(&EntityId(0)), "uninformative entity");
+    }
+
+    #[test]
+    fn batch_answers_filter_to_target() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut scratch = CountScratch::new();
+        for (id, target) in c.iter() {
+            let batch = select_batch(&v, 3, &mut scratch);
+            let answers = simulate_batch_answers(target, &batch);
+            let filtered = apply_batch_answer(&v, &batch, &answers);
+            assert!(filtered.ids().contains(&id), "target survives filtering");
+        }
+    }
+
+    #[test]
+    fn batched_discovery_finds_every_target() {
+        let c = figure1();
+        let v = c.full_view();
+        for (id, target) in c.iter() {
+            let out = run_batched(&v, target, 3);
+            assert_eq!(out.candidates, vec![id]);
+        }
+    }
+
+    #[test]
+    fn batching_reduces_interactions() {
+        // b=3 should resolve Figure 1 in ≤ the number of single-question
+        // interactions (usually far fewer screens).
+        let c = figure1();
+        let v = c.full_view();
+        for (id, target) in c.iter() {
+            let batched = run_batched(&v, target, 3);
+            let mut session = Session::new(&c, &[], MostEven::new());
+            let single = session.run(&mut SimulatedOracle::new(target)).unwrap();
+            assert!(
+                batched.interactions <= single.questions.max(1),
+                "target {id}: {} screens vs {} questions",
+                batched.interactions,
+                single.questions
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_question_mode() {
+        let c = figure1();
+        let v = c.full_view();
+        let target = c.set(SetId(4));
+        let out = run_batched(&v, target, 1);
+        assert_eq!(out.candidates, vec![SetId(4)]);
+        assert_eq!(out.interactions, out.entities_judged);
+    }
+
+    #[test]
+    fn empty_and_trivial_views() {
+        let c = figure1();
+        let mut scratch = CountScratch::new();
+        let v1 = crate::subcollection::SubCollection::from_ids(&c, vec![SetId(0)]);
+        assert!(select_batch(&v1, 3, &mut scratch).is_empty());
+        assert!(select_batch(&c.full_view(), 0, &mut scratch).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one answer per entity")]
+    fn mismatched_answers_panic() {
+        let c = figure1();
+        let v = c.full_view();
+        apply_batch_answer(&v, &[EntityId(1)], &[true, false]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Extensions sketched in §6 and §7 of the paper, fully implemented:
+//!
+//! * [`weighted`] — non-uniform priors over candidate sets (§7 "sets not
+//!   equally likely"): weighted entity selection and expected-depth costs.
+//! * [`noisy`] — recovery from erroneous answers (§6 "possibility of
+//!   errors"): confirm-and-backtrack sessions over a [`crate::discovery`]
+//!   session.
+//! * [`batch`] — multiple-choice questions (§6): select a small batch of
+//!   entities whose joint answer signature maximally partitions the
+//!   candidates.
+//!
+//! The "unanswered questions" extension of §6 needs no module of its own —
+//! [`crate::discovery::Answer::Unknown`] excludes the entity and re-selects,
+//! exactly as the paper prescribes.
+
+pub mod batch;
+pub mod noisy;
+pub mod weighted;

@@ -1,0 +1,322 @@
+//! Recovery from erroneous answers (§6 "possibility of errors in answers").
+//!
+//! A lying answer never *contradicts* the search — every question is
+//! informative for the current candidates, so both branches are non-empty
+//! and the session resolves to *some* set; with noise it is simply the wrong
+//! one. Detection therefore needs a final confirmation step, and recovery
+//! follows the paper's suggestion: *backtrack and revisit constraints*.
+//!
+//! [`RecoveringSession`] runs the ordinary loop, then presents the resolved
+//! set for confirmation. On rejection it backtracks: answers are revisited
+//! most-recent-first, each one is flipped, and the session re-filters and
+//! re-runs from there. With at most one erroneous answer and a truthful
+//! confirmation oracle the true target is always recovered; the retry budget
+//! bounds the work when errors are more pervasive.
+
+use crate::collection::Collection;
+use crate::discovery::{Answer, Oracle};
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::SubCollection;
+
+/// An oracle that can additionally confirm a final answer — e.g. a user
+/// shown the discovered set who accepts or rejects it.
+pub trait ConfirmingOracle: Oracle {
+    /// "Is this your set?" for the resolved candidate.
+    fn confirm(&mut self, set: SetId) -> bool;
+}
+
+/// A [`crate::discovery::SimulatedOracle`] that also confirms, with an
+/// optional list of question indices to answer incorrectly (deterministic
+/// failure injection — the i-th *question* gets flipped).
+pub struct FaultInjectingOracle<'a> {
+    target: &'a crate::set::EntitySet,
+    target_id: SetId,
+    flip_questions: Vec<usize>,
+    asked: usize,
+    /// Number of answers actually flipped.
+    pub flips_done: usize,
+}
+
+impl<'a> FaultInjectingOracle<'a> {
+    /// Oracle for `target` (with its id) flipping the listed question
+    /// indices (0-based).
+    pub fn new(target: &'a crate::set::EntitySet, target_id: SetId, flip_questions: Vec<usize>) -> Self {
+        Self {
+            target,
+            target_id,
+            flip_questions,
+            asked: 0,
+            flips_done: 0,
+        }
+    }
+}
+
+impl Oracle for FaultInjectingOracle<'_> {
+    fn answer(&mut self, entity: EntityId) -> Answer {
+        let truth = self.target.contains(entity);
+        let flip = self.flip_questions.contains(&self.asked);
+        self.asked += 1;
+        if flip {
+            self.flips_done += 1;
+        }
+        if truth != flip {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+impl ConfirmingOracle for FaultInjectingOracle<'_> {
+    fn confirm(&mut self, set: SetId) -> bool {
+        set == self.target_id
+    }
+}
+
+/// Transcript plus resolved set of one (re)run of the search.
+type RunFromResult = (Vec<(EntityId, Answer)>, Option<SetId>);
+
+/// Outcome of a recovering run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The confirmed set.
+    pub discovered: SetId,
+    /// Total yes/no questions across all attempts (including re-asks).
+    pub questions: usize,
+    /// Confirmation prompts shown.
+    pub confirmations: usize,
+    /// Backtracking attempts performed (0 = first run confirmed).
+    pub backtracks: usize,
+}
+
+/// Discovery with confirm-and-backtrack error recovery.
+pub struct RecoveringSession<'c, S: SelectionStrategy> {
+    collection: &'c Collection,
+    initial_candidates: SubCollection<'c>,
+    strategy: S,
+    max_backtracks: usize,
+}
+
+impl<'c, S: SelectionStrategy> RecoveringSession<'c, S> {
+    /// Session over the supersets of `initial`, with a backtrack budget.
+    pub fn new(
+        collection: &'c Collection,
+        initial: &[EntityId],
+        strategy: S,
+        max_backtracks: usize,
+    ) -> Self {
+        Self {
+            collection,
+            initial_candidates: collection.supersets_of(initial),
+            strategy,
+            max_backtracks,
+        }
+    }
+
+    /// Runs discovery; on a rejected confirmation, flips recorded answers
+    /// most-recent-first and re-runs the tail of the search.
+    pub fn run(&mut self, oracle: &mut dyn ConfirmingOracle) -> Result<RecoveryOutcome> {
+        let mut questions = 0usize;
+        let mut confirmations = 0usize;
+
+        // First pass: record the answer transcript.
+        let (original, resolved) = self.run_from(&[], oracle, &mut questions)?;
+        if let Some(set) = resolved {
+            confirmations += 1;
+            if oracle.confirm(set) {
+                return Ok(RecoveryOutcome {
+                    discovered: set,
+                    questions,
+                    confirmations,
+                    backtracks: 0,
+                });
+            }
+        }
+
+        // Backtrack over the ORIGINAL transcript: flip answer i, most recent
+        // first, keep the prefix pinned, and continue the search live. With
+        // exactly one erroneous answer this is guaranteed to reach the
+        // attempt that flips the error, after which every constraint is
+        // truthful and the target must survive to resolution.
+        for attempt in 1..=self.max_backtracks {
+            let Some(flip_at) = original.len().checked_sub(attempt) else {
+                break;
+            };
+            let mut pinned: Vec<(EntityId, Answer)> = original[..flip_at].to_vec();
+            let (e, a) = original[flip_at];
+            let flipped = match a {
+                Answer::Yes => Answer::No,
+                Answer::No => Answer::Yes,
+                Answer::Unknown => Answer::Unknown,
+            };
+            pinned.push((e, flipped));
+            questions += 1; // re-asking the flipped question is a user interaction
+            let (_, resolved) = self.run_from(&pinned, oracle, &mut questions)?;
+            if let Some(set) = resolved {
+                confirmations += 1;
+                if oracle.confirm(set) {
+                    return Ok(RecoveryOutcome {
+                        discovered: set,
+                        questions,
+                        confirmations,
+                        backtracks: attempt,
+                    });
+                }
+            }
+        }
+        Err(SetDiscError::RecoveryExhausted {
+            retries: self.max_backtracks,
+        })
+    }
+
+    /// Replays `pinned` answers, then continues asking the oracle until
+    /// resolution. Returns the full transcript and the resolved set (if a
+    /// single candidate remained).
+    fn run_from(
+        &mut self,
+        pinned: &[(EntityId, Answer)],
+        oracle: &mut dyn Oracle,
+        questions: &mut usize,
+    ) -> Result<RunFromResult> {
+        let mut candidates = self.initial_candidates.clone();
+        let mut transcript = Vec::with_capacity(pinned.len() + 8);
+        let mut excluded = setdisc_util::FxHashSet::default();
+        for &(e, a) in pinned {
+            apply(&mut candidates, &mut excluded, e, a);
+            transcript.push((e, a));
+        }
+        while candidates.len() > 1 {
+            let Some(e) = self
+                .strategy
+                .select_excluding(&candidates, &excluded)
+            else {
+                break;
+            };
+            let a = oracle.answer(e);
+            *questions += usize::from(a != Answer::Unknown);
+            apply(&mut candidates, &mut excluded, e, a);
+            transcript.push((e, a));
+        }
+        let resolved = match candidates.ids() {
+            [one] => Some(*one),
+            _ => None,
+        };
+        let _ = self.collection;
+        Ok((transcript, resolved))
+    }
+}
+
+fn apply<'c>(
+    candidates: &mut SubCollection<'c>,
+    excluded: &mut setdisc_util::FxHashSet<EntityId>,
+    e: EntityId,
+    a: Answer,
+) {
+    match a {
+        Answer::Yes => {
+            let (yes, _) = candidates.partition(e);
+            *candidates = yes;
+        }
+        Answer::No => {
+            let (_, no) = candidates.partition(e);
+            *candidates = no;
+        }
+        Answer::Unknown => {
+            excluded.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::MostEven;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_run_confirms_immediately() {
+        let c = figure1();
+        for (id, target) in c.iter() {
+            let mut session = RecoveringSession::new(&c, &[], MostEven::new(), 4);
+            let mut oracle = FaultInjectingOracle::new(target, id, vec![]);
+            let out = session.run(&mut oracle).unwrap();
+            assert_eq!(out.discovered, id);
+            assert_eq!(out.backtracks, 0);
+            assert_eq!(out.confirmations, 1);
+        }
+    }
+
+    #[test]
+    fn single_lie_on_last_question_is_recovered() {
+        let c = figure1();
+        for (id, target) in c.iter() {
+            // Find how many questions a clean run takes, then flip the last.
+            let mut probe = RecoveringSession::new(&c, &[], MostEven::new(), 0);
+            let mut clean = FaultInjectingOracle::new(target, id, vec![]);
+            let q = probe.run(&mut clean).unwrap().questions;
+            if q == 0 {
+                continue;
+            }
+            let mut session = RecoveringSession::new(&c, &[], MostEven::new(), 8);
+            let mut oracle = FaultInjectingOracle::new(target, id, vec![q - 1]);
+            let out = session.run(&mut oracle).unwrap();
+            assert_eq!(out.discovered, id, "target {id}");
+            assert!(out.backtracks >= 1);
+        }
+    }
+
+    #[test]
+    fn single_lie_on_first_question_is_recovered() {
+        let c = figure1();
+        let id = SetId(0);
+        let target = c.set(id);
+        let mut session = RecoveringSession::new(&c, &[], MostEven::new(), 16);
+        let mut oracle = FaultInjectingOracle::new(target, id, vec![0]);
+        let out = session.run(&mut oracle).unwrap();
+        assert_eq!(out.discovered, id);
+        assert!(out.backtracks >= 1);
+        assert!(out.confirmations >= 1 && out.confirmations <= out.backtracks + 1);
+    }
+
+    #[test]
+    fn budget_zero_with_a_lie_errors() {
+        let c = figure1();
+        let id = SetId(3);
+        let target = c.set(id);
+        let mut session = RecoveringSession::new(&c, &[], MostEven::new(), 0);
+        let mut oracle = FaultInjectingOracle::new(target, id, vec![0]);
+        let err = session.run(&mut oracle).unwrap_err();
+        assert_eq!(err, SetDiscError::RecoveryExhausted { retries: 0 });
+    }
+
+    #[test]
+    fn recovery_costs_extra_questions() {
+        let c = figure1();
+        let id = SetId(4);
+        let target = c.set(id);
+        let mut clean_session = RecoveringSession::new(&c, &[], MostEven::new(), 0);
+        let clean_q = clean_session
+            .run(&mut FaultInjectingOracle::new(target, id, vec![]))
+            .unwrap()
+            .questions;
+        let mut session = RecoveringSession::new(&c, &[], MostEven::new(), 8);
+        let mut oracle = FaultInjectingOracle::new(target, id, vec![0]);
+        let out = session.run(&mut oracle).unwrap();
+        assert_eq!(out.discovered, id);
+        assert!(out.questions > clean_q, "recovery is not free");
+    }
+}

@@ -1,0 +1,251 @@
+//! Non-uniform priors over candidate sets (§7 future work, implemented).
+//!
+//! When sets are not equally likely to be the target, the quantity to
+//! minimize is the *expected* number of questions `Σᵢ pᵢ·depth(Sᵢ)`. The
+//! greedy rule generalizes most-even partitioning to most-even **probability
+//! mass**: choose the entity whose yes-side mass is closest to half — the
+//! weighted information-gain argmax.
+
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::{CountScratch, SubCollection};
+use crate::tree::{DecisionTree, Node};
+use setdisc_util::{FxHashMap, FxHashSet};
+
+/// A prior distribution over the sets of one collection, aligned by
+/// [`SetId`]. Weights are non-negative and normalized at construction.
+#[derive(Clone, Debug)]
+pub struct Priors {
+    weights: Vec<f64>,
+}
+
+impl Priors {
+    /// Uniform prior over `n` sets.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            weights: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Normalized prior from raw non-negative weights.
+    pub fn from_weights(raw: Vec<f64>) -> Result<Self> {
+        if raw.is_empty() {
+            return Err(SetDiscError::EmptyCollection);
+        }
+        if raw.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(SetDiscError::InvalidTree(
+                "priors must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = raw.iter().sum();
+        if total <= 0.0 {
+            return Err(SetDiscError::InvalidTree("priors sum to zero".into()));
+        }
+        Ok(Self {
+            weights: raw.into_iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// Weight of one set.
+    #[inline]
+    pub fn weight(&self, id: SetId) -> f64 {
+        self.weights.get(id.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Number of sets covered.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when empty (unreachable through constructors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total mass of a view's candidates (1.0 for the full collection).
+    pub fn mass(&self, view: &SubCollection<'_>) -> f64 {
+        view.ids().iter().map(|&id| self.weight(id)).sum()
+    }
+}
+
+/// Entity selection maximizing weighted information gain: the entity whose
+/// yes-branch probability mass is closest to half the view's mass.
+pub struct WeightedMostEven {
+    priors: Priors,
+    scratch: CountScratch,
+}
+
+impl WeightedMostEven {
+    /// Strategy with the given priors (indexed by the collection's set ids).
+    pub fn new(priors: Priors) -> Self {
+        Self {
+            priors,
+            scratch: CountScratch::new(),
+        }
+    }
+}
+
+impl SelectionStrategy for WeightedMostEven {
+    fn name(&self) -> String {
+        "WeightedMostEven".into()
+    }
+
+    fn select_excluding(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<EntityId> {
+        if view.len() < 2 {
+            return None;
+        }
+        let total_mass = self.priors.mass(view);
+        // Mass of the yes-side per informative entity. Entity counts give
+        // set membership; accumulate weighted counts with one pass per set.
+        let mut inf = view.informative_entities(&mut self.scratch);
+        if !excluded.is_empty() {
+            inf.retain(|ec| !excluded.contains(&ec.entity));
+        }
+        if inf.is_empty() {
+            return None;
+        }
+        let wanted: FxHashMap<EntityId, usize> = inf
+            .iter()
+            .enumerate()
+            .map(|(i, ec)| (ec.entity, i))
+            .collect();
+        let mut yes_mass = vec![0.0f64; inf.len()];
+        for &id in view.ids() {
+            let w = self.priors.weight(id);
+            if w == 0.0 {
+                continue;
+            }
+            for e in view.collection().set(id).iter() {
+                if let Some(&i) = wanted.get(&e) {
+                    yes_mass[i] += w;
+                }
+            }
+        }
+        inf.iter()
+            .enumerate()
+            .map(|(i, ec)| {
+                let imbalance = (2.0 * yes_mass[i] - total_mass).abs();
+                // total_cmp-compatible ordering with id tie-break.
+                (imbalance.to_bits(), ec.entity)
+            })
+            .min()
+            .map(|(_, e)| e)
+    }
+}
+
+/// Expected number of questions of `tree` under `priors` — the weighted
+/// generalization of Definition 3.2.
+pub fn expected_depth(tree: &DecisionTree, priors: &Priors) -> f64 {
+    let mut total = 0.0;
+    let mut stack = vec![(tree.root(), 0u32)];
+    while let Some((id, depth)) = stack.pop() {
+        match *tree.node(id) {
+            Node::Leaf { set } => total += priors.weight(set) * depth as f64,
+            Node::Internal { yes, no, .. } => {
+                stack.push((yes, depth + 1));
+                stack.push((no, depth + 1));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_tree;
+    use crate::collection::Collection;
+    use crate::strategy::MostEven;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_priors_match_unweighted_costs() {
+        let c = figure1();
+        let v = c.full_view();
+        let priors = Priors::uniform(7);
+        let t = build_tree(&v, &mut MostEven::new()).unwrap();
+        let expected = expected_depth(&t, &priors);
+        assert!((expected - t.avg_depth()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priors_validation() {
+        assert!(Priors::from_weights(vec![]).is_err());
+        assert!(Priors::from_weights(vec![1.0, -0.5]).is_err());
+        assert!(Priors::from_weights(vec![0.0, 0.0]).is_err());
+        assert!(Priors::from_weights(vec![f64::NAN]).is_err());
+        let p = Priors::from_weights(vec![1.0, 3.0]).unwrap();
+        assert!((p.weight(SetId(0)) - 0.25).abs() < 1e-12);
+        assert!((p.weight(SetId(1)) - 0.75).abs() < 1e-12);
+        assert_eq!(p.weight(SetId(9)), 0.0);
+    }
+
+    #[test]
+    fn skewed_priors_pull_the_hot_set_up() {
+        // Give S2 (={a,d,e}) 90% of the mass: the weighted tree should
+        // place it at depth ≤ its depth in the uniform tree, and the
+        // expected depth must beat the uniform tree's.
+        let c = figure1();
+        let v = c.full_view();
+        let mut raw = vec![0.1 / 6.0; 7];
+        raw[1] = 0.9;
+        let priors = Priors::from_weights(raw).unwrap();
+
+        let t_uniform = build_tree(&v, &mut MostEven::new()).unwrap();
+        let t_weighted =
+            build_tree(&v, &mut WeightedMostEven::new(priors.clone())).unwrap();
+        t_weighted.validate(&v).unwrap();
+
+        let d_uniform = t_uniform.depth_of(SetId(1)).unwrap();
+        let d_weighted = t_weighted.depth_of(SetId(1)).unwrap();
+        assert!(d_weighted <= d_uniform, "{d_weighted} > {d_uniform}");
+        assert!(
+            expected_depth(&t_weighted, &priors) <= expected_depth(&t_uniform, &priors) + 1e-12
+        );
+        // S2 carries 90% of the mass, so it should sit very near the root.
+        assert!(d_weighted <= 2);
+    }
+
+    #[test]
+    fn weighted_strategy_respects_exclusions() {
+        let c = figure1();
+        let v = c.full_view();
+        let priors = Priors::uniform(7);
+        let mut s = WeightedMostEven::new(priors);
+        let first = s.select(&v).unwrap();
+        let mut excluded = FxHashSet::default();
+        excluded.insert(first);
+        let second = s.select_excluding(&v, &excluded).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn mass_accounts_for_view() {
+        let c = figure1();
+        let priors = Priors::uniform(7);
+        assert!((priors.mass(&c.full_view()) - 1.0).abs() < 1e-12);
+        let half = crate::subcollection::SubCollection::from_ids(
+            &c,
+            vec![SetId(0), SetId(1), SetId(2)],
+        );
+        assert!((priors.mass(&half) - 3.0 / 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text collection I/O.
+//!
+//! Format: one set per line, `name: member member member`; the name prefix
+//! is optional (`S<line>` is assigned when missing). `#` starts a comment,
+//! blank lines are skipped, members are whitespace-separated tokens
+//! interned as entities. Round-trips through [`write_collection`] /
+//! [`parse_collection`].
+
+use crate::collection::{Collection, CollectionBuilder};
+use crate::entity::EntityInterner;
+use crate::error::{Result, SetDiscError};
+use crate::set::EntitySet;
+
+/// A collection loaded from text: sets, entity names, set names.
+pub struct NamedCollection {
+    /// The deduplicated collection.
+    pub collection: Collection,
+    /// Entity name ↔ id mapping.
+    pub entities: EntityInterner,
+    /// Set names aligned with set ids.
+    pub set_names: Vec<String>,
+    /// Duplicate sets dropped while parsing.
+    pub duplicates_dropped: usize,
+}
+
+impl NamedCollection {
+    /// The name of a set.
+    pub fn set_name(&self, id: crate::entity::SetId) -> &str {
+        &self.set_names[id.0 as usize]
+    }
+}
+
+/// Parses the text format described in the module docs.
+pub fn parse_collection(text: &str) -> Result<NamedCollection> {
+    let mut entities = EntityInterner::new();
+    let mut builder = CollectionBuilder::new();
+    let mut set_names = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, members) = match line.split_once(':') {
+            Some((name, rest)) => (name.trim().to_string(), rest),
+            None => (format!("S{}", set_names.len()), line),
+        };
+        if name.is_empty() {
+            return Err(SetDiscError::InvalidTree(format!(
+                "line {}: empty set name",
+                lineno + 1
+            )));
+        }
+        let set = EntitySet::from_iter(members.split_whitespace().map(|t| entities.intern(t)));
+        if set.is_empty() {
+            return Err(SetDiscError::InvalidTree(format!(
+                "line {}: set {name:?} has no members",
+                lineno + 1
+            )));
+        }
+        let before = builder.len();
+        builder.push(set);
+        if builder.len() > before {
+            set_names.push(name);
+        }
+    }
+    let built = builder.build()?;
+    Ok(NamedCollection {
+        collection: built.collection,
+        entities,
+        set_names,
+        duplicates_dropped: built.duplicates_dropped,
+    })
+}
+
+/// Serializes a collection with its names back to the text format.
+pub fn write_collection(named: &NamedCollection) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (id, set) in named.collection.iter() {
+        let _ = write!(out, "{}:", named.set_name(id));
+        for e in set.iter() {
+            let _ = write!(out, " {}", named.entities.display(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{EntityId, SetId};
+
+    const SAMPLE: &str = "\
+# disease profiles
+flu: fever cough fatigue
+cold: cough sneezing   # inline comment
+migraine: headache nausea
+
+fever cough  # unnamed set
+";
+
+    #[test]
+    fn parses_names_comments_and_unnamed_sets() {
+        let named = parse_collection(SAMPLE).unwrap();
+        assert_eq!(named.collection.len(), 4);
+        assert_eq!(named.set_name(SetId(0)), "flu");
+        assert_eq!(named.set_name(SetId(3)), "S3");
+        let fever = named.entities.get("fever").unwrap();
+        assert!(named.collection.set(SetId(0)).contains(fever));
+        assert!(named.collection.set(SetId(3)).contains(fever));
+        assert_eq!(named.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn duplicate_sets_are_dropped_with_count() {
+        let named = parse_collection("a: x y\nb: y x\nc: z\n").unwrap();
+        assert_eq!(named.collection.len(), 2);
+        assert_eq!(named.duplicates_dropped, 1);
+        // The surviving names correspond to the kept sets.
+        assert_eq!(named.set_names.len(), 2);
+        assert_eq!(named.set_name(SetId(0)), "a");
+        assert_eq!(named.set_name(SetId(1)), "c");
+    }
+
+    #[test]
+    fn rejects_degenerate_lines() {
+        assert!(parse_collection(": x y\n").is_err(), "empty name");
+        assert!(parse_collection("name:\n").is_err(), "no members");
+        assert!(parse_collection("# only comments\n").is_err(), "empty file");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let named = parse_collection(SAMPLE).unwrap();
+        let text = write_collection(&named);
+        let again = parse_collection(&text).unwrap();
+        assert_eq!(again.collection.len(), named.collection.len());
+        for (id, set) in named.collection.iter() {
+            // Entity ids may be renumbered; compare through names.
+            let orig: Vec<String> = set.iter().map(|e| named.entities.display(e)).collect();
+            let re_set = again.collection.set(id);
+            let re: Vec<String> = re_set.iter().map(|e| again.entities.display(e)).collect();
+            let mut a = orig.clone();
+            let mut b = re.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn entities_intern_consistently() {
+        let named = parse_collection("a: x y\nb: y z\n").unwrap();
+        let y = named.entities.get("y").unwrap();
+        assert_eq!(named.collection.sets_containing(y).len(), 2);
+        assert_eq!(named.entities.len(), 3);
+        assert!(y.0 < 3);
+        let _ = EntityId(0); // silence unused import in some cfg combos
+    }
+}

@@ -1,0 +1,99 @@
+//! Interactive set discovery — a reproduction of Hasnat & Rafiei,
+//! *Interactive Set Discovery* (EDBT 2023).
+//!
+//! Given a closed collection of unique sets and a handful of example
+//! elements, the library narrows down the user's *target set* by asking
+//! yes/no membership questions ("is entity *e* in your set?"), choosing each
+//! question to minimize the expected (or worst-case) number of questions.
+//!
+//! # Quick start
+//!
+//! ```
+//! use setdisc_core::prelude::*;
+//!
+//! // The seven sets from Figure 1 of the paper, over entities a..k = 0..10.
+//! let sets: Vec<Vec<u32>> = vec![
+//!     vec![0, 1, 2, 3],    // S1 = {a,b,c,d}
+//!     vec![0, 3, 4],       // S2 = {a,d,e}
+//!     vec![0, 1, 2, 3, 5], // S3 = {a,b,c,d,f}
+//!     vec![0, 1, 2, 6, 7], // S4 = {a,b,c,g,h}
+//!     vec![0, 1, 7, 8],    // S5 = {a,b,h,i}
+//!     vec![0, 1, 9, 10],   // S6 = {a,b,j,k}
+//!     vec![0, 1, 6],       // S7 = {a,b,g}
+//! ];
+//! let collection = Collection::from_raw_sets(sets).unwrap();
+//!
+//! // Build a decision tree with 2-step lookahead + pruning, AD cost metric.
+//! let mut strategy = KLp::<AvgDepth>::new(2);
+//! let tree = build_tree(&collection.full_view(), &mut strategy).unwrap();
+//! assert_eq!(tree.n_leaves(), 7);
+//! // The optimal average depth for 7 sets is 20/7 ≈ 2.857 (Lemma 3.3).
+//! assert_eq!(tree.total_depth(), 20);
+//!
+//! // Interactively discover S5 = {a,b,h,i} from the example {i}.
+//! let target = collection.set(SetId(4)).clone();
+//! let mut session = Session::new(&collection, &[EntityId(8)], strategy);
+//! let outcome = session.run(&mut SimulatedOracle::new(&target)).unwrap();
+//! assert_eq!(outcome.candidates, vec![SetId(4)]);
+//! ```
+//!
+//! # Layout
+//!
+//! * [`entity`], [`set`], [`collection`], [`subcollection`] — the data model:
+//!   interned entities, sorted sets, deduplicated collections with an
+//!   inverted index, and lightweight sub-collection views.
+//! * [`cost`] — the AD/H cost models and lower bounds of §3–4.1, in exact
+//!   integer arithmetic.
+//! * [`strategy`] — greedy entity selection: most-even partitioning,
+//!   information gain, indistinguishable pairs, 1-step lower bound (§4.2).
+//! * [`lookahead`] — **k-LP** (Algorithm 1) with the pruning rule of
+//!   Lemma 4.4, the beam variants k-LPLE / k-LPLVE (§4.4), and the unpruned
+//!   gain-k baseline.
+//! * [`tree`], [`builder`] — decision trees and offline construction
+//!   (Algorithm 3).
+//! * [`discovery`] — the interactive loop (Algorithm 2) with pluggable
+//!   oracles and halt conditions.
+//! * [`optimal`] — exact optimal trees by memoized branch-and-bound, for
+//!   ground truth on small collections.
+//! * [`ext`] — the paper's §6/§7 extensions: "don't know" answers, noisy
+//!   answers with backtracking recovery, non-uniform priors, and
+//!   multiple-choice questions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod collection;
+pub mod cost;
+pub mod discovery;
+pub mod entity;
+pub mod error;
+pub mod ext;
+pub mod io;
+pub mod lookahead;
+pub mod optimal;
+pub mod set;
+pub mod strategy;
+pub mod subcollection;
+pub mod transform;
+pub mod tree;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::builder::build_tree;
+    pub use crate::collection::{Collection, CollectionBuilder};
+    pub use crate::cost::{AvgDepth, CostModel, Height};
+    pub use crate::discovery::{Answer, Oracle, Session, SimulatedOracle};
+    pub use crate::entity::{EntityId, EntityInterner, SetId};
+    pub use crate::error::SetDiscError;
+    pub use crate::lookahead::{GainK, KLp, KLpBeam};
+    pub use crate::set::EntitySet;
+    pub use crate::strategy::{
+        IndistinguishablePairs, InfoGain, Lb1, MostEven, SelectionStrategy,
+    };
+    pub use crate::subcollection::SubCollection;
+    pub use crate::tree::DecisionTree;
+}
+
+pub use prelude::*;

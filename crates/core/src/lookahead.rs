@@ -1,0 +1,771 @@
+//! k-step lookahead entity selection with pruning (paper §4.3–4.4).
+//!
+//! [`KLp`] implements Algorithm 1 (*k-Lookahead with Pruning*) plus its two
+//! beam variants:
+//!
+//! * **k-LP** — all informative entities are candidates at every step;
+//! * **k-LPLE** — only the `q` most-even entities are candidates at every
+//!   step of the bound calculation (§4.4.2);
+//! * **k-LPLVE** — `q` candidates at the selection level, a *single*
+//!   candidate in every recursive step (§4.4.3).
+//!
+//! Pruning (Lemma 4.4) is applied in the two places §4.3.1 describes:
+//!
+//! 1. candidates are sorted by 1-step lower bound (≡ most-even first); the
+//!    scan stops at the first candidate whose `LB₁` already reaches the best
+//!    `LB_k` found (the paper's AFLV), pruning it and every later candidate;
+//! 2. recursive calls receive exclusive upper limits (eqs. 11–14); a child
+//!    that cannot beat its limit returns "pruned" and the candidate is
+//!    abandoned without computing the other child.
+//!
+//! Results are memoized per (sub-collection, k) with the exact cache
+//! semantics of Algorithm 1 lines 1–6: a negative entry `(None, b)` means
+//! "no entity here has `LB_k < b`" and only short-circuits callers whose
+//! limit is at most `b`.
+//!
+//! [`GainK`] is the unpruned k-step lookahead baseline in the style of
+//! Esmeir & Markovitch's *gain-k* — identical recursion, no sorting-based
+//! early exit, no upper limits, no memoization — used by the Figure 4
+//! speedup experiments.
+
+use crate::cost::{imbalance, lb1, Cost, CostModel, UNBOUNDED};
+use crate::entity::EntityId;
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::{CountScratch, SubCollection};
+use setdisc_util::{FxHashMap, FxHashSet};
+
+/// Candidate-limiting mode for [`KLp`] (§4.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KLpBeam {
+    /// k-LP: every informative entity is a candidate.
+    Full,
+    /// k-LPLE: the `q` most-even entities are candidates at every level.
+    Limited {
+        /// Beam width.
+        q: usize,
+    },
+    /// k-LPLVE: `q` candidates at the selection level, one in recursion.
+    LimitedVariable {
+        /// Beam width at the selection level.
+        q: usize,
+    },
+}
+
+impl KLpBeam {
+    fn width(self, is_top: bool) -> usize {
+        match self {
+            KLpBeam::Full => usize::MAX,
+            KLpBeam::Limited { q } => q,
+            KLpBeam::LimitedVariable { q } => {
+                if is_top {
+                    q
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Prune statistics for one selection node (one entry per decision-tree
+/// node / interactive question), reproducing Table 4.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NodeStats {
+    /// `|C|` at this node.
+    pub collection_size: u32,
+    /// Informative entities available at this node.
+    pub informative: u32,
+    /// Entities whose k-step bound computation was started.
+    pub evaluated: u32,
+}
+
+impl NodeStats {
+    /// Entities pruned outright at this node.
+    pub fn pruned(&self) -> u32 {
+        self.informative - self.evaluated
+    }
+
+    /// Fraction pruned in `[0, 1]`; 0 when there was nothing to prune.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.informative == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.informative as f64
+        }
+    }
+}
+
+/// Aggregated prune statistics across selection nodes.
+#[derive(Clone, Debug, Default)]
+pub struct PruneStats {
+    /// Per-node records in selection order.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl PruneStats {
+    /// Mean pruned fraction across nodes (Table 4 "Avg").
+    pub fn avg_pruned_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(NodeStats::pruned_fraction).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Minimum pruned fraction across nodes (Table 4 "Min").
+    pub fn min_pruned_fraction(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(NodeStats::pruned_fraction)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+}
+
+type CacheKey = (Box<[u32]>, u32, bool);
+
+#[derive(Copy, Clone)]
+struct CacheEntry {
+    entity: Option<EntityId>,
+    bound: Cost,
+}
+
+/// Algorithm 1: k-lookahead entity selection with pruning, generic over the
+/// cost metric `M` ([`crate::AvgDepth`] or [`crate::Height`]).
+pub struct KLp<M: CostModel> {
+    k: u32,
+    beam: KLpBeam,
+    cache: FxHashMap<CacheKey, CacheEntry>,
+    cache_token: u64,
+    scratch: CountScratch,
+    stats: PruneStats,
+    record_stats: bool,
+    _metric: std::marker::PhantomData<M>,
+}
+
+impl<M: CostModel> KLp<M> {
+    /// k-LP with the full candidate set. `k ≥ 1`; `k = 1` degenerates to the
+    /// 1-step lower bound (≡ InfoGain, Lemma 4.3).
+    pub fn new(k: u32) -> Self {
+        Self::with_beam(k, KLpBeam::Full)
+    }
+
+    /// k-LPLE: beam of `q` most-even candidates at every level.
+    pub fn limited(k: u32, q: usize) -> Self {
+        Self::with_beam(k, KLpBeam::Limited { q })
+    }
+
+    /// k-LPLVE: beam of `q` at the selection level, single candidate below.
+    pub fn limited_variable(k: u32, q: usize) -> Self {
+        Self::with_beam(k, KLpBeam::LimitedVariable { q })
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_beam(k: u32, beam: KLpBeam) -> Self {
+        assert!(k >= 1, "lookahead depth must be at least 1");
+        if let KLpBeam::Limited { q } | KLpBeam::LimitedVariable { q } = beam {
+            assert!(q >= 1, "beam width must be at least 1");
+        }
+        Self {
+            k,
+            beam,
+            cache: FxHashMap::default(),
+            cache_token: 0,
+            scratch: CountScratch::new(),
+            stats: PruneStats::default(),
+            record_stats: false,
+            _metric: std::marker::PhantomData,
+        }
+    }
+
+    /// Enables per-node prune statistics (Table 4). Off by default: the
+    /// record itself is cheap, but callers usually want a clean slate per
+    /// tree, which this forces them to think about.
+    pub fn record_stats(mut self, on: bool) -> Self {
+        self.record_stats = on;
+        self
+    }
+
+    /// Recorded prune statistics.
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+
+    /// Clears recorded statistics.
+    pub fn clear_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Number of memoized (sub-collection, k) entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops the memo cache (it is also dropped automatically when the
+    /// strategy is used on a different collection).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Lookahead depth `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The `LB_k` bound of the entity this strategy would select on `view`,
+    /// in scaled cost units — the quantity eq. (8) defines.
+    pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
+        self.prepare_for(view);
+        let excluded = FxHashSet::default();
+        let (e, l) = self.klp(view, self.k, UNBOUNDED, &excluded, true);
+        e.map(|e| (e, l))
+    }
+
+    fn prepare_for(&mut self, view: &SubCollection<'_>) {
+        let token = view.collection().token();
+        if token != self.cache_token {
+            self.cache.clear();
+            self.cache_token = token;
+        }
+    }
+
+    fn cache_key(view: &SubCollection<'_>, k: u32, is_top: bool) -> CacheKey {
+        let ids: Box<[u32]> = view.ids().iter().map(|s| s.0).collect();
+        (ids, k, is_top)
+    }
+
+    /// The recursive body of Algorithm 1. Returns `(entity, bound)`:
+    /// `entity` is the argmin when some candidate achieves `LB_k < ul`,
+    /// otherwise `None` with `bound` = the tightest bound knowledge (`ul`).
+    fn klp(
+        &mut self,
+        view: &SubCollection<'_>,
+        k: u32,
+        mut ul: Cost,
+        excluded: &FxHashSet<EntityId>,
+        is_top: bool,
+    ) -> (Option<EntityId>, Cost) {
+        let n = view.len() as u64;
+        if n <= 1 {
+            return (None, 0);
+        }
+
+        // Lines 1–6: cache probe. Skipped under exclusions — the cached
+        // answer may be an excluded entity.
+        let use_cache = excluded.is_empty();
+        let key = if use_cache {
+            let key = Self::cache_key(view, k, is_top);
+            if let Some(entry) = self.cache.get(&key) {
+                if ul <= entry.bound {
+                    return (None, entry.bound);
+                }
+                if entry.entity.is_some() {
+                    return (entry.entity, entry.bound);
+                }
+                // Negative entry with a smaller bound than our limit: the
+                // range [entry.bound, ul) is unexplored — recompute.
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        // Candidate list, most-even first (line 11); ties by entity id.
+        let inf = {
+            let mut inf = view.informative_entities(&mut self.scratch);
+            if !excluded.is_empty() {
+                inf.retain(|ec| !excluded.contains(&ec.entity));
+            }
+            inf
+        };
+        let informative_total = inf.len() as u32;
+        // Sort by (LB₁, imbalance, id). The paper sorts by most-even
+        // partitioning and notes the order coincides with LB₁ order — true
+        // for the real-valued `n·log₂n` but not for the ceiling version
+        // (e.g. n=35: a 16/19 split has ⌈16·log16⌉+⌈19·log19⌉ = 145 <
+        // 146 = the 17/18 split's, because 16 is a power of two). Sorting by
+        // LB₁ first keeps the early exit of lines 14–15 sound; imbalance
+        // remains the paper's tie-break.
+        let mut cand: Vec<(Cost, u64, EntityId, u64)> = inf
+            .into_iter()
+            .map(|ec| {
+                let n1 = ec.count as u64;
+                (lb1::<M>(n, n1), imbalance(n, n1), ec.entity, n1)
+            })
+            .collect();
+        cand.sort_unstable_by_key(|&(lb, imb, e, _)| (lb, imb, e));
+        cand.truncate(self.beam.width(is_top));
+
+        // Lines 7–10: base case — the minimal-LB₁ (most even) entity.
+        if k <= 1 {
+            let result = cand
+                .first()
+                .map(|&(lb, _, e, _)| (Some(e), lb))
+                .unwrap_or((None, 0));
+            if let (Some(key), (Some(_), _)) = (key, result) {
+                self.cache.insert(
+                    key,
+                    CacheEntry {
+                        entity: result.0,
+                        bound: result.1,
+                    },
+                );
+            }
+            if is_top && self.record_stats {
+                self.stats.nodes.push(NodeStats {
+                    collection_size: n as u32,
+                    informative: informative_total,
+                    evaluated: informative_total.min(cand.len() as u32),
+                });
+            }
+            return result;
+        }
+
+        let mut best: Option<EntityId> = None;
+        let mut evaluated: u32 = 0;
+        // Distinct entities often induce the *same* partition (entities with
+        // identical membership across the candidate sets — ubiquitous when
+        // sets are query outputs). Identical partitions have identical
+        // bounds, and the first entity in sort order wins ties either way,
+        // so duplicates can be skipped without changing the selection.
+        let mut seen_partitions: FxHashSet<Box<[u32]>> = FxHashSet::default();
+
+        for &(lb_1, _, e, n1) in &cand {
+            let n2 = n - n1;
+            // Lines 14–15: sorted early exit — prunes e and every candidate
+            // after it (Lemma 4.4 with l = 1).
+            if lb_1 >= ul {
+                break;
+            }
+            evaluated += 1;
+            let (cpos, cneg) = view.partition(e);
+            debug_assert_eq!(cpos.len() as u64, n1);
+            let partition_key: Box<[u32]> = cpos.ids().iter().map(|s| s.0).collect();
+            if !seen_partitions.insert(partition_key) {
+                continue; // same split as an earlier (preferred) entity
+            }
+
+            // Lines 18–25: bound the positive side.
+            let l_pos = if n1 == 1 {
+                0
+            } else {
+                let Some(ul_pos) = M::ul_first(ul, n, M::lb0(n2)) else {
+                    continue;
+                };
+                match self.klp(&cpos, k - 1, ul_pos, excluded, false) {
+                    (Some(_), l) => l,
+                    (None, _) => continue, // pruned (lines 24–25)
+                }
+            };
+
+            // Lines 26–32: bound the negative side with the tightened limit.
+            let l_neg = if n2 == 1 {
+                0
+            } else {
+                let Some(ul_neg) = M::ul_second(ul, n, l_pos) else {
+                    continue;
+                };
+                match self.klp(&cneg, k - 1, ul_neg, excluded, false) {
+                    (Some(_), l) => l,
+                    (None, _) => continue,
+                }
+            };
+
+            // Lines 33–36.
+            let l = M::combine(n, l_pos, l_neg);
+            if l < ul {
+                ul = l;
+                best = Some(e);
+            }
+        }
+
+        if let Some(key) = key {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    entity: best,
+                    bound: ul,
+                },
+            );
+        }
+        if is_top && self.record_stats {
+            self.stats.nodes.push(NodeStats {
+                collection_size: n as u32,
+                informative: informative_total,
+                evaluated,
+            });
+        }
+        (best, ul)
+    }
+}
+
+impl<M: CostModel> SelectionStrategy for KLp<M> {
+    fn name(&self) -> String {
+        match self.beam {
+            KLpBeam::Full => format!("k-LP(k={},{})", self.k, M::NAME),
+            KLpBeam::Limited { q } => format!("k-LPLE(k={},q={},{})", self.k, q, M::NAME),
+            KLpBeam::LimitedVariable { q } => {
+                format!("k-LPLVE(k={},q={},{})", self.k, q, M::NAME)
+            }
+        }
+    }
+
+    fn select_excluding(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<EntityId> {
+        if view.len() < 2 {
+            return None;
+        }
+        self.prepare_for(view);
+        let (entity, _) = self.klp(view, self.k, UNBOUNDED, excluded, true);
+        entity
+    }
+}
+
+/// Unpruned k-step lookahead (the *gain-k* baseline of Esmeir &
+/// Markovitch): identical bound recursion, but every informative entity is
+/// fully evaluated at every level — no early exit, no upper limits, no
+/// memoization. Runtime is `O(mᵏ·n)`; use only on small inputs.
+pub struct GainK<M: CostModel> {
+    k: u32,
+    scratch: CountScratch,
+    _metric: std::marker::PhantomData<M>,
+}
+
+impl<M: CostModel> GainK<M> {
+    /// New instance with lookahead depth `k ≥ 1`.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1);
+        Self {
+            k,
+            scratch: CountScratch::new(),
+            _metric: std::marker::PhantomData,
+        }
+    }
+
+    /// The exact `LB_k` minimum over all entities (for equivalence tests
+    /// against [`KLp`]).
+    pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
+        let r = self.rec(view, self.k);
+        r.0.map(|e| (e, r.1))
+    }
+
+    fn rec(&mut self, view: &SubCollection<'_>, k: u32) -> (Option<EntityId>, Cost) {
+        let n = view.len() as u64;
+        if n <= 1 {
+            return (None, 0);
+        }
+        let inf = view.informative_entities(&mut self.scratch);
+        let mut cand: Vec<(Cost, u64, EntityId, u64)> = inf
+            .into_iter()
+            .map(|ec| {
+                let n1 = ec.count as u64;
+                (lb1::<M>(n, n1), imbalance(n, n1), ec.entity, n1)
+            })
+            .collect();
+        // Same deterministic order as KLp so both make identical choices on
+        // ties — but with NO early exit below.
+        cand.sort_unstable_by_key(|&(lb, imb, e, _)| (lb, imb, e));
+
+        if k <= 1 {
+            return cand
+                .first()
+                .map(|&(lb, _, e, _)| (Some(e), lb))
+                .unwrap_or((None, 0));
+        }
+
+        let mut best: Option<EntityId> = None;
+        let mut best_cost = UNBOUNDED;
+        for &(_, _, e, n1) in &cand {
+            let n2 = n - n1;
+            let (cpos, cneg) = view.partition(e);
+            let l_pos = if n1 == 1 { 0 } else { self.rec(&cpos, k - 1).1 };
+            let l_neg = if n2 == 1 { 0 } else { self.rec(&cneg, k - 1).1 };
+            let l = M::combine(n, l_pos, l_neg);
+            if l < best_cost {
+                best_cost = l;
+                best = Some(e);
+            }
+        }
+        (best, best_cost)
+    }
+}
+
+impl<M: CostModel> SelectionStrategy for GainK<M> {
+    fn name(&self) -> String {
+        format!("gain-k(k={},{})", self.k, M::NAME)
+    }
+
+    fn select_excluding(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<EntityId> {
+        if view.len() < 2 {
+            return None;
+        }
+        if excluded.is_empty() {
+            return self.rec(view, self.k).0;
+        }
+        // Exclusions are rare (the "don't know" path); filter by re-ranking.
+        let inf = view.informative_entities(&mut self.scratch);
+        let allowed: Vec<EntityId> = inf
+            .iter()
+            .map(|ec| ec.entity)
+            .filter(|e| !excluded.contains(e))
+            .collect();
+        if allowed.is_empty() {
+            return None;
+        }
+        let n = view.len() as u64;
+        let mut best: Option<(Cost, u64, EntityId)> = None;
+        for &e in &allowed {
+            let (cpos, cneg) = view.partition(e);
+            let (n1, n2) = (cpos.len() as u64, cneg.len() as u64);
+            let l_pos = if n1 <= 1 { 0 } else { self.rec(&cpos, self.k - 1).1 };
+            let l_neg = if n2 <= 1 { 0 } else { self.rec(&cneg, self.k - 1).1 };
+            let l = M::combine(n, l_pos, l_neg);
+            let key = (l, imbalance(n, n1), e);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::cost::{AvgDepth, Height};
+    use crate::entity::SetId;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    /// §4.3 worked example, collection C2: same sets except
+    /// S1 = {a,b,c} and S4 = {a,b,c,d,g,h}.
+    fn section_4_3_c2() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 3, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_c1_three_step_height_bound() {
+        // §4.3: with H and k=3 on Figure 1's collection, LB_H3(C1, d) = 3.
+        let c = figure1();
+        let v = c.full_view();
+        let mut klp = KLp::<Height>::new(3);
+        let (e, l) = klp.bound(&v).unwrap();
+        assert_eq!(l, 3, "optimal 3-step height bound");
+        // c ties d on LB₁ (both split 3/4) but only reaches height 4 at
+        // three steps; d roots the optimal height-3 tree of Fig 2a.
+        assert_eq!(e, EntityId(3));
+    }
+
+    #[test]
+    fn paper_example_c2_three_step_height_is_four() {
+        // §4.3: in C2, LB_H3(C2, d) = 4 — no tree of height 3 rooted at any
+        // entity... the best 3-step bound over all entities is 4.
+        let c = section_4_3_c2();
+        let v = c.full_view();
+        let mut klp = KLp::<Height>::new(3);
+        let (_, l) = klp.bound(&v).unwrap();
+        assert_eq!(l, 4);
+    }
+
+    #[test]
+    fn klp_equals_gaink_bound_on_small_collections() {
+        // Pruning must not change the computed minimum (Lemma 4.4 safety).
+        let collections = vec![
+            figure1(),
+            section_4_3_c2(),
+            Collection::from_raw_sets(vec![
+                vec![1, 2, 3, 4],
+                vec![2, 3, 4, 5],
+                vec![3, 4, 5, 6],
+                vec![1, 3, 5],
+                vec![2, 4, 6],
+                vec![1, 6],
+            ])
+            .unwrap(),
+        ];
+        for c in &collections {
+            let v = c.full_view();
+            for k in 1..=4 {
+                let ad_klp = KLp::<AvgDepth>::new(k).bound(&v).unwrap();
+                let ad_ref = GainK::<AvgDepth>::new(k).bound(&v).unwrap();
+                assert_eq!(ad_klp.1, ad_ref.1, "AD bound, k={k}");
+                assert_eq!(ad_klp.0, ad_ref.0, "AD argmin, k={k}");
+                let h_klp = KLp::<Height>::new(k).bound(&v).unwrap();
+                let h_ref = GainK::<Height>::new(k).bound(&v).unwrap();
+                assert_eq!(h_klp.1, h_ref.1, "H bound, k={k}");
+                assert_eq!(h_klp.0, h_ref.0, "H argmin, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_k() {
+        // Lemma 4.1: LB_k(C) is non-decreasing in k.
+        let c = section_4_3_c2();
+        let v = c.full_view();
+        let mut prev_ad = 0;
+        let mut prev_h = 0;
+        for k in 1..=5 {
+            let (_, ad) = KLp::<AvgDepth>::new(k).bound(&v).unwrap();
+            let (_, h) = KLp::<Height>::new(k).bound(&v).unwrap();
+            assert!(ad >= prev_ad, "AD k={k}: {ad} < {prev_ad}");
+            assert!(h >= prev_h, "H k={k}: {h} < {prev_h}");
+            prev_ad = ad;
+            prev_h = h;
+        }
+    }
+
+    #[test]
+    fn k1_matches_lb1_of_most_even_entity() {
+        let c = figure1();
+        let v = c.full_view();
+        let (e, l) = KLp::<AvgDepth>::new(1).bound(&v).unwrap();
+        assert_eq!(e, EntityId(2)); // most even (3/4), id tie-break
+        assert_eq!(l, lb1::<AvgDepth>(7, 3));
+    }
+
+    #[test]
+    fn beams_cover_spectrum() {
+        // With q = m the beam variants coincide with full k-LP; with q = 1
+        // they still return a valid informative entity.
+        let c = figure1();
+        let v = c.full_view();
+        let full = KLp::<AvgDepth>::new(3).bound(&v).unwrap();
+        let wide = KLp::<AvgDepth>::limited(3, 1000).bound(&v).unwrap();
+        assert_eq!(full, wide);
+        let narrow = KLp::<AvgDepth>::limited(3, 1).bound(&v).unwrap();
+        assert!(narrow.1 >= full.1, "beam bound can only be looser");
+        let lve = KLp::<AvgDepth>::limited_variable(3, 10).select(&v.clone());
+        assert!(lve.is_some());
+    }
+
+    #[test]
+    fn cache_reuse_is_consistent() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut klp = KLp::<AvgDepth>::new(3);
+        let first = klp.bound(&v).unwrap();
+        assert!(klp.cache_len() > 0);
+        let second = klp.bound(&v).unwrap();
+        assert_eq!(first, second, "cached result must match");
+    }
+
+    #[test]
+    fn cache_invalidated_across_collections() {
+        let c1 = figure1();
+        let c2 = section_4_3_c2();
+        let mut klp = KLp::<Height>::new(3);
+        let b1 = klp.bound(&c1.full_view()).unwrap();
+        let b2 = klp.bound(&c2.full_view()).unwrap();
+        assert_eq!(b1.1, 3);
+        assert_eq!(b2.1, 4);
+        // And back again — the token check must clear, not poison.
+        let b1_again = klp.bound(&c1.full_view()).unwrap();
+        assert_eq!(b1, b1_again);
+    }
+
+    #[test]
+    fn prune_stats_record_per_selection() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut klp = KLp::<Height>::new(3).record_stats(true);
+        let _ = klp.select(&v);
+        assert_eq!(klp.stats().nodes.len(), 1);
+        let node = klp.stats().nodes[0];
+        assert_eq!(node.collection_size, 7);
+        assert_eq!(node.informative, 10);
+        assert!(node.evaluated >= 1);
+        assert!(node.evaluated <= node.informative);
+        // §4.3: after computing LB_H3(C1, c) = 3, every other entity has
+        // LB_H1 ≥ 3 → pruned. Only c (and possibly d, tied LB1) evaluated.
+        assert!(
+            node.pruned() >= 8,
+            "expected heavy pruning, evaluated={}",
+            node.evaluated
+        );
+    }
+
+    #[test]
+    fn selects_none_on_trivial_views() {
+        let c = figure1();
+        let mut klp = KLp::<AvgDepth>::new(2);
+        let v1 = crate::subcollection::SubCollection::from_ids(&c, vec![SetId(3)]);
+        assert_eq!(klp.select(&v1), None);
+    }
+
+    #[test]
+    fn exclusions_respected_and_bypass_cache() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut klp = KLp::<AvgDepth>::new(2);
+        let first = klp.select(&v).unwrap();
+        let mut excluded = FxHashSet::default();
+        excluded.insert(first);
+        let second = klp.select_excluding(&v, &excluded).unwrap();
+        assert_ne!(first, second);
+        // Cached positive entry for the full view must still return the
+        // original pick when exclusions are lifted.
+        assert_eq!(klp.select(&v), Some(first));
+    }
+
+    #[test]
+    fn gaink_handles_exclusions() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut g = GainK::<AvgDepth>::new(2);
+        let first = g.select(&v).unwrap();
+        let mut excluded = FxHashSet::default();
+        excluded.insert(first);
+        let second = g.select_excluding(&v, &excluded).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn names_identify_configuration() {
+        assert_eq!(KLp::<AvgDepth>::new(2).name(), "k-LP(k=2,AD)");
+        assert_eq!(KLp::<Height>::limited(3, 10).name(), "k-LPLE(k=3,q=10,H)");
+        assert_eq!(
+            KLp::<AvgDepth>::limited_variable(3, 10).name(),
+            "k-LPLVE(k=3,q=10,AD)"
+        );
+        assert_eq!(GainK::<Height>::new(2).name(), "gain-k(k=2,H)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        let _ = KLp::<AvgDepth>::new(0);
+    }
+}

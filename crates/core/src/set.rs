@@ -1,0 +1,196 @@
+//! Sorted, deduplicated entity sets.
+//!
+//! Sets are stored as sorted boxed slices of [`EntityId`]: two words of
+//! overhead, cache-friendly scans, `O(log s)` membership, and `O(s₁+s₂)`
+//! merge-based set algebra — the only operations the discovery algorithms
+//! need.
+
+use crate::entity::EntityId;
+
+/// An immutable set of entities, stored sorted and deduplicated.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct EntitySet {
+    elems: Box<[EntityId]>,
+}
+
+impl EntitySet {
+    /// Builds a set from any iterator of ids (sorts and deduplicates).
+    /// Intentionally shadows `FromIterator::from_iter` (the trait impl
+    /// delegates here); the inherent name reads better at call sites.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(iter: impl IntoIterator<Item = EntityId>) -> Self {
+        let mut v: Vec<EntityId> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Self {
+            elems: v.into_boxed_slice(),
+        }
+    }
+
+    /// Builds from raw `u32` ids (convenience for tests and loaders).
+    pub fn from_raw(iter: impl IntoIterator<Item = u32>) -> Self {
+        Self::from_iter(iter.into_iter().map(EntityId))
+    }
+
+    /// Wraps a vector that the caller guarantees is sorted and deduplicated.
+    /// Verified with a debug assertion.
+    pub fn from_sorted_unchecked(v: Vec<EntityId>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        Self {
+            elems: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test in `O(log s)`.
+    #[inline]
+    pub fn contains(&self, e: EntityId) -> bool {
+        self.elems.binary_search(&e).is_ok()
+    }
+
+    /// Elements in increasing order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.elems.iter().copied()
+    }
+
+    /// The sorted elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[EntityId] {
+        &self.elems
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &EntitySet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut oi = other.elems.iter();
+        'outer: for &e in self.elems.iter() {
+            for &o in oi.by_ref() {
+                match o.cmp(&e) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Size of the intersection, by sorted merge.
+    pub fn intersection_size(&self, other: &EntitySet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Jaccard similarity `|A∩B| / |A∪B|`; 1.0 for two empty sets.
+    pub fn jaccard(&self, other: &EntitySet) -> f64 {
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for EntitySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.elems.iter().map(|e| e.0)).finish()
+    }
+}
+
+impl FromIterator<EntityId> for EntitySet {
+    fn from_iter<T: IntoIterator<Item = EntityId>>(iter: T) -> Self {
+        Self::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u32]) -> EntitySet {
+        EntitySet::from_raw(v.iter().copied())
+    }
+
+    #[test]
+    fn sorts_and_dedups() {
+        let set = s(&[3, 1, 2, 3, 1]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let set = s(&[10, 20, 30]);
+        assert!(set.contains(EntityId(20)));
+        assert!(!set.contains(EntityId(25)));
+        assert!(!s(&[]).contains(EntityId(0)));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(s(&[1, 3]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(s(&[]).is_subset_of(&s(&[1])));
+        assert!(!s(&[1, 4]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(!s(&[1, 2, 3]).is_subset_of(&s(&[1, 2])));
+        assert!(s(&[5]).is_subset_of(&s(&[5])));
+        assert!(!s(&[0]).is_subset_of(&s(&[1, 2])));
+    }
+
+    #[test]
+    fn intersection_sizes() {
+        assert_eq!(s(&[1, 2, 3]).intersection_size(&s(&[2, 3, 4])), 2);
+        assert_eq!(s(&[1]).intersection_size(&s(&[2])), 0);
+        assert_eq!(s(&[]).intersection_size(&s(&[1])), 0);
+        assert_eq!(s(&[1, 5, 9]).intersection_size(&s(&[1, 5, 9])), 3);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        assert!((s(&[1, 2]).jaccard(&s(&[2, 3])) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s(&[]).jaccard(&s(&[])), 1.0);
+        assert_eq!(s(&[1]).jaccard(&s(&[2])), 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_input_order() {
+        assert_eq!(s(&[1, 2, 3]), s(&[3, 2, 1]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not sorted")]
+    fn unchecked_ctor_checks_in_debug() {
+        EntitySet::from_sorted_unchecked(vec![EntityId(2), EntityId(1)]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Lightweight views over a subset of a collection's sets.
+//!
+//! Every step of the search — tree construction, lookahead recursion,
+//! interactive filtering — operates on some subset of the sets. A
+//! [`SubCollection`] is just a borrowed collection plus a sorted vector of
+//! set ids, cheap to split and clone.
+//!
+//! Entity counting is the innermost hot loop (it runs at every node of every
+//! lookahead), so it writes into a reusable [`CountScratch`] buffer indexed
+//! by entity id instead of allocating a hash map per call; the buffer resets
+//! itself through a touched-list in `O(distinct entities)`.
+
+use crate::collection::Collection;
+use crate::entity::{EntityId, SetId};
+
+/// A view over a sorted subset of sets in a [`Collection`].
+#[derive(Clone)]
+pub struct SubCollection<'c> {
+    collection: &'c Collection,
+    ids: Vec<SetId>,
+}
+
+/// Occurrence statistics for one entity within a sub-collection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EntityCount {
+    /// The entity.
+    pub entity: EntityId,
+    /// Number of sets in the sub-collection containing it (`|C⁺|`).
+    pub count: u32,
+}
+
+impl<'c> SubCollection<'c> {
+    /// View over the entire collection.
+    pub fn full(collection: &'c Collection) -> Self {
+        Self {
+            ids: (0..collection.len() as u32).map(SetId).collect(),
+            collection,
+        }
+    }
+
+    /// View over the given ids. Sorts and deduplicates them; panics on an id
+    /// out of range (programmer error, not data error).
+    pub fn from_ids(collection: &'c Collection, mut ids: Vec<SetId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        if let Some(last) = ids.last() {
+            assert!(
+                (last.0 as usize) < collection.len(),
+                "set id {last} out of range"
+            );
+        }
+        Self { collection, ids }
+    }
+
+    /// Internal constructor for ids that are already sorted and in range.
+    pub(crate) fn from_sorted_unchecked(collection: &'c Collection, ids: Vec<SetId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        Self { collection, ids }
+    }
+
+    /// The underlying collection.
+    #[inline]
+    pub fn collection(&self) -> &'c Collection {
+        self.collection
+    }
+
+    /// Sorted ids of the member sets.
+    #[inline]
+    pub fn ids(&self) -> &[SetId] {
+        &self.ids
+    }
+
+    /// Number of member sets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the view holds no sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Counts, for every entity occurring in the view, how many member sets
+    /// contain it. Appends results to `out` in first-touched order
+    /// (deterministic); resets `scratch` before returning.
+    pub fn count_entities(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
+        scratch.ensure(self.collection.universe());
+        for &id in &self.ids {
+            for e in self.collection.set(id).iter() {
+                let slot = &mut scratch.counts[e.0 as usize];
+                if *slot == 0 {
+                    scratch.touched.push(e);
+                }
+                *slot += 1;
+            }
+        }
+        out.reserve(scratch.touched.len());
+        for &e in &scratch.touched {
+            out.push(EntityCount {
+                entity: e,
+                count: scratch.counts[e.0 as usize],
+            });
+            scratch.counts[e.0 as usize] = 0;
+        }
+        scratch.touched.clear();
+    }
+
+    /// Informative entities: present in at least one member set but not in
+    /// all (§3). Sorted by entity id for determinism.
+    pub fn informative_entities(&self, scratch: &mut CountScratch) -> Vec<EntityCount> {
+        let n = self.ids.len() as u32;
+        let mut all = Vec::new();
+        self.count_entities(scratch, &mut all);
+        let mut out: Vec<EntityCount> = all.into_iter().filter(|ec| ec.count < n).collect();
+        out.sort_unstable_by_key(|ec| ec.entity);
+        out
+    }
+
+    /// Splits the view on entity `e`: `(C⁺, C⁻)` where `C⁺` holds the sets
+    /// containing `e`. Uses a sorted merge against the inverted index, so the
+    /// cost is `O(|C| + |sets containing e|)`.
+    pub fn partition(&self, e: EntityId) -> (SubCollection<'c>, SubCollection<'c>) {
+        let list = self.collection.sets_containing(e);
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        let mut li = 0usize;
+        for &id in &self.ids {
+            while li < list.len() && list[li] < id {
+                li += 1;
+            }
+            if li < list.len() && list[li] == id {
+                yes.push(id);
+            } else {
+                no.push(id);
+            }
+        }
+        (
+            SubCollection::from_sorted_unchecked(self.collection, yes),
+            SubCollection::from_sorted_unchecked(self.collection, no),
+        )
+    }
+
+    /// Retains only the member sets for which `keep` returns true.
+    pub fn filter(&self, mut keep: impl FnMut(SetId) -> bool) -> SubCollection<'c> {
+        SubCollection::from_sorted_unchecked(
+            self.collection,
+            self.ids.iter().copied().filter(|&id| keep(id)).collect(),
+        )
+    }
+
+    /// Total number of elements across member sets (the work unit of one
+    /// counting pass — useful for complexity assertions in benches).
+    pub fn total_elements(&self) -> usize {
+        self.ids
+            .iter()
+            .map(|&id| self.collection.set(id).len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SubCollection<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubCollection({} sets)", self.ids.len())
+    }
+}
+
+/// Reusable counting buffer: entity-indexed counters plus a touched list so
+/// reset is proportional to the entities seen, not the universe.
+#[derive(Default)]
+pub struct CountScratch {
+    counts: Vec<u32>,
+    touched: Vec<EntityId>,
+}
+
+impl CountScratch {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, universe: u32) {
+        if self.counts.len() < universe as usize {
+            self.counts.resize(universe as usize, 0);
+        }
+        debug_assert!(self.touched.is_empty(), "scratch not reset");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_view_covers_all() {
+        let c = figure1();
+        let v = c.full_view();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.total_elements(), 4 + 3 + 5 + 5 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn counts_match_inverted_index() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut scratch = CountScratch::new();
+        let mut counts = Vec::new();
+        v.count_entities(&mut scratch, &mut counts);
+        for ec in &counts {
+            assert_eq!(
+                ec.count as usize,
+                c.sets_containing(ec.entity).len(),
+                "entity {}",
+                ec.entity
+            );
+        }
+        // Scratch must be fully reset for reuse.
+        let mut counts2 = Vec::new();
+        v.count_entities(&mut scratch, &mut counts2);
+        assert_eq!(counts, counts2);
+    }
+
+    #[test]
+    fn informative_excludes_universal_entity() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut scratch = CountScratch::new();
+        let inf = v.informative_entities(&mut scratch);
+        // Entity a=0 is in all seven sets → uninformative (Example 3.1).
+        assert!(inf.iter().all(|ec| ec.entity != EntityId(0)));
+        // b..k are all informative: 10 of them.
+        assert_eq!(inf.len(), 10);
+    }
+
+    #[test]
+    fn partition_on_d_matches_paper() {
+        // Fig 2a: d splits into {S1,S2,S3} and {S4..S7}.
+        let c = figure1();
+        let (yes, no) = c.full_view().partition(EntityId(3));
+        assert_eq!(yes.ids(), &[SetId(0), SetId(1), SetId(2)]);
+        assert_eq!(no.ids(), &[SetId(3), SetId(4), SetId(5), SetId(6)]);
+    }
+
+    #[test]
+    fn partition_of_subview() {
+        let c = figure1();
+        let v = SubCollection::from_ids(&c, vec![SetId(0), SetId(3), SetId(4)]);
+        // g=6 is in S4 and S7; within this view only S4.
+        let (yes, no) = v.partition(EntityId(6));
+        assert_eq!(yes.ids(), &[SetId(3)]);
+        assert_eq!(no.ids(), &[SetId(0), SetId(4)]);
+    }
+
+    #[test]
+    fn partition_on_absent_entity() {
+        let c = figure1();
+        let (yes, no) = c.full_view().partition(EntityId(999));
+        assert!(yes.is_empty());
+        assert_eq!(no.len(), 7);
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let c = figure1();
+        let v = SubCollection::from_ids(&c, vec![SetId(4), SetId(1), SetId(4)]);
+        assert_eq!(v.ids(), &[SetId(1), SetId(4)]);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let c = figure1();
+        let v = c.full_view().filter(|id| id.0 % 2 == 0);
+        assert_eq!(v.ids(), &[SetId(0), SetId(2), SetId(4), SetId(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ids_checks_range() {
+        let c = figure1();
+        SubCollection::from_ids(&c, vec![SetId(7)]);
+    }
+
+    #[test]
+    fn informative_on_two_unique_sets_is_nonempty() {
+        // Any two distinct sets must expose at least one informative entity
+        // (their symmetric difference) — the invariant that guarantees tree
+        // construction terminates.
+        let c = Collection::from_raw_sets(vec![vec![1, 2], vec![1, 3]]).unwrap();
+        let mut scratch = CountScratch::new();
+        let inf = c.full_view().informative_entities(&mut scratch);
+        assert!(!inf.is_empty());
+    }
+}

@@ -1,0 +1,659 @@
+//! Full binary decision trees over a collection of sets (paper §3).
+//!
+//! Leaves hold candidate sets; internal nodes hold membership questions.
+//! The tree is arena-allocated (`Vec<Node>` + indices) and every traversal
+//! is iterative, so trees of pathological height (up to `n − 1` for disjoint
+//! sets) cannot overflow the stack.
+
+use crate::collection::Collection;
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::subcollection::SubCollection;
+use setdisc_util::FxHashSet;
+
+/// Node index within a [`DecisionTree`] arena.
+pub type NodeId = u32;
+
+/// A tree node: either a leaf naming a candidate set, or an internal
+/// membership question with yes/no children.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// Terminal node holding the discovered set.
+    Leaf {
+        /// The candidate set at this leaf.
+        set: SetId,
+    },
+    /// A membership question about `entity`.
+    Internal {
+        /// The entity asked about.
+        entity: EntityId,
+        /// Child followed on a "yes" answer.
+        yes: NodeId,
+        /// Child followed on a "no" answer.
+        no: NodeId,
+    },
+}
+
+/// A full binary decision tree.
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+/// Result of oracle-driven traversal of a precomputed tree
+/// ([`DecisionTree::discover`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeDiscovery {
+    /// Surviving candidate sets (one element = resolved).
+    pub candidates: Vec<SetId>,
+    /// Yes/no questions answered.
+    pub questions: usize,
+}
+
+impl TreeDiscovery {
+    /// The discovered set when traversal reached a leaf.
+    pub fn discovered(&self) -> Option<SetId> {
+        match self.candidates.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Builds from a node arena and root index (used by the builder).
+    pub(crate) fn from_parts(nodes: Vec<Node>, root: NodeId) -> Self {
+        debug_assert!((root as usize) < nodes.len());
+        Self { nodes, root }
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Total node count (`2·leaves − 1` for a full binary tree).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of internal (question) nodes.
+    pub fn n_internal(&self) -> usize {
+        self.nodes.len() - self.n_leaves()
+    }
+
+    /// `(set, depth)` for every leaf, in left-to-right (yes-first) order.
+    pub fn leaf_depths(&self) -> Vec<(SetId, u32)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, 0u32)];
+        while let Some((id, depth)) = stack.pop() {
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => out.push((set, depth)),
+                Node::Internal { yes, no, .. } => {
+                    stack.push((no, depth + 1));
+                    stack.push((yes, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of leaf depths — the scaled AD cost (Definition 3.2 × |C|).
+    pub fn total_depth(&self) -> u64 {
+        self.leaf_depths().iter().map(|&(_, d)| d as u64).sum()
+    }
+
+    /// Average leaf depth — the paper's `cost(T)` under AD.
+    pub fn avg_depth(&self) -> f64 {
+        let leaves = self.n_leaves();
+        if leaves == 0 {
+            0.0
+        } else {
+            self.total_depth() as f64 / leaves as f64
+        }
+    }
+
+    /// Height — the paper's `cost(T)` under H (depth of the deepest leaf).
+    pub fn height(&self) -> u32 {
+        self.leaf_depths().iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Depth of the leaf holding `set`, if present.
+    pub fn depth_of(&self, set: SetId) -> Option<u32> {
+        self.leaf_depths()
+            .into_iter()
+            .find(|&(s, _)| s == set)
+            .map(|(_, d)| d)
+    }
+
+    /// The question/answer path from the root to `set`'s leaf.
+    pub fn path_to(&self, set: SetId) -> Option<Vec<(EntityId, bool)>> {
+        // Iterative DFS carrying the path; paths are short (≤ height) but
+        // the traversal itself must not recurse.
+        let mut stack = vec![(self.root, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            match self.nodes[id as usize] {
+                Node::Leaf { set: s } => {
+                    if s == set {
+                        return Some(path);
+                    }
+                }
+                Node::Internal { entity, yes, no } => {
+                    let mut yes_path = path.clone();
+                    yes_path.push((entity, true));
+                    let mut no_path = path;
+                    no_path.push((entity, false));
+                    stack.push((no, no_path));
+                    stack.push((yes, yes_path));
+                }
+            }
+        }
+        None
+    }
+
+    /// Structural + semantic validation against the sub-collection the tree
+    /// was built for:
+    ///
+    /// * every node is reachable exactly once (proper tree, no sharing);
+    /// * the leaves are exactly `view.ids()`, each once;
+    /// * every leaf's set is consistent with its root path (contains every
+    ///   yes-entity, no no-entity) — i.e. the tree really discovers it.
+    pub fn validate(&self, view: &SubCollection<'_>) -> Result<()> {
+        let collection = view.collection();
+        let mut seen_nodes = vec![false; self.nodes.len()];
+        let mut leaf_sets: Vec<SetId> = Vec::new();
+        let mut stack: Vec<(NodeId, Vec<(EntityId, bool)>)> = vec![(self.root, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            let slot = seen_nodes
+                .get_mut(id as usize)
+                .ok_or_else(|| SetDiscError::InvalidTree(format!("node id {id} out of range")))?;
+            if *slot {
+                return Err(SetDiscError::InvalidTree(format!(
+                    "node {id} reachable twice"
+                )));
+            }
+            *slot = true;
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => {
+                    let s = collection.try_set(set)?;
+                    for &(e, must_contain) in &path {
+                        if s.contains(e) != must_contain {
+                            return Err(SetDiscError::InvalidTree(format!(
+                                "leaf {set} inconsistent with path on {e}"
+                            )));
+                        }
+                    }
+                    leaf_sets.push(set);
+                }
+                Node::Internal { entity, yes, no } => {
+                    if yes == no {
+                        return Err(SetDiscError::InvalidTree(format!(
+                            "node {id} children collide"
+                        )));
+                    }
+                    let mut yes_path = path.clone();
+                    yes_path.push((entity, true));
+                    let mut no_path = path;
+                    no_path.push((entity, false));
+                    stack.push((no, no_path));
+                    stack.push((yes, yes_path));
+                }
+            }
+        }
+        if !seen_nodes.iter().all(|&s| s) {
+            return Err(SetDiscError::InvalidTree("orphan nodes in arena".into()));
+        }
+        leaf_sets.sort_unstable();
+        if leaf_sets != view.ids() {
+            return Err(SetDiscError::InvalidTree(
+                "leaves do not match the collection".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Follows the tree with a live oracle — the §4.5 offline-construction
+    /// mode: the tree is built once, discovery asks only the questions on a
+    /// single root-to-leaf path. An [`crate::discovery::Answer::Unknown`]
+    /// reply cannot be rerouted in a fixed tree, so traversal stops and all
+    /// leaves under the current node are returned as the surviving
+    /// candidates.
+    pub fn discover(&self, oracle: &mut dyn crate::discovery::Oracle) -> TreeDiscovery {
+        use crate::discovery::Answer;
+        let mut id = self.root;
+        let mut questions = 0usize;
+        loop {
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => {
+                    return TreeDiscovery {
+                        candidates: vec![set],
+                        questions,
+                    }
+                }
+                Node::Internal { entity, yes, no } => match oracle.answer(entity) {
+                    Answer::Yes => {
+                        questions += 1;
+                        id = yes;
+                    }
+                    Answer::No => {
+                        questions += 1;
+                        id = no;
+                    }
+                    Answer::Unknown => {
+                        let mut candidates: Vec<SetId> = Vec::new();
+                        let mut stack = vec![id];
+                        while let Some(nid) = stack.pop() {
+                            match self.nodes[nid as usize] {
+                                Node::Leaf { set } => candidates.push(set),
+                                Node::Internal { yes, no, .. } => {
+                                    stack.push(no);
+                                    stack.push(yes);
+                                }
+                            }
+                        }
+                        candidates.sort_unstable();
+                        return TreeDiscovery {
+                            candidates,
+                            questions,
+                        };
+                    }
+                },
+            }
+        }
+    }
+
+    /// Simulates answering questions for `target`, returning the number of
+    /// questions to reach a leaf and the leaf's set.
+    pub fn descend(&self, collection: &Collection, target: &crate::set::EntitySet) -> (u32, SetId) {
+        let _ = collection;
+        let mut id = self.root;
+        let mut questions = 0;
+        loop {
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => return (questions, set),
+                Node::Internal { entity, yes, no } => {
+                    questions += 1;
+                    id = if target.contains(entity) { yes } else { no };
+                }
+            }
+        }
+    }
+
+    /// Serializes to a line-based pre-order text format:
+    /// `I <entity>` for internal nodes (yes subtree first), `L <set>` for
+    /// leaves. Stable across versions; parse with [`DecisionTree::from_text`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => {
+                    let _ = writeln!(out, "L {}", set.0);
+                }
+                Node::Internal { entity, yes, no } => {
+                    let _ = writeln!(out, "I {}", entity.0);
+                    stack.push(no);
+                    stack.push(yes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`DecisionTree::to_text`].
+    pub fn from_text(text: &str) -> Result<Self> {
+        // Iterative pre-order reconstruction: a stack of parent slots
+        // waiting for children.
+        enum Slot {
+            Root,
+            Yes(NodeId),
+            No(NodeId),
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut pending: Vec<Slot> = vec![Slot::Root];
+        let mut root: Option<NodeId> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let slot = pending.pop().ok_or_else(|| {
+                SetDiscError::InvalidTree(format!("line {}: unexpected extra node", lineno + 1))
+            })?;
+            let (kind, value) = line.split_once(' ').ok_or_else(|| {
+                SetDiscError::InvalidTree(format!("line {}: malformed", lineno + 1))
+            })?;
+            let value: u32 = value.parse().map_err(|_| {
+                SetDiscError::InvalidTree(format!("line {}: bad id", lineno + 1))
+            })?;
+            let id = nodes.len() as NodeId;
+            match kind {
+                "L" => nodes.push(Node::Leaf { set: SetId(value) }),
+                "I" => {
+                    nodes.push(Node::Internal {
+                        entity: EntityId(value),
+                        yes: 0,
+                        no: 0,
+                    });
+                    // Pre-order: yes child arrives first → push No first.
+                    pending.push(Slot::No(id));
+                    pending.push(Slot::Yes(id));
+                }
+                other => {
+                    return Err(SetDiscError::InvalidTree(format!(
+                        "line {}: unknown node kind {other:?}",
+                        lineno + 1
+                    )))
+                }
+            }
+            match slot {
+                Slot::Root => root = Some(id),
+                Slot::Yes(parent) => {
+                    if let Node::Internal { yes, .. } = &mut nodes[parent as usize] {
+                        *yes = id;
+                    }
+                }
+                Slot::No(parent) => {
+                    if let Node::Internal { no, .. } = &mut nodes[parent as usize] {
+                        *no = id;
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(SetDiscError::InvalidTree("truncated tree text".into()));
+        }
+        let root = root.ok_or_else(|| SetDiscError::InvalidTree("empty tree text".into()))?;
+        Ok(Self { nodes, root })
+    }
+
+    /// ASCII rendering (entity names resolved through `names` when given).
+    pub fn render(&self, names: Option<&crate::entity::EntityInterner>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // (node, depth, branch label)
+        let mut stack: Vec<(NodeId, usize, &str)> = vec![(self.root, 0, "")];
+        while let Some((id, depth, label)) = stack.pop() {
+            let indent = "  ".repeat(depth);
+            match self.nodes[id as usize] {
+                Node::Leaf { set } => {
+                    let _ = writeln!(out, "{indent}{label}{set}");
+                }
+                Node::Internal { entity, yes, no } => {
+                    let q = names.map_or_else(|| entity.to_string(), |n| n.display(entity));
+                    let _ = writeln!(out, "{indent}{label}[{q}?]");
+                    stack.push((no, depth + 1, "n: "));
+                    stack.push((yes, depth + 1, "y: "));
+                }
+            }
+        }
+        out
+    }
+
+    /// The distinct entities asked anywhere in the tree.
+    pub fn entities_used(&self) -> FxHashSet<EntityId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Internal { entity, .. } => Some(*entity),
+                Node::Leaf { .. } => None,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for DecisionTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DecisionTree({} leaves, height {}, avg depth {:.3})",
+            self.n_leaves(),
+            self.height(),
+            self.avg_depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_tree;
+    use crate::collection::Collection;
+    use crate::strategy::MostEven;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    /// Hand-build the optimal Fig 2a tree:
+    /// root d → yes: (b → yes: (f → S3/S1), no: S2), no: (g → (h → S4/S7), (j → S6/S5)).
+    fn fig2a() -> DecisionTree {
+        let nodes = vec![
+            /* 0 */
+            Node::Internal {
+                entity: EntityId(3),
+                yes: 1,
+                no: 6,
+            },
+            /* 1 */
+            Node::Internal {
+                entity: EntityId(1),
+                yes: 2,
+                no: 5,
+            },
+            /* 2 */
+            Node::Internal {
+                entity: EntityId(5),
+                yes: 3,
+                no: 4,
+            },
+            /* 3 */ Node::Leaf { set: SetId(2) },
+            /* 4 */ Node::Leaf { set: SetId(0) },
+            /* 5 */ Node::Leaf { set: SetId(1) },
+            /* 6 */
+            Node::Internal {
+                entity: EntityId(6),
+                yes: 7,
+                no: 10,
+            },
+            /* 7 */
+            Node::Internal {
+                entity: EntityId(7),
+                yes: 8,
+                no: 9,
+            },
+            /* 8 */ Node::Leaf { set: SetId(3) },
+            /* 9 */ Node::Leaf { set: SetId(6) },
+            /* 10 */
+            Node::Internal {
+                entity: EntityId(9),
+                yes: 11,
+                no: 12,
+            },
+            /* 11 */ Node::Leaf { set: SetId(5) },
+            /* 12 */ Node::Leaf { set: SetId(4) },
+        ];
+        DecisionTree::from_parts(nodes, 0)
+    }
+
+    #[test]
+    fn fig2a_costs_match_paper() {
+        let t = fig2a();
+        assert_eq!(t.n_leaves(), 7);
+        assert_eq!(t.n_internal(), 6);
+        // §3: AD of Fig 2a is 2.857 = 20/7 — the optimum; height is 3.
+        assert_eq!(t.total_depth(), 20);
+        assert!((t.avg_depth() - 20.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.height(), 3);
+        // S2 is found with two questions (d yes, b no).
+        assert_eq!(t.depth_of(SetId(1)), Some(2));
+    }
+
+    #[test]
+    fn fig2a_validates_against_collection() {
+        let c = figure1();
+        fig2a().validate(&c.full_view()).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_wrong_leaf() {
+        let c = figure1();
+        let mut t = fig2a();
+        // Swap two leaves: paths become inconsistent.
+        t.nodes[3] = Node::Leaf { set: SetId(0) };
+        t.nodes[4] = Node::Leaf { set: SetId(2) };
+        let err = t.validate(&c.full_view()).unwrap_err();
+        assert!(matches!(err, SetDiscError::InvalidTree(_)));
+    }
+
+    #[test]
+    fn validation_catches_shared_node() {
+        let c = figure1();
+        let mut t = fig2a();
+        if let Node::Internal { no, .. } = &mut t.nodes[0] {
+            *no = 1; // share the yes-subtree → node 1 reachable twice
+        }
+        assert!(t.validate(&c.full_view()).is_err());
+    }
+
+    #[test]
+    fn path_to_matches_descend() {
+        let c = figure1();
+        let t = fig2a();
+        for (id, set) in c.iter() {
+            let path = t.path_to(id).unwrap();
+            for (e, must) in &path {
+                assert_eq!(set.contains(*e), *must);
+            }
+            let (q, found) = t.descend(&c, set);
+            assert_eq!(found, id);
+            assert_eq!(q as usize, path.len());
+        }
+    }
+
+    #[test]
+    fn descend_counts_questions() {
+        let c = figure1();
+        let t = fig2a();
+        // S2 = {a,d,e}: d? yes, b? no → 2 questions.
+        let (q, s) = t.descend(&c, c.set(SetId(1)));
+        assert_eq!((q, s), (2, SetId(1)));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = fig2a();
+        let text = t.to_text();
+        let back = DecisionTree::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.n_leaves(), t.n_leaves());
+        assert_eq!(back.total_depth(), t.total_depth());
+        let c = figure1();
+        back.validate(&c.full_view()).unwrap();
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(DecisionTree::from_text("").is_err());
+        assert!(DecisionTree::from_text("X 1").is_err());
+        assert!(DecisionTree::from_text("I 1\nL 2").is_err(), "missing child");
+        assert!(DecisionTree::from_text("L x").is_err());
+        assert!(DecisionTree::from_text("L 1\nL 2").is_err(), "extra node");
+    }
+
+    #[test]
+    fn render_contains_questions_and_leaves() {
+        let t = fig2a();
+        let ascii = t.render(None);
+        assert!(ascii.contains("[e3?]"));
+        assert!(ascii.contains("S4"));
+        let mut names = crate::entity::EntityInterner::new();
+        for n in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"] {
+            names.intern(n);
+        }
+        let ascii = t.render(Some(&names));
+        assert!(ascii.contains("[d?]"));
+    }
+
+    #[test]
+    fn entities_used_only_internal() {
+        let t = fig2a();
+        let used = t.entities_used();
+        assert_eq!(used.len(), 6);
+        assert!(used.contains(&EntityId(3)));
+        assert!(!used.contains(&EntityId(0)));
+    }
+
+    #[test]
+    fn oracle_driven_traversal_matches_descend() {
+        use crate::discovery::SimulatedOracle;
+        let c = figure1();
+        let t = fig2a();
+        for (id, set) in c.iter() {
+            let mut oracle = SimulatedOracle::new(set);
+            let out = t.discover(&mut oracle);
+            assert_eq!(out.discovered(), Some(id));
+            let (q, _) = t.descend(&c, set);
+            assert_eq!(out.questions, q as usize);
+        }
+    }
+
+    #[test]
+    fn oracle_unknown_returns_subtree_leaves() {
+        use crate::discovery::{Answer, Oracle};
+        struct YesThenUnknown(usize);
+        impl Oracle for YesThenUnknown {
+            fn answer(&mut self, _: EntityId) -> Answer {
+                if self.0 == 0 {
+                    Answer::Unknown
+                } else {
+                    self.0 -= 1;
+                    Answer::Yes
+                }
+            }
+        }
+        let t = fig2a();
+        // Answer yes once (root d → yes subtree {S1,S2,S3}), then shrug.
+        let out = t.discover(&mut YesThenUnknown(1));
+        assert_eq!(out.questions, 1);
+        assert_eq!(out.candidates, vec![SetId(0), SetId(1), SetId(2)]);
+        assert_eq!(out.discovered(), None);
+        // Immediate shrug → every leaf survives.
+        let out = t.discover(&mut YesThenUnknown(0));
+        assert_eq!(out.candidates.len(), 7);
+        assert_eq!(out.questions, 0);
+    }
+
+    #[test]
+    fn leaf_depth_order_is_yes_first() {
+        let c = figure1();
+        let mut s = MostEven::new();
+        let t = build_tree(&c.full_view(), &mut s).unwrap();
+        let depths = t.leaf_depths();
+        assert_eq!(depths.len(), 7);
+        t.validate(&c.full_view()).unwrap();
+    }
+}

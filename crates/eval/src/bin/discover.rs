@@ -1,0 +1,127 @@
+//! Interactive set-discovery REPL — the paper's opening scenario as a tool.
+//!
+//! ```text
+//! discover <sets.txt> [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2]
+//! ```
+//!
+//! `sets.txt` uses the `setdisc_core::io` format (one set per line,
+//! `name: member member …`). The tool filters to supersets of `--examples`,
+//! then asks membership questions on stdin (`y` / `n` / `?` for don't-know
+//! / `q` to stop) until one set remains.
+
+use setdisc_core::analysis::CollectionProfile;
+use setdisc_core::cost::{AvgDepth, Height};
+use setdisc_core::discovery::{Answer, Session};
+use setdisc_core::io::parse_collection;
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::SelectionStrategy;
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: discover <sets.txt> [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut metric = "ad".to_string();
+    let mut k = 2u32;
+    let mut beam: Option<usize> = None;
+    let mut examples: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metric" => metric = it.next().unwrap_or_else(|| usage()),
+            "--k" => k = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--beam" => beam = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
+            "--examples" => {
+                examples = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let named = parse_collection(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let profile = CollectionProfile::new(&named.collection, 500, 0);
+    println!(
+        "{} sets, {} entities ({} informative); expected ≥{:.2} questions, worst case {}",
+        profile.n_sets,
+        profile.distinct_entities,
+        profile.informative_entities,
+        profile.lb_avg_questions,
+        profile.worst_case_questions
+    );
+
+    let initial: Vec<setdisc_core::EntityId> = examples
+        .iter()
+        .map(|name| {
+            named.entities.get(name).unwrap_or_else(|| {
+                eprintln!("unknown example entity {name:?}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+
+    let strategy: Box<dyn SelectionStrategy> = match (metric.as_str(), beam) {
+        ("ad", None) => Box::new(KLp::<AvgDepth>::new(k)),
+        ("ad", Some(q)) => Box::new(KLp::<AvgDepth>::limited(k, q)),
+        ("h", None) => Box::new(KLp::<Height>::new(k)),
+        ("h", Some(q)) => Box::new(KLp::<Height>::limited(k, q)),
+        _ => usage(),
+    };
+    let mut session = Session::new(&named.collection, &initial, strategy);
+    println!("{} candidate sets match your examples", session.candidates().len());
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    while !session.is_resolved() {
+        let Some(entity) = session.next_question() else {
+            println!("no more informative questions — remaining candidates:");
+            break;
+        };
+        print!("is {:?} in your set? [y/n/?/q] ", named.entities.display(entity));
+        std::io::stdout().flush().ok();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => break,
+        };
+        match line.trim() {
+            "y" | "yes" => session.answer(entity, Answer::Yes),
+            "n" | "no" => session.answer(entity, Answer::No),
+            "?" => session.answer(entity, Answer::Unknown),
+            "q" | "quit" => break,
+            other => println!("  (unrecognized {other:?}; asking again)"),
+        }
+    }
+    let outcome = session.outcome();
+    match outcome.discovered() {
+        Some(id) => println!(
+            "→ your set is {:?} (after {} questions)",
+            named.set_name(id),
+            outcome.questions
+        ),
+        None => {
+            for id in &outcome.candidates {
+                println!("  - {}", named.set_name(*id));
+            }
+            println!("({} candidates remain)", outcome.candidates.len());
+        }
+    }
+}

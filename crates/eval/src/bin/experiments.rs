@@ -1,0 +1,96 @@
+//! Experiment CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <name|all> [--scale smoke|default|paper] [--seed N] [--no-csv]
+//!
+//! names: table1 table2 table3 table4 table4-web fig3 fig4a fig4b
+//!        fig5 fig6 fig7 fig8 significance all
+//! ```
+
+use setdisc_eval::experiments as exp;
+use setdisc_eval::{ExpContext, Scale};
+
+const NAMES: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table4-web",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "significance",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <name|all> [--scale smoke|default|paper] [--seed N] [--no-csv]\n\
+         names: {} all",
+        NAMES.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn dispatch(name: &str, ctx: &ExpContext) {
+    println!("== {name} (scale: {:?}, seed: {:#x}) ==\n", ctx.scale, ctx.seed);
+    let start = std::time::Instant::now();
+    match name {
+        "table1" => drop(exp::table1::run(ctx)),
+        "table2" => drop(exp::baseball::run_table2(ctx)),
+        "table3" => drop(exp::baseball::run_table3(ctx)),
+        "table4" => drop(exp::table4::run(ctx)),
+        "table4-web" => drop(exp::table4::run_web_root(ctx)),
+        "fig3" => drop(exp::fig3::run(ctx)),
+        "fig4a" => drop(exp::fig4::run_web(ctx)),
+        "fig4b" => drop(exp::fig4::run_synthetic(ctx)),
+        "fig5" => drop(exp::sweep::run_fig5(ctx)),
+        "fig6" => drop(exp::sweep::run_fig6(ctx)),
+        "fig7" => drop(exp::sweep::run_fig7(ctx)),
+        "fig8" => drop(exp::fig8::run(ctx)),
+        "significance" => drop(exp::significance::run(ctx)),
+        _ => usage(),
+    }
+    println!(
+        "-- {name} finished in {}\n",
+        setdisc_util::report::fmt_duration(start.elapsed())
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut name: Option<String> = None;
+    let mut ctx = ExpContext::new(Scale::Default);
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                ctx.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                ctx.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--no-csv" => ctx.out_dir = None,
+            other if name.is_none() && !other.starts_with('-') => {
+                name = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let name = name.unwrap_or_else(|| usage());
+    if name == "all" {
+        for n in NAMES {
+            dispatch(n, &ctx);
+        }
+    } else {
+        dispatch(&name, &ctx);
+    }
+}

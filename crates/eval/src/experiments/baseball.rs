@@ -1,0 +1,249 @@
+//! Shared baseball setup plus Tables 2 and 3.
+//!
+//! Builds the synthetic `People` table, evaluates the seven targets
+//! (Table 2), draws two example tuples per target, and generates the
+//! candidate query collections (Table 3). Figure 8 and Table 4 reuse the
+//! same instances.
+
+use crate::runner::ExpContext;
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_core::set::EntitySet;
+use setdisc_relation::candgen::{generate_candidates, CandidateSets, ReferenceValues};
+use setdisc_relation::people::{people_table, people_table_sized};
+use setdisc_relation::table::Table as RelTable;
+use setdisc_relation::targets::target_queries;
+use setdisc_util::report::Table;
+use setdisc_util::Rng;
+
+/// Paper's Table 2 output counts and Table 3 candidate counts / average
+/// output sizes, for side-by-side reporting.
+pub const PAPER_TABLE2: &[(&str, usize)] = &[
+    ("T1", 892),
+    ("T2", 201),
+    ("T3", 2179),
+    ("T4", 939),
+    ("T5", 65),
+    ("T6", 49),
+    ("T7", 26),
+];
+/// Paper Table 3: `(target, candidates, avg output tuples)`.
+pub const PAPER_TABLE3: &[(&str, usize, f64)] = &[
+    ("T1", 776, 9_404.24),
+    ("T2", 987, 11_254.35),
+    ("T3", 940, 10_612.07),
+    ("T4", 916, 10_957.30),
+    ("T5", 1_339, 9_772.70),
+    ("T6", 600, 7_187.00),
+    ("T7", 1_189, 7_795.78),
+];
+
+/// One target's full experimental instance.
+pub struct BaseballInstance {
+    /// Target id (`"T1"`…).
+    pub id: &'static str,
+    /// SQL-ish description.
+    pub description: &'static str,
+    /// Rows the target query returns.
+    pub target_rows: Vec<u32>,
+    /// The two sampled example tuples.
+    pub examples: [u32; 2],
+    /// Candidate queries and their output sets.
+    pub candidates: CandidateSets,
+    /// The candidate set id whose output equals the target's.
+    pub target_set: SetId,
+}
+
+impl BaseballInstance {
+    /// The target output as an entity set (entities = row ids).
+    pub fn target_entity_set(&self) -> EntitySet {
+        EntitySet::from_raw(self.target_rows.iter().copied())
+    }
+
+    /// Example rows as entity ids (the initial set `I`).
+    pub fn example_entities(&self) -> [EntityId; 2] {
+        [EntityId(self.examples[0]), EntityId(self.examples[1])]
+    }
+}
+
+/// Builds the table and all seven instances. The smoke scale shrinks the
+/// table and caps the candidate collections (keeping the target set) so
+/// debug-mode tests stay fast; default/paper use the canonical 20,185 rows
+/// and the full candidate collections.
+pub fn setup(ctx: &ExpContext) -> (RelTable, Vec<BaseballInstance>) {
+    let rows = ctx.scale.pick(4_000, 20_185, 20_185);
+    let candidate_cap = ctx.scale.pick(Some(120), None, None);
+    let table = if rows == setdisc_relation::people::PEOPLE_ROWS {
+        people_table(ctx.seed)
+    } else {
+        people_table_sized(rows, ctx.seed)
+    };
+    let refs = ReferenceValues::paper_defaults();
+    let mut rng = Rng::new(ctx.seed ^ 0xBA5E_BA11);
+    let mut instances = Vec::new();
+    for target in target_queries(&table) {
+        let target_rows = target.query.evaluate(&table);
+        assert!(
+            target_rows.len() >= 2,
+            "{} returned fewer than two rows",
+            target.id
+        );
+        let idx = rng.sample_indices(target_rows.len(), 2);
+        let examples = [target_rows[idx[0]], target_rows[idx[1]]];
+        let mut candidates = generate_candidates(&table, &examples, &refs);
+        if let Some(cap) = candidate_cap {
+            candidates = cap_candidates(candidates, &target_rows, cap);
+        }
+        // Locate the candidate set equal to the target output. It exists by
+        // construction: every target condition is expressible from the
+        // examples (see §5.2.3), so some candidate produces this output.
+        let target_entity_set = EntitySet::from_raw(target_rows.iter().copied());
+        let target_set = candidates
+            .collection
+            .iter()
+            .find(|(_, s)| **s == target_entity_set)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: target output not among candidates (examples {:?})",
+                    target.id, examples
+                )
+            });
+        instances.push(BaseballInstance {
+            id: target.id,
+            description: target.description,
+            target_rows,
+            examples,
+            candidates,
+            target_set,
+        });
+    }
+    (table, instances)
+}
+
+/// Shrinks a candidate collection to at most `cap` sets, always keeping the
+/// set equal to the target output (smoke-scale testing aid).
+fn cap_candidates(cands: CandidateSets, target_rows: &[u32], cap: usize) -> CandidateSets {
+    if cands.collection.len() <= cap {
+        return cands;
+    }
+    let target_set = EntitySet::from_raw(target_rows.iter().copied());
+    let mut kept_sets: Vec<EntitySet> = Vec::with_capacity(cap);
+    let mut kept_queries = Vec::with_capacity(cap);
+    // Keep the target first, then fill in collection order.
+    for (id, set) in cands.collection.iter() {
+        let is_target = *set == target_set;
+        if is_target || kept_sets.len() < cap - 1 {
+            kept_sets.push(set.clone());
+            kept_queries.push(cands.queries[id.0 as usize].clone());
+        }
+        if kept_sets.len() == cap && kept_sets.contains(&target_set) {
+            break;
+        }
+    }
+    let collection = setdisc_core::Collection::new(kept_sets).expect("non-empty");
+    CandidateSets {
+        collection,
+        queries: kept_queries,
+        n_generated: cands.n_generated,
+        avg_output_size: cands.avg_output_size,
+    }
+}
+
+/// Table 2: target queries and output sizes.
+pub fn run_table2(ctx: &ExpContext) -> Vec<Table> {
+    let (_, instances) = setup(ctx);
+    let mut t = Table::new(
+        "Table 2: target queries on the (synthetic) baseball People table",
+        &["target", "query", "output tuples", "paper"],
+    );
+    for inst in &instances {
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|(id, _)| *id == inst.id)
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_default();
+        t.row(vec![
+            inst.id.into(),
+            inst.description.into(),
+            inst.target_rows.len().to_string(),
+            paper,
+        ]);
+    }
+    ctx.emit("table2", &t);
+    vec![t]
+}
+
+/// Table 3: example tuples, candidate counts, average output sizes.
+pub fn run_table3(ctx: &ExpContext) -> Vec<Table> {
+    let (table, instances) = setup(ctx);
+    let mut t = Table::new(
+        "Table 3: example tuples and generated candidate queries",
+        &[
+            "target",
+            "example tuples",
+            "candidates (generated)",
+            "candidates (distinct outputs)",
+            "avg output tuples",
+            "paper candidates",
+            "paper avg output",
+        ],
+    );
+    for inst in &instances {
+        let (paper_cand, paper_avg) = PAPER_TABLE3
+            .iter()
+            .find(|(id, _, _)| *id == inst.id)
+            .map(|(_, c, a)| (c.to_string(), format!("{a:.2}")))
+            .unwrap_or_default();
+        t.row(vec![
+            inst.id.into(),
+            format!(
+                "{}, {}",
+                table.row_name(inst.examples[0]),
+                table.row_name(inst.examples[1])
+            ),
+            inst.candidates.n_generated.to_string(),
+            inst.candidates.collection.len().to_string(),
+            format!("{:.2}", inst.candidates.avg_output_size),
+            paper_cand,
+            paper_avg,
+        ]);
+    }
+    ctx.emit("table3", &t);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_builds_all_seven_instances() {
+        let (_table, instances) = setup(&ExpContext::smoke());
+        assert_eq!(instances.len(), 7);
+        for inst in &instances {
+            assert!(inst.candidates.collection.len() >= 10, "{}", inst.id);
+            // The aligned target set really is the target output.
+            let target = inst.target_entity_set();
+            assert_eq!(
+                inst.candidates.collection.set(inst.target_set),
+                &target,
+                "{}",
+                inst.id
+            );
+            // Both examples are in every candidate (they're supersets of I).
+            for (_, set) in inst.candidates.collection.iter() {
+                for e in inst.example_entities() {
+                    assert!(set.contains(e), "{}", inst.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_2_and_3_have_seven_rows() {
+        let t2 = run_table2(&ExpContext::smoke());
+        assert_eq!(t2[0].len(), 7);
+        let t3 = run_table3(&ExpContext::smoke());
+        assert_eq!(t3[0].len(), 7);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 3 — k-LP tree construction time as the lookahead depth `k`
+//! varies, on web-table sub-collections. The paper observes one to two
+//! orders of magnitude per step from k = 2 to k = 3.
+
+use crate::runner::{par_map, timed, ExpContext};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+use setdisc_core::SubCollection;
+use setdisc_synth::webtables::{self, WebTablesConfig};
+use setdisc_util::report::{fmt_duration, fmt_f64, Table};
+use std::time::Duration;
+
+/// The web-table sub-collection workload shared by Figures 3 and 4a.
+pub fn web_views(
+    ctx: &ExpContext,
+    min_candidates: usize,
+    n_queries: usize,
+    cap_sets: Option<usize>,
+) -> (setdisc_core::Collection, Vec<Vec<setdisc_core::entity::SetId>>) {
+    let cfg = match ctx.scale {
+        crate::Scale::Smoke => WebTablesConfig::tiny(ctx.seed),
+        _ => WebTablesConfig {
+            seed: ctx.seed,
+            ..WebTablesConfig::default()
+        },
+    };
+    let corpus = webtables::generate(&cfg);
+    let queries = webtables::seed_queries(&corpus.collection, min_candidates, n_queries, ctx.seed);
+    let mut id_lists = Vec::new();
+    for q in &queries {
+        let view = corpus.collection.supersets_of(&q.entities);
+        let mut ids = view.ids().to_vec();
+        if let Some(cap) = cap_sets {
+            ids.truncate(cap);
+        }
+        if ids.len() >= 2 {
+            id_lists.push(ids);
+        }
+    }
+    (corpus.collection, id_lists)
+}
+
+/// Runs Figure 3.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let min_cand = ctx.scale.pick(15, 100, 100);
+    let n_queries = ctx.scale.pick(3, 8, 20);
+    let cap = ctx.scale.pick(Some(25), Some(250), None);
+    let ks: &[u32] = ctx.scale.pick(&[1, 2][..], &[1, 2, 3][..], &[1, 2, 3][..]);
+    let (collection, id_lists) = web_views(ctx, min_cand, n_queries, cap);
+
+    let mut t = Table::new(
+        "Figure 3: k-LP tree construction time vs lookahead k (web tables, AD)",
+        &[
+            "k",
+            "sub-collections",
+            "mean sets",
+            "mean construction time",
+            "total time",
+            "mean avg-depth",
+        ],
+    );
+    for &k in ks {
+        let results: Vec<(Duration, f64, usize)> = par_map(id_lists.clone(), |ids| {
+            let view = SubCollection::from_ids(&collection, ids);
+            let mut strategy = KLp::<AvgDepth>::new(k);
+            let (tree, elapsed) = timed(|| build_tree(&view, &mut strategy).expect("tree"));
+            (elapsed, tree.avg_depth(), view.len())
+        });
+        let total: Duration = results.iter().map(|r| r.0).sum();
+        let mean_time = total / results.len().max(1) as u32;
+        let mean_ad =
+            results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
+        let mean_sets =
+            results.iter().map(|r| r.2).sum::<usize>() as f64 / results.len().max(1) as f64;
+        t.row(vec![
+            k.to_string(),
+            results.len().to_string(),
+            format!("{mean_sets:.0}"),
+            fmt_duration(mean_time),
+            fmt_duration(total),
+            fmt_f64(mean_ad, 3),
+        ]);
+    }
+    ctx.emit("fig3_klp_vs_k", &t);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_grows_with_k_and_quality_improves() {
+        let tables = run(&ExpContext::smoke());
+        let t = &tables[0];
+        assert!(t.len() >= 2, "at least k=1 and k=2 rows");
+        // Parse mean AD from the CSV: deeper lookahead can't be worse on
+        // these workloads (ties allowed).
+        let csv = t.to_csv();
+        let ads: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(5).unwrap().parse().unwrap())
+            .collect();
+        assert!(ads[0] >= ads[ads.len() - 1] - 1e-9, "ADs: {ads:?}");
+    }
+}

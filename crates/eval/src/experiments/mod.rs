@@ -1,0 +1,46 @@
+//! One module per paper table/figure. Each exposes
+//! `run(&ExpContext) -> Vec<Table>`, which both emits (markdown + CSV) and
+//! returns its result tables for tests.
+
+use setdisc_core::cost::{AvgDepth, Height};
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{InfoGain, SelectionStrategy};
+
+pub mod baseball;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod significance;
+pub mod sweep;
+pub mod table1;
+pub mod table4;
+
+/// Strategy factory (each tree/session gets a fresh instance so caches and
+/// statistics never leak across measurements).
+pub type Factory = fn() -> Box<dyn SelectionStrategy>;
+
+/// The paper's evaluated strategy set under the AD cost metric:
+/// InfoGain (≡ indistinguishable pairs ≡ gain-1 ≡ 1-LP, Lemma 4.3),
+/// k-LP(k=2), k-LPLE(k=3, q=10), k-LPLVE(k=3, q=10) — §5.3.1's settings.
+pub fn strategies_ad() -> [(&'static str, Factory); 4] {
+    [
+        ("InfoGain", || Box::new(InfoGain::new())),
+        ("k-LP(2)", || Box::new(KLp::<AvgDepth>::new(2))),
+        ("k-LPLE(3,10)", || Box::new(KLp::<AvgDepth>::limited(3, 10))),
+        ("k-LPLVE(3,10)", || {
+            Box::new(KLp::<AvgDepth>::limited_variable(3, 10))
+        }),
+    ]
+}
+
+/// The same set under the H (height) cost metric.
+pub fn strategies_h() -> [(&'static str, Factory); 4] {
+    [
+        ("InfoGain", || Box::new(InfoGain::new())),
+        ("k-LP(2)", || Box::new(KLp::<Height>::new(2))),
+        ("k-LPLE(3,10)", || Box::new(KLp::<Height>::limited(3, 10))),
+        ("k-LPLVE(3,10)", || {
+            Box::new(KLp::<Height>::limited_variable(3, 10))
+        }),
+    ]
+}

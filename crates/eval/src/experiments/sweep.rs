@@ -1,0 +1,192 @@
+//! Figures 5, 6, 7 — copy-add parameter sweeps: average number of questions
+//! (= tree average depth) and tree construction time as the overlap ratio α
+//! (Fig 5), the set-size range d / number of distinct entities (Fig 6), and
+//! the number of sets n (Fig 7) vary.
+//!
+//! Strategies: k-LP(k=2), k-LPLE(k=3, q=10) and k-LPLVE(k=3, q=10) — the
+//! configurations §5.3.1 fixes. The default scale shrinks the paper's
+//! n = 10k collections proportionally; `--scale paper` runs the full sizes.
+
+use crate::runner::{par_map, timed, ExpContext};
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::KLp;
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+use setdisc_util::report::{fmt_duration, fmt_f64, Table};
+
+/// The three lookahead configurations the sweeps compare.
+const SWEEP_STRATEGIES: &[&str] = &["k-LP(2)", "k-LPLE(3,10)", "k-LPLVE(3,10)"];
+
+fn build_with(name: &str, view: &setdisc_core::SubCollection<'_>) -> (f64, std::time::Duration) {
+    let mut strategy: Box<dyn setdisc_core::strategy::SelectionStrategy> = match name {
+        "k-LP(2)" => Box::new(KLp::<AvgDepth>::new(2)),
+        "k-LPLE(3,10)" => Box::new(KLp::<AvgDepth>::limited(3, 10)),
+        "k-LPLVE(3,10)" => Box::new(KLp::<AvgDepth>::limited_variable(3, 10)),
+        other => panic!("unknown strategy {other}"),
+    };
+    let (tree, elapsed) = timed(|| build_tree(view, strategy.as_mut()).expect("tree"));
+    (tree.avg_depth(), elapsed)
+}
+
+fn sweep_table(
+    title: &str,
+    param_header: &str,
+    configs: Vec<(String, CopyAddConfig)>,
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            param_header,
+            "sets",
+            "entities",
+            "avg questions k-LP(2)",
+            "time k-LP(2)",
+            "avg questions k-LPLE",
+            "time k-LPLE",
+            "avg questions k-LPLVE",
+            "time k-LPLVE",
+        ],
+    );
+    let rows = par_map(configs, |(label, cfg)| {
+        let collection = generate_copy_add(&cfg);
+        let view = collection.full_view();
+        let mut cells = vec![
+            label,
+            collection.len().to_string(),
+            collection.distinct_entities().to_string(),
+        ];
+        for name in SWEEP_STRATEGIES {
+            let (ad, time) = build_with(name, &view);
+            cells.push(fmt_f64(ad, 3));
+            cells.push(fmt_duration(time));
+        }
+        cells
+    });
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 5: vary the overlap ratio α (Table 1a configurations).
+pub fn run_fig5(ctx: &ExpContext) -> Vec<Table> {
+    let shrink = ctx.scale.pick(200, 20, 1);
+    let alphas: &[f64] = ctx.scale.pick(
+        &[0.9, 0.7][..],
+        &[0.99, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65][..],
+        &[0.99, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65][..],
+    );
+    let configs = alphas
+        .iter()
+        .map(|&a| {
+            (
+                format!("{a:.2}"),
+                CopyAddConfig::table1a(a, ctx.seed).scaled_down(shrink),
+            )
+        })
+        .collect();
+    let t = sweep_table(
+        "Figure 5: effect of set overlap on avg questions and construction time",
+        "alpha",
+        configs,
+    );
+    ctx.emit("fig5_overlap", &t);
+    vec![t]
+}
+
+/// Figure 6: vary the set-size range d (Table 1c configurations) — the
+/// number of distinct entities grows with d.
+pub fn run_fig6(ctx: &ExpContext) -> Vec<Table> {
+    let shrink = ctx.scale.pick(200, 20, 1);
+    let ranges: &[(usize, usize)] = ctx.scale.pick(
+        &[(20, 40), (40, 60)][..],
+        &[(50, 100), (100, 150), (150, 200), (200, 250), (250, 300), (300, 350)][..],
+        &[(50, 100), (100, 150), (150, 200), (200, 250), (250, 300), (300, 350)][..],
+    );
+    let configs = ranges
+        .iter()
+        .map(|&d| {
+            (
+                format!("{}-{}", d.0, d.1),
+                CopyAddConfig::table1c(d, ctx.seed).scaled_down(shrink),
+            )
+        })
+        .collect();
+    let t = sweep_table(
+        "Figure 6: effect of distinct-entity count (set size range) on avg questions and time",
+        "size range d",
+        configs,
+    );
+    ctx.emit("fig6_entities", &t);
+    vec![t]
+}
+
+/// Figure 7: vary the number of sets n (Table 1b configurations) — the
+/// paper observes ≈ +1 question per doubling.
+pub fn run_fig7(ctx: &ExpContext) -> Vec<Table> {
+    let sizes: &[usize] = ctx.scale.pick(
+        &[40, 80, 160][..],
+        &[500, 1_000, 2_000, 4_000, 8_000][..],
+        &[10_000, 20_000, 40_000, 80_000, 160_000][..],
+    );
+    let configs = sizes
+        .iter()
+        .map(|&n| {
+            let cfg = CopyAddConfig {
+                n_sets: n,
+                size_range: (50, 60),
+                overlap: 0.9,
+                seed: ctx.seed,
+            };
+            (n.to_string(), cfg)
+        })
+        .collect();
+    let t = sweep_table(
+        "Figure 7: effect of the number of sets on avg questions and time",
+        "n sets",
+        configs,
+    );
+    ctx.emit("fig7_sets", &t);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn questions_column(t: &Table, col: usize) -> Vec<f64> {
+        t.to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(col).unwrap().parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fig5_more_overlap_means_fewer_questions() {
+        let tables = run_fig5(&ExpContext::smoke());
+        let q = questions_column(&tables[0], 3);
+        assert_eq!(q.len(), 2);
+        // α = 0.9 (first row) needs fewer questions than α = 0.7.
+        assert!(q[0] <= q[1] + 0.5, "overlap trend violated: {q:?}");
+    }
+
+    #[test]
+    fn fig7_questions_grow_with_n() {
+        let tables = run_fig7(&ExpContext::smoke());
+        let q = questions_column(&tables[0], 3);
+        assert!(q.windows(2).all(|w| w[1] >= w[0] - 0.2), "n trend: {q:?}");
+        // Roughly +1 per doubling: from n=40 to n=160 expect ≈ +2.
+        let growth = q[q.len() - 1] - q[0];
+        assert!(
+            (0.8..4.0).contains(&growth),
+            "doubling growth {growth} out of band"
+        );
+    }
+
+    #[test]
+    fn fig6_runs_and_reports() {
+        let tables = run_fig6(&ExpContext::smoke());
+        assert_eq!(tables[0].len(), 2);
+    }
+}

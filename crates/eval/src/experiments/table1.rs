@@ -1,0 +1,147 @@
+//! Table 1 — synthetic collection statistics: distinct entity counts when
+//! varying (a) the overlap ratio α, (b) the number of sets n, and (c) the
+//! set-size range d.
+
+use crate::runner::{par_map, ExpContext};
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+use setdisc_util::report::Table;
+
+/// Paper values for side-by-side comparison.
+const PAPER_1A: &[(f64, &str)] = &[
+    (0.99, "23k"),
+    (0.95, "36k"),
+    (0.90, "59k"),
+    (0.85, "83k"),
+    (0.80, "108k"),
+    (0.75, "132k"),
+    (0.70, "156k"),
+    (0.65, "178k"),
+];
+const PAPER_1B: &[(usize, &str)] = &[
+    (10_000, "59k"),
+    (20_000, "125k"),
+    (40_000, "216k"),
+    (80_000, "385k"),
+    (160_000, "622k"),
+];
+const PAPER_1C: &[((usize, usize), &str)] = &[
+    ((50, 100), "119k"),
+    ((100, 150), "150k"),
+    ((150, 200), "180k"),
+    ((200, 250), "214k"),
+    ((250, 300), "249k"),
+    ((300, 350), "283k"),
+];
+
+fn kfmt(n: usize) -> String {
+    if n >= 1000 {
+        format!("{:.0}k", n as f64 / 1000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Runs all three sub-tables.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    // Scale factor: smoke shrinks everything 100×, default 4×, paper 1×.
+    let shrink = ctx.scale.pick(100, 4, 1);
+    let seed = ctx.seed;
+
+    // (a) vary α at n = 10k, d = 50–60.
+    let cfgs_a: Vec<(f64, CopyAddConfig)> = PAPER_1A
+        .iter()
+        .map(|&(alpha, _)| (alpha, CopyAddConfig::table1a(alpha, seed).scaled_down(shrink)))
+        .collect();
+    let counts_a = par_map(cfgs_a.clone(), |(_, cfg)| {
+        generate_copy_add(&cfg).distinct_entities()
+    });
+    let mut t_a = Table::new(
+        format!(
+            "Table 1(a): distinct entities vs overlap ratio (n={}, d=50-60)",
+            kfmt(cfgs_a[0].1.n_sets)
+        ),
+        &["alpha", "distinct entities", "paper (n=10k)"],
+    );
+    for ((alpha, _), count) in cfgs_a.iter().zip(&counts_a) {
+        let paper = PAPER_1A
+            .iter()
+            .find(|(a, _)| a == alpha)
+            .map(|(_, p)| *p)
+            .unwrap_or("-");
+        t_a.row(vec![format!("{alpha:.2}"), kfmt(*count), paper.into()]);
+    }
+
+    // (b) vary n at α = 0.9, d = 50–60.
+    let cfgs_b: Vec<(usize, CopyAddConfig)> = PAPER_1B
+        .iter()
+        .map(|&(n, _)| (n, CopyAddConfig::table1b(n, seed).scaled_down(shrink)))
+        .collect();
+    let counts_b = par_map(cfgs_b.clone(), |(_, cfg)| {
+        generate_copy_add(&cfg).distinct_entities()
+    });
+    let mut t_b = Table::new(
+        "Table 1(b): distinct entities vs number of sets (alpha=0.9, d=50-60)",
+        &["n (paper)", "n (run)", "distinct entities", "paper"],
+    );
+    for ((n, cfg), count) in cfgs_b.iter().zip(&counts_b) {
+        let paper = PAPER_1B
+            .iter()
+            .find(|(pn, _)| pn == n)
+            .map(|(_, p)| *p)
+            .unwrap_or("-");
+        t_b.row(vec![
+            kfmt(*n),
+            kfmt(cfg.n_sets),
+            kfmt(*count),
+            paper.into(),
+        ]);
+    }
+
+    // (c) vary d at n = 10k, α = 0.9.
+    let cfgs_c: Vec<((usize, usize), CopyAddConfig)> = PAPER_1C
+        .iter()
+        .map(|&(d, _)| (d, CopyAddConfig::table1c(d, seed).scaled_down(shrink)))
+        .collect();
+    let counts_c = par_map(cfgs_c.clone(), |(_, cfg)| {
+        generate_copy_add(&cfg).distinct_entities()
+    });
+    let mut t_c = Table::new(
+        format!(
+            "Table 1(c): distinct entities vs set size range (n={}, alpha=0.9)",
+            kfmt(cfgs_c[0].1.n_sets)
+        ),
+        &["d", "distinct entities", "paper (n=10k)"],
+    );
+    for ((d, _), count) in cfgs_c.iter().zip(&counts_c) {
+        let paper = PAPER_1C
+            .iter()
+            .find(|(pd, _)| pd == d)
+            .map(|(_, p)| *p)
+            .unwrap_or("-");
+        t_c.row(vec![
+            format!("{}-{}", d.0, d.1),
+            kfmt(*count),
+            paper.into(),
+        ]);
+    }
+
+    ctx.emit("table1a", &t_a);
+    ctx.emit("table1b", &t_b);
+    ctx.emit("table1c", &t_c);
+    vec![t_a, t_b, t_c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExpContext;
+
+    #[test]
+    fn smoke_run_produces_three_tables_with_trends() {
+        let tables = run(&ExpContext::smoke());
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 8, "eight alpha values");
+        assert_eq!(tables[1].len(), 5, "five set counts");
+        assert_eq!(tables[2].len(), 6, "six size ranges");
+    }
+}

@@ -1,0 +1,135 @@
+//! Table 4 — effectiveness of pruning: percentage of candidate entities
+//! pruned at the nodes of each target's discovery search (baseball, k = 2),
+//! plus the §5.3.3 web-tables root-level figure (>99% pruned).
+
+use super::baseball;
+use crate::runner::ExpContext;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::discovery::{Session, SimulatedOracle};
+use setdisc_core::lookahead::KLp;
+use setdisc_synth::webtables::{self, WebTablesConfig};
+use setdisc_util::report::{fmt_f64, Table};
+
+/// Paper Table 4: `(target, avg pruned %, min pruned %)` at k = 2.
+pub const PAPER_TABLE4: &[(&str, f64, f64)] = &[
+    ("T1", 97.3, 90.1),
+    ("T2", 99.4, 94.6),
+    ("T3", 99.1, 96.5),
+    ("T4", 99.7, 98.0),
+    ("T5", 88.5, 30.6),
+    ("T6", 99.7, 98.1),
+    ("T7", 99.9, 99.5),
+];
+
+/// Baseball pruning statistics (Table 4).
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let (_table, instances) = baseball::setup(ctx);
+    let mut t = Table::new(
+        "Table 4: % of entities pruned per search node (baseball, k-LP k=2, AD)",
+        &[
+            "target",
+            "avg pruned",
+            "min pruned",
+            "nodes",
+            "paper avg",
+            "paper min",
+        ],
+    );
+    for inst in &instances {
+        let strategy = KLp::<AvgDepth>::new(2).record_stats(true);
+        let target = inst.target_entity_set();
+        let mut session = Session::over(inst.candidates.collection.full_view(), strategy);
+        let outcome = session
+            .run(&mut SimulatedOracle::new(&target))
+            .expect("truthful oracle");
+        assert_eq!(outcome.discovered(), Some(inst.target_set), "{}", inst.id);
+        let stats = session.strategy().stats();
+        let (paper_avg, paper_min) = PAPER_TABLE4
+            .iter()
+            .find(|(id, _, _)| *id == inst.id)
+            .map(|&(_, a, m)| (format!("{a}%"), format!("{m}%")))
+            .unwrap_or_default();
+        t.row(vec![
+            inst.id.into(),
+            format!("{}%", fmt_f64(stats.avg_pruned_fraction() * 100.0, 1)),
+            format!("{}%", fmt_f64(stats.min_pruned_fraction() * 100.0, 1)),
+            stats.nodes.len().to_string(),
+            paper_avg,
+            paper_min,
+        ]);
+    }
+    ctx.emit("table4", &t);
+    vec![t]
+}
+
+/// §5.3.3 — root-level pruning on web-table sub-collections for k ∈ {2, 3}
+/// (the paper reports >99% pruned at the root).
+pub fn run_web_root(ctx: &ExpContext) -> Vec<Table> {
+    let cfg = match ctx.scale {
+        crate::Scale::Smoke => WebTablesConfig::tiny(ctx.seed),
+        _ => WebTablesConfig {
+            seed: ctx.seed,
+            ..WebTablesConfig::default()
+        },
+    };
+    let corpus = webtables::generate(&cfg);
+    let min_cand = ctx.scale.pick(15, 100, 100);
+    let n_queries = ctx.scale.pick(4, 20, 50);
+    let queries = webtables::seed_queries(&corpus.collection, min_cand, n_queries, ctx.seed);
+
+    let mut t = Table::new(
+        "Web tables: % of candidate entities pruned at the root (paper: >99%)",
+        &["k", "sub-collections", "avg pruned at root", "min pruned at root"],
+    );
+    for k in [2u32, 3] {
+        let mut fractions = Vec::new();
+        for q in &queries {
+            let view = corpus.collection.supersets_of(&q.entities);
+            let mut strategy = KLp::<AvgDepth>::new(k).record_stats(true);
+            use setdisc_core::strategy::SelectionStrategy as _;
+            let _ = strategy.select(&view);
+            if let Some(node) = strategy.stats().nodes.first() {
+                fractions.push(node.pruned_fraction());
+            }
+        }
+        let avg = crate::stats::mean(&fractions) * 100.0;
+        let min = fractions.iter().copied().fold(f64::INFINITY, f64::min) * 100.0;
+        t.row(vec![
+            k.to_string(),
+            fractions.len().to_string(),
+            format!("{}%", fmt_f64(avg, 2)),
+            format!("{}%", fmt_f64(min.min(100.0), 2)),
+        ]);
+    }
+    ctx.emit("table4_web_root", &t);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseball_pruning_is_heavy() {
+        let tables = run(&ExpContext::smoke());
+        assert_eq!(tables[0].len(), 7);
+        // Every row's avg pruned should be substantial even at smoke scale.
+        let csv = tables[0].to_csv();
+        for line in csv.lines().skip(1) {
+            let avg: f64 = line
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            assert!(avg > 30.0, "weak pruning in: {line}");
+        }
+    }
+
+    #[test]
+    fn web_root_pruning_is_heavy() {
+        let tables = run_web_root(&ExpContext::smoke());
+        assert_eq!(tables[0].len(), 2);
+    }
+}

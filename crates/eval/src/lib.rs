@@ -1,0 +1,20 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§5). See DESIGN.md §5 for the experiment ↔ module index.
+//!
+//! Each experiment is a function from an [`runner::ExpContext`] (scale,
+//! seed, output directory) to one or more [`setdisc_util::report::Table`]s;
+//! the `experiments` binary dispatches by name and renders markdown plus
+//! CSV files under `out/`.
+//!
+//! Scales: `smoke` (seconds, CI-friendly), `default` (minutes, the numbers
+//! EXPERIMENTS.md quotes), `paper` (the paper's full workload sizes where
+//! tractable).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{ExpContext, Scale};

@@ -1,0 +1,168 @@
+//! Shared experiment infrastructure: scales, context, timing, and a small
+//! deterministic parallel-map over workloads.
+
+use setdisc_util::report::Table;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Workload scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds — exercised by tests and CI.
+    Smoke,
+    /// Minutes — the numbers EXPERIMENTS.md quotes.
+    Default,
+    /// The paper's workload sizes, where tractable on one machine.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"smoke" | "default" | "paper"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Picks one of three values by scale.
+    pub fn pick<T: Copy>(self, smoke: T, default: T, paper: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Context shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct ExpContext {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Base seed; every generator derives from it.
+    pub seed: u64,
+    /// Directory for CSV artifacts (`out/` by default); `None` = print only.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl ExpContext {
+    /// Context with the given scale, the canonical seed, writing CSVs to
+    /// `out/`.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: 0xEDB7_2023,
+            out_dir: Some(PathBuf::from("out")),
+        }
+    }
+
+    /// Context for tests: smoke scale, no CSV output.
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Smoke,
+            seed: 0xEDB7_2023,
+            out_dir: None,
+        }
+    }
+
+    /// Emits a result table: prints markdown to stdout and writes
+    /// `out/<slug>.csv` when an output directory is configured.
+    pub fn emit(&self, slug: &str, table: &Table) {
+        println!("{}", table.to_markdown());
+        if let Some(dir) = &self.out_dir {
+            let path = dir.join(format!("{slug}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Deterministic parallel map: applies `f` to each item on a scoped thread
+/// pool and returns outputs in input order. `f` must be `Sync` (called from
+/// many threads); per-item state belongs inside `f`.
+pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().pop();
+                let Some((idx, item)) = item else { break };
+                let out = f(item);
+                results.lock()[idx] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_and_pick() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(Vec::<u32>::new(), |x| x).is_empty());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn emit_without_outdir_only_prints() {
+        let ctx = ExpContext::smoke();
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        ctx.emit("test", &t); // must not panic or write files
+    }
+}

@@ -1,0 +1,316 @@
+//! Candidate CNF query generation from example tuples — §5.2.3 steps 1–5.
+//!
+//! Given two (or more) example rows of the target output:
+//!
+//! 1. columns split into categorical and numerical;
+//! 2. each numerical column has fixed **reference values**;
+//! 3. each categorical column yields one condition: the disjunction of the
+//!    examples' distinct values (skipped when an example is NULL there);
+//! 4. each numerical column yields every condition formed from reference
+//!    bounds containing all example values: `(l, u)` pairs plus one-sided
+//!    `> l` and `< u`;
+//! 5. every single condition is a candidate query, and so is every
+//!    conjunction of two conditions on different columns.
+//!
+//! Candidates whose outputs coincide are merged (set discovery can only
+//! distinguish queries by their output on the instance — §2.1), producing a
+//! [`setdisc_core::Collection`] whose entities are row ids, aligned with a
+//! query per set.
+
+use crate::query::{CnfQuery, Condition};
+use crate::table::{ColumnKind, Table};
+use setdisc_core::collection::CollectionBuilder;
+use setdisc_core::{Collection, EntitySet};
+use setdisc_util::FxHashMap;
+
+/// Reference values per numeric column (§5.2.3 step 2).
+#[derive(Clone, Debug)]
+pub struct ReferenceValues {
+    /// `(column name, sorted reference values)`.
+    pub per_column: Vec<(String, Vec<i32>)>,
+}
+
+impl ReferenceValues {
+    /// The paper's reference values for the `People` table.
+    pub fn paper_defaults() -> Self {
+        Self {
+            per_column: vec![
+                ("height".into(), vec![60, 65, 70, 75, 80]),
+                (
+                    "weight".into(),
+                    vec![120, 140, 160, 180, 200, 220, 240, 260, 280, 300],
+                ),
+                (
+                    "birthYear".into(),
+                    vec![1850, 1870, 1890, 1910, 1930, 1950, 1970, 1990],
+                ),
+            ],
+        }
+    }
+
+    fn refs_for(&self, name: &str) -> Option<&[i32]> {
+        self.per_column
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+/// Candidate conditions per column (steps 3–4). The outer vector is indexed
+/// by column; columns that yield no condition have empty entries.
+pub fn candidate_conditions(
+    table: &Table,
+    examples: &[u32],
+    refs: &ReferenceValues,
+) -> Vec<Vec<Condition>> {
+    assert!(!examples.is_empty(), "need at least one example tuple");
+    let mut out: Vec<Vec<Condition>> = vec![Vec::new(); table.n_columns()];
+    for (col_idx, col) in table.columns().iter().enumerate() {
+        match col.kind() {
+            ColumnKind::Categorical => {
+                let mut codes = Vec::with_capacity(examples.len());
+                let mut any_null = false;
+                for &row in examples {
+                    match table.cat_code(col_idx, row) {
+                        Some(c) => codes.push(c),
+                        None => any_null = true,
+                    }
+                }
+                if !any_null && !codes.is_empty() {
+                    out[col_idx].push(Condition::cat_in(col_idx, codes));
+                }
+            }
+            ColumnKind::Numeric => {
+                let Some(refs) = refs.refs_for(col.name()) else {
+                    continue;
+                };
+                let mut vals = Vec::with_capacity(examples.len());
+                let mut any_null = false;
+                for &row in examples {
+                    match table.num_value(col_idx, row) {
+                        Some(v) => vals.push(v),
+                        None => any_null = true,
+                    }
+                }
+                if any_null || vals.is_empty() {
+                    continue;
+                }
+                let lo = *vals.iter().min().expect("non-empty");
+                let hi = *vals.iter().max().expect("non-empty");
+                let lowers: Vec<i32> = refs.iter().copied().filter(|&r| r < lo).collect();
+                let uppers: Vec<i32> = refs.iter().copied().filter(|&r| r > hi).collect();
+                for &l in &lowers {
+                    for &u in &uppers {
+                        out[col_idx].push(Condition::num_range(col_idx, Some(l), Some(u)));
+                    }
+                }
+                for &l in &lowers {
+                    out[col_idx].push(Condition::num_range(col_idx, Some(l), None));
+                }
+                for &u in &uppers {
+                    out[col_idx].push(Condition::num_range(col_idx, None, Some(u)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Candidate queries with output-deduplicated candidate sets.
+pub struct CandidateSets {
+    /// Candidate outputs as a collection; entity ids are table row ids.
+    pub collection: Collection,
+    /// The representative query of each set, aligned with set ids.
+    pub queries: Vec<CnfQuery>,
+    /// Queries generated before output-deduplication (steps 3–5 count).
+    pub n_generated: usize,
+    /// Mean output size across the *generated* queries (Table 3's
+    /// "average number of output tuples").
+    pub avg_output_size: f64,
+}
+
+/// Runs steps 1–5 and evaluates every candidate (step 5 is limited to
+/// conjunctions of at most two conditions, as in the paper).
+pub fn generate_candidates(
+    table: &Table,
+    examples: &[u32],
+    refs: &ReferenceValues,
+) -> CandidateSets {
+    let per_column = candidate_conditions(table, examples, refs);
+
+    let mut queries: Vec<CnfQuery> = Vec::new();
+    // Singles.
+    for conds in &per_column {
+        for c in conds {
+            queries.push(CnfQuery::new(vec![c.clone()]));
+        }
+    }
+    // Pairs on distinct columns.
+    for (i, ci) in per_column.iter().enumerate() {
+        for cj in per_column.iter().skip(i + 1) {
+            for a in ci {
+                for b in cj {
+                    queries.push(CnfQuery::new(vec![a.clone(), b.clone()]));
+                }
+            }
+        }
+    }
+
+    // Evaluate, verify example containment, dedup by output.
+    let mut builder = CollectionBuilder::new();
+    let mut kept: Vec<CnfQuery> = Vec::new();
+    let mut seen: FxHashMap<Vec<u32>, ()> = FxHashMap::default();
+    let mut output_total: usize = 0;
+    let n_generated = queries.len();
+    for q in queries {
+        let rows = q.evaluate(table);
+        debug_assert!(
+            examples.iter().all(|e| rows.binary_search(e).is_ok()),
+            "candidate must contain the examples by construction"
+        );
+        output_total += rows.len();
+        if seen.insert(rows.clone(), ()).is_some() {
+            continue;
+        }
+        let before = builder.len();
+        builder.push(EntitySet::from_raw(rows));
+        if builder.len() > before {
+            kept.push(q);
+        }
+    }
+    let built = builder.build().expect("at least one candidate");
+    CandidateSets {
+        collection: built.collection,
+        queries: kept,
+        n_generated,
+        avg_output_size: output_total as f64 / n_generated.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::people::people_table_sized;
+    use setdisc_core::entity::SetId;
+
+    #[test]
+    fn paper_height_example_yields_five_conditions() {
+        // §5.2.3 step 4, verbatim: heights 62 and 73 →
+        // >60∧<75, >60∧<80, >60, <75, <80. Use a toy table so the exact
+        // example heights are guaranteed to exist.
+        let t = {
+            let mut city = crate::table::CategoricalBuilder::new("city");
+            city.push(Some("A"));
+            city.push(Some("B"));
+            crate::table::Table::new(
+                "toy",
+                vec![
+                    city.build(),
+                    crate::table::numeric_column("height", vec![Some(62), Some(73)]),
+                ],
+                vec!["r0".into(), "r1".into()],
+            )
+        };
+        let hcol = t.column_index("height").unwrap();
+        let conds = candidate_conditions(&t, &[0, 1], &ReferenceValues::paper_defaults());
+        let height_conds = &conds[hcol];
+        assert_eq!(height_conds.len(), 5, "{height_conds:?}");
+        assert!(height_conds.contains(&Condition::num_range(hcol, Some(60), Some(75))));
+        assert!(height_conds.contains(&Condition::num_range(hcol, Some(60), Some(80))));
+        assert!(height_conds.contains(&Condition::num_range(hcol, Some(60), None)));
+        assert!(height_conds.contains(&Condition::num_range(hcol, None, Some(75))));
+        assert!(height_conds.contains(&Condition::num_range(hcol, None, Some(80))));
+    }
+
+    #[test]
+    fn common_heights_yield_eight_conditions() {
+        // Heights 68 and 73 (both frequent in the People table): lowers
+        // {60, 65}, uppers {75, 80} → 4 pairs + 2 one-sided lowers +
+        // 2 one-sided uppers = 8 conditions.
+        let t = people_table_sized(5_000, 1);
+        let hcol = t.column_index("height").unwrap();
+        let r68 = (0..5_000u32)
+            .find(|&r| t.num_value(hcol, r) == Some(68))
+            .expect("a 68in player");
+        let r73 = (0..5_000u32)
+            .find(|&r| t.num_value(hcol, r) == Some(73))
+            .expect("a 73in player");
+        let conds = candidate_conditions(&t, &[r68, r73], &ReferenceValues::paper_defaults());
+        assert_eq!(conds[hcol].len(), 8, "{:?}", conds[hcol]);
+    }
+
+    #[test]
+    fn categorical_condition_disjoins_example_values() {
+        let t = people_table_sized(2_000, 1);
+        let ccol = t.column_index("birthCountry").unwrap();
+        // Two rows with distinct non-null countries.
+        let mut rows = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..2_000u32 {
+            if let Some(code) = t.cat_code(ccol, r) {
+                if seen.insert(code) {
+                    rows.push(r);
+                    if rows.len() == 2 {
+                        break;
+                    }
+                }
+            }
+        }
+        let conds = candidate_conditions(&t, &rows, &ReferenceValues::paper_defaults());
+        match &conds[ccol][..] {
+            [Condition::CatIn { values, .. }] => assert_eq!(values.len(), 2),
+            other => panic!("expected one CatIn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_example_skips_column() {
+        let t = people_table_sized(4_000, 1);
+        let scol = t.column_index("birthState").unwrap();
+        let null_row = (0..4_000u32)
+            .find(|&r| t.cat_code(scol, r).is_none())
+            .expect("some null state");
+        let other = (0..4_000u32)
+            .find(|&r| t.cat_code(scol, r).is_some())
+            .unwrap();
+        let conds =
+            candidate_conditions(&t, &[null_row, other], &ReferenceValues::paper_defaults());
+        assert!(conds[scol].is_empty(), "NULL example must skip the column");
+    }
+
+    #[test]
+    fn candidates_contain_examples_and_dedup() {
+        let t = people_table_sized(3_000, 2);
+        let examples = [10u32, 500u32];
+        let cands = generate_candidates(&t, &examples, &ReferenceValues::paper_defaults());
+        assert!(cands.n_generated > cands.collection.len(), "dedup happened");
+        assert_eq!(cands.queries.len(), cands.collection.len());
+        for (i, q) in cands.queries.iter().enumerate() {
+            let set = cands.collection.set(SetId(i as u32));
+            // The aligned query regenerates exactly this output.
+            let rows = q.evaluate(&t);
+            assert_eq!(rows.len(), set.len(), "query {}", q.display(&t));
+            // And both examples are inside.
+            for &e in &examples {
+                assert!(set.contains(setdisc_core::entity::EntityId(e)));
+            }
+        }
+        assert!(cands.avg_output_size > 0.0);
+    }
+
+    #[test]
+    fn candidate_count_has_paper_magnitude() {
+        // Table 3 reports 600–1,339 candidates from two examples. The exact
+        // number depends on the examples' NULLs and value spreads; assert
+        // the order of magnitude on the full-size table.
+        let t = crate::people::people_table(0);
+        let examples = [3u32, 7u32];
+        let cands = generate_candidates(&t, &examples, &ReferenceValues::paper_defaults());
+        assert!(
+            (100..4_000).contains(&cands.n_generated),
+            "generated {}",
+            cands.n_generated
+        );
+        assert!(cands.collection.len() >= 50, "kept {}", cands.collection.len());
+    }
+}

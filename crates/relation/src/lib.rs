@@ -1,0 +1,34 @@
+//! Mini relational substrate for the query-discovery experiment (§5.2.3).
+//!
+//! The paper runs set discovery over the *outputs of candidate SQL queries*
+//! on the Lahman baseball database's `People` table. This crate provides
+//! everything that experiment needs, built from scratch:
+//!
+//! * [`table`] — a typed, columnar in-memory table (categorical columns with
+//!   dictionaries, numeric columns, NULLs);
+//! * [`query`] — selection conditions (categorical disjunctions, open
+//!   numeric intervals) composed into conjunctive (CNF) queries, with
+//!   evaluation to row-id sets;
+//! * [`people`] — a synthetic 20,185-row `People` table with the same ten
+//!   columns and realistic, correlated distributions (the substitution for
+//!   the real Lahman data — DESIGN.md §4);
+//! * [`candgen`] — the candidate-query generator of §5.2.3, steps 1–5;
+//! * [`targets`] — the seven target queries of Table 2.
+//!
+//! Query outputs become entity sets (entities = row ids), at which point the
+//! core crate's machinery discovers the target query interactively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candgen;
+pub mod people;
+pub mod query;
+pub mod table;
+pub mod targets;
+
+pub use candgen::{generate_candidates, CandidateSets};
+pub use people::people_table;
+pub use query::{CnfQuery, Condition};
+pub use table::{Column, ColumnKind, Table};
+pub use targets::{target_queries, TargetQuery};

@@ -1,0 +1,503 @@
+//! Synthetic `People` table — the substitution for the Lahman baseball
+//! database (DESIGN.md §4).
+//!
+//! Ten columns matching the paper's experiment: `birthCountry`,
+//! `birthState`, `birthCity`, `birthYear`, `birthMonth`, `birthDay`,
+//! `height`, `weight`, `bats`, `throws`, over 20,185 rows (the row count
+//! §5.2.3 reports). Marginals and correlations are tuned so the seven target
+//! queries of Table 2 return outputs of the same order of magnitude as the
+//! paper's; EXPERIMENTS.md records the side-by-side counts.
+//!
+//! Per the paper's grouping, `birthMonth` and `birthDay` are *categorical*
+//! (their conditions are equality disjunctions, not ranges); `birthYear`,
+//! `height` and `weight` are numeric.
+
+use crate::table::{numeric_column, CategoricalBuilder, Table};
+use setdisc_util::Rng;
+
+/// Row count of the real Lahman `People` table, as reported in §5.2.3.
+pub const PEOPLE_ROWS: usize = 20_185;
+
+/// Weighted categorical choice. Weights need not sum to 1 (normalized).
+fn pick<'a>(rng: &mut Rng, options: &[(&'a str, f64)]) -> &'a str {
+    let total: f64 = options.iter().map(|(_, w)| w).sum();
+    let mut u = rng.f64() * total;
+    for (name, w) in options {
+        u -= w;
+        if u <= 0.0 {
+            return name;
+        }
+    }
+    options.last().expect("non-empty options").0
+}
+
+const COUNTRIES: &[(&str, f64)] = &[
+    ("USA", 0.720),
+    ("D.R.", 0.048),
+    ("Venezuela", 0.032),
+    ("P.R.", 0.022),
+    ("Canada", 0.021),
+    ("Cuba", 0.019),
+    ("Mexico", 0.012),
+    ("Japan", 0.008),
+    ("Panama", 0.005),
+    ("Australia", 0.004),
+    ("Colombia", 0.004),
+    ("South Korea", 0.003),
+    ("Curacao", 0.003),
+    ("Nicaragua", 0.003),
+    ("United Kingdom", 0.003),
+    ("Germany", 0.002),
+    ("Ireland", 0.002),
+    ("Netherlands", 0.002),
+    ("Taiwan", 0.001),
+    ("Brazil", 0.001),
+    // Long tail lumped so the weights sum to 1.0 and USA stays at 72%.
+    ("Other-Country", 0.085),
+];
+
+const US_STATES: &[(&str, f64)] = &[
+    ("CA", 0.125),
+    ("PA", 0.075),
+    ("NY", 0.072),
+    ("IL", 0.064),
+    ("OH", 0.062),
+    ("TX", 0.056),
+    ("MO", 0.040),
+    ("MA", 0.040),
+    ("FL", 0.036),
+    ("NC", 0.030),
+    ("GA", 0.028),
+    ("AL", 0.027),
+    ("MI", 0.026),
+    ("NJ", 0.026),
+    ("TN", 0.023),
+    ("VA", 0.022),
+    ("IN", 0.022),
+    ("KY", 0.021),
+    ("WA", 0.018),
+    ("LA", 0.018),
+    ("MD", 0.017),
+    ("OK", 0.017),
+    ("WI", 0.016),
+    ("SC", 0.016),
+    ("MS", 0.016),
+    ("IA", 0.015),
+    ("KS", 0.013),
+    ("MN", 0.012),
+    ("AR", 0.012),
+    ("CT", 0.012),
+    ("WV", 0.011),
+    ("OR", 0.008),
+    ("CO", 0.008),
+    ("AZ", 0.007),
+    ("NE", 0.007),
+    ("ME", 0.005),
+];
+
+/// Largest cities per US state (heavily biased to the big ones so the T2
+/// Los Angeles selection has paper-scale support).
+fn us_cities(state: &str) -> &'static [(&'static str, f64)] {
+    match state {
+        "CA" => &[
+            ("Los Angeles", 0.16),
+            ("San Francisco", 0.12),
+            ("San Diego", 0.07),
+            ("Oakland", 0.06),
+            ("Sacramento", 0.05),
+            ("Fresno", 0.04),
+            ("Long Beach", 0.04),
+            ("San Jose", 0.03),
+            ("Berkeley", 0.03),
+            ("Pasadena", 0.03),
+            ("Santa Monica", 0.02),
+            ("Anaheim", 0.02),
+            ("Other-CA", 0.33),
+        ],
+        "IL" => &[
+            ("Chicago", 0.35),
+            ("Springfield", 0.06),
+            ("Peoria", 0.05),
+            ("Rockford", 0.04),
+            ("Other-IL", 0.50),
+        ],
+        "NY" => &[
+            ("New York", 0.30),
+            ("Brooklyn", 0.12),
+            ("Buffalo", 0.07),
+            ("Rochester", 0.05),
+            ("Syracuse", 0.04),
+            ("Other-NY", 0.42),
+        ],
+        "WA" => &[
+            ("Seattle", 0.30),
+            ("Tacoma", 0.12),
+            ("Spokane", 0.10),
+            ("Other-WA", 0.48),
+        ],
+        "PA" => &[
+            ("Philadelphia", 0.22),
+            ("Pittsburgh", 0.14),
+            ("Allentown", 0.04),
+            ("Other-PA", 0.60),
+        ],
+        "TX" => &[
+            ("Houston", 0.15),
+            ("Dallas", 0.13),
+            ("San Antonio", 0.09),
+            ("Austin", 0.07),
+            ("Other-TX", 0.56),
+        ],
+        "OH" => &[
+            ("Cincinnati", 0.14),
+            ("Cleveland", 0.13),
+            ("Columbus", 0.10),
+            ("Other-OH", 0.63),
+        ],
+        "MA" => &[
+            ("Boston", 0.25),
+            ("Worcester", 0.08),
+            ("Springfield", 0.06),
+            ("Other-MA", 0.61),
+        ],
+        "MO" => &[
+            ("St. Louis", 0.28),
+            ("Kansas City", 0.16),
+            ("Other-MO", 0.56),
+        ],
+        _ => &[
+            ("Springfield", 0.05),
+            ("Franklin", 0.04),
+            ("Clinton", 0.04),
+            ("Georgetown", 0.03),
+            ("Salem", 0.03),
+            ("Madison", 0.03),
+            ("Riverside", 0.03),
+            ("Other", 0.75),
+        ],
+    }
+}
+
+fn foreign_cities(country: &str) -> &'static [(&'static str, f64)] {
+    match country {
+        "D.R." => &[
+            ("Santo Domingo", 0.35),
+            ("San Pedro de Macoris", 0.22),
+            ("Santiago", 0.14),
+            ("Bani", 0.08),
+            ("Other-DR", 0.21),
+        ],
+        "Venezuela" => &[
+            ("Caracas", 0.30),
+            ("Maracaibo", 0.18),
+            ("Valencia", 0.12),
+            ("Other-VE", 0.40),
+        ],
+        "Cuba" => &[("Havana", 0.45), ("Matanzas", 0.12), ("Other-CU", 0.43)],
+        "P.R." => &[
+            ("San Juan", 0.28),
+            ("Ponce", 0.14),
+            ("Bayamon", 0.10),
+            ("Other-PR", 0.48),
+        ],
+        "Canada" => &[
+            ("Toronto", 0.18),
+            ("Montreal", 0.16),
+            ("Vancouver", 0.10),
+            ("Other-CA", 0.56),
+        ],
+        "Mexico" => &[
+            ("Mexico City", 0.22),
+            ("Guadalajara", 0.12),
+            ("Monterrey", 0.10),
+            ("Other-MX", 0.56),
+        ],
+        "Japan" => &[("Tokyo", 0.30), ("Osaka", 0.15), ("Other-JP", 0.55)],
+        _ => &[("Capital", 0.5), ("Other-XX", 0.5)],
+    }
+}
+
+fn days_in_month(month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => 28,
+        _ => unreachable!("months are 1..=12"),
+    }
+}
+
+/// Birth year: piecewise-uniform mixture skewed toward the modern era,
+/// tuned so ~6.2% of players are born after 1990 (T1 support).
+fn birth_year(rng: &mut Rng) -> i32 {
+    let u = rng.f64();
+    let (lo, hi) = if u < 0.10 {
+        (1850, 1899)
+    } else if u < 0.30 {
+        (1900, 1944)
+    } else if u < 0.70 {
+        (1945, 1979)
+    } else if u < 0.938 {
+        (1980, 1990)
+    } else {
+        (1991, 2002)
+    };
+    lo + rng.gen_range((hi - lo + 1) as u64) as i32
+}
+
+/// Generates the synthetic `People` table at its canonical size.
+pub fn people_table(seed: u64) -> Table {
+    people_table_sized(PEOPLE_ROWS, seed)
+}
+
+/// Generates a `People` table with `n_rows` rows (smaller sizes for tests).
+pub fn people_table_sized(n_rows: usize, seed: u64) -> Table {
+    assert!(n_rows >= 1);
+    let mut rng = Rng::new(seed);
+
+    let mut country_b = CategoricalBuilder::new("birthCountry");
+    let mut state_b = CategoricalBuilder::new("birthState");
+    let mut city_b = CategoricalBuilder::new("birthCity");
+    let mut month_b = CategoricalBuilder::new("birthMonth");
+    let mut day_b = CategoricalBuilder::new("birthDay");
+    let mut bats_b = CategoricalBuilder::new("bats");
+    let mut throws_b = CategoricalBuilder::new("throws");
+    let mut years: Vec<Option<i32>> = Vec::with_capacity(n_rows);
+    let mut heights: Vec<Option<i32>> = Vec::with_capacity(n_rows);
+    let mut weights: Vec<Option<i32>> = Vec::with_capacity(n_rows);
+    let mut row_names: Vec<String> = Vec::with_capacity(n_rows);
+
+    for i in 0..n_rows {
+        row_names.push(format!("player{i:05}"));
+
+        // Country / state / city, correlated.
+        let country = if rng.chance(0.005) {
+            None
+        } else {
+            Some(pick(&mut rng, COUNTRIES))
+        };
+        country_b.push(country);
+        let (state, city): (Option<&str>, Option<&str>) = match country {
+            Some("USA") => {
+                if rng.chance(0.02) {
+                    (None, None)
+                } else {
+                    let st = pick(&mut rng, US_STATES);
+                    let ci = pick(&mut rng, us_cities(st));
+                    (Some(st), Some(ci))
+                }
+            }
+            Some(c) => {
+                if rng.chance(0.45) {
+                    (None, Some(pick(&mut rng, foreign_cities(c))))
+                } else {
+                    (Some("Foreign-Province"), Some(pick(&mut rng, foreign_cities(c))))
+                }
+            }
+            None => (None, None),
+        };
+        state_b.push(state);
+        city_b.push(city);
+
+        // Birth date.
+        if rng.chance(0.02) {
+            years.push(None);
+            month_b.push(None);
+            day_b.push(None);
+        } else {
+            years.push(Some(birth_year(&mut rng)));
+            let month = 1 + rng.gen_range(12) as u32;
+            let day = 1 + rng.gen_range(days_in_month(month) as u64) as u32;
+            month_b.push(Some(&month.to_string()));
+            day_b.push(Some(&day.to_string()));
+        }
+
+        // Height and weight, correlated (weight regressed on height with
+        // occasional heavy outliers so the T6 tail is populated).
+        let h = (rng.normal_with(72.5, 2.6)).round().clamp(60.0, 84.0) as i32;
+        let mut w = rng.normal_with(190.0 + 6.5 * (h as f64 - 72.5), 16.0);
+        if rng.chance(0.03) {
+            w += 45.0;
+        }
+        let w = w.round().clamp(120.0, 330.0) as i32;
+        heights.push(if rng.chance(0.01) { None } else { Some(h) });
+        weights.push(if rng.chance(0.01) { None } else { Some(w) });
+
+        // Handedness, correlated.
+        let bats = if rng.chance(0.012) {
+            None
+        } else {
+            Some(pick(&mut rng, &[("R", 0.635), ("L", 0.300), ("B", 0.065)]))
+        };
+        let throws = match bats {
+            Some("L") => Some(pick(&mut rng, &[("R", 0.36), ("L", 0.64)])),
+            Some("B") => Some(pick(&mut rng, &[("R", 0.80), ("L", 0.20)])),
+            Some(_) => Some(pick(&mut rng, &[("R", 0.96), ("L", 0.04)])),
+            None => None,
+        };
+        bats_b.push(bats);
+        throws_b.push(throws);
+        let _ = i;
+    }
+
+    Table::new(
+        "People",
+        vec![
+            country_b.build(),
+            state_b.build(),
+            city_b.build(),
+            numeric_column("birthYear", years),
+            month_b.build(),
+            day_b.build(),
+            numeric_column("height", heights),
+            numeric_column("weight", weights),
+            bats_b.build(),
+            throws_b.build(),
+        ],
+        row_names,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_size_and_schema() {
+        let t = people_table_sized(3_000, 1);
+        assert_eq!(t.n_rows(), 3_000);
+        let names: Vec<&str> = t.columns().iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "birthCountry",
+                "birthState",
+                "birthCity",
+                "birthYear",
+                "birthMonth",
+                "birthDay",
+                "height",
+                "weight",
+                "bats",
+                "throws"
+            ]
+        );
+        assert_eq!(t.row_name(0), "player00000");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = people_table_sized(500, 7);
+        let b = people_table_sized(500, 7);
+        for row in 0..500u32 {
+            assert_eq!(
+                a.num_value(6, row),
+                b.num_value(6, row),
+                "height row {row}"
+            );
+            assert_eq!(a.cat_code(0, row), b.cat_code(0, row));
+        }
+    }
+
+    #[test]
+    fn usa_dominates_birth_country() {
+        let t = people_table_sized(5_000, 3);
+        let col = t.column_index("birthCountry").unwrap();
+        let usa = t.cat_lookup(col, "USA").unwrap();
+        let usa_count = (0..5_000u32)
+            .filter(|&r| t.cat_code(col, r) == Some(usa))
+            .count();
+        let frac = usa_count as f64 / 5_000.0;
+        assert!((0.67..0.77).contains(&frac), "USA fraction {frac}");
+    }
+
+    #[test]
+    fn key_cities_exist() {
+        let t = people_table_sized(PEOPLE_ROWS, 0);
+        let col = t.column_index("birthCity").unwrap();
+        for city in ["Los Angeles", "Chicago", "Seattle"] {
+            let code = t.cat_lookup(col, city).unwrap_or_else(|| panic!("{city} missing"));
+            let count = (0..t.n_rows() as u32)
+                .filter(|&r| t.cat_code(col, r) == Some(code))
+                .count();
+            assert!(count > 20, "{city}: {count}");
+        }
+    }
+
+    #[test]
+    fn height_weight_are_plausible_and_correlated() {
+        let t = people_table_sized(8_000, 5);
+        let hcol = t.column_index("height").unwrap();
+        let wcol = t.column_index("weight").unwrap();
+        let mut pairs = Vec::new();
+        for r in 0..8_000u32 {
+            if let (Some(h), Some(w)) = (t.num_value(hcol, r), t.num_value(wcol, r)) {
+                assert!((60..=84).contains(&h), "height {h}");
+                assert!((120..=330).contains(&w), "weight {w}");
+                pairs.push((h as f64, w as f64));
+            }
+        }
+        let n = pairs.len() as f64;
+        let mh = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mw = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mh) * (p.1 - mw)).sum::<f64>() / n;
+        let sh = (pairs.iter().map(|p| (p.0 - mh).powi(2)).sum::<f64>() / n).sqrt();
+        let sw = (pairs.iter().map(|p| (p.1 - mw).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sh * sw);
+        assert!(corr > 0.5, "height/weight correlation {corr}");
+        assert!((71.0..74.0).contains(&mh), "mean height {mh}");
+        assert!((180.0..200.0).contains(&mw), "mean weight {mw}");
+    }
+
+    #[test]
+    fn dates_are_valid() {
+        let t = people_table_sized(5_000, 11);
+        let ycol = t.column_index("birthYear").unwrap();
+        let mcol = t.column_index("birthMonth").unwrap();
+        let dcol = t.column_index("birthDay").unwrap();
+        for r in 0..5_000u32 {
+            if let Some(y) = t.num_value(ycol, r) {
+                assert!((1850..=2002).contains(&y));
+                let m: u32 = t
+                    .cat_string(mcol, t.cat_code(mcol, r).expect("month with year"))
+                    .parse()
+                    .unwrap();
+                let d: u32 = t
+                    .cat_string(dcol, t.cat_code(dcol, r).expect("day with year"))
+                    .parse()
+                    .unwrap();
+                assert!((1..=12).contains(&m));
+                assert!(d >= 1 && d <= days_in_month(m));
+            }
+        }
+    }
+
+    #[test]
+    fn modern_tail_has_paper_scale_mass() {
+        let t = people_table_sized(PEOPLE_ROWS, 0);
+        let ycol = t.column_index("birthYear").unwrap();
+        let post90 = (0..t.n_rows() as u32)
+            .filter(|&r| t.num_value(ycol, r).is_some_and(|y| y > 1990))
+            .count();
+        // Paper's T1 (USA ∧ >1990) returns 892; the raw >1990 tail must be
+        // somewhat above that.
+        assert!(
+            (800..2_200).contains(&post90),
+            "post-1990 count {post90}"
+        );
+    }
+
+    #[test]
+    fn handedness_marginals() {
+        let t = people_table_sized(10_000, 2);
+        let bcol = t.column_index("bats").unwrap();
+        let tcol = t.column_index("throws").unwrap();
+        let b_l = t.cat_lookup(bcol, "L").unwrap();
+        let t_r = t.cat_lookup(tcol, "R").unwrap();
+        let lr = (0..10_000u32)
+            .filter(|&r| t.cat_code(bcol, r) == Some(b_l) && t.cat_code(tcol, r) == Some(t_r))
+            .count();
+        let frac = lr as f64 / 10_000.0;
+        // Paper's T3 is 2179/20185 ≈ 10.8%.
+        assert!((0.08..0.14).contains(&frac), "bats=L∧throws=R {frac}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Selection conditions and conjunctive (CNF) queries over a [`Table`].
+//!
+//! The §5.2.3 experiment uses exactly two condition shapes:
+//!
+//! * a **categorical disjunction** — `city = "Chicago" ∨ city = "Seattle"`
+//!   (one condition per column, disjoining the example tuples' values), and
+//! * an **open numeric interval** — `height > 60 ∧ height < 75`, where
+//!   either bound may be absent.
+//!
+//! A [`CnfQuery`] is a conjunction of such conditions on distinct columns.
+//! NULL never satisfies any condition (SQL semantics).
+
+use crate::table::Table;
+
+/// One selection condition on a single column.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// `column IN {values}` over a categorical column (codes).
+    CatIn {
+        /// Column index.
+        column: usize,
+        /// Accepted dictionary codes (sorted, deduplicated).
+        values: Vec<u16>,
+    },
+    /// `column > lower AND column < upper` (either bound optional, both
+    /// exclusive, per the paper's examples).
+    NumRange {
+        /// Column index.
+        column: usize,
+        /// Exclusive lower bound.
+        lower: Option<i32>,
+        /// Exclusive upper bound.
+        upper: Option<i32>,
+    },
+}
+
+impl Condition {
+    /// Builds a categorical disjunction, normalizing the value list.
+    pub fn cat_in(column: usize, mut values: Vec<u16>) -> Self {
+        values.sort_unstable();
+        values.dedup();
+        assert!(!values.is_empty(), "empty disjunction");
+        Condition::CatIn { column, values }
+    }
+
+    /// Builds a numeric range; at least one bound must be present and a
+    /// two-sided range must be non-empty.
+    pub fn num_range(column: usize, lower: Option<i32>, upper: Option<i32>) -> Self {
+        assert!(
+            lower.is_some() || upper.is_some(),
+            "range needs at least one bound"
+        );
+        if let (Some(l), Some(u)) = (lower, upper) {
+            assert!(l < u, "empty range ({l}, {u})");
+        }
+        Condition::NumRange {
+            column,
+            lower,
+            upper,
+        }
+    }
+
+    /// The column this condition constrains.
+    pub fn column(&self) -> usize {
+        match self {
+            Condition::CatIn { column, .. } | Condition::NumRange { column, .. } => *column,
+        }
+    }
+
+    /// Does `row` satisfy the condition? NULL fails everything.
+    pub fn matches(&self, table: &Table, row: u32) -> bool {
+        match self {
+            Condition::CatIn { column, values } => match table.cat_code(*column, row) {
+                Some(code) => values.binary_search(&code).is_ok(),
+                None => false,
+            },
+            Condition::NumRange {
+                column,
+                lower,
+                upper,
+            } => match table.num_value(*column, row) {
+                Some(v) => lower.is_none_or(|l| v > l) && upper.is_none_or(|u| v < u),
+                None => false,
+            },
+        }
+    }
+
+    /// SQL-ish rendering (resolves dictionary codes through the table).
+    pub fn display(&self, table: &Table) -> String {
+        match self {
+            Condition::CatIn { column, values } => {
+                let name = table.column(*column).name();
+                if values.len() == 1 {
+                    format!("{name}=\"{}\"", table.cat_string(*column, values[0]))
+                } else {
+                    let vals: Vec<String> = values
+                        .iter()
+                        .map(|&v| format!("\"{}\"", table.cat_string(*column, v)))
+                        .collect();
+                    format!("{name} IN ({})", vals.join(", "))
+                }
+            }
+            Condition::NumRange {
+                column,
+                lower,
+                upper,
+            } => {
+                let name = table.column(*column).name();
+                match (lower, upper) {
+                    (Some(l), Some(u)) => format!("{name}>{l} AND {name}<{u}"),
+                    (Some(l), None) => format!("{name}>{l}"),
+                    (None, Some(u)) => format!("{name}<{u}"),
+                    (None, None) => unreachable!("constructor forbids"),
+                }
+            }
+        }
+    }
+}
+
+/// A conjunction of conditions on distinct columns.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CnfQuery {
+    conditions: Vec<Condition>,
+}
+
+impl CnfQuery {
+    /// Builds a query; conditions must be on distinct columns.
+    pub fn new(mut conditions: Vec<Condition>) -> Self {
+        conditions.sort_by_key(Condition::column);
+        assert!(
+            conditions.windows(2).all(|w| w[0].column() != w[1].column()),
+            "conditions must be on distinct columns"
+        );
+        Self { conditions }
+    }
+
+    /// The conditions, ordered by column index.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// Does `row` satisfy every condition?
+    pub fn matches(&self, table: &Table, row: u32) -> bool {
+        self.conditions.iter().all(|c| c.matches(table, row))
+    }
+
+    /// All satisfying row ids, ascending.
+    pub fn evaluate(&self, table: &Table) -> Vec<u32> {
+        (0..table.n_rows() as u32)
+            .filter(|&row| self.matches(table, row))
+            .collect()
+    }
+
+    /// SQL-ish rendering: `σ cond ∧ cond (TableName)`.
+    pub fn display(&self, table: &Table) -> String {
+        if self.conditions.is_empty() {
+            return format!("σ true ({})", table.name());
+        }
+        let parts: Vec<String> = self.conditions.iter().map(|c| c.display(table)).collect();
+        format!("σ {} ({})", parts.join(" AND "), table.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{numeric_column, CategoricalBuilder, Table};
+
+    fn toy() -> Table {
+        let mut city = CategoricalBuilder::new("city");
+        for v in [
+            Some("Chicago"),
+            Some("Seattle"),
+            Some("Boston"),
+            None,
+            Some("Chicago"),
+        ] {
+            city.push(v);
+        }
+        let h = numeric_column(
+            "height",
+            vec![Some(70), Some(75), Some(62), Some(80), None],
+        );
+        Table::new(
+            "toy",
+            vec![city.build(), h],
+            (0..5).map(|i| format!("r{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn cat_in_matches_and_nulls() {
+        let t = toy();
+        let chi = t.cat_lookup(0, "Chicago").unwrap();
+        let sea = t.cat_lookup(0, "Seattle").unwrap();
+        let c = Condition::cat_in(0, vec![chi, sea]);
+        assert!(c.matches(&t, 0));
+        assert!(c.matches(&t, 1));
+        assert!(!c.matches(&t, 2), "Boston");
+        assert!(!c.matches(&t, 3), "NULL");
+        assert!(c.matches(&t, 4));
+    }
+
+    #[test]
+    fn num_range_bounds_are_exclusive() {
+        let t = toy();
+        let c = Condition::num_range(1, Some(62), Some(80));
+        assert!(c.matches(&t, 0)); // 70
+        assert!(c.matches(&t, 1)); // 75
+        assert!(!c.matches(&t, 2), "62 is not > 62");
+        assert!(!c.matches(&t, 3), "80 is not < 80");
+        assert!(!c.matches(&t, 4), "NULL");
+        let one_sided = Condition::num_range(1, Some(74), None);
+        assert_eq!(
+            CnfQuery::new(vec![one_sided]).evaluate(&t),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn conjunction_evaluates() {
+        let t = toy();
+        let chi = t.cat_lookup(0, "Chicago").unwrap();
+        let q = CnfQuery::new(vec![
+            Condition::cat_in(0, vec![chi]),
+            Condition::num_range(1, Some(60), Some(75)),
+        ]);
+        assert_eq!(q.evaluate(&t), vec![0]);
+    }
+
+    #[test]
+    fn empty_query_selects_all() {
+        let t = toy();
+        let q = CnfQuery::new(vec![]);
+        assert_eq!(q.evaluate(&t).len(), 5);
+        assert_eq!(q.display(&t), "σ true (toy)");
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = toy();
+        let chi = t.cat_lookup(0, "Chicago").unwrap();
+        let sea = t.cat_lookup(0, "Seattle").unwrap();
+        assert_eq!(
+            Condition::cat_in(0, vec![chi]).display(&t),
+            "city=\"Chicago\""
+        );
+        assert_eq!(
+            Condition::cat_in(0, vec![sea, chi]).display(&t),
+            format!(
+                "city IN (\"{}\", \"{}\")",
+                t.cat_string(0, chi.min(sea)),
+                t.cat_string(0, chi.max(sea))
+            )
+        );
+        assert_eq!(
+            Condition::num_range(1, Some(60), Some(75)).display(&t),
+            "height>60 AND height<75"
+        );
+        assert_eq!(Condition::num_range(1, None, Some(75)).display(&t), "height<75");
+        let q = CnfQuery::new(vec![
+            Condition::cat_in(0, vec![chi]),
+            Condition::num_range(1, Some(70), None),
+        ]);
+        assert_eq!(q.display(&t), "σ city=\"Chicago\" AND height>70 (toy)");
+    }
+
+    #[test]
+    fn normalization_dedups_values() {
+        let c = Condition::cat_in(0, vec![3, 1, 3, 2, 1]);
+        assert_eq!(
+            c,
+            Condition::CatIn {
+                column: 0,
+                values: vec![1, 2, 3]
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct columns")]
+    fn same_column_twice_panics() {
+        CnfQuery::new(vec![
+            Condition::num_range(1, Some(60), None),
+            Condition::num_range(1, None, Some(80)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        Condition::num_range(0, Some(10), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn unbounded_range_panics() {
+        Condition::num_range(0, None, None);
+    }
+}

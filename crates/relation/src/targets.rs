@@ -1,0 +1,152 @@
+//! The seven target queries of Table 2, constructed against a `People`
+//! table instance.
+
+use crate::query::{CnfQuery, Condition};
+use crate::table::Table;
+
+/// A named target query (one row of Table 2).
+pub struct TargetQuery {
+    /// Short id, `"T1"` … `"T7"`.
+    pub id: &'static str,
+    /// The paper's description of the selection.
+    pub description: &'static str,
+    /// The query itself.
+    pub query: CnfQuery,
+}
+
+fn cat(table: &Table, column: &str, value: &str) -> Condition {
+    let col = table
+        .column_index(column)
+        .unwrap_or_else(|| panic!("column {column} missing"));
+    let code = table
+        .cat_lookup(col, value)
+        .unwrap_or_else(|| panic!("value {value} missing from {column}"));
+    Condition::cat_in(col, vec![code])
+}
+
+fn num(table: &Table, column: &str, lower: Option<i32>, upper: Option<i32>) -> Condition {
+    let col = table
+        .column_index(column)
+        .unwrap_or_else(|| panic!("column {column} missing"));
+    Condition::num_range(col, lower, upper)
+}
+
+/// Builds T1–T7 for the given table.
+pub fn target_queries(table: &Table) -> Vec<TargetQuery> {
+    vec![
+        TargetQuery {
+            id: "T1",
+            description: "birthCountry=USA AND birthYear>1990",
+            query: CnfQuery::new(vec![
+                cat(table, "birthCountry", "USA"),
+                num(table, "birthYear", Some(1990), None),
+            ]),
+        },
+        TargetQuery {
+            id: "T2",
+            description: "birthCity=Los Angeles AND height>70 AND height<80",
+            query: CnfQuery::new(vec![
+                cat(table, "birthCity", "Los Angeles"),
+                num(table, "height", Some(70), Some(80)),
+            ]),
+        },
+        TargetQuery {
+            id: "T3",
+            description: "bats=L AND throws=R",
+            query: CnfQuery::new(vec![cat(table, "bats", "L"), cat(table, "throws", "R")]),
+        },
+        TargetQuery {
+            id: "T4",
+            description: "birthCountry=USA AND bats=B",
+            query: CnfQuery::new(vec![
+                cat(table, "birthCountry", "USA"),
+                cat(table, "bats", "B"),
+            ]),
+        },
+        TargetQuery {
+            id: "T5",
+            description: "birthMonth=12 AND birthDay=25",
+            query: CnfQuery::new(vec![
+                cat(table, "birthMonth", "12"),
+                cat(table, "birthDay", "25"),
+            ]),
+        },
+        TargetQuery {
+            id: "T6",
+            description: "height>75 AND weight>260",
+            query: CnfQuery::new(vec![
+                num(table, "height", Some(75), None),
+                num(table, "weight", Some(260), None),
+            ]),
+        },
+        TargetQuery {
+            id: "T7",
+            description: "height<65 AND weight<160",
+            query: CnfQuery::new(vec![
+                num(table, "height", None, Some(65)),
+                num(table, "weight", None, Some(160)),
+            ]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::people::people_table;
+
+    #[test]
+    fn all_seven_targets_build_and_return_rows() {
+        let t = people_table(0);
+        let targets = target_queries(&t);
+        assert_eq!(targets.len(), 7);
+        for target in &targets {
+            let out = target.query.evaluate(&t);
+            assert!(
+                out.len() >= 2,
+                "{} returned {} rows — too few to sample two examples",
+                target.id,
+                out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn output_magnitudes_track_table2() {
+        // Paper (Table 2): T1=892, T2=201, T3=2179, T4=939, T5=65, T6=49,
+        // T7=26 on 20,185 rows. The synthetic table targets the same orders
+        // of magnitude; allow generous bands.
+        let t = people_table(0);
+        let targets = target_queries(&t);
+        let bands: &[(usize, usize)] = &[
+            (300, 2_500),  // T1
+            (60, 700),     // T2
+            (1_200, 3_500),// T3
+            (400, 1_800),  // T4
+            (20, 160),     // T5
+            (10, 250),     // T6
+            (5, 160),      // T7
+        ];
+        for (target, &(lo, hi)) in targets.iter().zip(bands) {
+            let n = target.query.evaluate(&t).len();
+            assert!(
+                (lo..=hi).contains(&n),
+                "{}: {} rows outside [{lo}, {hi}]",
+                target.id,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn targets_render_sql_like() {
+        let t = people_table(0);
+        let targets = target_queries(&t);
+        assert_eq!(
+            targets[0].query.display(&t),
+            "σ birthCountry=\"USA\" AND birthYear>1990 (People)"
+        );
+        assert!(targets[5].query.display(&t).contains("height>75"));
+        assert!(targets[5].query.display(&t).contains("weight>260"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Copy-add preferential set generation (paper §5.2.2, Table 1).
+//!
+//! Each set has a size `s` drawn uniformly from a range `d` and an overlap
+//! ratio `α ∈ [0, 1)`: `⌈α·s⌉` elements are copied from a previously
+//! generated set (chosen uniformly) and the remaining elements are fresh
+//! entities from the universe; when the source set cannot supply enough
+//! elements the shortfall is also drawn fresh, as the paper prescribes.
+//!
+//! Higher `α` ⇒ more shared entities ⇒ fewer distinct entities and more
+//! filtering power per question (Fig. 5); the generator reproduces those
+//! trends. Absolute distinct-entity counts differ somewhat from Table 1 at
+//! extreme `α` (the paper underspecifies the copy mechanism); EXPERIMENTS.md
+//! records paper-vs-measured side by side.
+
+use setdisc_core::{Collection, EntitySet};
+use setdisc_core::entity::EntityId;
+use setdisc_util::Rng;
+
+/// Parameters of one synthetic collection (one cell of Table 1).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CopyAddConfig {
+    /// Number of sets `n`.
+    pub n_sets: usize,
+    /// Inclusive set-size range `d = [lo, hi]`.
+    pub size_range: (usize, usize),
+    /// Overlap ratio `α ∈ [0, 1)`.
+    pub overlap: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl CopyAddConfig {
+    /// Config matching Table 1(a): `n = 10k`, `d = 50–60`, the given `α`.
+    pub fn table1a(overlap: f64, seed: u64) -> Self {
+        Self {
+            n_sets: 10_000,
+            size_range: (50, 60),
+            overlap,
+            seed,
+        }
+    }
+
+    /// Config matching Table 1(b): `α = 0.9`, `d = 50–60`, the given `n`.
+    pub fn table1b(n_sets: usize, seed: u64) -> Self {
+        Self {
+            n_sets,
+            size_range: (50, 60),
+            overlap: 0.9,
+            seed,
+        }
+    }
+
+    /// Config matching Table 1(c): `n = 10k`, `α = 0.9`, the given range.
+    pub fn table1c(size_range: (usize, usize), seed: u64) -> Self {
+        Self {
+            n_sets: 10_000,
+            size_range,
+            overlap: 0.9,
+            seed,
+        }
+    }
+
+    /// A proportionally scaled-down copy (for quick tests and benches):
+    /// divides the set count by `factor`, keeping sizes and overlap.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        self.n_sets = (self.n_sets / factor).max(2);
+        self
+    }
+}
+
+/// Generates a collection with the copy-add mechanism. Duplicate sets (rare,
+/// possible at extreme overlap) are dropped by the collection builder, so
+/// the result can have slightly fewer than `n_sets` sets.
+pub fn generate_copy_add(cfg: &CopyAddConfig) -> Collection {
+    assert!(cfg.n_sets >= 1);
+    assert!((0.0..1.0).contains(&cfg.overlap), "α must be in [0,1)");
+    let (lo, hi) = cfg.size_range;
+    assert!(1 <= lo && lo <= hi, "bad size range");
+
+    let mut rng = Rng::new(cfg.seed);
+    let mut next_entity: u32 = 0;
+    let mut fresh = |rng: &mut Rng, _n: usize| {
+        let _ = rng;
+        let e = EntityId(next_entity);
+        next_entity += 1;
+        e
+    };
+
+    let mut sets: Vec<Vec<EntityId>> = Vec::with_capacity(cfg.n_sets);
+    for i in 0..cfg.n_sets {
+        let s = rng.range_usize(lo, hi + 1);
+        let mut elems: Vec<EntityId> = Vec::with_capacity(s);
+        if i > 0 {
+            let src = &sets[rng.range_usize(0, i)];
+            let want = ((cfg.overlap * s as f64).ceil() as usize).min(s);
+            let take = want.min(src.len());
+            for idx in rng.sample_indices(src.len(), take) {
+                elems.push(src[idx]);
+            }
+        }
+        while elems.len() < s {
+            elems.push(fresh(&mut rng, 1));
+        }
+        elems.sort_unstable();
+        elems.dedup();
+        sets.push(elems);
+    }
+
+    let built = setdisc_core::collection::CollectionBuilder::from_sets(
+        sets.into_iter().map(EntitySet::from_iter).collect(),
+    )
+    .build()
+    .expect("n_sets >= 1");
+    built.collection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(overlap: f64, seed: u64) -> CopyAddConfig {
+        CopyAddConfig {
+            n_sets: 500,
+            size_range: (20, 30),
+            overlap,
+            seed,
+        }
+    }
+
+    #[test]
+    fn respects_size_range() {
+        let c = generate_copy_add(&small(0.5, 1));
+        for (_, set) in c.iter() {
+            // Dedup can shrink a set below `lo` only via copy collisions,
+            // which sample_indices prevents (distinct indices), so sizes
+            // hold exactly.
+            assert!((20..=30).contains(&set.len()), "size {}", set.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_copy_add(&small(0.7, 42));
+        let b = generate_copy_add(&small(0.7, 42));
+        assert_eq!(a.len(), b.len());
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        let c = generate_copy_add(&small(0.7, 43));
+        let same = a
+            .iter()
+            .zip(c.iter())
+            .all(|((_, x), (_, y))| x == y);
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn distinct_entities_decrease_with_overlap() {
+        // The Table 1(a) trend: higher α ⇒ fewer distinct entities.
+        let counts: Vec<usize> = [0.2, 0.5, 0.8, 0.95]
+            .iter()
+            .map(|&a| generate_copy_add(&small(a, 7)).distinct_entities())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] > w[1]),
+            "not monotone: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_entities_grow_with_n_and_size() {
+        // Table 1(b) and 1(c) trends.
+        let base = small(0.9, 3);
+        let more_sets = CopyAddConfig {
+            n_sets: 2_000,
+            ..base
+        };
+        assert!(
+            generate_copy_add(&more_sets).distinct_entities()
+                > generate_copy_add(&base).distinct_entities()
+        );
+        let bigger_sets = CopyAddConfig {
+            size_range: (60, 90),
+            ..base
+        };
+        assert!(
+            generate_copy_add(&bigger_sets).distinct_entities()
+                > generate_copy_add(&base).distinct_entities()
+        );
+    }
+
+    #[test]
+    fn zero_overlap_is_all_fresh() {
+        let c = generate_copy_add(&small(0.0, 9));
+        // Every element fresh → total elements == distinct entities.
+        let total: usize = c.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(c.distinct_entities(), total);
+    }
+
+    #[test]
+    fn high_overlap_shares_heavily() {
+        let c = generate_copy_add(&small(0.95, 11));
+        let total: usize = c.iter().map(|(_, s)| s.len()).sum();
+        let distinct = c.distinct_entities();
+        assert!(
+            (distinct as f64) < 0.2 * total as f64,
+            "distinct {distinct} of {total} elements"
+        );
+    }
+
+    #[test]
+    fn fresh_entity_fraction_tracks_one_minus_alpha() {
+        // Expected fresh draws per set ≈ (1-α)·s̄; check within 20%.
+        let cfg = CopyAddConfig {
+            n_sets: 2_000,
+            size_range: (40, 50),
+            overlap: 0.75,
+            seed: 5,
+        };
+        let c = generate_copy_add(&cfg);
+        let avg_size = c.avg_set_size();
+        let fresh_per_set = c.distinct_entities() as f64 / cfg.n_sets as f64;
+        let expected = (1.0 - cfg.overlap) * avg_size;
+        assert!(
+            (fresh_per_set - expected).abs() < 0.3 * expected,
+            "fresh/set {fresh_per_set:.2} vs expected {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn table1_constructors() {
+        let a = CopyAddConfig::table1a(0.9, 1);
+        assert_eq!((a.n_sets, a.size_range), (10_000, (50, 60)));
+        let b = CopyAddConfig::table1b(20_000, 1);
+        assert_eq!((b.n_sets, b.overlap), (20_000, 0.9));
+        let c = CopyAddConfig::table1c((100, 150), 1);
+        assert_eq!(c.size_range, (100, 150));
+        assert_eq!(a.scaled_down(100).n_sets, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be in")]
+    fn rejects_alpha_one() {
+        generate_copy_add(&small(1.0, 1));
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic workload generators for the set-discovery experiments (§5.2).
+//!
+//! * [`copyadd`] — the paper's copy-add preferential set generator
+//!   (§5.2.2, Table 1): each set copies an `α` fraction of its elements
+//!   from a previously generated set and draws the rest fresh.
+//! * [`zipf`] — a Zipf sampler (substrate for the web-tables simulation).
+//! * [`webtables`] — a simulated web-table-column corpus standing in for
+//!   the paper's 2014 Wikipedia table snapshot (§5.2.1), plus two-entity
+//!   seed-query extraction. See DESIGN.md §4 for the substitution argument.
+//!
+//! Everything is deterministic from a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod copyadd;
+pub mod webtables;
+pub mod zipf;
+
+pub use copyadd::{CopyAddConfig, generate_copy_add};
+pub use webtables::{WebTablesConfig, WebTablesCorpus};
+pub use zipf::Zipf;

@@ -1,0 +1,399 @@
+//! A simulated web-table-column corpus (substitute for the paper's 2014
+//! Wikipedia table snapshot, §5.2.1 — see DESIGN.md §4).
+//!
+//! Structure mirrors what makes the real corpus interesting for set
+//! discovery:
+//!
+//! * **semantic classes** ("NBA players", "UK cities", …) each own a
+//!   vocabulary of entities; a column (= a set) samples one class's
+//!   vocabulary, so columns of the same class overlap heavily;
+//! * class popularity and within-class entity popularity are **Zipf**
+//!   distributed (popular classes yield many columns; popular entities
+//!   appear in most of them);
+//! * a small **ambiguous pool** of entities is shared across classes (the
+//!   paper's "Liverpool is both a City and a Football Club"), plus uniform
+//!   noise contamination;
+//! * the paper's cleaning rules apply: sets with fewer than three distinct
+//!   elements are dropped, duplicates removed.
+//!
+//! Seed queries are pairs of entities co-occurring in at least
+//! `min_candidates` columns — two examples disambiguate the class, exactly
+//! like the paper's two-entity initial sets.
+
+use crate::zipf::Zipf;
+use setdisc_core::collection::CollectionBuilder;
+use setdisc_core::entity::EntityId;
+use setdisc_core::{Collection, EntitySet};
+use setdisc_util::{FxHashMap, FxHashSet, Rng};
+
+/// Corpus generation parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WebTablesConfig {
+    /// Number of semantic classes.
+    pub n_classes: usize,
+    /// Inclusive class-vocabulary size range.
+    pub vocab_range: (usize, usize),
+    /// Number of columns (sets) to generate before cleaning.
+    pub n_columns: usize,
+    /// Inclusive column-size range.
+    pub column_size_range: (usize, usize),
+    /// Zipf exponent for class popularity.
+    pub class_zipf: f64,
+    /// Zipf exponent for within-class entity popularity.
+    pub entity_zipf: f64,
+    /// Fraction of each class's vocabulary drawn from the shared
+    /// cross-class pool (ambiguous entities).
+    pub ambiguous_fraction: f64,
+    /// Per-element probability of replacing a sampled entity with uniform
+    /// noise from the global universe.
+    pub noise_rate: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebTablesConfig {
+    fn default() -> Self {
+        Self {
+            n_classes: 60,
+            vocab_range: (800, 4_000),
+            n_columns: 12_000,
+            column_size_range: (8, 120),
+            class_zipf: 0.9,
+            entity_zipf: 0.8,
+            ambiguous_fraction: 0.04,
+            noise_rate: 0.01,
+            seed: 0x5e7d15c,
+        }
+    }
+}
+
+impl WebTablesConfig {
+    /// A small corpus for unit tests (fast to generate).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_classes: 8,
+            vocab_range: (60, 150),
+            n_columns: 600,
+            column_size_range: (5, 40),
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated corpus: the cleaned collection plus bookkeeping for seed
+/// query extraction.
+pub struct WebTablesCorpus {
+    /// The cleaned collection of column-sets.
+    pub collection: Collection,
+    /// Duplicate columns dropped by cleaning.
+    pub duplicates_dropped: usize,
+    /// Columns dropped for having fewer than three distinct elements.
+    pub small_dropped: usize,
+    /// The class each *kept* column was sampled from (diagnostics).
+    pub column_class: Vec<u32>,
+}
+
+/// Generates a corpus.
+pub fn generate(cfg: &WebTablesConfig) -> WebTablesCorpus {
+    assert!(cfg.n_classes >= 1 && cfg.n_columns >= 1);
+    let (vlo, vhi) = cfg.vocab_range;
+    let (clo, chi) = cfg.column_size_range;
+    assert!(1 <= vlo && vlo <= vhi && 1 <= clo && clo <= chi);
+    assert!((0.0..=0.5).contains(&cfg.ambiguous_fraction));
+    assert!((0.0..=1.0).contains(&cfg.noise_rate));
+
+    let mut rng = Rng::new(cfg.seed);
+
+    // Shared ambiguous pool: sized to the average vocabulary.
+    let avg_vocab = (vlo + vhi) / 2;
+    let pool_size = ((avg_vocab as f64 * cfg.ambiguous_fraction * cfg.n_classes as f64)
+        .sqrt()
+        .ceil() as usize)
+        .max(8);
+    let mut next_entity: u32 = 0;
+    let pool: Vec<EntityId> = (0..pool_size)
+        .map(|_| {
+            let e = EntityId(next_entity);
+            next_entity += 1;
+            e
+        })
+        .collect();
+
+    // Class vocabularies: mostly fresh entities + a slice of the pool.
+    let mut vocabs: Vec<Vec<EntityId>> = Vec::with_capacity(cfg.n_classes);
+    for _ in 0..cfg.n_classes {
+        let size = rng.range_usize(vlo, vhi + 1);
+        let n_ambiguous = ((size as f64 * cfg.ambiguous_fraction) as usize).min(pool.len());
+        let mut vocab: Vec<EntityId> = Vec::with_capacity(size);
+        for idx in rng.sample_indices(pool.len(), n_ambiguous) {
+            vocab.push(pool[idx]);
+        }
+        while vocab.len() < size {
+            vocab.push(EntityId(next_entity));
+            next_entity += 1;
+        }
+        // Popularity rank = position: keep ambiguous entities spread out.
+        rng.shuffle(&mut vocab);
+        vocabs.push(vocab);
+    }
+    let universe = next_entity;
+
+    let class_dist = Zipf::new(cfg.n_classes, cfg.class_zipf);
+    let mut builder = CollectionBuilder::new();
+    let mut column_class_raw: Vec<u32> = Vec::with_capacity(cfg.n_columns);
+    let mut small_dropped = 0usize;
+
+    for _ in 0..cfg.n_columns {
+        let class = class_dist.sample(&mut rng);
+        let vocab = &vocabs[class];
+        let want = rng.range_usize(clo, chi + 1).min(vocab.len());
+        // Within-class Zipf sampling without replacement: rejection on a
+        // seen-set; bounded because want ≤ |vocab|.
+        let entity_dist = Zipf::new(vocab.len(), cfg.entity_zipf);
+        let mut chosen: FxHashSet<EntityId> = FxHashSet::default();
+        let mut attempts = 0usize;
+        while chosen.len() < want && attempts < want * 30 {
+            attempts += 1;
+            let e = vocab[entity_dist.sample(&mut rng)];
+            chosen.insert(e);
+        }
+        // Top up uniformly if rejection stalled in the Zipf head.
+        if chosen.len() < want {
+            for idx in rng.sample_indices(vocab.len(), want) {
+                chosen.insert(vocab[idx]);
+                if chosen.len() >= want {
+                    break;
+                }
+            }
+        }
+        // Noise contamination.
+        let mut elems: Vec<EntityId> = chosen
+            .into_iter()
+            .map(|e| {
+                if rng.chance(cfg.noise_rate) {
+                    EntityId(rng.gen_range(universe as u64) as u32)
+                } else {
+                    e
+                }
+            })
+            .collect();
+        elems.sort_unstable();
+        elems.dedup();
+        // Cleaning rule: at least three distinct elements.
+        if elems.len() < 3 {
+            small_dropped += 1;
+            continue;
+        }
+        let before = builder.len();
+        builder.push(EntitySet::from_sorted_unchecked(elems));
+        if builder.len() > before {
+            column_class_raw.push(class as u32);
+        }
+    }
+
+    let built = builder.build().expect("non-empty corpus");
+    WebTablesCorpus {
+        collection: built.collection,
+        duplicates_dropped: built.duplicates_dropped,
+        small_dropped,
+        column_class: column_class_raw,
+    }
+}
+
+/// A two-entity seed query and the size of its candidate sub-collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedQuery {
+    /// The two example entities.
+    pub entities: [EntityId; 2],
+    /// Number of candidate sets containing both.
+    pub n_candidates: usize,
+}
+
+/// Extracts up to `max_queries` distinct two-entity seed queries whose
+/// candidate sub-collections contain at least `min_candidates` sets
+/// (mirroring the paper's ≥100-set sub-collections). Pairs are sampled from
+/// co-occurring entities in random sets, so they always have ≥1 candidate.
+pub fn seed_queries(
+    collection: &Collection,
+    min_candidates: usize,
+    max_queries: usize,
+    seed: u64,
+) -> Vec<SeedQuery> {
+    let mut rng = Rng::new(seed);
+    let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+    let mut out = Vec::new();
+    // Expected yield per attempt is high for clustered corpora; the attempt
+    // bound keeps pathological inputs from spinning.
+    let max_attempts = max_queries.saturating_mul(200).max(1_000);
+    for _ in 0..max_attempts {
+        if out.len() >= max_queries {
+            break;
+        }
+        let sid = setdisc_core::entity::SetId(rng.gen_range(collection.len() as u64) as u32);
+        let set = collection.set(sid);
+        if set.len() < 2 {
+            continue;
+        }
+        let idx = rng.sample_indices(set.len(), 2);
+        let (mut a, mut b) = (set.as_slice()[idx[0]], set.as_slice()[idx[1]]);
+        if b < a {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if !seen.insert((a, b)) {
+            continue;
+        }
+        let view = collection.supersets_of(&[a, b]);
+        if view.len() >= min_candidates {
+            out.push(SeedQuery {
+                entities: [a, b],
+                n_candidates: view.len(),
+            });
+        }
+    }
+    out
+}
+
+/// Summary statistics of the sub-collections induced by seed queries —
+/// the numbers §5.2.1 reports for the real corpus (set counts, distinct
+/// entity counts).
+#[derive(Clone, Debug, Default)]
+pub struct SubCollectionStats {
+    /// Number of sub-collections summarized.
+    pub count: usize,
+    /// Min/mean/max candidate-set counts.
+    pub sets_min: usize,
+    /// Mean candidate-set count.
+    pub sets_mean: f64,
+    /// Max candidate-set count.
+    pub sets_max: usize,
+    /// Min distinct entities.
+    pub entities_min: usize,
+    /// Mean distinct entities.
+    pub entities_mean: f64,
+    /// Max distinct entities.
+    pub entities_max: usize,
+}
+
+/// Computes [`SubCollectionStats`] over the given seed queries.
+pub fn subcollection_stats(collection: &Collection, queries: &[SeedQuery]) -> SubCollectionStats {
+    let mut stats = SubCollectionStats {
+        count: queries.len(),
+        sets_min: usize::MAX,
+        entities_min: usize::MAX,
+        ..Default::default()
+    };
+    if queries.is_empty() {
+        return SubCollectionStats::default();
+    }
+    let mut set_sum = 0usize;
+    let mut ent_sum = 0usize;
+    for q in queries {
+        let view = collection.supersets_of(&q.entities);
+        let mut distinct: FxHashMap<EntityId, ()> = FxHashMap::default();
+        for &id in view.ids() {
+            for e in collection.set(id).iter() {
+                distinct.insert(e, ());
+            }
+        }
+        let n = view.len();
+        let m = distinct.len();
+        set_sum += n;
+        ent_sum += m;
+        stats.sets_min = stats.sets_min.min(n);
+        stats.sets_max = stats.sets_max.max(n);
+        stats.entities_min = stats.entities_min.min(m);
+        stats.entities_max = stats.entities_max.max(m);
+    }
+    stats.sets_mean = set_sum as f64 / queries.len() as f64;
+    stats.entities_mean = ent_sum as f64 / queries.len() as f64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_clean() {
+        let corpus = generate(&WebTablesConfig::tiny(1));
+        assert!(corpus.collection.len() > 100);
+        for (_, set) in corpus.collection.iter() {
+            assert!(set.len() >= 3, "cleaning rule: ≥3 distinct elements");
+        }
+        assert_eq!(corpus.column_class.len(), corpus.collection.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&WebTablesConfig::tiny(9));
+        let b = generate(&WebTablesConfig::tiny(9));
+        assert_eq!(a.collection.len(), b.collection.len());
+        for ((_, x), (_, y)) in a.collection.iter().zip(b.collection.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn same_class_columns_overlap_more() {
+        let corpus = generate(&WebTablesConfig::tiny(3));
+        let c = &corpus.collection;
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        let ids: Vec<_> = c.iter().map(|(id, _)| id).collect();
+        for i in (0..ids.len().min(300)).step_by(3) {
+            for j in (i + 1..ids.len().min(300)).step_by(7) {
+                let jac = c.set(ids[i]).jaccard(c.set(ids[j]));
+                if corpus.column_class[i] == corpus.column_class[j] {
+                    same.push(jac);
+                } else {
+                    diff.push(jac);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&same) > mean(&diff) * 3.0,
+            "same-class {:.4} vs cross-class {:.4}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+
+    #[test]
+    fn seed_queries_have_enough_candidates() {
+        let corpus = generate(&WebTablesConfig::tiny(5));
+        let queries = seed_queries(&corpus.collection, 20, 10, 99);
+        assert!(!queries.is_empty(), "should find popular-class pairs");
+        for q in &queries {
+            assert!(q.n_candidates >= 20);
+            let view = corpus.collection.supersets_of(&q.entities);
+            assert_eq!(view.len(), q.n_candidates);
+        }
+        // Distinct pairs.
+        let uniq: FxHashSet<_> = queries.iter().map(|q| q.entities).collect();
+        assert_eq!(uniq.len(), queries.len());
+    }
+
+    #[test]
+    fn impossible_threshold_yields_no_queries() {
+        let corpus = generate(&WebTablesConfig::tiny(5));
+        let queries = seed_queries(&corpus.collection, usize::MAX, 5, 1);
+        assert!(queries.is_empty());
+    }
+
+    #[test]
+    fn stats_summarize_subcollections() {
+        let corpus = generate(&WebTablesConfig::tiny(7));
+        let queries = seed_queries(&corpus.collection, 10, 8, 42);
+        let stats = subcollection_stats(&corpus.collection, &queries);
+        assert_eq!(stats.count, queries.len());
+        assert!(stats.sets_min >= 10);
+        assert!(stats.sets_mean >= stats.sets_min as f64);
+        assert!(stats.sets_max >= stats.sets_mean as usize);
+        assert!(stats.entities_min > 0);
+        assert!(stats.entities_mean <= stats.entities_max as f64);
+        let empty = subcollection_stats(&corpus.collection, &[]);
+        assert_eq!(empty.count, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! `P(rank = i) ∝ 1 / (i + 1)^s`. Implemented with a precomputed CDF table
+//! and binary search — O(n) setup, O(log n) per sample, exact and
+//! deterministic with the workspace PRNG. Used to give the simulated
+//! web-table corpus the heavy-tailed class/entity popularity the real
+//! Wikipedia tables exhibit.
+
+use setdisc_util::Rng;
+
+/// A Zipf(n, s) sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n ≥ 1` ranks with exponent `s ≥ 0` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite, ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding keeping the last bucket unreachable.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false // n ≥ 1 is enforced at construction
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        // First index with cdf[i] >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of one rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        match rank {
+            0 => self.cdf[0],
+            r if r < self.cdf.len() => self.cdf[r] - self.cdf[r - 1],
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(100));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = Rng::new(17);
+        let n = 100_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head probabilities should match within a few percent.
+        for (r, &count) in counts.iter().enumerate().take(5) {
+            let observed = count as f64 / n as f64;
+            let expected = z.pmf(r);
+            assert!(
+                (observed - expected).abs() < 0.01 + 0.05 * expected,
+                "rank {r}: {observed:.4} vs {expected:.4}"
+            );
+        }
+        // Every rank reachable in principle; tail ranks may be unseen in a
+        // finite sample, but all samples must be in range (checked by
+        // indexing not panicking above).
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let z = Zipf::new(20, 1.0);
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A dense fixed-capacity bitset.
+//!
+//! Used as the canonical key for sub-collections in the exact DP optimizer
+//! (`setdisc-core::optimal`) and for fast membership tests when partitioning
+//! candidate sets. The capacity is fixed at construction; all operations that
+//! combine two bitsets require equal capacity.
+
+/// Dense bitset over `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// An empty bitset with capacity for `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitset with all `len` bits set.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Builds from an iterator of bit indices.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection with `other` (equal capacity required).
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other` (equal capacity required).
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference `self \ other` (equal capacity required).
+    pub fn difference_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Iterator over set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Raw words (for hashing / canonical keys).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for DenseBitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = DenseBitSet::new(130);
+        assert!(!b.contains(0));
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert_eq!(b.count(), 3);
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity_tail() {
+        let b = DenseBitSet::full(70);
+        assert_eq!(b.count(), 70);
+        assert!(b.contains(69));
+        assert!(!b.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = DenseBitSet::from_indices(100, [1, 2, 3, 64, 99]);
+        let b = DenseBitSet::from_indices(100, [2, 3, 4, 64]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3, 64]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 6);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 99]);
+    }
+
+    #[test]
+    fn iter_ordered_and_complete() {
+        let idx = [0usize, 5, 63, 64, 65, 127, 128];
+        let b = DenseBitSet::from_indices(200, idx);
+        assert_eq!(b.iter().collect::<Vec<_>>(), idx.to_vec());
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = DenseBitSet::from_indices(64, [1, 2]);
+        let b = DenseBitSet::from_indices(64, [2, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let mut a = DenseBitSet::new(64);
+        let b = DenseBitSet::new(65);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut b = DenseBitSet::new(10);
+        assert!(b.is_empty());
+        b.insert(9);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher in the style of rustc's `FxHasher`.
+//!
+//! The lookahead memo cache hashes boxed slices of 32-bit set ids millions of
+//! times per tree; SipHash dominates profiles there. This is the classic
+//! Fx/FireFox mix: multiply by a large odd constant and rotate. It offers no
+//! HashDoS protection, which is fine — every key hashed in this workspace is
+//! produced by the program itself, never by an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx mix (64-bit golden-ratio odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast non-cryptographic hasher; see module docs for the trade-offs.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"hello world"), hash_bytes(b"hello world"));
+    }
+
+    #[test]
+    fn distinguishes_lengths_of_zero_padding() {
+        // A trailing partial chunk encodes its length, so `[0]` and `[0,0]`
+        // must hash differently even though the padded words are equal.
+        assert_ne!(hash_bytes(&[0]), hash_bytes(&[0, 0]));
+        assert_ne!(hash_bytes(&[]), hash_bytes(&[0]));
+    }
+
+    #[test]
+    fn distinguishes_neighbouring_integers() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn chunked_writes_match_single_write() {
+        // Hashing the same logical bytes through `write` must not depend on
+        // how callers split their buffers only when split on 8-byte borders.
+        let data: Vec<u8> = (0..64).collect();
+        let whole = hash_bytes(&data);
+        let mut h = FxHasher::default();
+        h.write(&data[..32]);
+        h.write(&data[32..]);
+        assert_eq!(whole, h.finish());
+    }
+}

@@ -1,0 +1,31 @@
+//! Substrate utilities shared by the interactive-set-discovery crates.
+//!
+//! Everything here is deliberately dependency-free so the whole workspace can
+//! be built offline:
+//!
+//! * [`hash`] — an `FxHash`-style fast hasher plus `HashMap`/`HashSet` type
+//!   aliases keyed on it (hot maps are keyed by small integers, where SipHash
+//!   is needlessly slow).
+//! * [`bitset`] — a dense, fixed-capacity bitset used for sub-collection keys
+//!   in the exact dynamic-programming optimizer.
+//! * [`math`] — exact integer math for the paper's cost lower bounds, most
+//!   importantly `⌈n·log₂ n⌉` computed in fixed point so pruning decisions
+//!   never depend on float rounding.
+//! * [`rng`] — a small, seedable xoshiro256++ PRNG with the handful of
+//!   distributions the generators need. Keeping the PRNG local makes every
+//!   experiment reproducible independent of `rand` version bumps.
+//! * [`report`] — minimal table/CSV/markdown emitters for the experiment
+//!   harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod hash;
+pub mod math;
+pub mod report;
+pub mod rng;
+
+pub use bitset::DenseBitSet;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use rng::Rng;

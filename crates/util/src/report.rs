@@ -1,0 +1,205 @@
+//! Minimal tabular report emitters (markdown and CSV) for the experiment
+//! harness. Hand-rolled so the workspace carries no serialization
+//! dependencies; the formats are trivial.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// A simple table: a header row plus data rows of equal arity.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table with a bold title line.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()
+    }
+}
+
+/// Formats a duration compactly: `412ns`, `3.21µs`, `14.8ms`, `2.35s`, `1m04s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns < 60 * 1_000_000_000u128 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else {
+        let secs = d.as_secs();
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    }
+}
+
+/// Formats a float with `prec` decimals, trimming `-0.000` to `0.000`.
+pub fn fmt_f64(x: f64, prec: usize) -> String {
+    let s = format!("{x:.prec$}");
+    if s.starts_with('-') && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("**Demo**"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 1 | 2  |"));
+        assert_eq!(md.lines().count(), 5); // title, blank, header, sep, row
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["h1", "h,2"]);
+        t.row(vec!["plain".into(), "quo\"te".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "h1,\"h,2\"");
+        assert_eq!(lines.next().unwrap(), "plain,\"quo\"\"te\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new("x", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_csv_roundtrip(){
+        let dir = std::env::temp_dir().join("setdisc-util-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["v".into()]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\nv\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_nanos(412)), "412ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3210)), "3.21ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2350)), "2.35s");
+        assert_eq!(fmt_duration(Duration::from_secs(64)), "1m04s");
+    }
+
+    #[test]
+    fn f64_formats() {
+        assert_eq!(fmt_f64(2.857142, 3), "2.857");
+        assert_eq!(fmt_f64(-0.00001, 3), "0.000");
+        assert_eq!(fmt_f64(-1.5, 1), "-1.5");
+    }
+}

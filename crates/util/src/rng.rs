@@ -1,0 +1,275 @@
+//! A small, seedable PRNG (xoshiro256++) with the distributions the
+//! generators need.
+//!
+//! The synthetic-data experiments must be reproducible bit-for-bit from a
+//! `u64` seed across the whole workspace, including crates that do not link
+//! `rand`. xoshiro256++ passes BigCrush, is four words of state, and is the
+//! same generator family `rand` uses for its small RNGs.
+
+/// xoshiro256++ PRNG, seeded through SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Distinct seeds give
+    /// statistically independent streams (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)` via Lemire's multiply-shift with rejection.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range of empty range");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi)`. Panics when `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal via Box–Muller (caches the paired output).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 1e-12 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare_normal = Some(r * s);
+        r * c
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Chooses one element by reference; `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k ≤ n), in random order.
+    /// Uses a partial Fisher–Yates over an index map so it is O(k) memory
+    /// for small k and O(n) only when k approaches n.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        if k * 3 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            return all;
+        }
+        // Sparse Fisher-Yates: swap map holds displaced entries only.
+        let mut swap: crate::FxHashMap<usize, usize> = crate::FxHashMap::default();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.gen_range((n - i) as u64) as usize;
+            let vi = swap.get(&i).copied().unwrap_or(i);
+            let vj = swap.get(&j).copied().unwrap_or(j);
+            out.push(vj);
+            swap.insert(j, vi);
+        }
+        out
+    }
+
+    /// Forks an independent child stream (e.g. one per thread/worker).
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = r.gen_range(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = Rng::new(99);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let z = r.normal();
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Rng::new(11);
+        for &(n, k) in &[(100usize, 5usize), (100, 90), (10, 10), (1000, 2)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let uniq: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(uniq.len(), k, "distinct");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_unbiased_smoke() {
+        // Each of 0..10 should be sampled ~equally often when k=3.
+        let mut r = Rng::new(13);
+        let mut counts = [0u32; 10];
+        for _ in 0..30_000 {
+            for i in r.sample_indices(10, 3) {
+                counts[i] += 1;
+            }
+        }
+        let expected = 9_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "index {i} count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(3);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut base = Rng::new(1);
+        let mut a = base.fork(1);
+        let mut b = base.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

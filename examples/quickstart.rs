@@ -1,0 +1,61 @@
+//! Quickstart: the paper's running example (Figure 1 / Figure 2a).
+//!
+//! Builds the seven-set collection, constructs an optimal decision tree
+//! with 3-step lookahead, prints it, and interactively discovers a target
+//! set with a simulated user.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use interactive_set_discovery::prelude::*;
+
+fn main() {
+    // Entities a..k ↦ 0..10, named for readable output.
+    let mut names = EntityInterner::new();
+    for n in ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"] {
+        names.intern(n);
+    }
+
+    // The collection of Figure 1.
+    let collection = Collection::from_raw_sets(vec![
+        vec![0, 1, 2, 3],    // S1 = {a,b,c,d}
+        vec![0, 3, 4],       // S2 = {a,d,e}
+        vec![0, 1, 2, 3, 5], // S3 = {a,b,c,d,f}
+        vec![0, 1, 2, 6, 7], // S4 = {a,b,c,g,h}
+        vec![0, 1, 7, 8],    // S5 = {a,b,h,i}
+        vec![0, 1, 9, 10],   // S6 = {a,b,j,k}
+        vec![0, 1, 6],       // S7 = {a,b,g}
+    ])
+    .expect("non-empty, unique sets");
+
+    // Offline: build a decision tree with k-LP (k = 3, average-depth cost).
+    let mut strategy = KLp::<AvgDepth>::new(3);
+    let tree = build_tree(&collection.full_view(), &mut strategy).expect("tree");
+    println!("Decision tree (avg depth {:.3}, height {}):", tree.avg_depth(), tree.height());
+    println!("{}", tree.render(Some(&names)));
+    assert_eq!(tree.total_depth(), 20, "optimal: 20/7 ≈ 2.857 (Lemma 3.3)");
+
+    // Online: discover S5 = {a,b,h,i} starting from the ambiguous
+    // example {b}, which six of the seven sets contain.
+    let target = collection.set(SetId(4)).clone();
+    let mut session = Session::new(&collection, &[EntityId(1)], KLp::<AvgDepth>::new(2));
+    println!(
+        "Initial example {{b}} leaves {} candidates",
+        session.candidates().len()
+    );
+    let mut oracle = SimulatedOracle::new(&target);
+    while !session.is_resolved() {
+        let q = session.next_question().expect("informative entity exists");
+        let answer = <SimulatedOracle as Oracle>::answer(&mut oracle, q);
+        println!("  Q: is {} in your set?  A: {answer:?}", names.display(q));
+        session.answer(q, answer);
+    }
+    let outcome = session.outcome();
+    println!(
+        "Discovered {} in {} questions",
+        outcome.discovered().map(|s| s.to_string()).unwrap_or_default(),
+        outcome.questions
+    );
+    assert_eq!(outcome.discovered(), Some(SetId(4)));
+}

@@ -1,0 +1,83 @@
+//! Set discovery over a simulated web-table corpus (§5.2.1 end to end):
+//! generate the corpus, pick a two-entity seed query, and find a target
+//! column among the candidates — also demonstrating the "don't know" and
+//! error-recovery extensions (§6).
+//!
+//! ```sh
+//! cargo run --release --example web_tables
+//! ```
+
+use interactive_set_discovery::core::cost::AvgDepth;
+use interactive_set_discovery::core::discovery::{Session, SimulatedOracle, UnsureOracle};
+use interactive_set_discovery::core::ext::noisy::{FaultInjectingOracle, RecoveringSession};
+use interactive_set_discovery::core::lookahead::KLp;
+use interactive_set_discovery::core::strategy::MostEven;
+use interactive_set_discovery::synth::webtables::{self, WebTablesConfig};
+
+fn main() {
+    let corpus = webtables::generate(&WebTablesConfig {
+        n_columns: 4_000,
+        seed: 7,
+        ..WebTablesConfig::default()
+    });
+    println!(
+        "Corpus: {} column-sets ({} duplicates and {} tiny columns dropped)",
+        corpus.collection.len(),
+        corpus.duplicates_dropped,
+        corpus.small_dropped
+    );
+
+    let queries = webtables::seed_queries(&corpus.collection, 50, 5, 11);
+    let q = queries.first().expect("a popular entity pair");
+    println!(
+        "Seed query {:?} matches {} candidate sets",
+        q.entities, q.n_candidates
+    );
+    let view = corpus.collection.supersets_of(&q.entities);
+    let target_id = view.ids()[view.len() / 2];
+    let target = corpus.collection.set(target_id).clone();
+
+    // Plain discovery with 2-step lookahead.
+    let mut session = Session::over(view.clone(), KLp::<AvgDepth>::new(2));
+    let outcome = session
+        .run(&mut SimulatedOracle::new(&target))
+        .expect("truthful oracle");
+    println!(
+        "k-LP(2) found {} in {} questions (candidates were {})",
+        target_id,
+        outcome.questions,
+        q.n_candidates
+    );
+    assert_eq!(outcome.discovered(), Some(target_id));
+
+    // A hesitant user: 20% of questions answered "don't know".
+    let mut session = Session::over(view.clone(), KLp::<AvgDepth>::new(2));
+    let outcome = session
+        .run(&mut UnsureOracle::new(&target, 0.2, 3))
+        .expect("shrugs never contradict");
+    println!(
+        "with don't-know answers: {} questions + {} shrugs → {}",
+        outcome.questions,
+        outcome.unknowns,
+        outcome
+            .discovered()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("{} candidates left", outcome.candidates.len()))
+    );
+
+    // An erring user: the third answer is wrong; confirm-and-backtrack
+    // recovery (§6) still finds the true target.
+    let mut recovering = RecoveringSession::new(
+        &corpus.collection,
+        &q.entities,
+        MostEven::new(),
+        16,
+    );
+    let mut oracle = FaultInjectingOracle::new(&target, target_id, vec![2]);
+    let recovered = recovering.run(&mut oracle).expect("recoverable");
+    println!(
+        "with one wrong answer: recovered {} after {} backtracks ({} questions total)",
+        recovered.discovered, recovered.backtracks, recovered.questions
+    );
+    assert_eq!(recovered.discovered, target_id);
+}

@@ -1,0 +1,23 @@
+//! Facade crate re-exporting the interactive-set-discovery workspace.
+//!
+//! * [`core`] — the paper's contribution: cost lower bounds, pruned k-step
+//!   lookahead (k-LP / k-LPLE / k-LPLVE), decision trees, discovery
+//!   sessions, exact optimal solver, extensions.
+//! * [`synth`] — synthetic workloads (copy-add collections, simulated web
+//!   tables).
+//! * [`relation`] — the relational substrate for query discovery.
+//! * [`eval`] — experiment harness reproducing every paper table/figure.
+//! * [`util`] — shared substrate (hashing, bitsets, exact log math, PRNG).
+//!
+//! See the repository README for a guided tour, `examples/` for runnable
+//! entry points, and DESIGN.md / EXPERIMENTS.md for the reproduction notes.
+
+#![forbid(unsafe_code)]
+
+pub use setdisc_core as core;
+pub use setdisc_eval as eval;
+pub use setdisc_relation as relation;
+pub use setdisc_synth as synth;
+pub use setdisc_util as util;
+
+pub use setdisc_core::prelude;

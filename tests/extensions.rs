@@ -1,0 +1,123 @@
+//! Integration tests for the §6/§7 extensions on realistic (synthetic)
+//! workloads: non-uniform priors, batch questions, error recovery, entity
+//! collapsing, and the analysis module's predictions.
+
+use interactive_set_discovery::core::analysis::CollectionProfile;
+use interactive_set_discovery::core::builder::build_tree;
+use interactive_set_discovery::core::ext::batch::run_batched;
+use interactive_set_discovery::core::ext::noisy::{FaultInjectingOracle, RecoveringSession};
+use interactive_set_discovery::core::ext::weighted::{expected_depth, Priors, WeightedMostEven};
+use interactive_set_discovery::core::strategy::MostEven;
+use interactive_set_discovery::core::transform::collapse_equivalent_entities;
+use interactive_set_discovery::synth::copyadd::{generate_copy_add, CopyAddConfig};
+use interactive_set_discovery::synth::webtables::{self, WebTablesConfig};
+
+fn synth(n: usize, overlap: f64, seed: u64) -> interactive_set_discovery::core::Collection {
+    generate_copy_add(&CopyAddConfig {
+        n_sets: n,
+        size_range: (6, 10),
+        overlap,
+        seed,
+    })
+}
+
+#[test]
+fn weighted_priors_beat_uniform_trees_under_skew() {
+    let collection = synth(48, 0.85, 3);
+    let view = collection.full_view();
+    // 80% of the probability mass on five "hot" sets.
+    let mut raw = vec![0.2 / 43.0; collection.len()];
+    for w in raw.iter_mut().take(5) {
+        *w = 0.16;
+    }
+    let priors = Priors::from_weights(raw).unwrap();
+    let uniform_tree = build_tree(&view, &mut MostEven::new()).unwrap();
+    let weighted_tree =
+        build_tree(&view, &mut WeightedMostEven::new(priors.clone())).unwrap();
+    weighted_tree.validate(&view).unwrap();
+    let e_uniform = expected_depth(&uniform_tree, &priors);
+    let e_weighted = expected_depth(&weighted_tree, &priors);
+    assert!(
+        e_weighted <= e_uniform + 1e-9,
+        "weighted {e_weighted:.3} vs uniform {e_uniform:.3}"
+    );
+}
+
+#[test]
+fn batched_questions_cut_interactions_on_synthetic_data() {
+    let collection = synth(64, 0.8, 5);
+    let view = collection.full_view();
+    let mut total_single = 0usize;
+    let mut total_batched = 0usize;
+    for (_, target) in collection.iter().take(12) {
+        let single = run_batched(&view, target, 1);
+        let batched = run_batched(&view, target, 4);
+        assert_eq!(single.candidates.len(), 1);
+        assert_eq!(batched.candidates, single.candidates);
+        total_single += single.interactions;
+        total_batched += batched.interactions;
+    }
+    assert!(
+        total_batched * 2 <= total_single,
+        "batching should at least halve screens: {total_batched} vs {total_single}"
+    );
+}
+
+#[test]
+fn recovery_handles_every_single_error_position() {
+    let collection = synth(24, 0.8, 9);
+    let (id, target) = collection.iter().nth(7).unwrap();
+    // Clean run to learn the question count.
+    let mut probe = RecoveringSession::new(&collection, &[], MostEven::new(), 0);
+    let clean_q = probe
+        .run(&mut FaultInjectingOracle::new(target, id, vec![]))
+        .unwrap()
+        .questions;
+    // Inject a single error at every possible position; all must recover.
+    for wrong_at in 0..clean_q {
+        let mut session =
+            RecoveringSession::new(&collection, &[], MostEven::new(), clean_q * 3);
+        let mut oracle = FaultInjectingOracle::new(target, id, vec![wrong_at]);
+        let out = session
+            .run(&mut oracle)
+            .unwrap_or_else(|e| panic!("error at {wrong_at}: {e}"));
+        assert_eq!(out.discovered, id, "error at question {wrong_at}");
+        assert!(out.backtracks >= 1);
+    }
+}
+
+#[test]
+fn collapsing_web_corpus_preserves_discovery() {
+    let corpus = webtables::generate(&WebTablesConfig::tiny(13));
+    let collapsed = collapse_equivalent_entities(&corpus.collection);
+    assert!(collapsed.collection.distinct_entities() <= corpus.collection.distinct_entities());
+    assert_eq!(collapsed.collection.len(), corpus.collection.len());
+    // Trees over both have identical cost for the same strategy.
+    use interactive_set_discovery::core::cost::AvgDepth;
+    use interactive_set_discovery::core::lookahead::KLp;
+    let ids: Vec<_> = corpus
+        .collection
+        .iter()
+        .map(|(id, _)| id)
+        .take(40)
+        .collect();
+    let v1 = interactive_set_discovery::core::SubCollection::from_ids(
+        &corpus.collection,
+        ids.clone(),
+    );
+    let v2 =
+        interactive_set_discovery::core::SubCollection::from_ids(&collapsed.collection, ids);
+    let t1 = build_tree(&v1, &mut KLp::<AvgDepth>::new(2)).unwrap();
+    let t2 = build_tree(&v2, &mut KLp::<AvgDepth>::new(2)).unwrap();
+    assert_eq!(t1.total_depth(), t2.total_depth());
+}
+
+#[test]
+fn profile_tracks_overlap_knob() {
+    let loose = CollectionProfile::new(&synth(80, 0.3, 1), 300, 1);
+    let tight = CollectionProfile::new(&synth(80, 0.95, 1), 300, 1);
+    assert!(tight.avg_pairwise_jaccard > loose.avg_pairwise_jaccard * 2.0);
+    assert!(tight.distinct_entities < loose.distinct_entities);
+    assert_eq!(loose.n_sets, 80);
+    assert!(loose.lb_max_questions >= 7); // ⌈log₂ 80⌉ = 7
+}

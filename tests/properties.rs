@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) over randomly generated collections:
+//! the paper's lemmas and the structural invariants of the implementation.
+
+use interactive_set_discovery::core::builder::build_tree;
+use interactive_set_discovery::core::cost::{imbalance, AvgDepth, CostModel, Height};
+use interactive_set_discovery::core::discovery::{Session, SimulatedOracle};
+use interactive_set_discovery::core::lookahead::{GainK, KLp};
+use interactive_set_discovery::core::optimal::optimal_cost;
+use interactive_set_discovery::core::strategy::{
+    IndistinguishablePairs, InfoGain, MostEven, SelectionStrategy,
+};
+use interactive_set_discovery::core::subcollection::CountScratch;
+use interactive_set_discovery::core::Collection;
+use proptest::prelude::*;
+
+/// Random small collections: up to `max_sets` sets over a universe of
+/// `universe` entities, deduplicated by construction.
+fn arb_collection(max_sets: usize, universe: u32) -> impl Strategy<Value = Collection> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..universe, 1..=(universe as usize).min(12)),
+        2..=max_sets,
+    )
+    .prop_filter_map("collections must have ≥2 unique sets", |sets| {
+        let raw: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        match Collection::from_raw_sets(raw) {
+            Ok(c) if c.len() >= 2 => Some(c),
+            _ => None,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 4.1: LB_k(C) is non-decreasing in k, for both metrics.
+    #[test]
+    fn lb_k_is_monotone_in_k(c in arb_collection(10, 16)) {
+        let view = c.full_view();
+        let mut prev_ad = 0u64;
+        let mut prev_h = 0u64;
+        for k in 1..=4u32 {
+            let (_, ad) = KLp::<AvgDepth>::new(k).bound(&view).expect("informative");
+            let (_, h) = KLp::<Height>::new(k).bound(&view).expect("informative");
+            prop_assert!(ad >= prev_ad, "AD k={} {} < {}", k, ad, prev_ad);
+            prop_assert!(h >= prev_h, "H k={} {} < {}", k, h, prev_h);
+            prev_ad = ad;
+            prev_h = h;
+        }
+    }
+
+    /// Lemma 4.4 safety: pruning never changes the computed k-step bound
+    /// (k-LP vs the exhaustive gain-k reference).
+    #[test]
+    fn pruning_is_lossless(c in arb_collection(10, 14)) {
+        let view = c.full_view();
+        for k in 1..=3u32 {
+            let klp = KLp::<AvgDepth>::new(k).bound(&view);
+            let gk = GainK::<AvgDepth>::new(k).bound(&view);
+            prop_assert_eq!(klp, gk, "AD k={}", k);
+            let klp_h = KLp::<Height>::new(k).bound(&view);
+            let gk_h = GainK::<Height>::new(k).bound(&view);
+            prop_assert_eq!(klp_h, gk_h, "H k={}", k);
+        }
+    }
+
+    /// Lemma 4.3: InfoGain, indistinguishable pairs and most-even select
+    /// entities with the same (optimal) partition imbalance.
+    #[test]
+    fn greedy_strategies_agree_on_imbalance(c in arb_collection(12, 16)) {
+        let view = c.full_view();
+        let n = view.len() as u64;
+        let mut scratch = CountScratch::new();
+        let inf = view.informative_entities(&mut scratch);
+        prop_assume!(!inf.is_empty());
+        let imb_of = |e| {
+            let ec = inf.iter().find(|ec| ec.entity == e).expect("informative");
+            imbalance(n, ec.count as u64)
+        };
+        let best = inf.iter().map(|ec| imbalance(n, ec.count as u64)).min().unwrap();
+        prop_assert_eq!(imb_of(MostEven::new().select(&view).unwrap()), best);
+        prop_assert_eq!(imb_of(InfoGain::new().select(&view).unwrap()), best);
+        prop_assert_eq!(
+            imb_of(IndistinguishablePairs::new().select(&view).unwrap()),
+            best
+        );
+    }
+
+    /// Every strategy builds a structurally valid full binary tree whose
+    /// leaves are exactly the collection.
+    #[test]
+    fn trees_validate(c in arb_collection(12, 16), k in 1..=3u32) {
+        let view = c.full_view();
+        let tree = build_tree(&view, &mut KLp::<AvgDepth>::new(k)).expect("tree");
+        tree.validate(&view).expect("valid");
+        prop_assert_eq!(tree.n_leaves(), c.len());
+        prop_assert_eq!(tree.n_internal(), c.len() - 1);
+        // Tree costs can never beat the LB₀ bounds of §4.1.
+        prop_assert!(tree.total_depth() >= AvgDepth::lb0(c.len() as u64));
+        prop_assert!(u64::from(tree.height()) >= Height::lb0(c.len() as u64));
+    }
+
+    /// k = n lookahead reaches the exact DP optimum (the §4.4.1 claim in
+    /// its unconditional form).
+    #[test]
+    fn full_lookahead_is_optimal(c in arb_collection(7, 10)) {
+        let view = c.full_view();
+        let k = c.len() as u32;
+        let tree = build_tree(&view, &mut KLp::<AvgDepth>::new(k)).expect("tree");
+        let opt = optimal_cost::<AvgDepth>(&view).expect("small");
+        prop_assert_eq!(tree.total_depth(), opt);
+        let tree_h = build_tree(&view, &mut KLp::<Height>::new(k)).expect("tree");
+        let opt_h = optimal_cost::<Height>(&view).expect("small");
+        prop_assert_eq!(u64::from(tree_h.height()), opt_h);
+    }
+
+    /// Discovery always terminates with exactly the target set, for every
+    /// possible target, and never exceeds n − 1 questions.
+    #[test]
+    fn discovery_finds_every_target(c in arb_collection(10, 14)) {
+        for (id, target) in c.iter() {
+            let mut session = Session::over(c.full_view(), InfoGain::new());
+            let outcome = session
+                .run(&mut SimulatedOracle::new(target))
+                .expect("truthful oracle");
+            prop_assert_eq!(outcome.discovered(), Some(id));
+            prop_assert!(outcome.questions < c.len());
+        }
+    }
+
+    /// Tree text serialization round-trips.
+    #[test]
+    fn tree_text_roundtrip(c in arb_collection(10, 14)) {
+        let view = c.full_view();
+        let tree = build_tree(&view, &mut MostEven::new()).expect("tree");
+        let text = tree.to_text();
+        let back = interactive_set_discovery::core::tree::DecisionTree::from_text(&text)
+            .expect("parses");
+        prop_assert_eq!(back.to_text(), text);
+        back.validate(&view).expect("still valid");
+    }
+
+    /// Partition splits the view exactly: sizes add up and membership is
+    /// consistent with the inverted index.
+    #[test]
+    fn partition_is_exact(c in arb_collection(12, 16), e in 0..16u32) {
+        let view = c.full_view();
+        let entity = interactive_set_discovery::core::EntityId(e);
+        let (yes, no) = view.partition(entity);
+        prop_assert_eq!(yes.len() + no.len(), view.len());
+        for &id in yes.ids() {
+            prop_assert!(c.set(id).contains(entity));
+        }
+        for &id in no.ids() {
+            prop_assert!(!c.set(id).contains(entity));
+        }
+    }
+}
