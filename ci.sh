@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The single CI gate, runnable locally. Keep in sync with
+# .github/workflows/ci.yml, which just calls this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+
+# -D warnings also hardens the in-source `#![warn(missing_docs)]` lints
+# every crate carries into errors.
+run cargo clippy --workspace --all-targets -- -D warnings
+
+run cargo build --release
+
+run cargo test -q
+
+# Deny rustdoc warnings (broken intra-doc links etc.).
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
+
+# End-to-end sanity: one experiment at smoke scale through the real binary.
+run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smoke --no-csv >/dev/null
+
+echo "CI green."

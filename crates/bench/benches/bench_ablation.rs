@@ -74,8 +74,7 @@ fn bench_collapse(c: &mut Criterion) {
     // Entity collapsing matters most for query-output collections, where
     // thousands of rows share a membership pattern.
     let fixture = setdisc_bench::baseball_fixture(1_500, 40);
-    let collapsed =
-        setdisc_core::transform::collapse_equivalent_entities(&fixture.collection);
+    let collapsed = setdisc_core::transform::collapse_equivalent_entities(&fixture.collection);
     let mut g = c.benchmark_group("ablation_entity_collapse");
     g.sample_size(10);
     g.bench_function("select_original_universe", |b| {
@@ -95,5 +94,11 @@ fn bench_collapse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_beam, bench_memo, bench_greedy, bench_collapse);
+criterion_group!(
+    benches,
+    bench_beam,
+    bench_memo,
+    bench_greedy,
+    bench_collapse
+);
 criterion_main!(benches);

@@ -30,8 +30,7 @@ fn bench(c: &mut Criterion) {
     let examples = [rows[0], rows[rows.len() / 2]];
     g.bench_function("table3_generate_candidates", |b| {
         b.iter(|| {
-            let cands =
-                generate_candidates(&table, &examples, &ReferenceValues::paper_defaults());
+            let cands = generate_candidates(&table, &examples, &ReferenceValues::paper_defaults());
             std::hint::black_box(cands.collection.len())
         })
     });

@@ -12,14 +12,18 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_klp_vs_k");
     g.sample_size(10);
     for k in [1u32, 2, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
-            b.iter(|| {
-                let view = setdisc_bench::view_of(&collection, &ids);
-                let mut s = KLp::<AvgDepth>::new(k);
-                let tree = build_tree(&view, &mut s).expect("tree");
-                std::hint::black_box(tree.total_depth())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let view = setdisc_bench::view_of(&collection, &ids);
+                    let mut s = KLp::<AvgDepth>::new(k);
+                    let tree = build_tree(&view, &mut s).expect("tree");
+                    std::hint::black_box(tree.total_depth())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -18,13 +18,17 @@ fn bench(c: &mut Criterion) {
             seed: setdisc_bench::SEED,
         });
         let label = format!("d={lo}-{hi} (m={})", collection.distinct_entities());
-        g.bench_with_input(BenchmarkId::from_parameter(label), &collection, |b, coll| {
-            b.iter(|| {
-                let mut s = KLp::<AvgDepth>::limited(3, 10);
-                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
-                std::hint::black_box(tree.avg_depth())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &collection,
+            |b, coll| {
+                b.iter(|| {
+                    let mut s = KLp::<AvgDepth>::limited(3, 10);
+                    let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                    std::hint::black_box(tree.avg_depth())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -18,13 +18,17 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(solver.optimal_cost(&coll.full_view()).expect("small"))
             })
         });
-        g.bench_with_input(BenchmarkId::new("infogain_greedy", n), &collection, |b, coll| {
-            b.iter(|| {
-                let mut s = InfoGain::new();
-                let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
-                std::hint::black_box(tree.total_depth())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("infogain_greedy", n),
+            &collection,
+            |b, coll| {
+                b.iter(|| {
+                    let mut s = InfoGain::new();
+                    let tree = build_tree(&coll.full_view(), &mut s).expect("tree");
+                    std::hint::black_box(tree.total_depth())
+                })
+            },
+        );
     }
     g.finish();
 }

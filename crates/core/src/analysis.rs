@@ -132,10 +132,8 @@ pub fn indistinguishable_groups(collection: &Collection) -> Vec<Vec<crate::entit
     for (id, set) in collection.iter() {
         by_content.entry(set).or_default().push(id);
     }
-    let mut groups: Vec<Vec<crate::entity::SetId>> = by_content
-        .into_values()
-        .filter(|g| g.len() > 1)
-        .collect();
+    let mut groups: Vec<Vec<crate::entity::SetId>> =
+        by_content.into_values().filter(|g| g.len() > 1).collect();
     groups.sort();
     groups
 }
@@ -178,7 +176,13 @@ mod tests {
         assert!(CollectionProfile::chain_risk(&chain) > 0.8);
         // Bit-indexed sets: a perfect 50/50 split exists.
         let sets: Vec<Vec<u32>> = (0..16u32)
-            .map(|i| (0..4u32).filter(|b| i >> b & 1 == 1).map(|b| b + 1).chain([0]).collect())
+            .map(|i| {
+                (0..4u32)
+                    .filter(|b| i >> b & 1 == 1)
+                    .map(|b| b + 1)
+                    .chain([0])
+                    .collect()
+            })
             .collect();
         let balanced = Collection::from_raw_sets(sets).unwrap();
         assert!(CollectionProfile::chain_risk(&balanced) < 0.05);
@@ -190,7 +194,13 @@ mod tests {
         use crate::strategy::MostEven;
         let chain = Collection::from_raw_sets((0..16u32).map(|i| vec![i]).collect()).unwrap();
         let sets: Vec<Vec<u32>> = (0..16u32)
-            .map(|i| (0..4u32).filter(|b| i >> b & 1 == 1).map(|b| b + 1).chain([0]).collect())
+            .map(|i| {
+                (0..4u32)
+                    .filter(|b| i >> b & 1 == 1)
+                    .map(|b| b + 1)
+                    .chain([0])
+                    .collect()
+            })
             .collect();
         let balanced = Collection::from_raw_sets(sets).unwrap();
         let t_chain = build_tree(&chain.full_view(), &mut MostEven::new()).unwrap();

@@ -6,11 +6,11 @@
 //! nearly-disjoint sets, where the tree degenerates to a chain of `n − 1`
 //! questions) cannot overflow the call stack.
 
+use crate::entity::SetId;
 use crate::error::{Result, SetDiscError};
 use crate::strategy::SelectionStrategy;
 use crate::subcollection::SubCollection;
 use crate::tree::{DecisionTree, Node, NodeId};
-use crate::entity::SetId;
 
 /// Builds a full binary decision tree over `view` using `strategy` for
 /// entity selection (Algorithm 3).

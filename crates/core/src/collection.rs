@@ -38,11 +38,7 @@ impl Collection {
 
     /// Convenience: builds from raw `u32` element lists.
     pub fn from_raw_sets(raw: Vec<Vec<u32>>) -> Result<Self> {
-        Self::new(
-            raw.into_iter()
-                .map(EntitySet::from_raw)
-                .collect(),
-        )
+        Self::new(raw.into_iter().map(EntitySet::from_raw).collect())
     }
 
     /// Number of sets `n`.
@@ -92,9 +88,7 @@ impl Collection {
     /// Sorted ids of the sets containing entity `e` (empty if none).
     #[inline]
     pub fn sets_containing(&self, e: EntityId) -> &[SetId] {
-        self.inverted
-            .get(e.0 as usize)
-            .map_or(&[], Vec::as_slice)
+        self.inverted.get(e.0 as usize).map_or(&[], Vec::as_slice)
     }
 
     /// A view over the whole collection.
@@ -109,10 +103,7 @@ impl Collection {
             return self.full_view();
         }
         // Intersect the (sorted) inverted lists, rarest entity first.
-        let mut lists: Vec<&[SetId]> = initial
-            .iter()
-            .map(|&e| self.sets_containing(e))
-            .collect();
+        let mut lists: Vec<&[SetId]> = initial.iter().map(|&e| self.sets_containing(e)).collect();
         lists.sort_by_key(|l| l.len());
         let mut acc: Vec<SetId> = lists[0].to_vec();
         for list in &lists[1..] {
@@ -132,7 +123,7 @@ impl Collection {
         self.sets.iter().map(EntitySet::len).sum::<usize>() as f64 / self.sets.len() as f64
     }
 
-    /// Instance token (see [`NEXT_TOKEN`]); stable for the lifetime of this
+    /// Instance token (from the private `NEXT_TOKEN` counter); stable for the lifetime of this
     /// collection, unique across collections within a process.
     #[inline]
     pub fn token(&self) -> u64 {
@@ -354,7 +345,10 @@ mod tests {
     fn try_set_bounds() {
         let c = figure1();
         assert!(c.try_set(SetId(6)).is_ok());
-        assert_eq!(c.try_set(SetId(7)).err(), Some(SetDiscError::UnknownSet(SetId(7))));
+        assert_eq!(
+            c.try_set(SetId(7)).err(),
+            Some(SetDiscError::UnknownSet(SetId(7)))
+        );
     }
 
     #[test]

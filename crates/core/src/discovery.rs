@@ -303,9 +303,7 @@ mod tests {
         let c = figure1();
         for (id, target) in c.iter() {
             let mut session = Session::new(&c, &[], KLp::<AvgDepth>::new(2));
-            let outcome = session
-                .run(&mut SimulatedOracle::new(target))
-                .unwrap();
+            let outcome = session.run(&mut SimulatedOracle::new(target)).unwrap();
             assert_eq!(outcome.discovered(), Some(id), "target {id}");
             assert!(outcome.questions <= 6, "worst case is n-1");
         }
@@ -451,8 +449,7 @@ mod tests {
         // (the paper's tree-construction/discovery duality, §4.5).
         let c = figure1();
         let v = c.full_view();
-        let tree =
-            crate::builder::build_tree(&v, &mut KLp::<AvgDepth>::new(2)).unwrap();
+        let tree = crate::builder::build_tree(&v, &mut KLp::<AvgDepth>::new(2)).unwrap();
         for (id, target) in c.iter() {
             let mut session = Session::new(&c, &[], KLp::<AvgDepth>::new(2));
             let outcome = session.run(&mut SimulatedOracle::new(target)).unwrap();

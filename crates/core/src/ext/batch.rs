@@ -101,11 +101,7 @@ pub struct BatchOutcome {
 
 /// Runs batched discovery for a known target: at most `b` entities per
 /// interaction, until one candidate remains.
-pub fn run_batched(
-    view: &SubCollection<'_>,
-    target: &EntitySet,
-    b: usize,
-) -> BatchOutcome {
+pub fn run_batched(view: &SubCollection<'_>, target: &EntitySet, b: usize) -> BatchOutcome {
     let mut scratch = CountScratch::new();
     let mut current = view.clone();
     let mut interactions = 0;

@@ -42,7 +42,11 @@ pub struct FaultInjectingOracle<'a> {
 impl<'a> FaultInjectingOracle<'a> {
     /// Oracle for `target` (with its id) flipping the listed question
     /// indices (0-based).
-    pub fn new(target: &'a crate::set::EntitySet, target_id: SetId, flip_questions: Vec<usize>) -> Self {
+    pub fn new(
+        target: &'a crate::set::EntitySet,
+        target_id: SetId,
+        flip_questions: Vec<usize>,
+    ) -> Self {
         Self {
             target,
             target_id,
@@ -188,10 +192,7 @@ impl<'c, S: SelectionStrategy> RecoveringSession<'c, S> {
             transcript.push((e, a));
         }
         while candidates.len() > 1 {
-            let Some(e) = self
-                .strategy
-                .select_excluding(&candidates, &excluded)
-            else {
+            let Some(e) = self.strategy.select_excluding(&candidates, &excluded) else {
                 break;
             };
             let a = oracle.answer(e);

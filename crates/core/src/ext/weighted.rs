@@ -210,8 +210,7 @@ mod tests {
         let priors = Priors::from_weights(raw).unwrap();
 
         let t_uniform = build_tree(&v, &mut MostEven::new()).unwrap();
-        let t_weighted =
-            build_tree(&v, &mut WeightedMostEven::new(priors.clone())).unwrap();
+        let t_weighted = build_tree(&v, &mut WeightedMostEven::new(priors.clone())).unwrap();
         t_weighted.validate(&v).unwrap();
 
         let d_uniform = t_uniform.depth_of(SetId(1)).unwrap();
@@ -242,10 +241,8 @@ mod tests {
         let c = figure1();
         let priors = Priors::uniform(7);
         assert!((priors.mass(&c.full_view()) - 1.0).abs() < 1e-12);
-        let half = crate::subcollection::SubCollection::from_ids(
-            &c,
-            vec![SetId(0), SetId(1), SetId(2)],
-        );
+        let half =
+            crate::subcollection::SubCollection::from_ids(&c, vec![SetId(0), SetId(1), SetId(2)]);
         assert!((priors.mass(&half) - 3.0 / 7.0).abs() < 1e-12);
     }
 }

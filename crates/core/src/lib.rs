@@ -89,9 +89,7 @@ pub mod prelude {
     pub use crate::error::SetDiscError;
     pub use crate::lookahead::{GainK, KLp, KLpBeam};
     pub use crate::set::EntitySet;
-    pub use crate::strategy::{
-        IndistinguishablePairs, InfoGain, Lb1, MostEven, SelectionStrategy,
-    };
+    pub use crate::strategy::{IndistinguishablePairs, InfoGain, Lb1, MostEven, SelectionStrategy};
     pub use crate::subcollection::SubCollection;
     pub use crate::tree::DecisionTree;
 }

@@ -108,7 +108,11 @@ impl PruneStats {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(NodeStats::pruned_fraction).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(NodeStats::pruned_fraction)
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 
     /// Minimum pruned fraction across nodes (Table 4 "Min").
@@ -528,8 +532,16 @@ impl<M: CostModel> SelectionStrategy for GainK<M> {
         for &e in &allowed {
             let (cpos, cneg) = view.partition(e);
             let (n1, n2) = (cpos.len() as u64, cneg.len() as u64);
-            let l_pos = if n1 <= 1 { 0 } else { self.rec(&cpos, self.k - 1).1 };
-            let l_neg = if n2 <= 1 { 0 } else { self.rec(&cneg, self.k - 1).1 };
+            let l_pos = if n1 <= 1 {
+                0
+            } else {
+                self.rec(&cpos, self.k - 1).1
+            };
+            let l_neg = if n2 <= 1 {
+                0
+            } else {
+                self.rec(&cneg, self.k - 1).1
+            };
             let l = M::combine(n, l_pos, l_neg);
             let key = (l, imbalance(n, n1), e);
             if best.is_none_or(|b| key < b) {

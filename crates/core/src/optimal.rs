@@ -246,14 +246,8 @@ mod tests {
     fn disjoint_singletons_force_chain_costs() {
         // 5 disjoint singletons: every split is 1/(n-1) → chain tree.
         // Depths {1,2,3,4,4} → TD = 14, H = 4.
-        let c = Collection::from_raw_sets(vec![
-            vec![1],
-            vec![2],
-            vec![3],
-            vec![4],
-            vec![5],
-        ])
-        .unwrap();
+        let c =
+            Collection::from_raw_sets(vec![vec![1], vec![2], vec![3], vec![4], vec![5]]).unwrap();
         let v = c.full_view();
         assert_eq!(optimal_cost::<AvgDepth>(&v).unwrap(), 14);
         assert_eq!(optimal_cost::<Height>(&v).unwrap(), 4);
@@ -263,7 +257,13 @@ mod tests {
     fn bit_identified_sets_reach_lb0() {
         // 8 sets identified by 3 bit-entities → perfect tree = LB₀.
         let sets: Vec<Vec<u32>> = (0..8u32)
-            .map(|i| (0..3u32).filter(|b| i >> b & 1 == 1).map(|b| b + 1).chain([0]).collect())
+            .map(|i| {
+                (0..3u32)
+                    .filter(|b| i >> b & 1 == 1)
+                    .map(|b| b + 1)
+                    .chain([0])
+                    .collect()
+            })
             .collect();
         let c = Collection::from_raw_sets(sets).unwrap();
         let v = c.full_view();

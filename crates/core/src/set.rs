@@ -121,7 +121,9 @@ impl EntitySet {
 
 impl std::fmt::Debug for EntitySet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_set().entries(self.elems.iter().map(|e| e.0)).finish()
+        f.debug_set()
+            .entries(self.elems.iter().map(|e| e.0))
+            .finish()
     }
 }
 
@@ -143,10 +145,7 @@ mod tests {
     fn sorts_and_dedups() {
         let set = s(&[3, 1, 2, 3, 1]);
         assert_eq!(set.len(), 3);
-        assert_eq!(
-            set.iter().map(|e| e.0).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(set.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -64,8 +64,7 @@ pub fn collapse_equivalent_entities(collection: &Collection) -> CollapsedCollect
     classes.sort_unstable_by_key(|&(rep, _)| rep);
 
     // Rewrite sets keeping only representatives.
-    let keep: setdisc_util::FxHashSet<EntityId> =
-        classes.iter().map(|&(rep, _)| rep).collect();
+    let keep: setdisc_util::FxHashSet<EntityId> = classes.iter().map(|&(rep, _)| rep).collect();
     let mut builder = CollectionBuilder::new();
     for (_, set) in collection.iter() {
         builder.push(EntitySet::from_sorted_unchecked(
@@ -94,13 +93,9 @@ mod tests {
     #[test]
     fn collapses_duplicate_membership_patterns() {
         // Entities 1 and 2 always co-occur; 3 and 4 likewise.
-        let c = Collection::from_raw_sets(vec![
-            vec![1, 2, 3, 4],
-            vec![1, 2],
-            vec![3, 4, 5],
-            vec![5],
-        ])
-        .unwrap();
+        let c =
+            Collection::from_raw_sets(vec![vec![1, 2, 3, 4], vec![1, 2], vec![3, 4, 5], vec![5]])
+                .unwrap();
         let collapsed = collapse_equivalent_entities(&c);
         assert_eq!(collapsed.collection.len(), 4);
         // {1,2} → 1, {3,4} → 3, {5} → 5: three classes.
@@ -128,8 +123,11 @@ mod tests {
         let collapsed = collapse_equivalent_entities(&c);
         assert!(collapsed.collection.distinct_entities() < c.distinct_entities());
         let t_orig = build_tree(&c.full_view(), &mut KLp::<AvgDepth>::new(2)).unwrap();
-        let t_coll =
-            build_tree(&collapsed.collection.full_view(), &mut KLp::<AvgDepth>::new(2)).unwrap();
+        let t_coll = build_tree(
+            &collapsed.collection.full_view(),
+            &mut KLp::<AvgDepth>::new(2),
+        )
+        .unwrap();
         assert_eq!(t_orig.total_depth(), t_coll.total_depth());
         assert_eq!(t_orig.height(), t_coll.height());
     }

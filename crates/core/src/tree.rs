@@ -128,7 +128,11 @@ impl DecisionTree {
 
     /// Height — the paper's `cost(T)` under H (depth of the deepest leaf).
     pub fn height(&self) -> u32 {
-        self.leaf_depths().iter().map(|&(_, d)| d).max().unwrap_or(0)
+        self.leaf_depths()
+            .iter()
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Depth of the leaf holding `set`, if present.
@@ -337,9 +341,9 @@ impl DecisionTree {
             let (kind, value) = line.split_once(' ').ok_or_else(|| {
                 SetDiscError::InvalidTree(format!("line {}: malformed", lineno + 1))
             })?;
-            let value: u32 = value.parse().map_err(|_| {
-                SetDiscError::InvalidTree(format!("line {}: bad id", lineno + 1))
-            })?;
+            let value: u32 = value
+                .parse()
+                .map_err(|_| SetDiscError::InvalidTree(format!("line {}: bad id", lineno + 1)))?;
             let id = nodes.len() as NodeId;
             match kind {
                 "L" => nodes.push(Node::Leaf { set: SetId(value) }),
@@ -579,7 +583,10 @@ mod tests {
     fn from_text_rejects_garbage() {
         assert!(DecisionTree::from_text("").is_err());
         assert!(DecisionTree::from_text("X 1").is_err());
-        assert!(DecisionTree::from_text("I 1\nL 2").is_err(), "missing child");
+        assert!(
+            DecisionTree::from_text("I 1\nL 2").is_err(),
+            "missing child"
+        );
         assert!(DecisionTree::from_text("L x").is_err());
         assert!(DecisionTree::from_text("L 1\nL 2").is_err(), "extra node");
     }

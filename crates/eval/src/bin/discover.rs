@@ -35,8 +35,19 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metric" => metric = it.next().unwrap_or_else(|| usage()),
-            "--k" => k = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--beam" => beam = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--beam" => {
+                beam = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--examples" => {
                 examples = it
                     .next()
@@ -87,7 +98,10 @@ fn main() {
         _ => usage(),
     };
     let mut session = Session::new(&named.collection, &initial, strategy);
-    println!("{} candidate sets match your examples", session.candidates().len());
+    println!(
+        "{} candidate sets match your examples",
+        session.candidates().len()
+    );
 
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
@@ -96,7 +110,10 @@ fn main() {
             println!("no more informative questions — remaining candidates:");
             break;
         };
-        print!("is {:?} in your set? [y/n/?/q] ", named.entities.display(entity));
+        print!(
+            "is {:?} in your set? [y/n/?/q] ",
+            named.entities.display(entity)
+        );
         std::io::stdout().flush().ok();
         let line = match lines.next() {
             Some(Ok(l)) => l,

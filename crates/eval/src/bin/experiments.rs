@@ -36,7 +36,10 @@ fn usage() -> ! {
 }
 
 fn dispatch(name: &str, ctx: &ExpContext) {
-    println!("== {name} (scale: {:?}, seed: {:#x}) ==\n", ctx.scale, ctx.seed);
+    println!(
+        "== {name} (scale: {:?}, seed: {:#x}) ==\n",
+        ctx.scale, ctx.seed
+    );
     let start = std::time::Instant::now();
     match name {
         "table1" => drop(exp::table1::run(ctx)),

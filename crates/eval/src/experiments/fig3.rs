@@ -17,7 +17,10 @@ pub fn web_views(
     min_candidates: usize,
     n_queries: usize,
     cap_sets: Option<usize>,
-) -> (setdisc_core::Collection, Vec<Vec<setdisc_core::entity::SetId>>) {
+) -> (
+    setdisc_core::Collection,
+    Vec<Vec<setdisc_core::entity::SetId>>,
+) {
     let cfg = match ctx.scale {
         crate::Scale::Smoke => WebTablesConfig::tiny(ctx.seed),
         _ => WebTablesConfig {
@@ -69,8 +72,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         });
         let total: Duration = results.iter().map(|r| r.0).sum();
         let mean_time = total / results.len().max(1) as u32;
-        let mean_ad =
-            results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
+        let mean_ad = results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
         let mean_sets =
             results.iter().map(|r| r.2).sum::<usize>() as f64 / results.len().max(1) as f64;
         t.row(vec![

@@ -47,8 +47,7 @@ pub fn run_web(ctx: &ExpContext) -> Vec<Table> {
             let mut klp = KLp::<AvgDepth>::new(k);
             let (klp_tree, klp_time) = timed(|| build_tree(&view, &mut klp).expect("tree"));
             let mut gaink = GainK::<AvgDepth>::new(k);
-            let (gaink_tree, gaink_time) =
-                timed(|| build_tree(&view, &mut gaink).expect("tree"));
+            let (gaink_tree, gaink_time) = timed(|| build_tree(&view, &mut gaink).expect("tree"));
             // Both must produce equally good trees — pruning is lossless.
             assert_eq!(
                 klp_tree.total_depth(),
@@ -74,9 +73,11 @@ pub fn run_web(ctx: &ExpContext) -> Vec<Table> {
 
 /// Panel (b): synthetic collections, k = 2, varying n.
 pub fn run_synthetic(ctx: &ExpContext) -> Vec<Table> {
-    let sizes: &[usize] = ctx
-        .scale
-        .pick(&[16, 32][..], &[50, 100, 200, 400][..], &[100, 200, 400, 800, 1600][..]);
+    let sizes: &[usize] = ctx.scale.pick(
+        &[16, 32][..],
+        &[50, 100, 200, 400][..],
+        &[100, 200, 400, 800, 1600][..],
+    );
     let mut t = Table::new(
         "Figure 4b: speedup of 2-LP over gain-2 (synthetic, alpha=0.9, d=10-15)",
         &["n sets", "entities", "k-LP time", "gain-k time", "speedup"],
@@ -95,12 +96,7 @@ pub fn run_synthetic(ctx: &ExpContext) -> Vec<Table> {
         let mut gaink = GainK::<AvgDepth>::new(2);
         let (gaink_tree, gaink_time) = timed(|| build_tree(&view, &mut gaink).expect("tree"));
         assert_eq!(klp_tree.total_depth(), gaink_tree.total_depth());
-        (
-            n,
-            collection.distinct_entities(),
-            klp_time,
-            gaink_time,
-        )
+        (n, collection.distinct_entities(), klp_time, gaink_time)
     });
     for (n, m, klp_time, gaink_time) in rows {
         let speedup = gaink_time.as_secs_f64() / klp_time.as_secs_f64().max(1e-9);

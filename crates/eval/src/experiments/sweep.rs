@@ -28,11 +28,7 @@ fn build_with(name: &str, view: &setdisc_core::SubCollection<'_>) -> (f64, std::
     (tree.avg_depth(), elapsed)
 }
 
-fn sweep_table(
-    title: &str,
-    param_header: &str,
-    configs: Vec<(String, CopyAddConfig)>,
-) -> Table {
+fn sweep_table(title: &str, param_header: &str, configs: Vec<(String, CopyAddConfig)>) -> Table {
     let mut t = Table::new(
         title,
         &[
@@ -100,8 +96,22 @@ pub fn run_fig6(ctx: &ExpContext) -> Vec<Table> {
     let shrink = ctx.scale.pick(200, 20, 1);
     let ranges: &[(usize, usize)] = ctx.scale.pick(
         &[(20, 40), (40, 60)][..],
-        &[(50, 100), (100, 150), (150, 200), (200, 250), (250, 300), (300, 350)][..],
-        &[(50, 100), (100, 150), (150, 200), (200, 250), (250, 300), (300, 350)][..],
+        &[
+            (50, 100),
+            (100, 150),
+            (150, 200),
+            (200, 250),
+            (250, 300),
+            (300, 350),
+        ][..],
+        &[
+            (50, 100),
+            (100, 150),
+            (150, 200),
+            (200, 250),
+            (250, 300),
+            (300, 350),
+        ][..],
     );
     let configs = ranges
         .iter()

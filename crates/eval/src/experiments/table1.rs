@@ -50,7 +50,12 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     // (a) vary α at n = 10k, d = 50–60.
     let cfgs_a: Vec<(f64, CopyAddConfig)> = PAPER_1A
         .iter()
-        .map(|&(alpha, _)| (alpha, CopyAddConfig::table1a(alpha, seed).scaled_down(shrink)))
+        .map(|&(alpha, _)| {
+            (
+                alpha,
+                CopyAddConfig::table1a(alpha, seed).scaled_down(shrink),
+            )
+        })
         .collect();
     let counts_a = par_map(cfgs_a.clone(), |(_, cfg)| {
         generate_copy_add(&cfg).distinct_entities()
@@ -89,12 +94,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             .find(|(pn, _)| pn == n)
             .map(|(_, p)| *p)
             .unwrap_or("-");
-        t_b.row(vec![
-            kfmt(*n),
-            kfmt(cfg.n_sets),
-            kfmt(*count),
-            paper.into(),
-        ]);
+        t_b.row(vec![kfmt(*n), kfmt(cfg.n_sets), kfmt(*count), paper.into()]);
     }
 
     // (c) vary d at n = 10k, α = 0.9.
@@ -118,11 +118,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             .find(|(pd, _)| pd == d)
             .map(|(_, p)| *p)
             .unwrap_or("-");
-        t_c.row(vec![
-            format!("{}-{}", d.0, d.1),
-            kfmt(*count),
-            paper.into(),
-        ]);
+        t_c.row(vec![format!("{}-{}", d.0, d.1), kfmt(*count), paper.into()]);
     }
 
     ctx.emit("table1a", &t_a);

@@ -79,7 +79,12 @@ pub fn run_web_root(ctx: &ExpContext) -> Vec<Table> {
 
     let mut t = Table::new(
         "Web tables: % of candidate entities pruned at the root (paper: >99%)",
-        &["k", "sub-collections", "avg pruned at root", "min pruned at root"],
+        &[
+            "k",
+            "sub-collections",
+            "avg pruned at root",
+            "min pruned at root",
+        ],
     );
     for k in [2u32, 3] {
         let mut fractions = Vec::new();

@@ -102,15 +102,15 @@ pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Ve
     let n = items.len();
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let item = queue.lock().pop();
+                let item = queue.lock().expect("queue lock poisoned").pop();
                 let Some((idx, item)) = item else { break };
                 let out = f(item);
-                results.lock()[idx] = Some(out);
+                results.lock().expect("results lock poisoned")[idx] = Some(out);
             });
         }
     });

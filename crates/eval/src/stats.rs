@@ -274,9 +274,7 @@ mod tests {
         assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
         assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
         // Symmetry.
-        assert!(
-            (student_t_cdf(-1.3, 5.0) + student_t_cdf(1.3, 5.0) - 1.0).abs() < 1e-12
-        );
+        assert!((student_t_cdf(-1.3, 5.0) + student_t_cdf(1.3, 5.0) - 1.0).abs() < 1e-12);
         // Large df approaches the normal: Φ(1.96) ≈ 0.975.
         assert!((student_t_cdf(1.96, 10_000.0) - 0.975).abs() < 1e-3);
     }
@@ -285,7 +283,10 @@ mod tests {
     fn paired_test_detects_consistent_improvement() {
         // baseline consistently 1 higher than ours.
         let baseline: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64).collect();
-        let ours: Vec<f64> = baseline.iter().map(|b| b - 1.0 + 0.1 * ((b * 7.0).sin())).collect();
+        let ours: Vec<f64> = baseline
+            .iter()
+            .map(|b| b - 1.0 + 0.1 * ((b * 7.0).sin()))
+            .collect();
         let r = paired_t_test(&baseline, &ours).unwrap();
         assert!(r.mean_diff > 0.8);
         assert!(r.p_one_tailed < 0.01, "p = {}", r.p_one_tailed);

@@ -311,6 +311,10 @@ mod tests {
             "generated {}",
             cands.n_generated
         );
-        assert!(cands.collection.len() >= 50, "kept {}", cands.collection.len());
+        assert!(
+            cands.collection.len() >= 50,
+            "kept {}",
+            cands.collection.len()
+        );
     }
 }

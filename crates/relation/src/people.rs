@@ -290,7 +290,10 @@ pub fn people_table_sized(n_rows: usize, seed: u64) -> Table {
                 if rng.chance(0.45) {
                     (None, Some(pick(&mut rng, foreign_cities(c))))
                 } else {
-                    (Some("Foreign-Province"), Some(pick(&mut rng, foreign_cities(c))))
+                    (
+                        Some("Foreign-Province"),
+                        Some(pick(&mut rng, foreign_cities(c))),
+                    )
                 }
             }
             None => (None, None),
@@ -389,11 +392,7 @@ mod tests {
         let a = people_table_sized(500, 7);
         let b = people_table_sized(500, 7);
         for row in 0..500u32 {
-            assert_eq!(
-                a.num_value(6, row),
-                b.num_value(6, row),
-                "height row {row}"
-            );
+            assert_eq!(a.num_value(6, row), b.num_value(6, row), "height row {row}");
             assert_eq!(a.cat_code(0, row), b.cat_code(0, row));
         }
     }
@@ -415,7 +414,9 @@ mod tests {
         let t = people_table_sized(PEOPLE_ROWS, 0);
         let col = t.column_index("birthCity").unwrap();
         for city in ["Los Angeles", "Chicago", "Seattle"] {
-            let code = t.cat_lookup(col, city).unwrap_or_else(|| panic!("{city} missing"));
+            let code = t
+                .cat_lookup(col, city)
+                .unwrap_or_else(|| panic!("{city} missing"));
             let count = (0..t.n_rows() as u32)
                 .filter(|&r| t.cat_code(col, r) == Some(code))
                 .count();
@@ -480,10 +481,7 @@ mod tests {
             .count();
         // Paper's T1 (USA ∧ >1990) returns 892; the raw >1990 tail must be
         // somewhat above that.
-        assert!(
-            (800..2_200).contains(&post90),
-            "post-1990 count {post90}"
-        );
+        assert!((800..2_200).contains(&post90), "post-1990 count {post90}");
     }
 
     #[test]

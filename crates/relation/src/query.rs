@@ -128,7 +128,9 @@ impl CnfQuery {
     pub fn new(mut conditions: Vec<Condition>) -> Self {
         conditions.sort_by_key(Condition::column);
         assert!(
-            conditions.windows(2).all(|w| w[0].column() != w[1].column()),
+            conditions
+                .windows(2)
+                .all(|w| w[0].column() != w[1].column()),
             "conditions must be on distinct columns"
         );
         Self { conditions }
@@ -177,10 +179,7 @@ mod tests {
         ] {
             city.push(v);
         }
-        let h = numeric_column(
-            "height",
-            vec![Some(70), Some(75), Some(62), Some(80), None],
-        );
+        let h = numeric_column("height", vec![Some(70), Some(75), Some(62), Some(80), None]);
         Table::new(
             "toy",
             vec![city.build(), h],
@@ -211,10 +210,7 @@ mod tests {
         assert!(!c.matches(&t, 3), "80 is not < 80");
         assert!(!c.matches(&t, 4), "NULL");
         let one_sided = Condition::num_range(1, Some(74), None);
-        assert_eq!(
-            CnfQuery::new(vec![one_sided]).evaluate(&t),
-            vec![1, 3]
-        );
+        assert_eq!(CnfQuery::new(vec![one_sided]).evaluate(&t), vec![1, 3]);
     }
 
     #[test]
@@ -257,7 +253,10 @@ mod tests {
             Condition::num_range(1, Some(60), Some(75)).display(&t),
             "height>60 AND height<75"
         );
-        assert_eq!(Condition::num_range(1, None, Some(75)).display(&t), "height<75");
+        assert_eq!(
+            Condition::num_range(1, None, Some(75)).display(&t),
+            "height<75"
+        );
         let q = CnfQuery::new(vec![
             Condition::cat_in(0, vec![chi]),
             Condition::num_range(1, Some(70), None),

@@ -78,11 +78,7 @@ pub struct Table {
 impl Table {
     /// Assembles a table; all columns must have `n_rows` entries, as must
     /// `row_names` (the printable primary key, e.g. `playerID`).
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<Column>,
-        row_names: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>, row_names: Vec<String>) -> Self {
         let n_rows = row_names.len();
         for c in &columns {
             assert_eq!(c.len(), n_rows, "column {} length mismatch", c.name());

@@ -119,13 +119,13 @@ mod tests {
         let t = people_table(0);
         let targets = target_queries(&t);
         let bands: &[(usize, usize)] = &[
-            (300, 2_500),  // T1
-            (60, 700),     // T2
-            (1_200, 3_500),// T3
-            (400, 1_800),  // T4
-            (20, 160),     // T5
-            (10, 250),     // T6
-            (5, 160),      // T7
+            (300, 2_500),   // T1
+            (60, 700),      // T2
+            (1_200, 3_500), // T3
+            (400, 1_800),   // T4
+            (20, 160),      // T5
+            (10, 250),      // T6
+            (5, 160),       // T7
         ];
         for (target, &(lo, hi)) in targets.iter().zip(bands) {
             let n = target.query.evaluate(&t).len();

@@ -12,8 +12,8 @@
 //! extreme `α` (the paper underspecifies the copy mechanism); EXPERIMENTS.md
 //! records paper-vs-measured side by side.
 
-use setdisc_core::{Collection, EntitySet};
 use setdisc_core::entity::EntityId;
+use setdisc_core::{Collection, EntitySet};
 use setdisc_util::Rng;
 
 /// Parameters of one synthetic collection (one cell of Table 1).
@@ -147,10 +147,7 @@ mod tests {
             assert_eq!(x, y);
         }
         let c = generate_copy_add(&small(0.7, 43));
-        let same = a
-            .iter()
-            .zip(c.iter())
-            .all(|((_, x), (_, y))| x == y);
+        let same = a.iter().zip(c.iter()).all(|((_, x), (_, y))| x == y);
         assert!(!same, "different seeds should differ");
     }
 

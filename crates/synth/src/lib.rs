@@ -17,6 +17,6 @@ pub mod copyadd;
 pub mod webtables;
 pub mod zipf;
 
-pub use copyadd::{CopyAddConfig, generate_copy_add};
+pub use copyadd::{generate_copy_add, CopyAddConfig};
 pub use webtables::{WebTablesConfig, WebTablesCorpus};
 pub use zipf::Zipf;

@@ -95,7 +95,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -178,7 +182,7 @@ mod tests {
     }
 
     #[test]
-    fn write_csv_roundtrip(){
+    fn write_csv_roundtrip() {
         let dir = std::env::temp_dir().join("setdisc-util-test");
         let path = dir.join("t.csv");
         let mut t = Table::new("x", &["a"]);

@@ -49,10 +49,7 @@ fn main() {
 
     // Interactive discovery with 2-step lookahead.
     let target_set = EntitySet::from_raw(output.iter().copied());
-    let mut session = Session::over(
-        cands.collection.full_view(),
-        KLp::<AvgDepth>::new(2),
-    );
+    let mut session = Session::over(cands.collection.full_view(), KLp::<AvgDepth>::new(2));
     let mut oracle = SimulatedOracle::new(&target_set);
     let outcome = session.run(&mut oracle).expect("truthful oracle");
     let found = outcome.discovered().expect("resolves to one query");
@@ -62,10 +59,7 @@ fn main() {
     );
     println!("  {}", cands.queries[found.0 as usize].display(&table));
     for (entity, answer) in session.history() {
-        println!(
-            "    asked about {} → {answer:?}",
-            table.row_name(entity.0)
-        );
+        println!("    asked about {} → {answer:?}", table.row_name(entity.0));
     }
     assert_eq!(cands.collection.set(found), &target_set);
     println!("Output matches the target query exactly.");

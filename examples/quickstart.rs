@@ -32,7 +32,11 @@ fn main() {
     // Offline: build a decision tree with k-LP (k = 3, average-depth cost).
     let mut strategy = KLp::<AvgDepth>::new(3);
     let tree = build_tree(&collection.full_view(), &mut strategy).expect("tree");
-    println!("Decision tree (avg depth {:.3}, height {}):", tree.avg_depth(), tree.height());
+    println!(
+        "Decision tree (avg depth {:.3}, height {}):",
+        tree.avg_depth(),
+        tree.height()
+    );
     println!("{}", tree.render(Some(&names)));
     assert_eq!(tree.total_depth(), 20, "optimal: 20/7 ≈ 2.857 (Lemma 3.3)");
 
@@ -54,7 +58,10 @@ fn main() {
     let outcome = session.outcome();
     println!(
         "Discovered {} in {} questions",
-        outcome.discovered().map(|s| s.to_string()).unwrap_or_default(),
+        outcome
+            .discovered()
+            .map(|s| s.to_string())
+            .unwrap_or_default(),
         outcome.questions
     );
     assert_eq!(outcome.discovered(), Some(SetId(4)));

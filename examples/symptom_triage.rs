@@ -13,21 +13,123 @@
 use interactive_set_discovery::prelude::*;
 
 const PROFILES: &[(&str, &[&str])] = &[
-    ("influenza", &["fever", "headache", "fatigue", "cough", "muscle-ache", "chills"]),
-    ("covid", &["fever", "fatigue", "cough", "loss-of-smell", "shortness-of-breath", "headache"]),
-    ("common-cold", &["cough", "sneezing", "runny-nose", "sore-throat", "fatigue"]),
-    ("migraine", &["headache", "nausea", "light-sensitivity", "aura", "fatigue"]),
-    ("tension-headache", &["headache", "neck-pain", "fatigue", "stress", "nausea"]),
-    ("gastroenteritis", &["nausea", "vomiting", "diarrhea", "fever", "fatigue", "cramps", "headache"]),
-    ("food-poisoning", &["nausea", "vomiting", "diarrhea", "cramps", "chills"]),
-    ("meningitis", &["fever", "headache", "stiff-neck", "nausea", "light-sensitivity", "confusion", "fatigue"]),
-    ("sinusitis", &["headache", "facial-pain", "runny-nose", "congestion", "fatigue"]),
-    ("strep-throat", &["sore-throat", "fever", "headache", "swollen-glands", "fatigue"]),
-    ("mononucleosis", &["fatigue", "fever", "sore-throat", "swollen-glands", "headache", "rash", "nausea"]),
-    ("allergy", &["sneezing", "runny-nose", "itchy-eyes", "congestion"]),
-    ("anemia", &["fatigue", "dizziness", "pale-skin", "shortness-of-breath", "headache"]),
-    ("hypothyroidism", &["fatigue", "weight-gain", "cold-intolerance", "dry-skin"]),
-    ("dehydration", &["fatigue", "dizziness", "headache", "dry-mouth", "cramps", "nausea"]),
+    (
+        "influenza",
+        &[
+            "fever",
+            "headache",
+            "fatigue",
+            "cough",
+            "muscle-ache",
+            "chills",
+        ],
+    ),
+    (
+        "covid",
+        &[
+            "fever",
+            "fatigue",
+            "cough",
+            "loss-of-smell",
+            "shortness-of-breath",
+            "headache",
+        ],
+    ),
+    (
+        "common-cold",
+        &["cough", "sneezing", "runny-nose", "sore-throat", "fatigue"],
+    ),
+    (
+        "migraine",
+        &["headache", "nausea", "light-sensitivity", "aura", "fatigue"],
+    ),
+    (
+        "tension-headache",
+        &["headache", "neck-pain", "fatigue", "stress", "nausea"],
+    ),
+    (
+        "gastroenteritis",
+        &[
+            "nausea", "vomiting", "diarrhea", "fever", "fatigue", "cramps", "headache",
+        ],
+    ),
+    (
+        "food-poisoning",
+        &["nausea", "vomiting", "diarrhea", "cramps", "chills"],
+    ),
+    (
+        "meningitis",
+        &[
+            "fever",
+            "headache",
+            "stiff-neck",
+            "nausea",
+            "light-sensitivity",
+            "confusion",
+            "fatigue",
+        ],
+    ),
+    (
+        "sinusitis",
+        &[
+            "headache",
+            "facial-pain",
+            "runny-nose",
+            "congestion",
+            "fatigue",
+        ],
+    ),
+    (
+        "strep-throat",
+        &[
+            "sore-throat",
+            "fever",
+            "headache",
+            "swollen-glands",
+            "fatigue",
+        ],
+    ),
+    (
+        "mononucleosis",
+        &[
+            "fatigue",
+            "fever",
+            "sore-throat",
+            "swollen-glands",
+            "headache",
+            "rash",
+            "nausea",
+        ],
+    ),
+    (
+        "allergy",
+        &["sneezing", "runny-nose", "itchy-eyes", "congestion"],
+    ),
+    (
+        "anemia",
+        &[
+            "fatigue",
+            "dizziness",
+            "pale-skin",
+            "shortness-of-breath",
+            "headache",
+        ],
+    ),
+    (
+        "hypothyroidism",
+        &["fatigue", "weight-gain", "cold-intolerance", "dry-skin"],
+    ),
+    (
+        "dehydration",
+        &[
+            "fatigue",
+            "dizziness",
+            "headache",
+            "dry-mouth",
+            "cramps",
+            "nausea",
+        ],
+    ),
 ];
 
 fn main() {
@@ -66,9 +168,15 @@ fn main() {
         );
         let mut oracle = SimulatedOracle::new(&truth);
         while !session.is_resolved() {
-            let Some(q) = session.next_question() else { break };
+            let Some(q) = session.next_question() else {
+                break;
+            };
             let a = <SimulatedOracle as Oracle>::answer(&mut oracle, q);
-            println!("  do you have {}? {}", names.display(q), if a == Answer::Yes { "yes" } else { "no" });
+            println!(
+                "  do you have {}? {}",
+                names.display(q),
+                if a == Answer::Yes { "yes" } else { "no" }
+            );
             session.answer(q, a);
         }
         let outcome = session.outcome();

@@ -44,9 +44,7 @@ fn main() {
         .expect("truthful oracle");
     println!(
         "k-LP(2) found {} in {} questions (candidates were {})",
-        target_id,
-        outcome.questions,
-        q.n_candidates
+        target_id, outcome.questions, q.n_candidates
     );
     assert_eq!(outcome.discovered(), Some(target_id));
 
@@ -67,12 +65,8 @@ fn main() {
 
     // An erring user: the third answer is wrong; confirm-and-backtrack
     // recovery (§6) still finds the true target.
-    let mut recovering = RecoveringSession::new(
-        &corpus.collection,
-        &q.entities,
-        MostEven::new(),
-        16,
-    );
+    let mut recovering =
+        RecoveringSession::new(&corpus.collection, &q.entities, MostEven::new(), 16);
     let mut oracle = FaultInjectingOracle::new(&target, target_id, vec![2]);
     let recovered = recovering.run(&mut oracle).expect("recoverable");
     println!(

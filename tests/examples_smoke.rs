@@ -1,0 +1,37 @@
+//! Smoke test: every example under `examples/` compiles.
+//!
+//! `cargo test` already builds example targets of this package, but this
+//! test keeps the guarantee explicit (and covers workspaces invoked with
+//! `--test examples_smoke` alone) by driving `cargo build --examples`
+//! for the whole workspace.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn all_examples_build() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+    let examples_dir = Path::new(manifest_dir).join("examples");
+    let n_examples = std::fs::read_dir(&examples_dir)
+        .expect("examples/ exists")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "rs"))
+        })
+        .count();
+    assert!(
+        n_examples >= 4,
+        "expected the seed's examples to be present"
+    );
+
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .status()
+        .expect("cargo is runnable");
+    assert!(
+        status.success(),
+        "`cargo build --examples` failed: {status}"
+    );
+}

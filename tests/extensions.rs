@@ -32,8 +32,7 @@ fn weighted_priors_beat_uniform_trees_under_skew() {
     }
     let priors = Priors::from_weights(raw).unwrap();
     let uniform_tree = build_tree(&view, &mut MostEven::new()).unwrap();
-    let weighted_tree =
-        build_tree(&view, &mut WeightedMostEven::new(priors.clone())).unwrap();
+    let weighted_tree = build_tree(&view, &mut WeightedMostEven::new(priors.clone())).unwrap();
     weighted_tree.validate(&view).unwrap();
     let e_uniform = expected_depth(&uniform_tree, &priors);
     let e_weighted = expected_depth(&weighted_tree, &priors);
@@ -75,8 +74,7 @@ fn recovery_handles_every_single_error_position() {
         .questions;
     // Inject a single error at every possible position; all must recover.
     for wrong_at in 0..clean_q {
-        let mut session =
-            RecoveringSession::new(&collection, &[], MostEven::new(), clean_q * 3);
+        let mut session = RecoveringSession::new(&collection, &[], MostEven::new(), clean_q * 3);
         let mut oracle = FaultInjectingOracle::new(target, id, vec![wrong_at]);
         let out = session
             .run(&mut oracle)
@@ -101,12 +99,9 @@ fn collapsing_web_corpus_preserves_discovery() {
         .map(|(id, _)| id)
         .take(40)
         .collect();
-    let v1 = interactive_set_discovery::core::SubCollection::from_ids(
-        &corpus.collection,
-        ids.clone(),
-    );
-    let v2 =
-        interactive_set_discovery::core::SubCollection::from_ids(&collapsed.collection, ids);
+    let v1 =
+        interactive_set_discovery::core::SubCollection::from_ids(&corpus.collection, ids.clone());
+    let v2 = interactive_set_discovery::core::SubCollection::from_ids(&collapsed.collection, ids);
     let t1 = build_tree(&v1, &mut KLp::<AvgDepth>::new(2)).unwrap();
     let t2 = build_tree(&v2, &mut KLp::<AvgDepth>::new(2)).unwrap();
     assert_eq!(t1.total_depth(), t2.total_depth());

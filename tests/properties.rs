@@ -21,10 +21,7 @@ fn arb_collection(max_sets: usize, universe: u32) -> impl Strategy<Value = Colle
         2..=max_sets,
     )
     .prop_filter_map("collections must have ≥2 unique sets", |sets| {
-        let raw: Vec<Vec<u32>> = sets
-            .into_iter()
-            .map(|s| s.into_iter().collect())
-            .collect();
+        let raw: Vec<Vec<u32>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         match Collection::from_raw_sets(raw) {
             Ok(c) if c.len() >= 2 => Some(c),
             _ => None,

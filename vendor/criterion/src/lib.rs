@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Exposes the subset of the criterion 0.5 API used by the
+//! `crates/bench` bench targets and measures plain wall-clock time:
+//! a few warm-up runs, then `sample_size` timed runs, reporting the
+//! median and mean per iteration. There is no outlier analysis, HTML
+//! report, or baseline comparison — swap in the real crate for those
+//! (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work like the real crate.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; hands out groups and runs bench bodies.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter taken from argv (criterion CLI compatibility).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept (and mostly ignore) the criterion CLI: a bare positional
+        // arg is a name filter. Value-less flags (`--bench` from
+        // `cargo bench`, `--exact`, …) are skipped; any other `--flag` is
+        // assumed to take a value so that e.g. `--sample-size 20` does not
+        // turn `20` into a filter that matches nothing.
+        const VALUELESS: &[&str] = &[
+            "--bench",
+            "--exact",
+            "--list",
+            "--noplot",
+            "--quiet",
+            "--verbose",
+        ];
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if VALUELESS.contains(&arg.as_str()) {
+                continue;
+            }
+            if arg.starts_with('-') {
+                let _ = args.next();
+                continue;
+            }
+            filter = Some(arg);
+            break;
+        }
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let sample_size = self.sample_size;
+        self.run_one(&name, sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, sample_size, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for benches already inside a named group.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: a few warm-up calls, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{name:<48} median {:>12?}  mean {:>12?}  ({} samples)",
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, like the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// Strategy for `Vec`s with element strategy `S` and length strategy `L`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Generate `Vec`s whose length is drawn from `len` (e.g. `2..=10usize`).
+pub fn vec<S, L>(element: S, len: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    VecStrategy { element, len }
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let n = self.len.sample(rng)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.element.sample(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for `BTreeSet`s with element strategy `S` and size strategy `L`.
+pub struct BTreeSetStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Generate `BTreeSet`s targeting a size drawn from `len`.
+///
+/// Like the real crate, the produced set may be smaller than the drawn
+/// size when the element strategy cannot supply enough distinct values.
+pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: Strategy<Value = usize>,
+{
+    BTreeSetStrategy { element, len }
+}
+
+impl<S, L> Strategy for BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: Strategy<Value = usize>,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+        let target = self.len.sample(rng)?;
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(16).max(16) {
+            out.insert(self.element.sample(rng)?);
+            attempts += 1;
+        }
+        Some(out)
+    }
+}

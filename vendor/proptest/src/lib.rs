@@ -1,0 +1,149 @@
+//! Minimal offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this
+//! workspace's `tests/properties.rs`: the [`proptest!`] macro,
+//! `prop_assert!`-family macros, [`strategy::Strategy`] with
+//! `prop_map`/`prop_filter`/`prop_filter_map`, integer-range strategies,
+//! and `prop::collection::{vec, btree_set}`.
+//!
+//! Generation is deterministic (seeded xoshiro256++, overridable with
+//! `PROPTEST_SEED`); failures report the case index and seed. Unlike the
+//! real crate there is **no shrinking** and no regression-file
+//! persistence — swap in the genuine dependency for those
+//! (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace of strategy constructors, mirroring `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::std::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`: {}\n  left: {left:?}\n right: {right:?}",
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `left != right`\n  both: {left:?}"),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let outcome = runner.run(|rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::sample(&$strat, rng) {
+                        ::std::option::Option::Some(value) => value,
+                        ::std::option::Option::None => {
+                            return ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject,
+                            )
+                        }
+                    };
+                )+
+                $body
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(message) = outcome {
+                ::std::panic!("{}", message);
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}

@@ -1,0 +1,139 @@
+//! Deterministic case runner: config, RNG, and the accept/reject loop.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+    /// Give up after this many rejected cases across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases, other knobs at their defaults.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded (filter/`prop_assume!`); retry with new input.
+    Reject,
+    /// A `prop_assert!` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Deterministic xoshiro256++ PRNG handed to strategies.
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via splitmix64 expansion, like `rand_xoshiro`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+}
+
+/// Drives one `proptest!` test: samples inputs and tallies case results.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner with the given config; seed comes from `PROPTEST_SEED`
+    /// (decimal u64) when set, else a fixed default.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5E7D_15C0_DA7A_u64);
+        TestRunner { config, seed }
+    }
+
+    /// Run `case` until `config.cases` cases pass, a case fails, or the
+    /// reject budget is exhausted. Returns a human-readable error.
+    pub fn run<F>(&mut self, mut case: F) -> Result<(), String>
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut stream = 0u64;
+        while passed < self.config.cases {
+            let case_seed = self
+                .seed
+                .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            stream += 1;
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many rejected cases ({rejected}) after {passed} passes; \
+                             loosen the strategy or raise max_global_rejects",
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "property failed at case {passed} (seed {case_seed:#x}; \
+                         rerun with PROPTEST_SEED={}): {message}",
+                        self.seed,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
