@@ -25,4 +25,9 @@ RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 # End-to-end sanity: one experiment at smoke scale through the real binary.
 run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smoke --no-csv >/dev/null
 
+# Bench smoke: hot-path kernels at smoke scale, emitting the JSON perf
+# artifact. The committed BENCH_hotpath.json is the baseline perf PRs
+# compare against; regenerate it with this same command on a quiet machine.
+run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke --out "$PWD/BENCH_hotpath.json"
+
 echo "CI green."

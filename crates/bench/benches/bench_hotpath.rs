@@ -1,0 +1,42 @@
+//! Hot-path kernel timings with a JSON artifact (`BENCH_hotpath.json`).
+//!
+//! Unlike the per-figure benches this target is a self-contained harness
+//! (no criterion) because it must emit a machine-readable baseline:
+//!
+//! ```text
+//! cargo bench -p setdisc-bench --bench bench_hotpath -- \
+//!     --scale smoke --out BENCH_hotpath.json [--filter substr]
+//! ```
+
+use setdisc_bench::hotpath::{run_kernels, to_json, HotpathScale};
+
+fn main() {
+    let mut scale = HotpathScale::Smoke;
+    let mut out: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = HotpathScale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale {v:?} (smoke|default)"));
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
+            // `cargo bench` passes --bench through to the target; ignore it
+            // and any other criterion-style flag so the harness composes.
+            _ => {}
+        }
+    }
+
+    let reports = run_kernels(scale, filter.as_deref());
+    let doc = to_json(scale, &reports);
+    match &out {
+        Some(path) => {
+            doc.write(path).expect("write JSON artifact");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", doc.encode()),
+    }
+}

@@ -1,0 +1,290 @@
+//! Selection hot-path kernels with a JSON trajectory artifact.
+//!
+//! `bench_hotpath` times the innermost kernels of tree construction — the
+//! counting pass, partitioning, k-LP / gain-k lookahead, and the exact
+//! optimal solver — and emits `BENCH_hotpath.json` so every perf PR can
+//! compare against the committed baseline. Unlike the per-figure criterion
+//! benches this harness is self-contained (plain wall-clock medians) because
+//! it must also produce a machine-readable artifact.
+
+use setdisc_core::builder::build_tree;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::lookahead::{GainK, KLp};
+use setdisc_core::optimal::OptimalSolver;
+use setdisc_core::subcollection::CountScratch;
+use setdisc_util::report::{fmt_duration, JsonObject};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Workload scale for the hotpath kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HotpathScale {
+    /// Seconds — the CI smoke configuration.
+    Smoke,
+    /// Tens of seconds — for local before/after comparisons.
+    Default,
+}
+
+impl HotpathScale {
+    /// Parses `"smoke" | "default"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(Self::Smoke),
+            "default" => Some(Self::Default),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Smoke => "smoke",
+            Self::Default => "default",
+        }
+    }
+
+    fn pick<T>(self, smoke: T, default: T) -> T {
+        match self {
+            Self::Smoke => smoke,
+            Self::Default => default,
+        }
+    }
+}
+
+/// One timed kernel: median/mean wall clock per iteration plus a
+/// kernel-specific throughput figure.
+pub struct KernelReport {
+    /// Kernel name (stable across PRs — the JSON key).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Measured samples.
+    pub samples: usize,
+    /// Work items processed per iteration (trees, partitions, elements…).
+    pub items_per_iter: u64,
+    /// Unit of `items_per_iter` (e.g. `"trees"`).
+    pub unit: &'static str,
+}
+
+impl KernelReport {
+    /// Items per second at the median iteration time.
+    pub fn throughput(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            return 0.0;
+        }
+        self.items_per_iter as f64 * 1e9 / self.median_ns
+    }
+
+    fn to_json(&self) -> JsonObject {
+        JsonObject::new()
+            .str("kernel", &self.name)
+            .num("median_ns", self.median_ns)
+            .num("mean_ns", self.mean_ns)
+            .int("samples", self.samples as u64)
+            .int("items_per_iter", self.items_per_iter)
+            .str("unit", self.unit)
+            .num("items_per_sec", self.throughput())
+    }
+}
+
+/// Times `f` (which performs `items` units of work per call): two warm-up
+/// calls, then `samples` measured calls.
+pub fn time_kernel(
+    name: &str,
+    samples: usize,
+    items: u64,
+    unit: &'static str,
+    mut f: impl FnMut() -> u64,
+) -> KernelReport {
+    let mut acc = 0u64;
+    for _ in 0..2 {
+        acc = acc.wrapping_add(f());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        acc = acc.wrapping_add(f());
+        times.push(start.elapsed());
+    }
+    black_box(acc);
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    KernelReport {
+        name: name.to_string(),
+        median_ns: median.as_nanos() as f64,
+        mean_ns: mean.as_nanos() as f64,
+        samples,
+        items_per_iter: items,
+        unit,
+    }
+}
+
+/// Runs every hotpath kernel (optionally filtered by substring) and returns
+/// the reports in execution order.
+pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelReport> {
+    let mut reports = Vec::new();
+    let mut run =
+        |name: &str, samples: usize, items: u64, unit: &'static str, f: &mut dyn FnMut() -> u64| {
+            if let Some(pat) = filter {
+                if !name.contains(pat) {
+                    return;
+                }
+            }
+            let rep = time_kernel(name, samples, items, unit, f);
+            eprintln!(
+                "{:>32}  median {:>10}  {:>14.0} {}/s",
+                rep.name,
+                fmt_duration(Duration::from_nanos(rep.median_ns as u64)),
+                rep.throughput(),
+                rep.unit
+            );
+            reports.push(rep);
+        };
+
+    // Fig. 3 kernel: k-LP tree build over a copy-add collection (α = 0.9,
+    // d = 10–15) — the headline construction-throughput workload.
+    let n_tree = scale.pick(120, 300);
+    let samples = scale.pick(5, 15);
+    let copyadd = crate::synthetic(n_tree, 0.9);
+    for k in [2u32, 3] {
+        run(
+            &format!("klp_k{k}_tree_copyadd_n{n_tree}"),
+            samples,
+            1,
+            "trees",
+            &mut || {
+                let mut s = KLp::<AvgDepth>::new(k);
+                let tree = build_tree(&copyadd.full_view(), &mut s).expect("tree");
+                tree.total_depth()
+            },
+        );
+    }
+
+    // Same kernel on web-table seed-query sub-collections.
+    let (web, lists) = crate::web_subcollections(15, 3, scale.pick(40, 60));
+    let web_ids = lists.first().expect("a sub-collection").clone();
+    run(
+        &format!("klp_k3_tree_web_n{}", web_ids.len()),
+        samples,
+        1,
+        "trees",
+        &mut || {
+            let mut s = KLp::<AvgDepth>::new(3);
+            let tree = build_tree(&crate::view_of(&web, &web_ids), &mut s).expect("tree");
+            tree.total_depth()
+        },
+    );
+
+    // Unpruned gain-k bound (the Fig. 4 baseline's inner call).
+    let small = crate::synthetic(scale.pick(30, 40), 0.9);
+    run(
+        &format!("gaink_k2_bound_copyadd_n{}", small.len()),
+        samples,
+        1,
+        "bounds",
+        &mut || {
+            let (_, l) = GainK::<AvgDepth>::new(2)
+                .bound(&small.full_view())
+                .expect("bound");
+            l
+        },
+    );
+
+    // Exact optimal solver on a small collection (memo-heavy workload).
+    let tiny = crate::synthetic(scale.pick(13, 15), 0.8);
+    run(
+        &format!("optimal_ad_copyadd_n{}", tiny.len()),
+        samples,
+        1,
+        "solves",
+        &mut || {
+            let mut solver = OptimalSolver::<AvgDepth>::new();
+            solver.optimal_cost(&tiny.full_view()).expect("small")
+        },
+    );
+
+    // Raw counting pass over a larger collection — the innermost loop.
+    let big = crate::synthetic(scale.pick(2_000, 8_000), 0.9);
+    let big_view = big.full_view();
+    let elements = big_view.total_elements() as u64;
+    run(
+        &format!("count_entities_copyadd_n{}", big.len()),
+        samples.max(10),
+        elements,
+        "elements",
+        &mut || {
+            let mut scratch = CountScratch::new();
+            let mut out = Vec::new();
+            big_view.count_entities(&mut scratch, &mut out);
+            out.len() as u64
+        },
+    );
+
+    // Partition sweep: split the big view on each of a slice of entities.
+    let mut scratch = CountScratch::new();
+    let informative = big_view.informative_entities(&mut scratch);
+    let probes: Vec<_> = informative
+        .iter()
+        .step_by((informative.len() / 200).max(1))
+        .map(|ec| ec.entity)
+        .collect();
+    run(
+        &format!("partition_copyadd_n{}", big.len()),
+        samples.max(10),
+        probes.len() as u64,
+        "partitions",
+        &mut || {
+            let mut acc = 0u64;
+            for &e in &probes {
+                let (yes, no) = big_view.partition(e);
+                acc = acc.wrapping_add(yes.len() as u64 ^ no.len() as u64);
+            }
+            acc
+        },
+    );
+
+    reports
+}
+
+/// Encodes the reports as the `BENCH_hotpath.json` document.
+pub fn to_json(scale: HotpathScale, reports: &[KernelReport]) -> JsonObject {
+    JsonObject::new()
+        .str("bench", "hotpath")
+        .str("scale", scale.name())
+        .array(
+            "kernels",
+            reports.iter().map(KernelReport::to_json).collect(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_kernel_reports_sane_numbers() {
+        let rep = time_kernel("noop", 3, 7, "items", || 1);
+        assert_eq!(rep.samples, 3);
+        assert_eq!(rep.items_per_iter, 7);
+        assert!(rep.median_ns >= 0.0);
+        assert!(rep.throughput() >= 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let rep = time_kernel("noop", 2, 1, "items", || 1);
+        let doc = to_json(HotpathScale::Smoke, &[rep]).encode();
+        assert!(doc.contains("\"bench\":\"hotpath\""));
+        assert!(doc.contains("\"scale\":\"smoke\""));
+        assert!(doc.contains("\"kernel\":\"noop\""));
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(HotpathScale::parse("smoke"), Some(HotpathScale::Smoke));
+        assert_eq!(HotpathScale::parse("default"), Some(HotpathScale::Default));
+        assert_eq!(HotpathScale::parse("paper"), None);
+    }
+}

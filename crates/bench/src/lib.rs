@@ -5,6 +5,8 @@
 //! numbers. Fixtures are deterministic so criterion's statistics compare
 //! the same workload across runs.
 
+pub mod hotpath;
+
 use setdisc_core::{Collection, SubCollection};
 use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
 use setdisc_synth::webtables::{self, WebTablesConfig};

@@ -13,7 +13,7 @@ use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
 use crate::set::EntitySet;
 use crate::subcollection::SubCollection;
-use setdisc_util::FxHashMap;
+use setdisc_util::{Fingerprint, FxHashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone token distinguishing collection instances, used by lookahead
@@ -25,6 +25,7 @@ pub struct Collection {
     sets: Vec<EntitySet>,
     inverted: Vec<Vec<SetId>>,
     universe: u32,
+    distinct: usize,
     token: u64,
 }
 
@@ -60,8 +61,11 @@ impl Collection {
     }
 
     /// Number of distinct entities that actually occur in some set.
+    /// Computed once at build time (it sits inside sweep loops that call it
+    /// per configuration).
+    #[inline]
     pub fn distinct_entities(&self) -> usize {
-        self.inverted.iter().filter(|l| !l.is_empty()).count()
+        self.distinct
     }
 
     /// The set with the given id. Panics if out of range.
@@ -167,10 +171,17 @@ fn intersect_sorted(a: &[SetId], b: &[SetId]) -> Vec<SetId> {
 }
 
 /// Incremental builder enforcing the paper's uniqueness assumption.
+///
+/// Duplicate detection is keyed on each set's 128-bit content
+/// `(fingerprint, len)` digest rather than the set itself, so pushing a set
+/// never clones it. Two *distinct* sets sharing a digest would be wrongly
+/// merged, but the collision probability is ≈ `n²/2¹²⁸` over `n` pushed
+/// sets (see [`setdisc_util::hash`]) — negligible against any realizable
+/// collection.
 #[derive(Default)]
 pub struct CollectionBuilder {
     sets: Vec<EntitySet>,
-    seen: FxHashMap<EntitySet, ()>,
+    seen: FxHashSet<(Fingerprint, u32)>,
     duplicates_dropped: usize,
     empties_dropped: usize,
 }
@@ -205,7 +216,7 @@ impl CollectionBuilder {
     pub fn push(&mut self, set: EntitySet) -> &mut Self {
         if set.is_empty() {
             self.empties_dropped += 1;
-        } else if self.seen.insert(set.clone(), ()).is_some() {
+        } else if !self.seen.insert((set.fingerprint(), set.len() as u32)) {
             self.duplicates_dropped += 1;
         } else {
             self.sets.push(set);
@@ -242,11 +253,13 @@ impl CollectionBuilder {
             }
         }
         // Set ids were appended in increasing order, so lists are sorted.
+        let distinct = inverted.iter().filter(|l| !l.is_empty()).count();
         Ok(BuiltCollection {
             collection: Collection {
                 sets: self.sets,
                 inverted,
                 universe,
+                distinct,
                 token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
             },
             duplicates_dropped: self.duplicates_dropped,

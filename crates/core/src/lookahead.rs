@@ -21,7 +21,16 @@
 //! Results are memoized per (sub-collection, k) with the exact cache
 //! semantics of Algorithm 1 lines 1–6: a negative entry `(None, b)` means
 //! "no entity here has `LB_k < b`" and only short-circuits callers whose
-//! limit is at most `b`.
+//! limit is at most `b`. The memo key is the view's 128-bit content
+//! [`Fingerprint`] paired with its length — an O(1) probe with no boxed id
+//! vector per entry; see `setdisc_util::hash` for the collision bound.
+//!
+//! The recursion itself is allocation-free in steady state: candidate lists,
+//! counting buffers, and the yes/no id buffers of every split live in a
+//! depth-indexed [`LookaheadScratch`] arena, and duplicate-partition
+//! candidates (entities with identical membership across the member sets)
+//! are dropped using membership fingerprints computed in the counting pass —
+//! *before* any partition is materialized.
 //!
 //! [`GainK`] is the unpruned k-step lookahead baseline in the style of
 //! Esmeir & Markovitch's *gain-k* — identical recursion, no sorting-based
@@ -31,8 +40,9 @@
 use crate::cost::{imbalance, lb1, Cost, CostModel, UNBOUNDED};
 use crate::entity::EntityId;
 use crate::strategy::SelectionStrategy;
-use crate::subcollection::{CountScratch, SubCollection};
-use setdisc_util::{FxHashMap, FxHashSet};
+use crate::subcollection::{Candidate, LookaheadScratch, SubCollection};
+use setdisc_util::{Fingerprint, FxHashMap, FxHashSet};
+use std::mem;
 
 /// Candidate-limiting mode for [`KLp`] (§4.4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -130,7 +140,9 @@ impl PruneStats {
     }
 }
 
-type CacheKey = (Box<[u32]>, u32, bool);
+/// Memo key: `(view fingerprint, |view|, k, is_top)`. Copy-sized, so a
+/// probe hashes four words instead of a boxed id slice.
+type CacheKey = (Fingerprint, u32, u32, bool);
 
 #[derive(Copy, Clone)]
 struct CacheEntry {
@@ -145,7 +157,7 @@ pub struct KLp<M: CostModel> {
     beam: KLpBeam,
     cache: FxHashMap<CacheKey, CacheEntry>,
     cache_token: u64,
-    scratch: CountScratch,
+    scratch: LookaheadScratch,
     stats: PruneStats,
     record_stats: bool,
     _metric: std::marker::PhantomData<M>,
@@ -179,7 +191,7 @@ impl<M: CostModel> KLp<M> {
             beam,
             cache: FxHashMap::default(),
             cache_token: 0,
-            scratch: CountScratch::new(),
+            scratch: LookaheadScratch::new(),
             stats: PruneStats::default(),
             record_stats: false,
             _metric: std::marker::PhantomData,
@@ -225,7 +237,7 @@ impl<M: CostModel> KLp<M> {
     pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
         self.prepare_for(view);
         let excluded = FxHashSet::default();
-        let (e, l) = self.klp(view, self.k, UNBOUNDED, &excluded, true);
+        let (e, l) = self.klp(view, self.k, UNBOUNDED, &excluded, true, 0);
         e.map(|e| (e, l))
     }
 
@@ -238,13 +250,13 @@ impl<M: CostModel> KLp<M> {
     }
 
     fn cache_key(view: &SubCollection<'_>, k: u32, is_top: bool) -> CacheKey {
-        let ids: Box<[u32]> = view.ids().iter().map(|s| s.0).collect();
-        (ids, k, is_top)
+        (view.fingerprint(), view.len() as u32, k, is_top)
     }
 
     /// The recursive body of Algorithm 1. Returns `(entity, bound)`:
     /// `entity` is the argmin when some candidate achieves `LB_k < ul`,
     /// otherwise `None` with `bound` = the tightest bound knowledge (`ul`).
+    /// `depth` indexes the scratch arena (0 at the selection level).
     fn klp(
         &mut self,
         view: &SubCollection<'_>,
@@ -252,6 +264,7 @@ impl<M: CostModel> KLp<M> {
         mut ul: Cost,
         excluded: &FxHashSet<EntityId>,
         is_top: bool,
+        depth: usize,
     ) -> (Option<EntityId>, Cost) {
         let n = view.len() as u64;
         if n <= 1 {
@@ -279,37 +292,38 @@ impl<M: CostModel> KLp<M> {
         };
 
         // Candidate list, most-even first (line 11); ties by entity id.
-        let inf = {
-            let mut inf = view.informative_entities(&mut self.scratch);
-            if !excluded.is_empty() {
-                inf.retain(|ec| !excluded.contains(&ec.entity));
+        // One counting pass produces counts *and* membership fingerprints;
+        // the buffers live in the depth-indexed arena.
+        let mut level = self.scratch.take_level(depth);
+        view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
+        for s in &level.stats {
+            if !excluded.is_empty() && excluded.contains(&s.entity) {
+                continue;
             }
-            inf
-        };
-        let informative_total = inf.len() as u32;
-        // Sort by (LB₁, imbalance, id). The paper sorts by most-even
-        // partitioning and notes the order coincides with LB₁ order — true
-        // for the real-valued `n·log₂n` but not for the ceiling version
-        // (e.g. n=35: a 16/19 split has ⌈16·log16⌉+⌈19·log19⌉ = 145 <
-        // 146 = the 17/18 split's, because 16 is a power of two). Sorting by
-        // LB₁ first keeps the early exit of lines 14–15 sound; imbalance
-        // remains the paper's tie-break.
-        let mut cand: Vec<(Cost, u64, EntityId, u64)> = inf
-            .into_iter()
-            .map(|ec| {
-                let n1 = ec.count as u64;
-                (lb1::<M>(n, n1), imbalance(n, n1), ec.entity, n1)
-            })
-            .collect();
-        cand.sort_unstable_by_key(|&(lb, imb, e, _)| (lb, imb, e));
-        cand.truncate(self.beam.width(is_top));
+            let n1 = s.count as u64;
+            level.cand.push(Candidate {
+                score: lb1::<M>(n, n1),
+                imbalance: imbalance(n, n1),
+                entity: s.entity,
+                n1,
+                fp: s.fp,
+            });
+        }
+        let informative_total = level.cand.len() as u32;
 
-        // Lines 7–10: base case — the minimal-LB₁ (most even) entity.
+        // Lines 7–10: base case — the minimal-LB₁ (most even) entity. A
+        // single min pass; no need to rank the losers (the beam can only
+        // truncate candidates *after* the minimum, so the global argmin is
+        // the beam's argmin for every beam width).
         if k <= 1 {
-            let result = cand
-                .first()
-                .map(|&(lb, _, e, _)| (Some(e), lb))
+            let result = level
+                .cand
+                .iter()
+                .min_by_key(|c| (c.score, c.imbalance, c.entity))
+                .map(|c| (Some(c.entity), c.score))
                 .unwrap_or((None, 0));
+            let beam_len = level.cand.len().min(self.beam.width(is_top)) as u32;
+            self.scratch.put_level(depth, level);
             if let (Some(key), (Some(_), _)) = (key, result) {
                 self.cache.insert(
                     key,
@@ -323,11 +337,23 @@ impl<M: CostModel> KLp<M> {
                 self.stats.nodes.push(NodeStats {
                     collection_size: n as u32,
                     informative: informative_total,
-                    evaluated: informative_total.min(cand.len() as u32),
+                    evaluated: informative_total.min(beam_len),
                 });
             }
             return result;
         }
+
+        // Sort by (LB₁, imbalance, id). The paper sorts by most-even
+        // partitioning and notes the order coincides with LB₁ order — true
+        // for the real-valued `n·log₂n` but not for the ceiling version
+        // (e.g. n=35: a 16/19 split has ⌈16·log16⌉+⌈19·log19⌉ = 145 <
+        // 146 = the 17/18 split's, because 16 is a power of two). Sorting by
+        // LB₁ first keeps the early exit of lines 14–15 sound; imbalance
+        // remains the paper's tie-break.
+        level
+            .cand
+            .sort_unstable_by_key(|c| (c.score, c.imbalance, c.entity));
+        level.cand.truncate(self.beam.width(is_top));
 
         let mut best: Option<EntityId> = None;
         let mut evaluated: u32 = 0;
@@ -335,57 +361,38 @@ impl<M: CostModel> KLp<M> {
         // identical membership across the candidate sets — ubiquitous when
         // sets are query outputs). Identical partitions have identical
         // bounds, and the first entity in sort order wins ties either way,
-        // so duplicates can be skipped without changing the selection.
-        let mut seen_partitions: FxHashSet<Box<[u32]>> = FxHashSet::default();
-
-        for &(lb_1, _, e, n1) in &cand {
-            let n2 = n - n1;
-            // Lines 14–15: sorted early exit — prunes e and every candidate
+        // so duplicates can be skipped without changing the selection. The
+        // membership fingerprint from the counting pass detects them here,
+        // *before* the duplicate partition is ever materialized.
+        for i in 0..level.cand.len() {
+            let c = level.cand[i];
+            // Lines 14–15: sorted early exit — prunes c and every candidate
             // after it (Lemma 4.4 with l = 1).
-            if lb_1 >= ul {
+            if c.score >= ul {
                 break;
             }
             evaluated += 1;
-            let (cpos, cneg) = view.partition(e);
-            debug_assert_eq!(cpos.len() as u64, n1);
-            let partition_key: Box<[u32]> = cpos.ids().iter().map(|s| s.0).collect();
-            if !seen_partitions.insert(partition_key) {
+            if !level.seen.insert((c.fp, c.n1)) {
                 continue; // same split as an earlier (preferred) entity
             }
-
-            // Lines 18–25: bound the positive side.
-            let l_pos = if n1 == 1 {
-                0
-            } else {
-                let Some(ul_pos) = M::ul_first(ul, n, M::lb0(n2)) else {
-                    continue;
-                };
-                match self.klp(&cpos, k - 1, ul_pos, excluded, false) {
-                    (Some(_), l) => l,
-                    (None, _) => continue, // pruned (lines 24–25)
-                }
-            };
-
-            // Lines 26–32: bound the negative side with the tightened limit.
-            let l_neg = if n2 == 1 {
-                0
-            } else {
-                let Some(ul_neg) = M::ul_second(ul, n, l_pos) else {
-                    continue;
-                };
-                match self.klp(&cneg, k - 1, ul_neg, excluded, false) {
-                    (Some(_), l) => l,
-                    (None, _) => continue,
-                }
-            };
-
+            let (cpos, cneg) = view.partition_into(
+                c.entity,
+                mem::take(&mut level.yes_ids),
+                mem::take(&mut level.no_ids),
+            );
+            debug_assert_eq!(cpos.len() as u64, c.n1);
+            let l = self.bound_children(&cpos, &cneg, k, ul, excluded, depth);
+            level.yes_ids = cpos.into_ids();
+            level.no_ids = cneg.into_ids();
             // Lines 33–36.
-            let l = M::combine(n, l_pos, l_neg);
-            if l < ul {
-                ul = l;
-                best = Some(e);
+            if let Some(l) = l {
+                if l < ul {
+                    ul = l;
+                    best = Some(c.entity);
+                }
             }
         }
+        self.scratch.put_level(depth, level);
 
         if let Some(key) = key {
             self.cache.insert(
@@ -404,6 +411,46 @@ impl<M: CostModel> KLp<M> {
             });
         }
         (best, ul)
+    }
+
+    /// Lines 18–32: bound both children of one candidate split, or `None`
+    /// when either side is pruned against its upper limit.
+    fn bound_children(
+        &mut self,
+        cpos: &SubCollection<'_>,
+        cneg: &SubCollection<'_>,
+        k: u32,
+        ul: Cost,
+        excluded: &FxHashSet<EntityId>,
+        depth: usize,
+    ) -> Option<Cost> {
+        let n1 = cpos.len() as u64;
+        let n2 = cneg.len() as u64;
+        let n = n1 + n2;
+
+        // Lines 18–25: bound the positive side.
+        let l_pos = if n1 == 1 {
+            0
+        } else {
+            let ul_pos = M::ul_first(ul, n, M::lb0(n2))?;
+            match self.klp(cpos, k - 1, ul_pos, excluded, false, depth + 1) {
+                (Some(_), l) => l,
+                (None, _) => return None, // pruned (lines 24–25)
+            }
+        };
+
+        // Lines 26–32: bound the negative side with the tightened limit.
+        let l_neg = if n2 == 1 {
+            0
+        } else {
+            let ul_neg = M::ul_second(ul, n, l_pos)?;
+            match self.klp(cneg, k - 1, ul_neg, excluded, false, depth + 1) {
+                (Some(_), l) => l,
+                (None, _) => return None,
+            }
+        };
+
+        Some(M::combine(n, l_pos, l_neg))
     }
 }
 
@@ -427,7 +474,7 @@ impl<M: CostModel> SelectionStrategy for KLp<M> {
             return None;
         }
         self.prepare_for(view);
-        let (entity, _) = self.klp(view, self.k, UNBOUNDED, excluded, true);
+        let (entity, _) = self.klp(view, self.k, UNBOUNDED, excluded, true, 0);
         entity
     }
 }
@@ -438,7 +485,7 @@ impl<M: CostModel> SelectionStrategy for KLp<M> {
 /// memoization. Runtime is `O(mᵏ·n)`; use only on small inputs.
 pub struct GainK<M: CostModel> {
     k: u32,
-    scratch: CountScratch,
+    scratch: LookaheadScratch,
     _metric: std::marker::PhantomData<M>,
 }
 
@@ -448,7 +495,7 @@ impl<M: CostModel> GainK<M> {
         assert!(k >= 1);
         Self {
             k,
-            scratch: CountScratch::new(),
+            scratch: LookaheadScratch::new(),
             _metric: std::marker::PhantomData,
         }
     }
@@ -456,47 +503,74 @@ impl<M: CostModel> GainK<M> {
     /// The exact `LB_k` minimum over all entities (for equivalence tests
     /// against [`KLp`]).
     pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
-        let r = self.rec(view, self.k);
+        let r = self.rec(view, self.k, 0);
         r.0.map(|e| (e, r.1))
     }
 
-    fn rec(&mut self, view: &SubCollection<'_>, k: u32) -> (Option<EntityId>, Cost) {
+    fn rec(&mut self, view: &SubCollection<'_>, k: u32, depth: usize) -> (Option<EntityId>, Cost) {
         let n = view.len() as u64;
         if n <= 1 {
             return (None, 0);
         }
-        let inf = view.informative_entities(&mut self.scratch);
-        let mut cand: Vec<(Cost, u64, EntityId, u64)> = inf
-            .into_iter()
-            .map(|ec| {
-                let n1 = ec.count as u64;
-                (lb1::<M>(n, n1), imbalance(n, n1), ec.entity, n1)
-            })
-            .collect();
+        // Same arena reuse as KLp, but no memo, no dedup, no early exit —
+        // the baseline must evaluate every candidate in full.
+        let mut level = self.scratch.take_level(depth);
+        view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
+        for s in &level.stats {
+            let n1 = s.count as u64;
+            level.cand.push(Candidate {
+                score: lb1::<M>(n, n1),
+                imbalance: imbalance(n, n1),
+                entity: s.entity,
+                n1,
+                fp: s.fp,
+            });
+        }
+        if k <= 1 {
+            let result = level
+                .cand
+                .iter()
+                .min_by_key(|c| (c.score, c.imbalance, c.entity))
+                .map(|c| (Some(c.entity), c.score))
+                .unwrap_or((None, 0));
+            self.scratch.put_level(depth, level);
+            return result;
+        }
         // Same deterministic order as KLp so both make identical choices on
         // ties — but with NO early exit below.
-        cand.sort_unstable_by_key(|&(lb, imb, e, _)| (lb, imb, e));
-
-        if k <= 1 {
-            return cand
-                .first()
-                .map(|&(lb, _, e, _)| (Some(e), lb))
-                .unwrap_or((None, 0));
-        }
+        level
+            .cand
+            .sort_unstable_by_key(|c| (c.score, c.imbalance, c.entity));
 
         let mut best: Option<EntityId> = None;
         let mut best_cost = UNBOUNDED;
-        for &(_, _, e, n1) in &cand {
-            let n2 = n - n1;
-            let (cpos, cneg) = view.partition(e);
-            let l_pos = if n1 == 1 { 0 } else { self.rec(&cpos, k - 1).1 };
-            let l_neg = if n2 == 1 { 0 } else { self.rec(&cneg, k - 1).1 };
+        for i in 0..level.cand.len() {
+            let c = level.cand[i];
+            let n2 = n - c.n1;
+            let (cpos, cneg) = view.partition_into(
+                c.entity,
+                mem::take(&mut level.yes_ids),
+                mem::take(&mut level.no_ids),
+            );
+            let l_pos = if c.n1 == 1 {
+                0
+            } else {
+                self.rec(&cpos, k - 1, depth + 1).1
+            };
+            let l_neg = if n2 == 1 {
+                0
+            } else {
+                self.rec(&cneg, k - 1, depth + 1).1
+            };
+            level.yes_ids = cpos.into_ids();
+            level.no_ids = cneg.into_ids();
             let l = M::combine(n, l_pos, l_neg);
             if l < best_cost {
                 best_cost = l;
-                best = Some(e);
+                best = Some(c.entity);
             }
         }
+        self.scratch.put_level(depth, level);
         (best, best_cost)
     }
 }
@@ -515,39 +589,46 @@ impl<M: CostModel> SelectionStrategy for GainK<M> {
             return None;
         }
         if excluded.is_empty() {
-            return self.rec(view, self.k).0;
+            return self.rec(view, self.k, 0).0;
         }
         // Exclusions are rare (the "don't know" path); filter by re-ranking.
-        let inf = view.informative_entities(&mut self.scratch);
-        let allowed: Vec<EntityId> = inf
-            .iter()
-            .map(|ec| ec.entity)
-            .filter(|e| !excluded.contains(e))
-            .collect();
-        if allowed.is_empty() {
+        let mut level = self.scratch.take_level(0);
+        view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
+        level.stats.retain(|s| !excluded.contains(&s.entity));
+        if level.stats.is_empty() {
+            self.scratch.put_level(0, level);
             return None;
         }
         let n = view.len() as u64;
         let mut best: Option<(Cost, u64, EntityId)> = None;
-        for &e in &allowed {
-            let (cpos, cneg) = view.partition(e);
+        for i in 0..level.stats.len() {
+            let s = level.stats[i];
+            let e = s.entity;
+            let (cpos, cneg) = view.partition_into(
+                e,
+                mem::take(&mut level.yes_ids),
+                mem::take(&mut level.no_ids),
+            );
             let (n1, n2) = (cpos.len() as u64, cneg.len() as u64);
             let l_pos = if n1 <= 1 {
                 0
             } else {
-                self.rec(&cpos, self.k - 1).1
+                self.rec(&cpos, self.k - 1, 1).1
             };
             let l_neg = if n2 <= 1 {
                 0
             } else {
-                self.rec(&cneg, self.k - 1).1
+                self.rec(&cneg, self.k - 1, 1).1
             };
+            level.yes_ids = cpos.into_ids();
+            level.no_ids = cneg.into_ids();
             let l = M::combine(n, l_pos, l_neg);
             let key = (l, imbalance(n, n1), e);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
+        self.scratch.put_level(0, level);
         best.map(|(_, _, e)| e)
     }
 }
@@ -762,6 +843,57 @@ mod tests {
         excluded.insert(first);
         let second = g.select_excluding(&v, &excluded).unwrap();
         assert_ne!(first, second);
+    }
+
+    #[test]
+    fn memo_distinguishes_same_length_views() {
+        // Fingerprint keys carry the whole identity of a view; two disjoint
+        // same-length subviews must never share memo entries. (This is the
+        // regression guard for the (fingerprint, len) key: a collision or a
+        // key that ignored content would surface here as a cross-view leak.)
+        let c = figure1();
+        let a = SubCollection::from_ids(&c, vec![SetId(0), SetId(1), SetId(2)]);
+        let b = SubCollection::from_ids(&c, vec![SetId(3), SetId(4), SetId(5)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut warm = KLp::<AvgDepth>::new(3);
+        let a_warm = warm.bound(&a);
+        let b_warm = warm.bound(&b);
+        assert_eq!(a_warm, KLp::<AvgDepth>::new(3).bound(&a));
+        assert_eq!(b_warm, KLp::<AvgDepth>::new(3).bound(&b));
+        // And in the reverse query order with the same warm cache.
+        assert_eq!(warm.bound(&a), a_warm);
+        assert_eq!(warm.bound(&b), b_warm);
+    }
+
+    #[test]
+    fn warm_memo_negative_entries_stay_sound_across_queries() {
+        // A top-level bound() fills the memo with negative entries recorded
+        // under the finite upper limits of inner recursion (Algorithm 1
+        // lines 1–6). Re-querying every subview at UNBOUNDED as a fresh
+        // top-level question must recompute past those entries, matching a
+        // cold solver exactly.
+        let c = section_4_3_c2();
+        let view = c.full_view();
+        let mut warm = KLp::<Height>::new(3);
+        let top = warm.bound(&view).unwrap();
+        assert_eq!(top.1, 4);
+        assert!(warm.cache_len() > 0);
+        let mut scratch = crate::subcollection::CountScratch::new();
+        for ec in view.informative_entities(&mut scratch) {
+            let (yes, no) = view.partition(ec.entity);
+            for side in [yes, no] {
+                if side.len() < 2 {
+                    continue;
+                }
+                assert_eq!(
+                    warm.bound(&side),
+                    KLp::<Height>::new(3).bound(&side),
+                    "entity {} side of size {}",
+                    ec.entity,
+                    side.len()
+                );
+            }
+        }
     }
 
     #[test]

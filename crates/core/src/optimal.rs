@@ -5,25 +5,36 @@
 //! the "InfoGain is ≈0.048 above optimal" measurement of §5.3.2. Two things
 //! keep it practical well past brute force:
 //!
-//! * sub-collections are memoized by their id vector, so shared subproblems
-//!   are solved once;
-//! * distinct entities inducing the *same partition* are deduplicated, and
-//!   candidate partitions are bounded with `LB₀` before recursing.
+//! * sub-collections are memoized by their 128-bit content fingerprint (plus
+//!   length), so shared subproblems are solved once with O(1) probes and no
+//!   boxed key per entry;
+//! * distinct entities inducing the *same partition* (in either orientation)
+//!   are deduplicated using membership fingerprints from the counting pass —
+//!   before the partition is materialized — and candidate partitions are
+//!   bounded with `LB₀` before recursing;
+//! * all recursion state (candidate lists, yes/no id buffers) lives in a
+//!   depth-indexed [`LookaheadScratch`] arena, so steady-state search
+//!   performs no heap allocation.
 
 use crate::cost::{imbalance, Cost, CostModel, UNBOUNDED};
 use crate::entity::EntityId;
 use crate::error::{Result, SetDiscError};
 use crate::strategy::SelectionStrategy;
-use crate::subcollection::{CountScratch, SubCollection};
-use setdisc_util::{FxHashMap, FxHashSet};
+use crate::subcollection::{Candidate, LookaheadScratch, SubCollection};
+use setdisc_util::{Fingerprint, FxHashMap, FxHashSet};
+use std::mem;
 
 /// Default guard against accidentally launching an exponential search.
 pub const DEFAULT_MAX_SETS: usize = 64;
 
+/// Memo key: `(view fingerprint, |view|)`.
+type MemoKey = (Fingerprint, u32);
+
 /// Exact optimal solver for a fixed cost metric.
 pub struct OptimalSolver<M: CostModel> {
-    memo: FxHashMap<Box<[u32]>, (Cost, Option<EntityId>)>,
-    scratch: CountScratch,
+    memo: FxHashMap<MemoKey, (Cost, Option<EntityId>)>,
+    memo_token: u64,
+    scratch: LookaheadScratch,
     max_sets: usize,
     _metric: std::marker::PhantomData<M>,
 }
@@ -44,9 +55,20 @@ impl<M: CostModel> OptimalSolver<M> {
     pub fn with_max_sets(max_sets: usize) -> Self {
         Self {
             memo: FxHashMap::default(),
-            scratch: CountScratch::new(),
+            memo_token: 0,
+            scratch: LookaheadScratch::new(),
             max_sets,
             _metric: std::marker::PhantomData,
+        }
+    }
+
+    /// Drops the memo when the solver is reused on a different collection
+    /// (fingerprint keys are only unique within one collection's id space).
+    fn prepare_for(&mut self, view: &SubCollection<'_>) {
+        let token = view.collection().token();
+        if token != self.memo_token {
+            self.memo.clear();
+            self.memo_token = token;
         }
     }
 
@@ -62,23 +84,24 @@ impl<M: CostModel> OptimalSolver<M> {
                 view.len()
             )));
         }
-        Ok(self.solve(view, UNBOUNDED))
+        self.prepare_for(view);
+        Ok(self.solve(view, UNBOUNDED, 0))
     }
 
     /// Memoized branch-and-bound. Returns the exact optimum of the
     /// subproblem (the `limit` only prunes work, never changes the value
     /// when the true optimum is below it; when the optimum is `≥ limit` the
     /// returned value is some bound `≥ limit`, which the caller discards).
-    fn solve(&mut self, view: &SubCollection<'_>, limit: Cost) -> Cost {
+    fn solve(&mut self, view: &SubCollection<'_>, limit: Cost, depth: usize) -> Cost {
         let n = view.len() as u64;
         if n <= 1 {
             return 0;
         }
-        let key: Box<[u32]> = view.ids().iter().map(|s| s.0).collect();
+        let key: MemoKey = (view.fingerprint(), view.len() as u32);
         if let Some(&(cost, _)) = self.memo.get(&key) {
             return cost;
         }
-        let (cost, entity) = self.search(view, limit);
+        let (cost, entity) = self.search(view, limit, depth);
         if entity.is_some() {
             // Only exact results are memoized; limit-truncated searches are
             // not, since their value depends on the limit.
@@ -87,54 +110,79 @@ impl<M: CostModel> OptimalSolver<M> {
         cost
     }
 
-    fn search(&mut self, view: &SubCollection<'_>, limit: Cost) -> (Cost, Option<EntityId>) {
+    fn search(
+        &mut self,
+        view: &SubCollection<'_>,
+        limit: Cost,
+        depth: usize,
+    ) -> (Cost, Option<EntityId>) {
         let n = view.len() as u64;
-        let inf = view.informative_entities(&mut self.scratch);
-        let mut cand: Vec<(u64, EntityId, u64)> = inf
-            .into_iter()
-            .map(|ec| (imbalance(n, ec.count as u64), ec.entity, ec.count as u64))
-            .collect();
-        cand.sort_unstable_by_key(|&(imb, e, _)| (imb, e));
+        let mut level = self.scratch.take_level(depth);
+        view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
+        for s in &level.stats {
+            let n1 = s.count as u64;
+            level.cand.push(Candidate {
+                score: 0,
+                imbalance: imbalance(n, n1),
+                entity: s.entity,
+                n1,
+                fp: s.fp,
+            });
+        }
+        level.cand.sort_unstable_by_key(|c| (c.imbalance, c.entity));
 
         let mut best = limit;
         let mut best_entity = None;
-        let mut seen_partitions: FxHashSet<Box<[u32]>> = FxHashSet::default();
+        let view_fp = view.fingerprint();
 
-        for &(_, e, n1) in &cand {
+        for i in 0..level.cand.len() {
+            let c = level.cand[i];
+            let n1 = c.n1;
             let n2 = n - n1;
             // LB₀ bound before any recursion.
             let quick = M::combine(n, M::lb0(n1), M::lb0(n2));
             if quick >= best {
                 continue;
             }
-            let (yes, no) = view.partition(e);
-            // Canonical partition key: the side containing the first set.
-            let canonical: Box<[u32]> = if yes.ids().first() == view.ids().first() {
-                yes.ids().iter().map(|s| s.0).collect()
-            } else {
-                no.ids().iter().map(|s| s.0).collect()
-            };
-            if !seen_partitions.insert(canonical) {
+            // Canonical digest of the *unordered* partition — the smaller of
+            // the two (side digest, side size) pairs; the complement side's
+            // digest is derived by subtraction. Detects both same-side and
+            // swapped-side duplicates without materializing the partition.
+            let yes_key = (c.fp, n1);
+            let no_key = (view_fp - c.fp, n2);
+            if !level.seen.insert(yes_key.min(no_key)) {
                 continue; // same split as an earlier entity
             }
             let Some(l_yes_limit) = M::ul_first(best, n, M::lb0(n2)) else {
                 continue;
             };
-            let l_yes = self.solve(&yes, l_yes_limit);
-            let partial = M::combine(n, l_yes, M::lb0(n2));
-            if partial >= best {
-                continue;
-            }
-            let Some(l_no_limit) = M::ul_second(best, n, l_yes) else {
-                continue;
+            let (yes, no) = view.partition_into(
+                c.entity,
+                mem::take(&mut level.yes_ids),
+                mem::take(&mut level.no_ids),
+            );
+            let total = {
+                let l_yes = self.solve(&yes, l_yes_limit, depth + 1);
+                let partial = M::combine(n, l_yes, M::lb0(n2));
+                if partial >= best {
+                    None
+                } else {
+                    M::ul_second(best, n, l_yes).map(|l_no_limit| {
+                        let l_no = self.solve(&no, l_no_limit, depth + 1);
+                        M::combine(n, l_yes, l_no)
+                    })
+                }
             };
-            let l_no = self.solve(&no, l_no_limit);
-            let total = M::combine(n, l_yes, l_no);
-            if total < best {
-                best = total;
-                best_entity = Some(e);
+            level.yes_ids = yes.into_ids();
+            level.no_ids = no.into_ids();
+            if let Some(total) = total {
+                if total < best {
+                    best = total;
+                    best_entity = Some(c.entity);
+                }
             }
         }
+        self.scratch.put_level(depth, level);
         (best, best_entity)
     }
 
@@ -176,8 +224,9 @@ impl<M: CostModel> SelectionStrategy for OptimalStrategy<'_, M> {
             "optimal strategy does not support exclusions"
         );
         // solve() memoizes (cost, argmin); rerun to ensure presence.
-        let _ = self.solver.solve(view, UNBOUNDED);
-        let key: Box<[u32]> = view.ids().iter().map(|s| s.0).collect();
+        self.solver.prepare_for(view);
+        let _ = self.solver.solve(view, UNBOUNDED, 0);
+        let key: MemoKey = (view.fingerprint(), view.len() as u32);
         self.solver.memo.get(&key).and_then(|&(_, e)| e)
     }
 }

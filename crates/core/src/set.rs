@@ -6,6 +6,7 @@
 //! need.
 
 use crate::entity::EntityId;
+use setdisc_util::Fingerprint;
 
 /// An immutable set of entities, stored sorted and deduplicated.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -69,6 +70,14 @@ impl EntitySet {
     #[inline]
     pub fn as_slice(&self) -> &[EntityId] {
         &self.elems
+    }
+
+    /// 128-bit content digest of the element set (the lane-wise sum of
+    /// [`Fingerprint::of`] over the elements). [`crate::CollectionBuilder`]
+    /// keys its duplicate filter on `(fingerprint, len)` so pushing a set
+    /// never clones it; see [`setdisc_util::hash`] for the collision bound.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.elems.iter().map(|e| Fingerprint::of(e.0 as u64)).sum()
     }
 
     /// True if every element of `self` is in `other`.
@@ -184,6 +193,17 @@ mod tests {
     #[test]
     fn equality_ignores_input_order() {
         assert_eq!(s(&[1, 2, 3]), s(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        assert_eq!(s(&[1, 2, 3]).fingerprint(), s(&[3, 2, 1]).fingerprint());
+        assert_ne!(s(&[1, 2, 3]).fingerprint(), s(&[1, 2, 4]).fingerprint());
+        assert_eq!(s(&[]).fingerprint(), Fingerprint::ZERO);
+        assert_eq!(
+            s(&[7, 9]).fingerprint(),
+            Fingerprint::of(7) + Fingerprint::of(9)
+        );
     }
 
     #[test]

@@ -55,10 +55,14 @@ fn informative_filtered(
 }
 
 /// Generic argmin over informative entities given a score function; ties are
-/// broken by (score, imbalance, entity id).
+/// broken by (score, imbalance, entity id). Works in the caller's reusable
+/// `buf` (the ranking key is total, so the counting pass's first-touch order
+/// never leaks into the result) — one selection allocates nothing in steady
+/// state.
 fn argmin_by_score<S: Ord + Copy>(
     view: &SubCollection<'_>,
     scratch: &mut CountScratch,
+    buf: &mut Vec<EntityCount>,
     excluded: &FxHashSet<EntityId>,
     mut score: impl FnMut(u64, u64) -> S,
 ) -> Option<EntityId> {
@@ -66,8 +70,9 @@ fn argmin_by_score<S: Ord + Copy>(
     if n < 2 {
         return None;
     }
-    let inf = informative_filtered(view, scratch, excluded);
-    inf.iter()
+    view.informative_into(scratch, buf);
+    buf.iter()
+        .filter(|ec| excluded.is_empty() || !excluded.contains(&ec.entity))
         .map(|ec| {
             let n1 = ec.count as u64;
             (score(n, n1), imbalance(n, n1), ec.entity)
@@ -81,6 +86,7 @@ fn argmin_by_score<S: Ord + Copy>(
 #[derive(Default)]
 pub struct MostEven {
     scratch: CountScratch,
+    buf: Vec<EntityCount>,
 }
 
 impl MostEven {
@@ -100,7 +106,7 @@ impl SelectionStrategy for MostEven {
         view: &SubCollection<'_>,
         excluded: &FxHashSet<EntityId>,
     ) -> Option<EntityId> {
-        argmin_by_score(view, &mut self.scratch, excluded, imbalance)
+        argmin_by_score(view, &mut self.scratch, &mut self.buf, excluded, imbalance)
     }
 }
 
@@ -113,6 +119,7 @@ impl SelectionStrategy for MostEven {
 #[derive(Default)]
 pub struct InfoGain {
     scratch: CountScratch,
+    buf: Vec<EntityCount>,
 }
 
 impl InfoGain {
@@ -146,7 +153,7 @@ impl SelectionStrategy for InfoGain {
         view: &SubCollection<'_>,
         excluded: &FxHashSet<EntityId>,
     ) -> Option<EntityId> {
-        argmin_by_score(view, &mut self.scratch, excluded, |n, n1| {
+        argmin_by_score(view, &mut self.scratch, &mut self.buf, excluded, |n, n1| {
             // Minimize the split entropy term; total_cmp-compatible key.
             let n2 = n - n1;
             let xlx = |x: u64| {
@@ -166,6 +173,7 @@ impl SelectionStrategy for InfoGain {
 #[derive(Default)]
 pub struct IndistinguishablePairs {
     scratch: CountScratch,
+    buf: Vec<EntityCount>,
 }
 
 impl IndistinguishablePairs {
@@ -191,7 +199,7 @@ impl SelectionStrategy for IndistinguishablePairs {
         view: &SubCollection<'_>,
         excluded: &FxHashSet<EntityId>,
     ) -> Option<EntityId> {
-        argmin_by_score(view, &mut self.scratch, excluded, Self::indg)
+        argmin_by_score(view, &mut self.scratch, &mut self.buf, excluded, Self::indg)
     }
 }
 
@@ -201,6 +209,7 @@ impl SelectionStrategy for IndistinguishablePairs {
 #[derive(Default)]
 pub struct Lb1<M: CostModel> {
     scratch: CountScratch,
+    buf: Vec<EntityCount>,
     _metric: std::marker::PhantomData<M>,
 }
 
@@ -221,7 +230,9 @@ impl<M: CostModel> SelectionStrategy for Lb1<M> {
         view: &SubCollection<'_>,
         excluded: &FxHashSet<EntityId>,
     ) -> Option<EntityId> {
-        argmin_by_score(view, &mut self.scratch, excluded, |n, n1| lb1::<M>(n, n1))
+        argmin_by_score(view, &mut self.scratch, &mut self.buf, excluded, |n, n1| {
+            lb1::<M>(n, n1)
+        })
     }
 }
 

@@ -2,22 +2,43 @@
 //!
 //! Every step of the search — tree construction, lookahead recursion,
 //! interactive filtering — operates on some subset of the sets. A
-//! [`SubCollection`] is just a borrowed collection plus a sorted vector of
-//! set ids, cheap to split and clone.
+//! [`SubCollection`] is a borrowed collection plus a sorted vector of set
+//! ids, cheap to split and clone, and carries a 128-bit content
+//! [`Fingerprint`] maintained incrementally at split time so lookahead
+//! memos can key on `(fingerprint, len)` instead of boxed id vectors.
 //!
 //! Entity counting is the innermost hot loop (it runs at every node of every
 //! lookahead), so it writes into a reusable [`CountScratch`] buffer indexed
 //! by entity id instead of allocating a hash map per call; the buffer resets
-//! itself through a touched-list in `O(distinct entities)`.
+//! itself through a touched-list in `O(distinct entities)`. The fingerprinted
+//! variant additionally accumulates each entity's *membership* digest — the
+//! fingerprint of the member sets containing it, which is exactly the
+//! yes-side fingerprint of `partition(entity)` — in the same pass, letting
+//! callers drop duplicate-partition candidates without ever partitioning.
+//!
+//! [`LookaheadScratch`] completes the allocation-free recursion story:
+//! depth-indexed reusable candidate/stat/id buffers that [`crate::lookahead`]
+//! and [`crate::optimal`] thread through their recursion together with the
+//! buffer-recycling [`SubCollection::partition_into`].
 
 use crate::collection::Collection;
+use crate::cost::Cost;
 use crate::entity::{EntityId, SetId};
+use setdisc_util::{Fingerprint, FxHashSet};
+
+/// Content digest of one set id (the unit [`SubCollection`] fingerprints
+/// sum over).
+#[inline]
+pub(crate) fn fp_of_set(id: SetId) -> Fingerprint {
+    Fingerprint::of(id.0 as u64)
+}
 
 /// A view over a sorted subset of sets in a [`Collection`].
 #[derive(Clone)]
 pub struct SubCollection<'c> {
     collection: &'c Collection,
     ids: Vec<SetId>,
+    fp: Fingerprint,
 }
 
 /// Occurrence statistics for one entity within a sub-collection.
@@ -29,11 +50,29 @@ pub struct EntityCount {
     pub count: u32,
 }
 
+/// Occurrence statistics plus membership digest for one entity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EntityStats {
+    /// The entity.
+    pub entity: EntityId,
+    /// Number of sets in the sub-collection containing it (`|C⁺|`).
+    pub count: u32,
+    /// Fingerprint of the member sets containing the entity — equal to the
+    /// fingerprint of the yes side of `partition(entity)`. Entities with
+    /// equal membership digests induce the same partition (up to the
+    /// negligible fingerprint collision odds), so candidates can be
+    /// deduplicated before partitioning.
+    pub fp: Fingerprint,
+}
+
 impl<'c> SubCollection<'c> {
     /// View over the entire collection.
     pub fn full(collection: &'c Collection) -> Self {
+        let ids: Vec<SetId> = (0..collection.len() as u32).map(SetId).collect();
+        let fp = fp_of_ids(&ids);
         Self {
-            ids: (0..collection.len() as u32).map(SetId).collect(),
+            ids,
+            fp,
             collection,
         }
     }
@@ -49,13 +88,34 @@ impl<'c> SubCollection<'c> {
                 "set id {last} out of range"
             );
         }
-        Self { collection, ids }
+        let fp = fp_of_ids(&ids);
+        Self {
+            collection,
+            ids,
+            fp,
+        }
     }
 
     /// Internal constructor for ids that are already sorted and in range.
     pub(crate) fn from_sorted_unchecked(collection: &'c Collection, ids: Vec<SetId>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
-        Self { collection, ids }
+        let fp = fp_of_ids(&ids);
+        Self {
+            collection,
+            ids,
+            fp,
+        }
+    }
+
+    /// Internal constructor when the fingerprint of `ids` is already known.
+    fn from_parts_unchecked(collection: &'c Collection, ids: Vec<SetId>, fp: Fingerprint) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(fp, fp_of_ids(&ids));
+        Self {
+            collection,
+            ids,
+            fp,
+        }
     }
 
     /// The underlying collection.
@@ -70,6 +130,13 @@ impl<'c> SubCollection<'c> {
         &self.ids
     }
 
+    /// 128-bit content digest of the id set — the allocation-free identity
+    /// the lookahead memos key on (always paired with [`Self::len`]).
+    #[inline]
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
     /// Number of member sets.
     #[inline]
     pub fn len(&self) -> usize {
@@ -80,6 +147,13 @@ impl<'c> SubCollection<'c> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Recovers the id buffer for reuse (the counterpart of
+    /// [`Self::partition_into`]'s buffer recycling).
+    #[inline]
+    pub fn into_ids(self) -> Vec<SetId> {
+        self.ids
     }
 
     /// Counts, for every entity occurring in the view, how many member sets
@@ -107,38 +181,132 @@ impl<'c> SubCollection<'c> {
         scratch.touched.clear();
     }
 
+    /// Like [`Self::count_entities`], but also accumulates each entity's
+    /// membership [`Fingerprint`] in the same counting pass. Clears `out`
+    /// first; results are in first-touched order.
+    pub fn count_entities_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
+        self.count_with_fp_impl(scratch, out, u32::MAX);
+    }
+
+    /// Informative entities (present in ≥ 1 but not all member sets, §3)
+    /// with their counts and membership fingerprints, computed in one
+    /// counting pass. Clears `out` first; results are in first-touched
+    /// order — callers that need a specific order re-sort by a total key.
+    pub fn informative_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
+        self.count_with_fp_impl(scratch, out, self.ids.len() as u32);
+    }
+
+    fn count_with_fp_impl(
+        &self,
+        scratch: &mut CountScratch,
+        out: &mut Vec<EntityStats>,
+        below: u32,
+    ) {
+        out.clear();
+        scratch.ensure(self.collection.universe());
+        for &id in &self.ids {
+            let h = fp_of_set(id);
+            for e in self.collection.set(id).iter() {
+                let slot = &mut scratch.counts[e.0 as usize];
+                if *slot == 0 {
+                    scratch.touched.push(e);
+                    scratch.fps[e.0 as usize] = h;
+                } else {
+                    scratch.fps[e.0 as usize] += h;
+                }
+                *slot += 1;
+            }
+        }
+        out.reserve(scratch.touched.len());
+        for &e in &scratch.touched {
+            let count = scratch.counts[e.0 as usize];
+            scratch.counts[e.0 as usize] = 0;
+            if count < below {
+                out.push(EntityStats {
+                    entity: e,
+                    count,
+                    fp: scratch.fps[e.0 as usize],
+                });
+            }
+        }
+        scratch.touched.clear();
+    }
+
     /// Informative entities: present in at least one member set but not in
     /// all (§3). Sorted by entity id for determinism.
     pub fn informative_entities(&self, scratch: &mut CountScratch) -> Vec<EntityCount> {
-        let n = self.ids.len() as u32;
-        let mut all = Vec::new();
-        self.count_entities(scratch, &mut all);
-        let mut out: Vec<EntityCount> = all.into_iter().filter(|ec| ec.count < n).collect();
+        let mut out = Vec::new();
+        self.informative_into(scratch, &mut out);
         out.sort_unstable_by_key(|ec| ec.entity);
         out
+    }
+
+    /// Informative entities into a reusable buffer (cleared first), in
+    /// first-touched order — the allocation-free variant of
+    /// [`Self::informative_entities`] for argmin-style callers whose final
+    /// ranking key is total anyway.
+    pub fn informative_into(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
+        out.clear();
+        let n = self.ids.len() as u32;
+        scratch.ensure(self.collection.universe());
+        for &id in &self.ids {
+            for e in self.collection.set(id).iter() {
+                let slot = &mut scratch.counts[e.0 as usize];
+                if *slot == 0 {
+                    scratch.touched.push(e);
+                }
+                *slot += 1;
+            }
+        }
+        out.reserve(scratch.touched.len());
+        for &e in &scratch.touched {
+            let count = scratch.counts[e.0 as usize];
+            scratch.counts[e.0 as usize] = 0;
+            if count < n {
+                out.push(EntityCount { entity: e, count });
+            }
+        }
+        scratch.touched.clear();
     }
 
     /// Splits the view on entity `e`: `(C⁺, C⁻)` where `C⁺` holds the sets
     /// containing `e`. Uses a sorted merge against the inverted index, so the
     /// cost is `O(|C| + |sets containing e|)`.
     pub fn partition(&self, e: EntityId) -> (SubCollection<'c>, SubCollection<'c>) {
+        self.partition_into(e, Vec::new(), Vec::new())
+    }
+
+    /// [`Self::partition`] into caller-provided id buffers (cleared first),
+    /// so steady-state recursion performs no heap allocation: recover the
+    /// buffers afterwards with [`Self::into_ids`]. The yes-side fingerprint
+    /// is accumulated during the merge and the no side's is derived by
+    /// subtraction from the parent's.
+    pub fn partition_into(
+        &self,
+        e: EntityId,
+        mut yes_ids: Vec<SetId>,
+        mut no_ids: Vec<SetId>,
+    ) -> (SubCollection<'c>, SubCollection<'c>) {
+        yes_ids.clear();
+        no_ids.clear();
         let list = self.collection.sets_containing(e);
-        let mut yes = Vec::new();
-        let mut no = Vec::new();
+        let mut yes_fp = Fingerprint::ZERO;
         let mut li = 0usize;
         for &id in &self.ids {
             while li < list.len() && list[li] < id {
                 li += 1;
             }
             if li < list.len() && list[li] == id {
-                yes.push(id);
+                yes_fp += fp_of_set(id);
+                yes_ids.push(id);
             } else {
-                no.push(id);
+                no_ids.push(id);
             }
         }
+        let no_fp = self.fp - yes_fp;
         (
-            SubCollection::from_sorted_unchecked(self.collection, yes),
-            SubCollection::from_sorted_unchecked(self.collection, no),
+            SubCollection::from_parts_unchecked(self.collection, yes_ids, yes_fp),
+            SubCollection::from_parts_unchecked(self.collection, no_ids, no_fp),
         )
     }
 
@@ -160,17 +328,24 @@ impl<'c> SubCollection<'c> {
     }
 }
 
+/// Fingerprint of a sorted id slice (fold of per-id digests).
+fn fp_of_ids(ids: &[SetId]) -> Fingerprint {
+    ids.iter().map(|&id| fp_of_set(id)).sum()
+}
+
 impl std::fmt::Debug for SubCollection<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SubCollection({} sets)", self.ids.len())
     }
 }
 
-/// Reusable counting buffer: entity-indexed counters plus a touched list so
-/// reset is proportional to the entities seen, not the universe.
+/// Reusable counting buffer: entity-indexed counters (plus membership
+/// fingerprint accumulators) and a touched list so reset is proportional to
+/// the entities seen, not the universe.
 #[derive(Default)]
 pub struct CountScratch {
     counts: Vec<u32>,
+    fps: Vec<Fingerprint>,
     touched: Vec<EntityId>,
 }
 
@@ -183,8 +358,83 @@ impl CountScratch {
     fn ensure(&mut self, universe: u32) {
         if self.counts.len() < universe as usize {
             self.counts.resize(universe as usize, 0);
+            self.fps.resize(universe as usize, Fingerprint::ZERO);
         }
         debug_assert!(self.touched.is_empty(), "scratch not reset");
+    }
+}
+
+/// One ranked selection candidate (an informative entity plus the sort keys
+/// and membership digest the lookahead loops need).
+#[derive(Copy, Clone, Debug)]
+pub struct Candidate {
+    /// Primary ranking score (`LB₁` for k-LP, 0 for the optimal solver).
+    pub score: Cost,
+    /// Partition imbalance tie-break.
+    pub imbalance: u64,
+    /// The candidate entity.
+    pub entity: EntityId,
+    /// Yes-side size `|C⁺|`.
+    pub n1: u64,
+    /// Membership digest (yes-side fingerprint) for duplicate-partition
+    /// dedup *before* partitioning.
+    pub fp: Fingerprint,
+}
+
+/// Reusable buffers for one recursion level of a lookahead search.
+#[derive(Default)]
+pub struct LevelScratch {
+    /// Counting-pass output (informative entities with fingerprints).
+    pub stats: Vec<EntityStats>,
+    /// Ranked candidate list.
+    pub cand: Vec<Candidate>,
+    /// Id buffer for the yes side of a split (recycled via
+    /// [`SubCollection::partition_into`] / [`SubCollection::into_ids`]).
+    pub yes_ids: Vec<SetId>,
+    /// Id buffer for the no side of a split.
+    pub no_ids: Vec<SetId>,
+    /// Seen-partition digests for duplicate-candidate dedup.
+    pub seen: FxHashSet<(Fingerprint, u64)>,
+}
+
+/// Depth-indexed arena of [`LevelScratch`] buffers plus the shared counting
+/// scratch — the state that makes the k-LP / gain-k / optimal recursions
+/// allocation-free in steady state. Levels are taken by value for the
+/// duration of one recursion frame (sibling frames at the same depth run
+/// sequentially, so one buffer set per depth suffices) and put back before
+/// the frame returns.
+#[derive(Default)]
+pub struct LookaheadScratch {
+    /// Shared counting buffers (entity-indexed, depth-independent).
+    pub counts: CountScratch,
+    levels: Vec<LevelScratch>,
+}
+
+impl LookaheadScratch {
+    /// Fresh arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the buffer set for recursion depth `depth` (growing the arena
+    /// on demand). The returned buffers are cleared of per-frame state
+    /// (candidates, stats, seen digests); the id buffers keep their
+    /// capacity.
+    pub fn take_level(&mut self, depth: usize) -> LevelScratch {
+        if depth >= self.levels.len() {
+            self.levels.resize_with(depth + 1, LevelScratch::default);
+        }
+        let mut level = std::mem::take(&mut self.levels[depth]);
+        level.stats.clear();
+        level.cand.clear();
+        level.seen.clear();
+        level
+    }
+
+    /// Returns a buffer set taken with [`Self::take_level`] so the capacity
+    /// is reused by the next frame at this depth.
+    pub fn put_level(&mut self, depth: usize, level: LevelScratch) {
+        self.levels[depth] = level;
     }
 }
 
@@ -304,5 +554,108 @@ mod tests {
         let mut scratch = CountScratch::new();
         let inf = c.full_view().informative_entities(&mut scratch);
         assert!(!inf.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_agree_across_construction_paths() {
+        let c = figure1();
+        let full = c.full_view();
+        // partition sides, from_ids, and filter must all agree on the
+        // digest of the same id set.
+        let (yes, no) = full.partition(EntityId(3));
+        assert_eq!(
+            yes.fingerprint(),
+            SubCollection::from_ids(&c, yes.ids().to_vec()).fingerprint()
+        );
+        assert_eq!(
+            no.fingerprint(),
+            full.filter(|id| !yes.ids().contains(&id)).fingerprint()
+        );
+        // Incremental maintenance: parent = yes + no.
+        assert_eq!(full.fingerprint(), yes.fingerprint() + no.fingerprint());
+        // Distinct id sets ⇒ distinct digests (the memo-soundness property):
+        // all 2⁷ subsets of Figure 1 are pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for mask in 0u32..128 {
+            let ids: Vec<SetId> = (0..7).filter(|b| mask >> b & 1 == 1).map(SetId).collect();
+            let fp = SubCollection::from_ids(&c, ids).fingerprint();
+            assert!(seen.insert(fp), "fingerprint collision at mask {mask}");
+        }
+    }
+
+    #[test]
+    fn membership_fp_equals_yes_side_fp() {
+        let c = figure1();
+        let v = c.full_view();
+        let mut scratch = CountScratch::new();
+        let mut stats = Vec::new();
+        v.count_entities_with_fp(&mut scratch, &mut stats);
+        assert!(!stats.is_empty());
+        for s in &stats {
+            let (yes, _) = v.partition(s.entity);
+            assert_eq!(s.fp, yes.fingerprint(), "entity {}", s.entity);
+            assert_eq!(s.count as usize, yes.len());
+        }
+        // The informative variant filters exactly the universal entities.
+        let mut inf = Vec::new();
+        v.informative_with_fp(&mut scratch, &mut inf);
+        assert_eq!(inf.len(), 10);
+        assert!(inf.iter().all(|s| s.entity != EntityId(0)));
+        // Buffers are cleared, not appended to, on reuse.
+        let before = inf.clone();
+        v.informative_with_fp(&mut scratch, &mut inf);
+        assert_eq!(inf, before);
+    }
+
+    #[test]
+    fn membership_fp_is_view_relative() {
+        // d=3 lives in S1,S2,S3; within a subview its membership digest only
+        // covers the subview's member sets.
+        let c = figure1();
+        let v = SubCollection::from_ids(&c, vec![SetId(0), SetId(3)]);
+        let mut scratch = CountScratch::new();
+        let mut stats = Vec::new();
+        v.count_entities_with_fp(&mut scratch, &mut stats);
+        let d = stats
+            .iter()
+            .find(|s| s.entity == EntityId(3))
+            .expect("d occurs");
+        assert_eq!(d.count, 1);
+        assert_eq!(d.fp, fp_of_set(SetId(0)));
+    }
+
+    #[test]
+    fn partition_into_recycles_buffers() {
+        let c = figure1();
+        let v = c.full_view();
+        // Pre-dirtied buffers with excess capacity must be cleared and
+        // reused without reallocating.
+        let yes_buf = vec![SetId(99); 64];
+        let no_buf = vec![SetId(99); 64];
+        let yes_cap = yes_buf.capacity();
+        let (yes, no) = v.partition_into(EntityId(3), yes_buf, no_buf);
+        assert_eq!(yes.ids(), &[SetId(0), SetId(1), SetId(2)]);
+        assert_eq!(no.len(), 4);
+        let reclaimed = yes.into_ids();
+        assert_eq!(reclaimed.capacity(), yes_cap, "buffer capacity retained");
+    }
+
+    #[test]
+    fn lookahead_scratch_levels_retain_capacity() {
+        let mut scratch = LookaheadScratch::new();
+        let mut level = scratch.take_level(2);
+        level.yes_ids.reserve(100);
+        let cap = level.yes_ids.capacity();
+        level.cand.push(Candidate {
+            score: 1,
+            imbalance: 0,
+            entity: EntityId(0),
+            n1: 1,
+            fp: Fingerprint::ZERO,
+        });
+        scratch.put_level(2, level);
+        let level = scratch.take_level(2);
+        assert!(level.cand.is_empty(), "per-frame state cleared");
+        assert!(level.yes_ids.capacity() >= cap, "capacity reused");
     }
 }

@@ -43,16 +43,20 @@ impl CollapsedCollection {
 /// is its smallest original entity id, preserving deterministic tie-break
 /// behavior relative to the uncollapsed collection.
 pub fn collapse_equivalent_entities(collection: &Collection) -> CollapsedCollection {
-    // Signature of an entity = the (sorted) list of sets containing it,
-    // which the inverted index already stores.
-    let mut class_of: FxHashMap<&[crate::entity::SetId], Vec<EntityId>> = FxHashMap::default();
-    for e in 0..collection.universe() {
-        let entity = EntityId(e);
-        let sets = collection.sets_containing(entity);
-        if sets.is_empty() {
-            continue;
-        }
-        class_of.entry(sets).or_default().push(entity);
+    // Signature of an entity = its membership `(fingerprint, count)` from
+    // one counting pass over the full view — the same digest the lookahead
+    // dedup uses, so grouping is O(1) per entity instead of hashing each
+    // inverted list (collision odds are negligible; see
+    // `setdisc_util::hash`). Entities in no set are never touched by the
+    // pass and drop out naturally.
+    let view = collection.full_view();
+    let mut scratch = crate::subcollection::CountScratch::new();
+    let mut stats = Vec::new();
+    view.count_entities_with_fp(&mut scratch, &mut stats);
+    let mut class_of: FxHashMap<(setdisc_util::Fingerprint, u32), Vec<EntityId>> =
+        FxHashMap::default();
+    for s in &stats {
+        class_of.entry((s.fp, s.count)).or_default().push(s.entity);
     }
     let mut classes: Vec<(EntityId, Vec<EntityId>)> = class_of
         .into_values()

@@ -91,7 +91,16 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// Deterministic parallel map: applies `f` to each item on a scoped thread
 /// pool and returns outputs in input order. `f` must be `Sync` (called from
 /// many threads); per-item state belongs inside `f`.
+///
+/// Work distribution is a single atomic claim counter — each worker
+/// `fetch_add`s the next index, so there is no contended queue lock. Each
+/// item sits behind its own (uncontended) mutex purely so the claimed
+/// worker can move it out without `unsafe`; workers accumulate
+/// `(index, output)` pairs locally and the results are merged back into
+/// input order after the scope joins.
 pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -100,22 +109,38 @@ pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Ve
         return items.into_iter().map(f).collect();
     }
     let n = items.len();
-    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let results = std::sync::Mutex::new(&mut slots);
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock poisoned").pop();
-                let Some((idx, item)) = item else { break };
-                let out = f(item);
-                results.lock().expect("results lock poisoned")[idx] = Some(out);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(idx) else { break };
+                        let item = slot
+                            .lock()
+                            .expect("slot lock poisoned")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        local.push((idx, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, u) in handle.join().expect("worker panicked") {
+                out[idx] = Some(u);
+            }
         }
     });
-    slots
-        .into_iter()
+    out.into_iter()
         .map(|s| s.expect("worker filled every slot"))
         .collect()
 }
@@ -150,6 +175,24 @@ mod tests {
         let items: Vec<u64> = (0..500).collect();
         let out = par_map(items.clone(), |x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_hammered_with_more_items_than_threads() {
+        // Far more items than any machine has threads, with skewed per-item
+        // work so claim order and completion order diverge wildly; the
+        // output must still be exact and in input order.
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(items.clone(), |x| {
+            if x % 1_000 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            x * x + 1
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64) + 1, "slot {i}");
+        }
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! A dense fixed-capacity bitset.
 //!
-//! Used as the canonical key for sub-collections in the exact DP optimizer
-//! (`setdisc-core::optimal`) and for fast membership tests when partitioning
-//! candidate sets. The capacity is fixed at construction; all operations that
-//! combine two bitsets require equal capacity.
+//! A standalone utility for id-set algebra. The selection hot paths
+//! identify sub-collections by sorted id vectors plus 128-bit
+//! [`Fingerprint`]s (see `setdisc-core::subcollection`), so nothing in the
+//! core pipeline keys on bitsets today; [`DenseBitSet::fingerprint`] keeps
+//! the two representations interchangeable by digesting to the same value
+//! as the id-vector form. The capacity is fixed at construction; all
+//! operations that combine two bitsets require equal capacity.
+
+use crate::hash::Fingerprint;
 
 /// Dense bitset over `0..len`.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -128,6 +133,14 @@ impl DenseBitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// The 128-bit content [`Fingerprint`] of the set of bit indices —
+    /// identical to summing [`Fingerprint::of`] over [`Self::iter`], so a
+    /// bitset and an id-vector representation of the same set agree on
+    /// their digest.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.iter().map(|i| Fingerprint::of(i as u64)).sum()
+    }
 }
 
 impl std::fmt::Debug for DenseBitSet {
@@ -201,6 +214,20 @@ mod tests {
         let mut a = DenseBitSet::new(64);
         let b = DenseBitSet::new(65);
         a.intersect_with(&b);
+    }
+
+    #[test]
+    fn fingerprint_matches_index_sum() {
+        let idx = [1usize, 64, 129];
+        let b = DenseBitSet::from_indices(200, idx);
+        let expect: Fingerprint = idx.iter().map(|&i| Fingerprint::of(i as u64)).sum();
+        assert_eq!(b.fingerprint(), expect);
+        assert_eq!(DenseBitSet::new(200).fingerprint(), Fingerprint::ZERO);
+        // Capacity does not influence the digest, only membership does.
+        assert_eq!(
+            DenseBitSet::from_indices(500, idx).fingerprint(),
+            b.fingerprint()
+        );
     }
 
     #[test]

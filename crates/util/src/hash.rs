@@ -1,10 +1,23 @@
-//! A fast, non-cryptographic hasher in the style of rustc's `FxHasher`.
+//! Fast non-cryptographic hashing: the Fx-style [`FxHasher`] plus 128-bit
+//! incremental [`Fingerprint`]s.
 //!
-//! The lookahead memo cache hashes boxed slices of 32-bit set ids millions of
-//! times per tree; SipHash dominates profiles there. This is the classic
-//! Fx/FireFox mix: multiply by a large odd constant and rotate. It offers no
-//! HashDoS protection, which is fine — every key hashed in this workspace is
-//! produced by the program itself, never by an adversary.
+//! The lookahead memo caches hash sub-collection identities millions of
+//! times per tree; SipHash dominates profiles there. [`FxHasher`] is the
+//! classic Fx/FireFox mix — multiply by a large odd constant and rotate.
+//! [`Fingerprint`] is a commutative 128-bit content digest (two independent
+//! splitmix64 lanes summed over the elements) that supports O(1) incremental
+//! update: adding or removing an element is a wrapping add/sub per lane, and
+//! the digest of a set difference is the difference of digests. That last
+//! property is what makes allocation-free partitioning possible — a view
+//! split computes the yes-side digest while merging and derives the no-side
+//! digest by subtraction.
+//!
+//! Neither primitive offers HashDoS protection, which is fine — every key
+//! hashed in this workspace is produced by the program itself, never by an
+//! adversary. Fingerprint equality is probabilistic: two distinct id sets
+//! collide with probability ≈ `p²/2¹²⁸` over `p` distinct fingerprints ever
+//! compared, negligible for any realizable workload (`p = 2⁴⁰` gives
+//! ≈ `2⁻⁴⁸`).
 
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -66,6 +79,106 @@ impl Hasher for FxHasher {
     }
 }
 
+/// The splitmix64 finalizer: a strong 64-bit bijective mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Lane-separation constants (digits of π and e) so the two fingerprint
+/// lanes mix the same element through unrelated bijections.
+const LANE_LO: u64 = 0x243F_6A88_85A3_08D3;
+const LANE_HI: u64 = 0xB7E1_5162_8AED_2A6A;
+
+/// A 128-bit commutative content digest over a set of `u64` elements.
+///
+/// `Fingerprint` of a set is the lane-wise wrapping sum of
+/// [`Fingerprint::of`] over its elements, so it is order-independent,
+/// incrementally maintainable (`+=` / `-=` one element's digest), and
+/// subtractive across set difference. Equality is probabilistic with
+/// collision odds ≈ `p²/2¹²⁸` (see the module docs); every use in this
+/// workspace pairs the digest with the set length for extra safety.
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fingerprint {
+    /// The digest of the empty set.
+    pub const ZERO: Fingerprint = Fingerprint { lo: 0, hi: 0 };
+
+    /// The digest of the singleton set `{x}`.
+    #[inline]
+    pub fn of(x: u64) -> Self {
+        let lo = mix64(x ^ LANE_LO);
+        Self {
+            lo,
+            // Chain through the lo lane so the two lanes are unrelated even
+            // for structured inputs like consecutive integers.
+            hi: mix64(lo ^ LANE_HI),
+        }
+    }
+
+    /// True for the empty-set digest.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// The raw 128-bit value (for diagnostics and serialization).
+    #[inline]
+    pub fn as_u128(self) -> u128 {
+        (self.hi as u128) << 64 | self.lo as u128
+    }
+}
+
+impl std::ops::Add for Fingerprint {
+    type Output = Fingerprint;
+    #[inline]
+    fn add(self, rhs: Fingerprint) -> Fingerprint {
+        Fingerprint {
+            lo: self.lo.wrapping_add(rhs.lo),
+            hi: self.hi.wrapping_add(rhs.hi),
+        }
+    }
+}
+
+impl std::ops::AddAssign for Fingerprint {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fingerprint) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for Fingerprint {
+    type Output = Fingerprint;
+    #[inline]
+    fn sub(self, rhs: Fingerprint) -> Fingerprint {
+        Fingerprint {
+            lo: self.lo.wrapping_sub(rhs.lo),
+            hi: self.hi.wrapping_sub(rhs.hi),
+        }
+    }
+}
+
+impl std::ops::SubAssign for Fingerprint {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fingerprint) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::iter::Sum for Fingerprint {
+    fn sum<I: Iterator<Item = Fingerprint>>(iter: I) -> Fingerprint {
+        iter.fold(Fingerprint::ZERO, |acc, fp| acc + fp)
+    }
+}
+
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` keyed with [`FxHasher`].
@@ -111,6 +224,59 @@ mod tests {
         m.insert(2, "two");
         assert_eq!(m.get(&1), Some(&"one"));
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_commutative_and_subtractive() {
+        let a = Fingerprint::of(3);
+        let b = Fingerprint::of(1_000_000);
+        let c = Fingerprint::of(u64::MAX);
+        assert_eq!(a + b + c, c + a + b);
+        assert_eq!((a + b + c) - b, a + c);
+        let mut inc = Fingerprint::ZERO;
+        inc += a;
+        inc += b;
+        assert_eq!(inc, a + b);
+        inc -= a;
+        assert_eq!(inc, b);
+        assert_eq!([a, b, c].into_iter().sum::<Fingerprint>(), a + b + c);
+    }
+
+    #[test]
+    fn fingerprint_zero_is_empty_digest() {
+        assert!(Fingerprint::ZERO.is_zero());
+        assert_eq!(Fingerprint::default(), Fingerprint::ZERO);
+        assert!(!Fingerprint::of(0).is_zero(), "element 0 must still mix");
+        assert_eq!(Fingerprint::ZERO.as_u128(), 0);
+    }
+
+    #[test]
+    fn fingerprints_of_dense_ids_are_distinct() {
+        // Consecutive small integers are the worst case for an additive
+        // digest; both lanes must separate them and their pairwise sums.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..2_000 {
+            assert!(seen.insert(Fingerprint::of(i)), "singleton collision {i}");
+        }
+        // All 2-subsets of a small range — an additive digest over a weak
+        // element hash (e.g. identity) would collide constantly here.
+        let mut pair_seen = std::collections::HashSet::new();
+        for i in 0u64..64 {
+            for j in (i + 1)..64 {
+                let fp = Fingerprint::of(i) + Fingerprint::of(j);
+                assert!(pair_seen.insert(fp), "pair collision {{{i},{j}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        // Zero is the mixer's fixed point; Fingerprint::of pre-whitens with
+        // a lane constant so no real input ever hits it.
+        assert_eq!(mix64(0), 0);
+        assert_ne!(mix64(1), 0);
+        assert_ne!(mix64(1), mix64(2));
     }
 
     #[test]

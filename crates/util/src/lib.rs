@@ -5,9 +5,12 @@
 //!
 //! * [`hash`] — an `FxHash`-style fast hasher plus `HashMap`/`HashSet` type
 //!   aliases keyed on it (hot maps are keyed by small integers, where SipHash
-//!   is needlessly slow).
-//! * [`bitset`] — a dense, fixed-capacity bitset used for sub-collection keys
-//!   in the exact dynamic-programming optimizer.
+//!   is needlessly slow), and the 128-bit incremental [`Fingerprint`] the
+//!   selection hot path uses as an allocation-free sub-collection identity.
+//! * [`bitset`] — a dense, fixed-capacity bitset for id-set algebra
+//!   (currently a standalone utility: the hot paths moved to sorted id
+//!   vectors + fingerprints), with a [`Fingerprint`]-compatible content
+//!   digest so bitset- and vector-represented sets agree on identity.
 //! * [`math`] — exact integer math for the paper's cost lower bounds, most
 //!   importantly `⌈n·log₂ n⌉` computed in fixed point so pruning decisions
 //!   never depend on float rounding.
@@ -27,5 +30,5 @@ pub mod report;
 pub mod rng;
 
 pub use bitset::DenseBitSet;
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{Fingerprint, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Rng;

@@ -57,12 +57,50 @@ fn log2_frac_fixed(n: u64) -> u64 {
 /// Exact for powers of two; for other `n` the fixed-point error is below
 /// `n·2⁻⁵⁰ < 2⁻¹⁸`, orders of magnitude smaller than the distance of the
 /// irrational `n·log₂ n` from any integer at these magnitudes.
+///
+/// The 64-iteration fixed-point recurrence costs hundreds of nanoseconds,
+/// and the k-LP candidate ranking evaluates this for every informative
+/// entity of every lookahead node — it dominated tree-construction profiles.
+/// Values are therefore memoized in a thread-local dense table indexed by
+/// `n` (collection sizes, so the table stays small and hit rates are ~100%
+/// after the first selection); the slow path runs once per distinct `n` per
+/// thread.
 pub fn ceil_n_log2_n(n: u64) -> u64 {
     assert!(n > 0, "ceil_n_log2_n of zero");
     assert!(n <= u32::MAX as u64, "collection sizes are bounded by u32");
     if n.is_power_of_two() {
+        // Exact and O(1); also covers n = 1 and n = 2, so below the table
+        // can use 0 as its "not yet computed" sentinel (every non-power of
+        // two n ≥ 3 has a positive value).
         return n * floor_log2(n);
     }
+    // Cap the table so one enormous query cannot pin gigabytes per thread;
+    // beyond it (views of > 4M sets, which only exist near the root of a
+    // search) the slow path runs directly.
+    const TABLE_CAP: usize = 1 << 22;
+    let idx = n as usize;
+    if idx >= TABLE_CAP {
+        return ceil_n_log2_n_uncached(n);
+    }
+    thread_local! {
+        static TABLE: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    TABLE.with(|table| {
+        let mut table = table.borrow_mut();
+        if idx >= table.len() {
+            // Grow geometrically: repeated +1 resizes would be quadratic
+            // over an ascending sequence of n.
+            table.resize((idx + 1).next_power_of_two(), 0);
+        }
+        if table[idx] == 0 {
+            table[idx] = ceil_n_log2_n_uncached(n);
+        }
+        table[idx]
+    })
+}
+
+/// The uncached fixed-point computation behind [`ceil_n_log2_n`].
+fn ceil_n_log2_n_uncached(n: u64) -> u64 {
     let int_part = floor_log2(n);
     let frac = log2_frac_fixed(n) as u128;
     // n * frac / 2^64, rounded up (frac > 0 here, so the ceiling is real).

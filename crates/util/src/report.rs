@@ -123,6 +123,97 @@ impl Table {
     }
 }
 
+/// A minimal JSON object builder for flat benchmark artifacts
+/// (`BENCH_*.json`). Hand-rolled like [`Table`] so the workspace stays
+/// dependency-free; supports exactly the shapes the bench emitters need:
+/// string / integer / float fields and arrays of nested objects.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    // Values are stored pre-encoded; keys are escaped at encode time.
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// New empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field; non-finite values encode as `null`.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let enc = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), enc));
+        self
+    }
+
+    /// Adds an array-of-objects field.
+    pub fn array(mut self, key: &str, items: Vec<JsonObject>) -> Self {
+        let inner: Vec<String> = items.iter().map(JsonObject::encode).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", inner.join(","))));
+        self
+    }
+
+    /// Encodes as a compact JSON object.
+    pub fn encode(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Encodes with a trailing newline and writes to `path`, creating parent
+    /// directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.encode().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.flush()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a duration compactly: `412ns`, `3.21µs`, `14.8ms`, `2.35s`, `1m04s`.
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -189,6 +280,31 @@ mod tests {
         t.row(vec!["v".into()]);
         t.write_csv(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\nv\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_object_encodes_and_escapes() {
+        let obj = JsonObject::new()
+            .str("name", "he said \"hi\"\n")
+            .int("iters", 10)
+            .num("median_ns", 1234.5)
+            .num("bad", f64::NAN)
+            .array("kernels", vec![JsonObject::new().str("kernel", "klp")]);
+        assert_eq!(
+            obj.encode(),
+            "{\"name\":\"he said \\\"hi\\\"\\n\",\"iters\":10,\
+             \"median_ns\":1234.5,\"bad\":null,\
+             \"kernels\":[{\"kernel\":\"klp\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_write_roundtrip() {
+        let dir = std::env::temp_dir().join("setdisc-util-json-test");
+        let path = dir.join("b.json");
+        JsonObject::new().int("x", 1).write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":1}\n");
         let _ = std::fs::remove_dir_all(dir);
     }
 

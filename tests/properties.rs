@@ -48,18 +48,44 @@ proptest! {
         }
     }
 
-    /// Lemma 4.4 safety: pruning never changes the computed k-step bound
-    /// (k-LP vs the exhaustive gain-k reference).
+    /// Lemma 4.4 safety: pruning, fingerprint-keyed memoization, and
+    /// counting-pass partition dedup never change the computed k-step bound
+    /// *or* the selected argmin (k-LP vs the exhaustive gain-k reference,
+    /// which deduplicates nothing), for k = 1..4 and both metrics.
     #[test]
     fn pruning_is_lossless(c in arb_collection(10, 14)) {
         let view = c.full_view();
-        for k in 1..=3u32 {
+        for k in 1..=4u32 {
             let klp = KLp::<AvgDepth>::new(k).bound(&view);
             let gk = GainK::<AvgDepth>::new(k).bound(&view);
             prop_assert_eq!(klp, gk, "AD k={}", k);
             let klp_h = KLp::<Height>::new(k).bound(&view);
             let gk_h = GainK::<Height>::new(k).bound(&view);
             prop_assert_eq!(klp_h, gk_h, "H k={}", k);
+        }
+    }
+
+    /// Fingerprint-memo soundness: a solver reused across overlapping
+    /// subviews (warm cache full of positive *and* negative entries keyed
+    /// by `(fingerprint, len, k)`) answers every subview exactly like a
+    /// cold solver. A fingerprint collision, or a negative entry that
+    /// short-circuits outside its recorded bound, would diverge here.
+    #[test]
+    fn warm_memo_matches_cold_solver_on_subviews(c in arb_collection(9, 12), k in 2..=3u32) {
+        let view = c.full_view();
+        let mut warm = KLp::<AvgDepth>::new(k);
+        warm.bound(&view);
+        for e in 0..c.universe() {
+            let entity = interactive_set_discovery::core::EntityId(e);
+            let (yes, no) = view.partition(entity);
+            for side in [yes, no] {
+                if side.len() < 2 {
+                    continue;
+                }
+                let warm_ans = warm.bound(&side);
+                let cold_ans = KLp::<AvgDepth>::new(k).bound(&side);
+                prop_assert_eq!(warm_ans, cold_ans, "entity {} k={}", e, k);
+            }
         }
     }
 
