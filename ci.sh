@@ -30,4 +30,37 @@ run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smok
 # compare against; regenerate it with this same command on a quiet machine.
 run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke --out "$PWD/BENCH_hotpath.json"
 
+# Service wire-protocol smoke: the serve binary (stdio transport) must
+# reproduce the committed golden transcript byte for byte. (The same pair
+# of files is replayed in-process by crates/service/tests/wire_golden.rs.)
+echo "==> service stdio golden transcript"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    < crates/service/tests/wire_smoke.in \
+    | diff -u crates/service/tests/wire_smoke.golden -
+
+# Service TCP smoke: start serve on an ephemeral loopback port, drive a
+# brief verified load through the generator over the real socket, kill it.
+echo "==> service tcp smoke"
+cargo build --release -q -p setdisc-service --bin serve
+SERVE_OUT=$(mktemp)
+./target/release/serve --tcp 127.0.0.1:0 --fixture copyadd:120:0.9:7 > "$SERVE_OUT" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+    grep -q "listening on" "$SERVE_OUT" && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$SERVE_OUT")
+[ -n "$ADDR" ] || { echo "serve did not come up"; exit 1; }
+run cargo bench -p setdisc-service --bench bench_service -- \
+    --mode socket-only --addr "$ADDR" --fixture copyadd:120:0.9:7 --clients 4 --sessions 5
+kill "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$SERVE_OUT"
+
+# Service bench: the ≥1k-concurrent-open-sessions gate plus in-process and
+# loopback-socket throughput/latency phases; regenerates the committed
+# BENCH_service.json baseline (every session's outcome is verified).
+run cargo bench -p setdisc-service --bench bench_service -- --scale smoke --out "$PWD/BENCH_service.json"
+
 echo "CI green."

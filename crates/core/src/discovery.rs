@@ -6,19 +6,22 @@
 //! set remains or a halt condition Γ (question budget, caller-controlled
 //! stepping) intervenes.
 //!
-//! Answers come from an [`Oracle`]. [`SimulatedOracle`] answers from a known
-//! target (the evaluation protocol of §5); [`NoisyOracle`] flips answers
-//! with a configured probability (§6 "possibility of errors"); "don't know"
+//! The state machine itself lives in [`crate::engine`]: [`Session`] is the
+//! borrowed-collection instantiation of the sans-IO [`Engine`], and
+//! [`crate::engine::OwnedSession`] is the `Arc`-backed `'static` one the
+//! service layer parks in its session table. This module keeps the answer
+//! *sources*: [`SimulatedOracle`] answers from a known target (the
+//! evaluation protocol of §5); [`NoisyOracle`] flips answers with a
+//! configured probability (§6 "possibility of errors"); "don't know"
 //! answers (§6 "unanswered questions") exclude the entity and re-select, as
-//! the paper prescribes.
+//! the paper prescribes. Oracles are drivers *on top of* the engine — no
+//! oracle appears inside the question/answer loop.
 
 use crate::collection::Collection;
+use crate::engine::Engine;
 use crate::entity::{EntityId, SetId};
-use crate::error::{Result, SetDiscError};
 use crate::set::EntitySet;
-use crate::strategy::SelectionStrategy;
-use crate::subcollection::SubCollection;
-use setdisc_util::{FxHashSet, Rng};
+use setdisc_util::Rng;
 
 /// A user's reply to a membership question.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -151,132 +154,12 @@ impl Outcome {
     }
 }
 
-/// An interactive discovery session (Algorithm 2).
-pub struct Session<'c, S: SelectionStrategy> {
-    candidates: SubCollection<'c>,
-    strategy: S,
-    excluded: FxHashSet<EntityId>,
-    history: Vec<(EntityId, Answer)>,
-    questions: usize,
-    unknowns: usize,
-}
-
-impl<'c, S: SelectionStrategy> Session<'c, S> {
-    /// Starts a session over the supersets of `initial` (Algorithm 2,
-    /// lines 1–4). An empty `initial` considers every set.
-    pub fn new(collection: &'c Collection, initial: &[EntityId], strategy: S) -> Self {
-        Self::over(collection.supersets_of(initial), strategy)
-    }
-
-    /// Starts a session over an explicit candidate view.
-    pub fn over(candidates: SubCollection<'c>, strategy: S) -> Self {
-        Self {
-            candidates,
-            strategy,
-            excluded: FxHashSet::default(),
-            history: Vec::new(),
-            questions: 0,
-            unknowns: 0,
-        }
-    }
-
-    /// Current candidate sets.
-    pub fn candidates(&self) -> &SubCollection<'c> {
-        &self.candidates
-    }
-
-    /// True when at most one candidate remains.
-    pub fn is_resolved(&self) -> bool {
-        self.candidates.len() <= 1
-    }
-
-    /// Questions answered yes/no so far.
-    pub fn questions_asked(&self) -> usize {
-        self.questions
-    }
-
-    /// Full question/answer history, including Unknowns.
-    pub fn history(&self) -> &[(EntityId, Answer)] {
-        &self.history
-    }
-
-    /// Access to the strategy (e.g. to read prune statistics).
-    pub fn strategy(&self) -> &S {
-        &self.strategy
-    }
-
-    /// Mutable access to the strategy.
-    pub fn strategy_mut(&mut self) -> &mut S {
-        &mut self.strategy
-    }
-
-    /// Selects the next question (Algorithm 2, line 6); `None` when the
-    /// session is resolved or every informative entity has been excluded.
-    pub fn next_question(&mut self) -> Option<EntityId> {
-        if self.is_resolved() {
-            return None;
-        }
-        self.strategy
-            .select_excluding(&self.candidates, &self.excluded)
-    }
-
-    /// Applies an answer for `entity` (lines 8–12), narrowing candidates.
-    pub fn answer(&mut self, entity: EntityId, answer: Answer) {
-        self.history.push((entity, answer));
-        match answer {
-            Answer::Yes => {
-                self.questions += 1;
-                let (yes, _) = self.candidates.partition(entity);
-                self.candidates = yes;
-            }
-            Answer::No => {
-                self.questions += 1;
-                let (_, no) = self.candidates.partition(entity);
-                self.candidates = no;
-            }
-            Answer::Unknown => {
-                self.unknowns += 1;
-                self.excluded.insert(entity);
-            }
-        }
-    }
-
-    /// Runs the loop to resolution with no question budget.
-    pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<Outcome> {
-        self.run_bounded(oracle, usize::MAX)
-    }
-
-    /// Runs until resolved, the budget is exhausted, or no further question
-    /// can be asked (the halt condition Γ).
-    pub fn run_bounded(
-        &mut self,
-        oracle: &mut dyn Oracle,
-        max_questions: usize,
-    ) -> Result<Outcome> {
-        while !self.is_resolved() && self.questions < max_questions {
-            let Some(entity) = self.next_question() else {
-                break; // everything informative excluded — return survivors
-            };
-            let answer = oracle.answer(entity);
-            self.answer(entity, answer);
-            if self.candidates.is_empty() {
-                return Err(SetDiscError::ContradictoryAnswers {
-                    after_questions: self.questions,
-                });
-            }
-        }
-        Ok(self.outcome())
-    }
-
-    /// Snapshot of the current state as an [`Outcome`].
-    pub fn outcome(&self) -> Outcome {
-        Outcome {
-            candidates: self.candidates.ids().to_vec(),
-            questions: self.questions,
-            unknowns: self.unknowns,
-        }
-    }
-}
+/// An interactive discovery session (Algorithm 2) borrowing its collection —
+/// the scoped instantiation of the sans-IO [`Engine`]. All stepping verbs
+/// (`next_question` / `answer` / `outcome`) and the oracle drivers (`run` /
+/// `run_bounded`) are the engine's; see [`crate::engine`] for the owning
+/// `Arc`-backed variant used by concurrent services.
+pub type Session<'c, S> = Engine<&'c Collection, S>;
 
 #[cfg(test)]
 mod tests {
@@ -315,7 +198,7 @@ mod tests {
         // I = {d} → candidates {S1, S2, S3}; discovering S2 takes ≤ 2 questions.
         let target = c.set(SetId(1)).clone();
         let mut session = Session::new(&c, &[EntityId(3)], MostEven::new());
-        assert_eq!(session.candidates().len(), 3);
+        assert_eq!(session.candidate_count(), 3);
         let outcome = session.run(&mut SimulatedOracle::new(&target)).unwrap();
         assert_eq!(outcome.discovered(), Some(SetId(1)));
         assert!(outcome.questions <= 2);
@@ -336,7 +219,7 @@ mod tests {
     fn unsatisfiable_initial_yields_empty() {
         let c = figure1();
         let session = Session::new(&c, &[EntityId(4), EntityId(8)], MostEven::new());
-        assert!(session.candidates().is_empty());
+        assert!(session.candidate_ids().is_empty());
         assert!(session.is_resolved());
     }
 
@@ -413,9 +296,9 @@ mod tests {
         let c = figure1();
         let mut session = Session::new(&c, &[], MostEven::new());
         session.answer(EntityId(4), Answer::Yes); // e → only S2
-        assert_eq!(session.candidates().ids(), &[SetId(1)]);
+        assert_eq!(session.candidate_ids(), &[SetId(1)]);
         session.answer(EntityId(8), Answer::Yes); // i → S5: contradiction
-        assert!(session.candidates().is_empty());
+        assert!(session.candidate_ids().is_empty());
         assert_eq!(session.outcome().candidates.len(), 0);
     }
 

@@ -1,0 +1,383 @@
+//! Sans-IO discovery engine — Algorithm 2 as a pure state machine.
+//!
+//! [`Engine`] owns the candidate state of one interactive discovery and
+//! exposes exactly three verbs: [`Engine::next_question`] (Algorithm 2,
+//! line 6), [`Engine::answer`] (lines 8–12) and [`Engine::outcome`]. No
+//! oracle, socket, or prompt appears anywhere in the loop — answer *sources*
+//! are drivers layered on top (the [`crate::discovery::Oracle`] adapters,
+//! the `discover` CLI, the `setdisc-service` wire protocol), which is what
+//! lets one implementation serve in-process evaluation, an interactive
+//! terminal, and a concurrent network service with bit-identical question
+//! sequences.
+//!
+//! The engine is generic over *how the collection is held* via
+//! [`CollectionRef`]: a borrowed `&Collection` gives the classic scoped
+//! [`crate::discovery::Session`], while an `Arc<Collection>` (or any other
+//! cheaply-cloneable owning handle) gives [`OwnedSession`] — a `'static`,
+//! `Send` value that can be parked in a session table and resumed from any
+//! thread. Candidate state is a sorted id vector plus its 128-bit
+//! fingerprint; every narrowing step recycles the id buffers through
+//! [`SubCollection::partition_into`], so steady-state stepping performs no
+//! heap allocation beyond what the strategy itself needs.
+
+use crate::collection::Collection;
+use crate::discovery::{Answer, Oracle, Outcome};
+use crate::entity::{EntityId, SetId};
+use crate::error::{Result, SetDiscError};
+use crate::strategy::SelectionStrategy;
+use crate::subcollection::SubCollection;
+use setdisc_util::{Fingerprint, FxHashSet};
+use std::mem;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable handle to an immutable [`Collection`].
+///
+/// Blanket-implemented for everything that derefs to a collection —
+/// `&Collection`, `Arc<Collection>`, `Rc<Collection>`, and wrapper types
+/// such as a service snapshot handle. The engine never mutates the
+/// collection; the handle only decides the engine's lifetime story.
+pub trait CollectionRef: Deref<Target = Collection> + Clone {}
+
+impl<T: Deref<Target = Collection> + Clone> CollectionRef for T {}
+
+/// The sans-IO discovery state machine (Algorithm 2 of the paper).
+///
+/// One engine = one discovery in progress: the candidate sets consistent
+/// with every answer so far, the selection strategy Υ, the set of entities
+/// excluded by "don't know" replies, and the question/answer transcript.
+/// Drive it by alternating [`Self::next_question`] and [`Self::answer`]
+/// until [`Self::is_resolved`]; or use the [`Self::run`] /
+/// [`Self::run_bounded`] drivers when answers come from an [`Oracle`].
+pub struct Engine<C, S> {
+    collection: C,
+    ids: Vec<SetId>,
+    fp: Fingerprint,
+    spare_a: Vec<SetId>,
+    spare_b: Vec<SetId>,
+    strategy: S,
+    excluded: FxHashSet<EntityId>,
+    history: Vec<(EntityId, Answer)>,
+    questions: usize,
+    unknowns: usize,
+}
+
+/// A discovery session that owns its collection snapshot — `'static`,
+/// storable, and `Send` (given a `Send` strategy), as required to park
+/// sessions in a concurrent service table.
+pub type OwnedSession<S> = Engine<Arc<Collection>, S>;
+
+impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
+    /// Starts an engine over the supersets of `initial` (Algorithm 2,
+    /// lines 1–4). An empty `initial` considers every set.
+    pub fn new(collection: C, initial: &[EntityId], strategy: S) -> Self {
+        let view = collection.supersets_of(initial);
+        let fp = view.fingerprint();
+        let ids = view.into_ids();
+        Self::from_parts(collection, ids, fp, strategy)
+    }
+
+    /// Starts an engine over an explicit candidate id list (sorted and
+    /// deduplicated here; panics on an id out of range, mirroring
+    /// [`SubCollection::from_ids`]).
+    pub fn with_candidates(collection: C, ids: Vec<SetId>, strategy: S) -> Self {
+        let view = SubCollection::from_ids(collection.deref(), ids);
+        let fp = view.fingerprint();
+        let ids = view.into_ids();
+        Self::from_parts(collection, ids, fp, strategy)
+    }
+
+    fn from_parts(collection: C, ids: Vec<SetId>, fp: Fingerprint, strategy: S) -> Self {
+        Self {
+            collection,
+            ids,
+            fp,
+            spare_a: Vec::new(),
+            spare_b: Vec::new(),
+            strategy,
+            excluded: FxHashSet::default(),
+            history: Vec::new(),
+            questions: 0,
+            unknowns: 0,
+        }
+    }
+
+    /// The collection handle this engine snapshots.
+    pub fn collection(&self) -> &C {
+        &self.collection
+    }
+
+    /// Sorted ids of the candidate sets still consistent with every answer.
+    #[inline]
+    pub fn candidate_ids(&self) -> &[SetId] {
+        &self.ids
+    }
+
+    /// Number of candidate sets remaining.
+    #[inline]
+    pub fn candidate_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// A fresh view over the current candidates (clones the id list; meant
+    /// for inspection and reporting, not the stepping hot path).
+    pub fn candidates(&self) -> SubCollection<'_> {
+        SubCollection::from_parts_unchecked(self.collection.deref(), self.ids.clone(), self.fp)
+    }
+
+    /// True when at most one candidate remains.
+    pub fn is_resolved(&self) -> bool {
+        self.ids.len() <= 1
+    }
+
+    /// Questions answered yes/no so far.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+
+    /// "Don't know" replies received so far.
+    pub fn unknowns(&self) -> usize {
+        self.unknowns
+    }
+
+    /// Full question/answer history, including Unknowns.
+    pub fn history(&self) -> &[(EntityId, Answer)] {
+        &self.history
+    }
+
+    /// Access to the strategy (e.g. to read prune statistics).
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Mutable access to the strategy.
+    pub fn strategy_mut(&mut self) -> &mut S {
+        &mut self.strategy
+    }
+
+    /// Selects the next question (Algorithm 2, line 6); `None` when the
+    /// session is resolved or every informative entity has been excluded.
+    ///
+    /// Pure selection: asking is *not* committing. The engine stays
+    /// unchanged until [`Self::answer`] is called, and with a deterministic
+    /// strategy repeated calls return the same entity — the property the
+    /// wire protocol's idempotent `ask` relies on.
+    pub fn next_question(&mut self) -> Option<EntityId> {
+        if self.is_resolved() {
+            return None;
+        }
+        let ids = mem::take(&mut self.ids);
+        let view = SubCollection::from_parts_unchecked(self.collection.deref(), ids, self.fp);
+        let pick = self.strategy.select_excluding(&view, &self.excluded);
+        self.ids = view.into_ids();
+        pick
+    }
+
+    /// Applies an answer for `entity` (Algorithm 2, lines 8–12), narrowing
+    /// the candidates on Yes/No and excluding the entity on Unknown.
+    ///
+    /// The caller may apply answers about arbitrary entities (not only the
+    /// last selected one) — that is the constraint-assertion API the §6
+    /// extensions and the service's out-of-order clients use. Inconsistent
+    /// assertions empty the candidate list rather than panicking.
+    pub fn answer(&mut self, entity: EntityId, answer: Answer) {
+        self.history.push((entity, answer));
+        match answer {
+            Answer::Yes | Answer::No => {
+                self.questions += 1;
+                let ids = mem::take(&mut self.ids);
+                let yes_buf = mem::take(&mut self.spare_a);
+                let no_buf = mem::take(&mut self.spare_b);
+                let view =
+                    SubCollection::from_parts_unchecked(self.collection.deref(), ids, self.fp);
+                let (yes, no) = view.partition_into(entity, yes_buf, no_buf);
+                let (keep, discard) = if answer == Answer::Yes {
+                    (yes, no)
+                } else {
+                    (no, yes)
+                };
+                self.fp = keep.fingerprint();
+                self.ids = keep.into_ids();
+                self.spare_a = discard.into_ids();
+                self.spare_b = view.into_ids();
+            }
+            Answer::Unknown => {
+                self.unknowns += 1;
+                self.excluded.insert(entity);
+            }
+        }
+    }
+
+    /// Snapshot of the current state as an [`Outcome`].
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            candidates: self.ids.clone(),
+            questions: self.questions,
+            unknowns: self.unknowns,
+        }
+    }
+
+    /// Driver: runs the loop to resolution with no question budget.
+    pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<Outcome> {
+        self.run_bounded(oracle, usize::MAX)
+    }
+
+    /// Driver: runs until resolved, the budget is exhausted, or no further
+    /// question can be asked (the halt condition Γ). This is the only loop
+    /// in the crate that touches an [`Oracle`]; it is itself written against
+    /// the public sans-IO verbs.
+    pub fn run_bounded(
+        &mut self,
+        oracle: &mut dyn Oracle,
+        max_questions: usize,
+    ) -> Result<Outcome> {
+        while !self.is_resolved() && self.questions < max_questions {
+            let Some(entity) = self.next_question() else {
+                break; // everything informative excluded — return survivors
+            };
+            let answer = oracle.answer(entity);
+            self.answer(entity, answer);
+            if self.ids.is_empty() {
+                return Err(SetDiscError::ContradictoryAnswers {
+                    after_questions: self.questions,
+                });
+            }
+        }
+        Ok(self.outcome())
+    }
+}
+
+impl<'c, S: SelectionStrategy> Engine<&'c Collection, S> {
+    /// Starts a borrowed-collection engine over an explicit candidate view
+    /// (the classic [`crate::discovery::Session::over`] entry point).
+    pub fn over(candidates: SubCollection<'c>, strategy: S) -> Self {
+        let collection = candidates.collection();
+        let fp = candidates.fingerprint();
+        let ids = candidates.into_ids();
+        Self::from_parts(collection, ids, fp, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AvgDepth;
+    use crate::discovery::SimulatedOracle;
+    use crate::lookahead::KLp;
+    use crate::strategy::MostEven;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn owned_sessions_are_static_send_and_resumable_across_threads() {
+        fn assert_send<T: Send + 'static>(_: &T) {}
+        let collection = Arc::new(figure1());
+        let mut engine: OwnedSession<KLp<AvgDepth>> =
+            Engine::new(Arc::clone(&collection), &[], KLp::<AvgDepth>::new(2));
+        assert_send(&engine);
+        // Step once on this thread, finish on another — the table-resume
+        // pattern of the service layer.
+        let e = engine.next_question().unwrap();
+        engine.answer(e, Answer::No);
+        let handle = std::thread::spawn(move || {
+            let target = engine.collection().set(engine.candidate_ids()[0]).clone();
+            let outcome = engine.run(&mut SimulatedOracle::new(&target)).unwrap();
+            outcome.discovered().unwrap()
+        });
+        let _ = handle.join().unwrap();
+    }
+
+    #[test]
+    fn boxed_send_strategies_compose() {
+        // The exact type the service's session table stores.
+        let collection = Arc::new(figure1());
+        let strategy: Box<dyn SelectionStrategy + Send> = Box::new(KLp::<AvgDepth>::new(2));
+        let mut engine: OwnedSession<Box<dyn SelectionStrategy + Send>> =
+            Engine::new(collection, &[], strategy);
+        let target = engine.collection().set(crate::entity::SetId(4)).clone();
+        let outcome = engine.run(&mut SimulatedOracle::new(&target)).unwrap();
+        assert_eq!(outcome.discovered(), Some(crate::entity::SetId(4)));
+    }
+
+    #[test]
+    fn borrowed_and_owned_engines_ask_identical_sequences() {
+        let c = figure1();
+        let arc = Arc::new(figure1());
+        for id in 0..c.len() as u32 {
+            let id = crate::entity::SetId(id);
+            let target = c.set(id).clone();
+            let mut borrowed = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+            let mut owned = Engine::new(Arc::clone(&arc), &[], KLp::<AvgDepth>::new(2));
+            loop {
+                let qb = borrowed.next_question();
+                let qo = owned.next_question();
+                assert_eq!(qb, qo, "question divergence at target {id}");
+                let Some(e) = qb else { break };
+                let a = if target.contains(e) {
+                    Answer::Yes
+                } else {
+                    Answer::No
+                };
+                borrowed.answer(e, a);
+                owned.answer(e, a);
+            }
+            assert_eq!(borrowed.outcome(), owned.outcome());
+            assert_eq!(borrowed.outcome().discovered(), Some(id));
+        }
+    }
+
+    #[test]
+    fn next_question_is_pure_and_repeatable() {
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        let q1 = engine.next_question().unwrap();
+        let q2 = engine.next_question().unwrap();
+        assert_eq!(q1, q2, "asking must not mutate the candidate state");
+        assert_eq!(engine.questions_asked(), 0);
+        assert!(engine.history().is_empty());
+    }
+
+    #[test]
+    fn with_candidates_sorts_and_dedups() {
+        let c = figure1();
+        use crate::entity::SetId;
+        let engine =
+            Engine::with_candidates(&c, vec![SetId(4), SetId(1), SetId(4)], MostEven::new());
+        assert_eq!(engine.candidate_ids(), &[SetId(1), SetId(4)]);
+        assert_eq!(engine.candidates().fingerprint(), {
+            SubCollection::from_ids(&c, vec![SetId(1), SetId(4)]).fingerprint()
+        });
+    }
+
+    #[test]
+    fn partition_buffers_are_recycled() {
+        // After the first two answers the three id buffers rotate through
+        // the engine; subsequent answers must not grow capacity beyond the
+        // initial candidate count.
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        let target = c.set(crate::entity::SetId(5)).clone();
+        while let Some(e) = engine.next_question() {
+            let a = if target.contains(e) {
+                Answer::Yes
+            } else {
+                Answer::No
+            };
+            engine.answer(e, a);
+        }
+        assert_eq!(engine.outcome().discovered(), Some(crate::entity::SetId(5)));
+        assert!(engine.spare_a.capacity() <= 7);
+        assert!(engine.spare_b.capacity() <= 7);
+    }
+}

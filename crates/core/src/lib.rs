@@ -51,8 +51,10 @@
 //!   gain-k baseline.
 //! * [`tree`], [`builder`] — decision trees and offline construction
 //!   (Algorithm 3).
+//! * [`engine`] — the sans-IO Algorithm-2 state machine, generic over how
+//!   the collection is held (borrowed sessions vs `Arc`-owning sessions).
 //! * [`discovery`] — the interactive loop (Algorithm 2) with pluggable
-//!   oracles and halt conditions.
+//!   oracles and halt conditions, layered on the engine.
 //! * [`optimal`] — exact optimal trees by memoized branch-and-bound, for
 //!   ground truth on small collections.
 //! * [`ext`] — the paper's §6/§7 extensions: "don't know" answers, noisy
@@ -67,6 +69,7 @@ pub mod builder;
 pub mod collection;
 pub mod cost;
 pub mod discovery;
+pub mod engine;
 pub mod entity;
 pub mod error;
 pub mod ext;
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::collection::{Collection, CollectionBuilder};
     pub use crate::cost::{AvgDepth, CostModel, Height};
     pub use crate::discovery::{Answer, Oracle, Session, SimulatedOracle};
+    pub use crate::engine::{CollectionRef, Engine, OwnedSession};
     pub use crate::entity::{EntityId, EntityInterner, SetId};
     pub use crate::error::SetDiscError;
     pub use crate::lookahead::{GainK, KLp, KLpBeam};

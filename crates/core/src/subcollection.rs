@@ -108,7 +108,11 @@ impl<'c> SubCollection<'c> {
     }
 
     /// Internal constructor when the fingerprint of `ids` is already known.
-    fn from_parts_unchecked(collection: &'c Collection, ids: Vec<SetId>, fp: Fingerprint) -> Self {
+    pub(crate) fn from_parts_unchecked(
+        collection: &'c Collection,
+        ids: Vec<SetId>,
+        fp: Fingerprint,
+    ) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
         debug_assert_eq!(fp, fp_of_ids(&ids));
         Self {

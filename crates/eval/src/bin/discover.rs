@@ -1,25 +1,33 @@
 //! Interactive set-discovery REPL — the paper's opening scenario as a tool.
 //!
 //! ```text
-//! discover <sets.txt> [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2]
+//! discover <sets.txt> [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
+//!          [--examples e1,e2]
 //! ```
 //!
 //! `sets.txt` uses the `setdisc_core::io` format (one set per line,
 //! `name: member member …`). The tool filters to supersets of `--examples`,
 //! then asks membership questions on stdin (`y` / `n` / `?` for don't-know
 //! / `q` to stop) until one set remains.
+//!
+//! The CLI is a thin terminal driver over the *same* stack the network
+//! service runs: collections become `setdisc_service::Snapshot`s,
+//! strategies are built through `StrategySpec`, and the question loop steps
+//! a sans-IO `Engine` — so a terminal conversation and a wire-protocol
+//! conversation with the same configuration ask identical questions.
 
 use setdisc_core::analysis::CollectionProfile;
-use setdisc_core::cost::{AvgDepth, Height};
-use setdisc_core::discovery::{Answer, Session};
-use setdisc_core::io::parse_collection;
-use setdisc_core::lookahead::KLp;
-use setdisc_core::strategy::SelectionStrategy;
+use setdisc_core::discovery::Answer;
+use setdisc_core::engine::Engine;
+use setdisc_service::strategy::BoxedStrategy;
+use setdisc_service::{Snapshot, SnapshotHandle, StrategySpec};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: discover <sets.txt> [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]"
+        "usage: discover <sets.txt> [--strategy klp|klp-le|klp-lve|most-even|info-gain|\
+         indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]"
     );
     std::process::exit(2);
 }
@@ -27,19 +35,22 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
-    let mut metric = "ad".to_string();
-    let mut k = 2u32;
-    let mut beam: Option<usize> = None;
+    let mut strategy_name = "klp".to_string();
+    let mut metric: Option<String> = None;
+    let mut k: Option<u64> = None;
+    let mut beam: Option<u64> = None;
     let mut examples: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--metric" => metric = it.next().unwrap_or_else(|| usage()),
+            "--strategy" => strategy_name = it.next().unwrap_or_else(|| usage()),
+            "--metric" => metric = Some(it.next().unwrap_or_else(|| usage())),
             "--k" => {
-                k = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                k = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--beam" => {
                 beam = Some(
@@ -61,16 +72,26 @@ fn main() {
         }
     }
     let path = path.unwrap_or_else(|| usage());
+    // `--beam` selects the k-LPLE family unless one was named explicitly.
+    if beam.is_some() && strategy_name == "klp" {
+        strategy_name = "klp-le".to_string();
+    }
+    let spec = StrategySpec::parse(&strategy_name, metric.as_deref(), k, beam, None)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        });
+
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let named = parse_collection(&text).unwrap_or_else(|e| {
+    let snapshot = Snapshot::parse(path.clone(), &text).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     });
 
-    let profile = CollectionProfile::new(&named.collection, 500, 0);
+    let profile = CollectionProfile::new(snapshot.collection(), 500, 0);
     println!(
         "{} sets, {} entities ({} informative); expected ≥{:.2} questions, worst case {}",
         profile.n_sets,
@@ -83,36 +104,35 @@ fn main() {
     let initial: Vec<setdisc_core::EntityId> = examples
         .iter()
         .map(|name| {
-            named.entities.get(name).unwrap_or_else(|| {
+            snapshot.resolve_entity(name).unwrap_or_else(|| {
                 eprintln!("unknown example entity {name:?}");
                 std::process::exit(1);
             })
         })
         .collect();
 
-    let strategy: Box<dyn SelectionStrategy> = match (metric.as_str(), beam) {
-        ("ad", None) => Box::new(KLp::<AvgDepth>::new(k)),
-        ("ad", Some(q)) => Box::new(KLp::<AvgDepth>::limited(k, q)),
-        ("h", None) => Box::new(KLp::<Height>::new(k)),
-        ("h", Some(q)) => Box::new(KLp::<Height>::limited(k, q)),
-        _ => usage(),
-    };
-    let mut session = Session::new(&named.collection, &initial, strategy);
+    // The exact engine type the service's session table stores.
+    let mut engine: Engine<SnapshotHandle, BoxedStrategy> = Engine::new(
+        SnapshotHandle(Arc::clone(&snapshot)),
+        &initial,
+        spec.build(),
+    );
     println!(
-        "{} candidate sets match your examples",
-        session.candidates().len()
+        "{} candidate sets match your examples ({})",
+        engine.candidate_count(),
+        spec.label()
     );
 
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
-    while !session.is_resolved() {
-        let Some(entity) = session.next_question() else {
+    while !engine.is_resolved() {
+        let Some(entity) = engine.next_question() else {
             println!("no more informative questions — remaining candidates:");
             break;
         };
         print!(
             "is {:?} in your set? [y/n/?/q] ",
-            named.entities.display(entity)
+            snapshot.entity_label(entity)
         );
         std::io::stdout().flush().ok();
         let line = match lines.next() {
@@ -120,23 +140,23 @@ fn main() {
             _ => break,
         };
         match line.trim() {
-            "y" | "yes" => session.answer(entity, Answer::Yes),
-            "n" | "no" => session.answer(entity, Answer::No),
-            "?" => session.answer(entity, Answer::Unknown),
+            "y" | "yes" => engine.answer(entity, Answer::Yes),
+            "n" | "no" => engine.answer(entity, Answer::No),
+            "?" => engine.answer(entity, Answer::Unknown),
             "q" | "quit" => break,
             other => println!("  (unrecognized {other:?}; asking again)"),
         }
     }
-    let outcome = session.outcome();
+    let outcome = engine.outcome();
     match outcome.discovered() {
         Some(id) => println!(
             "→ your set is {:?} (after {} questions)",
-            named.set_name(id),
+            snapshot.set_label(id),
             outcome.questions
         ),
         None => {
             for id in &outcome.candidates {
-                println!("  - {}", named.set_name(*id));
+                println!("  - {}", snapshot.set_label(*id));
             }
             println!("({} candidates remain)", outcome.candidates.len());
         }

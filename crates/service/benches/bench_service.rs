@@ -1,0 +1,245 @@
+//! Service throughput harness with a JSON artifact (`BENCH_service.json`).
+//!
+//! Self-contained (no criterion) because it must emit a machine-readable
+//! baseline, like `bench_hotpath`:
+//!
+//! ```text
+//! cargo bench -p setdisc-service --bench bench_service -- \
+//!     --scale smoke --out BENCH_service.json
+//! ```
+//!
+//! Three phases by default, all verified end-to-end (every session must
+//! discover its intended target):
+//!
+//! * `open_concurrent` — opens ≥ 1k sessions that are live in the table
+//!   *simultaneously*, then drives them all to completion (the concurrency
+//!   acceptance gate);
+//! * `inproc_klp2` — streaming clients over the in-process transport with
+//!   the k-LP(k=2,AD) strategy, measuring per-question latency;
+//! * `socket_klp2` — the same workload over a real TCP loopback socket
+//!   served by `setdisc_service::server`.
+//!
+//! `--mode socket-only --addr HOST:PORT` instead drives an *external*
+//! `serve` process (the CI smoke uses this to exercise the real binary);
+//! the client installs the same `--fixture` locally to answer truthfully.
+
+use setdisc_service::load::{
+    run_load, run_open_many, Client, InProcessClient, LoadConfig, LoadReport, SocketClient,
+};
+use setdisc_service::strategy::StrategySpec;
+use setdisc_service::{Service, ServiceConfig, Snapshot};
+use setdisc_util::report::JsonObject;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Scale {
+    Smoke,
+    Default,
+}
+
+impl Scale {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+        }
+    }
+
+    fn pick<T>(self, smoke: T, default: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+        }
+    }
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut out: Option<String> = None;
+    let mut mode = "all".to_string();
+    let mut addr: Option<String> = None;
+    let mut fixture = "copyadd:120:0.9:7".to_string();
+    let mut clients: Option<usize> = None;
+    let mut sessions: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale {v:?} (smoke|default)"));
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--mode" => mode = args.next().expect("--mode needs all|socket-only"),
+            "--addr" => addr = Some(args.next().expect("--addr needs host:port")),
+            "--fixture" => fixture = args.next().expect("--fixture needs a spec"),
+            "--clients" => {
+                clients = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--clients needs a count"),
+                )
+            }
+            "--sessions" => {
+                sessions = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sessions needs a count"),
+                )
+            }
+            // `cargo bench` passes --bench and other criterion-style flags
+            // through to the target; ignore them so the harness composes.
+            _ => {}
+        }
+    }
+
+    let snapshot = setdisc_service::snapshot::fixture(&fixture).expect("fixture spec");
+    let klp_cfg = |clients_n: usize, sessions_n: usize| LoadConfig {
+        collection: fixture.clone(),
+        strategy: StrategySpec::default(), // k-LP(k=2,AD)
+        clients: clients_n,
+        sessions_per_client: sessions_n,
+        budget: None,
+    };
+
+    let reports: Vec<LoadReport> = if mode == "socket-only" {
+        let addr: SocketAddr = addr
+            .expect("--mode socket-only requires --addr")
+            .parse()
+            .expect("bad --addr");
+        let cfg = klp_cfg(clients.unwrap_or(4), sessions.unwrap_or(10));
+        let report = run_load(
+            "external_socket_klp2",
+            "socket",
+            &snapshot,
+            &move || Ok(Box::new(SocketClient::connect(addr)?) as Box<dyn Client>),
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "socket sessions must all verify");
+        vec![report]
+    } else {
+        run_all_phases(scale, &fixture, &snapshot, &klp_cfg)
+    };
+
+    let doc = JsonObject::new()
+        .str("bench", "service")
+        .str("scale", scale.name())
+        .str("fixture", &fixture)
+        .array("phases", reports.iter().map(LoadReport::to_json).collect());
+    match &out {
+        Some(path) => {
+            doc.write(path).expect("write JSON artifact");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", doc.encode()),
+    }
+}
+
+fn run_all_phases(
+    scale: Scale,
+    fixture: &str,
+    snapshot: &Arc<Snapshot>,
+    klp_cfg: &dyn Fn(usize, usize) -> LoadConfig,
+) -> Vec<LoadReport> {
+    let mut reports = Vec::new();
+
+    // Phase 1: ≥ 1k sessions open concurrently in one process. The cheap
+    // MostEven strategy keeps the phase about table/session scaling rather
+    // than lookahead compute.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let open = scale.pick(1200, 4000);
+        let mut cfg = klp_cfg(8, 0);
+        cfg.strategy = StrategySpec::parse("most-even", None, None, None, None).expect("spec");
+        let report = run_open_many("open_concurrent", &service, snapshot, &cfg, open);
+        eprintln!("{}", summary(&report));
+        assert!(
+            report.peak_open >= open as u64,
+            "expected {open} concurrently open sessions, saw {}",
+            report.peak_open
+        );
+        assert_eq!(report.errors, 0, "open_concurrent sessions must all verify");
+        reports.push(report);
+    }
+
+    // Phase 2: streaming in-process clients, k-LP(k=2,AD) — per-question
+    // latency of the real selection hot path.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let cfg = klp_cfg(scale.pick(4, 8), scale.pick(25, 100));
+        let svc = Arc::clone(&service);
+        let report = run_load(
+            "inproc_klp2",
+            "in-process",
+            snapshot,
+            &move || {
+                Ok(Box::new(InProcessClient {
+                    service: Arc::clone(&svc),
+                }) as Box<dyn Client>)
+            },
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "inproc sessions must all verify");
+        reports.push(report);
+    }
+
+    // Phase 3: the same workload over a real TCP loopback socket.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let (addr, _handle) =
+            setdisc_service::server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0")
+                .expect("bind loopback");
+        let cfg = klp_cfg(scale.pick(4, 8), scale.pick(10, 50));
+        let report = run_load(
+            "socket_klp2",
+            "socket",
+            snapshot,
+            &move || Ok(Box::new(SocketClient::connect(addr)?) as Box<dyn Client>),
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "socket sessions must all verify");
+        reports.push(report);
+    }
+
+    reports
+}
+
+fn summary(r: &LoadReport) -> String {
+    format!(
+        "{:<16} {:>10}: {} sessions ({} peak open), {:.1} sessions/s, \
+         {:.1} questions/session, p50 {:.0}µs p99 {:.0}µs per question",
+        r.label,
+        r.transport,
+        r.sessions,
+        r.peak_open,
+        r.sessions_per_sec,
+        r.questions_per_session,
+        r.p50_question_us,
+        r.p99_question_us
+    )
+}

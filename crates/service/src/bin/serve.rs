@@ -1,0 +1,126 @@
+//! The discovery service binary.
+//!
+//! ```text
+//! serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...
+//!       [--max-sessions N] [--budget N] [--idle-secs S]
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol of `setdisc_service::proto` over
+//! stdin/stdout (default) or a TCP listener. `--tcp 127.0.0.1:0` binds an
+//! ephemeral port; the bound address is printed as `listening on ADDR` so
+//! scripts can scrape it. Collections come from `--fixture` specs
+//! (`figure1`, `copyadd:<n>:<alpha>:<seed>`) and/or `--load name=path`
+//! text-format files.
+
+use setdisc_service::server::{serve_stdio, serve_tcp, spawn_idle_sweeper};
+use setdisc_service::{Service, ServiceConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...\n\
+         \x20            [--max-sessions N] [--budget N] [--idle-secs S]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut tcp: Option<String> = None;
+    let mut stdio = false;
+    let mut fixtures: Vec<String> = Vec::new();
+    let mut loads: Vec<(String, String)> = Vec::new();
+    let mut config = ServiceConfig::default();
+    let mut idle_secs: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--fixture" => fixtures.push(args.next().unwrap_or_else(|| usage())),
+            "--load" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match spec.split_once('=') {
+                    Some((name, path)) => loads.push((name.to_string(), path.to_string())),
+                    None => usage(),
+                }
+            }
+            "--max-sessions" => {
+                config.max_sessions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--budget" => {
+                config.default_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--idle-secs" => {
+                idle_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    if stdio && tcp.is_some() {
+        usage();
+    }
+    if fixtures.is_empty() && loads.is_empty() {
+        fixtures.push("figure1".to_string());
+    }
+    config.idle_timeout = idle_secs.map(Duration::from_secs);
+
+    let service = Arc::new(Service::new(config));
+    for spec in &fixtures {
+        if let Err(e) = service.registry().install_fixture(spec) {
+            fail(&e);
+        }
+    }
+    for (name, path) in &loads {
+        if let Err(e) = service
+            .registry()
+            .load_file(name, std::path::Path::new(path))
+        {
+            fail(&e);
+        }
+    }
+
+    if let Some(period) = config.idle_timeout {
+        // Sweep at the timeout granularity (at least once a second).
+        let period = period
+            .min(Duration::from_secs(1))
+            .max(Duration::from_millis(100));
+        spawn_idle_sweeper(Arc::clone(&service), period);
+    }
+
+    match tcp {
+        Some(bind) => {
+            let listener =
+                TcpListener::bind(&bind).unwrap_or_else(|e| fail(&format!("bind {bind}: {e}")));
+            let addr = listener
+                .local_addr()
+                .unwrap_or_else(|e| fail(&format!("local_addr: {e}")));
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            serve_tcp(service, listener);
+        }
+        None => {
+            if let Err(e) = serve_stdio(&service) {
+                fail(&format!("stdio: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A concurrent multi-session discovery service over shared collection
+//! snapshots.
+//!
+//! The paper's Algorithm 2 is inherently *online* — a user answers
+//! membership questions one at a time, with arbitrary think time between
+//! them. This crate hosts many such conversations at once:
+//!
+//! * [`snapshot`] — a [`snapshot::Registry`] of named, immutable
+//!   [`snapshot::Snapshot`]s (collection + entity/set names behind an
+//!   `Arc`), loaded from the `setdisc_core::io` text format or generated
+//!   from the `setdisc-synth` fixtures. Every session clones an `Arc`, so a
+//!   thousand sessions over one collection share one inverted index.
+//! * [`strategy`] — [`strategy::StrategySpec`], the parse/build bridge from
+//!   wire-level strategy descriptions to boxed
+//!   [`setdisc_core::strategy::SelectionStrategy`] values. The `discover`
+//!   CLI uses the same spec, so terminal and service sessions are
+//!   constructed by one code path.
+//! * [`table`] — the [`table::SessionTable`]: a sharded map of live
+//!   [`setdisc_core::engine::OwnedSession`]s with never-reused ids, question
+//!   budgets, and idle eviction.
+//! * [`proto`] — the line-delimited JSON wire protocol
+//!   (`create` / `ask` / `answer` / `status` / `close` / `collections`),
+//!   written with [`setdisc_util::report::JsonObject`] and read with
+//!   [`setdisc_util::report::parse_json`].
+//! * [`service`] — [`service::Service`], the transport-free request
+//!   dispatcher tying the three together (`&Service` is `Sync`; call it
+//!   from any number of threads).
+//! * [`server`] — TCP and stdio transports for the `serve` binary.
+//! * [`load`] — the load harness: N simulated clients replayed against an
+//!   in-process service or a real socket, reporting sessions/sec and
+//!   p50/p99 per-question latency (the `bench_service` target emits
+//!   `BENCH_service.json` from it).
+//!
+//! Because sessions are driven through the sans-IO engine, a conversation
+//! over the wire asks *bit-identical* question sequences to an in-process
+//! [`setdisc_core::discovery::Session`] with the same collection, strategy,
+//! and initial examples — asserted end-to-end by this crate's tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+pub mod strategy;
+pub mod table;
+
+pub use service::{Service, ServiceConfig};
+pub use snapshot::{Registry, Snapshot, SnapshotHandle};
+pub use strategy::StrategySpec;

@@ -1,0 +1,475 @@
+//! Load harness: N simulated clients replayed against a service.
+//!
+//! Each client drives complete discovery sessions through the wire
+//! protocol — `create`, then `ask`/`answer` rounds with truthful answers
+//! from a client-side copy of the snapshot, until the service reports
+//! `done` — over either transport ([`InProcessClient`] calls
+//! [`Service::handle_line`] directly; [`SocketClient`] speaks to a real
+//! TCP endpoint). Every session's outcome is verified against the expected
+//! target, so the harness doubles as an end-to-end correctness check while
+//! it measures sessions/sec, questions/session, and p50/p99 per-question
+//! (ask+answer round-trip) latency.
+//!
+//! [`run_open_many`] is the concurrency stress shape: open a large number
+//! of sessions *first* (they all stay live in the table together), then
+//! drive them all to completion — the "≥ 1k concurrent open sessions"
+//! acceptance gate of the service subsystem.
+
+use crate::proto::create_request;
+use crate::service::Service;
+use crate::snapshot::Snapshot;
+use crate::strategy::StrategySpec;
+use setdisc_core::entity::SetId;
+use setdisc_util::report::{parse_json, JsonObject, JsonValue};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A protocol client: one request line in, one response line out.
+pub trait Client: Send {
+    /// Sends `line` and returns the response line (no trailing newline).
+    fn call(&mut self, line: &str) -> io::Result<String>;
+}
+
+/// Zero-copy transport: calls the service directly on the caller's thread.
+pub struct InProcessClient {
+    /// The shared service.
+    pub service: Arc<Service>,
+}
+
+impl Client for InProcessClient {
+    fn call(&mut self, line: &str) -> io::Result<String> {
+        Ok(self.service.handle_line(line))
+    }
+}
+
+/// Real-socket transport over TCP.
+pub struct SocketClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl SocketClient {
+    /// Connects to a serving address.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+impl Client for SocketClient {
+    fn call(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// Workload shape for one load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Registry name of the collection on the server (the client installs
+    /// the same fixture locally to answer truthfully).
+    pub collection: String,
+    /// Strategy for every session.
+    pub strategy: StrategySpec,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Sessions driven to completion per client.
+    pub sessions_per_client: usize,
+    /// Per-session question budget (`None` = service default).
+    pub budget: Option<u64>,
+}
+
+/// Measured results of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Phase label (e.g. `"inproc_klp2"`).
+    pub label: String,
+    /// `"in-process"` or `"socket"`.
+    pub transport: String,
+    /// Client threads used.
+    pub clients: usize,
+    /// Sessions completed.
+    pub sessions: u64,
+    /// Yes/no questions asked across all sessions.
+    pub questions: u64,
+    /// Sessions whose outcome did not match the expected target, plus
+    /// protocol-level errors. Zero in a healthy run.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Maximum sessions observed open simultaneously (meaningful for
+    /// [`run_open_many`]; equals ~`clients` for the streaming shape).
+    pub peak_open: u64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Mean questions per session.
+    pub questions_per_session: f64,
+    /// Median ask+answer round-trip, microseconds.
+    pub p50_question_us: f64,
+    /// 99th-percentile ask+answer round-trip, microseconds.
+    pub p99_question_us: f64,
+}
+
+impl LoadReport {
+    /// Flat JSON encoding for `BENCH_service.json`.
+    pub fn to_json(&self) -> JsonObject {
+        JsonObject::new()
+            .str("phase", &self.label)
+            .str("transport", &self.transport)
+            .int("clients", self.clients as u64)
+            .int("sessions", self.sessions)
+            .int("questions", self.questions)
+            .int("errors", self.errors)
+            .num("elapsed_s", self.elapsed.as_secs_f64())
+            .int("peak_open_sessions", self.peak_open)
+            .num("sessions_per_sec", self.sessions_per_sec)
+            .num("questions_per_session", self.questions_per_session)
+            .num("p50_question_us", self.p50_question_us)
+            .num("p99_question_us", self.p99_question_us)
+    }
+}
+
+/// Per-worker tally merged into the report.
+#[derive(Default)]
+struct WorkerStats {
+    sessions: u64,
+    questions: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Replays `clients × sessions_per_client` complete sessions, streaming
+/// (each client runs one session at a time). `snapshot` must describe the
+/// same collection the server registered under `cfg.collection`.
+pub fn run_load(
+    label: &str,
+    transport: &str,
+    snapshot: &Snapshot,
+    make_client: &(dyn Fn() -> io::Result<Box<dyn Client>> + Sync),
+    cfg: &LoadConfig,
+) -> LoadReport {
+    let started = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let mut client = match make_client() {
+                        Ok(client) => client,
+                        Err(_) => {
+                            stats.errors += cfg.sessions_per_client as u64;
+                            return stats;
+                        }
+                    };
+                    for s in 0..cfg.sessions_per_client {
+                        let target =
+                            (c * cfg.sessions_per_client + s) % snapshot.collection().len();
+                        drive_session(
+                            &mut *client,
+                            snapshot,
+                            cfg,
+                            SetId(target as u32),
+                            &mut stats,
+                        );
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    merge(
+        label,
+        transport,
+        cfg.clients,
+        started.elapsed(),
+        cfg.clients as u64,
+        stats,
+    )
+}
+
+/// The concurrency stress shape: phase 1 opens `open_sessions` sessions
+/// (all live simultaneously), phase 2 drives every one to completion.
+/// In-process only — it reads the table's live count for `peak_open`.
+pub fn run_open_many(
+    label: &str,
+    service: &Arc<Service>,
+    snapshot: &Snapshot,
+    cfg: &LoadConfig,
+    open_sessions: usize,
+) -> LoadReport {
+    let started = Instant::now();
+    let assigned = AtomicUsize::new(0);
+    let opened: Mutex<Vec<(u64, SetId)>> = Mutex::new(Vec::with_capacity(open_sessions));
+
+    // Phase 1: open everything.
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients {
+            scope.spawn(|| {
+                let mut client = InProcessClient {
+                    service: Arc::clone(service),
+                };
+                loop {
+                    let i = assigned.fetch_add(1, Ordering::Relaxed);
+                    if i >= open_sessions {
+                        break;
+                    }
+                    let target = SetId((i % snapshot.collection().len()) as u32);
+                    let line = create_request(&cfg.collection, &cfg.strategy, &[], cfg.budget);
+                    let resp = client.call(&line).expect("in-process call");
+                    let id = response_field(&resp, "session");
+                    opened
+                        .lock()
+                        .expect("open list lock")
+                        .push((id.expect("create must succeed"), target));
+                }
+            });
+        }
+    });
+    let peak_open = service.open_sessions() as u64;
+
+    // Phase 2: drive all open sessions to completion.
+    let opened = Arc::new(Mutex::new(opened.into_inner().expect("open list lock")));
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let opened = Arc::clone(&opened);
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let mut client = InProcessClient {
+                        service: Arc::clone(service),
+                    };
+                    loop {
+                        let next = opened.lock().expect("open list lock").pop();
+                        let Some((id, target)) = next else { break };
+                        drive_open_session(&mut client, snapshot, id, target, &mut stats);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    merge(
+        label,
+        "in-process",
+        cfg.clients,
+        started.elapsed(),
+        peak_open,
+        stats,
+    )
+}
+
+/// Creates and drives one complete session, recording stats.
+fn drive_session(
+    client: &mut dyn Client,
+    snapshot: &Snapshot,
+    cfg: &LoadConfig,
+    target: SetId,
+    stats: &mut WorkerStats,
+) {
+    let line = create_request(&cfg.collection, &cfg.strategy, &[], cfg.budget);
+    let Ok(resp) = client.call(&line) else {
+        stats.errors += 1;
+        return;
+    };
+    let Some(id) = response_field(&resp, "session") else {
+        stats.errors += 1;
+        return;
+    };
+    drive_open_session(client, snapshot, id, target, stats);
+}
+
+/// Drives an already-created session to completion.
+fn drive_open_session(
+    client: &mut dyn Client,
+    snapshot: &Snapshot,
+    id: u64,
+    target: SetId,
+    stats: &mut WorkerStats,
+) {
+    let target_set = snapshot.collection().set(target);
+    let expected = snapshot.set_label(target);
+    let mut ok = false;
+    loop {
+        let round = Instant::now();
+        let Ok(ask) = client.call(&format!(r#"{{"op":"ask","session":{id}}}"#)) else {
+            break;
+        };
+        let Ok(parsed) = parse_json(&ask) else { break };
+        if parsed.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+            break;
+        }
+        if parsed.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            ok = parsed.get("discovered").and_then(JsonValue::as_str) == Some(&expected);
+            break;
+        }
+        let Some(entity) = parsed.get("entity").and_then(JsonValue::as_str) else {
+            break;
+        };
+        let member = snapshot
+            .resolve_entity(entity)
+            .is_some_and(|e| target_set.contains(e));
+        let answer = if member { "yes" } else { "no" };
+        let line =
+            format!(r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{answer}"}}"#);
+        let Ok(resp) = client.call(&line) else { break };
+        if !resp.contains("\"ok\":true") {
+            break;
+        }
+        stats.questions += 1;
+        stats
+            .latencies_us
+            .push(round.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    let _ = client.call(&format!(r#"{{"op":"close","session":{id}}}"#));
+    stats.sessions += 1;
+    if !ok {
+        stats.errors += 1;
+    }
+}
+
+/// Extracts a numeric field from a response line, requiring `"ok":true`.
+fn response_field(resp: &str, key: &str) -> Option<u64> {
+    let v = parse_json(resp).ok()?;
+    if v.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        return None;
+    }
+    v.get(key).and_then(JsonValue::as_u64)
+}
+
+fn merge(
+    label: &str,
+    transport: &str,
+    clients: usize,
+    elapsed: Duration,
+    peak_open: u64,
+    stats: Vec<WorkerStats>,
+) -> LoadReport {
+    let mut sessions = 0;
+    let mut questions = 0;
+    let mut errors = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for s in stats {
+        sessions += s.sessions;
+        questions += s.questions;
+        errors += s.errors;
+        latencies.extend(s.latencies_us);
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx] as f64
+    };
+    LoadReport {
+        label: label.to_string(),
+        transport: transport.to_string(),
+        clients,
+        sessions,
+        questions,
+        errors,
+        elapsed,
+        peak_open,
+        sessions_per_sec: sessions as f64 / elapsed.as_secs_f64().max(1e-9),
+        questions_per_session: questions as f64 / (sessions as f64).max(1.0),
+        p50_question_us: pct(0.50),
+        p99_question_us: pct(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn service_with(spec: &str) -> (Arc<Service>, Arc<Snapshot>) {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service.registry().install_fixture(spec).unwrap();
+        let snapshot = service.registry().get(spec).unwrap();
+        (service, snapshot)
+    }
+
+    fn klp_cfg(collection: &str, clients: usize, sessions: usize) -> LoadConfig {
+        LoadConfig {
+            collection: collection.into(),
+            strategy: StrategySpec::default(),
+            clients,
+            sessions_per_client: sessions,
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn in_process_load_is_error_free() {
+        let (service, snapshot) = service_with("figure1");
+        let cfg = klp_cfg("figure1", 4, 5);
+        let svc = Arc::clone(&service);
+        let report = run_load(
+            "test",
+            "in-process",
+            &snapshot,
+            &move || {
+                Ok(Box::new(InProcessClient {
+                    service: Arc::clone(&svc),
+                }) as Box<dyn Client>)
+            },
+            &cfg,
+        );
+        assert_eq!(report.sessions, 20);
+        assert_eq!(report.errors, 0);
+        assert!(report.questions > 0);
+        assert!(report.p99_question_us >= report.p50_question_us);
+        assert_eq!(service.open_sessions(), 0, "all sessions closed");
+    }
+
+    #[test]
+    fn open_many_holds_sessions_concurrently() {
+        let (service, snapshot) = service_with("figure1");
+        let cfg = klp_cfg("figure1", 4, 0);
+        let report = run_open_many("open", &service, &snapshot, &cfg, 64);
+        assert_eq!(report.peak_open, 64, "all sessions live simultaneously");
+        assert_eq!(report.sessions, 64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(service.open_sessions(), 0);
+    }
+
+    #[test]
+    fn socket_load_round_trips() {
+        let (service, snapshot) = service_with("figure1");
+        let (addr, _h) = crate::server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let cfg = klp_cfg("figure1", 2, 3);
+        let report = run_load(
+            "socket-test",
+            "socket",
+            &snapshot,
+            &move || Ok(Box::new(SocketClient::connect(addr)?) as Box<dyn Client>),
+            &cfg,
+        );
+        assert_eq!(report.sessions, 6);
+        assert_eq!(report.errors, 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, in order. Requests are
+//! parsed with [`setdisc_util::report::parse_json`]; responses are emitted
+//! with [`setdisc_util::report::JsonObject`]. The grammar (all unknown
+//! fields are ignored; `session` ids are JSON numbers):
+//!
+//! ```text
+//! {"op":"create","collection":NAME,
+//!  "strategy":FAMILY?,"metric":"ad"|"h"?,"k":N?,"beam":N?,"seed":N?,
+//!  "examples":[ENTITY,...]?,"budget":N?}
+//!     -> {"ok":true,"op":"create","session":ID,"candidates":N}
+//! {"op":"ask","session":ID}
+//!     -> {"ok":true,"op":"ask","session":ID,"done":false,"entity":NAME,
+//!         "questions":N}
+//!      | {"ok":true,"op":"ask","session":ID,"done":true,"reason":
+//!         "resolved"|"budget"|"exhausted","questions":N,"candidates":N,
+//!         "discovered":NAME?}
+//! {"op":"answer","session":ID,"entity":NAME,"answer":"yes"|"no"|"unknown"}
+//!     -> {"ok":true,"op":"answer","session":ID,"candidates":N,
+//!         "questions":N}
+//! {"op":"status","session":ID}
+//!     -> {"ok":true,"op":"status",...full session state...}
+//! {"op":"close","session":ID}     -> {"ok":true,"op":"close","session":ID}
+//! {"op":"collections"}            -> {"ok":true,"op":"collections",
+//!                                     "collections":[{name,sets,entities}]}
+//! ```
+//!
+//! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
+//! `ask` is idempotent (re-asking without answering returns the same
+//! entity, a consequence of the engine's pure `next_question`), and
+//! `answer` accepts any entity — not just the last asked one — matching the
+//! engine's constraint-assertion semantics.
+
+use crate::strategy::StrategySpec;
+use setdisc_core::discovery::Answer;
+use setdisc_util::report::{parse_json, JsonObject, JsonValue};
+
+/// A parsed wire request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session over a registered collection.
+    Create {
+        /// Registry name of the collection snapshot.
+        collection: String,
+        /// Strategy configuration.
+        strategy: StrategySpec,
+        /// Initial example entities (Algorithm 2's `I`).
+        examples: Vec<String>,
+        /// Yes/no question budget; `None` = service default.
+        budget: Option<u64>,
+    },
+    /// Request the next membership question.
+    Ask {
+        /// Session id.
+        session: u64,
+    },
+    /// Deliver an answer about an entity.
+    Answer {
+        /// Session id.
+        session: u64,
+        /// Entity token (interned name or `e<id>`).
+        entity: String,
+        /// The reply.
+        answer: Answer,
+    },
+    /// Report full session state.
+    Status {
+        /// Session id.
+        session: u64,
+    },
+    /// Close a session, releasing its slot.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// List registered collections.
+    Collections,
+}
+
+/// Parses one request line. Errors are human-readable strings destined for
+/// an `{"ok":false,...}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line).map_err(|e| e.to_string())?;
+    if !matches!(v, JsonValue::Object(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"op\"")?;
+    match op {
+        "create" => {
+            let collection = v
+                .get("collection")
+                .and_then(JsonValue::as_str)
+                .ok_or("create: missing string field \"collection\"")?
+                .to_string();
+            let strategy = StrategySpec::parse(
+                v.get("strategy")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("klp"),
+                v.get("metric").and_then(JsonValue::as_str),
+                opt_u64(&v, "k")?,
+                opt_u64(&v, "beam")?,
+                opt_u64(&v, "seed")?,
+            )?;
+            let examples = match v.get("examples") {
+                None | Some(JsonValue::Null) => Vec::new(),
+                Some(JsonValue::Array(items)) => items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "create: examples must be strings".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err("create: \"examples\" must be an array".into()),
+            };
+            Ok(Request::Create {
+                collection,
+                strategy,
+                examples,
+                budget: opt_u64(&v, "budget")?,
+            })
+        }
+        "ask" => Ok(Request::Ask {
+            session: session_id(&v)?,
+        }),
+        "answer" => {
+            let entity = v
+                .get("entity")
+                .and_then(JsonValue::as_str)
+                .ok_or("answer: missing string field \"entity\"")?
+                .to_string();
+            let answer = match v
+                .get("answer")
+                .and_then(JsonValue::as_str)
+                .ok_or("answer: missing string field \"answer\"")?
+            {
+                "yes" | "y" => Answer::Yes,
+                "no" | "n" => Answer::No,
+                "unknown" | "?" => Answer::Unknown,
+                other => return Err(format!("answer: bad answer {other:?} (yes|no|unknown)")),
+            };
+            Ok(Request::Answer {
+                session: session_id(&v)?,
+                entity,
+                answer,
+            })
+        }
+        "status" => Ok(Request::Status {
+            session: session_id(&v)?,
+        }),
+        "close" => Ok(Request::Close {
+            session: session_id(&v)?,
+        }),
+        "collections" => Ok(Request::Collections),
+        other => Err(format!(
+            "unknown op {other:?} (create|ask|answer|status|close|collections)"
+        )),
+    }
+}
+
+/// Builds a `create` request line for a client (the inverse of
+/// [`parse_request`]'s create arm — round-trip asserted in tests).
+pub fn create_request(
+    collection: &str,
+    strategy: &StrategySpec,
+    examples: &[String],
+    budget: Option<u64>,
+) -> String {
+    let mut obj = JsonObject::new()
+        .str("op", "create")
+        .str("collection", collection)
+        .str("strategy", strategy.family_name())
+        .str("metric", strategy.metric_name())
+        .int("k", u64::from(strategy.k))
+        .int("beam", strategy.beam as u64)
+        .int("seed", strategy.seed);
+    if !examples.is_empty() {
+        obj = obj.strs("examples", examples);
+    }
+    if let Some(b) = budget {
+        obj = obj.int("budget", b);
+    }
+    obj.encode()
+}
+
+fn session_id(v: &JsonValue) -> Result<u64, String> {
+    v.get("session")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| "missing numeric field \"session\"".to_string())
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(val) => val
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{Metric, StrategyKind};
+
+    #[test]
+    fn parses_create_with_defaults_and_overrides() {
+        let req = parse_request(r#"{"op":"create","collection":"figure1"}"#).unwrap();
+        let Request::Create {
+            collection,
+            strategy,
+            examples,
+            budget,
+        } = req
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(collection, "figure1");
+        assert_eq!(strategy, StrategySpec::default());
+        assert!(examples.is_empty());
+        assert_eq!(budget, None);
+
+        let req = parse_request(
+            r#"{"op":"create","collection":"c","strategy":"klp-le","metric":"h","k":3,
+               "beam":5,"examples":["a","b"],"budget":9}"#,
+        )
+        .unwrap();
+        let Request::Create {
+            strategy,
+            examples,
+            budget,
+            ..
+        } = req
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(strategy.kind, StrategyKind::KLpLe);
+        assert_eq!(strategy.metric, Metric::Height);
+        assert_eq!(strategy.k, 3);
+        assert_eq!(strategy.beam, 5);
+        assert_eq!(examples, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(budget, Some(9));
+    }
+
+    #[test]
+    fn parses_session_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"ask","session":3}"#).unwrap(),
+            Request::Ask { session: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"answer","session":3,"entity":"d","answer":"yes"}"#).unwrap(),
+            Request::Answer {
+                session: 3,
+                entity: "d".into(),
+                answer: Answer::Yes
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"answer","session":3,"entity":"d","answer":"?"}"#).unwrap(),
+            Request::Answer {
+                session: 3,
+                entity: "d".into(),
+                answer: Answer::Unknown
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"close","session":0}"#).unwrap(),
+            Request::Close { session: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"collections"}"#).unwrap(),
+            Request::Collections
+        );
+    }
+
+    #[test]
+    fn create_request_round_trips() {
+        let spec = StrategySpec::parse("klp-lve", Some("h"), Some(3), Some(7), Some(11)).unwrap();
+        let line = create_request("web", &spec, &["a".into(), "b".into()], Some(42));
+        let parsed = parse_request(&line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Create {
+                collection: "web".into(),
+                strategy: spec,
+                examples: vec!["a".into(), "b".into()],
+                budget: Some(42),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "[]",
+            r#"{"session":1}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"create"}"#,
+            r#"{"op":"create","collection":"c","k":0}"#,
+            r#"{"op":"create","collection":"c","examples":"a"}"#,
+            r#"{"op":"create","collection":"c","examples":[1]}"#,
+            r#"{"op":"ask"}"#,
+            r#"{"op":"ask","session":-1}"#,
+            r#"{"op":"ask","session":1.5}"#,
+            r#"{"op":"answer","session":1,"entity":"d"}"#,
+            r#"{"op":"answer","session":1,"entity":"d","answer":"maybe"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Transports for the wire protocol: TCP (thread per connection) and stdio.
+//!
+//! Both transports are line loops over [`Service::handle_line`]; all
+//! protocol logic lives in [`crate::service`]. The TCP accept loop can be
+//! run on the caller's thread ([`serve_tcp`]) or detached
+//! ([`spawn_tcp`]), which is how tests, the example, and the load
+//! harness's socket mode stand up a real server inside one process.
+
+use crate::service::Service;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Serves the protocol over stdin/stdout until EOF. Empty lines are
+/// ignored; every request line yields exactly one response line.
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(out, "{}", service.handle_line(&line))?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds `bind` (e.g. `127.0.0.1:0`) and serves the accept loop on the
+/// current thread, forever.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let service = Arc::clone(&service);
+                thread::spawn(move || connection_loop(&service, stream));
+            }
+            Err(_) => continue, // transient accept error: keep serving
+        }
+    }
+}
+
+/// Binds `bind` and serves the accept loop on a background thread.
+/// Returns the bound address (useful with port 0) and the thread handle.
+pub fn spawn_tcp(
+    service: Arc<Service>,
+    bind: &str,
+) -> io::Result<(SocketAddr, thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let handle = thread::spawn(move || serve_tcp(service, listener));
+    Ok((addr, handle))
+}
+
+/// Spawns the idle-eviction sweeper: every `period`, sessions idle past
+/// the service's configured timeout are dropped.
+pub fn spawn_idle_sweeper(service: Arc<Service>, period: Duration) -> thread::JoinHandle<()> {
+    thread::spawn(move || loop {
+        thread::sleep(period);
+        service.evict_idle();
+    })
+}
+
+fn connection_loop(service: &Service, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break; // client went away
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service.registry().install_fixture("figure1").unwrap();
+        let (addr, _handle) = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut call = move |line: &str| -> String {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            resp.trim_end().to_string()
+        };
+
+        let resp = call(r#"{"op":"collections"}"#);
+        assert!(resp.contains("\"figure1\""), "{resp}");
+        let resp = call(r#"{"op":"create","collection":"figure1","examples":["e"]}"#);
+        assert!(resp.contains("\"candidates\":1"), "{resp}");
+        let resp = call(r#"{"op":"ask","session":1}"#);
+        assert!(resp.contains("\"reason\":\"resolved\""), "{resp}");
+        assert!(resp.contains("\"discovered\":\"S2\""), "{resp}");
+    }
+}

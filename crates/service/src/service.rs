@@ -1,0 +1,507 @@
+//! The transport-free request dispatcher.
+//!
+//! [`Service`] owns the snapshot [`Registry`] and the [`SessionTable`] and
+//! maps one wire [`Request`] to one JSON response line. It holds no
+//! per-connection state, so any number of transport threads (TCP
+//! connections, the stdio loop, in-process load clients) can call
+//! [`Service::handle_line`] on a shared reference concurrently; ordering is
+//! only guaranteed per caller, which matches the one-line-in/one-line-out
+//! protocol contract.
+
+use crate::proto::{parse_request, Request};
+use crate::snapshot::{Registry, SnapshotHandle};
+use crate::table::{ServiceEngine, SessionEntry, SessionTable};
+use setdisc_core::discovery::Answer;
+use setdisc_core::engine::Engine;
+use setdisc_core::entity::EntityId;
+use setdisc_util::report::JsonObject;
+use std::time::Duration;
+
+/// Service-wide limits and defaults.
+#[derive(Copy, Clone, Debug)]
+pub struct ServiceConfig {
+    /// Maximum live sessions before `create` is rejected.
+    pub max_sessions: usize,
+    /// Default yes/no question budget for sessions created without one.
+    pub default_budget: u64,
+    /// Idle timeout applied by [`Service::evict_idle`]; `None` disables
+    /// eviction.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 100_000,
+            default_budget: 10_000,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// A discovery service: named snapshots plus a table of live sessions.
+pub struct Service {
+    registry: Registry,
+    table: SessionTable,
+    config: ServiceConfig,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl Service {
+    /// Empty service with the given limits.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            registry: Registry::new(),
+            table: SessionTable::new(config.max_sessions),
+            config,
+        }
+    }
+
+    /// The snapshot registry (load collections through this).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of live sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evicts idle sessions per the configured timeout; returns the count
+    /// (0 when eviction is disabled).
+    pub fn evict_idle(&self) -> usize {
+        match self.config.idle_timeout {
+            Some(timeout) => self.table.evict_idle(timeout),
+            None => 0,
+        }
+    }
+
+    /// Handles one protocol line, returning one response line (no trailing
+    /// newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        match parse_request(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => err_response(&e),
+        }
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, req: Request) -> String {
+        match req {
+            Request::Create {
+                collection,
+                strategy,
+                examples,
+                budget,
+            } => self.create(&collection, strategy, &examples, budget),
+            Request::Ask { session } => self.ask(session),
+            Request::Answer {
+                session,
+                entity,
+                answer,
+            } => self.answer(session, &entity, answer),
+            Request::Status { session } => self.status(session),
+            Request::Close { session } => self.close(session),
+            Request::Collections => self.collections(),
+        }
+    }
+
+    fn create(
+        &self,
+        collection: &str,
+        strategy: crate::strategy::StrategySpec,
+        examples: &[String],
+        budget: Option<u64>,
+    ) -> String {
+        let Some(snapshot) = self.registry.get(collection) else {
+            return err_response(&format!("unknown collection {collection:?}"));
+        };
+        let mut initial: Vec<EntityId> = Vec::with_capacity(examples.len());
+        for token in examples {
+            match snapshot.resolve_entity(token) {
+                Some(id) => initial.push(id),
+                None => return err_response(&format!("unknown entity {token:?}")),
+            }
+        }
+        let engine: ServiceEngine = Engine::new(
+            SnapshotHandle(std::sync::Arc::clone(&snapshot)),
+            &initial,
+            strategy.build(),
+        );
+        let candidates = engine.candidate_count();
+        let entry = SessionEntry::new(
+            engine,
+            snapshot,
+            collection.to_string(),
+            strategy.label(),
+            budget.unwrap_or(self.config.default_budget),
+        );
+        match self.table.insert(entry) {
+            Ok(id) => JsonObject::new()
+                .bool("ok", true)
+                .str("op", "create")
+                .int("session", id)
+                .int("candidates", candidates as u64)
+                .encode(),
+            Err(e) => err_response(&e),
+        }
+    }
+
+    fn ask(&self, session: u64) -> String {
+        self.with_session(session, |entry| {
+            let questions = entry.engine.questions_asked() as u64;
+            let done = |reason: &str, entry: &SessionEntry| {
+                let mut obj = JsonObject::new()
+                    .bool("ok", true)
+                    .str("op", "ask")
+                    .int("session", session)
+                    .bool("done", true)
+                    .str("reason", reason)
+                    .int("questions", entry.engine.questions_asked() as u64)
+                    .int("candidates", entry.engine.candidate_count() as u64);
+                if let Some(found) = discovered_label(entry) {
+                    obj = obj.str("discovered", &found);
+                }
+                obj.encode()
+            };
+            if entry.engine.is_resolved() {
+                return done("resolved", entry);
+            }
+            if questions >= entry.budget {
+                return done("budget", entry);
+            }
+            let entity = match entry.pending {
+                Some(e) => Some(e),
+                None => {
+                    let pick = entry.engine.next_question();
+                    entry.pending = pick;
+                    pick
+                }
+            };
+            match entity {
+                Some(e) => JsonObject::new()
+                    .bool("ok", true)
+                    .str("op", "ask")
+                    .int("session", session)
+                    .bool("done", false)
+                    .str("entity", &entry.snapshot.entity_label(e))
+                    .int("questions", questions)
+                    .encode(),
+                // Every informative entity excluded: the session cannot
+                // make progress — report the survivors.
+                None => done("exhausted", entry),
+            }
+        })
+    }
+
+    fn answer(&self, session: u64, entity: &str, answer: Answer) -> String {
+        let result = self.with_session_raw(session, |entry| {
+            let Some(id) = entry.snapshot.resolve_entity(entity) else {
+                return Err(format!("unknown entity {entity:?}"));
+            };
+            entry.pending = None;
+            entry.engine.answer(id, answer);
+            if entry.engine.candidate_count() == 0 {
+                // Inconsistent assertions: the session is dead. Report and
+                // release it (the wire client cannot back out an answer).
+                return Ok(Err(entry.engine.questions_asked()));
+            }
+            Ok(Ok((
+                entry.engine.candidate_count() as u64,
+                entry.engine.questions_asked() as u64,
+            )))
+        });
+        match result {
+            None => unknown_session(session),
+            Some(Err(e)) => err_response(&e),
+            Some(Ok(Err(questions))) => {
+                self.table.remove(session);
+                err_response(&format!(
+                    "answers contradict every candidate set after {questions} questions; session closed"
+                ))
+            }
+            Some(Ok(Ok((candidates, questions)))) => JsonObject::new()
+                .bool("ok", true)
+                .str("op", "answer")
+                .int("session", session)
+                .int("candidates", candidates)
+                .int("questions", questions)
+                .encode(),
+        }
+    }
+
+    fn status(&self, session: u64) -> String {
+        self.with_session(session, |entry| {
+            let mut obj = JsonObject::new()
+                .bool("ok", true)
+                .str("op", "status")
+                .int("session", session)
+                .str("collection", &entry.collection_name)
+                .str("strategy", &entry.strategy_label)
+                .int("candidates", entry.engine.candidate_count() as u64)
+                .int("questions", entry.engine.questions_asked() as u64)
+                .int("unknowns", entry.engine.unknowns() as u64)
+                .int("budget", entry.budget)
+                .bool("done", entry.engine.is_resolved());
+            if let Some(found) = discovered_label(entry) {
+                obj = obj.str("discovered", &found);
+            }
+            obj.encode()
+        })
+    }
+
+    fn close(&self, session: u64) -> String {
+        if self.table.remove(session) {
+            JsonObject::new()
+                .bool("ok", true)
+                .str("op", "close")
+                .int("session", session)
+                .encode()
+        } else {
+            unknown_session(session)
+        }
+    }
+
+    fn collections(&self) -> String {
+        let items = self
+            .registry
+            .list()
+            .into_iter()
+            .map(|(name, sets, entities)| {
+                JsonObject::new()
+                    .str("name", &name)
+                    .int("sets", sets as u64)
+                    .int("entities", entities as u64)
+            })
+            .collect();
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "collections")
+            .array("collections", items)
+            .encode()
+    }
+
+    fn with_session(&self, session: u64, f: impl FnOnce(&mut SessionEntry) -> String) -> String {
+        self.with_session_raw(session, f)
+            .unwrap_or_else(|| unknown_session(session))
+    }
+
+    fn with_session_raw<R>(
+        &self,
+        session: u64,
+        f: impl FnOnce(&mut SessionEntry) -> R,
+    ) -> Option<R> {
+        self.table.with(session, f)
+    }
+}
+
+/// The resolved set's label when exactly one candidate remains.
+fn discovered_label(entry: &SessionEntry) -> Option<String> {
+    match entry.engine.candidate_ids() {
+        [single] => Some(entry.snapshot.set_label(*single)),
+        _ => None,
+    }
+}
+
+fn err_response(message: &str) -> String {
+    JsonObject::new()
+        .bool("ok", false)
+        .str("error", message)
+        .encode()
+}
+
+fn unknown_session(session: u64) -> String {
+    err_response(&format!("unknown session {session}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setdisc_util::report::{parse_json, JsonValue};
+
+    fn figure1_service() -> Service {
+        let svc = Service::default();
+        svc.registry().install_fixture("figure1").unwrap();
+        svc
+    }
+
+    fn field<'a>(v: &'a JsonValue, key: &str) -> &'a JsonValue {
+        v.get(key).unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+    }
+
+    fn call(svc: &Service, line: &str) -> JsonValue {
+        parse_json(&svc.handle_line(line)).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn full_conversation_discovers_a_set() {
+        let svc = figure1_service();
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","strategy":"most-even"}"#,
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        let id = field(&resp, "session").as_u64().unwrap();
+        assert_eq!(field(&resp, "candidates").as_u64(), Some(7));
+
+        // Target S2 = {a, d, e}: answer membership questions truthfully.
+        let target = ["a", "d", "e"];
+        loop {
+            let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+            if field(&resp, "done").as_bool() == Some(true) {
+                assert_eq!(field(&resp, "reason").as_str(), Some("resolved"));
+                assert_eq!(field(&resp, "discovered").as_str(), Some("S2"));
+                break;
+            }
+            let entity = field(&resp, "entity").as_str().unwrap().to_string();
+            let ans = if target.contains(&entity.as_str()) {
+                "yes"
+            } else {
+                "no"
+            };
+            let resp = call(
+                &svc,
+                &format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{ans}"}}"#
+                ),
+            );
+            assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        }
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        assert_eq!(field(&status, "done").as_bool(), Some(true));
+        assert_eq!(field(&status, "discovered").as_str(), Some("S2"));
+        let close = call(&svc, &format!(r#"{{"op":"close","session":{id}}}"#));
+        assert_eq!(field(&close, "ok").as_bool(), Some(true));
+        assert_eq!(svc.open_sessions(), 0);
+        // Closed session is gone.
+        let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+    }
+
+    #[test]
+    fn ask_is_idempotent_until_answered() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        let a1 = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let a2 = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(
+            field(&a1, "entity").as_str(),
+            field(&a2, "entity").as_str(),
+            "repeated ask returns the outstanding question"
+        );
+    }
+
+    #[test]
+    fn budget_halts_ask() {
+        let svc = figure1_service();
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","strategy":"most-even","budget":1}"#,
+        );
+        let id = field(&resp, "session").as_u64().unwrap();
+        let ask = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let entity = field(&ask, "entity").as_str().unwrap().to_string();
+        call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"no"}}"#),
+        );
+        let ask = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(field(&ask, "done").as_bool(), Some(true));
+        assert_eq!(field(&ask, "reason").as_str(), Some("budget"));
+        assert!(field(&ask, "candidates").as_u64().unwrap() > 1);
+    }
+
+    #[test]
+    fn contradiction_closes_the_session() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        // e → only S2; then i → only S5: contradiction.
+        call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"e","answer":"yes"}}"#),
+        );
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"i","answer":"yes"}}"#),
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("contradict"));
+        assert_eq!(svc.open_sessions(), 0);
+    }
+
+    #[test]
+    fn unknown_answers_exclude_and_continue() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        let ask = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let first = field(&ask, "entity").as_str().unwrap().to_string();
+        call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"{first}","answer":"unknown"}}"#),
+        );
+        let ask = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let second = field(&ask, "entity").as_str().unwrap().to_string();
+        assert_ne!(first, second, "excluded entity is not re-asked");
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        assert_eq!(field(&status, "unknowns").as_u64(), Some(1));
+        assert_eq!(field(&status, "questions").as_u64(), Some(0));
+    }
+
+    #[test]
+    fn examples_narrow_creation_and_errors_are_reported() {
+        let svc = figure1_service();
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","examples":["d"]}"#,
+        );
+        assert_eq!(field(&resp, "candidates").as_u64(), Some(3));
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","examples":["zzz"]}"#,
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        let resp = call(&svc, r#"{"op":"create","collection":"missing"}"#);
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("unknown collection"));
+        let resp = call(&svc, "garbage");
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+    }
+
+    #[test]
+    fn collections_lists_registry() {
+        let svc = figure1_service();
+        svc.registry().install_fixture("copyadd:10:0.5:1").unwrap();
+        let resp = call(&svc, r#"{"op":"collections"}"#);
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(field(&list[0], "name").as_str(), Some("copyadd:10:0.5:1"));
+        assert_eq!(field(&list[1], "sets").as_u64(), Some(7));
+    }
+
+    #[test]
+    fn capacity_limit_applies_to_create() {
+        let svc = Service::new(ServiceConfig {
+            max_sessions: 1,
+            ..ServiceConfig::default()
+        });
+        svc.registry().install_fixture("figure1").unwrap();
+        let first = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        assert_eq!(field(&first, "ok").as_bool(), Some(true));
+        let second = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        assert_eq!(field(&second, "ok").as_bool(), Some(false));
+        assert!(field(&second, "error").as_str().unwrap().contains("full"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Named, immutable collection snapshots shared across sessions.
+//!
+//! A [`Snapshot`] bundles a pre-indexed [`Collection`] with its entity and
+//! set names; a [`Registry`] maps snapshot names to `Arc<Snapshot>`s.
+//! Snapshots are strictly immutable after construction — sessions hold
+//! [`SnapshotHandle`] clones, so the service never copies set data and a
+//! collection can be swapped in the registry without disturbing sessions
+//! already running over the old version.
+
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_core::io::{parse_collection, NamedCollection};
+use setdisc_core::Collection;
+use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
+use setdisc_util::FxHashMap;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
+
+/// An immutable named collection: the unit sessions snapshot.
+pub struct Snapshot {
+    name: String,
+    named: NamedCollection,
+}
+
+impl Snapshot {
+    /// Snapshot from a parsed [`NamedCollection`].
+    pub fn new(name: impl Into<String>, named: NamedCollection) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            named,
+        })
+    }
+
+    /// Snapshot from a bare [`Collection`] (synthetic fixtures): entities
+    /// render as `e<id>` and sets as `S<id>`.
+    pub fn from_collection(name: impl Into<String>, collection: Collection) -> Arc<Self> {
+        Self::new(
+            name,
+            NamedCollection {
+                collection,
+                entities: setdisc_core::EntityInterner::new(),
+                set_names: Vec::new(),
+                duplicates_dropped: 0,
+            },
+        )
+    }
+
+    /// Snapshot parsed from the `setdisc_core::io` text format.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Arc<Self>, String> {
+        let named = parse_collection(text).map_err(|e| e.to_string())?;
+        Ok(Self::new(name, named))
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared collection.
+    pub fn collection(&self) -> &Collection {
+        &self.named.collection
+    }
+
+    /// Human label for a set id (`S<id>` when the source had no names).
+    pub fn set_label(&self, id: SetId) -> String {
+        self.named
+            .set_names
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// Human label for an entity id (`e<id>` when unnamed).
+    pub fn entity_label(&self, id: EntityId) -> String {
+        self.named.entities.display(id)
+    }
+
+    /// Resolves an entity token. Named collections (anything parsed from
+    /// text) resolve strictly through the interner — an unknown token is an
+    /// error, never a silent numeric guess. Only unnamed collections
+    /// (synthetic fixtures with an empty interner) accept the `e<id>`
+    /// notation their labels render as, validated against the universe.
+    pub fn resolve_entity(&self, token: &str) -> Option<EntityId> {
+        if !self.named.entities.is_empty() {
+            return self.named.entities.get(token);
+        }
+        let num = token.strip_prefix('e')?.parse::<u32>().ok()?;
+        (num < self.named.collection.universe()).then_some(EntityId(num))
+    }
+}
+
+/// A cheap owning handle to a snapshot's collection — the
+/// [`setdisc_core::engine::CollectionRef`] the service's sessions are built
+/// over (deref target is the [`Collection`], clone is an `Arc` bump).
+#[derive(Clone)]
+pub struct SnapshotHandle(pub Arc<Snapshot>);
+
+impl Deref for SnapshotHandle {
+    type Target = Collection;
+
+    fn deref(&self) -> &Collection {
+        self.0.collection()
+    }
+}
+
+/// Thread-safe name → snapshot map.
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<FxHashMap<String, Arc<Snapshot>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a snapshot under its own name. Sessions
+    /// already holding the old snapshot keep running over it.
+    pub fn insert(&self, snapshot: Arc<Snapshot>) {
+        self.map
+            .write()
+            .expect("registry lock poisoned")
+            .insert(snapshot.name().to_string(), snapshot);
+    }
+
+    /// Looks up a snapshot by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        self.map
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered names with basic shape statistics, name-sorted.
+    pub fn list(&self) -> Vec<(String, usize, usize)> {
+        let mut out: Vec<(String, usize, usize)> = self
+            .map
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .map(|s| {
+                (
+                    s.name().to_string(),
+                    s.collection().len(),
+                    s.collection().distinct_entities(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Loads a text-format collection file under `name`.
+    pub fn load_file(&self, name: &str, path: &std::path::Path) -> Result<(), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        self.insert(Snapshot::parse(name, &text)?);
+        Ok(())
+    }
+
+    /// Installs a built-in fixture and returns its registry name.
+    ///
+    /// Specs: `figure1` (the paper's 7-set example) or
+    /// `copyadd:<n_sets>:<overlap>:<seed>` (the §5.2.2 copy-add generator
+    /// with set sizes 20–30). Fixture generation is deterministic, so a
+    /// load-harness client can install the same spec locally and know the
+    /// server's set contents without transferring them.
+    pub fn install_fixture(&self, spec: &str) -> Result<String, String> {
+        let snapshot = fixture(spec)?;
+        let name = snapshot.name().to_string();
+        self.insert(snapshot);
+        Ok(name)
+    }
+}
+
+/// Builds a fixture snapshot from a spec string (see
+/// [`Registry::install_fixture`]).
+pub fn fixture(spec: &str) -> Result<Arc<Snapshot>, String> {
+    if spec == "figure1" {
+        return Snapshot::parse("figure1", FIGURE1_TEXT);
+    }
+    if let Some(rest) = spec.strip_prefix("copyadd:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [n, alpha, seed] = parts.as_slice() else {
+            return Err(format!(
+                "bad copyadd spec {spec:?} (want copyadd:<n>:<alpha>:<seed>)"
+            ));
+        };
+        let n_sets: usize = n.parse().map_err(|_| format!("bad set count {n:?}"))?;
+        let overlap: f64 = alpha
+            .parse()
+            .map_err(|_| format!("bad overlap {alpha:?}"))?;
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+        if n_sets < 2 || !(0.0..1.0).contains(&overlap) {
+            return Err(format!("copyadd spec {spec:?} out of range"));
+        }
+        let collection = generate_copy_add(&CopyAddConfig {
+            n_sets,
+            size_range: (20, 30),
+            overlap,
+            seed,
+        });
+        return Ok(Snapshot::from_collection(spec, collection));
+    }
+    Err(format!(
+        "unknown fixture {spec:?} (want figure1 or copyadd:<n>:<alpha>:<seed>)"
+    ))
+}
+
+/// Figure 1 of the paper in the text format (entities a..k).
+const FIGURE1_TEXT: &str = "\
+S1: a b c d
+S2: a d e
+S3: a b c d f
+S4: a b c g h
+S5: a b h i
+S6: a b j k
+S7: a b g
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_fixture_matches_paper_shape() {
+        let r = Registry::new();
+        let name = r.install_fixture("figure1").unwrap();
+        let snap = r.get(&name).unwrap();
+        assert_eq!(snap.collection().len(), 7);
+        assert_eq!(snap.collection().distinct_entities(), 11);
+        assert_eq!(snap.set_label(SetId(0)), "S1");
+        let d = snap.resolve_entity("d").unwrap();
+        assert_eq!(snap.collection().sets_containing(d).len(), 3);
+        assert_eq!(snap.entity_label(d), "d");
+        // Named collections must not fall back to numeric guessing: "e2"
+        // is not an interned name here, even though EntityId(2) exists.
+        assert_eq!(snap.resolve_entity("e2"), None);
+        assert_eq!(snap.resolve_entity("zzz"), None);
+    }
+
+    #[test]
+    fn copyadd_fixture_is_deterministic() {
+        let a = fixture("copyadd:40:0.8:3").unwrap();
+        let b = fixture("copyadd:40:0.8:3").unwrap();
+        assert_eq!(a.collection().len(), b.collection().len());
+        for (id, set) in a.collection().iter() {
+            assert_eq!(set.fingerprint(), b.collection().set(id).fingerprint());
+        }
+        // Unnamed entities resolve through the e<id> notation.
+        assert_eq!(a.resolve_entity("e0"), Some(EntityId(0)));
+        assert_eq!(a.resolve_entity("e999999"), None);
+        assert_eq!(a.entity_label(EntityId(0)), "e0");
+    }
+
+    #[test]
+    fn bad_fixture_specs_error() {
+        for bad in [
+            "nope",
+            "copyadd:1:0.5:0",
+            "copyadd:10:1.5:0",
+            "copyadd:10:0.5",
+            "copyadd:x:0.5:0",
+        ] {
+            assert!(fixture(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn registry_replacement_keeps_old_arcs_alive() {
+        let r = Registry::new();
+        r.install_fixture("figure1").unwrap();
+        let old = r.get("figure1").unwrap();
+        // Replace under the same name with a different collection.
+        r.insert(Snapshot::parse("figure1", "x: p q\ny: q r\n").unwrap());
+        let new = r.get("figure1").unwrap();
+        assert_eq!(old.collection().len(), 7, "old snapshot untouched");
+        assert_eq!(new.collection().len(), 2);
+        assert_eq!(r.list().len(), 1);
+    }
+
+    #[test]
+    fn handle_derefs_to_collection() {
+        let snap = fixture("figure1").unwrap();
+        let handle = SnapshotHandle(Arc::clone(&snap));
+        assert_eq!(handle.len(), 7);
+        let again = handle.clone();
+        assert_eq!(again.universe(), snap.collection().universe());
+    }
+}

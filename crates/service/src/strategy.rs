@@ -1,0 +1,271 @@
+//! Strategy specifications: the bridge from wire-level strategy
+//! descriptions to boxed [`SelectionStrategy`] values.
+//!
+//! Both the service's `create` request and the `discover` CLI build their
+//! engines through [`StrategySpec`], so a terminal session and a service
+//! session configured the same way are *constructed* the same way — one
+//! code path, bit-identical question sequences.
+
+use setdisc_core::cost::{AvgDepth, Height};
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{
+    IndistinguishablePairs, InfoGain, Lb1, MostEven, RandomInformative, SelectionStrategy,
+};
+
+/// A boxed, table-storable selection strategy.
+pub type BoxedStrategy = Box<dyn SelectionStrategy + Send>;
+
+/// Cost metric selector (`ad` = average depth, `h` = height).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Average depth (AD), the paper's default.
+    AvgDepth,
+    /// Height (H), the worst-case metric.
+    Height,
+}
+
+impl Metric {
+    /// Parses `"ad"` / `"h"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "ad" => Ok(Metric::AvgDepth),
+            "h" => Ok(Metric::Height),
+            other => Err(format!("unknown metric {other:?} (want ad|h)")),
+        }
+    }
+}
+
+/// Which selection family to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// k-LP (Algorithm 1) with the full candidate set.
+    KLp,
+    /// k-LPLE: beam of `q` most-even candidates at every level.
+    KLpLe,
+    /// k-LPLVE: beam of `q` at the selection level, one below.
+    KLpLve,
+    /// Most-even partitioning (§4.2.1).
+    MostEven,
+    /// Information gain (§4.2.2).
+    InfoGain,
+    /// Indistinguishable pairs (§4.2.3).
+    IndistPairs,
+    /// 1-step cost lower bound (§4.2.4).
+    Lb1,
+    /// Uniform random informative entity (ablation baseline).
+    Random,
+}
+
+/// A fully-specified strategy configuration, parseable from wire fields and
+/// buildable into a [`BoxedStrategy`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct StrategySpec {
+    /// Selection family.
+    pub kind: StrategyKind,
+    /// Cost metric for the lookahead/bound families.
+    pub metric: Metric,
+    /// Lookahead depth for the k-LP families.
+    pub k: u32,
+    /// Beam width for the limited families.
+    pub beam: usize,
+    /// Seed for the random baseline.
+    pub seed: u64,
+}
+
+impl Default for StrategySpec {
+    fn default() -> Self {
+        Self {
+            kind: StrategyKind::KLp,
+            metric: Metric::AvgDepth,
+            k: 2,
+            beam: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl StrategySpec {
+    /// Parses the wire fields: a family name (`klp`, `klp-le`, `klp-lve`,
+    /// `most-even`, `info-gain`, `indist-pairs`, `lb1`, `random`) plus
+    /// optional metric / k / beam / seed overrides.
+    pub fn parse(
+        name: &str,
+        metric: Option<&str>,
+        k: Option<u64>,
+        beam: Option<u64>,
+        seed: Option<u64>,
+    ) -> Result<Self, String> {
+        let kind = match name {
+            "klp" => StrategyKind::KLp,
+            "klp-le" => StrategyKind::KLpLe,
+            "klp-lve" => StrategyKind::KLpLve,
+            "most-even" => StrategyKind::MostEven,
+            "info-gain" => StrategyKind::InfoGain,
+            "indist-pairs" => StrategyKind::IndistPairs,
+            "lb1" => StrategyKind::Lb1,
+            "random" => StrategyKind::Random,
+            other => return Err(format!("unknown strategy {other:?}")),
+        };
+        let mut spec = Self {
+            kind,
+            ..Self::default()
+        };
+        if let Some(m) = metric {
+            spec.metric = Metric::parse(m)?;
+        }
+        if let Some(k) = k {
+            if k == 0 || k > 16 {
+                return Err(format!("k={k} out of range (1..=16)"));
+            }
+            spec.k = k as u32;
+        }
+        if let Some(q) = beam {
+            if q == 0 || q > 1_000_000 {
+                return Err(format!("beam={q} out of range"));
+            }
+            spec.beam = q as usize;
+        }
+        if let Some(s) = seed {
+            spec.seed = s;
+        }
+        Ok(spec)
+    }
+
+    /// Builds the configured strategy.
+    pub fn build(&self) -> BoxedStrategy {
+        match (self.kind, self.metric) {
+            (StrategyKind::KLp, Metric::AvgDepth) => Box::new(KLp::<AvgDepth>::new(self.k)),
+            (StrategyKind::KLp, Metric::Height) => Box::new(KLp::<Height>::new(self.k)),
+            (StrategyKind::KLpLe, Metric::AvgDepth) => {
+                Box::new(KLp::<AvgDepth>::limited(self.k, self.beam))
+            }
+            (StrategyKind::KLpLe, Metric::Height) => {
+                Box::new(KLp::<Height>::limited(self.k, self.beam))
+            }
+            (StrategyKind::KLpLve, Metric::AvgDepth) => {
+                Box::new(KLp::<AvgDepth>::limited_variable(self.k, self.beam))
+            }
+            (StrategyKind::KLpLve, Metric::Height) => {
+                Box::new(KLp::<Height>::limited_variable(self.k, self.beam))
+            }
+            (StrategyKind::MostEven, _) => Box::new(MostEven::new()),
+            (StrategyKind::InfoGain, _) => Box::new(InfoGain::new()),
+            (StrategyKind::IndistPairs, _) => Box::new(IndistinguishablePairs::new()),
+            (StrategyKind::Lb1, Metric::AvgDepth) => Box::new(Lb1::<AvgDepth>::new()),
+            (StrategyKind::Lb1, Metric::Height) => Box::new(Lb1::<Height>::new()),
+            (StrategyKind::Random, _) => Box::new(RandomInformative::new(self.seed)),
+        }
+    }
+
+    /// The configured strategy's display name (e.g. `"k-LP(k=2,AD)"`) —
+    /// derived from the fields, without constructing the strategy, so the
+    /// service's create path builds each strategy exactly once. Agreement
+    /// with the built strategy's `name()` is asserted by tests.
+    pub fn label(&self) -> String {
+        let m = match self.metric {
+            Metric::AvgDepth => "AD",
+            Metric::Height => "H",
+        };
+        match self.kind {
+            StrategyKind::KLp => format!("k-LP(k={},{m})", self.k),
+            StrategyKind::KLpLe => format!("k-LPLE(k={},q={},{m})", self.k, self.beam),
+            StrategyKind::KLpLve => format!("k-LPLVE(k={},q={},{m})", self.k, self.beam),
+            StrategyKind::MostEven => "MostEven".into(),
+            StrategyKind::InfoGain => "InfoGain".into(),
+            StrategyKind::IndistPairs => "IndistPairs".into(),
+            StrategyKind::Lb1 => format!("LB1({m})"),
+            StrategyKind::Random => "Random".into(),
+        }
+    }
+
+    /// The wire-level family name this spec round-trips through
+    /// ([`Self::parse`] of this name restores [`Self::kind`]).
+    pub fn family_name(&self) -> &'static str {
+        match self.kind {
+            StrategyKind::KLp => "klp",
+            StrategyKind::KLpLe => "klp-le",
+            StrategyKind::KLpLve => "klp-lve",
+            StrategyKind::MostEven => "most-even",
+            StrategyKind::InfoGain => "info-gain",
+            StrategyKind::IndistPairs => "indist-pairs",
+            StrategyKind::Lb1 => "lb1",
+            StrategyKind::Random => "random",
+        }
+    }
+
+    /// The wire-level metric name (`"ad"` / `"h"`).
+    pub fn metric_name(&self) -> &'static str {
+        match self.metric {
+            Metric::AvgDepth => "ad",
+            Metric::Height => "h",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_label_cover_families() {
+        let spec = StrategySpec::parse("klp", Some("ad"), Some(2), None, None).unwrap();
+        assert_eq!(spec.label(), "k-LP(k=2,AD)");
+        let spec = StrategySpec::parse("klp-le", Some("h"), Some(3), Some(10), None).unwrap();
+        assert_eq!(spec.label(), "k-LPLE(k=3,q=10,H)");
+        let spec = StrategySpec::parse("most-even", None, None, None, None).unwrap();
+        assert_eq!(spec.label(), "MostEven");
+        let spec = StrategySpec::parse("random", None, None, None, Some(7)).unwrap();
+        assert_eq!(spec.label(), "Random");
+        let spec = StrategySpec::parse("lb1", Some("h"), None, None, None).unwrap();
+        assert_eq!(spec.label(), "LB1(H)");
+    }
+
+    #[test]
+    fn parse_rejects_bad_fields() {
+        assert!(StrategySpec::parse("nope", None, None, None, None).is_err());
+        assert!(StrategySpec::parse("klp", Some("zz"), None, None, None).is_err());
+        assert!(StrategySpec::parse("klp", None, Some(0), None, None).is_err());
+        assert!(StrategySpec::parse("klp-le", None, None, Some(0), None).is_err());
+    }
+
+    #[test]
+    fn label_agrees_with_built_strategy_name() {
+        for kind in [
+            "klp",
+            "klp-le",
+            "klp-lve",
+            "most-even",
+            "info-gain",
+            "indist-pairs",
+            "lb1",
+            "random",
+        ] {
+            for metric in ["ad", "h"] {
+                let spec =
+                    StrategySpec::parse(kind, Some(metric), Some(3), Some(7), Some(1)).unwrap();
+                assert_eq!(spec.label(), spec.build().name(), "{kind}/{metric}");
+            }
+        }
+    }
+
+    #[test]
+    fn built_strategies_select_on_a_view() {
+        let snap = crate::snapshot::fixture("figure1").unwrap();
+        let view = snap.collection().full_view();
+        for name in [
+            "klp",
+            "klp-le",
+            "klp-lve",
+            "most-even",
+            "info-gain",
+            "indist-pairs",
+            "lb1",
+            "random",
+        ] {
+            let mut s = StrategySpec::parse(name, None, None, None, None)
+                .unwrap()
+                .build();
+            assert!(s.select(&view).is_some(), "{name}");
+        }
+    }
+}

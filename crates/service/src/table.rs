@@ -1,0 +1,224 @@
+//! The session table: live discovery sessions behind sharded locks.
+//!
+//! Sessions are [`setdisc_core::engine::OwnedSession`]s over
+//! [`SnapshotHandle`]s, so an entry is `'static` and `Send` and any worker
+//! thread can resume any session. Ids are assigned from a global counter
+//! and never reused (a stale id can only miss, never alias a newer
+//! session); the id's low bits select the shard, so concurrent traffic on
+//! different sessions contends only 1/`SHARDS` of the time. Every
+//! successful access refreshes the entry's idle clock; [`SessionTable::
+//! evict_idle`] sweeps entries whose clock exceeded the configured
+//! timeout.
+
+use crate::snapshot::{Snapshot, SnapshotHandle};
+use crate::strategy::BoxedStrategy;
+use setdisc_core::engine::Engine;
+use setdisc_core::entity::EntityId;
+use setdisc_util::FxHashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+/// The engine type the table stores: owned snapshot handle, boxed strategy.
+pub type ServiceEngine = Engine<SnapshotHandle, BoxedStrategy>;
+
+/// One live session and its service-level bookkeeping.
+pub struct SessionEntry {
+    /// The discovery state machine.
+    pub engine: ServiceEngine,
+    /// The snapshot the session runs over (for name resolution).
+    pub snapshot: Arc<Snapshot>,
+    /// Registry name the session was created against.
+    pub collection_name: String,
+    /// Display name of the strategy (for `status`).
+    pub strategy_label: String,
+    /// Maximum yes/no questions before `ask` reports `done:budget`.
+    pub budget: u64,
+    /// The outstanding question, if `ask` was called without an `answer`
+    /// yet (makes `ask` idempotent without re-running selection).
+    pub pending: Option<EntityId>,
+    last_touch: Instant,
+}
+
+impl SessionEntry {
+    /// New entry with a fresh idle clock.
+    pub fn new(
+        engine: ServiceEngine,
+        snapshot: Arc<Snapshot>,
+        collection_name: String,
+        strategy_label: String,
+        budget: u64,
+    ) -> Self {
+        Self {
+            engine,
+            snapshot,
+            collection_name,
+            strategy_label,
+            budget,
+            pending: None,
+            last_touch: Instant::now(),
+        }
+    }
+}
+
+/// Sharded id → session map with a capacity cap and idle eviction.
+pub struct SessionTable {
+    shards: Vec<Mutex<FxHashMap<u64, SessionEntry>>>,
+    next_id: AtomicU64,
+    live: AtomicUsize,
+    max_sessions: usize,
+}
+
+impl SessionTable {
+    /// Empty table capped at `max_sessions` concurrent entries.
+    pub fn new(max_sessions: usize) -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            next_id: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            max_sessions,
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<FxHashMap<u64, SessionEntry>> {
+        &self.shards[(id % SHARDS as u64) as usize]
+    }
+
+    /// Inserts a session, returning its fresh id, or `Err` when the table
+    /// is at capacity.
+    pub fn insert(&self, entry: SessionEntry) -> Result<u64, String> {
+        // Lock-free admission on the live counter: the check-then-add races
+        // benignly with concurrent inserts — the cap can be overshot by at
+        // most the number of racing creators, which is what a soft
+        // admission limit is for. (Touching self.len() here would take all
+        // the shard locks on every create.)
+        if self.live.load(Ordering::Relaxed) >= self.max_sessions {
+            return Err(format!(
+                "session table full ({} live sessions)",
+                self.max_sessions
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .insert(id, entry);
+        self.live.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Runs `f` on the session, refreshing its idle clock; `None` when the
+    /// id is unknown (never created, closed, or evicted).
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&mut SessionEntry) -> R) -> Option<R> {
+        let mut shard = self.shard(id).lock().expect("session shard poisoned");
+        let entry = shard.get_mut(&id)?;
+        entry.last_touch = Instant::now();
+        Some(f(entry))
+    }
+
+    /// Removes a session; true when it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        let removed = self
+            .shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .remove(&id)
+            .is_some();
+        if removed {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of live sessions (O(1): maintained counter, no locks).
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts sessions idle longer than `max_idle`; returns the count.
+    pub fn evict_idle(&self, max_idle: Duration) -> usize {
+        let now = Instant::now();
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("session shard poisoned");
+            let before = shard.len();
+            shard.retain(|_, e| now.duration_since(e.last_touch) <= max_idle);
+            evicted += before - shard.len();
+        }
+        if evicted > 0 {
+            self.live.fetch_sub(evicted, Ordering::Relaxed);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::fixture;
+    use crate::strategy::StrategySpec;
+
+    fn entry() -> SessionEntry {
+        let snap = fixture("figure1").unwrap();
+        let spec = StrategySpec::default();
+        let engine = Engine::new(SnapshotHandle(Arc::clone(&snap)), &[], spec.build());
+        SessionEntry::new(engine, snap, "figure1".into(), spec.label(), 100)
+    }
+
+    #[test]
+    fn ids_are_unique_and_never_reused() {
+        let t = SessionTable::new(100);
+        let a = t.insert(entry()).unwrap();
+        let b = t.insert(entry()).unwrap();
+        assert_ne!(a, b);
+        assert!(t.remove(a));
+        assert!(!t.remove(a), "double close misses");
+        let c = t.insert(entry()).unwrap();
+        assert_ne!(c, a, "slot ids are not recycled");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn capacity_cap_rejects_creation() {
+        let t = SessionTable::new(2);
+        t.insert(entry()).unwrap();
+        t.insert(entry()).unwrap();
+        let err = t.insert(entry()).unwrap_err();
+        assert!(err.contains("full"));
+        // Closing one frees admission.
+        assert!(t.remove(1));
+        assert!(t.insert(entry()).is_ok());
+    }
+
+    #[test]
+    fn with_touches_and_misses() {
+        let t = SessionTable::new(8);
+        let id = t.insert(entry()).unwrap();
+        let n = t.with(id, |e| e.engine.candidate_count()).unwrap();
+        assert_eq!(n, 7);
+        assert!(t.with(id + 1, |_| ()).is_none());
+    }
+
+    #[test]
+    fn idle_eviction_spares_touched_sessions() {
+        let t = SessionTable::new(8);
+        let old = t.insert(entry()).unwrap();
+        let fresh = t.insert(entry()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        t.with(fresh, |_| ()).unwrap(); // refresh one clock
+        let evicted = t.evict_idle(Duration::from_millis(15));
+        assert_eq!(evicted, 1);
+        assert!(t.with(old, |_| ()).is_none(), "idle session gone");
+        assert!(t.with(fresh, |_| ()).is_some(), "touched session kept");
+    }
+}

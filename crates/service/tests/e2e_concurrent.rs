@@ -1,0 +1,280 @@
+//! End-to-end service tests: many concurrent wire clients, every session's
+//! question sequence and outcome asserted *bit-identical* to a direct
+//! single-threaded `Session` run with the same collection, strategy and
+//! initial examples.
+
+use setdisc_core::discovery::{Answer, Session};
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_service::load::{Client, InProcessClient, SocketClient};
+use setdisc_service::proto::create_request;
+use setdisc_service::strategy::StrategySpec;
+use setdisc_service::{Service, ServiceConfig, Snapshot};
+use setdisc_util::report::{parse_json, JsonValue};
+use std::sync::{Arc, Mutex};
+
+/// A deterministic per-question answer plan: truthful membership in the
+/// target, except the listed question indices answer Unknown.
+struct Plan<'a> {
+    snapshot: &'a Snapshot,
+    target: SetId,
+    unknown_at: &'a [usize],
+}
+
+impl Plan<'_> {
+    fn answer_for(&self, entity: EntityId, index: usize) -> Answer {
+        if self.unknown_at.contains(&index) {
+            Answer::Unknown
+        } else if self.snapshot.collection().set(self.target).contains(entity) {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// Reference run: the plan against a direct in-process `Session`, recording
+/// the asked entity sequence and the final outcome.
+fn reference_run(plan: &Plan<'_>) -> (Vec<EntityId>, Vec<SetId>) {
+    let mut session = Session::new(
+        plan.snapshot.collection(),
+        &[],
+        StrategySpec::default().build(),
+    );
+    let mut asked = Vec::new();
+    while let Some(entity) = session.next_question() {
+        let answer = plan.answer_for(entity, asked.len());
+        asked.push(entity);
+        session.answer(entity, answer);
+    }
+    (asked, session.outcome().candidates)
+}
+
+/// Wire run: the same plan through the protocol, any transport.
+fn wire_run(client: &mut dyn Client, collection: &str, plan: &Plan<'_>) -> (Vec<EntityId>, usize) {
+    let line = create_request(collection, &StrategySpec::default(), &[], None);
+    let resp = call(client, &line);
+    let id = field_u64(&resp, "session");
+    let mut asked = Vec::new();
+    let survivors;
+    loop {
+        let resp = call(client, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            survivors = field_u64(&resp, "candidates") as usize;
+            break;
+        }
+        let name = resp
+            .get("entity")
+            .and_then(JsonValue::as_str)
+            .expect("ask must name an entity")
+            .to_string();
+        let entity = plan.snapshot.resolve_entity(&name).expect("known entity");
+        let answer = match plan.answer_for(entity, asked.len()) {
+            Answer::Yes => "yes",
+            Answer::No => "no",
+            Answer::Unknown => "unknown",
+        };
+        asked.push(entity);
+        call(
+            client,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#),
+        );
+    }
+    call(client, &format!(r#"{{"op":"close","session":{id}}}"#));
+    (asked, survivors)
+}
+
+fn call(client: &mut dyn Client, line: &str) -> JsonValue {
+    let resp = client.call(line).expect("transport");
+    let v = parse_json(&resp).expect("valid JSON response");
+    assert_eq!(
+        v.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "request {line} failed: {resp}"
+    );
+    v
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing {key}"))
+}
+
+/// Work queue shared by the client threads: (collection name, target,
+/// unknown indices).
+type Job = (String, SetId, Vec<usize>);
+
+fn run_concurrently(service: &Arc<Service>, jobs: Vec<Job>, threads: usize) {
+    let queue = Arc::new(Mutex::new(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(service);
+            scope.spawn(move || {
+                let mut client = InProcessClient {
+                    service: Arc::clone(&service),
+                };
+                loop {
+                    let job = queue.lock().unwrap().pop();
+                    let Some((collection, target, unknown_at)) = job else {
+                        break;
+                    };
+                    let snapshot = service.registry().get(&collection).unwrap();
+                    let plan = Plan {
+                        snapshot: &snapshot,
+                        target,
+                        unknown_at: &unknown_at,
+                    };
+                    let (ref_asked, ref_outcome) = reference_run(&plan);
+                    let (wire_asked, wire_survivors) = wire_run(&mut client, &collection, &plan);
+                    assert_eq!(
+                        ref_asked, wire_asked,
+                        "question sequence diverged for target {target} of {collection}"
+                    );
+                    assert_eq!(
+                        ref_outcome.len(),
+                        wire_survivors,
+                        "outcome diverged for target {target} of {collection}"
+                    );
+                    if ref_outcome.len() == 1 {
+                        assert_eq!(ref_outcome[0], target, "wrong set discovered");
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_wire_sessions_match_direct_sessions_bit_for_bit() {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().install_fixture("figure1").unwrap();
+    service
+        .registry()
+        .install_fixture("copyadd:60:0.7:11")
+        .unwrap();
+
+    let mut jobs: Vec<Job> = Vec::new();
+    // Every target of figure1, truthful.
+    for t in 0..7 {
+        jobs.push(("figure1".into(), SetId(t), vec![]));
+    }
+    // Every target of the synthetic collection, truthful.
+    let n = service
+        .registry()
+        .get("copyadd:60:0.7:11")
+        .unwrap()
+        .collection()
+        .len();
+    for t in 0..n {
+        jobs.push(("copyadd:60:0.7:11".into(), SetId(t as u32), vec![]));
+    }
+    // A few targets with "don't know" replies injected at fixed indices —
+    // the §6 exclusion path must also be wire-identical.
+    for t in 0..5 {
+        jobs.push(("copyadd:60:0.7:11".into(), SetId(t), vec![1]));
+        jobs.push(("figure1".into(), SetId(t % 7), vec![0, 2]));
+    }
+
+    run_concurrently(&service, jobs, 16);
+    assert_eq!(service.open_sessions(), 0, "every session closed");
+}
+
+#[test]
+fn socket_sessions_match_direct_sessions() {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().install_fixture("figure1").unwrap();
+    let (addr, _handle) =
+        setdisc_service::server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let snapshot = service.registry().get("figure1").unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..7u32 {
+            let snapshot = Arc::clone(&snapshot);
+            scope.spawn(move || {
+                let mut client = SocketClient::connect(addr).unwrap();
+                let plan = Plan {
+                    snapshot: &snapshot,
+                    target: SetId(t),
+                    unknown_at: &[],
+                };
+                let (ref_asked, ref_outcome) = reference_run(&plan);
+                let (wire_asked, wire_survivors) = wire_run(&mut client, "figure1", &plan);
+                assert_eq!(ref_asked, wire_asked);
+                assert_eq!(ref_outcome, vec![SetId(t)]);
+                assert_eq!(wire_survivors, 1);
+            });
+        }
+    });
+}
+
+#[test]
+fn sessions_interleave_without_cross_talk() {
+    // Two sessions over the same snapshot advanced in lock-step from one
+    // client: answers to one must not leak into the other.
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().install_fixture("figure1").unwrap();
+    let snapshot = service.registry().get("figure1").unwrap();
+    let mut client = InProcessClient {
+        service: Arc::clone(&service),
+    };
+
+    let plans = [
+        Plan {
+            snapshot: &snapshot,
+            target: SetId(0),
+            unknown_at: &[],
+        },
+        Plan {
+            snapshot: &snapshot,
+            target: SetId(5),
+            unknown_at: &[],
+        },
+    ];
+    let line = create_request("figure1", &StrategySpec::default(), &[], None);
+    let ids = [
+        field_u64(&call(&mut client, &line), "session"),
+        field_u64(&call(&mut client, &line), "session"),
+    ];
+    let mut asked: [Vec<EntityId>; 2] = [Vec::new(), Vec::new()];
+    let mut done = [false, false];
+    while !(done[0] && done[1]) {
+        for s in 0..2 {
+            if done[s] {
+                continue;
+            }
+            let id = ids[s];
+            let resp = call(&mut client, &format!(r#"{{"op":"ask","session":{id}}}"#));
+            if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+                let label = resp.get("discovered").and_then(JsonValue::as_str).unwrap();
+                assert_eq!(label, snapshot.set_label(plans[s].target));
+                done[s] = true;
+                continue;
+            }
+            let name = resp
+                .get("entity")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string();
+            let entity = snapshot.resolve_entity(&name).unwrap();
+            let answer = match plans[s].answer_for(entity, asked[s].len()) {
+                Answer::Yes => "yes",
+                _ => "no",
+            };
+            asked[s].push(entity);
+            call(
+                &mut client,
+                &format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#
+                ),
+            );
+        }
+    }
+    for (s, plan) in plans.iter().enumerate() {
+        let (ref_asked, _) = reference_run(plan);
+        assert_eq!(
+            asked[s], ref_asked,
+            "session {s} diverged under interleaving"
+        );
+    }
+}

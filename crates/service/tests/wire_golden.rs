@@ -1,0 +1,31 @@
+//! Golden-transcript test: the committed `wire_smoke.in` request script
+//! must produce exactly `wire_smoke.golden`, line for line. The same pair
+//! of files is replayed against the real `serve` binary (stdio transport)
+//! by `ci.sh`; this test covers the dispatcher in-process so plain
+//! `cargo test` catches protocol drift too.
+
+use setdisc_service::{Service, ServiceConfig};
+
+const INPUT: &str = include_str!("wire_smoke.in");
+const GOLDEN: &str = include_str!("wire_smoke.golden");
+
+#[test]
+fn wire_protocol_matches_committed_golden_transcript() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().install_fixture("figure1").unwrap();
+    let mut produced = String::new();
+    for line in INPUT.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        produced.push_str(&service.handle_line(line));
+        produced.push('\n');
+    }
+    assert_eq!(
+        produced, GOLDEN,
+        "wire protocol behavior drifted from tests/wire_smoke.golden — \
+         if the change is intentional, regenerate the golden file with\n  \
+         cargo run -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+         < crates/service/tests/wire_smoke.in > crates/service/tests/wire_smoke.golden"
+    );
+}

@@ -152,6 +152,12 @@ impl JsonObject {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
     /// Adds a float field; non-finite values encode as `null`.
     pub fn num(mut self, key: &str, value: f64) -> Self {
         let enc = if value.is_finite() {
@@ -160,6 +166,17 @@ impl JsonObject {
             "null".to_string()
         };
         self.fields.push((key.to_string(), enc));
+        self
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn strs(mut self, key: &str, items: &[String]) -> Self {
+        let inner: Vec<String> = items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", inner.join(","))));
         self
     }
 
@@ -192,6 +209,361 @@ impl JsonObject {
         f.write_all(self.encode().as_bytes())?;
         f.write_all(b"\n")?;
         f.flush()
+    }
+}
+
+/// A parsed JSON value — the read half of the hand-rolled JSON story
+/// ([`JsonObject`] is the write half). Objects preserve field order; keys
+/// may repeat (last probe via [`JsonValue::get`] returns the first match,
+/// mirroring typical reader behaviour).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered field list.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer (rejects negatives,
+    /// fractions, and magnitudes beyond 2⁵³ where f64 loses exactness).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if (0.0..=9_007_199_254_740_992.0).contains(&n) && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error from [`parse_json`]: a message plus the byte offset it refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Minimal but strict: full escape handling including
+/// `\uXXXX` surrogate pairs, standard number grammar, and a nesting-depth
+/// limit of 128 so adversarial wire input cannot overflow the stack.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const JSON_MAX_DEPTH: usize = 128;
+
+impl JsonParser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > JSON_MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.expect_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.expect_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.expect_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected `:` after key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(JsonValue::Object(fields));
+            }
+            return Err(self.err("expected `,` or `}`"));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(JsonValue::Array(items));
+            }
+            return Err(self.err("expected `,` or `]`"));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid by construction).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .expect("input was a valid &str"),
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after `.`"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Grammar-valid overflow parses to ±inf rather than Err; reject it
+        // explicitly so a non-finite Num can never enter the value space
+        // (the JsonObject writer encodes non-finite as null, so letting it
+        // through would break the reader/writer round-trip).
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+            _ => Err(self.err("number out of range")),
+        }
     }
 }
 
@@ -306,6 +678,104 @@ mod tests {
         JsonObject::new().int("x", 1).write(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":1}\n");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_parse_scalars_and_structure() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("-12.5e1").unwrap(), JsonValue::Num(-125.0));
+        assert_eq!(
+            parse_json("\"a\\nb\"").unwrap(),
+            JsonValue::Str("a\nb".into())
+        );
+        let v = parse_json(r#"{"op":"create","k":2,"examples":["x","y"],"deep":{"a":[1,null]}}"#)
+            .unwrap();
+        assert_eq!(v.get("op").and_then(JsonValue::as_str), Some("create"));
+        assert_eq!(v.get("k").and_then(JsonValue::as_u64), Some(2));
+        let ex = v.get("examples").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(
+            v.get("deep")
+                .unwrap()
+                .get("a")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn json_parse_escapes_and_unicode() {
+        let v = parse_json(r#""\u00e9\u20ac\ud83d\ude00\t\"\\""#).unwrap();
+        assert_eq!(v.as_str(), Some("é€😀\t\"\\"));
+        // Raw multi-byte UTF-8 passes through untouched.
+        assert_eq!(parse_json("\"héllo\"").unwrap().as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "[1,]",
+            "[1 2]",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\ud800\"",
+            "truex",
+            "null null",
+            "1e999",
+            "-1e999",
+            "{\"a\":1} trailing",
+            "\u{1}",
+        ] {
+            let err = parse_json(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("invalid JSON"));
+        }
+        // Depth bomb must error, not overflow the stack.
+        let bomb = "[".repeat(100_000);
+        assert!(parse_json(&bomb).is_err());
+    }
+
+    #[test]
+    fn json_reader_roundtrips_writer_output() {
+        let doc = JsonObject::new()
+            .str("name", "he said \"hi\"\n")
+            .int("iters", 10)
+            .num("median_ns", 1234.5)
+            .array("kernels", vec![JsonObject::new().str("kernel", "klp")]);
+        let v = parse_json(&doc.encode()).unwrap();
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("he said \"hi\"\n")
+        );
+        assert_eq!(v.get("iters").and_then(JsonValue::as_u64), Some(10));
+        assert_eq!(v.get("median_ns").and_then(JsonValue::as_f64), Some(1234.5));
+        let kernels = v.get("kernels").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            kernels[0].get("kernel").and_then(JsonValue::as_str),
+            Some("klp")
+        );
+    }
+
+    #[test]
+    fn json_u64_accessor_is_exact() {
+        assert_eq!(parse_json("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1e300").unwrap().as_u64(), None);
+        assert_eq!(parse_json("\"3\"").unwrap().as_u64(), None);
     }
 
     #[test]

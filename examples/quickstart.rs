@@ -46,7 +46,7 @@ fn main() {
     let mut session = Session::new(&collection, &[EntityId(1)], KLp::<AvgDepth>::new(2));
     println!(
         "Initial example {{b}} leaves {} candidates",
-        session.candidates().len()
+        session.candidate_count()
     );
     let mut oracle = SimulatedOracle::new(&target);
     while !session.is_resolved() {

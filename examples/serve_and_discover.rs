@@ -1,0 +1,88 @@
+//! A programmatic client discovering a target through the wire protocol.
+//!
+//! Stands up the discovery service on a loopback TCP port inside this
+//! process, then connects as an ordinary socket client and plays the
+//! paper's opening scenario: knowing its secret set is S5 = {a, b, h, i},
+//! the client answers the service's membership questions truthfully until
+//! the service names the set.
+//!
+//! ```text
+//! cargo run --example serve_and_discover
+//! ```
+
+use interactive_set_discovery::service::server::spawn_tcp;
+use interactive_set_discovery::service::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() {
+    // Server side: a service hosting the paper's Figure 1 collection,
+    // listening on an ephemeral loopback port.
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service
+        .registry()
+        .install_fixture("figure1")
+        .expect("built-in fixture");
+    let (addr, _accept_thread) =
+        spawn_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    println!("service listening on {addr}");
+
+    // Client side: a plain TCP socket speaking line-delimited JSON.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let mut call = move |line: &str| -> String {
+        writeln!(writer, "{line}").expect("send");
+        writer.flush().expect("flush");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("receive");
+        print!("  -> {line}\n  <- {resp}");
+        resp
+    };
+
+    // The secret set the "user" has in mind: S5 = {a, b, h, i}.
+    let secret = ["a", "b", "h", "i"];
+    println!("client's secret set: {{{}}}", secret.join(", "));
+
+    // Open a session with one example entity (Algorithm 2's initial
+    // examples I = {b} narrow the start to the six supersets of b).
+    let resp =
+        call(r#"{"op":"create","collection":"figure1","strategy":"klp","k":2,"examples":["b"]}"#);
+    let session = resp
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .expect("session id")
+        .to_string();
+
+    // Ask/answer until the service reports done.
+    loop {
+        let resp = call(&format!(r#"{{"op":"ask","session":{session}}}"#));
+        if resp.contains("\"done\":true") {
+            let discovered = resp
+                .split("\"discovered\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap_or("<unresolved>");
+            println!("service discovered the set: {discovered}");
+            assert_eq!(discovered, "S5", "the wire protocol found the right set");
+            break;
+        }
+        let entity = resp
+            .split("\"entity\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("question entity");
+        let answer = if secret.contains(&entity) {
+            "yes"
+        } else {
+            "no"
+        };
+        call(&format!(
+            r#"{{"op":"answer","session":{session},"entity":"{entity}","answer":"{answer}"}}"#
+        ));
+    }
+    call(&format!(r#"{{"op":"close","session":{session}}}"#));
+    println!("done.");
+}

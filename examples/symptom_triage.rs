@@ -164,7 +164,7 @@ fn main() {
         let mut session = Session::new(&collection, &reported, strategy);
         println!(
             "[{label}] {} candidate diagnoses after intake",
-            session.candidates().len()
+            session.candidate_count()
         );
         let mut oracle = SimulatedOracle::new(&truth);
         while !session.is_resolved() {

@@ -6,6 +6,8 @@
 //! * [`synth`] — synthetic workloads (copy-add collections, simulated web
 //!   tables).
 //! * [`relation`] — the relational substrate for query discovery.
+//! * [`service`] — the concurrent multi-session discovery service (snapshot
+//!   registry, session table, JSON wire protocol, load harness).
 //! * [`eval`] — experiment harness reproducing every paper table/figure.
 //! * [`util`] — shared substrate (hashing, bitsets, exact log math, PRNG).
 //!
@@ -17,6 +19,7 @@
 pub use setdisc_core as core;
 pub use setdisc_eval as eval;
 pub use setdisc_relation as relation;
+pub use setdisc_service as service;
 pub use setdisc_synth as synth;
 pub use setdisc_util as util;
 

@@ -1,0 +1,136 @@
+//! Property tests for `core::io`: text-format round-trips over random
+//! collections, plus exhaustive error-path coverage for malformed input.
+
+use interactive_set_discovery::core::io::{parse_collection, write_collection, NamedCollection};
+use interactive_set_discovery::core::SetId;
+use proptest::prelude::*;
+
+/// Random collection *text*: up to `max_sets` unique non-empty sets over a
+/// small universe, named `n<i>`, with comment and blank lines sprinkled in.
+fn arb_collection_text(max_sets: usize, universe: u32) -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..universe, 1..=(universe as usize).min(10)),
+        1..=max_sets,
+    )
+    .prop_map(|sets| {
+        let mut text = String::from("# generated\n\n");
+        for (i, set) in sets.iter().enumerate() {
+            text.push_str(&format!("n{i}:"));
+            for e in set {
+                text.push_str(&format!(" x{e}"));
+            }
+            if i % 3 == 0 {
+                text.push_str("  # trailing comment");
+            }
+            text.push('\n');
+            if i % 4 == 1 {
+                text.push('\n'); // blank separator line
+            }
+        }
+        text
+    })
+}
+
+/// Canonical structure of a named collection: for each set, its name and
+/// the sorted member names (entity ids are assignment-order artifacts, so
+/// comparisons go through names).
+fn shape(named: &NamedCollection) -> Vec<(String, Vec<String>)> {
+    named
+        .collection
+        .iter()
+        .map(|(id, set)| {
+            let mut members: Vec<String> = set.iter().map(|e| named.entities.display(e)).collect();
+            members.sort();
+            (named.set_name(id).to_string(), members)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse ∘ write is the identity on parsed collections:
+    /// `parse(write(c))` has exactly the sets, names, and members of `c`.
+    #[test]
+    fn parse_write_roundtrip(text in arb_collection_text(16, 20)) {
+        let first = parse_collection(&text).expect("generated text parses");
+        let written = write_collection(&first);
+        let second = parse_collection(&written).expect("written text parses");
+        prop_assert_eq!(shape(&first), shape(&second));
+        // Whatever duplicates the random input had, `first` is already
+        // deduplicated, so its serialization must re-parse cleanly.
+        prop_assert_eq!(second.duplicates_dropped, 0);
+        // And write is idempotent from there on.
+        prop_assert_eq!(write_collection(&second), written);
+    }
+
+    /// Parsing never panics on arbitrary printable input — it returns
+    /// `Ok` or a structured error.
+    #[test]
+    fn parse_is_total_on_printable_text(
+        lines in prop::collection::vec(prop::collection::vec(32u8..127, 0usize..24), 0usize..12)
+    ) {
+        let text = lines
+            .iter()
+            .map(|bytes| bytes.iter().map(|&b| b as char).collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = parse_collection(&text);
+    }
+}
+
+#[test]
+fn duplicate_sets_drop_with_their_names() {
+    let named = parse_collection("a: x y\nb: y x\nc: z\nd: z\n").unwrap();
+    assert_eq!(named.collection.len(), 2);
+    assert_eq!(named.duplicates_dropped, 2);
+    assert_eq!(named.set_name(SetId(0)), "a");
+    assert_eq!(named.set_name(SetId(1)), "c");
+    // The round-trip of a deduplicated collection is clean.
+    let again = parse_collection(&write_collection(&named)).unwrap();
+    assert_eq!(shape(&named), shape(&again));
+}
+
+#[test]
+fn malformed_inputs_error_with_line_context() {
+    // (input, substring the error must mention)
+    let cases = [
+        ("", "no sets"),
+        ("# only comments\n\n", "no sets"),
+        (": x y\n", "line 1"),
+        ("a: x\n: y\n", "line 2"),
+        ("name:\n", "no members"),
+        ("name: # all comment\n", "no members"),
+        ("a: x\nb:\n", "line 2"),
+    ];
+    for (input, needle) in cases {
+        let Err(err) = parse_collection(input) else {
+            panic!("{input:?} should fail to parse");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains(needle),
+            "input {input:?}: error {msg:?} should mention {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn crlf_and_whitespace_are_tolerated() {
+    let named = parse_collection("a: x\ty\r\n\r\nb:  z \r\n").unwrap();
+    assert_eq!(named.collection.len(), 2);
+    let shape0 = shape(&named);
+    let again = parse_collection(&write_collection(&named)).unwrap();
+    assert_eq!(shape0, shape(&again));
+}
+
+#[test]
+fn unnamed_sets_get_stable_generated_names() {
+    let named = parse_collection("x y\nz\n").unwrap();
+    assert_eq!(named.set_name(SetId(0)), "S0");
+    assert_eq!(named.set_name(SetId(1)), "S1");
+    // Generated names survive the round-trip as real names.
+    let again = parse_collection(&write_collection(&named)).unwrap();
+    assert_eq!(again.set_name(SetId(0)), "S0");
+    assert_eq!(shape(&named), shape(&again));
+}
