@@ -27,8 +27,10 @@ run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smok
 
 # Bench smoke: hot-path kernels at smoke scale, emitting the JSON perf
 # artifact. The committed BENCH_hotpath.json is the baseline perf PRs
-# compare against; regenerate it with this same command on a quiet machine.
-run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke --out "$PWD/BENCH_hotpath.json"
+# compare against; --compare prints per-kernel deltas against it (read
+# before the file is overwritten). Regenerate on a quiet machine.
+run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke \
+    --compare "$PWD/BENCH_hotpath.json" --out "$PWD/BENCH_hotpath.json"
 
 # Service wire-protocol smoke: the serve binary (stdio transport) must
 # reproduce the committed golden transcript byte for byte. (The same pair

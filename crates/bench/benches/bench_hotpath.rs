@@ -5,15 +5,22 @@
 //!
 //! ```text
 //! cargo bench -p setdisc-bench --bench bench_hotpath -- \
-//!     --scale smoke --out BENCH_hotpath.json [--filter substr]
+//!     --scale smoke --out BENCH_hotpath.json \
+//!     [--filter substr] [--compare BASELINE.json]
 //! ```
+//!
+//! `--compare` reads a previously emitted document *before* running (so it
+//! may name the same path as `--out`) and prints per-kernel median deltas
+//! after the run — the workflow `ci.sh` uses to show every PR's effect on
+//! the committed baseline.
 
-use setdisc_bench::hotpath::{run_kernels, to_json, HotpathScale};
+use setdisc_bench::hotpath::{compare_lines, run_kernels, to_json, HotpathScale};
 
 fn main() {
     let mut scale = HotpathScale::Smoke;
     let mut out: Option<String> = None;
     let mut filter: Option<String> = None;
+    let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,13 +31,32 @@ fn main() {
             }
             "--out" => out = Some(args.next().expect("--out needs a path")),
             "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
+            "--compare" => compare = Some(args.next().expect("--compare needs a path")),
             // `cargo bench` passes --bench through to the target; ignore it
             // and any other criterion-style flag so the harness composes.
             _ => {}
         }
     }
 
+    // Read the baseline up front: --compare and --out may be the same file.
+    let baseline = compare.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        (path, text)
+    });
+
     let reports = run_kernels(scale, filter.as_deref());
+    if let Some((path, text)) = &baseline {
+        eprintln!("vs baseline {path}:");
+        match compare_lines(text, &reports) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("{line}");
+                }
+            }
+            Err(e) => eprintln!("  (comparison unavailable: {e})"),
+        }
+    }
     let doc = to_json(scale, &reports);
     match &out {
         Some(path) => {

@@ -11,8 +11,8 @@ use setdisc_core::builder::build_tree;
 use setdisc_core::cost::AvgDepth;
 use setdisc_core::lookahead::{GainK, KLp};
 use setdisc_core::optimal::OptimalSolver;
-use setdisc_core::subcollection::CountScratch;
-use setdisc_util::report::{fmt_duration, JsonObject};
+use setdisc_core::subcollection::{CountScratch, SubStorage};
+use setdisc_util::report::{fmt_duration, parse_json, JsonObject, JsonValue};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -146,7 +146,7 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
     // Fig. 3 kernel: k-LP tree build over a copy-add collection (α = 0.9,
     // d = 10–15) — the headline construction-throughput workload.
     let n_tree = scale.pick(120, 300);
-    let samples = scale.pick(5, 15);
+    let samples = scale.pick(9, 15);
     let copyadd = crate::synthetic(n_tree, 0.9);
     for k in [2u32, 3] {
         run(
@@ -161,6 +161,36 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
             },
         );
     }
+
+    // Parallel vs forced-sequential selection loop on the same k=3 build.
+    // The parallel kernel uses the pool default thread count with a
+    // permissive dispatch gate; on a single-core host it degenerates to
+    // the sequential path (the pool reports one worker), so comparing the
+    // two kernels shows exactly what the machine buys.
+    run(
+        &format!("klp_k3_tree_seq_copyadd_n{n_tree}"),
+        samples,
+        1,
+        "trees",
+        &mut || {
+            let mut s = KLp::<AvgDepth>::new(3).with_threads(1);
+            let tree = build_tree(&copyadd.full_view(), &mut s).expect("tree");
+            tree.total_depth()
+        },
+    );
+    run(
+        &format!("klp_k3_tree_par_copyadd_n{n_tree}"),
+        samples,
+        1,
+        "trees",
+        &mut || {
+            let mut s = KLp::<AvgDepth>::new(3)
+                .with_threads(0)
+                .with_parallel_gate(4, 64);
+            let tree = build_tree(&copyadd.full_view(), &mut s).expect("tree");
+            tree.total_depth()
+        },
+    );
 
     // Same kernel on web-table seed-query sub-collections.
     let (web, lists) = crate::web_subcollections(15, 3, scale.pick(40, 60));
@@ -222,6 +252,21 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
         },
     );
 
+    // The same counting pass forced through the bitmap machinery: each
+    // occurring entity's postings intersected with the view bitmap,
+    // fingerprints included (the k-LP candidate-generation shape).
+    run(
+        &format!("count_entities_bitmap_n{}", big.len()),
+        samples.max(10),
+        elements,
+        "elements",
+        &mut || {
+            let mut out = Vec::new();
+            big_view.count_entities_with_fp_postings(&mut out);
+            out.len() as u64
+        },
+    );
+
     // Partition sweep: split the big view on each of a slice of entities.
     let mut scratch = CountScratch::new();
     let informative = big_view.informative_entities(&mut scratch);
@@ -245,7 +290,93 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
         },
     );
 
+    // The pure bitmap split kernel: same probes, storage recycled, so the
+    // timing is AND/ANDNOT + popcount + yes-side fingerprint only.
+    run(
+        &format!("partition_bitmap_n{}", big.len()),
+        samples.max(10),
+        probes.len() as u64,
+        "partitions",
+        &mut || {
+            let mut acc = 0u64;
+            let mut yes = SubStorage::new();
+            let mut no = SubStorage::new();
+            for &e in &probes {
+                let (y, n) = big_view.partition_into(e, yes, no);
+                acc = acc.wrapping_add(y.len() as u64 ^ n.len() as u64);
+                yes = y.into_storage();
+                no = n.into_storage();
+            }
+            acc
+        },
+    );
+
+    // The id-vector merge reference the bitmap kernels replaced (also the
+    // correctness oracle the property tests pin against).
+    run(
+        &format!("partition_merge_n{}", big.len()),
+        samples.max(10),
+        probes.len() as u64,
+        "partitions",
+        &mut || {
+            let mut acc = 0u64;
+            let mut yes = SubStorage::new();
+            let mut no = SubStorage::new();
+            for &e in &probes {
+                let (y, n) = big_view.partition_into_merge(e, yes, no);
+                acc = acc.wrapping_add(y.len() as u64 ^ n.len() as u64);
+                yes = y.into_storage();
+                no = n.into_storage();
+            }
+            acc
+        },
+    );
+
     reports
+}
+
+/// Renders a per-kernel comparison of `reports` against a previously
+/// emitted `BENCH_hotpath.json` document, one line per kernel
+/// (`name old → new speedup`); kernels present on only one side are
+/// called out. Errors on unparseable baselines.
+pub fn compare_lines(baseline_json: &str, reports: &[KernelReport]) -> Result<Vec<String>, String> {
+    let doc = parse_json(baseline_json).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_array)
+        .ok_or("baseline has no kernels array")?;
+    let mut old: Vec<(String, f64)> = Vec::new();
+    for k in kernels {
+        let name = k
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .ok_or("kernel entry without a name")?;
+        let median = k
+            .get("median_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or("kernel entry without median_ns")?;
+        old.push((name.to_string(), median));
+    }
+    let mut lines = Vec::new();
+    for rep in reports {
+        match old.iter().find(|(name, _)| *name == rep.name) {
+            Some((_, old_ns)) if rep.median_ns > 0.0 => lines.push(format!(
+                "{:>32}  {:>10} -> {:>10}  {:>6.2}x",
+                rep.name,
+                fmt_duration(Duration::from_nanos(*old_ns as u64)),
+                fmt_duration(Duration::from_nanos(rep.median_ns as u64)),
+                old_ns / rep.median_ns,
+            )),
+            Some(_) => {}
+            None => lines.push(format!("{:>32}  (new kernel, no baseline)", rep.name)),
+        }
+    }
+    for (name, _) in &old {
+        if !reports.iter().any(|r| r.name == *name) {
+            lines.push(format!("{name:>32}  (in baseline only)"));
+        }
+    }
+    Ok(lines)
 }
 
 /// Encodes the reports as the `BENCH_hotpath.json` document.
@@ -279,6 +410,47 @@ mod tests {
         assert!(doc.contains("\"bench\":\"hotpath\""));
         assert!(doc.contains("\"scale\":\"smoke\""));
         assert!(doc.contains("\"kernel\":\"noop\""));
+    }
+
+    #[test]
+    fn compare_reports_speedups_and_mismatches() {
+        let mut fast = time_kernel("shared", 2, 1, "items", || 1);
+        fast.median_ns = 500.0;
+        let baseline = to_json(
+            HotpathScale::Smoke,
+            &[
+                KernelReport {
+                    name: "shared".into(),
+                    median_ns: 1000.0,
+                    mean_ns: 1000.0,
+                    samples: 2,
+                    items_per_iter: 1,
+                    unit: "items",
+                },
+                KernelReport {
+                    name: "retired".into(),
+                    median_ns: 10.0,
+                    mean_ns: 10.0,
+                    samples: 2,
+                    items_per_iter: 1,
+                    unit: "items",
+                },
+            ],
+        )
+        .encode();
+        let mut fresh = time_kernel("fresh", 2, 1, "items", || 1);
+        fresh.median_ns = 7.0;
+        let lines = compare_lines(&baseline, &[fast, fresh]).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("shared") && lines[0].contains("2.00x"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("no baseline"));
+        assert!(lines[2].contains("in baseline only"));
+        assert!(compare_lines("not json", &[]).is_err());
+        assert!(compare_lines("{\"bench\":\"hotpath\"}", &[]).is_err());
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub fn build_tree(
 
     while let Some((sub, slot)) = stack.pop() {
         if sub.len() == 1 {
-            nodes[slot as usize] = Node::Leaf { set: sub.ids()[0] };
+            let set = sub.first_id().expect("singleton view has a member");
+            nodes[slot as usize] = Node::Leaf { set };
             continue;
         }
         let entity = strategy

@@ -5,10 +5,18 @@
 //! * `sets[set_id]` — the sorted entity list of each set, and
 //! * `inverted[entity_id]` — the sorted list of sets containing each entity.
 //!
+//! Two derived indexes are built once and shared by every view/session over
+//! the collection: the [`EntityPostings`] bitmap form of the inverted index
+//! (frequent entities get a dense `SetId` bitmap so partitioning is
+//! word-parallel — see [`crate::bitset`]) and a per-set [`Fingerprint`]
+//! table so hot paths sum content digests by lookup instead of rehashing
+//! ids.
+//!
 //! The paper assumes sets are unique (§3); [`CollectionBuilder`] enforces
 //! this by construction and reports how many duplicates it dropped, so noisy
 //! loaders (web tables) can surface the statistic.
 
+use crate::bitset::EntityPostings;
 use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
 use crate::set::EntitySet;
@@ -24,6 +32,10 @@ static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 pub struct Collection {
     sets: Vec<EntitySet>,
     inverted: Vec<Vec<SetId>>,
+    postings: EntityPostings,
+    set_fps: Vec<Fingerprint>,
+    set_sizes: Vec<u32>,
+    occurring: Vec<EntityId>,
     universe: u32,
     distinct: usize,
     token: u64,
@@ -93,6 +105,42 @@ impl Collection {
     #[inline]
     pub fn sets_containing(&self, e: EntityId) -> &[SetId] {
         self.inverted.get(e.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The bitmap form of the inverted index (dense bitmaps for frequent
+    /// entities), built once at construction and shared by every view.
+    #[inline]
+    pub fn postings(&self) -> &EntityPostings {
+        &self.postings
+    }
+
+    /// The content digest of set id `id` as a member of a view — a table
+    /// lookup of [`crate::subcollection::fp_of_set`]'s value, so hot loops
+    /// never rehash ids. Panics if out of range.
+    #[inline]
+    pub fn set_fp(&self, id: SetId) -> Fingerprint {
+        self.set_fps[id.0 as usize]
+    }
+
+    /// Size of set `id` from a flat table (no per-set pointer chase —
+    /// views maintain their element totals incrementally through splits).
+    #[inline]
+    pub fn set_size(&self, id: SetId) -> u32 {
+        self.set_sizes[id.0 as usize]
+    }
+
+    /// The entities occurring in at least one set, id-sorted — the sweep
+    /// domain of postings-driven counting.
+    #[inline]
+    pub fn occurring_entities(&self) -> &[EntityId] {
+        &self.occurring
+    }
+
+    /// Words per [`crate::bitset::IdBitmap`] over this collection's id
+    /// space.
+    #[inline]
+    pub fn bitmap_words(&self) -> usize {
+        crate::bitset::IdBitmap::words_for(self.sets.len())
     }
 
     /// A view over the whole collection.
@@ -253,11 +301,26 @@ impl CollectionBuilder {
             }
         }
         // Set ids were appended in increasing order, so lists are sorted.
-        let distinct = inverted.iter().filter(|l| !l.is_empty()).count();
+        let occurring: Vec<EntityId> = inverted
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(e, _)| EntityId(e as u32))
+            .collect();
+        let distinct = occurring.len();
+        let postings = EntityPostings::build(&inverted, self.sets.len());
+        let set_fps: Vec<Fingerprint> = (0..self.sets.len() as u32)
+            .map(|i| crate::subcollection::fp_of_set(SetId(i)))
+            .collect();
+        let set_sizes: Vec<u32> = self.sets.iter().map(|s| s.len() as u32).collect();
         Ok(BuiltCollection {
             collection: Collection {
                 sets: self.sets,
                 inverted,
+                postings,
+                set_fps,
+                set_sizes,
+                occurring,
                 universe,
                 distinct,
                 token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
@@ -352,6 +415,28 @@ mod tests {
         let b = figure1();
         assert_ne!(a.token(), b.token());
         assert_eq!(a.token(), a.token());
+    }
+
+    #[test]
+    fn derived_indexes_match_inverted_lists() {
+        let c = figure1();
+        // 7 sets → one bitmap word → every occurring entity is dense.
+        assert_eq!(c.bitmap_words(), 1);
+        for e in 0..c.universe() {
+            let e = EntityId(e);
+            let list = c.sets_containing(e);
+            match c.postings().dense(e) {
+                Some(bm) => assert_eq!(bm.iter().collect::<Vec<_>>(), list),
+                None => assert!(list.is_empty()),
+            }
+        }
+        assert_eq!(
+            c.occurring_entities(),
+            (0..11).map(EntityId).collect::<Vec<_>>()
+        );
+        for (id, _) in c.iter() {
+            assert_eq!(c.set_fp(id), crate::subcollection::fp_of_set(id));
+        }
     }
 
     #[test]

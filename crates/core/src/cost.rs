@@ -167,6 +167,59 @@ pub fn lb1<M: CostModel>(n: u64, n1: u64) -> Cost {
     M::combine(n, M::lb0(n1), M::lb0(n - n1))
 }
 
+/// A dense per-search memo of `LB₀` values indexed by collection size.
+///
+/// The candidate-ranking loops evaluate `LB₁` for every informative entity
+/// of every lookahead node; for [`AvgDepth`] each evaluation would probe
+/// the thread-local `⌈n·log₂ n⌉` memo twice, and the thread-local access
+/// plus bounds discipline showed up in tree-construction profiles. A
+/// search-owned flat table turns the pair into two indexed loads. Sizes are
+/// bounded by the largest view the search ever sees, so the table is filled
+/// once per search (and only grows).
+pub struct Lb0Table<M: CostModel> {
+    vals: Vec<Cost>,
+    _metric: std::marker::PhantomData<M>,
+}
+
+impl<M: CostModel> Default for Lb0Table<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: CostModel> Lb0Table<M> {
+    /// Empty table; fill with [`Self::ensure`].
+    pub fn new() -> Self {
+        Self {
+            vals: vec![0],
+            _metric: std::marker::PhantomData,
+        }
+    }
+
+    /// Extends the table to cover sizes `0..=n`.
+    pub fn ensure(&mut self, n: u64) {
+        let want = n as usize + 1;
+        if self.vals.len() < want {
+            for i in self.vals.len()..want {
+                self.vals.push(M::lb0(i as u64));
+            }
+        }
+    }
+
+    /// `LB₀(n)`; `n` must be covered by a prior [`Self::ensure`].
+    #[inline]
+    pub fn lb0(&self, n: u64) -> Cost {
+        self.vals[n as usize]
+    }
+
+    /// `LB₁` of an `n1`/`n − n1` split, from two table loads.
+    #[inline]
+    pub fn lb1(&self, n: u64, n1: u64) -> Cost {
+        debug_assert!(n1 >= 1 && n1 < n, "entity must be informative");
+        M::combine(n, self.lb0(n1), self.lb0(n - n1))
+    }
+}
+
 /// Partition imbalance `||C₁| − |C₂||` — the sort key realizing "most even
 /// partitioning first" (§4.4.1, line 11 of Algorithm 1).
 #[inline]
@@ -283,6 +336,24 @@ mod tests {
     fn display_unscales() {
         assert!((AvgDepth::display(20, 7) - 2.857142857).abs() < 1e-9);
         assert_eq!(Height::display(3, 7), 3.0);
+    }
+
+    #[test]
+    fn lb0_table_matches_direct_evaluation() {
+        let mut ad = Lb0Table::<AvgDepth>::new();
+        let mut h = Lb0Table::<Height>::new();
+        ad.ensure(10);
+        ad.ensure(3); // shrinking request is a no-op
+        ad.ensure(100);
+        h.ensure(100);
+        for n in 1..=100u64 {
+            assert_eq!(ad.lb0(n), AvgDepth::lb0(n), "AD n={n}");
+            assert_eq!(h.lb0(n), Height::lb0(n), "H n={n}");
+            for n1 in 1..n {
+                assert_eq!(ad.lb1(n, n1), lb1::<AvgDepth>(n, n1), "AD {n1}/{n}");
+                assert_eq!(h.lb1(n, n1), lb1::<Height>(n, n1), "H {n1}/{n}");
+            }
+        }
     }
 
     #[test]

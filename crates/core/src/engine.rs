@@ -15,8 +15,9 @@
 //! [`crate::discovery::Session`], while an `Arc<Collection>` (or any other
 //! cheaply-cloneable owning handle) gives [`OwnedSession`] — a `'static`,
 //! `Send` value that can be parked in a session table and resumed from any
-//! thread. Candidate state is a sorted id vector plus its 128-bit
-//! fingerprint; every narrowing step recycles the id buffers through
+//! thread. Candidate state is a [`SubStorage`] (sorted id vector plus its
+//! dense bitmap) and its 128-bit fingerprint; every narrowing step recycles
+//! the storage buffers through the word-parallel
 //! [`SubCollection::partition_into`], so steady-state stepping performs no
 //! heap allocation beyond what the strategy itself needs.
 
@@ -25,7 +26,7 @@ use crate::discovery::{Answer, Oracle, Outcome};
 use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
 use crate::strategy::SelectionStrategy;
-use crate::subcollection::SubCollection;
+use crate::subcollection::{SubCollection, SubStorage};
 use setdisc_util::{Fingerprint, FxHashSet};
 use std::mem;
 use std::ops::Deref;
@@ -51,10 +52,10 @@ impl<T: Deref<Target = Collection> + Clone> CollectionRef for T {}
 /// [`Self::run_bounded`] drivers when answers come from an [`Oracle`].
 pub struct Engine<C, S> {
     collection: C,
-    ids: Vec<SetId>,
+    store: SubStorage,
     fp: Fingerprint,
-    spare_a: Vec<SetId>,
-    spare_b: Vec<SetId>,
+    spare_a: SubStorage,
+    spare_b: SubStorage,
     strategy: S,
     excluded: FxHashSet<EntityId>,
     history: Vec<(EntityId, Answer)>,
@@ -73,8 +74,8 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     pub fn new(collection: C, initial: &[EntityId], strategy: S) -> Self {
         let view = collection.supersets_of(initial);
         let fp = view.fingerprint();
-        let ids = view.into_ids();
-        Self::from_parts(collection, ids, fp, strategy)
+        let store = view.into_storage();
+        Self::from_parts(collection, store, fp, strategy)
     }
 
     /// Starts an engine over an explicit candidate id list (sorted and
@@ -83,17 +84,17 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     pub fn with_candidates(collection: C, ids: Vec<SetId>, strategy: S) -> Self {
         let view = SubCollection::from_ids(collection.deref(), ids);
         let fp = view.fingerprint();
-        let ids = view.into_ids();
-        Self::from_parts(collection, ids, fp, strategy)
+        let store = view.into_storage();
+        Self::from_parts(collection, store, fp, strategy)
     }
 
-    fn from_parts(collection: C, ids: Vec<SetId>, fp: Fingerprint, strategy: S) -> Self {
+    fn from_parts(collection: C, store: SubStorage, fp: Fingerprint, strategy: S) -> Self {
         Self {
             collection,
-            ids,
+            store,
             fp,
-            spare_a: Vec::new(),
-            spare_b: Vec::new(),
+            spare_a: SubStorage::default(),
+            spare_b: SubStorage::default(),
             strategy,
             excluded: FxHashSet::default(),
             history: Vec::new(),
@@ -110,24 +111,28 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// Sorted ids of the candidate sets still consistent with every answer.
     #[inline]
     pub fn candidate_ids(&self) -> &[SetId] {
-        &self.ids
+        &self.store.ids
     }
 
     /// Number of candidate sets remaining.
     #[inline]
     pub fn candidate_count(&self) -> usize {
-        self.ids.len()
+        self.store.ids.len()
     }
 
     /// A fresh view over the current candidates (clones the id list; meant
     /// for inspection and reporting, not the stepping hot path).
     pub fn candidates(&self) -> SubCollection<'_> {
-        SubCollection::from_parts_unchecked(self.collection.deref(), self.ids.clone(), self.fp)
+        SubCollection::from_parts_unchecked(
+            self.collection.deref(),
+            self.store.ids.clone(),
+            self.fp,
+        )
     }
 
     /// True when at most one candidate remains.
     pub fn is_resolved(&self) -> bool {
-        self.ids.len() <= 1
+        self.store.ids.len() <= 1
     }
 
     /// Questions answered yes/no so far.
@@ -166,10 +171,10 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         if self.is_resolved() {
             return None;
         }
-        let ids = mem::take(&mut self.ids);
-        let view = SubCollection::from_parts_unchecked(self.collection.deref(), ids, self.fp);
+        let store = mem::take(&mut self.store);
+        let view = SubCollection::from_storage_unchecked(self.collection.deref(), store, self.fp);
         let pick = self.strategy.select_excluding(&view, &self.excluded);
-        self.ids = view.into_ids();
+        self.store = view.into_storage();
         pick
     }
 
@@ -185,11 +190,11 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         match answer {
             Answer::Yes | Answer::No => {
                 self.questions += 1;
-                let ids = mem::take(&mut self.ids);
+                let store = mem::take(&mut self.store);
                 let yes_buf = mem::take(&mut self.spare_a);
                 let no_buf = mem::take(&mut self.spare_b);
                 let view =
-                    SubCollection::from_parts_unchecked(self.collection.deref(), ids, self.fp);
+                    SubCollection::from_storage_unchecked(self.collection.deref(), store, self.fp);
                 let (yes, no) = view.partition_into(entity, yes_buf, no_buf);
                 let (keep, discard) = if answer == Answer::Yes {
                     (yes, no)
@@ -197,9 +202,15 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
                     (no, yes)
                 };
                 self.fp = keep.fingerprint();
-                self.ids = keep.into_ids();
-                self.spare_a = discard.into_ids();
-                self.spare_b = view.into_ids();
+                // Materialize the surviving ids eagerly: the engine's
+                // public accessors ([`Self::candidate_ids`],
+                // [`Self::outcome`]) borrow them, and the next
+                // [`Self::next_question`] resumes through the
+                // materialized-storage fast path.
+                let _ = keep.ids();
+                self.store = keep.into_storage();
+                self.spare_a = discard.into_storage();
+                self.spare_b = view.into_storage();
             }
             Answer::Unknown => {
                 self.unknowns += 1;
@@ -211,7 +222,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// Snapshot of the current state as an [`Outcome`].
     pub fn outcome(&self) -> Outcome {
         Outcome {
-            candidates: self.ids.clone(),
+            candidates: self.store.ids.clone(),
             questions: self.questions,
             unknowns: self.unknowns,
         }
@@ -237,7 +248,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
             };
             let answer = oracle.answer(entity);
             self.answer(entity, answer);
-            if self.ids.is_empty() {
+            if self.store.ids.is_empty() {
                 return Err(SetDiscError::ContradictoryAnswers {
                     after_questions: self.questions,
                 });
@@ -253,8 +264,12 @@ impl<'c, S: SelectionStrategy> Engine<&'c Collection, S> {
     pub fn over(candidates: SubCollection<'c>, strategy: S) -> Self {
         let collection = candidates.collection();
         let fp = candidates.fingerprint();
-        let ids = candidates.into_ids();
-        Self::from_parts(collection, ids, fp, strategy)
+        // The view may arrive lazily materialized (e.g. straight out of a
+        // partition); the engine's storage invariant requires the id
+        // vector, so force the decode before taking the buffers.
+        let _ = candidates.ids();
+        let store = candidates.into_storage();
+        Self::from_parts(collection, store, fp, strategy)
     }
 }
 
@@ -349,6 +364,23 @@ mod tests {
     }
 
     #[test]
+    fn over_accepts_lazily_materialized_views() {
+        // A partition child arrives with its id vector unmaterialized; the
+        // engine must still see every candidate (regression: `over` once
+        // stored the empty lazy vector, reporting an instantly resolved
+        // session).
+        let c = figure1();
+        let (yes, _) = c.full_view().partition(crate::entity::EntityId(3));
+        assert_eq!(yes.len(), 3);
+        let mut engine = Engine::over(yes, MostEven::new());
+        assert_eq!(engine.candidate_count(), 3);
+        assert!(!engine.is_resolved());
+        let target = c.set(crate::entity::SetId(1)).clone();
+        let outcome = engine.run(&mut SimulatedOracle::new(&target)).unwrap();
+        assert_eq!(outcome.discovered(), Some(crate::entity::SetId(1)));
+    }
+
+    #[test]
     fn with_candidates_sorts_and_dedups() {
         let c = figure1();
         use crate::entity::SetId;
@@ -377,7 +409,7 @@ mod tests {
             engine.answer(e, a);
         }
         assert_eq!(engine.outcome().discovered(), Some(crate::entity::SetId(5)));
-        assert!(engine.spare_a.capacity() <= 7);
-        assert!(engine.spare_b.capacity() <= 7);
+        assert!(engine.spare_a.ids.capacity() <= 7);
+        assert!(engine.spare_b.ids.capacity() <= 7);
     }
 }

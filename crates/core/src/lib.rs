@@ -42,6 +42,9 @@
 //! * [`entity`], [`set`], [`collection`], [`subcollection`] — the data model:
 //!   interned entities, sorted sets, deduplicated collections with an
 //!   inverted index, and lightweight sub-collection views.
+//! * [`bitset`] — the word-parallel substrate under the hot kernels:
+//!   dense `SetId` bitmaps and the per-collection entity-postings index
+//!   that make partitioning an `AND`/`ANDNOT` + popcount pass.
 //! * [`cost`] — the AD/H cost models and lower bounds of §3–4.1, in exact
 //!   integer arithmetic.
 //! * [`strategy`] — greedy entity selection: most-even partitioning,
@@ -65,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bitset;
 pub mod builder;
 pub mod collection;
 pub mod cost;

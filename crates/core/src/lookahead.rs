@@ -11,9 +11,12 @@
 //!
 //! Pruning (Lemma 4.4) is applied in the two places §4.3.1 describes:
 //!
-//! 1. candidates are sorted by 1-step lower bound (≡ most-even first); the
+//! 1. candidates are ranked by 1-step lower bound (≡ most-even first); the
 //!    scan stops at the first candidate whose `LB₁` already reaches the best
-//!    `LB_k` found (the paper's AFLV), pruning it and every later candidate;
+//!    `LB_k` found (the paper's AFLV), pruning it and every later candidate.
+//!    The ranking is *lazy* (see `Ranked`): only the consumed prefix is ever
+//!    sorted (via repeated `select_nth` partitioning), because the early
+//!    exit typically visits a handful of the hundreds of candidates;
 //! 2. recursive calls receive exclusive upper limits (eqs. 11–14); a child
 //!    that cannot beat its limit returns "pruned" and the candidate is
 //!    abandoned without computing the other child.
@@ -26,23 +29,44 @@
 //! vector per entry; see `setdisc_util::hash` for the collision bound.
 //!
 //! The recursion itself is allocation-free in steady state: candidate lists,
-//! counting buffers, and the yes/no id buffers of every split live in a
-//! depth-indexed [`LookaheadScratch`] arena, and duplicate-partition
-//! candidates (entities with identical membership across the member sets)
-//! are dropped using membership fingerprints computed in the counting pass —
-//! *before* any partition is materialized.
+//! counting buffers, and the storage of every split live in a depth-indexed
+//! [`LookaheadScratch`] arena; splits are word-parallel bitmap kernels
+//! ([`SubCollection::partition_into`]); `LB₀` values come from a per-search
+//! [`Lb0Table`]; and duplicate-partition candidates (entities with
+//! identical membership across the member sets) are dropped on the
+//! membership digest the split computes as a byproduct, before any bound
+//! work happens — which frees candidate generation to use the
+//! fingerprint-free counting pass.
+//!
+//! # Parallel selection
+//!
+//! At the selection level (`is_top`), the candidate loop can fan out over
+//! the [`setdisc_util::pool`] worker pool **without giving up Lemma-4.4
+//! losslessness**: after a short sequential warm-up establishes a finite
+//! incumbent bound, the surviving candidates are claimed in rank order by
+//! worker threads that share an atomic incumbent (`fetch_min` of every
+//! exact bound found) and keep private memo caches and scratch arenas. Any
+//! bound a worker computes under *some* upper limit is either the exact
+//! `LB_k` of its candidate (usable regardless of timing) or a proof that
+//! the candidate cannot beat that limit; a deterministic **replay** on the
+//! calling thread then reconstructs the sequential scan — re-evaluating
+//! the rare candidate whose recorded pruning limit was tighter than the
+//! replay's running bound at that point — so the selected entity and bound
+//! are bit-identical to the single-threaded path (deterministic
+//! min-entity-id tie-break included). See DESIGN.md §8 for the argument.
 //!
 //! [`GainK`] is the unpruned k-step lookahead baseline in the style of
 //! Esmeir & Markovitch's *gain-k* — identical recursion, no sorting-based
 //! early exit, no upper limits, no memoization — used by the Figure 4
 //! speedup experiments.
 
-use crate::cost::{imbalance, lb1, Cost, CostModel, UNBOUNDED};
+use crate::cost::{imbalance, Cost, CostModel, Lb0Table, UNBOUNDED};
 use crate::entity::EntityId;
 use crate::strategy::SelectionStrategy;
-use crate::subcollection::{Candidate, LookaheadScratch, SubCollection};
-use setdisc_util::{Fingerprint, FxHashMap, FxHashSet};
+use crate::subcollection::{Candidate, LookaheadScratch, SubCollection, SubStorage};
+use setdisc_util::{pool, Fingerprint, FxHashMap, FxHashSet};
 use std::mem;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Candidate-limiting mode for [`KLp`] (§4.4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -150,120 +174,90 @@ struct CacheEntry {
     bound: Cost,
 }
 
-/// Algorithm 1: k-lookahead entity selection with pruning, generic over the
-/// cost metric `M` ([`crate::AvgDepth`] or [`crate::Height`]).
-pub struct KLp<M: CostModel> {
-    k: u32,
-    beam: KLpBeam,
-    cache: FxHashMap<CacheKey, CacheEntry>,
-    cache_token: u64,
-    scratch: LookaheadScratch,
-    stats: PruneStats,
-    record_stats: bool,
-    _metric: std::marker::PhantomData<M>,
+/// Total ranking key of Algorithm 1 line 11: most even first (via `LB₁`,
+/// which orders identically for the real-valued cost and is sound for the
+/// ceiling version — see the note in [`SearchCtx::klp`]), ties by
+/// imbalance then entity id. Unique per candidate, so any partial ordering
+/// scheme yields the same sequence.
+#[inline]
+fn rank_key(c: &Candidate) -> (Cost, u64, EntityId) {
+    (c.score, c.imbalance, c.entity)
 }
 
-impl<M: CostModel> KLp<M> {
-    /// k-LP with the full candidate set. `k ≥ 1`; `k = 1` degenerates to the
-    /// 1-step lower bound (≡ InfoGain, Lemma 4.3).
-    pub fn new(k: u32) -> Self {
-        Self::with_beam(k, KLpBeam::Full)
+/// A lazily ranked candidate list: position `i` of the fully sorted order
+/// is computable without sorting the rest. The consumed prefix is extended
+/// geometrically — `select_nth` partitions the unsorted tail, then only the
+/// new chunk is sorted — so a node that early-exits after a handful of
+/// candidates pays `O(m)` instead of `O(m log m)`.
+struct Ranked<'a> {
+    cand: &'a mut [Candidate],
+    sorted: usize,
+}
+
+impl<'a> Ranked<'a> {
+    fn new(cand: &'a mut [Candidate]) -> Self {
+        Self { cand, sorted: 0 }
     }
 
-    /// k-LPLE: beam of `q` most-even candidates at every level.
-    pub fn limited(k: u32, q: usize) -> Self {
-        Self::with_beam(k, KLpBeam::Limited { q })
-    }
-
-    /// k-LPLVE: beam of `q` at the selection level, single candidate below.
-    pub fn limited_variable(k: u32, q: usize) -> Self {
-        Self::with_beam(k, KLpBeam::LimitedVariable { q })
-    }
-
-    /// Fully parameterized constructor.
-    pub fn with_beam(k: u32, beam: KLpBeam) -> Self {
-        assert!(k >= 1, "lookahead depth must be at least 1");
-        if let KLpBeam::Limited { q } | KLpBeam::LimitedVariable { q } = beam {
-            assert!(q >= 1, "beam width must be at least 1");
+    /// The candidate at rank `i` (`i < len`).
+    #[inline]
+    fn get(&mut self, i: usize) -> Candidate {
+        if i >= self.sorted {
+            self.sort_through((i + 1).max(self.sorted * 2).max(16));
         }
-        Self {
-            k,
-            beam,
-            cache: FxHashMap::default(),
-            cache_token: 0,
-            scratch: LookaheadScratch::new(),
-            stats: PruneStats::default(),
-            record_stats: false,
-            _metric: std::marker::PhantomData,
+        self.cand[i]
+    }
+
+    /// Ensures positions `0..target` hold the globally smallest candidates
+    /// in ascending [`rank_key`] order.
+    fn sort_through(&mut self, target: usize) {
+        let target = target.min(self.cand.len());
+        if target <= self.sorted {
+            return;
         }
-    }
-
-    /// Enables per-node prune statistics (Table 4). Off by default: the
-    /// record itself is cheap, but callers usually want a clean slate per
-    /// tree, which this forces them to think about.
-    pub fn record_stats(mut self, on: bool) -> Self {
-        self.record_stats = on;
-        self
-    }
-
-    /// Recorded prune statistics.
-    pub fn stats(&self) -> &PruneStats {
-        &self.stats
-    }
-
-    /// Clears recorded statistics.
-    pub fn clear_stats(&mut self) {
-        self.stats.clear();
-    }
-
-    /// Number of memoized (sub-collection, k) entries.
-    pub fn cache_len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Drops the memo cache (it is also dropped automatically when the
-    /// strategy is used on a different collection).
-    pub fn clear_cache(&mut self) {
-        self.cache.clear();
-    }
-
-    /// Lookahead depth `k`.
-    pub fn k(&self) -> u32 {
-        self.k
-    }
-
-    /// The `LB_k` bound of the entity this strategy would select on `view`,
-    /// in scaled cost units — the quantity eq. (8) defines.
-    pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
-        self.prepare_for(view);
-        let excluded = FxHashSet::default();
-        let (e, l) = self.klp(view, self.k, UNBOUNDED, &excluded, true, 0);
-        e.map(|e| (e, l))
-    }
-
-    fn prepare_for(&mut self, view: &SubCollection<'_>) {
-        let token = view.collection().token();
-        if token != self.cache_token {
-            self.cache.clear();
-            self.cache_token = token;
+        let tail = &mut self.cand[self.sorted..];
+        let take = target - self.sorted;
+        if take < tail.len() {
+            tail.select_nth_unstable_by_key(take - 1, rank_key);
         }
+        tail[..take].sort_unstable_by_key(rank_key);
+        self.sorted = target;
     }
 
-    fn cache_key(view: &SubCollection<'_>, k: u32, is_top: bool) -> CacheKey {
-        (view.fingerprint(), view.len() as u32, k, is_top)
+    /// All candidates (sorted prefix first; tail order unspecified).
+    fn slice(&self) -> &[Candidate] {
+        self.cand
     }
 
-    /// The recursive body of Algorithm 1. Returns `(entity, bound)`:
-    /// `entity` is the argmin when some candidate achieves `LB_k < ul`,
-    /// otherwise `None` with `bound` = the tightest bound knowledge (`ul`).
-    /// `depth` indexes the scratch arena (0 at the selection level).
+    /// How many candidates (in any position) have `LB₁` strictly below
+    /// `ul` — the survivors a parallel phase could still evaluate.
+    fn count_below(&self, ul: Cost) -> usize {
+        self.cand.iter().filter(|c| c.score < ul).count()
+    }
+}
+
+/// The sequential recursion of Algorithm 1 over one cache + scratch arena.
+/// [`KLp`] drives it with its own state; each parallel worker drives one
+/// over private state — the struct is what makes "same recursion, many
+/// arenas" expressible without duplicating the algorithm.
+struct SearchCtx<'a, M: CostModel> {
+    beam: KLpBeam,
+    lb0: &'a Lb0Table<M>,
+    cache: &'a mut FxHashMap<CacheKey, CacheEntry>,
+    scratch: &'a mut LookaheadScratch,
+}
+
+impl<M: CostModel> SearchCtx<'_, M> {
+    /// The recursive body of Algorithm 1 below the selection level.
+    /// Returns `(entity, bound)`: `entity` is the argmin when some
+    /// candidate achieves `LB_k < ul`, otherwise `None` with `bound` = the
+    /// tightest bound knowledge (`ul`). `depth` indexes the scratch arena.
     fn klp(
         &mut self,
         view: &SubCollection<'_>,
         k: u32,
         mut ul: Cost,
         excluded: &FxHashSet<EntityId>,
-        is_top: bool,
         depth: usize,
     ) -> (Option<EntityId>, Cost) {
         let n = view.len() as u64;
@@ -275,7 +269,7 @@ impl<M: CostModel> KLp<M> {
         // answer may be an excluded entity.
         let use_cache = excluded.is_empty();
         let key = if use_cache {
-            let key = Self::cache_key(view, k, is_top);
+            let key: CacheKey = (view.fingerprint(), view.len() as u32, k, false);
             if let Some(entry) = self.cache.get(&key) {
                 if ul <= entry.bound {
                     return (None, entry.bound);
@@ -291,38 +285,31 @@ impl<M: CostModel> KLp<M> {
             None
         };
 
-        // Candidate list, most-even first (line 11); ties by entity id.
-        // One counting pass produces counts *and* membership fingerprints;
-        // the buffers live in the depth-indexed arena.
         let mut level = self.scratch.take_level(depth);
-        view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
-        for s in &level.stats {
-            if !excluded.is_empty() && excluded.contains(&s.entity) {
-                continue;
-            }
-            let n1 = s.count as u64;
-            level.cand.push(Candidate {
-                score: lb1::<M>(n, n1),
-                imbalance: imbalance(n, n1),
-                entity: s.entity,
-                n1,
-                fp: s.fp,
-            });
-        }
-        let informative_total = level.cand.len() as u32;
 
-        // Lines 7–10: base case — the minimal-LB₁ (most even) entity. A
-        // single min pass; no need to rank the losers (the beam can only
-        // truncate candidates *after* the minimum, so the global argmin is
-        // the beam's argmin for every beam width).
+        // Lines 7–10: base case — the minimal-LB₁ (most even) entity from
+        // a fingerprint-free counting pass (no partition happens at k ≤ 1,
+        // so no membership digests are needed and the count-only postings
+        // sweep is pure popcounts). A single min pass; no need to rank the
+        // losers (the beam can only truncate candidates *after* the
+        // minimum, so the global argmin is the beam's argmin for every
+        // beam width).
         if k <= 1 {
-            let result = level
-                .cand
-                .iter()
-                .min_by_key(|c| (c.score, c.imbalance, c.entity))
-                .map(|c| (Some(c.entity), c.score))
+            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+            let mut best: Option<(Cost, u64, EntityId)> = None;
+            for ec in &level.ecounts {
+                if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                    continue;
+                }
+                let n1 = ec.count as u64;
+                let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
+                if best.is_none_or(|b| cand_key < b) {
+                    best = Some(cand_key);
+                }
+            }
+            let result = best
+                .map(|(score, _, e)| (Some(e), score))
                 .unwrap_or((None, 0));
-            let beam_len = level.cand.len().min(self.beam.width(is_top)) as u32;
             self.scratch.put_level(depth, level);
             if let (Some(key), (Some(_), _)) = (key, result) {
                 self.cache.insert(
@@ -333,62 +320,74 @@ impl<M: CostModel> KLp<M> {
                     },
                 );
             }
-            if is_top && self.record_stats {
-                self.stats.nodes.push(NodeStats {
-                    collection_size: n as u32,
-                    informative: informative_total,
-                    evaluated: informative_total.min(beam_len),
-                });
-            }
             return result;
         }
 
-        // Sort by (LB₁, imbalance, id). The paper sorts by most-even
-        // partitioning and notes the order coincides with LB₁ order — true
-        // for the real-valued `n·log₂n` but not for the ceiling version
-        // (e.g. n=35: a 16/19 split has ⌈16·log16⌉+⌈19·log19⌉ = 145 <
-        // 146 = the 17/18 split's, because 16 is a power of two). Sorting by
-        // LB₁ first keeps the early exit of lines 14–15 sound; imbalance
-        // remains the paper's tie-break.
-        level
-            .cand
-            .sort_unstable_by_key(|c| (c.score, c.imbalance, c.entity));
-        level.cand.truncate(self.beam.width(is_top));
+        // Candidate list (line 11) from a fingerprint-free counting pass:
+        // only candidates that survive the early exit are ever partitioned,
+        // and the bitmap split computes the yes-side digest as a byproduct,
+        // so membership fingerprints are deduped post-partition instead of
+        // paying a digest per view member up front.
+        view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+        for ec in &level.ecounts {
+            if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                continue;
+            }
+            let n1 = ec.count as u64;
+            level.cand.push(Candidate {
+                score: self.lb0.lb1(n, n1),
+                imbalance: imbalance(n, n1),
+                entity: ec.entity,
+                n1,
+                fp: Fingerprint::ZERO,
+            });
+        }
 
+        // Rank by (LB₁, imbalance, id), lazily. The paper sorts by
+        // most-even partitioning and notes the order coincides with LB₁
+        // order — true for the real-valued `n·log₂n` but not for the
+        // ceiling version (e.g. n=35: a 16/19 split has ⌈16·log16⌉ +
+        // ⌈19·log19⌉ = 145 < 146 = the 17/18 split's, because 16 is a
+        // power of two). Ranking by LB₁ first keeps the early exit of
+        // lines 14–15 sound; imbalance remains the paper's tie-break.
+        let width = level.cand.len().min(self.beam.width(false));
         let mut best: Option<EntityId> = None;
-        let mut evaluated: u32 = 0;
-        // Distinct entities often induce the *same* partition (entities with
-        // identical membership across the candidate sets — ubiquitous when
-        // sets are query outputs). Identical partitions have identical
-        // bounds, and the first entity in sort order wins ties either way,
-        // so duplicates can be skipped without changing the selection. The
-        // membership fingerprint from the counting pass detects them here,
-        // *before* the duplicate partition is ever materialized.
-        for i in 0..level.cand.len() {
-            let c = level.cand[i];
-            // Lines 14–15: sorted early exit — prunes c and every candidate
-            // after it (Lemma 4.4 with l = 1).
-            if c.score >= ul {
-                break;
-            }
-            evaluated += 1;
-            if !level.seen.insert((c.fp, c.n1)) {
-                continue; // same split as an earlier (preferred) entity
-            }
-            let (cpos, cneg) = view.partition_into(
-                c.entity,
-                mem::take(&mut level.yes_ids),
-                mem::take(&mut level.no_ids),
-            );
-            debug_assert_eq!(cpos.len() as u64, c.n1);
-            let l = self.bound_children(&cpos, &cneg, k, ul, excluded, depth);
-            level.yes_ids = cpos.into_ids();
-            level.no_ids = cneg.into_ids();
-            // Lines 33–36.
-            if let Some(l) = l {
-                if l < ul {
-                    ul = l;
-                    best = Some(c.entity);
+        {
+            let mut ranked = Ranked::new(&mut level.cand);
+            // Distinct entities often induce the *same* partition (entities
+            // with identical membership across the candidate sets —
+            // ubiquitous when sets are query outputs). Identical partitions
+            // have identical bounds, and the first entity in rank order
+            // wins ties either way, so duplicates can be skipped without
+            // changing the selection. The word-parallel split computes the
+            // yes-side digest anyway, so the dedup check reads it from the
+            // freshly split child before any bound work happens.
+            for i in 0..width {
+                let c = ranked.get(i);
+                // Lines 14–15: ranked early exit — prunes c and every
+                // candidate after it (Lemma 4.4 with l = 1).
+                if c.score >= ul {
+                    break;
+                }
+                let (cpos, cneg) = view.partition_into(
+                    c.entity,
+                    mem::take(&mut level.yes),
+                    mem::take(&mut level.no),
+                );
+                debug_assert_eq!(cpos.len() as u64, c.n1);
+                let l = if level.seen.insert((cpos.fingerprint(), c.n1)) {
+                    self.bound_children(&cpos, &cneg, k, ul, excluded, depth)
+                } else {
+                    None // same split as an earlier (preferred) entity
+                };
+                level.yes = cpos.into_storage();
+                level.no = cneg.into_storage();
+                // Lines 33–36.
+                if let Some(l) = l {
+                    if l < ul {
+                        ul = l;
+                        best = Some(c.entity);
+                    }
                 }
             }
         }
@@ -402,13 +401,6 @@ impl<M: CostModel> KLp<M> {
                     bound: ul,
                 },
             );
-        }
-        if is_top && self.record_stats {
-            self.stats.nodes.push(NodeStats {
-                collection_size: n as u32,
-                informative: informative_total,
-                evaluated,
-            });
         }
         (best, ul)
     }
@@ -432,8 +424,8 @@ impl<M: CostModel> KLp<M> {
         let l_pos = if n1 == 1 {
             0
         } else {
-            let ul_pos = M::ul_first(ul, n, M::lb0(n2))?;
-            match self.klp(cpos, k - 1, ul_pos, excluded, false, depth + 1) {
+            let ul_pos = M::ul_first(ul, n, self.lb0.lb0(n2))?;
+            match self.klp(cpos, k - 1, ul_pos, excluded, depth + 1) {
                 (Some(_), l) => l,
                 (None, _) => return None, // pruned (lines 24–25)
             }
@@ -444,13 +436,541 @@ impl<M: CostModel> KLp<M> {
             0
         } else {
             let ul_neg = M::ul_second(ul, n, l_pos)?;
-            match self.klp(cneg, k - 1, ul_neg, excluded, false, depth + 1) {
+            match self.klp(cneg, k - 1, ul_neg, excluded, depth + 1) {
                 (Some(_), l) => l,
                 (None, _) => return None,
             }
         };
 
         Some(M::combine(n, l_pos, l_neg))
+    }
+
+    /// Partitions `view` on one candidate and bounds both children —
+    /// the unit of work the selection-level loop (sequential or a parallel
+    /// worker) performs per candidate. Returns the storage for recycling.
+    #[allow(clippy::too_many_arguments)]
+    fn bound_candidate(
+        &mut self,
+        view: &SubCollection<'_>,
+        c: &Candidate,
+        k: u32,
+        ul: Cost,
+        excluded: &FxHashSet<EntityId>,
+        yes: SubStorage,
+        no: SubStorage,
+    ) -> (Option<Cost>, SubStorage, SubStorage) {
+        let (cpos, cneg) = view.partition_into(c.entity, yes, no);
+        debug_assert_eq!(cpos.len() as u64, c.n1);
+        let l = self.bound_children(&cpos, &cneg, k, ul, excluded, 0);
+        (l, cpos.into_storage(), cneg.into_storage())
+    }
+}
+
+/// Per-worker state for the parallel selection loop: a private memo cache
+/// and scratch arena, reused across selections.
+#[derive(Default)]
+struct ParWorker {
+    cache: FxHashMap<CacheKey, CacheEntry>,
+    scratch: LookaheadScratch,
+}
+
+/// What a parallel worker learned about one candidate.
+#[derive(Copy, Clone)]
+enum ParOutcome {
+    /// Exact `LB_k` of the candidate (valid regardless of the limit used).
+    Evaluated(Cost),
+    /// The candidate cannot beat the recorded limit (`LB_k ≥ limit`).
+    Pruned(Cost),
+}
+
+/// Algorithm 1: k-lookahead entity selection with pruning, generic over the
+/// cost metric `M` ([`crate::AvgDepth`] or [`crate::Height`]).
+pub struct KLp<M: CostModel> {
+    k: u32,
+    beam: KLpBeam,
+    cache: FxHashMap<CacheKey, CacheEntry>,
+    cache_token: u64,
+    scratch: LookaheadScratch,
+    lb0: Lb0Table<M>,
+    threads: usize,
+    min_par_survivors: usize,
+    min_par_view: usize,
+    workers: Vec<ParWorker>,
+    stats: PruneStats,
+    record_stats: bool,
+}
+
+impl<M: CostModel> KLp<M> {
+    /// k-LP with the full candidate set. `k ≥ 1`; `k = 1` degenerates to the
+    /// 1-step lower bound (≡ InfoGain, Lemma 4.3).
+    pub fn new(k: u32) -> Self {
+        Self::with_beam(k, KLpBeam::Full)
+    }
+
+    /// k-LPLE: beam of `q` most-even candidates at every level.
+    pub fn limited(k: u32, q: usize) -> Self {
+        Self::with_beam(k, KLpBeam::Limited { q })
+    }
+
+    /// k-LPLVE: beam of `q` at the selection level, single candidate below.
+    pub fn limited_variable(k: u32, q: usize) -> Self {
+        Self::with_beam(k, KLpBeam::LimitedVariable { q })
+    }
+
+    /// Fully parameterized constructor. Parallelism defaults to the shared
+    /// [`pool::configured_threads`] knob (`SETDISC_THREADS`), gated so only
+    /// selection nodes with enough surviving work fan out.
+    pub fn with_beam(k: u32, beam: KLpBeam) -> Self {
+        assert!(k >= 1, "lookahead depth must be at least 1");
+        if let KLpBeam::Limited { q } | KLpBeam::LimitedVariable { q } = beam {
+            assert!(q >= 1, "beam width must be at least 1");
+        }
+        Self {
+            k,
+            beam,
+            cache: FxHashMap::default(),
+            cache_token: 0,
+            scratch: LookaheadScratch::new(),
+            lb0: Lb0Table::new(),
+            threads: pool::configured_threads(),
+            min_par_survivors: 8,
+            min_par_view: 256,
+            workers: Vec::new(),
+            stats: PruneStats::default(),
+            record_stats: false,
+        }
+    }
+
+    /// Overrides the worker count for the parallel selection loop
+    /// (`1` forces the purely sequential path; `0` restores the
+    /// [`pool::configured_threads`] default). The selection is
+    /// bit-identical either way — this is a performance knob only.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            pool::configured_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Overrides the parallel-dispatch gate: fan out only when at least
+    /// `min_survivors` ranked candidates still beat the incumbent bound
+    /// and the view holds at least `min_view` sets. The defaults keep
+    /// small nodes sequential (a scoped-thread spawn costs microseconds);
+    /// benches and determinism tests lower them to force the parallel
+    /// path.
+    pub fn with_parallel_gate(mut self, min_survivors: usize, min_view: usize) -> Self {
+        self.min_par_survivors = min_survivors.max(1);
+        self.min_par_view = min_view;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables per-node prune statistics (Table 4). Off by default: the
+    /// record itself is cheap, but callers usually want a clean slate per
+    /// tree, which this forces them to think about.
+    pub fn record_stats(mut self, on: bool) -> Self {
+        self.record_stats = on;
+        self
+    }
+
+    /// Recorded prune statistics.
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+
+    /// Clears recorded statistics.
+    pub fn clear_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Number of memoized (sub-collection, k) entries on the calling
+    /// thread's cache (parallel workers keep additional private caches).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops the memo caches (they are also dropped automatically when the
+    /// strategy is used on a different collection).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+        for w in &mut self.workers {
+            w.cache.clear();
+        }
+    }
+
+    /// Lookahead depth `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The `LB_k` bound of the entity this strategy would select on `view`,
+    /// in scaled cost units — the quantity eq. (8) defines.
+    pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
+        self.prepare_for(view);
+        let excluded = FxHashSet::default();
+        let (e, l) = self.select_top(view, &excluded);
+        e.map(|e| (e, l))
+    }
+
+    fn prepare_for(&mut self, view: &SubCollection<'_>) {
+        let token = view.collection().token();
+        if token != self.cache_token {
+            self.cache.clear();
+            for w in &mut self.workers {
+                w.cache.clear();
+            }
+            self.cache_token = token;
+        }
+    }
+
+    /// The selection level of Algorithm 1 (`is_top`): cache probe under the
+    /// top key, candidate generation, then the pruned scan — sequential
+    /// with lazy ranking, fanning out to the worker pool when enough
+    /// candidates survive the warm-up.
+    fn select_top(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> (Option<EntityId>, Cost) {
+        let n = view.len() as u64;
+        if n <= 1 {
+            return (None, 0);
+        }
+        self.lb0.ensure(n);
+        let mut ul = UNBOUNDED;
+        let use_cache = excluded.is_empty();
+        let key = if use_cache {
+            let key: CacheKey = (view.fingerprint(), view.len() as u32, self.k, true);
+            if let Some(entry) = self.cache.get(&key) {
+                if ul <= entry.bound {
+                    return (None, entry.bound);
+                }
+                if entry.entity.is_some() {
+                    return (entry.entity, entry.bound);
+                }
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let mut level = self.scratch.take_level(0);
+
+        // Base case: identical to the recursive one, plus stats recording.
+        if self.k <= 1 {
+            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+            let mut informative_total = 0u32;
+            let mut best: Option<(Cost, u64, EntityId)> = None;
+            for ec in &level.ecounts {
+                if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                    continue;
+                }
+                informative_total += 1;
+                let n1 = ec.count as u64;
+                let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
+                if best.is_none_or(|b| cand_key < b) {
+                    best = Some(cand_key);
+                }
+            }
+            let result = best
+                .map(|(score, _, e)| (Some(e), score))
+                .unwrap_or((None, 0));
+            let beam_len = (informative_total as usize).min(self.beam.width(true)) as u32;
+            self.scratch.put_level(0, level);
+            if let (Some(key), (Some(_), _)) = (key, result) {
+                self.cache.insert(
+                    key,
+                    CacheEntry {
+                        entity: result.0,
+                        bound: result.1,
+                    },
+                );
+            }
+            if self.record_stats {
+                self.stats.nodes.push(NodeStats {
+                    collection_size: n as u32,
+                    informative: informative_total,
+                    evaluated: informative_total.min(beam_len),
+                });
+            }
+            return result;
+        }
+
+        // Fingerprint-free candidate generation; duplicate-partition dedup
+        // happens post-partition (the split computes the digest), exactly
+        // as in [`SearchCtx::klp`].
+        view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+        for ec in &level.ecounts {
+            if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                continue;
+            }
+            let n1 = ec.count as u64;
+            level.cand.push(Candidate {
+                score: self.lb0.lb1(n, n1),
+                imbalance: imbalance(n, n1),
+                entity: ec.entity,
+                n1,
+                fp: Fingerprint::ZERO,
+            });
+        }
+        let informative_total = level.cand.len() as u32;
+        let width = level.cand.len().min(self.beam.width(true));
+        let k = self.k;
+
+        let mut best: Option<EntityId> = None;
+        let mut evaluated: u32 = 0;
+        {
+            let mut ranked = Ranked::new(&mut level.cand);
+            let mut par_considered = false;
+            let mut i = 0usize;
+            while i < width {
+                let c = ranked.get(i);
+                if c.score >= ul {
+                    break;
+                }
+                // Fan out once a finite incumbent exists and enough
+                // candidates still beat it (checked once — the incumbent
+                // only tightens, so survivors only shrink).
+                if ul < UNBOUNDED
+                    && !par_considered
+                    && self.threads > 1
+                    && view.len() >= self.min_par_view
+                {
+                    par_considered = true;
+                    let survivors = ranked.count_below(ul).min(width).saturating_sub(i);
+                    if survivors >= self.min_par_survivors {
+                        let (b, u, ev) = Self::parallel_phase(
+                            &mut self.workers,
+                            &mut self.cache,
+                            &mut self.scratch,
+                            &self.lb0,
+                            self.beam,
+                            self.threads,
+                            k,
+                            view,
+                            excluded,
+                            &mut ranked,
+                            &mut level.seen,
+                            &mut level.yes,
+                            &mut level.no,
+                            i,
+                            width,
+                            (ul, best, evaluated),
+                        );
+                        best = b;
+                        ul = u;
+                        evaluated = ev;
+                        break;
+                    }
+                }
+                evaluated += 1;
+                let (cpos, cneg) = view.partition_into(
+                    c.entity,
+                    mem::take(&mut level.yes),
+                    mem::take(&mut level.no),
+                );
+                debug_assert_eq!(cpos.len() as u64, c.n1);
+                let l = if level.seen.insert((cpos.fingerprint(), c.n1)) {
+                    let mut ctx = SearchCtx {
+                        beam: self.beam,
+                        lb0: &self.lb0,
+                        cache: &mut self.cache,
+                        scratch: &mut self.scratch,
+                    };
+                    ctx.bound_children(&cpos, &cneg, k, ul, excluded, 0)
+                } else {
+                    None // same split as an earlier (preferred) entity
+                };
+                level.yes = cpos.into_storage();
+                level.no = cneg.into_storage();
+                if let Some(l) = l {
+                    if l < ul {
+                        ul = l;
+                        best = Some(c.entity);
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.scratch.put_level(0, level);
+
+        if let Some(key) = key {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    entity: best,
+                    bound: ul,
+                },
+            );
+        }
+        if self.record_stats {
+            self.stats.nodes.push(NodeStats {
+                collection_size: n as u32,
+                informative: informative_total,
+                evaluated,
+            });
+        }
+        (best, ul)
+    }
+
+    /// The parallel tail of the selection loop: candidates `start..width`
+    /// (in rank order) are claimed by pool workers sharing an atomic
+    /// incumbent, then a deterministic replay folds the recorded outcomes
+    /// exactly as the sequential scan would have. Returns the final
+    /// `(best, ul, evaluated)`.
+    ///
+    /// Losslessness: a worker's `Evaluated(l)` is the exact `LB_k` of its
+    /// candidate (pruning inside `bound_candidate` only ever *proves*
+    /// bounds, it never fabricates one), so the replay can use it whatever
+    /// limit the worker held. A worker's `Pruned(limit)` proves
+    /// `LB_k ≥ limit`; the replay accepts it only when `limit ≥` its own
+    /// running bound at that candidate's turn — otherwise the recorded
+    /// proof is too weak (the worker raced ahead of the rank order) and
+    /// the candidate is re-evaluated on the calling thread under the
+    /// sequential limit. Both cases reproduce the sequential update
+    /// exactly, so the argmin and bound are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_phase(
+        workers: &mut Vec<ParWorker>,
+        main_cache: &mut FxHashMap<CacheKey, CacheEntry>,
+        main_scratch: &mut LookaheadScratch,
+        lb0: &Lb0Table<M>,
+        beam: KLpBeam,
+        threads: usize,
+        k: u32,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+        ranked: &mut Ranked<'_>,
+        seen: &mut FxHashSet<(Fingerprint, u64)>,
+        level_yes: &mut SubStorage,
+        level_no: &mut SubStorage,
+        start: usize,
+        width: usize,
+        state: (Cost, Option<EntityId>, u32),
+    ) -> (Option<EntityId>, Cost, u32) {
+        let (mut ul, mut best, mut evaluated) = state;
+        ranked.sort_through(width);
+        let cand = ranked.slice();
+
+        // Duplicate-partition flags in rank order (the sequential scan
+        // would skip these after counting them as evaluated). Membership
+        // digests are computed per dispatched candidate here — candidates
+        // carry no fingerprint, the sequential path dedups on the digest
+        // its split produces.
+        let dup: Vec<bool> = (start..width)
+            .map(|j| !seen.insert((view.membership_fp(cand[j].entity), cand[j].n1)))
+            .collect();
+
+        let incumbent = AtomicU64::new(ul);
+        let claim = AtomicUsize::new(start);
+        let wcount = threads.min(width - start).max(1);
+        if workers.len() < wcount {
+            workers.resize_with(wcount, ParWorker::default);
+        }
+        let results = pool::run_workers(&mut workers[..wcount], |_, w: &mut ParWorker| {
+            let mut local: Vec<(usize, ParOutcome)> = Vec::new();
+            let mut level0 = w.scratch.take_level(0);
+            {
+                let mut ctx = SearchCtx {
+                    beam,
+                    lb0,
+                    cache: &mut w.cache,
+                    scratch: &mut w.scratch,
+                };
+                loop {
+                    let idx = claim.fetch_add(1, Ordering::Relaxed);
+                    if idx >= width {
+                        break;
+                    }
+                    if dup[idx - start] {
+                        continue;
+                    }
+                    let c = cand[idx];
+                    let limit = incumbent.load(Ordering::Acquire);
+                    if c.score >= limit {
+                        local.push((idx, ParOutcome::Pruned(limit)));
+                        continue;
+                    }
+                    let (l, yes, no) = ctx.bound_candidate(
+                        view,
+                        &c,
+                        k,
+                        limit,
+                        excluded,
+                        mem::take(&mut level0.yes),
+                        mem::take(&mut level0.no),
+                    );
+                    level0.yes = yes;
+                    level0.no = no;
+                    match l {
+                        Some(l) => {
+                            incumbent.fetch_min(l, Ordering::AcqRel);
+                            local.push((idx, ParOutcome::Evaluated(l)));
+                        }
+                        None => local.push((idx, ParOutcome::Pruned(limit))),
+                    }
+                }
+            }
+            w.scratch.put_level(0, level0);
+            local
+        });
+        let mut outcomes: Vec<Option<ParOutcome>> = vec![None; width - start];
+        for (idx, o) in results.into_iter().flatten() {
+            outcomes[idx - start] = Some(o);
+        }
+
+        // Deterministic replay of the sequential scan.
+        let mut ctx = SearchCtx {
+            beam,
+            lb0,
+            cache: main_cache,
+            scratch: main_scratch,
+        };
+        for idx in start..width {
+            let c = cand[idx];
+            if c.score >= ul {
+                break;
+            }
+            evaluated += 1;
+            if dup[idx - start] {
+                continue;
+            }
+            let l = match outcomes[idx - start] {
+                Some(ParOutcome::Evaluated(l)) => Some(l),
+                Some(ParOutcome::Pruned(limit)) if limit >= ul => None,
+                // The worker's proof was recorded under a limit below the
+                // sequential running bound (it raced ahead of rank order)
+                // — or the candidate was skipped entirely. Re-evaluate
+                // under the sequential limit.
+                _ => {
+                    let (l, yes, no) = ctx.bound_candidate(
+                        view,
+                        &c,
+                        k,
+                        ul,
+                        excluded,
+                        mem::take(level_yes),
+                        mem::take(level_no),
+                    );
+                    *level_yes = yes;
+                    *level_no = no;
+                    l
+                }
+            };
+            if let Some(l) = l {
+                if l < ul {
+                    ul = l;
+                    best = Some(c.entity);
+                }
+            }
+        }
+        (best, ul, evaluated)
     }
 }
 
@@ -474,7 +994,7 @@ impl<M: CostModel> SelectionStrategy for KLp<M> {
             return None;
         }
         self.prepare_for(view);
-        let (entity, _) = self.klp(view, self.k, UNBOUNDED, excluded, true, 0);
+        let (entity, _) = self.select_top(view, excluded);
         entity
     }
 }
@@ -515,32 +1035,36 @@ impl<M: CostModel> GainK<M> {
         // Same arena reuse as KLp, but no memo, no dedup, no early exit —
         // the baseline must evaluate every candidate in full.
         let mut level = self.scratch.take_level(depth);
+        if k <= 1 {
+            // Fingerprint-free base case, same argmin key as KLp's.
+            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+            let result = level
+                .ecounts
+                .iter()
+                .map(|ec| {
+                    let n1 = ec.count as u64;
+                    (lb1_direct::<M>(n, n1), imbalance(n, n1), ec.entity)
+                })
+                .min()
+                .map(|(score, _, e)| (Some(e), score))
+                .unwrap_or((None, 0));
+            self.scratch.put_level(depth, level);
+            return result;
+        }
         view.informative_with_fp(&mut self.scratch.counts, &mut level.stats);
         for s in &level.stats {
             let n1 = s.count as u64;
             level.cand.push(Candidate {
-                score: lb1::<M>(n, n1),
+                score: lb1_direct::<M>(n, n1),
                 imbalance: imbalance(n, n1),
                 entity: s.entity,
                 n1,
                 fp: s.fp,
             });
         }
-        if k <= 1 {
-            let result = level
-                .cand
-                .iter()
-                .min_by_key(|c| (c.score, c.imbalance, c.entity))
-                .map(|c| (Some(c.entity), c.score))
-                .unwrap_or((None, 0));
-            self.scratch.put_level(depth, level);
-            return result;
-        }
         // Same deterministic order as KLp so both make identical choices on
         // ties — but with NO early exit below.
-        level
-            .cand
-            .sort_unstable_by_key(|c| (c.score, c.imbalance, c.entity));
+        level.cand.sort_unstable_by_key(rank_key);
 
         let mut best: Option<EntityId> = None;
         let mut best_cost = UNBOUNDED;
@@ -549,8 +1073,8 @@ impl<M: CostModel> GainK<M> {
             let n2 = n - c.n1;
             let (cpos, cneg) = view.partition_into(
                 c.entity,
-                mem::take(&mut level.yes_ids),
-                mem::take(&mut level.no_ids),
+                mem::take(&mut level.yes),
+                mem::take(&mut level.no),
             );
             let l_pos = if c.n1 == 1 {
                 0
@@ -562,8 +1086,8 @@ impl<M: CostModel> GainK<M> {
             } else {
                 self.rec(&cneg, k - 1, depth + 1).1
             };
-            level.yes_ids = cpos.into_ids();
-            level.no_ids = cneg.into_ids();
+            level.yes = cpos.into_storage();
+            level.no = cneg.into_storage();
             let l = M::combine(n, l_pos, l_neg);
             if l < best_cost {
                 best_cost = l;
@@ -573,6 +1097,13 @@ impl<M: CostModel> GainK<M> {
         self.scratch.put_level(depth, level);
         (best, best_cost)
     }
+}
+
+/// `lb1` without a table (the baseline path; see [`Lb0Table`] for why the
+/// pruned search uses one).
+#[inline]
+fn lb1_direct<M: CostModel>(n: u64, n1: u64) -> Cost {
+    crate::cost::lb1::<M>(n, n1)
 }
 
 impl<M: CostModel> SelectionStrategy for GainK<M> {
@@ -604,11 +1135,8 @@ impl<M: CostModel> SelectionStrategy for GainK<M> {
         for i in 0..level.stats.len() {
             let s = level.stats[i];
             let e = s.entity;
-            let (cpos, cneg) = view.partition_into(
-                e,
-                mem::take(&mut level.yes_ids),
-                mem::take(&mut level.no_ids),
-            );
+            let (cpos, cneg) =
+                view.partition_into(e, mem::take(&mut level.yes), mem::take(&mut level.no));
             let (n1, n2) = (cpos.len() as u64, cneg.len() as u64);
             let l_pos = if n1 <= 1 {
                 0
@@ -620,8 +1148,8 @@ impl<M: CostModel> SelectionStrategy for GainK<M> {
             } else {
                 self.rec(&cneg, self.k - 1, 1).1
             };
-            level.yes_ids = cpos.into_ids();
-            level.no_ids = cneg.into_ids();
+            level.yes = cpos.into_storage();
+            level.no = cneg.into_storage();
             let l = M::combine(n, l_pos, l_neg);
             let key = (l, imbalance(n, n1), e);
             if best.is_none_or(|b| key < b) {
@@ -636,8 +1164,9 @@ impl<M: CostModel> SelectionStrategy for GainK<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::build_tree;
     use crate::collection::Collection;
-    use crate::cost::{AvgDepth, Height};
+    use crate::cost::{lb1, AvgDepth, Height};
     use crate::entity::SetId;
 
     fn figure1() -> Collection {
@@ -666,6 +1195,28 @@ mod tests {
             vec![0, 1, 6],
         ])
         .unwrap()
+    }
+
+    /// A deterministic pseudo-random collection (splitmix-style LCG) large
+    /// enough to exercise the dense/sparse postings mix and the parallel
+    /// dispatch gate.
+    fn pseudo_random_collection(n_sets: usize, universe: u32, seed: u64) -> Collection {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let sets: Vec<Vec<u32>> = (0..n_sets)
+            .map(|_| {
+                let len = 2 + (next() % 9) as usize;
+                (0..len)
+                    .map(|_| (next() % universe as u64) as u32)
+                    .collect()
+            })
+            .collect();
+        Collection::from_raw_sets(sets).unwrap()
     }
 
     #[test]
@@ -893,6 +1444,98 @@ mod tests {
                     side.len()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_selection_is_bit_identical_to_sequential() {
+        // The tentpole determinism claim: a forced-parallel k-LP computes
+        // the same bound, argmin, and full tree (same entity at every
+        // node) as the sequential path, on collections large enough for
+        // real pruning races.
+        for seed in [7u64, 99, 4242] {
+            let c = pseudo_random_collection(90, 48, seed);
+            let v = c.full_view();
+            for k in 2..=3u32 {
+                let seq = KLp::<AvgDepth>::new(k).with_threads(1).bound(&v);
+                let par = KLp::<AvgDepth>::new(k)
+                    .with_threads(4)
+                    .with_parallel_gate(1, 0)
+                    .bound(&v);
+                assert_eq!(seq, par, "AD bound seed={seed} k={k}");
+                let seq_h = KLp::<Height>::new(k).with_threads(1).bound(&v);
+                let par_h = KLp::<Height>::new(k)
+                    .with_threads(4)
+                    .with_parallel_gate(1, 0)
+                    .bound(&v);
+                assert_eq!(seq_h, par_h, "H bound seed={seed} k={k}");
+
+                let t_seq = build_tree(&v, &mut KLp::<AvgDepth>::new(k).with_threads(1)).unwrap();
+                let t_par = build_tree(
+                    &v,
+                    &mut KLp::<AvgDepth>::new(k)
+                        .with_threads(4)
+                        .with_parallel_gate(1, 0),
+                )
+                .unwrap();
+                assert_eq!(
+                    t_seq.to_text(),
+                    t_par.to_text(),
+                    "tree divergence seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_prune_stats_match_sequential() {
+        // The replay must reconstruct the sequential evaluated counts too.
+        let c = pseudo_random_collection(80, 40, 11);
+        let v = c.full_view();
+        let mut seq = KLp::<AvgDepth>::new(2).with_threads(1).record_stats(true);
+        let mut par = KLp::<AvgDepth>::new(2)
+            .with_threads(4)
+            .with_parallel_gate(1, 0)
+            .record_stats(true);
+        let _ = build_tree(&v, &mut seq).unwrap();
+        let _ = build_tree(&v, &mut par).unwrap();
+        assert_eq!(seq.stats().nodes, par.stats().nodes);
+    }
+
+    #[test]
+    fn threads_knob_round_trips() {
+        let klp = KLp::<AvgDepth>::new(2).with_threads(3);
+        assert_eq!(klp.threads(), 3);
+        let auto = KLp::<AvgDepth>::new(2).with_threads(0);
+        assert_eq!(auto.threads(), setdisc_util::pool::configured_threads());
+    }
+
+    #[test]
+    fn ranked_prefix_matches_full_sort() {
+        let c = pseudo_random_collection(60, 32, 5);
+        let v = c.full_view();
+        let mut scratch = crate::subcollection::CountScratch::new();
+        let mut stats = Vec::new();
+        v.informative_with_fp(&mut scratch, &mut stats);
+        let n = v.len() as u64;
+        let mut cand: Vec<Candidate> = stats
+            .iter()
+            .map(|s| Candidate {
+                score: lb1::<AvgDepth>(n, s.count as u64),
+                imbalance: imbalance(n, s.count as u64),
+                entity: s.entity,
+                n1: s.count as u64,
+                fp: s.fp,
+            })
+            .collect();
+        let mut sorted = cand.clone();
+        sorted.sort_unstable_by_key(rank_key);
+        let below = sorted.iter().filter(|c| c.score < sorted[7].score).count();
+        let mut ranked = Ranked::new(&mut cand);
+        assert_eq!(ranked.count_below(sorted[7].score), below);
+        for (i, want) in sorted.iter().enumerate() {
+            let got = ranked.get(i);
+            assert_eq!(rank_key(&got), rank_key(want), "rank {i}");
         }
     }
 

@@ -16,7 +16,7 @@
 //!   depth-indexed [`LookaheadScratch`] arena, so steady-state search
 //!   performs no heap allocation.
 
-use crate::cost::{imbalance, Cost, CostModel, UNBOUNDED};
+use crate::cost::{imbalance, Cost, CostModel, Lb0Table, UNBOUNDED};
 use crate::entity::EntityId;
 use crate::error::{Result, SetDiscError};
 use crate::strategy::SelectionStrategy;
@@ -35,6 +35,7 @@ pub struct OptimalSolver<M: CostModel> {
     memo: FxHashMap<MemoKey, (Cost, Option<EntityId>)>,
     memo_token: u64,
     scratch: LookaheadScratch,
+    lb0: Lb0Table<M>,
     max_sets: usize,
     _metric: std::marker::PhantomData<M>,
 }
@@ -57,6 +58,7 @@ impl<M: CostModel> OptimalSolver<M> {
             memo: FxHashMap::default(),
             memo_token: 0,
             scratch: LookaheadScratch::new(),
+            lb0: Lb0Table::new(),
             max_sets,
             _metric: std::marker::PhantomData,
         }
@@ -97,6 +99,7 @@ impl<M: CostModel> OptimalSolver<M> {
         if n <= 1 {
             return 0;
         }
+        self.lb0.ensure(n);
         let key: MemoKey = (view.fingerprint(), view.len() as u32);
         if let Some(&(cost, _)) = self.memo.get(&key) {
             return cost;
@@ -140,7 +143,7 @@ impl<M: CostModel> OptimalSolver<M> {
             let n1 = c.n1;
             let n2 = n - n1;
             // LB₀ bound before any recursion.
-            let quick = M::combine(n, M::lb0(n1), M::lb0(n2));
+            let quick = M::combine(n, self.lb0.lb0(n1), self.lb0.lb0(n2));
             if quick >= best {
                 continue;
             }
@@ -153,17 +156,17 @@ impl<M: CostModel> OptimalSolver<M> {
             if !level.seen.insert(yes_key.min(no_key)) {
                 continue; // same split as an earlier entity
             }
-            let Some(l_yes_limit) = M::ul_first(best, n, M::lb0(n2)) else {
+            let Some(l_yes_limit) = M::ul_first(best, n, self.lb0.lb0(n2)) else {
                 continue;
             };
             let (yes, no) = view.partition_into(
                 c.entity,
-                mem::take(&mut level.yes_ids),
-                mem::take(&mut level.no_ids),
+                mem::take(&mut level.yes),
+                mem::take(&mut level.no),
             );
             let total = {
                 let l_yes = self.solve(&yes, l_yes_limit, depth + 1);
-                let partial = M::combine(n, l_yes, M::lb0(n2));
+                let partial = M::combine(n, l_yes, self.lb0.lb0(n2));
                 if partial >= best {
                     None
                 } else {
@@ -173,8 +176,8 @@ impl<M: CostModel> OptimalSolver<M> {
                     })
                 }
             };
-            level.yes_ids = yes.into_ids();
-            level.no_ids = no.into_ids();
+            level.yes = yes.into_storage();
+            level.no = no.into_storage();
             if let Some(total) = total {
                 if total < best {
                     best = total;

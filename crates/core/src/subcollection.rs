@@ -2,43 +2,85 @@
 //!
 //! Every step of the search — tree construction, lookahead recursion,
 //! interactive filtering — operates on some subset of the sets. A
-//! [`SubCollection`] is a borrowed collection plus a sorted vector of set
-//! ids, cheap to split and clone, and carries a 128-bit content
-//! [`Fingerprint`] maintained incrementally at split time so lookahead
-//! memos can key on `(fingerprint, len)` instead of boxed id vectors.
+//! [`SubCollection`] is a borrowed collection plus the subset held
+//! primarily as a dense [`IdBitmap`] over the collection's `SetId` space
+//! (with a cached popcount length), plus a 128-bit content [`Fingerprint`]
+//! maintained incrementally at split time so lookahead memos can key on
+//! `(fingerprint, len)` instead of boxed id vectors. The sorted id vector
+//! that ordered traversals and the wire layer consume is materialized
+//! **lazily** from the bitmap on first [`SubCollection::ids`] call — the
+//! selection recursions never ask for it, which is what makes their splits
+//! word-parallel instead of per-element.
+//!
+//! [`SubCollection::partition_into`] is the split kernel: when the entity
+//! has a dense postings bitmap (see [`crate::bitset::EntityPostings`]) the
+//! split is one `AND`/`ANDNOT` pass over the words, accumulating the
+//! yes-side count and fingerprint from the result words; entities below the
+//! dense threshold instead copy the parent's words and clear the few bits
+//! named by their short posting list. Both children recycle caller-provided
+//! [`SubStorage`] buffers, so steady-state recursion allocates nothing. The
+//! classic id-vector merge survives as
+//! [`SubCollection::partition_into_merge`] — the reference kernel property
+//! tests and benches pin the bitmap paths against.
 //!
 //! Entity counting is the innermost hot loop (it runs at every node of every
-//! lookahead), so it writes into a reusable [`CountScratch`] buffer indexed
-//! by entity id instead of allocating a hash map per call; the buffer resets
-//! itself through a touched-list in `O(distinct entities)`. The fingerprinted
-//! variant additionally accumulates each entity's *membership* digest — the
-//! fingerprint of the member sets containing it, which is exactly the
-//! yes-side fingerprint of `partition(entity)` — in the same pass, letting
-//! callers drop duplicate-partition candidates without ever partitioning.
+//! lookahead). Two implementations exist and the entry points auto-select
+//! by a cost model (see DESIGN.md §8): the element pass walks every member
+//! of every set in the view into a reusable [`CountScratch`], while the
+//! postings sweep intersects each occurring entity's postings with the
+//! view's bitmap — popcounts for the counts, member decoding for the
+//! membership fingerprints (the yes-side digest of `partition(entity)`,
+//! computed in the same pass so duplicate-partition candidates can be
+//! dropped without ever partitioning).
 //!
 //! [`LookaheadScratch`] completes the allocation-free recursion story:
-//! depth-indexed reusable candidate/stat/id buffers that [`crate::lookahead`]
-//! and [`crate::optimal`] thread through their recursion together with the
-//! buffer-recycling [`SubCollection::partition_into`].
+//! depth-indexed reusable candidate/stat/storage buffers that
+//! [`crate::lookahead`] and [`crate::optimal`] thread through their
+//! recursion together with [`SubCollection::partition_into`].
 
+use crate::bitset::IdBitmap;
 use crate::collection::Collection;
 use crate::cost::Cost;
 use crate::entity::{EntityId, SetId};
 use setdisc_util::{Fingerprint, FxHashSet};
+use std::sync::OnceLock;
 
 /// Content digest of one set id (the unit [`SubCollection`] fingerprints
-/// sum over).
+/// sum over). [`Collection::set_fp`] holds this value in a lookup table for
+/// the hot paths.
 #[inline]
-pub(crate) fn fp_of_set(id: SetId) -> Fingerprint {
+pub fn fp_of_set(id: SetId) -> Fingerprint {
     Fingerprint::of(id.0 as u64)
 }
 
-/// A view over a sorted subset of sets in a [`Collection`].
+/// A view over a sorted subset of sets in a [`Collection`]: a dense bitmap
+/// with a lazily materialized sorted id vector.
 #[derive(Clone)]
 pub struct SubCollection<'c> {
     collection: &'c Collection,
-    ids: Vec<SetId>,
+    bits: IdBitmap,
+    len: u32,
+    elements: u64,
+    ids: OnceLock<Vec<SetId>>,
     fp: Fingerprint,
+}
+
+/// Recyclable backing storage of one [`SubCollection`] — its bitmap words
+/// plus the id vector when it was materialized.
+/// [`SubCollection::partition_into`] consumes two of these for the children
+/// and [`SubCollection::into_storage`] recovers them, so a recursion that
+/// keeps a pair per depth never reallocates.
+#[derive(Default)]
+pub struct SubStorage {
+    pub(crate) ids: Vec<SetId>,
+    pub(crate) bits: IdBitmap,
+}
+
+impl SubStorage {
+    /// Fresh empty storage; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Occurrence statistics for one entity within a sub-collection.
@@ -69,12 +111,8 @@ impl<'c> SubCollection<'c> {
     /// View over the entire collection.
     pub fn full(collection: &'c Collection) -> Self {
         let ids: Vec<SetId> = (0..collection.len() as u32).map(SetId).collect();
-        let fp = fp_of_ids(&ids);
-        Self {
-            ids,
-            fp,
-            collection,
-        }
+        let fp = fp_of_ids(collection, &ids);
+        Self::from_filled(collection, IdBitmap::full(collection.len()), ids, fp)
     }
 
     /// View over the given ids. Sorts and deduplicates them; panics on an id
@@ -88,23 +126,17 @@ impl<'c> SubCollection<'c> {
                 "set id {last} out of range"
             );
         }
-        let fp = fp_of_ids(&ids);
-        Self {
-            collection,
-            ids,
-            fp,
-        }
+        let fp = fp_of_ids(collection, &ids);
+        let bits = IdBitmap::from_sorted_ids(collection.len(), &ids);
+        Self::from_filled(collection, bits, ids, fp)
     }
 
     /// Internal constructor for ids that are already sorted and in range.
     pub(crate) fn from_sorted_unchecked(collection: &'c Collection, ids: Vec<SetId>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
-        let fp = fp_of_ids(&ids);
-        Self {
-            collection,
-            ids,
-            fp,
-        }
+        let fp = fp_of_ids(collection, &ids);
+        let bits = IdBitmap::from_sorted_ids(collection.len(), &ids);
+        Self::from_filled(collection, bits, ids, fp)
     }
 
     /// Internal constructor when the fingerprint of `ids` is already known.
@@ -114,10 +146,69 @@ impl<'c> SubCollection<'c> {
         fp: Fingerprint,
     ) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
-        debug_assert_eq!(fp, fp_of_ids(&ids));
+        debug_assert_eq!(fp, fp_of_ids(collection, &ids));
+        let bits = IdBitmap::from_sorted_ids(collection.len(), &ids);
+        Self::from_filled(collection, bits, ids, fp)
+    }
+
+    /// Internal constructor trusting storage whose id vector is materialized
+    /// and matches its bitmap (the zero-copy resume path of
+    /// [`crate::engine::Engine`]).
+    pub(crate) fn from_storage_unchecked(
+        collection: &'c Collection,
+        storage: SubStorage,
+        fp: Fingerprint,
+    ) -> Self {
+        debug_assert!(storage.ids.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(fp, fp_of_ids(collection, &storage.ids));
+        debug_assert_eq!(storage.bits.len(), storage.ids.len());
+        debug_assert!(storage.ids.iter().all(|&id| storage.bits.contains(id)));
+        Self::from_filled(collection, storage.bits, storage.ids, fp)
+    }
+
+    /// Internal constructor from a bitmap whose length and fingerprint are
+    /// already known; the id vector stays unmaterialized.
+    fn from_bits_unchecked(
+        collection: &'c Collection,
+        bits: IdBitmap,
+        len: u32,
+        elements: u64,
+        fp: Fingerprint,
+    ) -> Self {
+        debug_assert_eq!(bits.len(), len as usize);
+        debug_assert_eq!(
+            elements,
+            bits.iter()
+                .map(|id| collection.set_size(id) as u64)
+                .sum::<u64>()
+        );
         Self {
             collection,
-            ids,
+            bits,
+            len,
+            elements,
+            ids: OnceLock::new(),
+            fp,
+        }
+    }
+
+    /// Internal constructor with both representations in hand.
+    fn from_filled(
+        collection: &'c Collection,
+        bits: IdBitmap,
+        ids: Vec<SetId>,
+        fp: Fingerprint,
+    ) -> Self {
+        let len = ids.len() as u32;
+        let elements = ids.iter().map(|&id| collection.set_size(id) as u64).sum();
+        let cell = OnceLock::new();
+        let _ = cell.set(ids);
+        Self {
+            collection,
+            bits,
+            len,
+            elements,
+            ids: cell,
             fp,
         }
     }
@@ -128,10 +219,26 @@ impl<'c> SubCollection<'c> {
         self.collection
     }
 
-    /// Sorted ids of the member sets.
+    /// Sorted ids of the member sets, decoded from the bitmap on first use
+    /// and cached. The selection hot paths never call this; ordered
+    /// consumers (wire layer, reports, tests) do.
     #[inline]
     pub fn ids(&self) -> &[SetId] {
-        &self.ids
+        self.ids.get_or_init(|| self.bits.iter().collect())
+    }
+
+    /// The dense bitmap over the collection's id space — the primary
+    /// membership representation.
+    #[inline]
+    pub fn bitmap(&self) -> &IdBitmap {
+        &self.bits
+    }
+
+    /// The smallest member id (`None` on an empty view) without
+    /// materializing the id vector.
+    #[inline]
+    pub fn first_id(&self) -> Option<SetId> {
+        self.bits.first()
     }
 
     /// 128-bit content digest of the id set — the allocation-free identity
@@ -141,31 +248,50 @@ impl<'c> SubCollection<'c> {
         self.fp
     }
 
-    /// Number of member sets.
+    /// Number of member sets (cached; no popcount on query).
     #[inline]
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.len as usize
     }
 
     /// True when the view holds no sets.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.len == 0
     }
 
-    /// Recovers the id buffer for reuse (the counterpart of
-    /// [`Self::partition_into`]'s buffer recycling).
-    #[inline]
+    /// Recovers the id vector (materializing it if no one asked before).
+    /// Prefer [`Self::into_storage`] in recursion hot paths — it recycles
+    /// the bitmap words without forcing materialization.
     pub fn into_ids(self) -> Vec<SetId> {
+        let bits = self.bits;
         self.ids
+            .into_inner()
+            .unwrap_or_else(|| bits.iter().collect())
+    }
+
+    /// Recovers the backing storage for reuse (the counterpart of
+    /// [`Self::partition_into`]'s buffer recycling). The id vector is empty
+    /// unless it was materialized.
+    pub fn into_storage(self) -> SubStorage {
+        SubStorage {
+            ids: self.ids.into_inner().unwrap_or_default(),
+            bits: self.bits,
+        }
     }
 
     /// Counts, for every entity occurring in the view, how many member sets
-    /// contain it. Appends results to `out` in first-touched order
-    /// (deterministic); resets `scratch` before returning.
+    /// contain it. Appends results to `out` in a deterministic order
+    /// (entity-id ascending on the postings sweep, first-touched on the
+    /// element pass — callers needing a specific order re-sort by a total
+    /// key); resets `scratch` before returning.
     pub fn count_entities(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
+        if self.use_postings(1) {
+            self.count_postings_impl(out, u32::MAX);
+            return;
+        }
         scratch.ensure(self.collection.universe());
-        for &id in &self.ids {
+        for id in self.bits.iter() {
             for e in self.collection.set(id).iter() {
                 let slot = &mut scratch.counts[e.0 as usize];
                 if *slot == 0 {
@@ -186,21 +312,64 @@ impl<'c> SubCollection<'c> {
     }
 
     /// Like [`Self::count_entities`], but also accumulates each entity's
-    /// membership [`Fingerprint`] in the same counting pass. Clears `out`
-    /// first; results are in first-touched order.
+    /// membership [`Fingerprint`] in the same pass. Clears `out` first;
+    /// deterministic order as documented on [`Self::count_entities`].
     pub fn count_entities_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
-        self.count_with_fp_impl(scratch, out, u32::MAX);
+        if self.use_postings(2) {
+            self.count_with_fp_postings_impl(out, u32::MAX);
+        } else {
+            self.count_with_fp_elements_impl(scratch, out, u32::MAX);
+        }
     }
 
     /// Informative entities (present in ≥ 1 but not all member sets, §3)
     /// with their counts and membership fingerprints, computed in one
-    /// counting pass. Clears `out` first; results are in first-touched
-    /// order — callers that need a specific order re-sort by a total key.
+    /// pass. Clears `out` first; deterministic order as documented on
+    /// [`Self::count_entities`] — callers that need a specific order
+    /// re-sort by a total key.
     pub fn informative_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
-        self.count_with_fp_impl(scratch, out, self.ids.len() as u32);
+        let below = self.len;
+        if self.use_postings(2) {
+            self.count_with_fp_postings_impl(out, below);
+        } else {
+            self.count_with_fp_elements_impl(scratch, out, below);
+        }
     }
 
-    fn count_with_fp_impl(
+    /// The element-pass reference implementation of
+    /// [`Self::count_entities_with_fp`]: walks every member of every set in
+    /// the view, accumulating counts and digests in entity-indexed scratch.
+    /// Results in first-touched order. Public so property tests and benches
+    /// can pin the postings sweep against it.
+    pub fn count_entities_with_fp_elements(
+        &self,
+        scratch: &mut CountScratch,
+        out: &mut Vec<EntityStats>,
+    ) {
+        self.count_with_fp_elements_impl(scratch, out, u32::MAX);
+    }
+
+    /// The postings-sweep implementation of
+    /// [`Self::count_entities_with_fp`]: intersects each occurring entity's
+    /// postings with the view bitmap (word-parallel popcounts for dense
+    /// entities, short-list probes for sparse ones). Results in entity-id
+    /// order. Public so property tests and benches can compare
+    /// representations.
+    pub fn count_entities_with_fp_postings(&self, out: &mut Vec<EntityStats>) {
+        self.count_with_fp_postings_impl(out, u32::MAX);
+    }
+
+    /// Decides representation for one counting pass: the postings sweep
+    /// costs `scan_cost` probes over the whole collection plus (for the
+    /// fingerprint variants) one digest add per view member, while the
+    /// element pass costs one scattered add per view member. Sweep when the
+    /// view's member count exceeds `factor ×` the sweep's fixed cost.
+    fn use_postings(&self, factor: u64) -> bool {
+        let scan = self.collection.postings().scan_cost();
+        scan > 0 && self.total_elements() as u64 > scan.saturating_mul(factor)
+    }
+
+    fn count_with_fp_elements_impl(
         &self,
         scratch: &mut CountScratch,
         out: &mut Vec<EntityStats>,
@@ -208,8 +377,8 @@ impl<'c> SubCollection<'c> {
     ) {
         out.clear();
         scratch.ensure(self.collection.universe());
-        for &id in &self.ids {
-            let h = fp_of_set(id);
+        for id in self.bits.iter() {
+            let h = self.collection.set_fp(id);
             for e in self.collection.set(id).iter() {
                 let slot = &mut scratch.counts[e.0 as usize];
                 if *slot == 0 {
@@ -236,6 +405,91 @@ impl<'c> SubCollection<'c> {
         scratch.touched.clear();
     }
 
+    fn count_with_fp_postings_impl(&self, out: &mut Vec<EntityStats>, below: u32) {
+        out.clear();
+        let c = self.collection;
+        let view_words = self.bits.words();
+        for &e in c.occurring_entities() {
+            let mut count = 0u32;
+            let mut fp = Fingerprint::ZERO;
+            match c.postings().dense(e) {
+                Some(bm) => {
+                    for (wi, (a, b)) in view_words.iter().zip(bm.words()).enumerate() {
+                        let mut w = a & b;
+                        count += w.count_ones();
+                        while w != 0 {
+                            let id = SetId(wi as u32 * 64 + w.trailing_zeros());
+                            fp += c.set_fp(id);
+                            w &= w - 1;
+                        }
+                    }
+                }
+                None => {
+                    for &id in c.sets_containing(e) {
+                        if self.bits.contains(id) {
+                            count += 1;
+                            fp += c.set_fp(id);
+                        }
+                    }
+                }
+            }
+            if count > 0 && count < below {
+                out.push(EntityStats {
+                    entity: e,
+                    count,
+                    fp,
+                });
+            }
+        }
+    }
+
+    fn count_postings_impl(&self, out: &mut Vec<EntityCount>, below: u32) {
+        let c = self.collection;
+        for &e in c.occurring_entities() {
+            let count = match c.postings().dense(e) {
+                Some(bm) => self.bits.intersection_len(bm) as u32,
+                None => c
+                    .sets_containing(e)
+                    .iter()
+                    .filter(|&&id| self.bits.contains(id))
+                    .count() as u32,
+            };
+            if count > 0 && count < below {
+                out.push(EntityCount { entity: e, count });
+            }
+        }
+    }
+
+    /// The membership fingerprint of `e` within this view — the digest of
+    /// the member sets containing it, equal to the yes side of
+    /// `partition(e)` (and to the `fp` field a fingerprint counting pass
+    /// reports for `e`). `O(words + |postings ∩ view|)`; the parallel
+    /// lookahead uses it to dedup duplicate-partition candidates before
+    /// dispatching them to workers.
+    pub fn membership_fp(&self, e: EntityId) -> Fingerprint {
+        let c = self.collection;
+        let mut fp = Fingerprint::ZERO;
+        match c.postings().dense(e) {
+            Some(bm) => {
+                for (wi, (a, b)) in self.bits.words().iter().zip(bm.words()).enumerate() {
+                    let mut w = a & b;
+                    while w != 0 {
+                        fp += c.set_fp(SetId(wi as u32 * 64 + w.trailing_zeros()));
+                        w &= w - 1;
+                    }
+                }
+            }
+            None => {
+                for &id in c.sets_containing(e) {
+                    if self.bits.contains(id) {
+                        fp += c.set_fp(id);
+                    }
+                }
+            }
+        }
+        fp
+    }
+
     /// Informative entities: present in at least one member set but not in
     /// all (§3). Sorted by entity id for determinism.
     pub fn informative_entities(&self, scratch: &mut CountScratch) -> Vec<EntityCount> {
@@ -245,15 +499,19 @@ impl<'c> SubCollection<'c> {
         out
     }
 
-    /// Informative entities into a reusable buffer (cleared first), in
-    /// first-touched order — the allocation-free variant of
-    /// [`Self::informative_entities`] for argmin-style callers whose final
-    /// ranking key is total anyway.
+    /// Informative entities into a reusable buffer (cleared first), in the
+    /// deterministic order documented on [`Self::count_entities`] — the
+    /// allocation-free variant of [`Self::informative_entities`] for
+    /// argmin-style callers whose final ranking key is total anyway.
     pub fn informative_into(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
         out.clear();
-        let n = self.ids.len() as u32;
+        let n = self.len;
+        if self.use_postings(1) {
+            self.count_postings_impl(out, n);
+            return;
+        }
         scratch.ensure(self.collection.universe());
-        for &id in &self.ids {
+        for id in self.bits.iter() {
             for e in self.collection.set(id).iter() {
                 let slot = &mut scratch.counts[e.0 as usize];
                 if *slot == 0 {
@@ -274,43 +532,117 @@ impl<'c> SubCollection<'c> {
     }
 
     /// Splits the view on entity `e`: `(C⁺, C⁻)` where `C⁺` holds the sets
-    /// containing `e`. Uses a sorted merge against the inverted index, so the
-    /// cost is `O(|C| + |sets containing e|)`.
+    /// containing `e`.
     pub fn partition(&self, e: EntityId) -> (SubCollection<'c>, SubCollection<'c>) {
-        self.partition_into(e, Vec::new(), Vec::new())
+        self.partition_into(e, SubStorage::default(), SubStorage::default())
     }
 
-    /// [`Self::partition`] into caller-provided id buffers (cleared first),
-    /// so steady-state recursion performs no heap allocation: recover the
-    /// buffers afterwards with [`Self::into_ids`]. The yes-side fingerprint
-    /// is accumulated during the merge and the no side's is derived by
-    /// subtraction from the parent's.
+    /// [`Self::partition`] into caller-provided storage (cleared first), so
+    /// steady-state recursion performs no heap allocation: recover the
+    /// buffers afterwards with [`Self::into_storage`].
+    ///
+    /// Kernel selection: entities with a dense postings bitmap split by one
+    /// `AND`/`ANDNOT` pass over the words; entities below the dense
+    /// threshold copy the parent's words and clear the bits named by their
+    /// short posting list. Neither path materializes the children's id
+    /// vectors — the yes-side count and fingerprint are accumulated from
+    /// the result words and the no side's are derived by subtraction from
+    /// the parent's. All paths (including the
+    /// [`Self::partition_into_merge`] reference) produce identical
+    /// children.
     pub fn partition_into(
         &self,
         e: EntityId,
-        mut yes_ids: Vec<SetId>,
-        mut no_ids: Vec<SetId>,
+        mut yes: SubStorage,
+        mut no: SubStorage,
     ) -> (SubCollection<'c>, SubCollection<'c>) {
-        yes_ids.clear();
-        no_ids.clear();
-        let list = self.collection.sets_containing(e);
+        let c = self.collection;
+        yes.ids.clear();
+        no.ids.clear();
+        let mut yes_fp = Fingerprint::ZERO;
+        let mut yes_count = 0u32;
+        let mut yes_elems = 0u64;
+        if let Some(bm) = c.postings().dense(e) {
+            yes.bits.reset(c.len());
+            no.bits.reset(c.len());
+            let yes_words = yes.bits.words_mut();
+            let no_words = no.bits.words_mut();
+            let view_words = self.bits.words();
+            let post_words = bm.words();
+            for wi in 0..view_words.len() {
+                let a = view_words[wi];
+                let b = post_words[wi];
+                let mut yw = a & b;
+                yes_words[wi] = yw;
+                no_words[wi] = a & !b;
+                yes_count += yw.count_ones();
+                while yw != 0 {
+                    let id = SetId(wi as u32 * 64 + yw.trailing_zeros());
+                    yes_fp += c.set_fp(id);
+                    yes_elems += c.set_size(id) as u64;
+                    yw &= yw - 1;
+                }
+            }
+        } else {
+            // Sparse entity: the no side starts as the parent and loses the
+            // few member sets on the short posting list.
+            yes.bits.reset(c.len());
+            no.bits.copy_words_from(&self.bits);
+            for &id in c.sets_containing(e) {
+                if self.bits.contains(id) {
+                    yes.bits.insert(id);
+                    no.bits.remove(id);
+                    yes_fp += c.set_fp(id);
+                    yes_elems += c.set_size(id) as u64;
+                    yes_count += 1;
+                }
+            }
+        }
+        let no_fp = self.fp - yes_fp;
+        let no_count = self.len - yes_count;
+        let no_elems = self.elements - yes_elems;
+        (
+            SubCollection::from_bits_unchecked(c, yes.bits, yes_count, yes_elems, yes_fp),
+            SubCollection::from_bits_unchecked(c, no.bits, no_count, no_elems, no_fp),
+        )
+    }
+
+    /// The id-vector reference kernel: a sorted merge of the view's
+    /// (materialized) ids against the entity's posting list,
+    /// `O(|C| + |sets containing e|)`, producing children with both
+    /// representations filled. Property tests and benches pin the bitmap
+    /// kernels of [`Self::partition_into`] against it on every entity.
+    pub fn partition_into_merge(
+        &self,
+        e: EntityId,
+        mut yes: SubStorage,
+        mut no: SubStorage,
+    ) -> (SubCollection<'c>, SubCollection<'c>) {
+        let c = self.collection;
+        yes.ids.clear();
+        no.ids.clear();
+        yes.bits.reset(c.len());
+        no.bits.reset(c.len());
+        let list = c.sets_containing(e);
         let mut yes_fp = Fingerprint::ZERO;
         let mut li = 0usize;
-        for &id in &self.ids {
+        for &id in self.ids() {
             while li < list.len() && list[li] < id {
                 li += 1;
             }
             if li < list.len() && list[li] == id {
-                yes_fp += fp_of_set(id);
-                yes_ids.push(id);
+                yes_fp += c.set_fp(id);
+                yes.ids.push(id);
+                yes.bits.insert(id);
             } else {
-                no_ids.push(id);
+                no.ids.push(id);
+                no.bits.insert(id);
             }
         }
         let no_fp = self.fp - yes_fp;
         (
-            SubCollection::from_parts_unchecked(self.collection, yes_ids, yes_fp),
-            SubCollection::from_parts_unchecked(self.collection, no_ids, no_fp),
+            SubCollection::from_filled(c, yes.bits, yes.ids, yes_fp),
+            SubCollection::from_filled(c, no.bits, no.ids, no_fp),
         )
     }
 
@@ -318,28 +650,29 @@ impl<'c> SubCollection<'c> {
     pub fn filter(&self, mut keep: impl FnMut(SetId) -> bool) -> SubCollection<'c> {
         SubCollection::from_sorted_unchecked(
             self.collection,
-            self.ids.iter().copied().filter(|&id| keep(id)).collect(),
+            self.bits.iter().filter(|&id| keep(id)).collect(),
         )
     }
 
     /// Total number of elements across member sets (the work unit of one
-    /// counting pass — useful for complexity assertions in benches).
+    /// counting pass — also the quantity the counting dispatch compares
+    /// against the postings sweep cost). Maintained incrementally through
+    /// splits, so this is a field read.
+    #[inline]
     pub fn total_elements(&self) -> usize {
-        self.ids
-            .iter()
-            .map(|&id| self.collection.set(id).len())
-            .sum()
+        self.elements as usize
     }
 }
 
-/// Fingerprint of a sorted id slice (fold of per-id digests).
-fn fp_of_ids(ids: &[SetId]) -> Fingerprint {
-    ids.iter().map(|&id| fp_of_set(id)).sum()
+/// Fingerprint of a sorted id slice (fold of per-id digests via the
+/// collection's lookup table).
+fn fp_of_ids(collection: &Collection, ids: &[SetId]) -> Fingerprint {
+    ids.iter().map(|&id| collection.set_fp(id)).sum()
 }
 
 impl std::fmt::Debug for SubCollection<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SubCollection({} sets)", self.ids.len())
+        write!(f, "SubCollection({} sets)", self.len)
     }
 }
 
@@ -381,7 +714,9 @@ pub struct Candidate {
     /// Yes-side size `|C⁺|`.
     pub n1: u64,
     /// Membership digest (yes-side fingerprint) for duplicate-partition
-    /// dedup *before* partitioning.
+    /// dedup. The optimal solver fills it from the fingerprint counting
+    /// pass (deduping before any split); the k-LP loops leave it zero and
+    /// dedup on the digest their bitmap split computes as a byproduct.
     pub fp: Fingerprint,
 }
 
@@ -390,13 +725,17 @@ pub struct Candidate {
 pub struct LevelScratch {
     /// Counting-pass output (informative entities with fingerprints).
     pub stats: Vec<EntityStats>,
+    /// Fingerprint-free counting output for the `k ≤ 1` base case, which
+    /// never partitions and therefore needs no membership digests — the
+    /// count-only postings sweep is pure popcounts.
+    pub ecounts: Vec<EntityCount>,
     /// Ranked candidate list.
     pub cand: Vec<Candidate>,
-    /// Id buffer for the yes side of a split (recycled via
-    /// [`SubCollection::partition_into`] / [`SubCollection::into_ids`]).
-    pub yes_ids: Vec<SetId>,
-    /// Id buffer for the no side of a split.
-    pub no_ids: Vec<SetId>,
+    /// Storage for the yes side of a split (recycled via
+    /// [`SubCollection::partition_into`] / [`SubCollection::into_storage`]).
+    pub yes: SubStorage,
+    /// Storage for the no side of a split.
+    pub no: SubStorage,
     /// Seen-partition digests for duplicate-candidate dedup.
     pub seen: FxHashSet<(Fingerprint, u64)>,
 }
@@ -422,7 +761,7 @@ impl LookaheadScratch {
 
     /// Takes the buffer set for recursion depth `depth` (growing the arena
     /// on demand). The returned buffers are cleared of per-frame state
-    /// (candidates, stats, seen digests); the id buffers keep their
+    /// (candidates, stats, seen digests); the storage buffers keep their
     /// capacity.
     pub fn take_level(&mut self, depth: usize) -> LevelScratch {
         if depth >= self.levels.len() {
@@ -430,6 +769,7 @@ impl LookaheadScratch {
         }
         let mut level = std::mem::take(&mut self.levels[depth]);
         level.stats.clear();
+        level.ecounts.clear();
         level.cand.clear();
         level.seen.clear();
         level
@@ -466,6 +806,8 @@ mod tests {
         let v = c.full_view();
         assert_eq!(v.len(), 7);
         assert_eq!(v.total_elements(), 4 + 3 + 5 + 5 + 4 + 4 + 3);
+        assert_eq!(v.bitmap().iter().collect::<Vec<_>>(), v.ids());
+        assert_eq!(v.first_id(), Some(SetId(0)));
     }
 
     #[test]
@@ -508,6 +850,11 @@ mod tests {
         let (yes, no) = c.full_view().partition(EntityId(3));
         assert_eq!(yes.ids(), &[SetId(0), SetId(1), SetId(2)]);
         assert_eq!(no.ids(), &[SetId(3), SetId(4), SetId(5), SetId(6)]);
+        assert_eq!(yes.bitmap().iter().collect::<Vec<_>>(), yes.ids());
+        assert_eq!(no.bitmap().iter().collect::<Vec<_>>(), no.ids());
+        assert_eq!(yes.len(), 3);
+        assert_eq!(no.len(), 4);
+        assert_eq!(no.first_id(), Some(SetId(3)));
     }
 
     #[test]
@@ -526,6 +873,52 @@ mod tests {
         let (yes, no) = c.full_view().partition(EntityId(999));
         assert!(yes.is_empty());
         assert_eq!(no.len(), 7);
+    }
+
+    #[test]
+    fn all_partition_kernels_agree() {
+        // The dense word path, the sparse copy-and-clear path, and the
+        // merge reference must produce identical children (ids, bitmap,
+        // length, fingerprints) for every entity on dense and tiny views.
+        let c = figure1();
+        let views = [
+            c.full_view(),
+            SubCollection::from_ids(&c, vec![SetId(1), SetId(4)]),
+            SubCollection::from_ids(&c, vec![]),
+        ];
+        for v in &views {
+            for e in 0..=c.universe() {
+                let e = EntityId(e);
+                let (y1, n1) = v.partition(e);
+                let (y2, n2) =
+                    v.partition_into_merge(e, SubStorage::default(), SubStorage::default());
+                assert_eq!(y1.len(), y2.len(), "yes len, entity {e}");
+                assert_eq!(y1.ids(), y2.ids(), "yes ids, entity {e}");
+                assert_eq!(n1.ids(), n2.ids(), "no ids, entity {e}");
+                assert_eq!(y1.fingerprint(), y2.fingerprint());
+                assert_eq!(n1.fingerprint(), n2.fingerprint());
+                assert_eq!(y1.bitmap(), y2.bitmap());
+                assert_eq!(n1.bitmap(), n2.bitmap());
+            }
+        }
+    }
+
+    #[test]
+    fn counting_kernels_agree() {
+        let c = figure1();
+        let mut scratch = CountScratch::new();
+        let views = [
+            c.full_view(),
+            SubCollection::from_ids(&c, vec![SetId(0), SetId(2), SetId(5)]),
+        ];
+        for v in &views {
+            let mut elements = Vec::new();
+            v.count_entities_with_fp_elements(&mut scratch, &mut elements);
+            elements.sort_unstable_by_key(|s| s.entity);
+            let mut postings = Vec::new();
+            v.count_entities_with_fp_postings(&mut postings);
+            assert_eq!(elements, postings, "view of {} sets", v.len());
+        }
     }
 
     #[test]
@@ -629,27 +1022,48 @@ mod tests {
     }
 
     #[test]
-    fn partition_into_recycles_buffers() {
+    fn partition_into_recycles_storage() {
         let c = figure1();
         let v = c.full_view();
-        // Pre-dirtied buffers with excess capacity must be cleared and
-        // reused without reallocating.
-        let yes_buf = vec![SetId(99); 64];
-        let no_buf = vec![SetId(99); 64];
-        let yes_cap = yes_buf.capacity();
-        let (yes, no) = v.partition_into(EntityId(3), yes_buf, no_buf);
-        assert_eq!(yes.ids(), &[SetId(0), SetId(1), SetId(2)]);
+        // Pre-dirtied storage must be cleared and reused; children keep the
+        // bitmap words unmaterialized until someone asks for ids.
+        let yes_buf = SubStorage {
+            ids: vec![SetId(99); 64],
+            bits: IdBitmap::full(512),
+        };
+        let (yes, no) = v.partition_into(EntityId(3), yes_buf, SubStorage::default());
+        assert_eq!(yes.len(), 3);
         assert_eq!(no.len(), 4);
-        let reclaimed = yes.into_ids();
-        assert_eq!(reclaimed.capacity(), yes_cap, "buffer capacity retained");
+        assert_eq!(yes.ids(), &[SetId(0), SetId(1), SetId(2)]);
+        let reclaimed = yes.into_storage();
+        assert_eq!(reclaimed.bits.words().len(), 1, "bitmap resized to fit");
+        // An unmaterialized child hands back an empty id buffer.
+        assert!(no.into_storage().ids.is_empty());
+    }
+
+    #[test]
+    fn lazy_ids_materialize_once_and_round_trip() {
+        let c = figure1();
+        let (yes, no) = c.full_view().partition(EntityId(2));
+        // into_ids on an unmaterialized view decodes from the bitmap.
+        assert_eq!(
+            no.clone().into_ids(),
+            no.bitmap().iter().collect::<Vec<_>>()
+        );
+        // ids() caches: two calls, same slice content.
+        let first = yes.ids().to_vec();
+        assert_eq!(yes.ids(), first.as_slice());
+        // A materialized view hands its vector back through into_storage.
+        let storage = yes.into_storage();
+        assert_eq!(storage.ids, first);
     }
 
     #[test]
     fn lookahead_scratch_levels_retain_capacity() {
         let mut scratch = LookaheadScratch::new();
         let mut level = scratch.take_level(2);
-        level.yes_ids.reserve(100);
-        let cap = level.yes_ids.capacity();
+        level.yes.bits.reset(512);
+        let words = level.yes.bits.words().len();
         level.cand.push(Candidate {
             score: 1,
             imbalance: 0,
@@ -660,6 +1074,6 @@ mod tests {
         scratch.put_level(2, level);
         let level = scratch.take_level(2);
         assert!(level.cand.is_empty(), "per-frame state cleared");
-        assert!(level.yes_ids.capacity() >= cap, "capacity reused");
+        assert_eq!(level.yes.bits.words().len(), words, "bitmap words reused");
     }
 }

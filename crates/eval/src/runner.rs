@@ -88,23 +88,22 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
-/// Deterministic parallel map: applies `f` to each item on a scoped thread
-/// pool and returns outputs in input order. `f` must be `Sync` (called from
-/// many threads); per-item state belongs inside `f`.
+/// Deterministic parallel map: applies `f` to each item on the shared
+/// [`setdisc_util::pool`] scoped worker pool and returns outputs in input
+/// order. `f` must be `Sync` (called from many threads); per-item state
+/// belongs inside `f`.
 ///
-/// Work distribution is a single atomic claim counter — each worker
-/// `fetch_add`s the next index, so there is no contended queue lock. Each
-/// item sits behind its own (uncontended) mutex purely so the claimed
-/// worker can move it out without `unsafe`; workers accumulate
-/// `(index, output)` pairs locally and the results are merged back into
-/// input order after the scope joins.
+/// The worker count comes from [`setdisc_util::pool::configured_threads`] — sized from
+/// `std::thread::available_parallelism` with a `SETDISC_THREADS` override —
+/// the same knob that drives the parallel k-LP candidate loop. Work
+/// distribution is the pool's atomic [`setdisc_util::pool::ClaimCounter`]; each item sits
+/// behind its own (uncontended) mutex purely so the claiming worker can
+/// move it out without `unsafe`, and workers accumulate `(index, output)`
+/// pairs locally that are merged back into input order after the join.
 pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use setdisc_util::pool;
 
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
+    let workers = pool::configured_threads().min(items.len().max(1));
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -113,33 +112,22 @@ pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Ve
         .into_iter()
         .map(|t| std::sync::Mutex::new(Some(t)))
         .collect();
-    let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(idx) else { break };
-                        let item = slot
-                            .lock()
-                            .expect("slot lock poisoned")
-                            .take()
-                            .expect("each index is claimed exactly once");
-                        local.push((idx, f(item)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (idx, u) in handle.join().expect("worker panicked") {
-                out[idx] = Some(u);
-            }
+    let queue = pool::ClaimCounter::new(n);
+    let mut locals: Vec<Vec<(usize, U)>> = (0..workers).map(|_| Vec::new()).collect();
+    pool::run_workers(&mut locals, |_, local: &mut Vec<(usize, U)>| {
+        while let Some(idx) = queue.claim() {
+            let item = slots[idx]
+                .lock()
+                .expect("slot lock poisoned")
+                .take()
+                .expect("each index is claimed exactly once");
+            local.push((idx, f(item)));
         }
     });
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (idx, u) in locals.into_iter().flatten() {
+        out[idx] = Some(u);
+    }
     out.into_iter()
         .map(|s| s.expect("worker filled every slot"))
         .collect()

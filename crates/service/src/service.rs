@@ -27,6 +27,10 @@ pub struct ServiceConfig {
     /// Idle timeout applied by [`Service::evict_idle`]; `None` disables
     /// eviction.
     pub idle_timeout: Option<Duration>,
+    /// Parallel-lookahead tuning applied to every k-LP engine this service
+    /// builds (selection stays bit-identical; this only sizes the worker
+    /// pool and its dispatch gate to the deployment).
+    pub lookahead: crate::strategy::LookaheadTuning,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +39,7 @@ impl Default for ServiceConfig {
             max_sessions: 100_000,
             default_budget: 10_000,
             idle_timeout: None,
+            lookahead: crate::strategy::LookaheadTuning::default(),
         }
     }
 }
@@ -131,7 +136,7 @@ impl Service {
         let engine: ServiceEngine = Engine::new(
             SnapshotHandle(std::sync::Arc::clone(&snapshot)),
             &initial,
-            strategy.build(),
+            strategy.build_tuned(&self.config.lookahead),
         );
         let candidates = engine.candidate_count();
         let entry = SessionEntry::new(

@@ -5,7 +5,11 @@
 //! Snapshots are strictly immutable after construction — sessions hold
 //! [`SnapshotHandle`] clones, so the service never copies set data and a
 //! collection can be swapped in the registry without disturbing sessions
-//! already running over the old version.
+//! already running over the old version. The derived indexes the bitmap
+//! kernels rely on — the `EntityPostings` bitmaps, per-set fingerprint and
+//! size tables — are built once inside the [`Collection`] and therefore
+//! shared by every session over the snapshot: a thousand concurrent
+//! sessions split against one postings index.
 
 use setdisc_core::entity::{EntityId, SetId};
 use setdisc_core::io::{parse_collection, NamedCollection};
@@ -287,5 +291,23 @@ mod tests {
         assert_eq!(handle.len(), 7);
         let again = handle.clone();
         assert_eq!(again.universe(), snap.collection().universe());
+    }
+
+    #[test]
+    fn postings_index_is_shared_not_rebuilt() {
+        // Every handle clone must see the same postings index instance —
+        // the words slice of a dense entity resolves to the same memory.
+        let snap = fixture("copyadd:80:0.8:3").unwrap();
+        let a = SnapshotHandle(Arc::clone(&snap));
+        let b = a.clone();
+        let e = (0..a.universe())
+            .map(EntityId)
+            .find(|&e| a.postings().dense(e).is_some())
+            .expect("a dense entity exists at n=80");
+        assert_eq!(
+            a.postings().dense(e).unwrap().words().as_ptr(),
+            b.postings().dense(e).unwrap().words().as_ptr(),
+            "postings bitmaps shared through the Arc"
+        );
     }
 }

@@ -15,6 +15,23 @@ use setdisc_core::strategy::{
 /// A boxed, table-storable selection strategy.
 pub type BoxedStrategy = Box<dyn SelectionStrategy + Send>;
 
+/// Deployment-level tuning for the parallel k-LP engine, applied to every
+/// lookahead strategy the service builds. This is service configuration,
+/// not a wire field: the parallel selection loop is bit-identical to the
+/// sequential one (see `setdisc_core::lookahead`), so clients cannot — and
+/// need not — observe it; operators size it to the machine via
+/// [`crate::ServiceConfig`] or the `SETDISC_THREADS` environment knob.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct LookaheadTuning {
+    /// Worker threads for the selection loop (`0` keeps the
+    /// `setdisc_util::pool::configured_threads` default, `1` forces the
+    /// sequential path).
+    pub threads: usize,
+    /// Optional `(min_survivors, min_view)` dispatch-gate override; `None`
+    /// keeps the conservative library defaults.
+    pub parallel_gate: Option<(usize, usize)>,
+}
+
 /// Cost metric selector (`ad` = average depth, `h` = height).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Metric {
@@ -131,23 +148,47 @@ impl StrategySpec {
         Ok(spec)
     }
 
-    /// Builds the configured strategy.
+    /// Builds the configured strategy with default lookahead tuning.
     pub fn build(&self) -> BoxedStrategy {
+        self.build_tuned(&LookaheadTuning::default())
+    }
+
+    /// Builds the configured strategy, applying `tuning` to the k-LP
+    /// families (the greedy strategies have no parallel loop to tune).
+    pub fn build_tuned(&self, tuning: &LookaheadTuning) -> BoxedStrategy {
+        fn tune<M: setdisc_core::cost::CostModel>(
+            mut klp: KLp<M>,
+            tuning: &LookaheadTuning,
+        ) -> KLp<M> {
+            if tuning.threads != 0 {
+                klp = klp.with_threads(tuning.threads);
+            }
+            if let Some((min_survivors, min_view)) = tuning.parallel_gate {
+                klp = klp.with_parallel_gate(min_survivors, min_view);
+            }
+            klp
+        }
         match (self.kind, self.metric) {
-            (StrategyKind::KLp, Metric::AvgDepth) => Box::new(KLp::<AvgDepth>::new(self.k)),
-            (StrategyKind::KLp, Metric::Height) => Box::new(KLp::<Height>::new(self.k)),
+            (StrategyKind::KLp, Metric::AvgDepth) => {
+                Box::new(tune(KLp::<AvgDepth>::new(self.k), tuning))
+            }
+            (StrategyKind::KLp, Metric::Height) => {
+                Box::new(tune(KLp::<Height>::new(self.k), tuning))
+            }
             (StrategyKind::KLpLe, Metric::AvgDepth) => {
-                Box::new(KLp::<AvgDepth>::limited(self.k, self.beam))
+                Box::new(tune(KLp::<AvgDepth>::limited(self.k, self.beam), tuning))
             }
             (StrategyKind::KLpLe, Metric::Height) => {
-                Box::new(KLp::<Height>::limited(self.k, self.beam))
+                Box::new(tune(KLp::<Height>::limited(self.k, self.beam), tuning))
             }
-            (StrategyKind::KLpLve, Metric::AvgDepth) => {
-                Box::new(KLp::<AvgDepth>::limited_variable(self.k, self.beam))
-            }
-            (StrategyKind::KLpLve, Metric::Height) => {
-                Box::new(KLp::<Height>::limited_variable(self.k, self.beam))
-            }
+            (StrategyKind::KLpLve, Metric::AvgDepth) => Box::new(tune(
+                KLp::<AvgDepth>::limited_variable(self.k, self.beam),
+                tuning,
+            )),
+            (StrategyKind::KLpLve, Metric::Height) => Box::new(tune(
+                KLp::<Height>::limited_variable(self.k, self.beam),
+                tuning,
+            )),
             (StrategyKind::MostEven, _) => Box::new(MostEven::new()),
             (StrategyKind::InfoGain, _) => Box::new(InfoGain::new()),
             (StrategyKind::IndistPairs, _) => Box::new(IndistinguishablePairs::new()),

@@ -1,12 +1,14 @@
 //! A dense fixed-capacity bitset.
 //!
-//! A standalone utility for id-set algebra. The selection hot paths
-//! identify sub-collections by sorted id vectors plus 128-bit
-//! [`Fingerprint`]s (see `setdisc-core::subcollection`), so nothing in the
-//! core pipeline keys on bitsets today; [`DenseBitSet::fingerprint`] keeps
-//! the two representations interchangeable by digesting to the same value
-//! as the id-vector form. The capacity is fixed at construction; all
-//! operations that combine two bitsets require equal capacity.
+//! A standalone utility for general id-set algebra. The selection hot
+//! paths use the specialized `setdisc-core::bitset::IdBitmap` (dense words
+//! over a collection's `SetId` space, paired with an inverted
+//! `EntityPostings` index) rather than this type, because they recycle raw
+//! word buffers through the lookahead scratch arenas;
+//! [`DenseBitSet::fingerprint`] keeps the representations interchangeable
+//! by digesting to the same value as the id-vector form. The capacity is
+//! fixed at construction; all operations that combine two bitsets require
+//! equal capacity.
 
 use crate::hash::Fingerprint;
 

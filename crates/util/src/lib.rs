@@ -11,6 +11,9 @@
 //!   (currently a standalone utility: the hot paths moved to sorted id
 //!   vectors + fingerprints), with a [`Fingerprint`]-compatible content
 //!   digest so bitset- and vector-represented sets agree on identity.
+//! * [`pool`] — the scoped worker pool and the single `SETDISC_THREADS`
+//!   knob behind every parallel region (experiment `par_map`, the parallel
+//!   k-LP candidate loop), scheduled by an atomic claim counter.
 //! * [`math`] — exact integer math for the paper's cost lower bounds, most
 //!   importantly `⌈n·log₂ n⌉` computed in fixed point so pruning decisions
 //!   never depend on float rounding.
@@ -26,6 +29,7 @@
 pub mod bitset;
 pub mod hash;
 pub mod math;
+pub mod pool;
 pub mod report;
 pub mod rng;
 

@@ -9,8 +9,9 @@ use interactive_set_discovery::core::optimal::optimal_cost;
 use interactive_set_discovery::core::strategy::{
     IndistinguishablePairs, InfoGain, MostEven, SelectionStrategy,
 };
-use interactive_set_discovery::core::subcollection::CountScratch;
+use interactive_set_discovery::core::subcollection::{CountScratch, SubStorage};
 use interactive_set_discovery::core::Collection;
+use interactive_set_discovery::core::EntityId;
 use proptest::prelude::*;
 
 /// Random small collections: up to `max_sets` sets over a universe of
@@ -180,4 +181,161 @@ proptest! {
             prop_assert!(!c.set(id).contains(entity));
         }
     }
+
+    /// The bitmap partition kernels agree exactly — ids, lengths, bitmaps,
+    /// and fingerprints — with the id-vector merge reference, for every
+    /// entity (including absent ones) on the full view and a random
+    /// subview.
+    #[test]
+    fn bitmap_partition_agrees_with_merge_reference(
+        c in arb_collection(12, 16),
+        mask in 0u64..1 << 12,
+    ) {
+        let full = c.full_view();
+        let sub = full.filter(|id| mask >> (id.0 % 12) & 1 == 1);
+        for view in [&full, &sub] {
+            for e in 0..=c.universe() {
+                let entity = EntityId(e);
+                let (y1, n1) = view.partition(entity);
+                let (y2, n2) =
+                    view.partition_into_merge(entity, SubStorage::new(), SubStorage::new());
+                prop_assert_eq!(y1.len(), y2.len(), "yes len, entity {}", e);
+                prop_assert_eq!(y1.ids(), y2.ids(), "yes ids, entity {}", e);
+                prop_assert_eq!(n1.ids(), n2.ids(), "no ids, entity {}", e);
+                prop_assert_eq!(y1.fingerprint(), y2.fingerprint());
+                prop_assert_eq!(n1.fingerprint(), n2.fingerprint());
+                prop_assert_eq!(y1.bitmap().words(), y2.bitmap().words());
+                prop_assert_eq!(n1.bitmap().words(), n2.bitmap().words());
+                prop_assert_eq!(y1.total_elements() + n1.total_elements(),
+                    view.total_elements());
+                prop_assert_eq!(view.membership_fp(entity), y1.fingerprint());
+            }
+        }
+    }
+
+    /// The postings-sweep counting kernel agrees exactly — entities,
+    /// counts, membership fingerprints — with the element-pass reference
+    /// on random collections and random subviews.
+    #[test]
+    fn postings_counting_agrees_with_element_pass(
+        c in arb_collection(12, 16),
+        mask in 0u64..1 << 12,
+    ) {
+        let mut scratch = CountScratch::new();
+        let full = c.full_view();
+        let sub = full.filter(|id| mask >> (id.0 % 12) & 1 == 1);
+        for view in [&full, &sub] {
+            let mut elements = Vec::new();
+            view.count_entities_with_fp_elements(&mut scratch, &mut elements);
+            elements.sort_unstable_by_key(|s| s.entity);
+            let mut postings = Vec::new();
+            view.count_entities_with_fp_postings(&mut postings);
+            prop_assert_eq!(&elements, &postings, "view of {} sets", view.len());
+            // The auto-dispatched informative pass must match the reference
+            // filtered the same way.
+            let mut informative = Vec::new();
+            view.informative_with_fp(&mut scratch, &mut informative);
+            informative.sort_unstable_by_key(|s| s.entity);
+            let expect: Vec<_> = elements
+                .into_iter()
+                .filter(|s| (s.count as usize) < view.len())
+                .collect();
+            prop_assert_eq!(informative, expect);
+        }
+    }
+
+    /// The parallel selection loop is bit-identical to the sequential one:
+    /// same bound, same argmin, and the same entity at every node of every
+    /// tree, across beam variants, metrics, and lookahead depths.
+    #[test]
+    fn parallel_klp_is_bit_identical_to_sequential(
+        c in arb_collection(10, 14),
+        k in 2..=3u32,
+    ) {
+        let view = c.full_view();
+        let seq_bound = KLp::<AvgDepth>::new(k).with_threads(1).bound(&view);
+        let par_bound = KLp::<AvgDepth>::new(k)
+            .with_threads(4)
+            .with_parallel_gate(1, 0)
+            .bound(&view);
+        prop_assert_eq!(seq_bound, par_bound, "AD bound, k={}", k);
+        let seq_h = KLp::<Height>::new(k).with_threads(1).bound(&view);
+        let par_h = KLp::<Height>::new(k)
+            .with_threads(4)
+            .with_parallel_gate(1, 0)
+            .bound(&view);
+        prop_assert_eq!(seq_h, par_h, "H bound, k={}", k);
+
+        let mut seq_tree = KLp::<AvgDepth>::new(k).with_threads(1);
+        let mut par_tree = KLp::<AvgDepth>::new(k).with_threads(4).with_parallel_gate(1, 0);
+        prop_assert_eq!(
+            build_tree(&view, &mut seq_tree).expect("tree").to_text(),
+            build_tree(&view, &mut par_tree).expect("tree").to_text(),
+            "full k-LP tree, k={}", k
+        );
+        let mut seq_beam = KLp::<Height>::limited(k, 3).with_threads(1);
+        let mut par_beam = KLp::<Height>::limited(k, 3)
+            .with_threads(4)
+            .with_parallel_gate(1, 0);
+        prop_assert_eq!(
+            build_tree(&view, &mut seq_beam).expect("tree").to_text(),
+            build_tree(&view, &mut par_beam).expect("tree").to_text(),
+            "k-LPLE tree, k={}", k
+        );
+        let mut seq_lve = KLp::<AvgDepth>::limited_variable(k, 3).with_threads(1);
+        let mut par_lve = KLp::<AvgDepth>::limited_variable(k, 3)
+            .with_threads(4)
+            .with_parallel_gate(1, 0);
+        prop_assert_eq!(
+            build_tree(&view, &mut seq_lve).expect("tree").to_text(),
+            build_tree(&view, &mut par_lve).expect("tree").to_text(),
+            "k-LPLVE tree, k={}", k
+        );
+    }
+}
+
+/// The kernels must also agree across the dense/sparse postings split,
+/// which only exists past 64 sets — covered deterministically with a
+/// copy-add collection too big for the random generator.
+#[test]
+fn bitmap_kernels_agree_on_large_mixed_density_collection() {
+    use interactive_set_discovery::synth::copyadd::{generate_copy_add, CopyAddConfig};
+    let c = generate_copy_add(&CopyAddConfig {
+        n_sets: 220,
+        size_range: (8, 14),
+        overlap: 0.85,
+        seed: 17,
+    });
+    assert!(
+        c.postings().dense_entities() > 0 && c.postings().dense_entities() < c.universe() as usize,
+        "fixture must exercise both representations"
+    );
+    let full = c.full_view();
+    let sub = full.filter(|id| id.0 % 3 != 1);
+    let mut scratch = CountScratch::new();
+    for view in [&full, &sub] {
+        let mut elements = Vec::new();
+        view.count_entities_with_fp_elements(&mut scratch, &mut elements);
+        elements.sort_unstable_by_key(|s| s.entity);
+        let mut postings = Vec::new();
+        view.count_entities_with_fp_postings(&mut postings);
+        assert_eq!(elements, postings);
+        for e in (0..c.universe()).step_by(7) {
+            let entity = EntityId(e);
+            let (y1, n1) = view.partition(entity);
+            let (y2, n2) = view.partition_into_merge(entity, SubStorage::new(), SubStorage::new());
+            assert_eq!(y1.ids(), y2.ids(), "entity {e}");
+            assert_eq!(n1.ids(), n2.ids(), "entity {e}");
+            assert_eq!(y1.fingerprint(), y2.fingerprint());
+            assert_eq!(n1.fingerprint(), n2.fingerprint());
+        }
+    }
+    // And the parallel selection stays bit-identical at this scale.
+    let view = c.full_view();
+    let seq = KLp::<AvgDepth>::new(2).with_threads(1).bound(&view);
+    let par = KLp::<AvgDepth>::new(2)
+        .with_threads(4)
+        .with_parallel_gate(1, 0)
+        .bound(&view);
+    assert_eq!(seq, par);
 }
