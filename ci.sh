@@ -40,6 +40,25 @@ cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figur
     < crates/service/tests/wire_smoke.in \
     | diff -u crates/service/tests/wire_smoke.golden -
 
+# Plan-cache round trip: precompute a question plan to disk, boot serve
+# warm from the persisted file, replay the golden transcript — output must
+# stay byte-identical with the cache enabled — and assert the plan actually
+# served (nonzero hit count in the trailing service-status line).
+echo "==> plan-cache precompute round trip"
+PLAN_TMP=$(mktemp -d)
+run cargo run --release -q -p setdisc-eval --bin discover -- precompute \
+    --fixture figure1 --strategy klp --k 2 \
+    --out "$PLAN_TMP/figure1.plan" --max-nodes 512 --max-depth 16
+{ cat crates/service/tests/wire_smoke.in; echo '{"op":"status"}'; } > "$PLAN_TMP/in"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --plan-cache "$PLAN_TMP/figure1.plan" \
+    < "$PLAN_TMP/in" > "$PLAN_TMP/out"
+GOLDEN_LINES=$(wc -l < crates/service/tests/wire_smoke.golden)
+head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | diff -u crates/service/tests/wire_smoke.golden -
+tail -n 1 "$PLAN_TMP/out" | grep -Eq '"plan_hits":[1-9]' \
+    || { echo "plan cache reported no hits:"; tail -n 1 "$PLAN_TMP/out"; exit 1; }
+rm -rf "$PLAN_TMP"
+
 # Service TCP smoke: start serve on an ephemeral loopback port, drive a
 # brief verified load through the generator over the real socket, kill it.
 echo "==> service tcp smoke"

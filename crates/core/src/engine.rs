@@ -25,12 +25,33 @@ use crate::collection::Collection;
 use crate::discovery::{Answer, Oracle, Outcome};
 use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
-use crate::strategy::SelectionStrategy;
+use crate::strategy::{SelectionDetail, SelectionStrategy};
 use crate::subcollection::{SubCollection, SubStorage};
 use setdisc_util::{Fingerprint, FxHashSet};
 use std::mem;
 use std::ops::Deref;
 use std::sync::Arc;
+
+/// A shared cache of per-view selections — the engine's pluggable hook for
+/// the cross-session plan cache (`setdisc-plan`).
+///
+/// The engine consults [`Self::lookup`] before running its strategy and
+/// calls [`Self::record`] with the strategy's answer after a miss, **only
+/// when no entity is excluded** — a "don't know" reply changes what the
+/// strategy may pick without changing the view's `(fingerprint, len)`
+/// identity, so excluded-path selections are never served from or written
+/// to the cache. Losslessness therefore requires exactly what the in-
+/// strategy memos already require: implementations must only return
+/// selections recorded for the *same* collection and the *same*
+/// deterministic strategy configuration (attach nothing for randomized
+/// strategies).
+pub trait SelectionCache: Send + Sync {
+    /// The cached selection for this view, or `None` on a miss.
+    fn lookup(&self, view: &SubCollection<'_>) -> Option<EntityId>;
+
+    /// Records a freshly computed selection for this view.
+    fn record(&self, view: &SubCollection<'_>, detail: &SelectionDetail);
+}
 
 /// A cheaply-cloneable handle to an immutable [`Collection`].
 ///
@@ -57,6 +78,7 @@ pub struct Engine<C, S> {
     spare_a: SubStorage,
     spare_b: SubStorage,
     strategy: S,
+    plan: Option<Arc<dyn SelectionCache>>,
     excluded: FxHashSet<EntityId>,
     history: Vec<(EntityId, Answer)>,
     questions: usize,
@@ -96,6 +118,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
             spare_a: SubStorage::default(),
             spare_b: SubStorage::default(),
             strategy,
+            plan: None,
             excluded: FxHashSet::default(),
             history: Vec::new(),
             questions: 0,
@@ -160,6 +183,20 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         &mut self.strategy
     }
 
+    /// Attaches (or detaches, with `None`) a shared [`SelectionCache`].
+    /// The cache must have been populated by the *same* deterministic
+    /// strategy configuration over the *same* collection; see the trait
+    /// docs for the losslessness contract.
+    pub fn set_selection_cache(&mut self, cache: Option<Arc<dyn SelectionCache>>) {
+        self.plan = cache;
+    }
+
+    /// Builder form of [`Self::set_selection_cache`].
+    pub fn with_selection_cache(mut self, cache: Arc<dyn SelectionCache>) -> Self {
+        self.plan = Some(cache);
+        self
+    }
+
     /// Selects the next question (Algorithm 2, line 6); `None` when the
     /// session is resolved or every informative entity has been excluded.
     ///
@@ -173,7 +210,23 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         }
         let store = mem::take(&mut self.store);
         let view = SubCollection::from_storage_unchecked(self.collection.deref(), store, self.fp);
-        let pick = self.strategy.select_excluding(&view, &self.excluded);
+        // The plan cache only speaks for exclusion-free selections (see
+        // [`SelectionCache`]): consult it before running the strategy,
+        // populate it after a miss. With exclusions (the "don't know"
+        // path) selection always runs the strategy directly.
+        let pick = match &self.plan {
+            Some(cache) if self.excluded.is_empty() => match cache.lookup(&view) {
+                Some(entity) => Some(entity),
+                None => {
+                    let detail = self.strategy.select_with_detail(&view, &self.excluded);
+                    if let Some(detail) = &detail {
+                        cache.record(&view, detail);
+                    }
+                    detail.map(|d| d.entity)
+                }
+            },
+            _ => self.strategy.select_excluding(&view, &self.excluded),
+        };
         self.store = view.into_storage();
         pick
     }
@@ -390,6 +443,95 @@ mod tests {
         assert_eq!(engine.candidates().fingerprint(), {
             SubCollection::from_ids(&c, vec![SetId(1), SetId(4)]).fingerprint()
         });
+    }
+
+    /// A hash-map [`SelectionCache`] for hook tests (the real sharded,
+    /// persistable implementation lives in `setdisc-plan`).
+    #[derive(Default)]
+    struct TestCache {
+        map: std::sync::Mutex<std::collections::HashMap<(u128, usize), EntityId>>,
+        hits: std::sync::atomic::AtomicUsize,
+        records: std::sync::atomic::AtomicUsize,
+    }
+
+    impl SelectionCache for TestCache {
+        fn lookup(&self, view: &SubCollection<'_>) -> Option<EntityId> {
+            let hit = self
+                .map
+                .lock()
+                .unwrap()
+                .get(&(view.fingerprint().as_u128(), view.len()))
+                .copied();
+            if hit.is_some() {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        }
+
+        fn record(&self, view: &SubCollection<'_>, detail: &crate::strategy::SelectionDetail) {
+            self.records
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.map
+                .lock()
+                .unwrap()
+                .insert((view.fingerprint().as_u128(), view.len()), detail.entity);
+        }
+    }
+
+    #[test]
+    fn selection_cache_serves_identical_sequences_and_skips_exclusions() {
+        let c = figure1();
+        let cache = Arc::new(TestCache::default());
+        let run = |cache: Option<Arc<TestCache>>, unknown_at: Option<usize>| {
+            let mut engine = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+            if let Some(cache) = cache {
+                engine.set_selection_cache(Some(cache));
+            }
+            let target = c.set(crate::entity::SetId(4)).clone();
+            let mut asked = Vec::new();
+            while let Some(e) = engine.next_question() {
+                let answer = if unknown_at == Some(asked.len()) {
+                    Answer::Unknown
+                } else if target.contains(e) {
+                    Answer::Yes
+                } else {
+                    Answer::No
+                };
+                asked.push(e);
+                engine.answer(e, answer);
+            }
+            (asked, engine.outcome())
+        };
+        // Cold pass records, warm pass hits; both match the cache-off run.
+        let plain = run(None, None);
+        let cold = run(Some(Arc::clone(&cache)), None);
+        assert!(cache.records.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let warm = run(Some(Arc::clone(&cache)), None);
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        assert!(cache.hits.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        // An Unknown answer excludes an entity: every later selection must
+        // bypass the cache (neither lookups nor records).
+        let hits_before = cache.hits.load(std::sync::atomic::Ordering::Relaxed);
+        let records_before = cache.records.load(std::sync::atomic::Ordering::Relaxed);
+        let with_unknown = run(Some(Arc::clone(&cache)), Some(0));
+        assert!(
+            with_unknown.0.len() > 1,
+            "session continued past the Unknown"
+        );
+        assert_eq!(
+            cache.hits.load(std::sync::atomic::Ordering::Relaxed),
+            hits_before + 1,
+            "only the pre-Unknown root selection may hit"
+        );
+        assert_eq!(
+            cache.records.load(std::sync::atomic::Ordering::Relaxed),
+            records_before,
+            "excluded-path selections are never recorded"
+        );
+        // And the unknown run matches a cache-off run of the same plan.
+        assert_eq!(with_unknown, run(None, Some(0)));
     }
 
     #[test]

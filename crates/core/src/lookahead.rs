@@ -614,7 +614,7 @@ impl<M: CostModel> KLp<M> {
     pub fn bound(&mut self, view: &SubCollection<'_>) -> Option<(EntityId, Cost)> {
         self.prepare_for(view);
         let excluded = FxHashSet::default();
-        let (e, l) = self.select_top(view, &excluded);
+        let (e, l, _, _) = self.select_top(view, &excluded);
         e.map(|e| (e, l))
     }
 
@@ -632,15 +632,18 @@ impl<M: CostModel> KLp<M> {
     /// The selection level of Algorithm 1 (`is_top`): cache probe under the
     /// top key, candidate generation, then the pruned scan — sequential
     /// with lazy ranking, fanning out to the worker pool when enough
-    /// candidates survive the warm-up.
+    /// candidates survive the warm-up. Returns
+    /// `(entity, bound, informative, evaluated)`; the trailing counts are
+    /// the Table-4 node statistics (zero on a memo hit, which re-runs no
+    /// scan).
     fn select_top(
         &mut self,
         view: &SubCollection<'_>,
         excluded: &FxHashSet<EntityId>,
-    ) -> (Option<EntityId>, Cost) {
+    ) -> (Option<EntityId>, Cost, u32, u32) {
         let n = view.len() as u64;
         if n <= 1 {
-            return (None, 0);
+            return (None, 0, 0, 0);
         }
         self.lb0.ensure(n);
         let mut ul = UNBOUNDED;
@@ -649,10 +652,10 @@ impl<M: CostModel> KLp<M> {
             let key: CacheKey = (view.fingerprint(), view.len() as u32, self.k, true);
             if let Some(entry) = self.cache.get(&key) {
                 if ul <= entry.bound {
-                    return (None, entry.bound);
+                    return (None, entry.bound, 0, 0);
                 }
                 if entry.entity.is_some() {
-                    return (entry.entity, entry.bound);
+                    return (entry.entity, entry.bound, 0, 0);
                 }
             }
             Some(key)
@@ -692,14 +695,15 @@ impl<M: CostModel> KLp<M> {
                     },
                 );
             }
+            let evaluated = informative_total.min(beam_len);
             if self.record_stats {
                 self.stats.nodes.push(NodeStats {
                     collection_size: n as u32,
                     informative: informative_total,
-                    evaluated: informative_total.min(beam_len),
+                    evaluated,
                 });
             }
-            return result;
+            return (result.0, result.1, informative_total, evaluated);
         }
 
         // Fingerprint-free candidate generation; duplicate-partition dedup
@@ -816,7 +820,7 @@ impl<M: CostModel> KLp<M> {
                 evaluated,
             });
         }
-        (best, ul)
+        (best, ul, informative_total, evaluated)
     }
 
     /// The parallel tail of the selection loop: candidates `start..width`
@@ -994,8 +998,26 @@ impl<M: CostModel> SelectionStrategy for KLp<M> {
             return None;
         }
         self.prepare_for(view);
-        let (entity, _) = self.select_top(view, excluded);
+        let (entity, _, _, _) = self.select_top(view, excluded);
         entity
+    }
+
+    fn select_with_detail(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<crate::strategy::SelectionDetail> {
+        if view.len() < 2 {
+            return None;
+        }
+        self.prepare_for(view);
+        let (entity, bound, informative, evaluated) = self.select_top(view, excluded);
+        entity.map(|entity| crate::strategy::SelectionDetail {
+            entity,
+            bound,
+            informative,
+            evaluated,
+        })
     }
 }
 

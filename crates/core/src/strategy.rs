@@ -12,10 +12,31 @@
 //! randomly; a fixed order keeps experiments reproducible and is one of the
 //! tied optima either way.
 
-use crate::cost::{imbalance, lb1, CostModel};
+use crate::cost::{imbalance, lb1, Cost, CostModel};
 use crate::entity::EntityId;
 use crate::subcollection::{CountScratch, EntityCount, SubCollection};
 use setdisc_util::{FxHashSet, Rng};
+
+/// One selection together with the evidence behind it — what a plan cache
+/// persists per decision-tree node (see `setdisc-plan`).
+///
+/// `bound` is the strategy's own quality measure for the pick: the `LB_k`
+/// value for the lookahead families, `0` for the greedy strategies (which
+/// compute no tree bound). `informative` / `evaluated` mirror
+/// [`crate::lookahead::NodeStats`] when the strategy tracks pruning, and
+/// are `0` otherwise.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SelectionDetail {
+    /// The selected entity.
+    pub entity: EntityId,
+    /// The strategy's bound for this selection (scaled cost units; `0` when
+    /// the strategy computes none).
+    pub bound: Cost,
+    /// Informative entities available at the node (`0` when untracked).
+    pub informative: u32,
+    /// Entities whose bound computation started (`0` when untracked).
+    pub evaluated: u32,
+}
 
 /// Chooses the entity for the next membership question on a sub-collection.
 ///
@@ -38,6 +59,26 @@ pub trait SelectionStrategy {
     /// Selects with no exclusions.
     fn select(&mut self, view: &SubCollection<'_>) -> Option<EntityId> {
         self.select_excluding(view, &FxHashSet::default())
+    }
+
+    /// Like [`Self::select_excluding`], but also reports the bound and
+    /// prune statistics behind the pick — the record a plan cache stores.
+    /// The selected entity MUST equal what [`Self::select_excluding`] would
+    /// return on the same inputs (the default implementation guarantees it
+    /// by delegation; [`crate::lookahead::KLp`] overrides with its native
+    /// detail and property tests pin the agreement).
+    fn select_with_detail(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<SelectionDetail> {
+        self.select_excluding(view, excluded)
+            .map(|entity| SelectionDetail {
+                entity,
+                bound: 0,
+                informative: 0,
+                evaluated: 0,
+            })
     }
 }
 
@@ -282,6 +323,14 @@ impl<T: SelectionStrategy + ?Sized> SelectionStrategy for Box<T> {
         excluded: &FxHashSet<EntityId>,
     ) -> Option<EntityId> {
         (**self).select_excluding(view, excluded)
+    }
+
+    fn select_with_detail(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<SelectionDetail> {
+        (**self).select_with_detail(view, excluded)
     }
 }
 

@@ -467,12 +467,22 @@ impl<'c> SubCollection<'c> {
     /// lookahead uses it to dedup duplicate-partition candidates before
     /// dispatching them to workers.
     pub fn membership_fp(&self, e: EntityId) -> Fingerprint {
+        self.membership_stat(e).1
+    }
+
+    /// [`Self::membership_fp`] plus the member count in the same pass —
+    /// `(|C⁺|, fingerprint(C⁺))` of `partition(e)`'s yes side. The plan
+    /// cache uses this to derive both children's `(fingerprint, len)` keys
+    /// without partitioning (the no side follows by subtraction).
+    pub fn membership_stat(&self, e: EntityId) -> (u32, Fingerprint) {
         let c = self.collection;
         let mut fp = Fingerprint::ZERO;
+        let mut count = 0u32;
         match c.postings().dense(e) {
             Some(bm) => {
                 for (wi, (a, b)) in self.bits.words().iter().zip(bm.words()).enumerate() {
                     let mut w = a & b;
+                    count += w.count_ones();
                     while w != 0 {
                         fp += c.set_fp(SetId(wi as u32 * 64 + w.trailing_zeros()));
                         w &= w - 1;
@@ -483,11 +493,12 @@ impl<'c> SubCollection<'c> {
                 for &id in c.sets_containing(e) {
                     if self.bits.contains(id) {
                         fp += c.set_fp(id);
+                        count += 1;
                     }
                 }
             }
         }
-        fp
+        (count, fp)
     }
 
     /// Informative entities: present in at least one member set but not in
@@ -992,6 +1003,7 @@ mod tests {
             let (yes, _) = v.partition(s.entity);
             assert_eq!(s.fp, yes.fingerprint(), "entity {}", s.entity);
             assert_eq!(s.count as usize, yes.len());
+            assert_eq!(v.membership_stat(s.entity), (s.count, s.fp));
         }
         // The informative variant filters exactly the universal entities.
         let mut inf = Vec::new();

@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! discover <sets.txt> [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
-//!          [--examples e1,e2]
+//!          [--examples e1,e2] [--plan-cache PATH]
+//! discover precompute (<sets.txt> | --fixture SPEC) --out PATH
+//!          [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
+//!          [--max-nodes N] [--max-depth D]
 //! ```
 //!
 //! `sets.txt` uses the `setdisc_core::io` format (one set per line,
 //! `name: member member …`). The tool filters to supersets of `--examples`,
 //! then asks membership questions on stdin (`y` / `n` / `?` for don't-know
 //! / `q` to stop) until one set remains.
+//!
+//! `--plan-cache PATH` loads a question plan (if the file exists; it must
+//! match the collection) so selections come from the persisted decision
+//! tree, and writes the updated plan back on exit — the same file format
+//! the `serve` binary's `--plan-cache` consumes. The `precompute`
+//! subcommand builds such a file offline: it expands the strategy's
+//! decision tree breadth-first to the node/depth budget and saves it, so a
+//! service boots warm without ever paying the lookahead cost online.
 //!
 //! The CLI is a thin terminal driver over the *same* stack the network
 //! service runs: collections become `setdisc_service::Snapshot`s,
@@ -19,77 +30,181 @@
 use setdisc_core::analysis::CollectionProfile;
 use setdisc_core::discovery::Answer;
 use setdisc_core::engine::Engine;
+use setdisc_plan::{PlanCache, PrecomputeBudget, ScopedPlanCache};
 use setdisc_service::strategy::BoxedStrategy;
 use setdisc_service::{Snapshot, SnapshotHandle, StrategySpec};
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: discover <sets.txt> [--strategy klp|klp-le|klp-lve|most-even|info-gain|\
-         indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]"
+         indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]\n\
+         \x20                [--plan-cache PATH]\n\
+         \x20      discover precompute (<sets.txt> | --fixture SPEC) --out PATH\n\
+         \x20                [--strategy ...] [--metric ad|h] [--k N] [--beam Q]\n\
+         \x20                [--max-nodes N] [--max-depth D]"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path = None;
-    let mut strategy_name = "klp".to_string();
-    let mut metric: Option<String> = None;
-    let mut k: Option<u64> = None;
-    let mut beam: Option<u64> = None;
-    let mut examples: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+/// Everything both modes share: the source collection and strategy spec.
+struct CommonArgs {
+    path: Option<String>,
+    fixture: Option<String>,
+    strategy_name: String,
+    metric: Option<String>,
+    k: Option<u64>,
+    beam: Option<u64>,
+    examples: Vec<String>,
+    plan_cache: Option<String>,
+    out: Option<String>,
+    max_nodes: usize,
+    max_depth: u32,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
+    let mut precompute = false;
+    let mut c = CommonArgs {
+        path: None,
+        fixture: None,
+        strategy_name: "klp".to_string(),
+        metric: None,
+        k: None,
+        beam: None,
+        examples: Vec::new(),
+        plan_cache: None,
+        out: None,
+        max_nodes: 4096,
+        max_depth: 16,
+    };
+    let mut it = args.peekable();
+    if it.peek().map(String::as_str) == Some("precompute") {
+        precompute = true;
+        it.next();
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--strategy" => strategy_name = it.next().unwrap_or_else(|| usage()),
-            "--metric" => metric = Some(it.next().unwrap_or_else(|| usage())),
+            "--strategy" => c.strategy_name = it.next().unwrap_or_else(|| usage()),
+            "--metric" => c.metric = Some(it.next().unwrap_or_else(|| usage())),
             "--k" => {
-                k = Some(
+                c.k = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
             }
             "--beam" => {
-                beam = Some(
+                c.beam = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
             }
             "--examples" => {
-                examples = it
+                c.examples = it
                     .next()
                     .unwrap_or_else(|| usage())
                     .split(',')
                     .map(str::to_string)
                     .collect()
             }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            "--plan-cache" => c.plan_cache = Some(it.next().unwrap_or_else(|| usage())),
+            "--fixture" => c.fixture = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => c.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--max-nodes" => {
+                c.max_nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-depth" => {
+                c.max_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            other if c.path.is_none() && !other.starts_with('-') => {
+                c.path = Some(other.to_string())
+            }
             _ => usage(),
         }
     }
-    let path = path.unwrap_or_else(|| usage());
-    // `--beam` selects the k-LPLE family unless one was named explicitly.
-    if beam.is_some() && strategy_name == "klp" {
-        strategy_name = "klp-le".to_string();
-    }
-    let spec = StrategySpec::parse(&strategy_name, metric.as_deref(), k, beam, None)
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            usage()
-        });
+    (precompute, c)
+}
 
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    let snapshot = Snapshot::parse(path.clone(), &text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
-    });
+/// Builds the snapshot from a file path or a fixture spec.
+fn load_snapshot(c: &CommonArgs) -> Arc<Snapshot> {
+    match (&c.path, &c.fixture) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            Snapshot::parse(path.clone(), &text)
+                .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+        }
+        (None, Some(spec)) => setdisc_service::snapshot::fixture(spec).unwrap_or_else(|e| die(&e)),
+        _ => usage(),
+    }
+}
+
+fn parse_spec(c: &CommonArgs) -> StrategySpec {
+    // `--beam` selects the k-LPLE family unless one was named explicitly.
+    let mut name = c.strategy_name.clone();
+    if c.beam.is_some() && name == "klp" {
+        name = "klp-le".to_string();
+    }
+    StrategySpec::parse(&name, c.metric.as_deref(), c.k, c.beam, None).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    })
+}
+
+fn run_precompute(c: &CommonArgs) {
+    let snapshot = load_snapshot(c);
+    let spec = parse_spec(c);
+    let Some(key) = spec.plan_key() else {
+        die("the random strategy cannot be precomputed (no shareable plan)");
+    };
+    let out = c.out.as_deref().unwrap_or_else(|| usage());
+    let collection = snapshot.collection();
+    let cache = Arc::new(PlanCache::for_collection(collection, c.max_nodes.max(16)));
+    let mut strategy = spec.build();
+    let budget = PrecomputeBudget {
+        max_nodes: c.max_nodes,
+        max_depth: c.max_depth,
+    };
+    let report = setdisc_plan::precompute(&cache, key, collection, strategy.as_mut(), &budget);
+    let nodes = setdisc_plan::save_plan(&cache, out)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "precomputed {} ({}): {} nodes to depth {}{} -> {out} ({nodes} saved)",
+        snapshot.name(),
+        spec.label(),
+        report.computed + report.already_cached,
+        report.depth_reached,
+        if report.truncated {
+            " (budget hit; deeper tree remains)"
+        } else {
+            " (complete)"
+        },
+    );
+}
+
+fn main() {
+    let (precompute, args) = parse_args(std::env::args().skip(1));
+    if precompute {
+        run_precompute(&args);
+        return;
+    }
+
+    let snapshot = load_snapshot(&args);
+    let spec = parse_spec(&args);
 
     let profile = CollectionProfile::new(snapshot.collection(), 500, 0);
     println!(
@@ -101,13 +216,13 @@ fn main() {
         profile.worst_case_questions
     );
 
-    let initial: Vec<setdisc_core::EntityId> = examples
+    let initial: Vec<setdisc_core::EntityId> = args
+        .examples
         .iter()
         .map(|name| {
-            snapshot.resolve_entity(name).unwrap_or_else(|| {
-                eprintln!("unknown example entity {name:?}");
-                std::process::exit(1);
-            })
+            snapshot
+                .resolve_entity(name)
+                .unwrap_or_else(|| die(&format!("unknown example entity {name:?}")))
         })
         .collect();
 
@@ -117,6 +232,40 @@ fn main() {
         &initial,
         spec.build(),
     );
+
+    // Load (or lazily create) the shared plan so this terminal session
+    // reads and extends the same decision tree a service would. Loaded
+    // plans keep the same capacity a fresh one gets — bounding the cache
+    // to exactly its payload would make each run evict the prefix the
+    // previous run saved.
+    const PLAN_CAPACITY: usize = 1 << 18;
+    let plan = args.plan_cache.as_deref().map(|path| {
+        let cache = if Path::new(path).exists() {
+            let cache = setdisc_plan::load_plan(path, PLAN_CAPACITY)
+                .unwrap_or_else(|e| die(&format!("cannot load plan {path}: {e}")));
+            if !cache.matches(snapshot.collection()) {
+                die(&format!("plan {path} was built for a different collection"));
+            }
+            println!("loaded plan cache: {} nodes", cache.len());
+            Arc::new(cache)
+        } else {
+            Arc::new(PlanCache::for_collection(
+                snapshot.collection(),
+                PLAN_CAPACITY,
+            ))
+        };
+        if let Some(key) = spec.plan_key() {
+            if let Some(scope) =
+                ScopedPlanCache::new(Arc::clone(&cache), key, snapshot.collection())
+            {
+                engine.set_selection_cache(Some(Arc::new(scope)));
+            }
+        } else {
+            eprintln!("note: the random strategy shares no plan; cache not consulted");
+        }
+        (path.to_string(), cache)
+    });
+
     println!(
         "{} candidate sets match your examples ({})",
         engine.candidate_count(),
@@ -159,6 +308,12 @@ fn main() {
                 println!("  - {}", snapshot.set_label(*id));
             }
             println!("({} candidates remain)", outcome.candidates.len());
+        }
+    }
+    if let Some((path, cache)) = plan {
+        match setdisc_plan::save_plan(&cache, &path) {
+            Ok(nodes) => println!("saved plan cache: {nodes} nodes -> {path}"),
+            Err(e) => eprintln!("warning: could not save plan {path}: {e}"),
         }
     }
 }

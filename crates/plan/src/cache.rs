@@ -1,0 +1,572 @@
+//! The concurrent plan store and its engine adapter.
+//!
+//! A [`PlanCache`] is pinned to one collection (content identity captured
+//! at construction) and holds nodes for any number of strategy
+//! configurations over it, sharded 16 ways so concurrent sessions contend
+//! only 1/16 of the time. Each entry is one decision-tree node: the entity
+//! the strategy selects on that sub-collection, the bound and prune
+//! statistics behind the pick, and the `(fingerprint, len)` keys of the
+//! yes/no children (derived at record time from one postings pass — no
+//! partition happens). A "don't know" reply leaves the sub-collection — and
+//! therefore the key — unchanged, so the don't-know child of every node is
+//! the node itself; it is not stored, and the engine hook never consults
+//! the cache once entities are excluded (see the crate docs).
+//!
+//! Eviction is size-bounded and LRU-ish: every access stamps the entry
+//! from a global clock, and an insert that finds the cache at capacity
+//! drops the least-recently-stamped quarter of its target shard in one
+//! sweep — O(shard) once per quarter-shard of churn, amortized O(1), no
+//! per-access list surgery.
+
+use setdisc_core::collection::Collection;
+use setdisc_core::cost::Cost;
+use setdisc_core::engine::SelectionCache;
+use setdisc_core::entity::EntityId;
+use setdisc_core::strategy::SelectionDetail;
+use setdisc_core::subcollection::SubCollection;
+use setdisc_util::{Fingerprint, FxHashMap, FxHasher};
+use std::hash::Hasher as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+/// A strategy configuration the cache can distinguish — the serializable
+/// projection of a wire-level strategy spec. Randomized strategies have no
+/// key (they must not share plans); `setdisc-service` maps its
+/// `StrategySpec` here and returns `None` for those.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrategyKey {
+    /// Selection family tag (the service's wire family, e.g. k-LP vs
+    /// most-even). Opaque to this crate beyond equality.
+    pub family: u8,
+    /// Cost metric tag (0 = AD, 1 = H).
+    pub metric: u8,
+    /// Lookahead depth for the k-LP families (0 when not applicable).
+    pub k: u32,
+    /// Beam width for the limited families (0 when not applicable).
+    pub beam: u32,
+}
+
+/// Identity of one decision-tree node: a strategy configuration plus the
+/// sub-collection's content `(fingerprint, len)` — the same
+/// canonicalization the lookahead memos key on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanKey {
+    /// The strategy configuration that produced (or would produce) the
+    /// selection.
+    pub strategy: StrategyKey,
+    /// 128-bit content digest of the candidate sub-collection.
+    pub fp: Fingerprint,
+    /// Number of candidate sets (always paired with the digest).
+    pub len: u32,
+}
+
+/// One cached decision-tree node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The entity the strategy selects on this sub-collection.
+    pub entity: EntityId,
+    /// The strategy's bound for the pick (`LB_k` for lookahead families,
+    /// 0 for greedy strategies).
+    pub bound: Cost,
+    /// Informative entities at this node (0 when the strategy reported
+    /// none — e.g. a greedy family or a memo-served selection).
+    pub informative: u32,
+    /// Entities whose bound computation started (Table-4 counter; 0 when
+    /// unreported).
+    pub evaluated: u32,
+    /// `(fingerprint, len)` of the yes child (sets containing the entity).
+    pub yes: (Fingerprint, u32),
+    /// `(fingerprint, len)` of the no child. The don't-know child is this
+    /// node's own key and is not stored.
+    pub no: (Fingerprint, u32),
+}
+
+/// Aggregate counters of one [`PlanCache`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Nodes currently resident.
+    pub nodes: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Nodes ever inserted.
+    pub inserted: u64,
+    /// Nodes dropped by the size bound.
+    pub evicted: u64,
+}
+
+impl PlanStats {
+    /// Hits over lookups, in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    node: PlanNode,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<PlanKey, Entry>,
+}
+
+/// A concurrent, size-bounded, persistable store of decision-tree nodes
+/// for one collection.
+pub struct PlanCache {
+    collection_fp: Fingerprint,
+    collection_len: u32,
+    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    clock: AtomicU64,
+    resident: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserted: AtomicU64,
+    evicted: AtomicU64,
+}
+
+/// Content identity of a collection: an order-independent 128-bit digest
+/// binding every set's *content* fingerprint to its `SetId` (ids matter —
+/// cached selections name entities whose membership is expressed through
+/// those ids). Two collections match iff they hold the same sets under the
+/// same ids, up to the usual fingerprint collision odds.
+pub fn collection_identity(collection: &Collection) -> Fingerprint {
+    collection
+        .iter()
+        .map(|(id, set)| {
+            let mut h = FxHasher::default();
+            h.write_u32(id.0);
+            let content = set.fingerprint().as_u128();
+            h.write_u64(content as u64);
+            h.write_u64((content >> 64) as u64);
+            Fingerprint::of(h.finish())
+        })
+        .sum()
+}
+
+impl PlanCache {
+    /// An empty cache pinned to `collection`, bounded to about `capacity`
+    /// resident nodes (clamped to ≥ the shard count so every shard can
+    /// hold at least one entry).
+    pub fn for_collection(collection: &Collection, capacity: usize) -> Self {
+        Self::with_identity(
+            collection_identity(collection),
+            collection.len() as u32,
+            capacity,
+        )
+    }
+
+    /// An empty cache for a known collection identity (the deserialization
+    /// path; prefer [`Self::for_collection`]).
+    pub fn with_identity(collection_fp: Fingerprint, collection_len: u32, capacity: usize) -> Self {
+        Self {
+            collection_fp,
+            collection_len,
+            capacity: capacity.max(SHARDS),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            clock: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// The pinned collection's content identity.
+    pub fn collection_fp(&self) -> Fingerprint {
+        self.collection_fp
+    }
+
+    /// The pinned collection's set count.
+    pub fn collection_len(&self) -> u32 {
+        self.collection_len
+    }
+
+    /// The configured node bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when `collection` is (content- and id-wise) the collection this
+    /// cache was built for — the attach-time validation gate.
+    pub fn matches(&self, collection: &Collection) -> bool {
+        self.collection_len == collection.len() as u32
+            && self.collection_fp == collection_identity(collection)
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+        // The fingerprint is already uniformly mixed; fold both lanes so
+        // shard choice differs from any map-internal bucketing.
+        let raw = key.fp.as_u128();
+        let h = (raw as u64) ^ (raw >> 64) as u64 ^ u64::from(key.len);
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// The cached node for `key`, stamping it most-recently-used. Counts a
+    /// hit or miss.
+    pub fn get(&self, key: &PlanKey) -> Option<PlanNode> {
+        let mut shard = self.shard(key).lock().expect("plan shard poisoned");
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.node)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Probes `key` without stamping or counting (serialization and
+    /// precompute use this to avoid skewing the serving statistics).
+    pub fn peek(&self, key: &PlanKey) -> Option<PlanNode> {
+        let shard = self.shard(key).lock().expect("plan shard poisoned");
+        shard.map.get(key).map(|e| e.node)
+    }
+
+    /// Inserts (or replaces) a node. When the cache is at capacity, the
+    /// least-recently-stamped quarter of the *target* shard is dropped
+    /// first — O(shard) once per quarter-shard of churn, and sustained
+    /// churn visits every shard, so the bound holds globally (with a
+    /// transient overshoot of at most one entry per momentarily empty
+    /// shard, the same soft-admission trade the session table makes).
+    pub fn insert(&self, key: PlanKey, node: PlanNode) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().expect("plan shard poisoned");
+        if self.resident.load(Ordering::Relaxed) >= self.capacity as u64
+            && !shard.map.is_empty()
+            && !shard.map.contains_key(&key)
+        {
+            // Drop the least-recently-stamped quarter (at least one entry):
+            // the cutoff is the drop-count-th smallest stamp, and stamps
+            // are unique (global counter), so `retain` removes exactly the
+            // entries at or below it.
+            let mut stamps: Vec<u64> = shard.map.values().map(|e| e.stamp).collect();
+            let drop = (stamps.len() / 4).max(1);
+            let (_, cutoff, _) = stamps.select_nth_unstable(drop - 1);
+            let cutoff = *cutoff;
+            let before = shard.map.len();
+            shard.map.retain(|_, e| e.stamp > cutoff);
+            let dropped = (before - shard.map.len()) as u64;
+            self.resident.fetch_sub(dropped, Ordering::Relaxed);
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        }
+        if shard.map.insert(key, Entry { node, stamp }).is_none() {
+            self.resident.fetch_add(1, Ordering::Relaxed);
+            self.inserted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of resident nodes (O(1): maintained counter).
+    pub fn len(&self) -> usize {
+        self.resident.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when no node is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PlanStats {
+        PlanStats {
+            nodes: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserted: self.inserted.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every resident `(key, node)` pair, deterministically ordered (by
+    /// key) so persisted files are byte-stable for a given content.
+    pub fn export_nodes(&self) -> Vec<(PlanKey, PlanNode)> {
+        let mut out: Vec<(PlanKey, PlanNode)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("plan shard poisoned");
+            out.extend(shard.map.iter().map(|(k, e)| (*k, e.node)));
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PlanCache({} nodes over {} sets)",
+            self.len(),
+            self.collection_len
+        )
+    }
+}
+
+/// One `(cache, strategy configuration)` pair adapted to the engine's
+/// [`SelectionCache`] hook. Construction pins the process-local token of
+/// the collection the sessions will run over; a view from any other
+/// collection (programmer error) misses safely instead of cross-serving.
+pub struct ScopedPlanCache {
+    cache: Arc<PlanCache>,
+    strategy: StrategyKey,
+    collection_token: u64,
+}
+
+impl ScopedPlanCache {
+    /// Scopes `cache` to one strategy configuration over `collection`.
+    /// Returns `None` when the cache was built for a different collection
+    /// (the caller decided to attach before validating).
+    pub fn new(
+        cache: Arc<PlanCache>,
+        strategy: StrategyKey,
+        collection: &Collection,
+    ) -> Option<Self> {
+        cache
+            .matches(collection)
+            .then(|| Self::new_prevalidated(cache, strategy, collection))
+    }
+
+    /// Like [`Self::new`], but trusts the caller that
+    /// `cache.matches(collection)` already holds — the per-session path
+    /// for caches obtained from the snapshot that owns the collection
+    /// (validated once at lazy construction or plan-file install), where
+    /// re-hashing every set's identity on each session create would put an
+    /// O(collection) pass on the hot path. Debug builds still assert the
+    /// match.
+    pub fn new_prevalidated(
+        cache: Arc<PlanCache>,
+        strategy: StrategyKey,
+        collection: &Collection,
+    ) -> Self {
+        debug_assert!(
+            cache.matches(collection),
+            "plan cache scoped to a collection it was not built for"
+        );
+        Self {
+            cache,
+            strategy,
+            collection_token: collection.token(),
+        }
+    }
+
+    /// The underlying shared cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The scoped strategy configuration.
+    pub fn strategy(&self) -> StrategyKey {
+        self.strategy
+    }
+
+    /// The [`PlanKey`] of a view under this scope.
+    pub fn key_of(&self, view: &SubCollection<'_>) -> PlanKey {
+        PlanKey {
+            strategy: self.strategy,
+            fp: view.fingerprint(),
+            len: view.len() as u32,
+        }
+    }
+}
+
+impl SelectionCache for ScopedPlanCache {
+    fn lookup(&self, view: &SubCollection<'_>) -> Option<EntityId> {
+        if view.collection().token() != self.collection_token {
+            debug_assert!(false, "plan cache consulted for a foreign collection");
+            return None;
+        }
+        self.cache.get(&self.key_of(view)).map(|node| node.entity)
+    }
+
+    fn record(&self, view: &SubCollection<'_>, detail: &SelectionDetail) {
+        if view.collection().token() != self.collection_token {
+            debug_assert!(false, "plan cache recorded for a foreign collection");
+            return;
+        }
+        let (n1, yes_fp) = view.membership_stat(detail.entity);
+        debug_assert!(n1 >= 1 && (n1 as usize) < view.len(), "informative pick");
+        let node = PlanNode {
+            entity: detail.entity,
+            bound: detail.bound,
+            informative: detail.informative,
+            evaluated: detail.evaluated,
+            yes: (yes_fp, n1),
+            no: (view.fingerprint() - yes_fp, view.len() as u32 - n1),
+        };
+        self.cache.insert(self.key_of(view), node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setdisc_core::cost::AvgDepth;
+    use setdisc_core::lookahead::KLp;
+    use setdisc_core::strategy::SelectionStrategy;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    fn key(strategy: StrategyKey, fp: Fingerprint, len: u32) -> PlanKey {
+        PlanKey { strategy, fp, len }
+    }
+
+    const KLP2: StrategyKey = StrategyKey {
+        family: 0,
+        metric: 0,
+        k: 2,
+        beam: 0,
+    };
+
+    fn node(entity: u32) -> PlanNode {
+        PlanNode {
+            entity: EntityId(entity),
+            bound: 17,
+            informative: 5,
+            evaluated: 2,
+            yes: (Fingerprint::of(1), 3),
+            no: (Fingerprint::of(2), 4),
+        }
+    }
+
+    #[test]
+    fn get_insert_and_stats_round_trip() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 1024);
+        let k = key(KLP2, Fingerprint::of(99), 7);
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k, node(3));
+        assert_eq!(cache.get(&k), Some(node(3)));
+        assert_eq!(cache.peek(&k), Some(node(3)));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.nodes, stats.hits, stats.misses, stats.inserted),
+            (1, 1, 1, 1)
+        );
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // A different strategy configuration is a different node.
+        let other = StrategyKey { k: 3, ..KLP2 };
+        assert_eq!(cache.peek(&key(other, Fingerprint::of(99), 7)), None);
+    }
+
+    #[test]
+    fn identity_binds_content_and_ids() {
+        let a = figure1();
+        let b = figure1();
+        assert_eq!(collection_identity(&a), collection_identity(&b));
+        let cache = PlanCache::for_collection(&a, 64);
+        assert!(cache.matches(&b), "identical content matches");
+        // Same sets, two swapped ids → different identity.
+        let swapped = Collection::from_raw_sets(vec![
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap();
+        assert!(!cache.matches(&swapped));
+        let smaller = Collection::from_raw_sets(vec![vec![0, 1], vec![0, 2]]).unwrap();
+        assert!(!cache.matches(&smaller));
+    }
+
+    #[test]
+    fn eviction_bounds_size_and_keeps_recent() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 64);
+        for i in 0..10_000u64 {
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(1));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.nodes as usize <= cache.capacity() + 16,
+            "{} far over cap {}",
+            stats.nodes,
+            cache.capacity()
+        );
+        assert!(stats.evicted > 0);
+        // The most recent insert survives (it carries the newest stamp).
+        assert!(cache.peek(&key(KLP2, Fingerprint::of(9_999), 7)).is_some());
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction_pressure() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 64);
+        let hot = key(KLP2, Fingerprint::of(0), 7);
+        cache.insert(hot, node(42));
+        for i in 1..5_000u64 {
+            // Touch the hot key continuously while cold keys churn.
+            assert_eq!(cache.get(&hot).map(|n| n.entity), Some(EntityId(42)));
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(1));
+        }
+        assert!(cache.peek(&hot).is_some(), "hot entry evicted");
+    }
+
+    #[test]
+    fn scoped_cache_records_child_keys_consistent_with_partition() {
+        let c = figure1();
+        let cache = Arc::new(PlanCache::for_collection(&c, 1024));
+        let scoped = ScopedPlanCache::new(Arc::clone(&cache), KLP2, &c).unwrap();
+        let view = c.full_view();
+        let mut klp = KLp::<AvgDepth>::new(2);
+        let detail = klp
+            .select_with_detail(&view, &setdisc_util::FxHashSet::default())
+            .unwrap();
+        SelectionCache::record(&scoped, &view, &detail);
+        let stored = cache.peek(&scoped.key_of(&view)).unwrap();
+        assert_eq!(stored.entity, detail.entity);
+        assert_eq!(stored.bound, detail.bound);
+        let (yes, no) = view.partition(detail.entity);
+        assert_eq!(stored.yes, (yes.fingerprint(), yes.len() as u32));
+        assert_eq!(stored.no, (no.fingerprint(), no.len() as u32));
+        // And the lookup serves it back.
+        assert_eq!(SelectionCache::lookup(&scoped, &view), Some(detail.entity));
+    }
+
+    #[test]
+    fn scoped_cache_rejects_foreign_collections() {
+        let c = figure1();
+        let other = Collection::from_raw_sets(vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let cache = Arc::new(PlanCache::for_collection(&c, 64));
+        assert!(ScopedPlanCache::new(cache, KLP2, &other).is_none());
+    }
+
+    #[test]
+    fn export_is_sorted_and_complete() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 1024);
+        for i in [5u64, 1, 9, 3] {
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(i as u32));
+        }
+        let nodes = cache.export_nodes();
+        assert_eq!(nodes.len(), 4);
+        assert!(nodes.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+    }
+}

@@ -1,0 +1,52 @@
+//! Cross-session question-plan cache.
+//!
+//! Every deterministic questioning policy over a fixed collection *is* a
+//! binary decision tree (the paper's AD/H trees); Algorithm 2 merely walks
+//! it online. Yet without this crate every session recomputes k-LP
+//! selection from scratch — a million users discovering over the same
+//! web-tables snapshot each pay the full lookahead cost for the identical
+//! tree prefix. The [`cache::PlanCache`] materializes that tree *lazily* as
+//! sessions traverse it and serves cached selections to every later
+//! session on the same snapshot, turning the per-question cost of hot
+//! answer paths into a hash probe.
+//!
+//! * [`cache`] — the concurrent store: a sharded map from
+//!   [`cache::PlanKey`] = (strategy configuration, sub-collection
+//!   `(fingerprint, len)`) to [`cache::PlanNode`] (selected entity, bound,
+//!   prune statistics, yes/no child keys), with size-bounded LRU-ish
+//!   eviction. [`cache::ScopedPlanCache`] adapts one `(cache, strategy)`
+//!   pair to the sans-IO engine's
+//!   [`setdisc_core::engine::SelectionCache`] hook.
+//! * [`mod@file`] — a compact versioned binary serialization with an
+//!   integrity header, so a service can persist its learned plan and boot
+//!   warm.
+//! * [`mod@precompute`] — a breadth-first driver that expands the decision
+//!   tree to a node/depth budget ahead of traffic.
+//!
+//! # Why serving cached picks is lossless
+//!
+//! A selection with no excluded entities is a pure function of
+//! (collection, strategy configuration, candidate sub-collection). The
+//! cache keys on exactly that triple: the collection is pinned per cache
+//! (identity checked at attach and load time), the strategy configuration
+//! is a [`cache::StrategyKey`], and the sub-collection is identified by the
+//! same 128-bit content `(fingerprint, len)` canonicalization the in-
+//! strategy memos of `setdisc_core::lookahead` already rely on (collision
+//! odds ≈ `p²/2¹²⁸`, see `setdisc_util::hash`). "Don't know" answers
+//! *exclude* entities without changing the view identity, so the engine
+//! hook bypasses the cache entirely whenever the exclusion set is
+//! non-empty — excluded-path selections are neither served nor recorded.
+//! Property tests pin that cache-on runs (cold, warm, interleaved across
+//! sessions, and persisted-then-reloaded) select bit-identical entities,
+//! bounds, and outcomes to cache-off runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod file;
+pub mod precompute;
+
+pub use cache::{PlanCache, PlanKey, PlanNode, PlanStats, ScopedPlanCache, StrategyKey};
+pub use file::{load_plan, save_plan};
+pub use precompute::{precompute, PrecomputeBudget, PrecomputeReport};

@@ -1,0 +1,259 @@
+//! Breadth-first plan expansion: warm a [`PlanCache`] ahead of traffic.
+//!
+//! The online cache fills in whatever order sessions happen to traverse
+//! the tree; a service that wants its first users served from cache
+//! instead expands the decision tree *breadth-first* from the full view —
+//! the shallow prefix every session crosses — down to a node/depth budget,
+//! then persists the result (`crate::file`) so later boots skip even the
+//! expansion. Expansion goes through the same [`ScopedPlanCache::record`]
+//! path online sessions use, so precomputed and traffic-learned nodes are
+//! indistinguishable.
+
+use crate::cache::{PlanCache, ScopedPlanCache, StrategyKey};
+use setdisc_core::collection::Collection;
+use setdisc_core::engine::SelectionCache as _;
+use setdisc_core::entity::SetId;
+use setdisc_core::strategy::SelectionStrategy;
+use setdisc_core::subcollection::SubCollection;
+use setdisc_util::{Fingerprint, FxHashSet};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Expansion limits.
+#[derive(Copy, Clone, Debug)]
+pub struct PrecomputeBudget {
+    /// Stop after this many nodes have been selected (freshly computed or
+    /// found already cached).
+    pub max_nodes: usize,
+    /// Do not descend past this depth (the root is depth 0).
+    pub max_depth: u32,
+}
+
+impl Default for PrecomputeBudget {
+    fn default() -> Self {
+        Self {
+            max_nodes: 4096,
+            max_depth: 16,
+        }
+    }
+}
+
+/// What one expansion did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrecomputeReport {
+    /// Selections computed and recorded by this run.
+    pub computed: usize,
+    /// Nodes found already cached (their children were still expanded).
+    pub already_cached: usize,
+    /// Deepest level reached (root = 0).
+    pub depth_reached: u32,
+    /// True when the budget cut expansion short (a deeper tree remains).
+    pub truncated: bool,
+}
+
+/// Expands the decision tree of `strategy` over `collection` breadth-first
+/// into `cache`, scoped under `key`. `strategy` must be the deterministic
+/// configuration `key` names; the exclusion-free selection at every node is
+/// recorded exactly as an online session would record it.
+///
+/// Returns what was done. Panics if `cache` was built for a different
+/// collection (programmer error — the CLI validates first).
+pub fn precompute(
+    cache: &Arc<PlanCache>,
+    key: StrategyKey,
+    collection: &Collection,
+    strategy: &mut dyn SelectionStrategy,
+    budget: &PrecomputeBudget,
+) -> PrecomputeReport {
+    let scoped = ScopedPlanCache::new(Arc::clone(cache), key, collection)
+        .expect("plan cache pinned to a different collection");
+    let excluded = FxHashSet::default();
+    let mut report = PrecomputeReport::default();
+    // Distinct sub-collections can be reached along several answer paths
+    // (the tree is really a DAG over views); visit each identity once.
+    let mut seen: FxHashSet<(Fingerprint, u32)> = FxHashSet::default();
+    let mut queue: VecDeque<(Vec<SetId>, u32)> = VecDeque::new();
+    let root = collection.full_view();
+    seen.insert((root.fingerprint(), root.len() as u32));
+    queue.push_back((root.into_ids(), 0));
+
+    while let Some((ids, depth)) = queue.pop_front() {
+        if report.computed + report.already_cached >= budget.max_nodes {
+            report.truncated = true;
+            break;
+        }
+        let view = SubCollection::from_ids(collection, ids);
+        report.depth_reached = report.depth_reached.max(depth);
+        let entity = match cache.peek(&scoped.key_of(&view)) {
+            Some(node) => {
+                report.already_cached += 1;
+                node.entity
+            }
+            None => {
+                let Some(detail) = strategy.select_with_detail(&view, &excluded) else {
+                    continue; // len < 2 children never enqueue; defensive
+                };
+                scoped.record(&view, &detail);
+                report.computed += 1;
+                detail.entity
+            }
+        };
+        let (yes, no) = view.partition(entity);
+        for child in [yes, no] {
+            if child.len() < 2 {
+                continue; // leaf — nothing to select
+            }
+            if depth >= budget.max_depth {
+                // A real internal node exists below the depth budget.
+                report.truncated = true;
+            } else if seen.insert((child.fingerprint(), child.len() as u32)) {
+                queue.push_back((child.into_ids(), depth + 1));
+            }
+        }
+    }
+    report.truncated |= !queue.is_empty();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanKey;
+    use setdisc_core::cost::AvgDepth;
+    use setdisc_core::lookahead::KLp;
+
+    fn figure1() -> Collection {
+        Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap()
+    }
+
+    const KEY: StrategyKey = StrategyKey {
+        family: 0,
+        metric: 0,
+        k: 2,
+        beam: 0,
+    };
+
+    #[test]
+    fn full_expansion_covers_every_internal_node() {
+        let c = figure1();
+        let cache = Arc::new(PlanCache::for_collection(&c, 4096));
+        let mut klp = KLp::<AvgDepth>::new(2);
+        let report = precompute(
+            &cache,
+            KEY,
+            &c,
+            &mut klp,
+            &PrecomputeBudget {
+                max_nodes: 10_000,
+                max_depth: 64,
+            },
+        );
+        assert!(!report.truncated, "{report:?}");
+        assert_eq!(report.computed, cache.len());
+        assert!(report.computed >= 6, "a 7-leaf tree has ≥ 6 internal nodes");
+        // The root is cached with the entity k-LP(2, AD) picks there.
+        let root_key = PlanKey {
+            strategy: KEY,
+            fp: c.full_view().fingerprint(),
+            len: 7,
+        };
+        let root = cache.peek(&root_key).expect("root cached");
+        let expected = KLp::<AvgDepth>::new(2).select(&c.full_view()).unwrap();
+        assert_eq!(root.entity, expected);
+        assert!(root.bound > 0);
+        // Child keys resolve to cached nodes whenever the child is
+        // non-trivial (internal): the tree links up.
+        for (key, node) in cache.export_nodes() {
+            for (fp, len) in [node.yes, node.no] {
+                assert!(len >= 1, "empty child recorded");
+                if len >= 2 {
+                    let child = PlanKey {
+                        strategy: key.strategy,
+                        fp,
+                        len,
+                    };
+                    assert!(cache.peek(&child).is_some(), "dangling child for {key:?}");
+                }
+            }
+        }
+        // Re-running is a no-op that reports the existing coverage.
+        let again = precompute(
+            &cache,
+            KEY,
+            &c,
+            &mut KLp::<AvgDepth>::new(2),
+            &PrecomputeBudget::default(),
+        );
+        assert_eq!(again.computed, 0);
+        assert_eq!(again.already_cached, report.computed);
+    }
+
+    #[test]
+    fn budgets_truncate_depth_and_nodes() {
+        let c = figure1();
+        let cache = Arc::new(PlanCache::for_collection(&c, 4096));
+        let report = precompute(
+            &cache,
+            KEY,
+            &c,
+            &mut KLp::<AvgDepth>::new(2),
+            &PrecomputeBudget {
+                max_nodes: 10_000,
+                max_depth: 0,
+            },
+        );
+        assert_eq!(report.computed, 1, "depth 0 = root only");
+        assert!(report.truncated);
+
+        let cache2 = Arc::new(PlanCache::for_collection(&c, 4096));
+        let report = precompute(
+            &cache2,
+            KEY,
+            &c,
+            &mut KLp::<AvgDepth>::new(2),
+            &PrecomputeBudget {
+                max_nodes: 2,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(report.computed, 2);
+        assert!(report.truncated);
+
+        // A depth budget that exactly covers the deepest internal level is
+        // NOT truncation: everything below it is leaves.
+        let full = Arc::new(PlanCache::for_collection(&c, 4096));
+        let complete = precompute(
+            &full,
+            KEY,
+            &c,
+            &mut KLp::<AvgDepth>::new(2),
+            &PrecomputeBudget {
+                max_nodes: 10_000,
+                max_depth: 64,
+            },
+        );
+        assert!(!complete.truncated);
+        let exact = Arc::new(PlanCache::for_collection(&c, 4096));
+        let report = precompute(
+            &exact,
+            KEY,
+            &c,
+            &mut KLp::<AvgDepth>::new(2),
+            &PrecomputeBudget {
+                max_nodes: 10_000,
+                max_depth: complete.depth_reached,
+            },
+        );
+        assert!(!report.truncated, "{report:?}");
+        assert_eq!(report.computed, complete.computed);
+    }
+}

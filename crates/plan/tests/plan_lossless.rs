@@ -1,0 +1,384 @@
+//! The plan cache's losslessness contract, property-tested: with the cache
+//! enabled — cold, warm, shared across interleaved sessions, and persisted
+//! then reloaded — every selected entity, recorded bound, and session
+//! outcome is bit-identical to cache-off runs, across strategy families,
+//! lookahead depths, and beam widths. "Don't know" paths are included: the
+//! engine must bypass the cache the moment an entity is excluded.
+
+use proptest::prelude::*;
+use setdisc_core::collection::Collection;
+use setdisc_core::cost::{AvgDepth, Height};
+use setdisc_core::discovery::{Answer, Outcome};
+use setdisc_core::engine::{Engine, SelectionCache};
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{InfoGain, MostEven, SelectionStrategy};
+use setdisc_core::subcollection::SubCollection;
+use setdisc_plan::{
+    precompute, PlanCache, PlanKey, PrecomputeBudget, ScopedPlanCache, StrategyKey,
+};
+use std::sync::Arc;
+
+type BoxedStrategy = Box<dyn SelectionStrategy>;
+
+/// The strategy configurations under test, spanning families, metrics,
+/// depths, and beam widths. Keys only need to be distinct per config.
+const CONFIGS: usize = 8;
+
+fn make_strategy(cfg: usize) -> (StrategyKey, BoxedStrategy) {
+    let key = |family, metric, k, beam| StrategyKey {
+        family,
+        metric,
+        k,
+        beam,
+    };
+    match cfg {
+        0 => (key(0, 0, 1, 0), Box::new(KLp::<AvgDepth>::new(1))),
+        1 => (key(0, 0, 2, 0), Box::new(KLp::<AvgDepth>::new(2))),
+        2 => (key(0, 1, 2, 0), Box::new(KLp::<Height>::new(2))),
+        3 => (key(0, 0, 3, 0), Box::new(KLp::<AvgDepth>::new(3))),
+        4 => (key(1, 0, 2, 4), Box::new(KLp::<AvgDepth>::limited(2, 4))),
+        5 => (
+            key(2, 1, 3, 3),
+            Box::new(KLp::<Height>::limited_variable(3, 3)),
+        ),
+        6 => (key(3, 0, 0, 0), Box::new(MostEven::new())),
+        7 => (key(4, 0, 0, 0), Box::new(InfoGain::new())),
+        other => panic!("no config {other}"),
+    }
+}
+
+fn scoped(cache: &Arc<PlanCache>, key: StrategyKey, c: &Collection) -> Arc<dyn SelectionCache> {
+    Arc::new(ScopedPlanCache::new(Arc::clone(cache), key, c).expect("cache matches collection"))
+}
+
+/// Drives one full session; answers are truthful membership in `target`
+/// except the listed question indices, which answer Unknown.
+fn run_session(
+    c: &Collection,
+    strategy: BoxedStrategy,
+    cache: Option<Arc<dyn SelectionCache>>,
+    target: SetId,
+    unknown_at: &[usize],
+) -> (Vec<EntityId>, Outcome) {
+    let mut engine = Engine::new(c, &[], strategy);
+    engine.set_selection_cache(cache);
+    let target_set = c.set(target).clone();
+    let mut asked = Vec::new();
+    while let Some(e) = engine.next_question() {
+        let answer = if unknown_at.contains(&asked.len()) {
+            Answer::Unknown
+        } else if target_set.contains(e) {
+            Answer::Yes
+        } else {
+            Answer::No
+        };
+        asked.push(e);
+        engine.answer(e, answer);
+    }
+    (asked, engine.outcome())
+}
+
+/// Runs one session per target *interleaved* (round-robin, one question
+/// each), all sharing `cache`. Returns per-target transcripts.
+fn run_interleaved(
+    c: &Collection,
+    cfg: usize,
+    cache: &Arc<PlanCache>,
+    targets: &[SetId],
+    unknown_at: &[usize],
+) -> Vec<(Vec<EntityId>, Outcome)> {
+    let mut engines: Vec<(SetId, Engine<&Collection, BoxedStrategy>, Vec<EntityId>)> = targets
+        .iter()
+        .map(|&t| {
+            let (key, strategy) = make_strategy(cfg);
+            let mut e = Engine::new(c, &[], strategy);
+            e.set_selection_cache(Some(scoped(cache, key, c)));
+            (t, e, Vec::new())
+        })
+        .collect();
+    loop {
+        let mut progressed = false;
+        for (target, engine, asked) in &mut engines {
+            let Some(e) = engine.next_question() else {
+                continue;
+            };
+            progressed = true;
+            let answer = if unknown_at.contains(&asked.len()) {
+                Answer::Unknown
+            } else if c.set(*target).contains(e) {
+                Answer::Yes
+            } else {
+                Answer::No
+            };
+            asked.push(e);
+            engine.answer(e, answer);
+        }
+        if !progressed {
+            break;
+        }
+    }
+    engines
+        .into_iter()
+        .map(|(_, e, asked)| (asked, e.outcome()))
+        .collect()
+}
+
+/// Walks the cached decision tree from the root, asserting every cached
+/// node agrees with a fresh (cache-off) strategy on both the selected
+/// entity and the recorded bound, and that the stored child keys match the
+/// real partition.
+fn verify_cached_tree(c: &Collection, cache: &PlanCache, cfg: usize) -> usize {
+    let (key, mut fresh) = make_strategy(cfg);
+    let excluded = setdisc_util::FxHashSet::default();
+    let mut verified = 0;
+    let mut stack = vec![c.full_view()];
+    while let Some(view) = stack.pop() {
+        if view.len() < 2 {
+            continue;
+        }
+        let node_key = PlanKey {
+            strategy: key,
+            fp: view.fingerprint(),
+            len: view.len() as u32,
+        };
+        let Some(node) = cache.peek(&node_key) else {
+            continue; // untraversed by any session — nothing recorded
+        };
+        let detail = fresh
+            .select_with_detail(&view, &excluded)
+            .expect("≥2 distinct sets always yield an informative entity");
+        assert_eq!(node.entity, detail.entity, "entity drift at {node_key:?}");
+        assert_eq!(node.bound, detail.bound, "bound drift at {node_key:?}");
+        let (yes, no) = view.partition(node.entity);
+        assert_eq!(node.yes, (yes.fingerprint(), yes.len() as u32));
+        assert_eq!(node.no, (no.fingerprint(), no.len() as u32));
+        verified += 1;
+        stack.push(yes);
+        stack.push(no);
+    }
+    verified
+}
+
+fn collection_from_sets(sets: Vec<Vec<u32>>) -> Option<Collection> {
+    let c = Collection::from_raw_sets(sets).ok()?;
+    (c.len() >= 2).then_some(c)
+}
+
+fn targets_of(c: &Collection) -> Vec<SetId> {
+    (0..c.len().min(10) as u32).map(SetId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cold-fill, warm reuse, interleaved sharing, and don't-know paths
+    /// all reproduce the cache-off transcripts exactly.
+    #[test]
+    fn cache_on_sessions_are_bit_identical_to_cache_off(
+        raw in prop::collection::vec(
+            prop::collection::btree_set(0u32..24, 1usize..7),
+            3usize..18,
+        ),
+        cfg in 0usize..CONFIGS,
+        unknown_target in 0usize..4,
+    ) {
+        let Some(c) = collection_from_sets(
+            raw.into_iter().map(|s| s.into_iter().collect()).collect(),
+        ) else {
+            return Ok(()); // degenerate after dedup — nothing to discover
+        };
+        let targets = targets_of(&c);
+        let cache = Arc::new(PlanCache::for_collection(&c, 1 << 16));
+
+        // Reference: cache-off transcripts, one per target.
+        let reference: Vec<_> = targets
+            .iter()
+            .map(|&t| run_session(&c, make_strategy(cfg).1, None, t, &[]))
+            .collect();
+
+        // Cold pass fills the cache; a second pass serves warm.
+        for pass in 0..2 {
+            for (i, &t) in targets.iter().enumerate() {
+                let (key, strategy) = make_strategy(cfg);
+                let got = run_session(
+                    &c,
+                    strategy,
+                    Some(scoped(&cache, key, &c)),
+                    t,
+                    &[],
+                );
+                prop_assert_eq!(
+                    &got, &reference[i],
+                    "pass {} target {} diverged", pass, t
+                );
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "warm pass produced no hits: {:?}", stats);
+
+        // Interleaved sessions sharing the same cache.
+        let interleaved = run_interleaved(&c, cfg, &cache, &targets, &[]);
+        prop_assert_eq!(&interleaved, &reference, "interleaved divergence");
+
+        // Don't-know paths: cache-on must equal cache-off with the same
+        // Unknown injections (the cache is bypassed after the exclusion).
+        let t = targets[unknown_target % targets.len()];
+        for unknown_at in [&[0usize][..], &[0, 2][..]] {
+            let plain = run_session(&c, make_strategy(cfg).1, None, t, unknown_at);
+            let (key, strategy) = make_strategy(cfg);
+            let cached = run_session(
+                &c,
+                strategy,
+                Some(scoped(&cache, key, &c)),
+                t,
+                unknown_at,
+            );
+            prop_assert_eq!(&cached, &plain, "unknown path diverged at {:?}", unknown_at);
+        }
+
+        // Every node the sessions recorded agrees with a fresh strategy on
+        // entity AND bound, and its child keys match the real partition.
+        let verified = verify_cached_tree(&c, &cache, cfg);
+        prop_assert!(verified > 0, "no cached node reachable from the root");
+    }
+
+    /// Persisted-then-reloaded caches serve the same transcripts, and
+    /// precomputed caches agree with traffic-learned ones node for node.
+    #[test]
+    fn persisted_and_precomputed_caches_stay_lossless(
+        raw in prop::collection::vec(
+            prop::collection::btree_set(0u32..20, 1usize..6),
+            3usize..14,
+        ),
+        cfg in 0usize..CONFIGS,
+    ) {
+        let Some(c) = collection_from_sets(
+            raw.into_iter().map(|s| s.into_iter().collect()).collect(),
+        ) else {
+            return Ok(());
+        };
+        let targets = targets_of(&c);
+        let reference: Vec<_> = targets
+            .iter()
+            .map(|&t| run_session(&c, make_strategy(cfg).1, None, t, &[]))
+            .collect();
+
+        // Precompute the full tree (budget far above any case size).
+        let cache = Arc::new(PlanCache::for_collection(&c, 1 << 16));
+        let (key, mut strategy) = make_strategy(cfg);
+        let report = precompute(
+            &cache,
+            key,
+            &c,
+            strategy.as_mut(),
+            &PrecomputeBudget { max_nodes: 1 << 14, max_depth: 64 },
+        );
+        prop_assert!(!report.truncated);
+        prop_assert!(report.computed > 0);
+
+        // Save, reload, and serve every target from the reloaded cache.
+        let path = std::env::temp_dir().join(format!(
+            "setdisc_plan_prop_{}_{}.plan",
+            std::process::id(),
+            cfg,
+        ));
+        setdisc_plan::save_plan(&cache, &path).unwrap();
+        let reloaded = Arc::new(setdisc_plan::load_plan(&path, 0).unwrap());
+        std::fs::remove_file(&path).ok();
+        prop_assert!(reloaded.matches(&c));
+        prop_assert_eq!(reloaded.export_nodes(), cache.export_nodes());
+        let inserted_by_load = reloaded.stats().inserted;
+
+        for (i, &t) in targets.iter().enumerate() {
+            let (key, strategy) = make_strategy(cfg);
+            let got = run_session(
+                &c,
+                strategy,
+                Some(scoped(&reloaded, key, &c)),
+                t,
+                &[],
+            );
+            prop_assert_eq!(&got, &reference[i], "reloaded cache diverged at {}", t);
+        }
+        // A fully precomputed plan serves resolution-bound sessions without
+        // a single selection miss.
+        let stats = reloaded.stats();
+        prop_assert!(stats.hits > 0);
+        prop_assert_eq!(
+            stats.inserted, inserted_by_load,
+            "warm boot recomputed a node"
+        );
+        verify_cached_tree(&c, &reloaded, cfg);
+    }
+}
+
+/// One deterministic end-to-end pass over every configuration on the
+/// paper's Figure-1 collection (fast, runs even if the property tests are
+/// filtered out).
+#[test]
+fn figure1_all_configs_lossless() {
+    let c = Collection::from_raw_sets(vec![
+        vec![0, 1, 2, 3],
+        vec![0, 3, 4],
+        vec![0, 1, 2, 3, 5],
+        vec![0, 1, 2, 6, 7],
+        vec![0, 1, 7, 8],
+        vec![0, 1, 9, 10],
+        vec![0, 1, 6],
+    ])
+    .unwrap();
+    for cfg in 0..CONFIGS {
+        let cache = Arc::new(PlanCache::for_collection(&c, 1 << 12));
+        for t in 0..7u32 {
+            let t = SetId(t);
+            let plain = run_session(&c, make_strategy(cfg).1, None, t, &[]);
+            let (key, strategy) = make_strategy(cfg);
+            let cached = run_session(&c, strategy, Some(scoped(&cache, key, &c)), t, &[]);
+            assert_eq!(plain, cached, "cfg {cfg} target {t}");
+            assert_eq!(
+                plain.1.discovered(),
+                Some(t),
+                "truthful session must resolve"
+            );
+        }
+        assert!(verify_cached_tree(&c, &cache, cfg) > 0);
+    }
+}
+
+/// Sub-collections that collide in *length* but not content must never
+/// cross-serve — the (fingerprint, len) key carries the whole identity.
+#[test]
+fn same_length_views_never_cross_serve() {
+    let c = Collection::from_raw_sets(vec![
+        vec![0, 1],
+        vec![0, 2],
+        vec![3, 4],
+        vec![3, 5],
+        vec![6, 7],
+        vec![6, 8],
+    ])
+    .unwrap();
+    let cache = Arc::new(PlanCache::for_collection(&c, 1 << 10));
+    let key = StrategyKey {
+        family: 3,
+        metric: 0,
+        k: 0,
+        beam: 0,
+    };
+    let scoped = ScopedPlanCache::new(Arc::clone(&cache), key, &c).unwrap();
+    let views: Vec<SubCollection<'_>> = [[0u32, 1], [2, 3], [4, 5]]
+        .iter()
+        .map(|ids| SubCollection::from_ids(&c, ids.iter().copied().map(SetId).collect()))
+        .collect();
+    let mut strategy = MostEven::new();
+    let excluded = setdisc_util::FxHashSet::default();
+    for v in &views {
+        let detail = strategy.select_with_detail(v, &excluded).unwrap();
+        SelectionCache::record(&scoped, v, &detail);
+    }
+    for v in &views {
+        let expected = MostEven::new().select(v);
+        assert_eq!(SelectionCache::lookup(&scoped, v), expected);
+    }
+}

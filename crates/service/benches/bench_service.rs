@@ -8,16 +8,23 @@
 //!     --scale smoke --out BENCH_service.json
 //! ```
 //!
-//! Three phases by default, all verified end-to-end (every session must
+//! Five phases by default, all verified end-to-end (every session must
 //! discover its intended target):
 //!
 //! * `open_concurrent` — opens ≥ 1k sessions that are live in the table
 //!   *simultaneously*, then drives them all to completion (the concurrency
 //!   acceptance gate);
-//! * `inproc_klp2` — streaming clients over the in-process transport with
-//!   the k-LP(k=2,AD) strategy, measuring per-question latency;
-//! * `socket_klp2` — the same workload over a real TCP loopback socket
-//!   served by `setdisc_service::server`.
+//! * `inproc_klp2_nocache` — streaming clients over the in-process
+//!   transport with the k-LP(k=2,AD) strategy and the plan cache disabled:
+//!   the pre-PR-5 baseline, every session pays the full lookahead;
+//! * `inproc_klp2_cold` — the same workload with the plan cache enabled
+//!   from empty (sessions fill it as they run);
+//! * `inproc_klp2_warm` — the same workload again on the *same* service,
+//!   now served from the populated plan (the cross-session steady state a
+//!   busy deployment lives in); the emitted JSON carries the cache's
+//!   hit-rate report alongside the phase;
+//! * `socket_klp2` — the cold-cache workload over a real TCP loopback
+//!   socket served by `setdisc_service::server`.
 //!
 //! `--mode socket-only --addr HOST:PORT` instead drives an *external*
 //! `serve` process (the CI smoke uses this to exercise the real binary);
@@ -112,7 +119,7 @@ fn main() {
         budget: None,
     };
 
-    let reports: Vec<LoadReport> = if mode == "socket-only" {
+    let (reports, plan_stats): (Vec<LoadReport>, Option<JsonObject>) = if mode == "socket-only" {
         let addr: SocketAddr = addr
             .expect("--mode socket-only requires --addr")
             .parse()
@@ -127,16 +134,19 @@ fn main() {
         );
         eprintln!("{}", summary(&report));
         assert_eq!(report.errors, 0, "socket sessions must all verify");
-        vec![report]
+        (vec![report], None)
     } else {
         run_all_phases(scale, &fixture, &snapshot, &klp_cfg)
     };
 
-    let doc = JsonObject::new()
+    let mut doc = JsonObject::new()
         .str("bench", "service")
         .str("scale", scale.name())
         .str("fixture", &fixture)
         .array("phases", reports.iter().map(LoadReport::to_json).collect());
+    if let Some(plan) = plan_stats {
+        doc = doc.array("plan_cache", vec![plan]);
+    }
     match &out {
         Some(path) => {
             doc.write(path).expect("write JSON artifact");
@@ -151,8 +161,9 @@ fn run_all_phases(
     fixture: &str,
     snapshot: &Arc<Snapshot>,
     klp_cfg: &dyn Fn(usize, usize) -> LoadConfig,
-) -> Vec<LoadReport> {
+) -> (Vec<LoadReport>, Option<JsonObject>) {
     let mut reports = Vec::new();
+    let plan_stats;
 
     // Phase 1: ≥ 1k sessions open concurrently in one process. The cheap
     // MostEven strategy keeps the phase about table/session scaling rather
@@ -177,10 +188,13 @@ fn run_all_phases(
         reports.push(report);
     }
 
-    // Phase 2: streaming in-process clients, k-LP(k=2,AD) — per-question
-    // latency of the real selection hot path.
+    // Phase 2a: streaming in-process clients, k-LP(k=2,AD), plan cache
+    // OFF — per-question latency when every session pays the lookahead.
     {
-        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let service = Arc::new(Service::new(ServiceConfig {
+            plan_cache_capacity: 0,
+            ..ServiceConfig::default()
+        }));
         service
             .registry()
             .install_fixture(fixture)
@@ -188,7 +202,7 @@ fn run_all_phases(
         let cfg = klp_cfg(scale.pick(4, 8), scale.pick(25, 100));
         let svc = Arc::clone(&service);
         let report = run_load(
-            "inproc_klp2",
+            "inproc_klp2_nocache",
             "in-process",
             snapshot,
             &move || {
@@ -201,6 +215,60 @@ fn run_all_phases(
         eprintln!("{}", summary(&report));
         assert_eq!(report.errors, 0, "inproc sessions must all verify");
         reports.push(report);
+    }
+
+    // Phases 2b/2c: the same workload with the (default-on) plan cache —
+    // cold fill, then the cross-session warm steady state on the same
+    // service. The warm phase is where cached `ask` collapses toward the
+    // hash-probe floor; its hit-rate report rides along in the artifact.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let cfg = klp_cfg(scale.pick(4, 8), scale.pick(25, 100));
+        for label in ["inproc_klp2_cold", "inproc_klp2_warm"] {
+            let svc = Arc::clone(&service);
+            let report = run_load(
+                label,
+                "in-process",
+                snapshot,
+                &move || {
+                    Ok(Box::new(InProcessClient {
+                        service: Arc::clone(&svc),
+                    }) as Box<dyn Client>)
+                },
+                &cfg,
+            );
+            eprintln!("{}", summary(&report));
+            assert_eq!(report.errors, 0, "inproc sessions must all verify");
+            reports.push(report);
+        }
+        let cache = service
+            .registry()
+            .get(fixture)
+            .expect("fixture registered")
+            .plan_cache()
+            .expect("default config installs a plan cache");
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "warm phase must hit the plan: {stats:?}");
+        eprintln!(
+            "plan cache: {} nodes, {} hits / {} misses (rate {:.3}), {} evicted",
+            stats.nodes,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate(),
+            stats.evicted
+        );
+        plan_stats = Some(
+            JsonObject::new()
+                .int("nodes", stats.nodes)
+                .int("hits", stats.hits)
+                .int("misses", stats.misses)
+                .num("hit_rate", stats.hit_rate())
+                .int("evicted", stats.evicted),
+        );
     }
 
     // Phase 3: the same workload over a real TCP loopback socket.
@@ -226,7 +294,7 @@ fn run_all_phases(
         reports.push(report);
     }
 
-    reports
+    (reports, plan_stats)
 }
 
 fn summary(r: &LoadReport) -> String {

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...
 //!       [--max-sessions N] [--budget N] [--idle-secs S]
+//!       [--plan-cache PATH] [--plan-capacity N]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `setdisc_service::proto` over
@@ -11,17 +12,27 @@
 //! scripts can scrape it. Collections come from `--fixture` specs
 //! (`figure1`, `copyadd:<n>:<alpha>:<seed>`) and/or `--load name=path`
 //! text-format files.
+//!
+//! `--plan-cache PATH` boots warm: if `PATH` exists it must be a plan file
+//! (see `setdisc_plan::file`) matching one registered collection, whose
+//! snapshot then serves every cached selection from the first request; on
+//! clean stdio shutdown (EOF) the learned plan is written back to `PATH`,
+//! so repeated runs keep improving their prefix coverage. `--plan-capacity`
+//! bounds the resident node count; `0` disables plan caching entirely, in
+//! which case a `--plan-cache` file is neither loaded nor written.
 
 use setdisc_service::server::{serve_stdio, serve_tcp, spawn_idle_sweeper};
 use setdisc_service::{Service, ServiceConfig};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...\n\
-         \x20            [--max-sessions N] [--budget N] [--idle-secs S]"
+         \x20            [--max-sessions N] [--budget N] [--idle-secs S]\n\
+         \x20            [--plan-cache PATH] [--plan-capacity N]"
     );
     std::process::exit(2);
 }
@@ -38,6 +49,7 @@ fn main() {
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut config = ServiceConfig::default();
     let mut idle_secs: Option<u64> = None;
+    let mut plan_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +83,15 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--plan-cache" => {
+                plan_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--plan-capacity" => {
+                config.plan_cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
@@ -81,6 +102,13 @@ fn main() {
         fixtures.push("figure1".to_string());
     }
     config.idle_timeout = idle_secs.map(Duration::from_secs);
+    if config.plan_cache_capacity == 0 {
+        // Caching disabled: neither load nor persist a plan.
+        plan_path = None;
+    }
+    config.plan_persist = plan_path.clone();
+    let idle_timeout = config.idle_timeout;
+    let plan_capacity = config.plan_cache_capacity;
 
     let service = Arc::new(Service::new(config));
     for spec in &fixtures {
@@ -97,7 +125,41 @@ fn main() {
         }
     }
 
-    if let Some(period) = config.idle_timeout {
+    // Warm boot: attach a persisted plan to the collection it was built
+    // for, keeping the configured capacity as the growth headroom (a
+    // cache bounded to exactly its payload would evict its own prefix on
+    // the first new node). A missing file is not an error — the plan is
+    // learned from traffic and written there on shutdown.
+    if let Some(path) = plan_path.as_deref().filter(|p| p.exists()) {
+        let cache = match setdisc_plan::load_plan(path, plan_capacity) {
+            Ok(cache) => Arc::new(cache),
+            Err(e) => fail(&format!("load plan {}: {e}", path.display())),
+        };
+        let owner = service
+            .registry()
+            .snapshots()
+            .into_iter()
+            .find(|snap| cache.matches(snap.collection()));
+        match owner {
+            Some(snap) => {
+                let nodes = cache.len();
+                if let Err(e) = snap.install_plan_cache(cache) {
+                    fail(&e);
+                }
+                eprintln!(
+                    "loaded plan cache: {nodes} nodes for {:?} from {}",
+                    snap.name(),
+                    path.display()
+                );
+            }
+            None => fail(&format!(
+                "plan file {} matches no registered collection",
+                path.display()
+            )),
+        }
+    }
+
+    if let Some(period) = idle_timeout {
         // Sweep at the timeout granularity (at least once a second).
         let period = period
             .min(Duration::from_secs(1))
@@ -120,6 +182,14 @@ fn main() {
         None => {
             if let Err(e) = serve_stdio(&service) {
                 fail(&format!("stdio: {e}"));
+            }
+            // Clean EOF shutdown: persist what the sessions learned.
+            match service.persist_plans() {
+                Ok(Some((name, nodes))) => {
+                    eprintln!("persisted plan cache: {nodes} nodes for {name:?}")
+                }
+                Ok(None) => {}
+                Err(e) => fail(&e),
             }
         }
     }

@@ -9,7 +9,13 @@
 //!   [`snapshot::Snapshot`]s (collection + entity/set names behind an
 //!   `Arc`), loaded from the `setdisc_core::io` text format or generated
 //!   from the `setdisc-synth` fixtures. Every session clones an `Arc`, so a
-//!   thousand sessions over one collection share one inverted index.
+//!   thousand sessions over one collection share one inverted index — and
+//!   one `setdisc_plan::PlanCache`: sessions with deterministic strategies
+//!   read and extend a shared question plan, so hot answer paths cost a
+//!   hash probe instead of a lookahead search (bit-identical either way;
+//!   see `setdisc-plan`). [`service::ServiceConfig`] sizes the cache and
+//!   names the persist path; the `serve` binary's `--plan-cache` boots
+//!   warm from a precomputed file.
 //! * [`strategy`] — [`strategy::StrategySpec`], the parse/build bridge from
 //!   wire-level strategy descriptions to boxed
 //!   [`setdisc_core::strategy::SelectionStrategy`] values. The `discover`

@@ -21,6 +21,10 @@
 //!         "questions":N}
 //! {"op":"status","session":ID}
 //!     -> {"ok":true,"op":"status",...full session state...}
+//! {"op":"status"}                 -> {"ok":true,"op":"status","sessions":N,
+//!                                     "collections":[{name,sets,entities,
+//!                                      plan_nodes?,plan_hits?,plan_misses?,
+//!                                      plan_hit_rate?}]}
 //! {"op":"close","session":ID}     -> {"ok":true,"op":"close","session":ID}
 //! {"op":"collections"}            -> {"ok":true,"op":"collections",
 //!                                     "collections":[{name,sets,entities}]}
@@ -69,6 +73,9 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Report service-level state (a `status` op with no `session` field):
+    /// open-session count plus per-collection plan-cache statistics.
+    ServiceStatus,
     /// Close a session, releasing its slot.
     Close {
         /// Session id.
@@ -149,9 +156,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 answer,
             })
         }
-        "status" => Ok(Request::Status {
-            session: session_id(&v)?,
-        }),
+        "status" => match v.get("session") {
+            None | Some(JsonValue::Null) => Ok(Request::ServiceStatus),
+            Some(_) => Ok(Request::Status {
+                session: session_id(&v)?,
+            }),
+        },
         "close" => Ok(Request::Close {
             session: session_id(&v)?,
         }),
@@ -277,6 +287,21 @@ mod tests {
             parse_request(r#"{"op":"collections"}"#).unwrap(),
             Request::Collections
         );
+        // A status op without a session id is the service-level form; a
+        // present-but-bad session id is still an error.
+        assert_eq!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::ServiceStatus
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status","session":null}"#).unwrap(),
+            Request::ServiceStatus
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status","session":9}"#).unwrap(),
+            Request::Status { session: 9 }
+        );
+        assert!(parse_request(r#"{"op":"status","session":1.5}"#).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use setdisc_util::report::JsonObject;
 use std::time::Duration;
 
 /// Service-wide limits and defaults.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Maximum live sessions before `create` is rejected.
     pub max_sessions: usize,
@@ -31,6 +31,16 @@ pub struct ServiceConfig {
     /// builds (selection stays bit-identical; this only sizes the worker
     /// pool and its dispatch gate to the deployment).
     pub lookahead: crate::strategy::LookaheadTuning,
+    /// Node bound of the per-snapshot plan cache shared by every session
+    /// with a deterministic strategy; `0` disables plan caching entirely.
+    /// Cached selections are bit-identical to uncached ones (pinned by the
+    /// `setdisc-plan` property tests), so this is a performance knob only
+    /// — the wire protocol is unaffected.
+    pub plan_cache_capacity: usize,
+    /// Where [`Service::persist_plans`] writes the learned plan (the serve
+    /// binary calls it on clean stdio shutdown); `None` disables
+    /// persistence.
+    pub plan_persist: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +50,8 @@ impl Default for ServiceConfig {
             default_budget: 10_000,
             idle_timeout: None,
             lookahead: crate::strategy::LookaheadTuning::default(),
+            plan_cache_capacity: 1 << 18,
+            plan_persist: None,
         }
     }
 }
@@ -111,8 +123,69 @@ impl Service {
                 answer,
             } => self.answer(session, &entity, answer),
             Request::Status { session } => self.status(session),
+            Request::ServiceStatus => self.service_status(),
             Request::Close { session } => self.close(session),
             Request::Collections => self.collections(),
+        }
+    }
+
+    /// Service-level status (a session-less `status` request): open-session
+    /// count plus, per collection, shape and plan-cache statistics — node
+    /// count, hits, misses, and hit rate. Plan fields appear only for
+    /// snapshots that actually carry a cache, so existing transcripts
+    /// (which never install one before asking) stay byte-identical.
+    fn service_status(&self) -> String {
+        let items = self
+            .registry
+            .snapshots()
+            .into_iter()
+            .map(|snap| {
+                let mut obj = JsonObject::new()
+                    .str("name", snap.name())
+                    .int("sets", snap.collection().len() as u64)
+                    .int("entities", snap.collection().distinct_entities() as u64);
+                if let Some(cache) = snap.plan_cache() {
+                    let stats = cache.stats();
+                    obj = obj
+                        .int("plan_nodes", stats.nodes)
+                        .int("plan_hits", stats.hits)
+                        .int("plan_misses", stats.misses)
+                        .num("plan_hit_rate", stats.hit_rate());
+                }
+                obj
+            })
+            .collect();
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "status")
+            .int("sessions", self.table.len() as u64)
+            .array("collections", items)
+            .encode()
+    }
+
+    /// Writes the most-populated plan cache to the configured persist path
+    /// (see [`ServiceConfig::plan_persist`]); returns the persisted
+    /// collection's name and node count, or `None` when persistence is
+    /// disabled or nothing was learned.
+    pub fn persist_plans(&self) -> Result<Option<(String, u64)>, String> {
+        let Some(path) = &self.config.plan_persist else {
+            return Ok(None);
+        };
+        let mut best: Option<(String, std::sync::Arc<setdisc_plan::PlanCache>)> = None;
+        for snap in self.registry.snapshots() {
+            if let Some(cache) = snap.plan_cache() {
+                if best.as_ref().is_none_or(|(_, b)| cache.len() > b.len()) {
+                    best = Some((snap.name().to_string(), cache));
+                }
+            }
+        }
+        match best {
+            Some((name, cache)) => {
+                let nodes = setdisc_plan::save_plan(&cache, path)
+                    .map_err(|e| format!("persist plan to {}: {e}", path.display()))?;
+                Ok(Some((name, nodes)))
+            }
+            None => Ok(None),
         }
     }
 
@@ -133,11 +206,28 @@ impl Service {
                 None => return err_response(&format!("unknown entity {token:?}")),
             }
         }
-        let engine: ServiceEngine = Engine::new(
+        let mut engine: ServiceEngine = Engine::new(
             SnapshotHandle(std::sync::Arc::clone(&snapshot)),
             &initial,
             strategy.build_tuned(&self.config.lookahead),
         );
+        // Deterministic strategies share the snapshot's plan cache: every
+        // selection is served from (and recorded into) the cross-session
+        // decision tree. Randomized strategies get no cache (no plan_key).
+        // The snapshot's cache matches its collection by construction
+        // (validated at lazy init / plan install), so the scope skips the
+        // O(collection) identity re-hash on this per-create path.
+        if self.config.plan_cache_capacity > 0 {
+            if let Some(key) = strategy.plan_key() {
+                let cache = snapshot.plan_cache_or_init(self.config.plan_cache_capacity);
+                let scope = setdisc_plan::ScopedPlanCache::new_prevalidated(
+                    cache,
+                    key,
+                    snapshot.collection(),
+                );
+                engine.set_selection_cache(Some(std::sync::Arc::new(scope)));
+            }
+        }
         let candidates = engine.candidate_count();
         let entry = SessionEntry::new(
             engine,
@@ -494,6 +584,101 @@ mod tests {
         assert_eq!(list.len(), 2);
         assert_eq!(field(&list[0], "name").as_str(), Some("copyadd:10:0.5:1"));
         assert_eq!(field(&list[1], "sets").as_u64(), Some(7));
+    }
+
+    #[test]
+    fn service_status_reports_plan_cache_hit_rates() {
+        let svc = figure1_service();
+        // Before any session: no cache installed, no plan fields.
+        let resp = call(&svc, r#"{"op":"status"}"#);
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "sessions").as_u64(), Some(0));
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert!(list[0].get("plan_nodes").is_none());
+
+        // One full truthful session populates the plan; a second identical
+        // one is served from it.
+        for _ in 0..2 {
+            let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+            let id = field(&resp, "session").as_u64().unwrap();
+            let target = ["a", "d", "e"];
+            loop {
+                let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+                if field(&resp, "done").as_bool() == Some(true) {
+                    break;
+                }
+                let entity = field(&resp, "entity").as_str().unwrap().to_string();
+                let ans = if target.contains(&entity.as_str()) {
+                    "yes"
+                } else {
+                    "no"
+                };
+                call(
+                    &svc,
+                    &format!(
+                        r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{ans}"}}"#
+                    ),
+                );
+            }
+            call(&svc, &format!(r#"{{"op":"close","session":{id}}}"#));
+        }
+        let resp = call(&svc, r#"{"op":"status"}"#);
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert!(field(&list[0], "plan_nodes").as_u64().unwrap() > 0);
+        assert!(field(&list[0], "plan_hits").as_u64().unwrap() > 0);
+        let rate = field(&list[0], "plan_hit_rate").as_f64().unwrap();
+        assert!(rate > 0.0 && rate <= 1.0);
+    }
+
+    #[test]
+    fn plan_capacity_zero_disables_caching() {
+        let svc = Service::new(ServiceConfig {
+            plan_cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        svc.registry().install_fixture("figure1").unwrap();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert!(
+            svc.registry()
+                .get("figure1")
+                .unwrap()
+                .plan_cache()
+                .is_none(),
+            "no cache may be created when disabled"
+        );
+    }
+
+    #[test]
+    fn persist_plans_round_trips_through_config_path() {
+        let dir = std::env::temp_dir().join(format!("setdisc_svc_persist_{}", std::process::id()));
+        let path = dir.join("figure1.plan");
+        let svc = Service::new(ServiceConfig {
+            plan_persist: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        svc.registry().install_fixture("figure1").unwrap();
+        assert_eq!(svc.persist_plans(), Ok(None), "nothing learned yet");
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let (name, nodes) = svc.persist_plans().unwrap().expect("one node learned");
+        assert_eq!(name, "figure1");
+        assert!(nodes >= 1);
+        // A fresh service boots warm from the persisted plan and serves the
+        // first root question from cache.
+        let svc2 = figure1_service();
+        let snap = svc2.registry().get("figure1").unwrap();
+        let loaded = setdisc_plan::load_plan(&path, 0).unwrap();
+        snap.install_plan_cache(std::sync::Arc::new(loaded))
+            .unwrap();
+        let resp = call(&svc2, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        call(&svc2, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let stats = snap.plan_cache().unwrap().stats();
+        assert!(stats.hits >= 1, "warm boot must hit: {stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

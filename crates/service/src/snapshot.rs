@@ -14,15 +14,23 @@
 use setdisc_core::entity::{EntityId, SetId};
 use setdisc_core::io::{parse_collection, NamedCollection};
 use setdisc_core::Collection;
+use setdisc_plan::PlanCache;
 use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
 use setdisc_util::FxHashMap;
 use std::ops::Deref;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// An immutable named collection: the unit sessions snapshot.
+///
+/// Besides the shared indexes the collection itself carries, a snapshot can
+/// hold one shared [`PlanCache`] — installed explicitly from a persisted
+/// plan file, or created lazily by the service on the first cacheable
+/// session — so every session over the snapshot reads and extends the same
+/// question plan.
 pub struct Snapshot {
     name: String,
     named: NamedCollection,
+    plan: OnceLock<Arc<PlanCache>>,
 }
 
 impl Snapshot {
@@ -31,6 +39,7 @@ impl Snapshot {
         Arc::new(Self {
             name: name.into(),
             named,
+            plan: OnceLock::new(),
         })
     }
 
@@ -90,6 +99,37 @@ impl Snapshot {
         let num = token.strip_prefix('e')?.parse::<u32>().ok()?;
         (num < self.named.collection.universe()).then_some(EntityId(num))
     }
+
+    /// The shared plan cache, if one is installed.
+    pub fn plan_cache(&self) -> Option<Arc<PlanCache>> {
+        self.plan.get().cloned()
+    }
+
+    /// Installs a pre-built (typically persisted-and-reloaded) plan cache.
+    /// Fails when the cache was built for a different collection, or when a
+    /// cache is already installed — sessions may be serving from it, and a
+    /// snapshot's cache, like its collection, never changes once observed.
+    pub fn install_plan_cache(&self, cache: Arc<PlanCache>) -> Result<(), String> {
+        if !cache.matches(self.collection()) {
+            return Err(format!(
+                "plan cache was built for a different collection than {:?}",
+                self.name
+            ));
+        }
+        self.plan
+            .set(cache)
+            .map_err(|_| format!("snapshot {:?} already has a plan cache", self.name))
+    }
+
+    /// The shared plan cache, creating an empty one bounded to `capacity`
+    /// nodes on first use (the service's lazy default when no persisted
+    /// plan was loaded).
+    pub fn plan_cache_or_init(&self, capacity: usize) -> Arc<PlanCache> {
+        Arc::clone(
+            self.plan
+                .get_or_init(|| Arc::new(PlanCache::for_collection(self.collection(), capacity))),
+        )
+    }
 }
 
 /// A cheap owning handle to a snapshot's collection — the
@@ -134,6 +174,21 @@ impl Registry {
             .expect("registry lock poisoned")
             .get(name)
             .cloned()
+    }
+
+    /// Every registered snapshot, name-sorted (the service-status path —
+    /// shape *and* plan-cache statistics come from the snapshots
+    /// themselves).
+    pub fn snapshots(&self) -> Vec<Arc<Snapshot>> {
+        let mut out: Vec<Arc<Snapshot>> = self
+            .map
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
     }
 
     /// Registered names with basic shape statistics, name-sorted.
@@ -282,6 +337,38 @@ mod tests {
         assert_eq!(old.collection().len(), 7, "old snapshot untouched");
         assert_eq!(new.collection().len(), 2);
         assert_eq!(r.list().len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_installs_once_and_validates_collection() {
+        let snap = fixture("figure1").unwrap();
+        assert!(snap.plan_cache().is_none());
+        let lazy = snap.plan_cache_or_init(128);
+        assert!(Arc::ptr_eq(&lazy, &snap.plan_cache_or_init(999)));
+        // A second install is rejected — the lazy cache is already live.
+        let fresh = Arc::new(PlanCache::for_collection(snap.collection(), 64));
+        assert!(snap.install_plan_cache(fresh).is_err());
+        // A cache for a different collection never attaches.
+        let other = fixture("copyadd:10:0.5:1").unwrap();
+        let mismatched = Arc::new(PlanCache::for_collection(other.collection(), 64));
+        let snap2 = fixture("figure1").unwrap();
+        assert!(snap2.install_plan_cache(mismatched).is_err());
+        let matching = Arc::new(PlanCache::for_collection(snap2.collection(), 64));
+        snap2.install_plan_cache(Arc::clone(&matching)).unwrap();
+        assert!(Arc::ptr_eq(&snap2.plan_cache().unwrap(), &matching));
+        assert!(Arc::ptr_eq(&snap2.plan_cache_or_init(128), &matching));
+    }
+
+    #[test]
+    fn registry_snapshots_are_name_sorted() {
+        let r = Registry::new();
+        r.install_fixture("figure1").unwrap();
+        r.install_fixture("copyadd:10:0.5:1").unwrap();
+        let snaps = r.snapshots();
+        assert_eq!(
+            snaps.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["copyadd:10:0.5:1", "figure1"]
+        );
     }
 
     #[test]

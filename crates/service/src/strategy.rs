@@ -219,6 +219,43 @@ impl StrategySpec {
         }
     }
 
+    /// The plan-cache key of this configuration, or `None` for strategies
+    /// whose selections must not be shared across sessions (the random
+    /// baseline advances per-session RNG state). Metric-free families map
+    /// the metric tag to 0 so equivalent configurations share one plan; the
+    /// beam tag is 0 for the unlimited family for the same reason.
+    pub fn plan_key(&self) -> Option<setdisc_plan::StrategyKey> {
+        let family = match self.kind {
+            StrategyKind::KLp => 0,
+            StrategyKind::KLpLe => 1,
+            StrategyKind::KLpLve => 2,
+            StrategyKind::MostEven => 3,
+            StrategyKind::InfoGain => 4,
+            StrategyKind::IndistPairs => 5,
+            StrategyKind::Lb1 => 6,
+            StrategyKind::Random => return None,
+        };
+        let metric_sensitive = matches!(
+            self.kind,
+            StrategyKind::KLp | StrategyKind::KLpLe | StrategyKind::KLpLve | StrategyKind::Lb1
+        );
+        let metric = match (metric_sensitive, self.metric) {
+            (false, _) | (true, Metric::AvgDepth) => 0,
+            (true, Metric::Height) => 1,
+        };
+        let (k, beam) = match self.kind {
+            StrategyKind::KLp => (self.k, 0),
+            StrategyKind::KLpLe | StrategyKind::KLpLve => (self.k, self.beam as u32),
+            _ => (0, 0),
+        };
+        Some(setdisc_plan::StrategyKey {
+            family,
+            metric,
+            k,
+            beam,
+        })
+    }
+
     /// The wire-level family name this spec round-trips through
     /// ([`Self::parse`] of this name restores [`Self::kind`]).
     pub fn family_name(&self) -> &'static str {
@@ -287,6 +324,30 @@ mod tests {
                 assert_eq!(spec.label(), spec.build().name(), "{kind}/{metric}");
             }
         }
+    }
+
+    #[test]
+    fn plan_keys_separate_configurations_and_exclude_random() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in ["klp", "klp-le", "klp-lve", "most-even", "lb1"] {
+            for metric in ["ad", "h"] {
+                for k in [1u64, 2] {
+                    let spec =
+                        StrategySpec::parse(kind, Some(metric), Some(k), Some(5), None).unwrap();
+                    seen.insert(spec.plan_key().expect("deterministic strategies have keys"));
+                }
+            }
+        }
+        // klp/klp-le/klp-lve × 2 metrics × 2 depths = 12, lb1 × 2 metrics,
+        // most-even collapses metric and k → 1 key. Total distinct = 15.
+        assert_eq!(seen.len(), 15);
+        // Metric-free families share one plan across metric spellings.
+        let a = StrategySpec::parse("info-gain", Some("ad"), None, None, None).unwrap();
+        let b = StrategySpec::parse("info-gain", Some("h"), None, None, None).unwrap();
+        assert_eq!(a.plan_key(), b.plan_key());
+        // The random baseline must never share plans.
+        let r = StrategySpec::parse("random", None, None, None, Some(3)).unwrap();
+        assert_eq!(r.plan_key(), None);
     }
 
     #[test]

@@ -252,6 +252,49 @@ fn parallel_lookahead_wire_sessions_match_single_threaded_direct_sessions() {
 }
 
 #[test]
+fn shared_plan_cache_sessions_match_cache_off_direct_sessions() {
+    // The PR-5 tentpole at the service layer: every wire session shares the
+    // snapshot's plan cache (on by default), including repeat visits to the
+    // same targets (cache-warm paths) and don't-know injections (which must
+    // bypass the cache). The reference is a *direct* Session with no cache
+    // attached, so any cache-induced drift in entity choice or outcome
+    // fails the bit-identity assertions inside `run_concurrently`.
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let fixture = "copyadd:60:0.7:11";
+    service.registry().install_fixture(fixture).unwrap();
+    let n = service.registry().get(fixture).unwrap().collection().len() as u32;
+
+    let mut jobs: Vec<Job> = Vec::new();
+    // Two truthful rounds over every target: round one fills the plan,
+    // round two is served from it (the jobs interleave freely across 16
+    // threads, so "rounds" really means every prefix is visited twice).
+    for round in 0..2 {
+        for t in 0..n {
+            jobs.push((fixture.into(), SetId(t), vec![]));
+        }
+        // Don't-know paths ride along in both rounds.
+        for t in 0..6 {
+            jobs.push((fixture.into(), SetId(t), vec![round, 2]));
+        }
+    }
+    run_concurrently(&service, jobs, 16);
+    assert_eq!(service.open_sessions(), 0);
+
+    let cache = service
+        .registry()
+        .get(fixture)
+        .unwrap()
+        .plan_cache()
+        .expect("default config installs a plan cache on first create");
+    let stats = cache.stats();
+    assert!(stats.nodes > 0, "sessions recorded plan nodes: {stats:?}");
+    assert!(
+        stats.hits > 0,
+        "repeat targets must be served from the shared plan: {stats:?}"
+    );
+}
+
+#[test]
 fn socket_sessions_match_direct_sessions() {
     let service = Arc::new(Service::new(ServiceConfig::default()));
     service.registry().install_fixture("figure1").unwrap();

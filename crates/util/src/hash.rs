@@ -135,6 +135,16 @@ impl Fingerprint {
     pub fn as_u128(self) -> u128 {
         (self.hi as u128) << 64 | self.lo as u128
     }
+
+    /// Reconstructs a digest from its [`Self::as_u128`] value (the
+    /// deserialization inverse — no mixing happens here).
+    #[inline]
+    pub fn from_u128(raw: u128) -> Self {
+        Self {
+            lo: raw as u64,
+            hi: (raw >> 64) as u64,
+        }
+    }
 }
 
 impl std::ops::Add for Fingerprint {
@@ -248,6 +258,17 @@ mod tests {
         assert_eq!(Fingerprint::default(), Fingerprint::ZERO);
         assert!(!Fingerprint::of(0).is_zero(), "element 0 must still mix");
         assert_eq!(Fingerprint::ZERO.as_u128(), 0);
+    }
+
+    #[test]
+    fn fingerprint_u128_round_trips() {
+        for fp in [
+            Fingerprint::ZERO,
+            Fingerprint::of(0),
+            Fingerprint::of(42) + Fingerprint::of(u64::MAX),
+        ] {
+            assert_eq!(Fingerprint::from_u128(fp.as_u128()), fp);
+        }
     }
 
     #[test]

@@ -22,26 +22,50 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Worker-count override parse: the value of `SETDISC_THREADS` if set and
-/// valid (≥ 1), otherwise `fallback`. Split out pure for testability —
-/// [`configured_threads`] caches the result of applying it to the real
-/// environment.
-pub fn threads_from(env_value: Option<&str>, fallback: usize) -> usize {
-    match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => fallback.max(1),
+/// valid (≥ 1), otherwise `fallback` — plus a diagnostic when the variable
+/// was set but unusable (strict parse: garbage and `0` both fall back, and
+/// say so rather than silently shrugging). Split out pure for testability —
+/// [`configured_threads`] applies it to the real environment exactly once.
+pub fn threads_from(env_value: Option<&str>, fallback: usize) -> (usize, Option<String>) {
+    let fallback = fallback.max(1);
+    match env_value {
+        None => (fallback, None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            Ok(0) => (
+                fallback,
+                Some(format!(
+                    "SETDISC_THREADS=0 is not a worker count; using {fallback}"
+                )),
+            ),
+            _ => (
+                fallback,
+                Some(format!(
+                    "SETDISC_THREADS={raw:?} is not a positive integer; using {fallback}"
+                )),
+            ),
+        },
     }
 }
 
 /// The configured worker count for every parallel region in the process:
 /// `SETDISC_THREADS` when set (≥ 1; `1` disables parallelism), else the
-/// machine's available parallelism. Cached on first call.
+/// machine's available parallelism. The environment is read **once** — the
+/// result is cached for the process lifetime, and a malformed value warns
+/// on stderr exactly once instead of being silently re-ignored at every
+/// construction site.
 pub fn configured_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         let fallback = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4);
-        threads_from(std::env::var("SETDISC_THREADS").ok().as_deref(), fallback)
+        let (threads, warning) =
+            threads_from(std::env::var("SETDISC_THREADS").ok().as_deref(), fallback);
+        if let Some(warning) = warning {
+            eprintln!("warning: {warning}");
+        }
+        threads
     })
 }
 
@@ -111,13 +135,24 @@ mod tests {
 
     #[test]
     fn threads_from_parses_and_falls_back() {
-        assert_eq!(threads_from(Some("3"), 8), 3);
-        assert_eq!(threads_from(Some(" 12 "), 8), 12);
-        assert_eq!(threads_from(Some("0"), 8), 8);
-        assert_eq!(threads_from(Some("nope"), 8), 8);
-        assert_eq!(threads_from(None, 8), 8);
+        assert_eq!(threads_from(Some("3"), 8), (3, None));
+        assert_eq!(threads_from(Some(" 12 "), 8), (12, None));
+        assert_eq!(threads_from(None, 8), (8, None));
         // The fallback itself is clamped to ≥ 1.
-        assert_eq!(threads_from(None, 0), 1);
+        assert_eq!(threads_from(None, 0), (1, None));
+    }
+
+    #[test]
+    fn threads_from_warns_on_garbage_exactly_when_set_and_invalid() {
+        for bad in ["0", "nope", "", " -3 ", "2.5"] {
+            let (threads, warning) = threads_from(Some(bad), 8);
+            assert_eq!(threads, 8, "{bad:?} falls back");
+            let warning = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(warning.contains("SETDISC_THREADS"), "{warning}");
+        }
+        // Valid values and an unset variable stay silent.
+        assert_eq!(threads_from(Some("1"), 8).1, None);
+        assert_eq!(threads_from(None, 8).1, None);
     }
 
     #[test]

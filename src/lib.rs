@@ -6,6 +6,8 @@
 //! * [`synth`] — synthetic workloads (copy-add collections, simulated web
 //!   tables).
 //! * [`relation`] — the relational substrate for query discovery.
+//! * [`plan`] — the cross-session question-plan cache: persisted
+//!   decision-tree prefixes served to every session over a snapshot.
 //! * [`service`] — the concurrent multi-session discovery service (snapshot
 //!   registry, session table, JSON wire protocol, load harness).
 //! * [`eval`] — experiment harness reproducing every paper table/figure.
@@ -18,6 +20,7 @@
 
 pub use setdisc_core as core;
 pub use setdisc_eval as eval;
+pub use setdisc_plan as plan;
 pub use setdisc_relation as relation;
 pub use setdisc_service as service;
 pub use setdisc_synth as synth;
