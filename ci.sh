@@ -40,6 +40,15 @@ cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figur
     < crates/service/tests/wire_smoke.in \
     | diff -u crates/service/tests/wire_smoke.golden -
 
+# Session-mode golden: §6 backtracking (recover:true), per-set priors, and
+# §7 multiple-choice screens over the same stdio transport. The classic
+# wire_smoke pair above must stay byte-identical with all of these modes
+# compiled in — new wire fields are strictly additive.
+echo "==> service stdio session-mode golden transcript"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    < crates/service/tests/wire_noisy.in \
+    | diff -u crates/service/tests/wire_noisy.golden -
+
 # Plan-cache round trip: precompute a question plan to disk, boot serve
 # warm from the persisted file, replay the golden transcript — output must
 # stay byte-identical with the cache enabled — and assert the plan actually
@@ -57,6 +66,26 @@ GOLDEN_LINES=$(wc -l < crates/service/tests/wire_smoke.golden)
 head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | diff -u crates/service/tests/wire_smoke.golden -
 tail -n 1 "$PLAN_TMP/out" | grep -Eq '"plan_hits":[1-9]' \
     || { echo "plan cache reported no hits:"; tail -n 1 "$PLAN_TMP/out"; exit 1; }
+rm -rf "$PLAN_TMP"
+
+# Weighted plan round trip: precompute under a per-set prior (the plan file
+# carries the prior's fingerprint in its strategy keys), boot serve warm
+# from it, replay the session-mode transcript — whose weighted create uses
+# the *same* prior — and assert the weighted plan partition actually served
+# (nonzero weighted hit count in the trailing service-status line).
+echo "==> weighted plan-cache precompute round trip"
+PLAN_TMP=$(mktemp -d)
+run cargo run --release -q -p setdisc-eval --bin discover -- precompute \
+    --fixture figure1 --strategy klp --k 2 --prior 1,50,1,1,1,1,1 \
+    --out "$PLAN_TMP/figure1w.plan" --max-nodes 512 --max-depth 16
+{ cat crates/service/tests/wire_noisy.in; echo '{"op":"status"}'; } > "$PLAN_TMP/in"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --plan-cache "$PLAN_TMP/figure1w.plan" \
+    < "$PLAN_TMP/in" > "$PLAN_TMP/out"
+GOLDEN_LINES=$(wc -l < crates/service/tests/wire_noisy.golden)
+head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | diff -u crates/service/tests/wire_noisy.golden -
+tail -n 1 "$PLAN_TMP/out" | grep -Eq '"plan_weighted_hits":[1-9]' \
+    || { echo "weighted plan reported no hits:"; tail -n 1 "$PLAN_TMP/out"; exit 1; }
 rm -rf "$PLAN_TMP"
 
 # Service TCP smoke: start serve on an ephemeral loopback port, drive a

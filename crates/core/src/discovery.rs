@@ -101,6 +101,66 @@ impl Oracle for NoisyOracle<'_> {
     }
 }
 
+/// An oracle that can additionally confirm a final answer — e.g. a user
+/// shown the discovered set who accepts or rejects it. The confirmation is
+/// the §6 detection signal for erroneous answers: a lie never contradicts
+/// the search on its own (see the module tests), so drivers of
+/// backtracking-enabled engines confirm each resolution and call
+/// [`Engine::reject`] on a denial.
+pub trait ConfirmingOracle: Oracle {
+    /// "Is this your set?" for the resolved candidate.
+    fn confirm(&mut self, set: SetId) -> bool;
+}
+
+/// A [`SimulatedOracle`] that also confirms, with an explicit list of
+/// question indices to answer incorrectly (deterministic failure injection
+/// — the i-th *question* gets flipped). The error-injection driver for the
+/// §6 backtracking tests and benches.
+pub struct FaultInjectingOracle<'a> {
+    target: &'a EntitySet,
+    target_id: SetId,
+    flip_questions: Vec<usize>,
+    asked: usize,
+    /// Number of answers actually flipped.
+    pub flips_done: usize,
+}
+
+impl<'a> FaultInjectingOracle<'a> {
+    /// Oracle for `target` (with its id) flipping the listed question
+    /// indices (0-based).
+    pub fn new(target: &'a EntitySet, target_id: SetId, flip_questions: Vec<usize>) -> Self {
+        Self {
+            target,
+            target_id,
+            flip_questions,
+            asked: 0,
+            flips_done: 0,
+        }
+    }
+}
+
+impl Oracle for FaultInjectingOracle<'_> {
+    fn answer(&mut self, entity: EntityId) -> Answer {
+        let truth = self.target.contains(entity);
+        let flip = self.flip_questions.contains(&self.asked);
+        self.asked += 1;
+        if flip {
+            self.flips_done += 1;
+        }
+        if truth != flip {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+impl ConfirmingOracle for FaultInjectingOracle<'_> {
+    fn confirm(&mut self, set: SetId) -> bool {
+        set == self.target_id
+    }
+}
+
 /// Answers truthfully but replies [`Answer::Unknown`] with probability
 /// `unknown_rate` (the §6 "unanswered questions" scenario).
 pub struct UnsureOracle<'a> {
@@ -277,8 +337,9 @@ mod tests {
         // Within run() every question is informative for the *current*
         // candidates, so both answer branches are non-empty and the session
         // always resolves — a lying oracle therefore produces a wrong set
-        // rather than a contradiction. This is exactly the failure mode the
-        // §6 recovery extension (ext::noisy) exists to detect and repair.
+        // rather than a contradiction. This is exactly the failure mode
+        // the §6 confirmation step ([`ConfirmingOracle`] plus the engine's
+        // backtracking mode) exists to detect and repair.
         let c = figure1();
         let target = c.set(SetId(0)).clone();
         let mut session = Session::new(&c, &[], MostEven::new());

@@ -22,7 +22,7 @@
 //! heap allocation beyond what the strategy itself needs.
 
 use crate::collection::Collection;
-use crate::discovery::{Answer, Oracle, Outcome};
+use crate::discovery::{Answer, ConfirmingOracle, Oracle, Outcome};
 use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
 use crate::strategy::{SelectionDetail, SelectionStrategy};
@@ -71,6 +71,20 @@ impl<T: Deref<Target = Collection> + Clone> CollectionRef for T {}
 /// Drive it by alternating [`Self::next_question`] and [`Self::answer`]
 /// until [`Self::is_resolved`]; or use the [`Self::run`] /
 /// [`Self::run_bounded`] drivers when answers come from an [`Oracle`].
+///
+/// Two §6–§7 session modes extend the basic loop without changing it when
+/// unused:
+///
+/// * **Backtracking** ([`Self::set_backtracking`]) — when answers contain
+///   errors, a contradiction (empty candidate set) no longer has to end the
+///   discovery: the engine unwinds its own question trail, flips one prior
+///   answer (least-trusted first; see [`Self::answer_full`]), and replays
+///   the rest, re-opening the mispruned branch (the §6 recovery procedure).
+/// * **Multiple-choice questions** ([`Self::next_questions`] /
+///   [`Self::answer_choice`]) — a ranked batch of entities presented as one
+///   prompt (§7); the reply asserts one Yes and the implied Nos through the
+///   ordinary [`Self::answer_full`] path, so mixed single/batch transcripts
+///   stay well-defined.
 pub struct Engine<C, S> {
     collection: C,
     store: SubStorage,
@@ -83,7 +97,38 @@ pub struct Engine<C, S> {
     history: Vec<(EntityId, Answer)>,
     questions: usize,
     unknowns: usize,
+    recover: Option<RecoverState>,
 }
+
+/// Backtracking bookkeeping, allocated only for sessions that opt in.
+struct RecoverState {
+    /// Candidate ids at the moment backtracking was enabled — the replay
+    /// base. Enabling at construction time makes this the initial view.
+    base: Vec<SetId>,
+    /// History index at enablement; only entries from here on can flip.
+    offset: usize,
+    /// Per-answer confidence flags for `history[offset..]`.
+    confident: Vec<bool>,
+    /// The answers *as given* for `history[offset..]` — recovery always
+    /// hypothesizes flip sets against these, never against an earlier
+    /// recovery's rewrite, so one wrong guess cannot compound into an
+    /// unrecoverable transcript.
+    original: Vec<(EntityId, Answer)>,
+    /// Flip sets already committed once (sorted index lists). A transcript
+    /// that stops changing cannot cycle through them again, which bounds
+    /// the total number of recoveries.
+    used: FxHashSet<Vec<usize>>,
+    /// Sets denied at confirmation ([`Engine::reject`]); filtered from
+    /// every replay so a recovery never resurrects a refuted resolution.
+    rejected: FxHashSet<SetId>,
+    /// Successful recoveries so far.
+    backtracks: usize,
+}
+
+/// Recovery searches flip sets of at most this many answers (§6 considers
+/// up to two erroneous answers; beyond that the quadratic hypothesis space
+/// stops paying for itself and the session closes as contradictory).
+const MAX_FLIPS: usize = 2;
 
 /// A discovery session that owns its collection snapshot — `'static`,
 /// storable, and `Send` (given a `Send` strategy), as required to park
@@ -123,6 +168,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
             history: Vec::new(),
             questions: 0,
             unknowns: 0,
+            recover: None,
         }
     }
 
@@ -168,9 +214,44 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         self.unknowns
     }
 
-    /// Full question/answer history, including Unknowns.
+    /// Full question/answer history, including Unknowns. Backtracking
+    /// rewrites the flipped entry in place, so the history always reads as
+    /// the *corrected* transcript the current candidates are consistent
+    /// with.
     pub fn history(&self) -> &[(EntityId, Answer)] {
         &self.history
+    }
+
+    /// Enables (or disables) §6 backtracking recovery. The candidate state
+    /// at the moment of enablement becomes the replay base, so turn it on
+    /// before the first answer for whole-session coverage. Disabling drops
+    /// the bookkeeping (and the [`Self::backtracks`] count).
+    pub fn set_backtracking(&mut self, on: bool) {
+        if on {
+            if self.recover.is_none() {
+                self.recover = Some(RecoverState {
+                    base: self.store.ids.clone(),
+                    offset: self.history.len(),
+                    confident: Vec::new(),
+                    original: Vec::new(),
+                    used: FxHashSet::default(),
+                    rejected: FxHashSet::default(),
+                    backtracks: 0,
+                });
+            }
+        } else {
+            self.recover = None;
+        }
+    }
+
+    /// True when §6 backtracking recovery is enabled.
+    pub fn backtracking(&self) -> bool {
+        self.recover.is_some()
+    }
+
+    /// Successful backtracking recoveries so far (0 when disabled).
+    pub fn backtracks(&self) -> usize {
+        self.recover.as_ref().map_or(0, |r| r.backtracks)
     }
 
     /// Access to the strategy (e.g. to read prune statistics).
@@ -237,9 +318,25 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// The caller may apply answers about arbitrary entities (not only the
     /// last selected one) — that is the constraint-assertion API the §6
     /// extensions and the service's out-of-order clients use. Inconsistent
-    /// assertions empty the candidate list rather than panicking.
+    /// assertions empty the candidate list rather than panicking (unless
+    /// backtracking is on — see [`Self::answer_full`]).
     pub fn answer(&mut self, entity: EntityId, answer: Answer) {
+        self.answer_full(entity, answer, true);
+    }
+
+    /// [`Self::answer`] with an explicit confidence flag (§6 erroneous
+    /// answers). `confident: false` marks the answer as the user's best
+    /// guess; it narrows the candidates exactly like a confident one, but
+    /// when a later contradiction triggers backtracking, unconfident
+    /// answers are the first the recovery tries to flip (most recent
+    /// first), before reconsidering confident ones. Without backtracking
+    /// enabled the flag is recorded nowhere and changes nothing.
+    pub fn answer_full(&mut self, entity: EntityId, answer: Answer, confident: bool) {
         self.history.push((entity, answer));
+        if let Some(rs) = self.recover.as_mut() {
+            rs.confident.push(confident);
+            rs.original.push((entity, answer));
+        }
         match answer {
             Answer::Yes | Answer::No => {
                 self.questions += 1;
@@ -264,10 +361,193 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
                 self.store = keep.into_storage();
                 self.spare_a = discard.into_storage();
                 self.spare_b = view.into_storage();
+                if self.store.ids.is_empty() && self.recover.is_some() {
+                    self.try_recover();
+                }
             }
             Answer::Unknown => {
                 self.unknowns += 1;
                 self.excluded.insert(entity);
+            }
+        }
+    }
+
+    /// §6 backtracking (the paper's Algorithm-2 recovery): the answers
+    /// contradict every set, so at least one of them is wrong. Hypothesize
+    /// a set of up to [`MAX_FLIPS`] flipped answers — always relative to
+    /// the answers *as originally given* — and replay the corrected
+    /// transcript from the base view. Hypotheses are tried cheapest-first:
+    /// single flips, unconfident answers most-recent-first then confident
+    /// ones (the §6 heuristic that the least trusted, latest answer is the
+    /// most likely culprit), then pairs in the same priority. The first
+    /// hypothesis whose replay keeps a candidate alive at every step — and
+    /// that no earlier recovery already committed — is committed: history
+    /// rewritten to the corrected transcript, candidates restored,
+    /// [`Engine::backtracks`] incremented. If none survives, the candidate
+    /// set stays empty and the caller sees the ordinary contradiction
+    /// outcome.
+    fn try_recover(&mut self) {
+        let Some(mut rs) = self.recover.take() else {
+            return;
+        };
+        let offset = rs.offset;
+        // Priority order over flippable indices (into `history`).
+        let flippable = |i: usize, want_confident: bool| {
+            matches!(rs.original[i - offset].1, Answer::Yes | Answer::No)
+                && rs.confident[i - offset] == want_confident
+        };
+        let order: Vec<usize> = (offset..self.history.len())
+            .rev()
+            .filter(|&i| flippable(i, false))
+            .chain(
+                (offset..self.history.len())
+                    .rev()
+                    .filter(|&i| flippable(i, true)),
+            )
+            .collect();
+        // Hypotheses: singles in priority order, then pairs (both members
+        // drawn in priority order). MAX_FLIPS caps the depth.
+        let mut hypotheses: Vec<Vec<usize>> = order.iter().map(|&i| vec![i]).collect();
+        if MAX_FLIPS >= 2 {
+            for a in 0..order.len() {
+                for b in (a + 1)..order.len() {
+                    hypotheses.push(vec![order[a], order[b]]);
+                }
+            }
+        }
+        // Rejected sets are filtered up front: partitioning preserves
+        // subsets, so dropping them from the base equals dropping them
+        // from every step.
+        let base: Vec<SetId> = rs
+            .base
+            .iter()
+            .copied()
+            .filter(|s| !rs.rejected.contains(s))
+            .collect();
+        for flips in hypotheses {
+            let mut key = flips.clone();
+            key.sort_unstable();
+            if rs.used.contains(&key) {
+                continue;
+            }
+            let mut view = SubCollection::from_ids(self.collection.deref(), base.clone());
+            let mut alive = true;
+            let mut corrected: Vec<(EntityId, Answer)> = Vec::with_capacity(rs.original.len());
+            for i in offset..self.history.len() {
+                let (e, mut a) = rs.original[i - offset];
+                if flips.contains(&i) {
+                    a = match a {
+                        Answer::Yes => Answer::No,
+                        Answer::No => Answer::Yes,
+                        Answer::Unknown => unreachable!("only Yes/No entries are flippable"),
+                    };
+                }
+                corrected.push((e, a));
+                let keep = match a {
+                    Answer::Unknown => continue, // exclusions don't narrow
+                    Answer::Yes => view.partition(e).0,
+                    Answer::No => view.partition(e).1,
+                };
+                if keep.is_empty() {
+                    alive = false;
+                    break;
+                }
+                view = keep;
+            }
+            if alive {
+                self.history.truncate(offset);
+                self.history.extend(corrected);
+                rs.used.insert(key);
+                rs.backtracks += 1;
+                self.fp = view.fingerprint();
+                let _ = view.ids();
+                self.store = view.into_storage();
+                break;
+            }
+        }
+        self.recover = Some(rs);
+    }
+
+    /// The §6 confirmation verb: the user denies that `set` is the target.
+    /// The set is removed from the candidates; if that empties them and
+    /// backtracking is enabled, recovery runs immediately — and rejected
+    /// sets stay filtered from every future replay, so a recovery can
+    /// never resurrect a refuted resolution. This is what makes noisy
+    /// sessions *converge*: a lie that leads to a consistent-but-wrong
+    /// resolution produces no contradiction on its own; the denial at
+    /// confirmation is the signal that re-opens the search. No-op when
+    /// `set` is not a candidate.
+    pub fn reject(&mut self, set: SetId) {
+        if !self.store.ids.contains(&set) {
+            if let Some(rs) = self.recover.as_mut() {
+                rs.rejected.insert(set);
+            }
+            return;
+        }
+        let ids: Vec<SetId> = self
+            .store
+            .ids
+            .iter()
+            .copied()
+            .filter(|&s| s != set)
+            .collect();
+        let view = SubCollection::from_ids(self.collection.deref(), ids);
+        self.fp = view.fingerprint();
+        let _ = view.ids();
+        self.store = view.into_storage();
+        if let Some(rs) = self.recover.as_mut() {
+            rs.rejected.insert(set);
+        }
+        if self.store.ids.is_empty() && self.recover.is_some() {
+            self.try_recover();
+        }
+    }
+
+    /// Selects a ranked multiple-choice question set of up to `b` entities
+    /// (§7): the strategy's pick, then its pick with the former excluded,
+    /// and so on. Like [`Self::next_question`] this is pure selection —
+    /// the temporary exclusions are restored before returning, repeated
+    /// calls return the same batch, and a batch of 1 is exactly
+    /// [`Self::next_question`]. Shorter than `b` (possibly empty) when the
+    /// view runs out of informative entities.
+    pub fn next_questions(&mut self, b: usize) -> Vec<EntityId> {
+        let mut batch = Vec::new();
+        let mut inserted = Vec::new();
+        while batch.len() < b {
+            let Some(e) = self.next_question() else {
+                break;
+            };
+            batch.push(e);
+            if batch.len() < b && self.excluded.insert(e) {
+                inserted.push(e);
+            }
+        }
+        for e in inserted {
+            self.excluded.remove(&e);
+        }
+        batch
+    }
+
+    /// Applies a reply to a multiple-choice question set under §7's
+    /// first-applicable-option semantics: choosing option `i` asserts No
+    /// for every earlier option and Yes for `entities[i]`; `i ==
+    /// entities.len()` is "none of these" (No for every option). Every
+    /// implied assertion flows through [`Self::answer_full`] with the given
+    /// confidence flag, so transcripts mixing batches and single questions
+    /// — and backtracking over either — need no special cases. Panics when
+    /// `choice > entities.len()`.
+    pub fn answer_choice(&mut self, entities: &[EntityId], choice: usize, confident: bool) {
+        assert!(
+            choice <= entities.len(),
+            "choice {choice} out of range for {} options",
+            entities.len()
+        );
+        for (i, &e) in entities.iter().enumerate() {
+            if i < choice {
+                self.answer_full(e, Answer::No, confident);
+            } else {
+                self.answer_full(e, Answer::Yes, confident);
+                break;
             }
         }
     }
@@ -284,6 +564,49 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// Driver: runs the loop to resolution with no question budget.
     pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<Outcome> {
         self.run_bounded(oracle, usize::MAX)
+    }
+
+    /// Driver: the §6 noisy-session loop — run to resolution, present the
+    /// resolved set for confirmation, and on a denial [`Self::reject`] it
+    /// and continue (with backtracking enabled, the denial triggers
+    /// recovery). Returns once a resolution is confirmed, the candidates
+    /// are exhausted ([`SetDiscError::ContradictoryAnswers`]), the session
+    /// sticks unresolved, or `max_questions` yes/no answers have been
+    /// spent. Like [`Self::run_bounded`], written purely against the
+    /// public verbs.
+    pub fn run_confirming(
+        &mut self,
+        oracle: &mut dyn ConfirmingOracle,
+        max_questions: usize,
+    ) -> Result<Outcome> {
+        loop {
+            while !self.is_resolved() && self.questions < max_questions {
+                let Some(entity) = self.next_question() else {
+                    return Ok(self.outcome()); // survivors — can't narrow
+                };
+                let answer = oracle.answer(entity);
+                self.answer(entity, answer);
+            }
+            match self.candidate_ids() {
+                [] => {
+                    return Err(SetDiscError::ContradictoryAnswers {
+                        after_questions: self.questions,
+                    })
+                }
+                &[only] => {
+                    if oracle.confirm(only) {
+                        return Ok(self.outcome());
+                    }
+                    self.reject(only);
+                    if self.candidate_ids().is_empty() {
+                        return Err(SetDiscError::ContradictoryAnswers {
+                            after_questions: self.questions,
+                        });
+                    }
+                }
+                _ => return Ok(self.outcome()), // question budget exhausted
+            }
+        }
     }
 
     /// Driver: runs until resolved, the budget is exhausted, or no further
@@ -532,6 +855,209 @@ mod tests {
         );
         // And the unknown run matches a cache-off run of the same plan.
         assert_eq!(with_unknown, run(None, Some(0)));
+    }
+
+    /// Drives a backtracking session against a lying oracle with the §6
+    /// confirm-and-reject loop: answer questions (lying at `lie_at`
+    /// question indices), and whenever the session resolves, confirm —
+    /// rejecting wrong resolutions re-opens the search. Returns the
+    /// discovered set (if converged) and the total interactions.
+    fn drive_noisy(
+        c: &Collection,
+        target_id: crate::entity::SetId,
+        lie_at: &[usize],
+        strategy: KLp<AvgDepth>,
+    ) -> (Option<crate::entity::SetId>, usize) {
+        let target = c.set(target_id).clone();
+        let mut engine = Engine::new(c, &[], strategy);
+        engine.set_backtracking(true);
+        let mut asked = 0usize;
+        let mut interactions = 0usize;
+        loop {
+            while let Some(e) = engine.next_question() {
+                let truth = target.contains(e);
+                let lie = lie_at.contains(&asked);
+                asked += 1;
+                interactions += 1;
+                let a = if truth != lie {
+                    Answer::Yes
+                } else {
+                    Answer::No
+                };
+                engine.answer(e, a);
+                assert!(interactions < 200, "runaway session");
+            }
+            match engine.candidate_ids() {
+                [] => return (None, interactions),
+                [only] => {
+                    let only = *only;
+                    interactions += 1; // the confirmation question
+                    if only == target_id {
+                        return (Some(only), interactions);
+                    }
+                    engine.reject(only);
+                }
+                _ => return (None, interactions), // stuck unresolved
+            }
+        }
+    }
+
+    #[test]
+    fn backtracking_recovers_a_single_erroneous_answer() {
+        // Lie on the first question, answer truthfully afterwards: without
+        // recovery the session dead-ends or resolves wrong; with recovery
+        // plus confirmation it always converges to the true target.
+        let c = figure1();
+        for target_id in 0..c.len() as u32 {
+            let target_id = crate::entity::SetId(target_id);
+            let (got, _) = drive_noisy(&c, target_id, &[0], KLp::<AvgDepth>::new(2));
+            assert_eq!(got, Some(target_id), "target {target_id:?} not recovered");
+        }
+    }
+
+    #[test]
+    fn backtracking_recovers_errors_at_any_depth() {
+        let c = figure1();
+        for target_id in 0..c.len() as u32 {
+            let target_id = crate::entity::SetId(target_id);
+            for lie_pos in 0..3usize {
+                let (got, n) = drive_noisy(&c, target_id, &[lie_pos], KLp::<AvgDepth>::new(2));
+                assert_eq!(got, Some(target_id), "target {target_id:?} lie {lie_pos}");
+                // §6 cost envelope: one error costs at most one extra run
+                // of the error-free session plus the confirmations.
+                assert!(n <= 2 * 4 + 4, "{n} interactions for lie {lie_pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn contradiction_without_backtracking_still_closes() {
+        // Regression for the bug path the service maps to "session closed":
+        // default sessions keep the empty-candidate contradiction behavior.
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        let e = engine.next_question().unwrap();
+        engine.answer(e, Answer::Yes);
+        // Assert the exact opposite of the first answer — no set survives.
+        engine.answer(e, Answer::No);
+        assert_eq!(engine.candidate_count(), 0);
+        assert_eq!(engine.backtracks(), 0);
+    }
+
+    #[test]
+    fn unconfident_answers_are_flipped_first() {
+        // Entity e=4 lives only in S2 (id 1); entity f=5 only in S3 (id 2).
+        // Yes-on-e (unconfident) then Yes-on-f (confident) contradicts:
+        // flipping *either* answer alone yields a consistent replay, so the
+        // recovery's choice reveals its ordering. Unconfident-first must
+        // flip the older e answer and resolve to S3 — plain recency would
+        // flip f and resolve to S2.
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        engine.set_backtracking(true);
+        engine.answer_full(crate::entity::EntityId(4), Answer::Yes, false);
+        assert_eq!(engine.candidate_ids(), &[crate::entity::SetId(1)]);
+        engine.answer_full(crate::entity::EntityId(5), Answer::Yes, true);
+        assert_eq!(engine.backtracks(), 1);
+        assert_eq!(engine.candidate_ids(), &[crate::entity::SetId(2)]);
+        assert_eq!(
+            engine.history(),
+            &[
+                (crate::entity::EntityId(4), Answer::No),
+                (crate::entity::EntityId(5), Answer::Yes),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejection_is_remembered_across_recoveries() {
+        // Reject S2, then contradict: the recovery replay must not
+        // resurrect the refuted set even when a flip would make it
+        // consistent again.
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        engine.set_backtracking(true);
+        engine.answer_full(crate::entity::EntityId(4), Answer::Yes, false);
+        assert_eq!(engine.candidate_ids(), &[crate::entity::SetId(1)]);
+        engine.reject(crate::entity::SetId(1));
+        // Recovery flips the unconfident Yes; S2 stays filtered out.
+        assert!(engine.backtracks() >= 1);
+        assert!(!engine.candidate_ids().contains(&crate::entity::SetId(1)));
+        assert!(engine.candidate_count() > 0);
+    }
+
+    #[test]
+    fn backtracking_recovers_two_errors() {
+        // Two lies at different depths: within the MAX_FLIPS = 2 §6
+        // envelope, the confirm-and-reject loop still converges.
+        let c = figure1();
+        for target_id in 0..c.len() as u32 {
+            let target_id = crate::entity::SetId(target_id);
+            let (got, _) = drive_noisy(&c, target_id, &[0, 2], KLp::<AvgDepth>::new(2));
+            assert_eq!(got, Some(target_id), "target {target_id:?}, two lies");
+        }
+    }
+
+    #[test]
+    fn next_questions_is_pure_and_ranked() {
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+        let single = engine.next_question().unwrap();
+        let batch = engine.next_questions(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], single, "rank 1 of the batch is the single pick");
+        let all_distinct: FxHashSet<_> = batch.iter().collect();
+        assert_eq!(all_distinct.len(), 3);
+        // Pure: repeated call returns the same batch, nothing committed.
+        assert_eq!(engine.next_questions(3), batch);
+        assert_eq!(engine.questions_asked(), 0);
+        assert!(engine.history().is_empty());
+        // Each later rank is what the strategy picks with earlier ranks
+        // excluded — verify rank 2 directly.
+        let mut excl = FxHashSet::default();
+        excl.insert(batch[0]);
+        let view = engine.candidates();
+        let mut fresh = KLp::<AvgDepth>::new(2);
+        assert_eq!(fresh.select_excluding(&view, &excl), Some(batch[1]));
+    }
+
+    #[test]
+    fn answer_choice_applies_first_applicable_option_semantics() {
+        let c = figure1();
+        let target = c.set(crate::entity::SetId(5)).clone();
+        // Batch loop: choose the first option in the target, or "none".
+        let mut mc = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+        let mut interactions = 0usize;
+        while !mc.is_resolved() {
+            let batch = mc.next_questions(3);
+            if batch.is_empty() {
+                break;
+            }
+            let choice = batch
+                .iter()
+                .position(|&e| target.contains(e))
+                .unwrap_or(batch.len());
+            mc.answer_choice(&batch, choice, true);
+            interactions += 1;
+        }
+        assert_eq!(mc.outcome().discovered(), Some(crate::entity::SetId(5)));
+        // A replayed engine fed the identical implied assertions matches
+        // the multiple-choice transcript exactly.
+        let mut replay = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+        for &(e, a) in mc.history() {
+            replay.answer(e, a);
+        }
+        assert_eq!(replay.outcome(), mc.outcome());
+        assert!(interactions <= mc.questions_asked());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn answer_choice_rejects_out_of_range() {
+        let c = figure1();
+        let mut engine = Engine::new(&c, &[], MostEven::new());
+        let batch = engine.next_questions(2);
+        engine.answer_choice(&batch, 3, true);
     }
 
     #[test]

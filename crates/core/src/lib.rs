@@ -60,9 +60,9 @@
 //!   oracles and halt conditions, layered on the engine.
 //! * [`optimal`] — exact optimal trees by memoized branch-and-bound, for
 //!   ground truth on small collections.
-//! * [`ext`] — the paper's §6/§7 extensions: "don't know" answers, noisy
-//!   answers with backtracking recovery, non-uniform priors, and
-//!   multiple-choice questions.
+//! * [`weights`] — integer prior tables and the weighted-AD bounds of §6;
+//!   the engine's session modes (backtracking recovery for erroneous
+//!   answers, multiple-choice questions) live in [`engine`] itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,7 +76,6 @@ pub mod discovery;
 pub mod engine;
 pub mod entity;
 pub mod error;
-pub mod ext;
 pub mod io;
 pub mod lookahead;
 pub mod optimal;
@@ -85,6 +84,7 @@ pub mod strategy;
 pub mod subcollection;
 pub mod transform;
 pub mod tree;
+pub mod weights;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
@@ -100,6 +100,7 @@ pub mod prelude {
     pub use crate::strategy::{IndistinguishablePairs, InfoGain, Lb1, MostEven, SelectionStrategy};
     pub use crate::subcollection::SubCollection;
     pub use crate::tree::DecisionTree;
+    pub use crate::weights::WeightTable;
 }
 
 pub use prelude::*;

@@ -60,13 +60,15 @@
 //! early exit, no upper limits, no memoization — used by the Figure 4
 //! speedup experiments.
 
-use crate::cost::{imbalance, Cost, CostModel, Lb0Table, UNBOUNDED};
+use crate::cost::{imbalance, AvgDepth, Cost, CostModel, Lb0Table, UNBOUNDED};
 use crate::entity::EntityId;
 use crate::strategy::SelectionStrategy;
 use crate::subcollection::{Candidate, LookaheadScratch, SubCollection, SubStorage};
+use crate::weights::{combine_w, ul_first_w, ul_second_w, wlb0, WeightTable};
 use setdisc_util::{pool, Fingerprint, FxHashMap, FxHashSet};
 use std::mem;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Candidate-limiting mode for [`KLp`] (§4.4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -243,6 +245,10 @@ impl<'a> Ranked<'a> {
 struct SearchCtx<'a, M: CostModel> {
     beam: KLpBeam,
     lb0: &'a Lb0Table<M>,
+    /// §6 prior (weighted-AD mode). Only ever `Some` for `M = AvgDepth`
+    /// ([`KLp::with_prior`] is restricted to that metric), so the weighted
+    /// branches below may read `self.lb0` as the AD table.
+    weights: Option<&'a WeightTable>,
     cache: &'a mut FxHashMap<CacheKey, CacheEntry>,
     scratch: &'a mut LookaheadScratch,
 }
@@ -295,16 +301,40 @@ impl<M: CostModel> SearchCtx<'_, M> {
         // minimum, so the global argmin is the beam's argmin for every
         // beam width).
         if k <= 1 {
-            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
             let mut best: Option<(Cost, u64, EntityId)> = None;
-            for ec in &level.ecounts {
-                if !excluded.is_empty() && excluded.contains(&ec.entity) {
-                    continue;
+            if let Some(w) = self.weights {
+                // Weighted base case: the same argmin with weighted LB₁ and
+                // mass imbalance — under a uniform table both keys equal the
+                // unweighted ones value-for-value, so the argmin agrees.
+                let wv = view.total_weight(w);
+                view.informative_weighted(&mut self.scratch.counts, &mut level.wstats, w);
+                for s in &level.wstats {
+                    if !excluded.is_empty() && excluded.contains(&s.entity) {
+                        continue;
+                    }
+                    let (n1, n2) = (s.count as u64, n - s.count as u64);
+                    let (w1, w2) = (s.wsum, wv - s.wsum);
+                    let score = combine_w(
+                        wv,
+                        wlb0(w1, n1, self.lb0.lb0(n1)),
+                        wlb0(w2, n2, self.lb0.lb0(n2)),
+                    );
+                    let cand_key = (score, (2 * w1).abs_diff(wv), s.entity);
+                    if best.is_none_or(|b| cand_key < b) {
+                        best = Some(cand_key);
+                    }
                 }
-                let n1 = ec.count as u64;
-                let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
-                if best.is_none_or(|b| cand_key < b) {
-                    best = Some(cand_key);
+            } else {
+                view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+                for ec in &level.ecounts {
+                    if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                        continue;
+                    }
+                    let n1 = ec.count as u64;
+                    let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
+                    if best.is_none_or(|b| cand_key < b) {
+                        best = Some(cand_key);
+                    }
                 }
             }
             let result = best
@@ -328,19 +358,42 @@ impl<M: CostModel> SearchCtx<'_, M> {
         // and the bitmap split computes the yes-side digest as a byproduct,
         // so membership fingerprints are deduped post-partition instead of
         // paying a digest per view member up front.
-        view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
-        for ec in &level.ecounts {
-            if !excluded.is_empty() && excluded.contains(&ec.entity) {
-                continue;
+        if let Some(w) = self.weights {
+            let wv = view.total_weight(w);
+            view.informative_weighted(&mut self.scratch.counts, &mut level.wstats, w);
+            for s in &level.wstats {
+                if !excluded.is_empty() && excluded.contains(&s.entity) {
+                    continue;
+                }
+                let (n1, n2) = (s.count as u64, n - s.count as u64);
+                let (w1, w2) = (s.wsum, wv - s.wsum);
+                level.cand.push(Candidate {
+                    score: combine_w(
+                        wv,
+                        wlb0(w1, n1, self.lb0.lb0(n1)),
+                        wlb0(w2, n2, self.lb0.lb0(n2)),
+                    ),
+                    imbalance: (2 * w1).abs_diff(wv),
+                    entity: s.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
             }
-            let n1 = ec.count as u64;
-            level.cand.push(Candidate {
-                score: self.lb0.lb1(n, n1),
-                imbalance: imbalance(n, n1),
-                entity: ec.entity,
-                n1,
-                fp: Fingerprint::ZERO,
-            });
+        } else {
+            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+            for ec in &level.ecounts {
+                if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                    continue;
+                }
+                let n1 = ec.count as u64;
+                level.cand.push(Candidate {
+                    score: self.lb0.lb1(n, n1),
+                    imbalance: imbalance(n, n1),
+                    entity: ec.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
+            }
         }
 
         // Rank by (LB₁, imbalance, id), lazily. The paper sorts by
@@ -420,11 +473,22 @@ impl<M: CostModel> SearchCtx<'_, M> {
         let n2 = cneg.len() as u64;
         let n = n1 + n2;
 
+        // §6 weighted mode swaps the cardinality-based limits (eqs. 11/13)
+        // for their weight-mass counterparts; the recursion is otherwise
+        // identical. `wq` is the children's summed weights — computed here
+        // per candidate, so the recursion needs no weight threading.
+        let wq = self
+            .weights
+            .map(|w| (cpos.total_weight(w), cneg.total_weight(w)));
+
         // Lines 18–25: bound the positive side.
         let l_pos = if n1 == 1 {
             0
         } else {
-            let ul_pos = M::ul_first(ul, n, self.lb0.lb0(n2))?;
+            let ul_pos = match wq {
+                Some((w1, w2)) => ul_first_w(ul, w1 + w2, wlb0(w2, n2, self.lb0.lb0(n2)))?,
+                None => M::ul_first(ul, n, self.lb0.lb0(n2))?,
+            };
             match self.klp(cpos, k - 1, ul_pos, excluded, depth + 1) {
                 (Some(_), l) => l,
                 (None, _) => return None, // pruned (lines 24–25)
@@ -435,14 +499,20 @@ impl<M: CostModel> SearchCtx<'_, M> {
         let l_neg = if n2 == 1 {
             0
         } else {
-            let ul_neg = M::ul_second(ul, n, l_pos)?;
+            let ul_neg = match wq {
+                Some((w1, w2)) => ul_second_w(ul, w1 + w2, l_pos)?,
+                None => M::ul_second(ul, n, l_pos)?,
+            };
             match self.klp(cneg, k - 1, ul_neg, excluded, depth + 1) {
                 (Some(_), l) => l,
                 (None, _) => return None,
             }
         };
 
-        Some(M::combine(n, l_pos, l_neg))
+        Some(match wq {
+            Some((w1, w2)) => combine_w(w1 + w2, l_pos, l_neg),
+            None => M::combine(n, l_pos, l_neg),
+        })
     }
 
     /// Partitions `view` on one candidate and bounds both children —
@@ -488,6 +558,9 @@ enum ParOutcome {
 pub struct KLp<M: CostModel> {
     k: u32,
     beam: KLpBeam,
+    /// §6 prior. Settable only through [`KLp::with_prior`] (AD metric only);
+    /// `None` is the unweighted Algorithm-1 path, bit-for-bit unchanged.
+    weights: Option<Arc<WeightTable>>,
     cache: FxHashMap<CacheKey, CacheEntry>,
     cache_token: u64,
     scratch: LookaheadScratch,
@@ -498,6 +571,30 @@ pub struct KLp<M: CostModel> {
     workers: Vec<ParWorker>,
     stats: PruneStats,
     record_stats: bool,
+}
+
+impl KLp<AvgDepth> {
+    /// Attaches a §6 prior: bounds, pruning limits, and the selection key
+    /// switch to the weighted-AD forms (weighted total depth in place of
+    /// total depth, weight mass in place of cardinality). Restricted to the
+    /// AD metric — the paper's non-uniform-prior extension weights the
+    /// *expected* depth; worst-case height has no mass to weight. A uniform
+    /// table is valid and provably selects identically to no table (the
+    /// `weighted_lossless` property suite pins this bit-for-bit). Clears the
+    /// memo caches: weighted and unweighted bounds never mix.
+    pub fn with_prior(mut self, weights: Arc<WeightTable>) -> Self {
+        self.weights = Some(weights);
+        self.cache.clear();
+        for w in &mut self.workers {
+            w.cache.clear();
+        }
+        self
+    }
+
+    /// The attached §6 prior, if any.
+    pub fn prior(&self) -> Option<&Arc<WeightTable>> {
+        self.weights.as_ref()
+    }
 }
 
 impl<M: CostModel> KLp<M> {
@@ -528,6 +625,7 @@ impl<M: CostModel> KLp<M> {
         Self {
             k,
             beam,
+            weights: None,
             cache: FxHashMap::default(),
             cache_token: 0,
             scratch: LookaheadScratch::new(),
@@ -667,18 +765,40 @@ impl<M: CostModel> KLp<M> {
 
         // Base case: identical to the recursive one, plus stats recording.
         if self.k <= 1 {
-            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
             let mut informative_total = 0u32;
             let mut best: Option<(Cost, u64, EntityId)> = None;
-            for ec in &level.ecounts {
-                if !excluded.is_empty() && excluded.contains(&ec.entity) {
-                    continue;
+            if let Some(w) = self.weights.as_deref() {
+                let wv = view.total_weight(w);
+                view.informative_weighted(&mut self.scratch.counts, &mut level.wstats, w);
+                for s in &level.wstats {
+                    if !excluded.is_empty() && excluded.contains(&s.entity) {
+                        continue;
+                    }
+                    informative_total += 1;
+                    let (n1, n2) = (s.count as u64, n - s.count as u64);
+                    let (w1, w2) = (s.wsum, wv - s.wsum);
+                    let score = combine_w(
+                        wv,
+                        wlb0(w1, n1, self.lb0.lb0(n1)),
+                        wlb0(w2, n2, self.lb0.lb0(n2)),
+                    );
+                    let cand_key = (score, (2 * w1).abs_diff(wv), s.entity);
+                    if best.is_none_or(|b| cand_key < b) {
+                        best = Some(cand_key);
+                    }
                 }
-                informative_total += 1;
-                let n1 = ec.count as u64;
-                let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
-                if best.is_none_or(|b| cand_key < b) {
-                    best = Some(cand_key);
+            } else {
+                view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+                for ec in &level.ecounts {
+                    if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                        continue;
+                    }
+                    informative_total += 1;
+                    let n1 = ec.count as u64;
+                    let cand_key = (self.lb0.lb1(n, n1), imbalance(n, n1), ec.entity);
+                    if best.is_none_or(|b| cand_key < b) {
+                        best = Some(cand_key);
+                    }
                 }
             }
             let result = best
@@ -709,19 +829,42 @@ impl<M: CostModel> KLp<M> {
         // Fingerprint-free candidate generation; duplicate-partition dedup
         // happens post-partition (the split computes the digest), exactly
         // as in [`SearchCtx::klp`].
-        view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
-        for ec in &level.ecounts {
-            if !excluded.is_empty() && excluded.contains(&ec.entity) {
-                continue;
+        if let Some(w) = self.weights.as_deref() {
+            let wv = view.total_weight(w);
+            view.informative_weighted(&mut self.scratch.counts, &mut level.wstats, w);
+            for s in &level.wstats {
+                if !excluded.is_empty() && excluded.contains(&s.entity) {
+                    continue;
+                }
+                let (n1, n2) = (s.count as u64, n - s.count as u64);
+                let (w1, w2) = (s.wsum, wv - s.wsum);
+                level.cand.push(Candidate {
+                    score: combine_w(
+                        wv,
+                        wlb0(w1, n1, self.lb0.lb0(n1)),
+                        wlb0(w2, n2, self.lb0.lb0(n2)),
+                    ),
+                    imbalance: (2 * w1).abs_diff(wv),
+                    entity: s.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
             }
-            let n1 = ec.count as u64;
-            level.cand.push(Candidate {
-                score: self.lb0.lb1(n, n1),
-                imbalance: imbalance(n, n1),
-                entity: ec.entity,
-                n1,
-                fp: Fingerprint::ZERO,
-            });
+        } else {
+            view.informative_into(&mut self.scratch.counts, &mut level.ecounts);
+            for ec in &level.ecounts {
+                if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                    continue;
+                }
+                let n1 = ec.count as u64;
+                level.cand.push(Candidate {
+                    score: self.lb0.lb1(n, n1),
+                    imbalance: imbalance(n, n1),
+                    entity: ec.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
+            }
         }
         let informative_total = level.cand.len() as u32;
         let width = level.cand.len().min(self.beam.width(true));
@@ -754,6 +897,7 @@ impl<M: CostModel> KLp<M> {
                             &mut self.cache,
                             &mut self.scratch,
                             &self.lb0,
+                            self.weights.as_deref(),
                             self.beam,
                             self.threads,
                             k,
@@ -784,6 +928,7 @@ impl<M: CostModel> KLp<M> {
                     let mut ctx = SearchCtx {
                         beam: self.beam,
                         lb0: &self.lb0,
+                        weights: self.weights.as_deref(),
                         cache: &mut self.cache,
                         scratch: &mut self.scratch,
                     };
@@ -845,6 +990,7 @@ impl<M: CostModel> KLp<M> {
         main_cache: &mut FxHashMap<CacheKey, CacheEntry>,
         main_scratch: &mut LookaheadScratch,
         lb0: &Lb0Table<M>,
+        weights: Option<&WeightTable>,
         beam: KLpBeam,
         threads: usize,
         k: u32,
@@ -884,6 +1030,7 @@ impl<M: CostModel> KLp<M> {
                 let mut ctx = SearchCtx {
                     beam,
                     lb0,
+                    weights,
                     cache: &mut w.cache,
                     scratch: &mut w.scratch,
                 };
@@ -933,6 +1080,7 @@ impl<M: CostModel> KLp<M> {
         let mut ctx = SearchCtx {
             beam,
             lb0,
+            weights,
             cache: main_cache,
             scratch: main_scratch,
         };
@@ -980,11 +1128,18 @@ impl<M: CostModel> KLp<M> {
 
 impl<M: CostModel> SelectionStrategy for KLp<M> {
     fn name(&self) -> String {
+        // The weighted suffix carries the prior's fingerprint so two
+        // sessions differing only in prior are distinguishable in reports;
+        // unweighted names are byte-identical to what they always were.
+        let w = match &self.weights {
+            Some(w) => format!(",w:{:016x}", w.fp()),
+            None => String::new(),
+        };
         match self.beam {
-            KLpBeam::Full => format!("k-LP(k={},{})", self.k, M::NAME),
-            KLpBeam::Limited { q } => format!("k-LPLE(k={},q={},{})", self.k, q, M::NAME),
+            KLpBeam::Full => format!("k-LP(k={},{}{w})", self.k, M::NAME),
+            KLpBeam::Limited { q } => format!("k-LPLE(k={},q={},{}{w})", self.k, q, M::NAME),
             KLpBeam::LimitedVariable { q } => {
-                format!("k-LPLVE(k={},q={},{})", self.k, q, M::NAME)
+                format!("k-LPLVE(k={},q={},{}{w})", self.k, q, M::NAME)
             }
         }
     }
@@ -1576,5 +1731,89 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_k_rejected() {
         let _ = KLp::<AvgDepth>::new(0);
+    }
+
+    #[test]
+    fn uniform_prior_is_bit_identical_to_unweighted() {
+        // The §6 losslessness claim at the strategy level: with w ≡ 1,
+        // every weighted bound, limit, and ranking key equals its
+        // unweighted counterpart, so selection and trees match exactly.
+        use crate::weights::WeightTable;
+        for seed in [3u64, 77] {
+            let c = pseudo_random_collection(40, 28, seed);
+            let v = c.full_view();
+            let uni = Arc::new(WeightTable::uniform(c.len()));
+            for k in 1..=3u32 {
+                let plain = KLp::<AvgDepth>::new(k).bound(&v);
+                let weighted = KLp::<AvgDepth>::new(k)
+                    .with_prior(Arc::clone(&uni))
+                    .bound(&v);
+                assert_eq!(plain, weighted, "bound seed={seed} k={k}");
+                let t_plain = build_tree(&v, &mut KLp::<AvgDepth>::new(k)).unwrap();
+                let t_w = build_tree(
+                    &v,
+                    &mut KLp::<AvgDepth>::new(k).with_prior(Arc::clone(&uni)),
+                )
+                .unwrap();
+                assert_eq!(t_plain.to_text(), t_w.to_text(), "tree seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_prior_lowers_expected_depth() {
+        // Concentrating mass on one set must pull it up the tree: the
+        // weighted builder's expected depth under the prior is no worse
+        // than the unweighted builder's, and strictly better somewhere.
+        use crate::weights::{expected_depth, WeightTable};
+        let mut improved = false;
+        for hot in 0..7u32 {
+            let c = figure1();
+            let v = c.full_view();
+            let mut raw = vec![1u64; 7];
+            raw[hot as usize] = 50;
+            let t = Arc::new(WeightTable::new(&raw).unwrap());
+            let plain = build_tree(&v, &mut KLp::<AvgDepth>::new(2)).unwrap();
+            let weighted =
+                build_tree(&v, &mut KLp::<AvgDepth>::new(2).with_prior(Arc::clone(&t))).unwrap();
+            let (dp, dw) = (expected_depth(&plain, &t), expected_depth(&weighted, &t));
+            assert!(
+                dw <= dp + 1e-9,
+                "hot={hot}: weighted {dw} worse than plain {dp}"
+            );
+            improved |= dw + 1e-9 < dp;
+        }
+        assert!(improved, "no hot set ever improved expected depth");
+    }
+
+    #[test]
+    fn weighted_parallel_matches_sequential() {
+        use crate::weights::WeightTable;
+        let c = pseudo_random_collection(80, 40, 21);
+        let raw: Vec<u64> = (0..c.len() as u64).map(|i| 1 + i % 7).collect();
+        let t = Arc::new(WeightTable::new(&raw).unwrap());
+        let v = c.full_view();
+        for k in 2..=3u32 {
+            let seq = KLp::<AvgDepth>::new(k)
+                .with_prior(Arc::clone(&t))
+                .with_threads(1)
+                .bound(&v);
+            let par = KLp::<AvgDepth>::new(k)
+                .with_prior(Arc::clone(&t))
+                .with_threads(4)
+                .with_parallel_gate(1, 0)
+                .bound(&v);
+            assert_eq!(seq, par, "weighted parallel divergence k={k}");
+        }
+    }
+
+    #[test]
+    fn weighted_name_carries_prior_fingerprint() {
+        use crate::weights::WeightTable;
+        let t = Arc::new(WeightTable::new(&[5, 1, 1]).unwrap());
+        let name = KLp::<AvgDepth>::new(2).with_prior(Arc::clone(&t)).name();
+        assert_eq!(name, format!("k-LP(k=2,AD,w:{:016x})", t.fp()));
+        // Unweighted names unchanged (service labels pin these).
+        assert_eq!(KLp::<AvgDepth>::new(2).name(), "k-LP(k=2,AD)");
     }
 }

@@ -14,8 +14,10 @@
 
 use crate::cost::{imbalance, lb1, Cost, CostModel};
 use crate::entity::EntityId;
-use crate::subcollection::{CountScratch, EntityCount, SubCollection};
+use crate::subcollection::{CountScratch, EntityCount, SubCollection, WeightedEntityStats};
+use crate::weights::WeightTable;
 use setdisc_util::{FxHashSet, Rng};
+use std::sync::Arc;
 
 /// One selection together with the evidence behind it — what a plan cache
 /// persists per decision-tree node (see `setdisc-plan`).
@@ -277,6 +279,62 @@ impl<M: CostModel> SelectionStrategy for Lb1<M> {
     }
 }
 
+/// §6 — most-even partitioning of prior *mass*: choose the entity whose
+/// yes-side weight is closest to half the view's weight (the weighted
+/// information-gain argmax, in exact integers). With a uniform table the
+/// ranking key `(|2·W₁ − W|, imbalance, id)` degenerates to
+/// `(imbalance, imbalance, id)` and the strategy selects exactly what
+/// [`MostEven`] does — the property suite pins this bit-identity.
+pub struct WeightedMostEven {
+    weights: Arc<WeightTable>,
+    scratch: CountScratch,
+    buf: Vec<WeightedEntityStats>,
+}
+
+impl WeightedMostEven {
+    /// Strategy over the given prior (indexed by the collection's set ids).
+    pub fn new(weights: Arc<WeightTable>) -> Self {
+        Self {
+            weights,
+            scratch: CountScratch::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// The prior this strategy selects under.
+    pub fn weights(&self) -> &Arc<WeightTable> {
+        &self.weights
+    }
+}
+
+impl SelectionStrategy for WeightedMostEven {
+    fn name(&self) -> String {
+        format!("MostEven(w:{:016x})", self.weights.fp())
+    }
+
+    fn select_excluding(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+    ) -> Option<EntityId> {
+        let n = view.len() as u64;
+        if n < 2 {
+            return None;
+        }
+        let w = view.total_weight(&self.weights);
+        view.informative_weighted(&mut self.scratch, &mut self.buf, &self.weights);
+        self.buf
+            .iter()
+            .filter(|s| excluded.is_empty() || !excluded.contains(&s.entity))
+            .map(|s| {
+                let mass_imbalance = (2 * s.wsum).abs_diff(w);
+                (mass_imbalance, imbalance(n, s.count as u64), s.entity)
+            })
+            .min()
+            .map(|(_, _, e)| e)
+    }
+}
+
 /// A uniformly random informative entity — a deliberately weak baseline used
 /// in ablation benches to show how much structure-aware selection buys.
 pub struct RandomInformative {
@@ -470,6 +528,69 @@ mod tests {
             );
             assert_eq!(imb_of(Lb1::<AvgDepth>::new().select(&v).unwrap()), best_imb);
         }
+    }
+
+    #[test]
+    fn weighted_most_even_uniform_matches_most_even() {
+        let c = figure1();
+        let weights = Arc::new(WeightTable::uniform(7));
+        let views = [
+            c.full_view(),
+            crate::subcollection::SubCollection::from_ids(
+                &c,
+                vec![
+                    crate::entity::SetId(0),
+                    crate::entity::SetId(3),
+                    crate::entity::SetId(5),
+                    crate::entity::SetId(6),
+                ],
+            ),
+        ];
+        for v in &views {
+            let mut excluded = FxHashSet::default();
+            loop {
+                let plain = MostEven::new().select_excluding(v, &excluded);
+                let weighted =
+                    WeightedMostEven::new(Arc::clone(&weights)).select_excluding(v, &excluded);
+                assert_eq!(plain, weighted);
+                match plain {
+                    Some(e) => excluded.insert(e),
+                    None => break,
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_most_even_balances_mass_not_cardinality() {
+        // S2 = {a,d,e} carries 9/15 of the mass; e(=4) splits mass 9 vs 6
+        // (imbalance 3) while c's 3/4 cardinality split leaves 11 vs 4
+        // (imbalance 7) — the weighted pick must move toward the hot set.
+        let c = figure1();
+        let v = c.full_view();
+        let weights = Arc::new(WeightTable::new(&[1, 9, 1, 1, 1, 1, 1]).unwrap());
+        let pick = WeightedMostEven::new(Arc::clone(&weights))
+            .select(&v)
+            .unwrap();
+        let (yes, no) = v.partition(pick);
+        let w1 = yes.total_weight(&weights);
+        let w2 = no.total_weight(&weights);
+        assert!(w1.abs_diff(w2) <= 3, "pick {pick} splits mass {w1}/{w2}");
+        assert_ne!(pick, MostEven::new().select(&v).unwrap());
+    }
+
+    #[test]
+    fn weighted_most_even_respects_exclusions() {
+        let c = figure1();
+        let v = c.full_view();
+        let weights = Arc::new(WeightTable::new(&[1, 9, 1, 1, 1, 1, 1]).unwrap());
+        let mut s = WeightedMostEven::new(weights);
+        let first = s.select(&v).unwrap();
+        let mut excluded = FxHashSet::default();
+        excluded.insert(first);
+        let second = s.select_excluding(&v, &excluded).unwrap();
+        assert_ne!(first, second);
+        assert!(s.name().starts_with("MostEven(w:"));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::bitset::IdBitmap;
 use crate::collection::Collection;
 use crate::cost::Cost;
 use crate::entity::{EntityId, SetId};
+use crate::weights::WeightTable;
 use setdisc_util::{Fingerprint, FxHashSet};
 use std::sync::OnceLock;
 
@@ -90,6 +91,20 @@ pub struct EntityCount {
     pub entity: EntityId,
     /// Number of sets in the sub-collection containing it (`|C⁺|`).
     pub count: u32,
+}
+
+/// Occurrence statistics plus membership digest and prior mass for one
+/// entity — what the weighted (§6) selection paths consume.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WeightedEntityStats {
+    /// The entity.
+    pub entity: EntityId,
+    /// Number of member sets containing it (`|C⁺|`).
+    pub count: u32,
+    /// Membership digest (yes-side fingerprint), as on [`EntityStats`].
+    pub fp: Fingerprint,
+    /// Summed prior weight of the member sets containing it (`W(C⁺)`).
+    pub wsum: u64,
 }
 
 /// Occurrence statistics plus membership digest for one entity.
@@ -542,6 +557,59 @@ impl<'c> SubCollection<'c> {
         scratch.touched.clear();
     }
 
+    /// Informative entities with counts, membership digests, **and** prior
+    /// mass, in one element pass (clears `out` first; first-touched order —
+    /// every weighted ranking key is total, so consumers are
+    /// order-independent). Weighted selection always uses the element pass:
+    /// the postings sweep has no per-set weight hook, and with a total key
+    /// the two orders select identically anyway.
+    pub fn informative_weighted(
+        &self,
+        scratch: &mut CountScratch,
+        out: &mut Vec<WeightedEntityStats>,
+        weights: &WeightTable,
+    ) {
+        out.clear();
+        let n = self.len;
+        scratch.ensure(self.collection.universe());
+        for id in self.bits.iter() {
+            let h = self.collection.set_fp(id);
+            let w = weights.weight(id);
+            for e in self.collection.set(id).iter() {
+                let slot = &mut scratch.counts[e.0 as usize];
+                if *slot == 0 {
+                    scratch.touched.push(e);
+                    scratch.fps[e.0 as usize] = h;
+                    scratch.wsums[e.0 as usize] = w;
+                } else {
+                    scratch.fps[e.0 as usize] += h;
+                    scratch.wsums[e.0 as usize] += w;
+                }
+                *slot += 1;
+            }
+        }
+        out.reserve(scratch.touched.len());
+        for &e in &scratch.touched {
+            let count = scratch.counts[e.0 as usize];
+            scratch.counts[e.0 as usize] = 0;
+            if count < n {
+                out.push(WeightedEntityStats {
+                    entity: e,
+                    count,
+                    fp: scratch.fps[e.0 as usize],
+                    wsum: scratch.wsums[e.0 as usize],
+                });
+            }
+        }
+        scratch.touched.clear();
+    }
+
+    /// Summed prior weight of the view's member sets (`W(C)`), without
+    /// materializing the id vector.
+    pub fn total_weight(&self, weights: &WeightTable) -> u64 {
+        self.bits.iter().map(|id| weights.weight(id)).sum()
+    }
+
     /// Splits the view on entity `e`: `(C⁺, C⁻)` where `C⁺` holds the sets
     /// containing `e`.
     pub fn partition(&self, e: EntityId) -> (SubCollection<'c>, SubCollection<'c>) {
@@ -694,6 +762,7 @@ impl std::fmt::Debug for SubCollection<'_> {
 pub struct CountScratch {
     counts: Vec<u32>,
     fps: Vec<Fingerprint>,
+    wsums: Vec<u64>,
     touched: Vec<EntityId>,
 }
 
@@ -707,6 +776,7 @@ impl CountScratch {
         if self.counts.len() < universe as usize {
             self.counts.resize(universe as usize, 0);
             self.fps.resize(universe as usize, Fingerprint::ZERO);
+            self.wsums.resize(universe as usize, 0);
         }
         debug_assert!(self.touched.is_empty(), "scratch not reset");
     }
@@ -740,6 +810,8 @@ pub struct LevelScratch {
     /// never partitions and therefore needs no membership digests — the
     /// count-only postings sweep is pure popcounts.
     pub ecounts: Vec<EntityCount>,
+    /// Weighted counting output (§6 prior-weighted selection paths).
+    pub wstats: Vec<WeightedEntityStats>,
     /// Ranked candidate list.
     pub cand: Vec<Candidate>,
     /// Storage for the yes side of a split (recycled via
@@ -781,6 +853,7 @@ impl LookaheadScratch {
         let mut level = std::mem::take(&mut self.levels[depth]);
         level.stats.clear();
         level.ecounts.clear();
+        level.wstats.clear();
         level.cand.clear();
         level.seen.clear();
         level
@@ -930,6 +1003,50 @@ mod tests {
             v.count_entities_with_fp_postings(&mut postings);
             assert_eq!(elements, postings, "view of {} sets", v.len());
         }
+    }
+
+    #[test]
+    fn weighted_counts_agree_with_unweighted_under_uniform() {
+        let c = figure1();
+        let mut scratch = CountScratch::new();
+        let weights = WeightTable::uniform(7);
+        let views = [
+            c.full_view(),
+            SubCollection::from_ids(&c, vec![SetId(0), SetId(2), SetId(5)]),
+        ];
+        for v in &views {
+            let mut plain = Vec::new();
+            v.informative_with_fp(&mut scratch, &mut plain);
+            plain.sort_unstable_by_key(|s| s.entity);
+            let mut weighted = Vec::new();
+            v.informative_weighted(&mut scratch, &mut weighted, &weights);
+            weighted.sort_unstable_by_key(|s| s.entity);
+            assert_eq!(plain.len(), weighted.len());
+            for (p, w) in plain.iter().zip(&weighted) {
+                assert_eq!((p.entity, p.count, p.fp), (w.entity, w.count, w.fp));
+                assert_eq!(w.wsum, u64::from(w.count), "uniform mass = count");
+            }
+            assert_eq!(v.total_weight(&weights), v.len() as u64);
+        }
+    }
+
+    #[test]
+    fn weighted_counts_track_skewed_mass() {
+        let c = figure1();
+        let mut scratch = CountScratch::new();
+        // S2 = {a,d,e} carries weight 10, the rest 1.
+        let raw = [1u64, 10, 1, 1, 1, 1, 1];
+        let weights = WeightTable::new(&raw).unwrap();
+        let v = c.full_view();
+        assert_eq!(v.total_weight(&weights), 16);
+        let mut out = Vec::new();
+        v.informative_weighted(&mut scratch, &mut out, &weights);
+        let e4 = out.iter().find(|s| s.entity == EntityId(4)).unwrap();
+        assert_eq!((e4.count, e4.wsum), (1, 10), "e only occurs in S2");
+        let d = out.iter().find(|s| s.entity == EntityId(3)).unwrap();
+        assert_eq!((d.count, d.wsum), (3, 12), "d in S1,S2,S3");
+        let (yes, _) = v.partition(EntityId(3));
+        assert_eq!(yes.total_weight(&weights), 12);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Non-uniform priors over candidate sets (§6), in exact integer arithmetic.
+//!
+//! When sets are not equally likely to be the target, the quantity to
+//! minimize is the *expected* number of questions `Σᵢ pᵢ·depth(Sᵢ)`. As with
+//! the unweighted AD metric (see [`crate::cost`]), every comparison the
+//! pruning rule makes must be exact, so priors are integer weights: the
+//! caller supplies positive integers (relative odds), construction divides
+//! out their GCD, and the weighted total depth `WTD(C) = Σᵢ wᵢ·depth(Sᵢ)` is
+//! tracked as a plain `u64`. With all weights equal the math reduces — bit
+//! for bit — to the unweighted total-depth formulas: `W = n` makes every
+//! weighted expression below collapse to its [`crate::cost::AvgDepth`]
+//! counterpart, which is what the `weighted_lossless` property suite pins.
+//!
+//! The weighted lower bound generalizes `LB_AD0`: with every `wᵢ ≥ 1`,
+//!
+//! ```text
+//! WTD(C) = Σ wᵢ·dᵢ = Σ (wᵢ − 1)·dᵢ + Σ dᵢ ≥ (W − n)·1 + lb0(n)
+//! ```
+//!
+//! since every leaf of a collection with `n ≥ 2` sets has depth ≥ 1 and the
+//! unweighted total depth is at least `lb0(n) = ⌈n·log₂n⌉`. Hence
+//! [`wlb0`]`(W, n) = W + lb0(n) − n`. Combining children mirrors eq. (6):
+//! every unit of weight gains one level below the node, so
+//! `combine = l₁ + l₂ + W`, and the upper-limit recurrences (eqs. 11/13)
+//! carry over with `W` in place of `n`.
+
+use crate::entity::SetId;
+use setdisc_util::FxHasher;
+use std::hash::Hasher as _;
+use std::sync::Arc;
+
+use crate::cost::{Cost, UNBOUNDED};
+
+/// An integer prior over the sets of one collection, aligned by [`SetId`].
+///
+/// Weights are positive integers normalized by their GCD at construction, so
+/// two proportional priors (e.g. `[2,4,2]` and `[1,2,1]`) are the same table
+/// with the same fingerprint. A table whose normalized weights are all equal
+/// is [`Self::is_uniform`] — callers should prefer the unweighted path then,
+/// which this crate's property tests prove bit-identical.
+#[derive(Clone, Debug)]
+pub struct WeightTable {
+    weights: Arc<[u64]>,
+    total: u64,
+    fp: u64,
+}
+
+impl WeightTable {
+    /// Builds a table from raw positive integer weights (one per set, by
+    /// id). Rejects empty input, zero weights, and totals overflowing
+    /// `u64` — the caller-facing validation for wire-supplied priors.
+    pub fn new(raw: &[u64]) -> Result<Self, String> {
+        if raw.is_empty() {
+            return Err("prior must cover at least one set".into());
+        }
+        if let Some(i) = raw.iter().position(|&w| w == 0) {
+            return Err(format!("prior weight for set {i} is zero (must be >= 1)"));
+        }
+        let mut g = raw[0];
+        for &w in &raw[1..] {
+            g = gcd(g, w);
+            if g == 1 {
+                break;
+            }
+        }
+        let weights: Vec<u64> = raw.iter().map(|&w| w / g).collect();
+        let mut total: u64 = 0;
+        for &w in &weights {
+            total = total
+                .checked_add(w)
+                .ok_or_else(|| "prior weights sum past u64::MAX".to_string())?;
+        }
+        let mut h = FxHasher::default();
+        h.write_u64(weights.len() as u64);
+        for &w in &weights {
+            h.write_u64(w);
+        }
+        // `| 1` keeps a real table's fingerprint from ever colliding with
+        // the reserved "unweighted" marker 0 used by plan-cache keys.
+        let fp = h.finish() | 1;
+        Ok(Self {
+            weights: weights.into(),
+            total,
+            fp,
+        })
+    }
+
+    /// The uniform table over `len` sets (all weights 1). Equivalent to the
+    /// unweighted path; exists so tests can force the weighted code down to
+    /// the last branch and compare.
+    pub fn uniform(len: usize) -> Self {
+        Self::new(&vec![1; len]).expect("uniform table is valid")
+    }
+
+    /// True when every normalized weight is equal — the weighted math then
+    /// reduces exactly to the unweighted formulas.
+    pub fn is_uniform(&self) -> bool {
+        self.weights.iter().all(|&w| w == self.weights[0])
+    }
+
+    /// Number of sets covered.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when empty (unreachable through the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Normalized weight of one set. Panics on out-of-range ids — the table
+    /// must cover the whole collection.
+    #[inline]
+    pub fn weight(&self, id: SetId) -> u64 {
+        self.weights[id.0 as usize]
+    }
+
+    /// Total normalized weight of the whole table.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Summed weight of a view's candidate ids.
+    pub fn sum(&self, ids: &[SetId]) -> u64 {
+        ids.iter().map(|&id| self.weight(id)).sum()
+    }
+
+    /// Content fingerprint of the normalized table — always odd, so it never
+    /// equals the reserved unweighted marker `0`. Plan caches fold this into
+    /// their strategy keys.
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Weighted `LB₀`: least possible weighted total depth of a (sub)collection
+/// with summed weight `w` over `n` sets, given the unweighted `lb0(n)`.
+#[inline]
+pub fn wlb0(w: u64, n: u64, lb0_n: Cost) -> Cost {
+    if n <= 1 {
+        0
+    } else {
+        // Valid because every weight is ≥ 1 and every leaf depth is ≥ 1
+        // when n ≥ 2; see the module docs. w ≥ n by construction.
+        w + lb0_n - n
+    }
+}
+
+/// Weighted node combine (eq. 6 with weight in place of cardinality): every
+/// unit of weight gains one level below the node.
+#[inline]
+pub fn combine_w(w: u64, l1: Cost, l2: Cost) -> Cost {
+    l1 + l2 + w
+}
+
+/// Weighted exclusive upper limit for the first child (eq. 11 with `W`).
+#[inline]
+pub fn ul_first_w(aflv: Cost, w: u64, other_wlb0: Cost) -> Option<Cost> {
+    if aflv == UNBOUNDED {
+        return Some(UNBOUNDED);
+    }
+    let ul = aflv.checked_sub(w)?.checked_sub(other_wlb0)?;
+    (ul > 0).then_some(ul)
+}
+
+/// Weighted exclusive upper limit for the second child (eq. 13 with `W`).
+#[inline]
+pub fn ul_second_w(aflv: Cost, w: u64, l1: Cost) -> Option<Cost> {
+    if aflv == UNBOUNDED {
+        return Some(UNBOUNDED);
+    }
+    let ul = aflv.checked_sub(w)?.checked_sub(l1)?;
+    (ul > 0).then_some(ul)
+}
+
+/// Expected number of questions of `tree` under `weights` — the weighted
+/// generalization of Definition 3.2, reported as a float
+/// (`Σ wᵢ·depthᵢ / W`).
+pub fn expected_depth(tree: &crate::tree::DecisionTree, weights: &WeightTable) -> f64 {
+    let mut total: u64 = 0;
+    let mut stack = vec![(tree.root(), 0u32)];
+    while let Some((id, depth)) = stack.pop() {
+        match *tree.node(id) {
+            crate::tree::Node::Leaf { set } => total += weights.weight(set) * depth as u64,
+            crate::tree::Node::Internal { yes, no, .. } => {
+                stack.push((yes, depth + 1));
+                stack.push((no, depth + 1));
+            }
+        }
+    }
+    total as f64 / weights.total() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AvgDepth, CostModel};
+
+    #[test]
+    fn construction_validates_and_normalizes() {
+        assert!(WeightTable::new(&[]).is_err());
+        assert!(WeightTable::new(&[1, 0, 2]).is_err());
+        // Equal maximal weights normalize to [1, 1]; coprime ones overflow.
+        assert!(WeightTable::new(&[u64::MAX, u64::MAX]).is_ok());
+        assert!(WeightTable::new(&[u64::MAX, u64::MAX - 1]).is_err());
+        let t = WeightTable::new(&[2, 4, 6]).unwrap();
+        assert_eq!(
+            (t.weight(SetId(0)), t.weight(SetId(1)), t.weight(SetId(2))),
+            (1, 2, 3)
+        );
+        assert_eq!(t.total(), 6);
+        assert!(!t.is_uniform());
+    }
+
+    #[test]
+    fn proportional_tables_share_a_fingerprint() {
+        let a = WeightTable::new(&[2, 4, 2]).unwrap();
+        let b = WeightTable::new(&[1, 2, 1]).unwrap();
+        let c = WeightTable::new(&[1, 3, 1]).unwrap();
+        assert_eq!(a.fp(), b.fp());
+        assert_ne!(a.fp(), c.fp());
+    }
+
+    #[test]
+    fn fingerprint_never_zero() {
+        for raw in [vec![1u64], vec![1, 1, 1], vec![7, 3], vec![1000, 1]] {
+            let t = WeightTable::new(&raw).unwrap();
+            assert_ne!(t.fp(), 0);
+            assert_eq!(t.fp() & 1, 1, "fingerprints are forced odd");
+        }
+    }
+
+    #[test]
+    fn uniform_detection_and_sum() {
+        let t = WeightTable::uniform(5);
+        assert!(t.is_uniform());
+        assert_eq!(t.total(), 5);
+        // GCD normalization makes any constant table uniform.
+        assert!(WeightTable::new(&[3, 3, 3]).unwrap().is_uniform());
+        let skew = WeightTable::new(&[5, 1, 1]).unwrap();
+        assert_eq!(skew.sum(&[SetId(0), SetId(2)]), 6);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_unweighted_formulas() {
+        // With w ≡ 1 the view weight equals its cardinality, so every
+        // weighted expression must equal its AvgDepth counterpart.
+        for n in 1u64..200 {
+            assert_eq!(wlb0(n, n, AvgDepth::lb0(n)), AvgDepth::lb0(n), "n={n}");
+        }
+        for (n, l1, l2) in [(7u64, 5u64, 8u64), (2, 0, 0), (10, 3, 17)] {
+            assert_eq!(combine_w(n, l1, l2), AvgDepth::combine(n, l1, l2));
+        }
+        for (aflv, n, x) in [
+            (20u64, 7u64, 8u64),
+            (15, 7, 8),
+            (10, 7, 8),
+            (UNBOUNDED, 7, 8),
+        ] {
+            assert_eq!(ul_first_w(aflv, n, x), AvgDepth::ul_first(aflv, n, x));
+            assert_eq!(ul_second_w(aflv, n, x), AvgDepth::ul_second(aflv, n, x));
+        }
+    }
+
+    #[test]
+    fn wlb0_is_a_lower_bound_on_balanced_trees() {
+        // Exhaustive check on small n: for any depth assignment realizable
+        // by a binary tree (Kraft equality), Σ wᵢdᵢ ≥ wlb0. Spot-check the
+        // two-leaf case across skews: depths are (1,1), so WTD = W.
+        for w1 in 1u64..20 {
+            let t = WeightTable::new(&[w1, 1]).unwrap();
+            let w = t.total();
+            assert!(w <= wlb0(w, 2, AvgDepth::lb0(2)).max(w));
+            assert_eq!(wlb0(w, 2, AvgDepth::lb0(2)), w, "lb0(2)=2 cancels n=2");
+        }
+        // Singleton and empty views cost nothing.
+        assert_eq!(wlb0(17, 1, 0), 0);
+        assert_eq!(wlb0(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn expected_depth_matches_avg_depth_under_uniform() {
+        let c = crate::collection::Collection::from_raw_sets(vec![
+            vec![0, 1, 2, 3],
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3, 5],
+            vec![0, 1, 2, 6, 7],
+            vec![0, 1, 7, 8],
+            vec![0, 1, 9, 10],
+            vec![0, 1, 6],
+        ])
+        .unwrap();
+        let tree =
+            crate::builder::build_tree(&c.full_view(), &mut crate::strategy::MostEven::new())
+                .unwrap();
+        let t = WeightTable::uniform(7);
+        assert!((expected_depth(&tree, &t) - tree.avg_depth()).abs() < 1e-9);
+    }
+}

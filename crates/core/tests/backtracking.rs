@@ -1,0 +1,204 @@
+//! §6 erroneous answers, property-tested: sessions with 1–2 injected lies
+//! at random depths, across random collections and every strategy family,
+//! must still converge to the true target once backtracking is enabled —
+//! within the §6 replay bound — while the same lies *without* backtracking
+//! reproduce the closed-session failure. Includes the regression for the
+//! pre-§6 bug where an empty candidate set silently ended the session.
+
+use proptest::prelude::*;
+use setdisc_core::collection::Collection;
+use setdisc_core::cost::{AvgDepth, Height};
+use setdisc_core::discovery::FaultInjectingOracle;
+use setdisc_core::engine::Engine;
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_core::error::SetDiscError;
+use setdisc_core::lookahead::KLp;
+use setdisc_core::strategy::{InfoGain, MostEven, SelectionStrategy};
+use setdisc_core::Answer;
+
+type DynStrategy = Box<dyn SelectionStrategy>;
+
+/// Strategy families under test — backtracking is an engine-level
+/// mechanism and must recover under every one of them.
+const CONFIGS: usize = 8;
+
+fn make_strategy(cfg: usize) -> DynStrategy {
+    match cfg {
+        0 => Box::new(KLp::<AvgDepth>::new(1)),
+        1 => Box::new(KLp::<AvgDepth>::new(2)),
+        2 => Box::new(KLp::<Height>::new(2)),
+        3 => Box::new(KLp::<AvgDepth>::new(3)),
+        4 => Box::new(KLp::<AvgDepth>::limited(2, 4)),
+        5 => Box::new(KLp::<Height>::limited_variable(3, 3)),
+        6 => Box::new(MostEven::new()),
+        7 => Box::new(InfoGain::new()),
+        other => panic!("no config {other}"),
+    }
+}
+
+fn collection_from_sets(raw: Vec<std::collections::BTreeSet<u32>>) -> Option<Collection> {
+    let c = Collection::from_raw_sets(raw.into_iter().map(|s| s.into_iter().collect()).collect())
+        .ok()?;
+    (c.len() >= 2).then_some(c)
+}
+
+/// Clean-run question count for `target` under `cfg`, or `None` when the
+/// truthful session cannot single it out (indistinguishable survivors).
+fn clean_questions(c: &Collection, cfg: usize, target: SetId) -> Option<usize> {
+    let mut engine = Engine::new(c, &[], make_strategy(cfg));
+    let mut oracle = FaultInjectingOracle::new(c.set(target), target, vec![]);
+    let outcome = engine.run(&mut oracle).ok()?;
+    (outcome.discovered() == Some(target)).then_some(outcome.questions as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1–2 lies at random depths: a backtracking engine driven by the §6
+    /// confirm-and-reject loop recovers the true target within the replay
+    /// bound, while the identical lies without backtracking either close
+    /// the session on contradiction or resolve to a wrong set.
+    #[test]
+    fn injected_lies_recover_within_the_replay_bound(
+        raw in prop::collection::vec(
+            prop::collection::btree_set(0u32..24, 1usize..7),
+            4usize..18,
+        ),
+        cfg in 0usize..CONFIGS,
+        target_pick in 0usize..64,
+        depth_picks in prop::collection::vec(0usize..64, 1usize..3),
+    ) {
+        let Some(c) = collection_from_sets(raw) else {
+            return Ok(()); // degenerate after dedup
+        };
+        let target = SetId((target_pick % c.len()) as u32);
+        let Some(clean_q) = clean_questions(&c, cfg, target) else {
+            return Ok(()); // target not identifiable even truthfully
+        };
+        if clean_q == 0 {
+            return Ok(()); // resolved before the first question — no depth to lie at
+        }
+        // Random, distinct lie depths inside the clean transcript.
+        let mut flips: Vec<usize> = depth_picks.iter().map(|d| d % clean_q).collect();
+        flips.sort_unstable();
+        flips.dedup();
+
+        // §6 replay bound: every candidate flip-set hypothesis costs at
+        // most one replay of the (clean-length) transcript, and with f
+        // lies the engine examines at most Q singles + Q² pairs over the
+        // Q ≤ clean_q + f questions it has answered. Generous but finite —
+        // a regression that loops or thrashes hypotheses blows past it.
+        let q = clean_q + flips.len();
+        let hypotheses = if flips.len() == 1 { q } else { q * q };
+        let budget = (q + 1) * (hypotheses + 1);
+
+        let mut engine = Engine::new(&c, &[], make_strategy(cfg));
+        engine.set_backtracking(true);
+        let mut oracle = FaultInjectingOracle::new(c.set(target), target, flips.clone());
+        let outcome = engine
+            .run_confirming(&mut oracle, budget)
+            .expect("backtracking session must never close on a contradiction");
+        prop_assert_eq!(
+            outcome.discovered(),
+            Some(target),
+            "cfg {} flips {:?} failed to recover (clean {} questions)",
+            cfg, &flips, clean_q
+        );
+        prop_assert!(oracle.flips_done >= 1, "no injected lie actually fired");
+        prop_assert!(engine.backtracks() >= 1, "recovery must have backtracked");
+        prop_assert!(
+            (outcome.questions as usize) <= budget,
+            "{} questions blew the §6 replay bound {}",
+            outcome.questions, budget
+        );
+
+        // The same lies without backtracking never recover: either the
+        // contradiction closes the session, or it resolves to a wrong set.
+        let mut plain = Engine::new(&c, &[], make_strategy(cfg));
+        let mut oracle = FaultInjectingOracle::new(c.set(target), target, flips.clone());
+        match plain.run_confirming(&mut oracle, budget) {
+            Err(SetDiscError::ContradictoryAnswers { .. }) => {}
+            Ok(outcome) => prop_assert!(
+                outcome.discovered() != Some(target),
+                "a lie cannot be survived without backtracking; \
+                 cfg {} flips {:?} discovered the target anyway",
+                cfg, &flips
+            ),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+}
+
+/// Figure 1 of the paper. Entity 4 (`e`) appears only in S2, entity 5
+/// (`f`) only in S3 — affirming both is the canonical contradiction.
+fn figure1() -> Collection {
+    Collection::from_raw_sets(vec![
+        vec![0, 1, 2, 3],
+        vec![0, 3, 4],
+        vec![0, 1, 2, 3, 5],
+        vec![0, 1, 2, 6, 7],
+        vec![0, 1, 7, 8],
+        vec![0, 1, 9, 10],
+        vec![0, 1, 6],
+    ])
+    .unwrap()
+}
+
+/// Regression: pre-§6, answers that contradicted every candidate left an
+/// empty candidate set and the session just closed. With backtracking off
+/// that is still the (reported, not silent) behavior; with backtracking on
+/// the engine must flip the unconfident answer and keep the session alive.
+#[test]
+fn contradiction_closes_without_backtracking_and_recovers_with_it() {
+    let c = figure1();
+
+    let mut plain = Engine::new(&c, &[], MostEven::new());
+    plain.answer_full(EntityId(4), Answer::Yes, false); // e → only S2 survives
+    plain.answer_full(EntityId(5), Answer::Yes, true); // f → contradiction
+    assert_eq!(plain.candidate_count(), 0, "no backtracking: session dead");
+    assert_eq!(plain.backtracks(), 0);
+
+    let mut recovering = Engine::new(&c, &[], MostEven::new());
+    recovering.set_backtracking(true);
+    recovering.answer_full(EntityId(4), Answer::Yes, false);
+    recovering.answer_full(EntityId(5), Answer::Yes, true);
+    assert_eq!(
+        recovering.candidate_count(),
+        1,
+        "backtracking must flip the unconfident lie and survive"
+    );
+    assert_eq!(recovering.backtracks(), 1);
+    assert_eq!(
+        recovering.outcome().discovered(),
+        Some(SetId(2)),
+        "flipping the lie leaves S3 (the f-owner) as the sole candidate"
+    );
+}
+
+/// A lie that never contradicts resolves to a *wrong* set; the §6
+/// confirm-and-reject loop turns the denial into a backtrack and still
+/// lands on the truth.
+#[test]
+fn confirmation_denial_triggers_recovery_on_figure1() {
+    let c = figure1();
+    for target in 0..7u32 {
+        let target = SetId(target);
+        let Some(clean_q) = clean_questions(&c, 1, target) else {
+            continue;
+        };
+        for lie_at in 0..clean_q {
+            let mut engine = Engine::new(&c, &[], KLp::<AvgDepth>::new(2));
+            engine.set_backtracking(true);
+            let mut oracle = FaultInjectingOracle::new(c.set(target), target, vec![lie_at]);
+            let outcome = engine
+                .run_confirming(&mut oracle, 10_000)
+                .expect("recoverable");
+            assert_eq!(
+                outcome.discovered(),
+                Some(target),
+                "lie at {lie_at} for target {target} not recovered"
+            );
+            assert!(engine.backtracks() >= 1);
+        }
+    }
+}

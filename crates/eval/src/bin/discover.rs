@@ -30,8 +30,9 @@
 use setdisc_core::analysis::CollectionProfile;
 use setdisc_core::discovery::Answer;
 use setdisc_core::engine::Engine;
+use setdisc_core::weights::WeightTable;
 use setdisc_plan::{PlanCache, PrecomputeBudget, ScopedPlanCache};
-use setdisc_service::strategy::BoxedStrategy;
+use setdisc_service::strategy::{BoxedStrategy, LookaheadTuning};
 use setdisc_service::{Snapshot, SnapshotHandle, StrategySpec};
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -41,10 +42,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: discover <sets.txt> [--strategy klp|klp-le|klp-lve|most-even|info-gain|\
          indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]\n\
-         \x20                [--plan-cache PATH]\n\
+         \x20                [--plan-cache PATH] [--prior w1,w2,...]\n\
          \x20      discover precompute (<sets.txt> | --fixture SPEC) --out PATH\n\
          \x20                [--strategy ...] [--metric ad|h] [--k N] [--beam Q]\n\
-         \x20                [--max-nodes N] [--max-depth D]"
+         \x20                [--prior w1,w2,...] [--max-nodes N] [--max-depth D]"
     );
     std::process::exit(2);
 }
@@ -64,6 +65,7 @@ struct CommonArgs {
     beam: Option<u64>,
     examples: Vec<String>,
     plan_cache: Option<String>,
+    prior: Option<Vec<u64>>,
     out: Option<String>,
     max_nodes: usize,
     max_depth: u32,
@@ -80,6 +82,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
         beam: None,
         examples: Vec::new(),
         plan_cache: None,
+        prior: None,
         out: None,
         max_nodes: 4096,
         max_depth: 16,
@@ -116,6 +119,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
                     .collect()
             }
             "--plan-cache" => c.plan_cache = Some(it.next().unwrap_or_else(|| usage())),
+            "--prior" => {
+                c.prior = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage())
+                        .split(',')
+                        .map(|w| w.parse().map_err(|_| ()))
+                        .collect::<Result<Vec<u64>, ()>>()
+                        .unwrap_or_else(|()| usage()),
+                )
+            }
             "--fixture" => c.fixture = Some(it.next().unwrap_or_else(|| usage())),
             "--out" => c.out = Some(it.next().unwrap_or_else(|| usage())),
             "--max-nodes" => {
@@ -165,16 +178,54 @@ fn parse_spec(c: &CommonArgs) -> StrategySpec {
     })
 }
 
+/// Resolves `--prior` into a weight table for the loaded collection.
+/// `None` when no prior was given *or* it is uniform (a uniform prior is
+/// the unweighted problem — keep the classic shareable plan partition).
+fn build_prior(c: &CommonArgs, snapshot: &Snapshot) -> Option<Arc<WeightTable>> {
+    let raw = c.prior.as_deref()?;
+    if raw.len() != snapshot.collection().len() {
+        die(&format!(
+            "--prior covers {} sets but {} has {}",
+            raw.len(),
+            snapshot.name(),
+            snapshot.collection().len()
+        ));
+    }
+    let table = WeightTable::new(raw).unwrap_or_else(|e| die(&e));
+    if table.is_uniform() {
+        return None;
+    }
+    Some(Arc::new(table))
+}
+
+/// Builds the (strategy, label, plan key) triple the spec + optional prior
+/// resolve to — the same resolution the service's `create` performs.
+fn resolve_strategy(
+    spec: &StrategySpec,
+    weights: Option<&Arc<WeightTable>>,
+) -> (BoxedStrategy, String, Option<setdisc_plan::StrategyKey>) {
+    match weights {
+        Some(w) => {
+            let strategy = spec
+                .build_weighted(&LookaheadTuning::default(), Arc::clone(w))
+                .unwrap_or_else(|e| die(&e));
+            (strategy, spec.weighted_label(w), spec.weighted_plan_key(w))
+        }
+        None => (spec.build(), spec.label(), spec.plan_key()),
+    }
+}
+
 fn run_precompute(c: &CommonArgs) {
     let snapshot = load_snapshot(c);
     let spec = parse_spec(c);
-    let Some(key) = spec.plan_key() else {
+    let weights = build_prior(c, &snapshot);
+    let (mut strategy, label, key) = resolve_strategy(&spec, weights.as_ref());
+    let Some(key) = key else {
         die("the random strategy cannot be precomputed (no shareable plan)");
     };
     let out = c.out.as_deref().unwrap_or_else(|| usage());
     let collection = snapshot.collection();
     let cache = Arc::new(PlanCache::for_collection(collection, c.max_nodes.max(16)));
-    let mut strategy = spec.build();
     let budget = PrecomputeBudget {
         max_nodes: c.max_nodes,
         max_depth: c.max_depth,
@@ -183,9 +234,8 @@ fn run_precompute(c: &CommonArgs) {
     let nodes = setdisc_plan::save_plan(&cache, out)
         .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     println!(
-        "precomputed {} ({}): {} nodes to depth {}{} -> {out} ({nodes} saved)",
+        "precomputed {} ({label}): {} nodes to depth {}{} -> {out} ({nodes} saved)",
         snapshot.name(),
-        spec.label(),
         report.computed + report.already_cached,
         report.depth_reached,
         if report.truncated {
@@ -226,12 +276,12 @@ fn main() {
         })
         .collect();
 
-    // The exact engine type the service's session table stores.
-    let mut engine: Engine<SnapshotHandle, BoxedStrategy> = Engine::new(
-        SnapshotHandle(Arc::clone(&snapshot)),
-        &initial,
-        spec.build(),
-    );
+    // The exact engine type the service's session table stores, resolved
+    // through the same strategy-plus-prior path its `create` uses.
+    let weights = build_prior(&args, &snapshot);
+    let (strategy, label, plan_key) = resolve_strategy(&spec, weights.as_ref());
+    let mut engine: Engine<SnapshotHandle, BoxedStrategy> =
+        Engine::new(SnapshotHandle(Arc::clone(&snapshot)), &initial, strategy);
 
     // Load (or lazily create) the shared plan so this terminal session
     // reads and extends the same decision tree a service would. Loaded
@@ -247,6 +297,18 @@ fn main() {
                 die(&format!("plan {path} was built for a different collection"));
             }
             println!("loaded plan cache: {} nodes", cache.len());
+            // Plans are partitioned by strategy key — a weighted session
+            // never reads an unweighted plan (and vice versa), so say so
+            // up front instead of silently running cold.
+            if let Some(key) = plan_key {
+                if !cache.covers_strategy(key) {
+                    eprintln!(
+                        "note: plan {path} has no nodes for {label} \
+                         ({} other strategies present); it will be extended on exit",
+                        cache.strategy_keys().len()
+                    );
+                }
+            }
             Arc::new(cache)
         } else {
             Arc::new(PlanCache::for_collection(
@@ -254,7 +316,7 @@ fn main() {
                 PLAN_CAPACITY,
             ))
         };
-        if let Some(key) = spec.plan_key() {
+        if let Some(key) = plan_key {
             if let Some(scope) =
                 ScopedPlanCache::new(Arc::clone(&cache), key, snapshot.collection())
             {
@@ -267,9 +329,8 @@ fn main() {
     });
 
     println!(
-        "{} candidate sets match your examples ({})",
-        engine.candidate_count(),
-        spec.label()
+        "{} candidate sets match your examples ({label})",
+        engine.candidate_count()
     );
 
     let stdin = std::io::stdin();

@@ -47,6 +47,12 @@ pub struct StrategyKey {
     pub k: u32,
     /// Beam width for the limited families (0 when not applicable).
     pub beam: u32,
+    /// Fingerprint of the per-set prior the strategy optimizes under
+    /// (`setdisc_core::weights::WeightTable::fp`), or `0` for the
+    /// unweighted strategy. Weight tables force their fingerprints odd, so
+    /// `0` is unambiguous; folding the prior into the key keeps weighted
+    /// and unweighted plans for the same family losslessly separate.
+    pub weight_fp: u64,
 }
 
 /// Identity of one decision-tree node: a strategy configuration plus the
@@ -91,6 +97,10 @@ pub struct PlanStats {
     pub nodes: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
+    /// The subset of `hits` served under a weighted strategy key
+    /// (`weight_fp != 0`) — lets a warm weighted plan prove it is being
+    /// consulted.
+    pub weighted_hits: u64,
     /// Lookups that missed.
     pub misses: u64,
     /// Nodes ever inserted.
@@ -131,6 +141,7 @@ pub struct PlanCache {
     clock: AtomicU64,
     resident: AtomicU64,
     hits: AtomicU64,
+    weighted_hits: AtomicU64,
     misses: AtomicU64,
     inserted: AtomicU64,
     evicted: AtomicU64,
@@ -178,6 +189,7 @@ impl PlanCache {
             clock: AtomicU64::new(0),
             resident: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            weighted_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -222,6 +234,9 @@ impl PlanCache {
             Some(entry) => {
                 entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if key.strategy.weight_fp != 0 {
+                    self.weighted_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 Some(entry.node)
             }
             None => {
@@ -286,6 +301,7 @@ impl PlanCache {
         PlanStats {
             nodes: self.len() as u64,
             hits: self.hits.load(Ordering::Relaxed),
+            weighted_hits: self.weighted_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserted: self.inserted.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
@@ -302,6 +318,30 @@ impl PlanCache {
         }
         out.sort_unstable_by_key(|(k, _)| *k);
         out
+    }
+
+    /// The distinct strategy configurations with at least one resident
+    /// node, sorted. Lets a loader check whether a persisted plan actually
+    /// covers the strategy (and prior) it is about to serve — e.g. a
+    /// weighted-key file attached to an unweighted strategy shares zero
+    /// nodes and should be reported rather than silently serving nothing.
+    pub fn strategy_keys(&self) -> Vec<StrategyKey> {
+        let mut keys: Vec<StrategyKey> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("plan shard poisoned");
+            keys.extend(shard.map.keys().map(|k| k.strategy));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// True when at least one resident node belongs to `strategy`.
+    pub fn covers_strategy(&self, strategy: StrategyKey) -> bool {
+        self.shards.iter().any(|shard| {
+            let shard = shard.lock().expect("plan shard poisoned");
+            shard.map.keys().any(|k| k.strategy == strategy)
+        })
     }
 }
 
@@ -440,6 +480,7 @@ mod tests {
         metric: 0,
         k: 2,
         beam: 0,
+        weight_fp: 0,
     };
 
     fn node(entity: u32) -> PlanNode {
@@ -471,6 +512,32 @@ mod tests {
         // A different strategy configuration is a different node.
         let other = StrategyKey { k: 3, ..KLP2 };
         assert_eq!(cache.peek(&key(other, Fingerprint::of(99), 7)), None);
+    }
+
+    #[test]
+    fn weighted_keys_are_separate_and_counted() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 1024);
+        let weighted = StrategyKey {
+            weight_fp: 0x1234_5678_9abc_def1,
+            ..KLP2
+        };
+        cache.insert(key(KLP2, Fingerprint::of(7), 7), node(1));
+        cache.insert(key(weighted, Fingerprint::of(7), 7), node(2));
+        // Same view, different prior → different node; only the weighted
+        // hit bumps the weighted counter.
+        assert_eq!(cache.get(&key(KLP2, Fingerprint::of(7), 7)), Some(node(1)));
+        assert_eq!(cache.stats().weighted_hits, 0);
+        assert_eq!(
+            cache.get(&key(weighted, Fingerprint::of(7), 7)),
+            Some(node(2))
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.weighted_hits), (2, 1));
+        // Strategy inventory distinguishes the two configurations.
+        assert_eq!(cache.strategy_keys(), vec![KLP2, weighted]);
+        assert!(cache.covers_strategy(weighted));
+        assert!(!cache.covers_strategy(StrategyKey { k: 9, ..KLP2 }));
     }
 
     #[test]

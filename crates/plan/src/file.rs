@@ -3,18 +3,21 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic      8 bytes  b"SDPLAN1\n"   (version rides in the magic)
+//! magic      8 bytes  b"SDPLAN2\n"   (version rides in the magic)
 //! coll_fp   16 bytes  collection content identity (u128)
 //! coll_len   4 bytes  collection set count
 //! count      8 bytes  number of nodes
 //! checksum   8 bytes  FxHasher over the payload bytes
-//! payload    count × 90-byte node records, sorted by key
+//! payload    count × 98-byte node records, sorted by key
 //! ```
 //!
-//! Each node record is `family u8 | metric u8 | k u32 | beam u32 | fp u128 |
-//! len u32 | entity u32 | bound u64 | informative u32 | evaluated u32 |
-//! yes_fp u128 | yes_len u32 | no_fp u128 | no_len u32`. The header binds
-//! the file to one collection (checked again at attach time via
+//! Each node record is `family u8 | metric u8 | k u32 | beam u32 |
+//! weight_fp u64 | fp u128 | len u32 | entity u32 | bound u64 |
+//! informative u32 | evaluated u32 | yes_fp u128 | yes_len u32 |
+//! no_fp u128 | no_len u32`. Version 2 added the 8-byte prior fingerprint
+//! (`0` = unweighted); version-1 files are rejected by magic — plans are a
+//! cache, regenerating beats silently mis-keying. The header binds the
+//! file to one collection (checked again at attach time via
 //! [`PlanCache::matches`]) and the checksum rejects truncated or corrupted
 //! payloads before a single node is trusted.
 
@@ -26,10 +29,10 @@ use std::io::{self, Write};
 use std::path::Path;
 
 /// File magic; the trailing digit is the format version.
-pub const MAGIC: [u8; 8] = *b"SDPLAN1\n";
+pub const MAGIC: [u8; 8] = *b"SDPLAN2\n";
 
 /// Bytes per serialized node record.
-const NODE_BYTES: usize = 90;
+const NODE_BYTES: usize = 98;
 
 fn corrupt(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -92,6 +95,7 @@ pub fn save_plan(cache: &PlanCache, path: impl AsRef<Path>) -> io::Result<u64> {
         payload.push(key.strategy.metric);
         put_u32(&mut payload, key.strategy.k);
         put_u32(&mut payload, key.strategy.beam);
+        put_u64(&mut payload, key.strategy.weight_fp);
         put_fp(&mut payload, key.fp);
         put_u32(&mut payload, key.len);
         put_u32(&mut payload, node.entity.0);
@@ -161,6 +165,7 @@ pub fn load_plan(path: impl AsRef<Path>, capacity: usize) -> io::Result<PlanCach
             metric: c.u8()?,
             k: c.u32()?,
             beam: c.u32()?,
+            weight_fp: c.u64()?,
         };
         let key = PlanKey {
             strategy,
@@ -209,6 +214,7 @@ mod tests {
                         metric: (i % 2) as u8,
                         k: 2,
                         beam: 10,
+                        weight_fp: if i % 5 == 0 { 0xfeed_beef | 1 } else { 0 },
                     },
                     fp: Fingerprint::of(i),
                     len: 7,
@@ -273,9 +279,72 @@ mod tests {
         std::fs::write(&path, &good[..good.len() - 7]).unwrap();
         assert!(load_plan(&path, 0).is_err());
 
+        // Truncation on an exact record boundary is still caught (the
+        // header's count no longer matches the payload).
+        std::fs::write(&path, &good[..good.len() - 98]).unwrap();
+        let err = load_plan(&path, 0).unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+
         // Truncated header.
         std::fs::write(&path, &good[..20]).unwrap();
         assert!(load_plan(&path, 0).is_err());
+
+        // A version-1 file (pre-weight_fp magic) is rejected outright —
+        // its 90-byte records would mis-align under the v2 codec.
+        let mut v1 = good.clone();
+        v1[..8].copy_from_slice(b"SDPLAN1\n");
+        std::fs::write(&path, &v1).unwrap();
+        let err = load_plan(&path, 0).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weighted_plan_does_not_cover_the_unweighted_strategy() {
+        // A file holding only weighted-key nodes loads fine, but a loader
+        // about to serve the unweighted configuration can (and must) detect
+        // that the plan shares zero nodes with it.
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 1024);
+        let weighted = StrategyKey {
+            family: 0,
+            metric: 0,
+            k: 2,
+            beam: 0,
+            weight_fp: 0xabcd_ef01 | 1,
+        };
+        for i in 0..8u64 {
+            cache.insert(
+                PlanKey {
+                    strategy: weighted,
+                    fp: Fingerprint::of(i),
+                    len: 7,
+                },
+                PlanNode {
+                    entity: EntityId(i as u32),
+                    bound: i,
+                    informative: 1,
+                    evaluated: 1,
+                    yes: (Fingerprint::of(i + 1), 3),
+                    no: (Fingerprint::of(i + 2), 4),
+                },
+            );
+        }
+        let dir = std::env::temp_dir().join("setdisc_plan_test_weighted_cov");
+        let path = dir.join("weighted.plan");
+        save_plan(&cache, &path).unwrap();
+        let loaded = load_plan(&path, 0).unwrap();
+        assert!(loaded.matches(&c));
+        assert_eq!(loaded.strategy_keys(), vec![weighted]);
+        let unweighted = StrategyKey {
+            weight_fp: 0,
+            ..weighted
+        };
+        assert!(loaded.covers_strategy(weighted));
+        assert!(
+            !loaded.covers_strategy(unweighted),
+            "weighted nodes must not satisfy the unweighted key"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

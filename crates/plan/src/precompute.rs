@@ -140,6 +140,7 @@ mod tests {
         metric: 0,
         k: 2,
         beam: 0,
+        weight_fp: 0,
     };
 
     #[test]

@@ -31,6 +31,7 @@ fn make_strategy(cfg: usize) -> (StrategyKey, BoxedStrategy) {
         metric,
         k,
         beam,
+        weight_fp: 0,
     };
     match cfg {
         0 => (key(0, 0, 1, 0), Box::new(KLp::<AvgDepth>::new(1))),
@@ -365,6 +366,7 @@ fn same_length_views_never_cross_serve() {
         metric: 0,
         k: 0,
         beam: 0,
+        weight_fp: 0,
     };
     let scoped = ScopedPlanCache::new(Arc::clone(&cache), key, &c).unwrap();
     let views: Vec<SubCollection<'_>> = [[0u32, 1], [2, 3], [4, 5]]

@@ -1,0 +1,299 @@
+//! The §6 weighted-AD losslessness contracts, property-tested.
+//!
+//! Two pins: (1) a **uniform** prior is the unweighted problem — weighted
+//! k-LP with all-equal weights must be bit-identical to the unweighted
+//! strategy in every observable (selected entity, recorded bound, prune
+//! counters, session outcome) across strategy families, depths, and beam
+//! widths; (2) a **skewed** prior keyed into the shared plan cache stays
+//! lossless — warm weighted runs match cache-off weighted runs, weighted
+//! hits are tracked separately, and the weighted partition never
+//! cross-serves the unweighted one.
+
+use proptest::prelude::*;
+use setdisc_core::collection::Collection;
+use setdisc_core::cost::AvgDepth;
+use setdisc_core::discovery::{Answer, Outcome};
+use setdisc_core::engine::{Engine, SelectionCache};
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_core::lookahead::{KLp, NodeStats};
+use setdisc_core::strategy::{MostEven, SelectionStrategy, WeightedMostEven};
+use setdisc_core::weights::WeightTable;
+use setdisc_plan::{PlanCache, ScopedPlanCache, StrategyKey};
+use std::sync::Arc;
+
+type DynStrategy = Box<dyn SelectionStrategy>;
+
+/// Strategy configurations spanning the weighted-buildable families:
+/// k-LP / k-LPLE / k-LPLVE over AvgDepth at several depths and beam
+/// widths (configs 0–6, all `KLp<AvgDepth>` shapes), plus the weighted
+/// most-even baseline (config 7).
+const CONFIGS: usize = 8;
+const KLP_CONFIGS: usize = 7;
+
+/// The k-LP shape for `cfg < KLP_CONFIGS`, prune counters on.
+fn make_klp(cfg: usize) -> KLp<AvgDepth> {
+    match cfg {
+        0 => KLp::<AvgDepth>::new(1),
+        1 => KLp::<AvgDepth>::new(2),
+        2 => KLp::<AvgDepth>::new(3),
+        3 => KLp::<AvgDepth>::limited(2, 4),
+        4 => KLp::<AvgDepth>::limited(3, 3),
+        5 => KLp::<AvgDepth>::limited_variable(2, 4),
+        6 => KLp::<AvgDepth>::limited_variable(3, 3),
+        other => panic!("no k-LP config {other}"),
+    }
+    .record_stats(true)
+}
+
+/// The unweighted strategy for `cfg`, boxed.
+fn make_unweighted(cfg: usize) -> DynStrategy {
+    if cfg < KLP_CONFIGS {
+        Box::new(make_klp(cfg))
+    } else {
+        Box::new(MostEven::new())
+    }
+}
+
+/// The same configuration carrying a prior, boxed.
+fn make_weighted(cfg: usize, w: &Arc<WeightTable>) -> DynStrategy {
+    if cfg < KLP_CONFIGS {
+        Box::new(make_klp(cfg).with_prior(Arc::clone(w)))
+    } else {
+        Box::new(WeightedMostEven::new(Arc::clone(w)))
+    }
+}
+
+/// The plan key `cfg` files under; `weight_fp = 0` is the unweighted
+/// partition, a table's (odd, nonzero) fingerprint the weighted one.
+fn strategy_key(cfg: usize, weight_fp: u64) -> StrategyKey {
+    let (family, k, beam) = match cfg {
+        0 => (0, 1, 0),
+        1 => (0, 2, 0),
+        2 => (0, 3, 0),
+        3 => (1, 2, 4),
+        4 => (1, 3, 3),
+        5 => (2, 2, 4),
+        6 => (2, 3, 3),
+        7 => (3, 0, 0),
+        other => panic!("no config {other}"),
+    };
+    StrategyKey {
+        family,
+        metric: 0,
+        k,
+        beam,
+        weight_fp,
+    }
+}
+
+/// Drives one truthful cache-off session on a concrete k-LP, returning
+/// the asked sequence, the outcome, and the per-node prune counters.
+fn run_klp(
+    c: &Collection,
+    strategy: KLp<AvgDepth>,
+    target: SetId,
+) -> (Vec<EntityId>, Outcome, Vec<NodeStats>) {
+    let mut engine = Engine::new(c, &[], strategy);
+    let target_set = c.set(target).clone();
+    let mut asked = Vec::new();
+    while let Some(e) = engine.next_question() {
+        let answer = if target_set.contains(e) {
+            Answer::Yes
+        } else {
+            Answer::No
+        };
+        asked.push(e);
+        engine.answer(e, answer);
+    }
+    let stats = engine.strategy().stats().nodes.clone();
+    (asked, engine.outcome(), stats)
+}
+
+/// Drives one truthful session on a boxed strategy, optionally through a
+/// scoped plan cache. (Prune counters are not read here: a warm cache
+/// serves selections without invoking the strategy at all, so they are
+/// only meaningful on cache-off runs.)
+fn run_any(
+    c: &Collection,
+    strategy: DynStrategy,
+    cache: Option<Arc<dyn SelectionCache>>,
+    target: SetId,
+) -> (Vec<EntityId>, Outcome) {
+    let mut engine = Engine::new(c, &[], strategy);
+    engine.set_selection_cache(cache);
+    let target_set = c.set(target).clone();
+    let mut asked = Vec::new();
+    while let Some(e) = engine.next_question() {
+        let answer = if target_set.contains(e) {
+            Answer::Yes
+        } else {
+            Answer::No
+        };
+        asked.push(e);
+        engine.answer(e, answer);
+    }
+    (asked, engine.outcome())
+}
+
+fn collection_from_sets(raw: Vec<std::collections::BTreeSet<u32>>) -> Option<Collection> {
+    let c = Collection::from_raw_sets(raw.into_iter().map(|s| s.into_iter().collect()).collect())
+        .ok()?;
+    (c.len() >= 2).then_some(c)
+}
+
+fn targets_of(c: &Collection) -> Vec<SetId> {
+    (0..c.len().min(8) as u32).map(SetId).collect()
+}
+
+fn scoped(cache: &Arc<PlanCache>, key: StrategyKey, c: &Collection) -> Arc<dyn SelectionCache> {
+    Arc::new(ScopedPlanCache::new(Arc::clone(cache), key, c).expect("cache matches collection"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// §6 with all-equal weights IS the unweighted problem: every selected
+    /// entity, prune counter, and outcome matches bit for bit. The uniform
+    /// table is deliberately built from a non-1 constant so normalization
+    /// (not a degenerate all-ones table) is on the tested path.
+    #[test]
+    fn uniform_prior_is_bit_identical_to_unweighted(
+        raw in prop::collection::vec(
+            prop::collection::btree_set(0u32..24, 1usize..7),
+            3usize..18,
+        ),
+        cfg in 0usize..CONFIGS,
+        unit in 1u64..5,
+    ) {
+        let Some(c) = collection_from_sets(raw) else {
+            return Ok(()); // degenerate after dedup — nothing to discover
+        };
+        let uniform = Arc::new(
+            WeightTable::new(&vec![unit; c.len()]).expect("positive weights"),
+        );
+        prop_assert!(uniform.is_uniform());
+        for t in targets_of(&c) {
+            if cfg < KLP_CONFIGS {
+                let plain = run_klp(&c, make_klp(cfg), t);
+                let weighted =
+                    run_klp(&c, make_klp(cfg).with_prior(Arc::clone(&uniform)), t);
+                prop_assert_eq!(
+                    &plain, &weighted,
+                    "uniform-prior k-LP run diverged for cfg {} target {}", cfg, t
+                );
+            } else {
+                let plain = run_any(&c, make_unweighted(cfg), None, t);
+                let weighted = run_any(&c, make_weighted(cfg, &uniform), None, t);
+                prop_assert_eq!(
+                    &plain, &weighted,
+                    "uniform-prior run diverged for cfg {} target {}", cfg, t
+                );
+            }
+        }
+    }
+
+    /// A skewed prior through the shared plan cache: warm cached runs are
+    /// bit-identical to cache-off runs, the weighted partition counts its
+    /// own hits, and it never serves (or starves) the unweighted key.
+    #[test]
+    fn weighted_plan_cache_warm_runs_match_cache_off(
+        raw in prop::collection::vec(
+            prop::collection::btree_set(0u32..20, 1usize..6),
+            3usize..14,
+        ),
+        cfg in 0usize..CONFIGS,
+        weight_seed in prop::collection::vec(1u64..9, 1usize..14),
+    ) {
+        let Some(c) = collection_from_sets(raw) else {
+            return Ok(());
+        };
+        let weights = Arc::new(
+            WeightTable::new(
+                &(0..c.len())
+                    .map(|i| weight_seed[i % weight_seed.len()])
+                    .collect::<Vec<_>>(),
+            )
+            .expect("positive weights"),
+        );
+        let targets = targets_of(&c);
+        let wkey = strategy_key(cfg, weights.fp());
+        let ukey = strategy_key(cfg, 0);
+        let cache = Arc::new(PlanCache::for_collection(&c, 1 << 16));
+
+        // Cache-off references, weighted and unweighted.
+        let w_reference: Vec<_> = targets
+            .iter()
+            .map(|&t| run_any(&c, make_weighted(cfg, &weights), None, t))
+            .collect();
+        let u_reference: Vec<_> = targets
+            .iter()
+            .map(|&t| run_any(&c, make_unweighted(cfg), None, t))
+            .collect();
+
+        // Cold pass fills both partitions; the second pass serves warm.
+        for pass in 0..2 {
+            for (i, &t) in targets.iter().enumerate() {
+                let got = run_any(
+                    &c,
+                    make_weighted(cfg, &weights),
+                    Some(scoped(&cache, wkey, &c)),
+                    t,
+                );
+                prop_assert_eq!(
+                    &got, &w_reference[i],
+                    "weighted pass {} target {} diverged", pass, t
+                );
+                let got = run_any(
+                    &c,
+                    make_unweighted(cfg),
+                    Some(scoped(&cache, ukey, &c)),
+                    t,
+                );
+                prop_assert_eq!(
+                    &got, &u_reference[i],
+                    "unweighted pass {} target {} diverged", pass, t
+                );
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "warm passes produced no hits: {:?}", stats);
+        if !weights.is_uniform() {
+            prop_assert!(
+                stats.weighted_hits > 0,
+                "weighted partition went uncounted: {:?}", stats
+            );
+            prop_assert!(
+                stats.weighted_hits < stats.hits,
+                "unweighted hits vanished: {:?}", stats
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end pass on Figure 1: every weighted config stays
+/// truthful-correct under a heavily skewed prior.
+#[test]
+fn figure1_weighted_configs_resolve_truthfully() {
+    let c = Collection::from_raw_sets(vec![
+        vec![0, 1, 2, 3],
+        vec![0, 3, 4],
+        vec![0, 1, 2, 3, 5],
+        vec![0, 1, 2, 6, 7],
+        vec![0, 1, 7, 8],
+        vec![0, 1, 9, 10],
+        vec![0, 1, 6],
+    ])
+    .unwrap();
+    let weights = Arc::new(WeightTable::new(&[1, 50, 1, 1, 1, 1, 1]).unwrap());
+    for cfg in 0..CONFIGS {
+        for t in 0..7u32 {
+            let t = SetId(t);
+            let (_, outcome) = run_any(&c, make_weighted(cfg, &weights), None, t);
+            assert_eq!(
+                outcome.discovered(),
+                Some(t),
+                "cfg {cfg} target {t} must resolve truthfully under a prior"
+            );
+        }
+    }
+}

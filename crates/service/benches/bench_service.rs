@@ -23,6 +23,14 @@
 //!   now served from the populated plan (the cross-session steady state a
 //!   busy deployment lives in); the emitted JSON carries the cache's
 //!   hit-rate report alongside the phase;
+//! * `inproc_klp2_noisy` — §6 erroneous-answer sessions: `recover:true`,
+//!   one unconfident lie per session, outcomes verified against a direct
+//!   backtracking engine run with the same lie;
+//! * `inproc_wklp2_cold` / `inproc_wklp2_warm` — §6 weighted sessions
+//!   under a skewed per-set prior, cold then warm (the warm run must be
+//!   served from the weighted plan partition);
+//! * `inproc_klp2_mc4` — §7 multiple-choice screens of width 4
+//!   (`questions` counts screens for this phase);
 //! * `socket_klp2` — the cold-cache workload over a real TCP loopback
 //!   socket served by `setdisc_service::server`.
 //!
@@ -116,7 +124,7 @@ fn main() {
         strategy: StrategySpec::default(), // k-LP(k=2,AD)
         clients: clients_n,
         sessions_per_client: sessions_n,
-        budget: None,
+        ..LoadConfig::default()
     };
 
     let (reports, plan_stats): (Vec<LoadReport>, Option<JsonObject>) = if mode == "socket-only" {
@@ -269,6 +277,110 @@ fn run_all_phases(
                 .num("hit_rate", stats.hit_rate())
                 .int("evicted", stats.evicted),
         );
+    }
+
+    // Phase 2d: §6 noisy sessions — recover:true, every client lies
+    // (flagged unconfident) on its second question, and the harness
+    // verifies each outcome against a direct backtracking engine run with
+    // the same lie. Measures what recovery replay costs per question.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let cfg = LoadConfig {
+            noisy: true,
+            ..klp_cfg(scale.pick(4, 8), scale.pick(10, 50))
+        };
+        let svc = Arc::clone(&service);
+        let report = run_load(
+            "inproc_klp2_noisy",
+            "in-process",
+            snapshot,
+            &move || {
+                Ok(Box::new(InProcessClient {
+                    service: Arc::clone(&svc),
+                }) as Box<dyn Client>)
+            },
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "noisy sessions must all verify");
+        reports.push(report);
+    }
+
+    // Phases 2e/2f: §6 weighted sessions (a mildly skewed per-set prior)
+    // cold then warm on the same service — the warm run must be served
+    // from the weighted plan partition (its hits are tracked separately).
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let n = snapshot.collection().len();
+        let cfg = LoadConfig {
+            prior: Some((0..n).map(|i| 1 + (i % 4) as u64).collect()),
+            ..klp_cfg(scale.pick(4, 8), scale.pick(10, 50))
+        };
+        for label in ["inproc_wklp2_cold", "inproc_wklp2_warm"] {
+            let svc = Arc::clone(&service);
+            let report = run_load(
+                label,
+                "in-process",
+                snapshot,
+                &move || {
+                    Ok(Box::new(InProcessClient {
+                        service: Arc::clone(&svc),
+                    }) as Box<dyn Client>)
+                },
+                &cfg,
+            );
+            eprintln!("{}", summary(&report));
+            assert_eq!(report.errors, 0, "weighted sessions must all verify");
+            reports.push(report);
+        }
+        let stats = service
+            .registry()
+            .get(fixture)
+            .expect("fixture registered")
+            .plan_cache()
+            .expect("default config installs a plan cache")
+            .stats();
+        assert!(
+            stats.weighted_hits > 0,
+            "warm weighted phase must hit the weighted plan: {stats:?}"
+        );
+    }
+
+    // Phase 2g: §7 multiple-choice screens (width 4) — sessions/s compares
+    // directly against `inproc_klp2_cold`; `questions` counts screens.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let cfg = LoadConfig {
+            choices: Some(4),
+            ..klp_cfg(scale.pick(4, 8), scale.pick(10, 50))
+        };
+        let svc = Arc::clone(&service);
+        let report = run_load(
+            "inproc_klp2_mc4",
+            "in-process",
+            snapshot,
+            &move || {
+                Ok(Box::new(InProcessClient {
+                    service: Arc::clone(&svc),
+                }) as Box<dyn Client>)
+            },
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "multiple-choice sessions must all verify");
+        reports.push(report);
     }
 
     // Phase 3: the same workload over a real TCP loopback socket.

@@ -15,10 +15,12 @@
 //! drive them all to completion — the "≥ 1k concurrent open sessions"
 //! acceptance gate of the service subsystem.
 
-use crate::proto::create_request;
+use crate::proto::create_request_ext;
 use crate::service::Service;
 use crate::snapshot::Snapshot;
 use crate::strategy::StrategySpec;
+use setdisc_core::discovery::Answer;
+use setdisc_core::engine::Engine;
 use setdisc_core::entity::SetId;
 use setdisc_util::report::{parse_json, JsonObject, JsonValue};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -92,6 +94,33 @@ pub struct LoadConfig {
     pub sessions_per_client: usize,
     /// Per-session question budget (`None` = service default).
     pub budget: Option<u64>,
+    /// Per-set prior weights sent with every `create` (§6 weighted-AD
+    /// sessions); `None` = classic unweighted sessions.
+    pub prior: Option<Vec<u64>>,
+    /// When true, sessions are created with `recover:true` and every
+    /// client lies (flagged `confident:false`) on its second question;
+    /// outcomes are verified against a direct backtracking engine run with
+    /// the same lie, so recovery itself is on the measured path. Applies
+    /// to the classic single-question form only.
+    pub noisy: bool,
+    /// Ask §7 multiple-choice batches of this width instead of single
+    /// questions (`questions` then counts screens, not entities).
+    pub choices: Option<usize>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            collection: "figure1".into(),
+            strategy: StrategySpec::default(),
+            clients: 1,
+            sessions_per_client: 1,
+            budget: None,
+            prior: None,
+            noisy: false,
+            choices: None,
+        }
+    }
 }
 
 /// Measured results of one load run.
@@ -233,7 +262,7 @@ pub fn run_open_many(
                         break;
                     }
                     let target = SetId((i % snapshot.collection().len()) as u32);
-                    let line = create_request(&cfg.collection, &cfg.strategy, &[], cfg.budget);
+                    let line = create_line(cfg);
                     let resp = client.call(&line).expect("in-process call");
                     let id = response_field(&resp, "session");
                     opened
@@ -260,7 +289,7 @@ pub fn run_open_many(
                     loop {
                         let next = opened.lock().expect("open list lock").pop();
                         let Some((id, target)) = next else { break };
-                        drive_open_session(&mut client, snapshot, id, target, &mut stats);
+                        drive_open_session(&mut client, snapshot, cfg, id, target, &mut stats);
                     }
                     stats
                 })
@@ -281,6 +310,47 @@ pub fn run_open_many(
     )
 }
 
+/// The `create` line every session of this workload opens with.
+fn create_line(cfg: &LoadConfig) -> String {
+    create_request_ext(
+        &cfg.collection,
+        &cfg.strategy,
+        &[],
+        cfg.budget,
+        cfg.prior.as_deref(),
+        cfg.noisy,
+    )
+}
+
+/// Question index the noisy workload lies at (flagged `confident:false`).
+const NOISY_LIE_AT: usize = 1;
+
+/// What a noisy session should discover: a direct backtracking engine run
+/// with the same strategy and the same unconfident lie. (A lie that never
+/// produces a contradiction resolves to a consistent wrong set; the wire
+/// session must land on exactly the same one, recovered or not.)
+fn noisy_reference_label(snapshot: &Snapshot, cfg: &LoadConfig, target: SetId) -> Option<String> {
+    let target_set = snapshot.collection().set(target);
+    let mut engine = Engine::new(snapshot.collection(), &[], cfg.strategy.build());
+    engine.set_backtracking(true);
+    let mut asked = 0usize;
+    while let Some(entity) = engine.next_question() {
+        let truthful = target_set.contains(entity);
+        let (member, confident) = if asked == NOISY_LIE_AT {
+            (!truthful, false)
+        } else {
+            (truthful, true)
+        };
+        let answer = if member { Answer::Yes } else { Answer::No };
+        engine.answer_full(entity, answer, confident);
+        asked += 1;
+    }
+    engine
+        .outcome()
+        .discovered()
+        .map(|id| snapshot.set_label(id))
+}
+
 /// Creates and drives one complete session, recording stats.
 fn drive_session(
     client: &mut dyn Client,
@@ -289,8 +359,7 @@ fn drive_session(
     target: SetId,
     stats: &mut WorkerStats,
 ) {
-    let line = create_request(&cfg.collection, &cfg.strategy, &[], cfg.budget);
-    let Ok(resp) = client.call(&line) else {
+    let Ok(resp) = client.call(&create_line(cfg)) else {
         stats.errors += 1;
         return;
     };
@@ -298,23 +367,33 @@ fn drive_session(
         stats.errors += 1;
         return;
     };
-    drive_open_session(client, snapshot, id, target, stats);
+    drive_open_session(client, snapshot, cfg, id, target, stats);
 }
 
 /// Drives an already-created session to completion.
 fn drive_open_session(
     client: &mut dyn Client,
     snapshot: &Snapshot,
+    cfg: &LoadConfig,
     id: u64,
     target: SetId,
     stats: &mut WorkerStats,
 ) {
     let target_set = snapshot.collection().set(target);
-    let expected = snapshot.set_label(target);
+    let expected = if cfg.noisy {
+        noisy_reference_label(snapshot, cfg, target)
+    } else {
+        Some(snapshot.set_label(target))
+    };
+    let ask_line = match cfg.choices {
+        Some(b) if b > 1 => format!(r#"{{"op":"ask","session":{id},"choices":{b}}}"#),
+        _ => format!(r#"{{"op":"ask","session":{id}}}"#),
+    };
+    let mut asked = 0usize;
     let mut ok = false;
     loop {
         let round = Instant::now();
-        let Ok(ask) = client.call(&format!(r#"{{"op":"ask","session":{id}}}"#)) else {
+        let Ok(ask) = client.call(&ask_line) else {
             break;
         };
         let Ok(parsed) = parse_json(&ask) else { break };
@@ -322,22 +401,60 @@ fn drive_open_session(
             break;
         }
         if parsed.get("done").and_then(JsonValue::as_bool) == Some(true) {
-            ok = parsed.get("discovered").and_then(JsonValue::as_str) == Some(&expected);
+            ok = parsed.get("discovered").and_then(JsonValue::as_str) == expected.as_deref();
             break;
         }
-        let Some(entity) = parsed.get("entity").and_then(JsonValue::as_str) else {
-            break;
+        let line = if cfg.choices.is_some_and(|b| b > 1) {
+            // §7 screen: pick the first member of the target, or "none of
+            // these" past the end.
+            let batch: Vec<&str> = match parsed.get("entities").and_then(JsonValue::as_array) {
+                Some(items) => items.iter().filter_map(JsonValue::as_str).collect(),
+                None => parsed
+                    .get("entity")
+                    .and_then(JsonValue::as_str)
+                    .into_iter()
+                    .collect(),
+            };
+            if batch.is_empty() {
+                break;
+            }
+            let choice = batch
+                .iter()
+                .position(|name| {
+                    snapshot
+                        .resolve_entity(name)
+                        .is_some_and(|e| target_set.contains(e))
+                })
+                .unwrap_or(batch.len());
+            format!(r#"{{"op":"answer","session":{id},"choice":{choice}}}"#)
+        } else {
+            let Some(entity) = parsed.get("entity").and_then(JsonValue::as_str) else {
+                break;
+            };
+            let member = snapshot
+                .resolve_entity(entity)
+                .is_some_and(|e| target_set.contains(e));
+            let (member, confident) = if cfg.noisy && asked == NOISY_LIE_AT {
+                (!member, false)
+            } else {
+                (member, true)
+            };
+            let answer = if member { "yes" } else { "no" };
+            if confident {
+                format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{answer}"}}"#
+                )
+            } else {
+                format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{answer}","confident":false}}"#
+                )
+            }
         };
-        let member = snapshot
-            .resolve_entity(entity)
-            .is_some_and(|e| target_set.contains(e));
-        let answer = if member { "yes" } else { "no" };
-        let line =
-            format!(r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{answer}"}}"#);
         let Ok(resp) = client.call(&line) else { break };
         if !resp.contains("\"ok\":true") {
             break;
         }
+        asked += 1;
         stats.questions += 1;
         stats
             .latencies_us
@@ -416,10 +533,9 @@ mod tests {
     fn klp_cfg(collection: &str, clients: usize, sessions: usize) -> LoadConfig {
         LoadConfig {
             collection: collection.into(),
-            strategy: StrategySpec::default(),
             clients,
             sessions_per_client: sessions,
-            budget: None,
+            ..LoadConfig::default()
         }
     }
 
@@ -454,6 +570,51 @@ mod tests {
         assert_eq!(report.peak_open, 64, "all sessions live simultaneously");
         assert_eq!(report.sessions, 64);
         assert_eq!(report.errors, 0);
+        assert_eq!(service.open_sessions(), 0);
+    }
+
+    #[test]
+    fn noisy_weighted_and_batched_loads_verify() {
+        let (service, snapshot) = service_with("copyadd:40:0.8:3");
+        let n = snapshot.collection().len();
+        let base = klp_cfg("copyadd:40:0.8:3", 2, 4);
+        let shapes = [
+            LoadConfig {
+                noisy: true,
+                ..base.clone()
+            },
+            LoadConfig {
+                prior: Some((0..n).map(|i| 1 + (i % 3) as u64).collect()),
+                ..base.clone()
+            },
+            LoadConfig {
+                choices: Some(4),
+                ..base
+            },
+        ];
+        for cfg in shapes {
+            let svc = Arc::clone(&service);
+            let report = run_load(
+                "mode-test",
+                "in-process",
+                &snapshot,
+                &move || {
+                    Ok(Box::new(InProcessClient {
+                        service: Arc::clone(&svc),
+                    }) as Box<dyn Client>)
+                },
+                &cfg,
+            );
+            assert_eq!(report.sessions, 8);
+            assert_eq!(
+                report.errors,
+                0,
+                "shape noisy={} prior={} choices={:?} must verify",
+                cfg.noisy,
+                cfg.prior.is_some(),
+                cfg.choices
+            );
+        }
         assert_eq!(service.open_sessions(), 0);
     }
 

@@ -8,17 +8,22 @@
 //! ```text
 //! {"op":"create","collection":NAME,
 //!  "strategy":FAMILY?,"metric":"ad"|"h"?,"k":N?,"beam":N?,"seed":N?,
-//!  "examples":[ENTITY,...]?,"budget":N?}
+//!  "examples":[ENTITY,...]?,"budget":N?,
+//!  "prior":[WEIGHT,...]?,"recover":BOOL?}
 //!     -> {"ok":true,"op":"create","session":ID,"candidates":N}
-//! {"op":"ask","session":ID}
+//! {"op":"ask","session":ID,"choices":N?}
 //!     -> {"ok":true,"op":"ask","session":ID,"done":false,"entity":NAME,
-//!         "questions":N}
+//!         "questions":N}                       (plus "entities":[NAME,...]
+//!                                              when choices > 1 applies)
 //!      | {"ok":true,"op":"ask","session":ID,"done":true,"reason":
 //!         "resolved"|"budget"|"exhausted","questions":N,"candidates":N,
 //!         "discovered":NAME?}
-//! {"op":"answer","session":ID,"entity":NAME,"answer":"yes"|"no"|"unknown"}
+//! {"op":"answer","session":ID,"entity":NAME,"answer":"yes"|"no"|"unknown",
+//!  "confident":BOOL?}
+//!      | {"op":"answer","session":ID,"choice":N,"confident":BOOL?}
 //!     -> {"ok":true,"op":"answer","session":ID,"candidates":N,
-//!         "questions":N}
+//!         "questions":N}                       (plus "backtracks":N once a
+//!                                              recovery has fired)
 //! {"op":"status","session":ID}
 //!     -> {"ok":true,"op":"status",...full session state...}
 //! {"op":"status"}                 -> {"ok":true,"op":"status","sessions":N,
@@ -32,9 +37,15 @@
 //!
 //! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
 //! `ask` is idempotent (re-asking without answering returns the same
-//! entity, a consequence of the engine's pure `next_question`), and
+//! entity — or, for a pending multiple-choice batch, the same batch), and
 //! `answer` accepts any entity — not just the last asked one — matching the
-//! engine's constraint-assertion semantics.
+//! engine's constraint-assertion semantics. The `choice` form of `answer`
+//! resolves the outstanding batch with §7 first-applicable-option
+//! semantics (`choice` is the 0-based picked option; the batch length
+//! means "none of these"); `prior` supplies §6 per-set odds and `recover`
+//! arms Algorithm-2 backtracking for erroneous answers. All extension
+//! fields are strictly additive — a client that never sends them sees
+//! byte-identical responses to the pre-extension protocol.
 
 use crate::strategy::StrategySpec;
 use setdisc_core::discovery::Answer;
@@ -53,11 +64,19 @@ pub enum Request {
         examples: Vec<String>,
         /// Yes/no question budget; `None` = service default.
         budget: Option<u64>,
+        /// §6 per-set prior weights (one per set, by id); empty = uniform.
+        prior: Vec<u64>,
+        /// Arm §6 backtracking: contradictions trigger Algorithm-2
+        /// recovery instead of closing the session.
+        recover: bool,
     },
     /// Request the next membership question.
     Ask {
         /// Session id.
         session: u64,
+        /// §7 multiple-choice batch size; `None` or `Some(1)` is the
+        /// classic single-question form.
+        choices: Option<usize>,
     },
     /// Deliver an answer about an entity.
     Answer {
@@ -67,6 +86,18 @@ pub enum Request {
         entity: String,
         /// The reply.
         answer: Answer,
+        /// False marks the answer as unsure — flipped first during §6
+        /// recovery.
+        confident: bool,
+    },
+    /// Resolve an outstanding multiple-choice batch (§7).
+    AnswerChoice {
+        /// Session id.
+        session: u64,
+        /// 0-based picked option; the batch length means "none of these".
+        choice: u64,
+        /// As in [`Request::Answer`].
+        confident: bool,
     },
     /// Report full session state.
     Status {
@@ -124,20 +155,56 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .collect::<Result<_, _>>()?,
                 Some(_) => return Err("create: \"examples\" must be an array".into()),
             };
+            let prior = match v.get("prior") {
+                None | Some(JsonValue::Null) => Vec::new(),
+                Some(JsonValue::Array(items)) => items
+                    .iter()
+                    .map(|item| {
+                        item.as_u64().ok_or_else(|| {
+                            "create: prior weights must be non-negative integers".to_string()
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err("create: \"prior\" must be an array of weights".into()),
+            };
             Ok(Request::Create {
                 collection,
                 strategy,
                 examples,
                 budget: opt_u64(&v, "budget")?,
+                prior,
+                recover: opt_bool(&v, "recover")?.unwrap_or(false),
             })
         }
-        "ask" => Ok(Request::Ask {
-            session: session_id(&v)?,
-        }),
+        "ask" => {
+            let choices = match opt_u64(&v, "choices")? {
+                None => None,
+                Some(n) if (1..=16).contains(&n) => Some(n as usize),
+                Some(n) => return Err(format!("ask: choices={n} out of range (1..=16)")),
+            };
+            Ok(Request::Ask {
+                session: session_id(&v)?,
+                choices,
+            })
+        }
         "answer" => {
-            let entity = v
-                .get("entity")
-                .and_then(JsonValue::as_str)
+            let session = session_id(&v)?;
+            let confident = opt_bool(&v, "confident")?.unwrap_or(true);
+            let choice = opt_u64(&v, "choice")?;
+            let entity = v.get("entity").and_then(JsonValue::as_str);
+            if let Some(choice) = choice {
+                if entity.is_some() || v.get("answer").is_some() {
+                    return Err(
+                        "answer: give either \"choice\" or \"entity\"+\"answer\", not both".into(),
+                    );
+                }
+                return Ok(Request::AnswerChoice {
+                    session,
+                    choice,
+                    confident,
+                });
+            }
+            let entity = entity
                 .ok_or("answer: missing string field \"entity\"")?
                 .to_string();
             let answer = match v
@@ -151,9 +218,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 other => return Err(format!("answer: bad answer {other:?} (yes|no|unknown)")),
             };
             Ok(Request::Answer {
-                session: session_id(&v)?,
+                session,
                 entity,
                 answer,
+                confident,
             })
         }
         "status" => match v.get("session") {
@@ -180,6 +248,21 @@ pub fn create_request(
     examples: &[String],
     budget: Option<u64>,
 ) -> String {
+    create_request_ext(collection, strategy, examples, budget, None, false)
+}
+
+/// [`create_request`] with the §6 extension fields: an optional per-set
+/// prior and the backtracking-recovery flag. The extension fields are
+/// omitted (not emitted as null/false) when unused, so the classic form
+/// stays byte-identical.
+pub fn create_request_ext(
+    collection: &str,
+    strategy: &StrategySpec,
+    examples: &[String],
+    budget: Option<u64>,
+    prior: Option<&[u64]>,
+    recover: bool,
+) -> String {
     let mut obj = JsonObject::new()
         .str("op", "create")
         .str("collection", collection)
@@ -193,6 +276,12 @@ pub fn create_request(
     }
     if let Some(b) = budget {
         obj = obj.int("budget", b);
+    }
+    if let Some(weights) = prior {
+        obj = obj.ints("prior", weights.iter().copied());
+    }
+    if recover {
+        obj = obj.bool("recover", true);
     }
     obj.encode()
 }
@@ -213,6 +302,14 @@ fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn opt_bool(v: &JsonValue, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("field {key:?} must be a boolean")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +323,8 @@ mod tests {
             strategy,
             examples,
             budget,
+            prior,
+            recover,
         } = req
         else {
             panic!("wrong variant");
@@ -234,6 +333,8 @@ mod tests {
         assert_eq!(strategy, StrategySpec::default());
         assert!(examples.is_empty());
         assert_eq!(budget, None);
+        assert!(prior.is_empty());
+        assert!(!recover);
 
         let req = parse_request(
             r#"{"op":"create","collection":"c","strategy":"klp-le","metric":"h","k":3,
@@ -261,14 +362,18 @@ mod tests {
     fn parses_session_ops() {
         assert_eq!(
             parse_request(r#"{"op":"ask","session":3}"#).unwrap(),
-            Request::Ask { session: 3 }
+            Request::Ask {
+                session: 3,
+                choices: None
+            }
         );
         assert_eq!(
             parse_request(r#"{"op":"answer","session":3,"entity":"d","answer":"yes"}"#).unwrap(),
             Request::Answer {
                 session: 3,
                 entity: "d".into(),
-                answer: Answer::Yes
+                answer: Answer::Yes,
+                confident: true
             }
         );
         assert_eq!(
@@ -276,7 +381,8 @@ mod tests {
             Request::Answer {
                 session: 3,
                 entity: "d".into(),
-                answer: Answer::Unknown
+                answer: Answer::Unknown,
+                confident: true
             }
         );
         assert_eq!(
@@ -316,8 +422,90 @@ mod tests {
                 strategy: spec,
                 examples: vec!["a".into(), "b".into()],
                 budget: Some(42),
+                prior: Vec::new(),
+                recover: false,
             }
         );
+        // The extension builder round-trips too, and degenerates to the
+        // classic line when the extension fields are unused.
+        assert_eq!(
+            create_request_ext("web", &spec, &[], None, None, false),
+            create_request("web", &spec, &[], None)
+        );
+        let line = create_request_ext("web", &spec, &[], Some(9), Some(&[3, 1, 1]), true);
+        let parsed = parse_request(&line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Create {
+                collection: "web".into(),
+                strategy: spec,
+                examples: Vec::new(),
+                budget: Some(9),
+                prior: vec![3, 1, 1],
+                recover: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_session_mode_extensions() {
+        assert_eq!(
+            parse_request(r#"{"op":"ask","session":3,"choices":4}"#).unwrap(),
+            Request::Ask {
+                session: 3,
+                choices: Some(4)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"ask","session":3,"choices":null}"#).unwrap(),
+            Request::Ask {
+                session: 3,
+                choices: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"answer","session":3,"choice":2}"#).unwrap(),
+            Request::AnswerChoice {
+                session: 3,
+                choice: 2,
+                confident: true
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"answer","session":3,"entity":"d","answer":"no","confident":false}"#
+            )
+            .unwrap(),
+            Request::Answer {
+                session: 3,
+                entity: "d".into(),
+                answer: Answer::No,
+                confident: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"answer","choice":0,"confident":false,"session":7}"#).unwrap(),
+            Request::AnswerChoice {
+                session: 7,
+                choice: 0,
+                confident: false
+            }
+        );
+        for bad in [
+            r#"{"op":"ask","session":1,"choices":0}"#,
+            r#"{"op":"ask","session":1,"choices":17}"#,
+            r#"{"op":"ask","session":1,"choices":1.5}"#,
+            r#"{"op":"answer","session":1,"choice":-1}"#,
+            r#"{"op":"answer","session":1,"choice":1.5}"#,
+            r#"{"op":"answer","session":1,"choice":1,"entity":"d","answer":"yes"}"#,
+            r#"{"op":"answer","session":1,"entity":"d","answer":"yes","confident":"yes"}"#,
+            r#"{"op":"create","collection":"c","prior":"heavy"}"#,
+            r#"{"op":"create","collection":"c","prior":[1,-2]}"#,
+            r#"{"op":"create","collection":"c","prior":[1,0.5]}"#,
+            r#"{"op":"create","collection":"c","recover":1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -115,13 +115,21 @@ impl Service {
                 strategy,
                 examples,
                 budget,
-            } => self.create(&collection, strategy, &examples, budget),
-            Request::Ask { session } => self.ask(session),
+                prior,
+                recover,
+            } => self.create(&collection, strategy, &examples, budget, &prior, recover),
+            Request::Ask { session, choices } => self.ask(session, choices),
             Request::Answer {
                 session,
                 entity,
                 answer,
-            } => self.answer(session, &entity, answer),
+                confident,
+            } => self.answer(session, &entity, answer, confident),
+            Request::AnswerChoice {
+                session,
+                choice,
+                confident,
+            } => self.answer_choice(session, choice, confident),
             Request::Status { session } => self.status(session),
             Request::ServiceStatus => self.service_status(),
             Request::Close { session } => self.close(session),
@@ -151,6 +159,12 @@ impl Service {
                         .int("plan_hits", stats.hits)
                         .int("plan_misses", stats.misses)
                         .num("plan_hit_rate", stats.hit_rate());
+                    // Additive: present only once a weighted (§6 prior)
+                    // plan has actually served, so classic transcripts are
+                    // unchanged.
+                    if stats.weighted_hits > 0 {
+                        obj = obj.int("plan_weighted_hits", stats.weighted_hits);
+                    }
                 }
                 obj
             })
@@ -195,6 +209,8 @@ impl Service {
         strategy: crate::strategy::StrategySpec,
         examples: &[String],
         budget: Option<u64>,
+        prior: &[u64],
+        recover: bool,
     ) -> String {
         let Some(snapshot) = self.registry.get(collection) else {
             return err_response(&format!("unknown collection {collection:?}"));
@@ -206,19 +222,62 @@ impl Service {
                 None => return err_response(&format!("unknown entity {token:?}")),
             }
         }
+        // A §6 prior must cover the whole collection; a prior that
+        // GCD-normalizes to uniform is served by the (bit-identical, see
+        // `setdisc_core::weights`) unweighted path so it shares the classic
+        // plan cache instead of fragmenting it.
+        let weights = if prior.is_empty() {
+            None
+        } else {
+            if prior.len() != snapshot.collection().len() {
+                return err_response(&format!(
+                    "prior covers {} sets but collection {collection:?} has {}",
+                    prior.len(),
+                    snapshot.collection().len()
+                ));
+            }
+            match setdisc_core::weights::WeightTable::new(prior) {
+                Ok(table) if table.is_uniform() => None,
+                Ok(table) => Some(std::sync::Arc::new(table)),
+                Err(e) => return err_response(&e),
+            }
+        };
+        let (built, label, plan_key) = match &weights {
+            Some(w) => {
+                let built = match strategy.build_weighted(&self.config.lookahead, w.clone()) {
+                    Ok(b) => b,
+                    Err(e) => return err_response(&e),
+                };
+                (
+                    built,
+                    strategy.weighted_label(w),
+                    strategy.weighted_plan_key(w),
+                )
+            }
+            None => (
+                strategy.build_tuned(&self.config.lookahead),
+                strategy.label(),
+                strategy.plan_key(),
+            ),
+        };
         let mut engine: ServiceEngine = Engine::new(
             SnapshotHandle(std::sync::Arc::clone(&snapshot)),
             &initial,
-            strategy.build_tuned(&self.config.lookahead),
+            built,
         );
+        if recover {
+            engine.set_backtracking(true);
+        }
         // Deterministic strategies share the snapshot's plan cache: every
         // selection is served from (and recorded into) the cross-session
-        // decision tree. Randomized strategies get no cache (no plan_key).
-        // The snapshot's cache matches its collection by construction
-        // (validated at lazy init / plan install), so the scope skips the
-        // O(collection) identity re-hash on this per-create path.
+        // decision tree. Randomized strategies get no cache (no plan_key),
+        // and weighted sessions key under the prior's fingerprint so they
+        // never share nodes with the unweighted plan. The snapshot's cache
+        // matches its collection by construction (validated at lazy init /
+        // plan install), so the scope skips the O(collection) identity
+        // re-hash on this per-create path.
         if self.config.plan_cache_capacity > 0 {
-            if let Some(key) = strategy.plan_key() {
+            if let Some(key) = plan_key {
                 let cache = snapshot.plan_cache_or_init(self.config.plan_cache_capacity);
                 let scope = setdisc_plan::ScopedPlanCache::new_prevalidated(
                     cache,
@@ -233,7 +292,7 @@ impl Service {
             engine,
             snapshot,
             collection.to_string(),
-            strategy.label(),
+            label,
             budget.unwrap_or(self.config.default_budget),
         );
         match self.table.insert(entry) {
@@ -247,7 +306,7 @@ impl Service {
         }
     }
 
-    fn ask(&self, session: u64) -> String {
+    fn ask(&self, session: u64, choices: Option<usize>) -> String {
         self.with_session(session, |entry| {
             let questions = entry.engine.questions_asked() as u64;
             let done = |reason: &str, entry: &SessionEntry| {
@@ -270,23 +329,36 @@ impl Service {
             if questions >= entry.budget {
                 return done("budget", entry);
             }
-            let entity = match entry.pending {
-                Some(e) => Some(e),
-                None => {
-                    let pick = entry.engine.next_question();
-                    entry.pending = pick;
-                    pick
+            // Re-asking before answering returns the outstanding question
+            // (or §7 batch) verbatim; a fresh ask selects one.
+            if entry.pending.is_empty() {
+                entry.pending = match choices {
+                    Some(b) if b > 1 => entry.engine.next_questions(b),
+                    _ => entry.engine.next_question().into_iter().collect(),
+                };
+            }
+            match entry.pending.first().copied() {
+                Some(first) => {
+                    let mut obj = JsonObject::new()
+                        .bool("ok", true)
+                        .str("op", "ask")
+                        .int("session", session)
+                        .bool("done", false)
+                        .str("entity", &entry.snapshot.entity_label(first))
+                        .int("questions", questions);
+                    // Additive: the batch appears only when there is more
+                    // than one option, so classic transcripts are
+                    // byte-identical.
+                    if entry.pending.len() > 1 {
+                        let labels: Vec<String> = entry
+                            .pending
+                            .iter()
+                            .map(|&e| entry.snapshot.entity_label(e))
+                            .collect();
+                        obj = obj.strs("entities", &labels);
+                    }
+                    obj.encode()
                 }
-            };
-            match entity {
-                Some(e) => JsonObject::new()
-                    .bool("ok", true)
-                    .str("op", "ask")
-                    .int("session", session)
-                    .bool("done", false)
-                    .str("entity", &entry.snapshot.entity_label(e))
-                    .int("questions", questions)
-                    .encode(),
                 // Every informative entity excluded: the session cannot
                 // make progress — report the survivors.
                 None => done("exhausted", entry),
@@ -294,23 +366,42 @@ impl Service {
         })
     }
 
-    fn answer(&self, session: u64, entity: &str, answer: Answer) -> String {
+    fn answer(&self, session: u64, entity: &str, answer: Answer, confident: bool) -> String {
         let result = self.with_session_raw(session, |entry| {
             let Some(id) = entry.snapshot.resolve_entity(entity) else {
                 return Err(format!("unknown entity {entity:?}"));
             };
-            entry.pending = None;
-            entry.engine.answer(id, answer);
-            if entry.engine.candidate_count() == 0 {
-                // Inconsistent assertions: the session is dead. Report and
-                // release it (the wire client cannot back out an answer).
-                return Ok(Err(entry.engine.questions_asked()));
-            }
-            Ok(Ok((
-                entry.engine.candidate_count() as u64,
-                entry.engine.questions_asked() as u64,
-            )))
+            entry.pending.clear();
+            entry.engine.answer_full(id, answer, confident);
+            Ok(answer_outcome(entry))
         });
+        self.finish_answer(session, result)
+    }
+
+    fn answer_choice(&self, session: u64, choice: u64, confident: bool) -> String {
+        let result = self.with_session_raw(session, |entry| {
+            if entry.pending.is_empty() {
+                return Err("no outstanding question batch to choose from".to_string());
+            }
+            let batch = std::mem::take(&mut entry.pending);
+            if choice > batch.len() as u64 {
+                // Hand the batch back: an invalid pick must not consume it.
+                let err = format!("choice {choice} out of range for {} options", batch.len());
+                entry.pending = batch;
+                return Err(err);
+            }
+            entry
+                .engine
+                .answer_choice(&batch, choice as usize, confident);
+            Ok(answer_outcome(entry))
+        });
+        self.finish_answer(session, result)
+    }
+
+    /// Common tail of both answer forms: report the contradiction closure
+    /// or the surviving-candidate counts (plus the §6 backtrack count once
+    /// any recovery has fired).
+    fn finish_answer(&self, session: u64, result: Option<Result<AnswerOutcome, String>>) -> String {
         match result {
             None => unknown_session(session),
             Some(Err(e)) => err_response(&e),
@@ -320,13 +411,18 @@ impl Service {
                     "answers contradict every candidate set after {questions} questions; session closed"
                 ))
             }
-            Some(Ok(Ok((candidates, questions)))) => JsonObject::new()
-                .bool("ok", true)
-                .str("op", "answer")
-                .int("session", session)
-                .int("candidates", candidates)
-                .int("questions", questions)
-                .encode(),
+            Some(Ok(Ok((candidates, questions, backtracks)))) => {
+                let mut obj = JsonObject::new()
+                    .bool("ok", true)
+                    .str("op", "answer")
+                    .int("session", session)
+                    .int("candidates", candidates)
+                    .int("questions", questions);
+                if backtracks > 0 {
+                    obj = obj.int("backtracks", backtracks);
+                }
+                obj.encode()
+            }
         }
     }
 
@@ -343,6 +439,9 @@ impl Service {
                 .int("unknowns", entry.engine.unknowns() as u64)
                 .int("budget", entry.budget)
                 .bool("done", entry.engine.is_resolved());
+            if entry.engine.backtracks() > 0 {
+                obj = obj.int("backtracks", entry.engine.backtracks() as u64);
+            }
             if let Some(found) = discovered_label(entry) {
                 obj = obj.str("discovered", &found);
             }
@@ -393,6 +492,24 @@ impl Service {
     ) -> Option<R> {
         self.table.with(session, f)
     }
+}
+
+/// Post-answer state: `Err(questions)` when the assertions killed every
+/// candidate (and §6 recovery, if armed, could not repair the transcript),
+/// else `(candidates, questions, backtracks)`.
+type AnswerOutcome = Result<(u64, u64, u64), usize>;
+
+fn answer_outcome(entry: &SessionEntry) -> AnswerOutcome {
+    if entry.engine.candidate_count() == 0 {
+        // Inconsistent assertions: the session is dead. Report and
+        // release it (the wire client cannot back out an answer).
+        return Err(entry.engine.questions_asked());
+    }
+    Ok((
+        entry.engine.candidate_count() as u64,
+        entry.engine.questions_asked() as u64,
+        entry.engine.backtracks() as u64,
+    ))
 }
 
 /// The resolved set's label when exactly one candidate remains.
@@ -679,6 +796,214 @@ mod tests {
         let stats = snap.plan_cache().unwrap().stats();
         assert!(stats.hits >= 1, "warm boot must hit: {stats:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weighted_create_labels_and_separate_plans() {
+        let svc = figure1_service();
+        // A skewed prior on S2 flows into the strategy label; a uniform
+        // (after GCD) prior is served by the classic path.
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","prior":[1,50,1,1,1,1,1]}"#,
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        let id = field(&resp, "session").as_u64().unwrap();
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        let label = field(&status, "strategy").as_str().unwrap();
+        assert!(label.starts_with("k-LP(k=2,AD,w:"), "{label}");
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","prior":[3,3,3,3,3,3,3]}"#,
+        );
+        let id = field(&resp, "session").as_u64().unwrap();
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        assert_eq!(field(&status, "strategy").as_str(), Some("k-LP(k=2,AD)"));
+        // Validation errors surface verbatim.
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","prior":[1,2]}"#,
+        );
+        assert!(field(&resp, "error").as_str().unwrap().contains("covers"));
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","prior":[1,0,1,1,1,1,1]}"#,
+        );
+        assert!(field(&resp, "error").as_str().unwrap().contains("zero"));
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","strategy":"info-gain","prior":[1,50,1,1,1,1,1]}"#,
+        );
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("does not support a prior"));
+    }
+
+    #[test]
+    fn weighted_sessions_hit_their_own_plan_and_report_it() {
+        let svc = figure1_service();
+        let create = r#"{"op":"create","collection":"figure1","prior":[1,50,1,1,1,1,1]}"#;
+        // Two identical weighted sessions: the second is served warm.
+        for _ in 0..2 {
+            let resp = call(&svc, create);
+            let id = field(&resp, "session").as_u64().unwrap();
+            let target = ["a", "d", "e"];
+            loop {
+                let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+                if field(&resp, "done").as_bool() == Some(true) {
+                    assert_eq!(field(&resp, "discovered").as_str(), Some("S2"));
+                    break;
+                }
+                let entity = field(&resp, "entity").as_str().unwrap().to_string();
+                let ans = if target.contains(&entity.as_str()) {
+                    "yes"
+                } else {
+                    "no"
+                };
+                call(
+                    &svc,
+                    &format!(
+                        r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{ans}"}}"#
+                    ),
+                );
+            }
+            call(&svc, &format!(r#"{{"op":"close","session":{id}}}"#));
+        }
+        let resp = call(&svc, r#"{"op":"status"}"#);
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert!(
+            field(&list[0], "plan_weighted_hits").as_u64().unwrap() > 0,
+            "warm weighted run must report weighted plan hits"
+        );
+    }
+
+    #[test]
+    fn recover_session_backtracks_instead_of_closing() {
+        let svc = figure1_service();
+        let resp = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","recover":true}"#,
+        );
+        let id = field(&resp, "session").as_u64().unwrap();
+        // e → only S2 (a lie, marked unconfident); then f → only S3:
+        // contradiction. Recovery flips the unconfident entry and the
+        // session survives with S3 as the sole candidate.
+        call(
+            &svc,
+            &format!(
+                r#"{{"op":"answer","session":{id},"entity":"e","answer":"yes","confident":false}}"#
+            ),
+        );
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"f","answer":"yes"}}"#),
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{resp:?}");
+        assert_eq!(field(&resp, "candidates").as_u64(), Some(1));
+        assert_eq!(field(&resp, "backtracks").as_u64(), Some(1));
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        assert_eq!(field(&status, "discovered").as_str(), Some("S3"));
+        assert_eq!(field(&status, "backtracks").as_u64(), Some(1));
+        // Without recover, the same lies close the session (regression for
+        // the empty-candidate-set path).
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"e","answer":"yes"}}"#),
+        );
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"f","answer":"yes"}}"#),
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("contradict"));
+    }
+
+    #[test]
+    fn multiple_choice_ask_batches_and_choice_resolves() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        let ask = call(
+            &svc,
+            &format!(r#"{{"op":"ask","session":{id},"choices":3}}"#),
+        );
+        let batch: Vec<String> = field(&ask, "entities")
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(field(&ask, "entity").as_str(), Some(batch[0].as_str()));
+        // Re-ask (even without "choices") returns the outstanding batch.
+        let again = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(field(&again, "entities").as_array().unwrap().len(), 3);
+        // Out-of-range pick leaves the batch outstanding; a truthful pick
+        // consumes it. First-applicable semantics: No for every entity
+        // before the pick, Yes at the pick (or all No for "none of these"),
+        // so between 1 and 3 questions are charged.
+        let target = ["a", "d", "e"];
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"choice":4}}"#),
+        );
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("out of range"));
+        let choice = batch
+            .iter()
+            .position(|e| target.contains(&e.as_str()))
+            .unwrap_or(batch.len());
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"choice":{choice}}}"#),
+        );
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{resp:?}");
+        let asked = field(&resp, "questions").as_u64().unwrap();
+        assert!((1..=3).contains(&asked), "charged {asked} questions");
+        // A choice with no outstanding batch is an error.
+        let resp = call(
+            &svc,
+            &format!(r#"{{"op":"answer","session":{id},"choice":0}}"#),
+        );
+        assert!(field(&resp, "error")
+            .as_str()
+            .unwrap()
+            .contains("no outstanding"));
+        // The session still resolves truthfully for target S2.
+        loop {
+            let resp = call(
+                &svc,
+                &format!(r#"{{"op":"ask","session":{id},"choices":4}}"#),
+            );
+            if field(&resp, "done").as_bool() == Some(true) {
+                assert_eq!(field(&resp, "discovered").as_str(), Some("S2"));
+                break;
+            }
+            let batch: Vec<String> = match field(&resp, "entities").as_array() {
+                Some(items) => items
+                    .iter()
+                    .map(|v| v.as_str().unwrap().to_string())
+                    .collect(),
+                None => vec![field(&resp, "entity").as_str().unwrap().to_string()],
+            };
+            let choice = batch
+                .iter()
+                .position(|e| target.contains(&e.as_str()))
+                .unwrap_or(batch.len());
+            let resp = call(
+                &svc,
+                &format!(r#"{{"op":"answer","session":{id},"choice":{choice}}}"#),
+            );
+            assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{resp:?}");
+        }
     }
 
     #[test]

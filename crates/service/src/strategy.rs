@@ -10,7 +10,10 @@ use setdisc_core::cost::{AvgDepth, Height};
 use setdisc_core::lookahead::KLp;
 use setdisc_core::strategy::{
     IndistinguishablePairs, InfoGain, Lb1, MostEven, RandomInformative, SelectionStrategy,
+    WeightedMostEven,
 };
+use setdisc_core::weights::WeightTable;
+use std::sync::Arc;
 
 /// A boxed, table-storable selection strategy.
 pub type BoxedStrategy = Box<dyn SelectionStrategy + Send>;
@@ -198,6 +201,61 @@ impl StrategySpec {
         }
     }
 
+    /// Builds the configured strategy under a per-set prior (§6 weighted
+    /// AD). Only the families whose weighted math is implemented qualify:
+    /// the k-LP lookaheads under the AD metric (weighted total depth) and
+    /// most-even (weighted balance). Everything else is an error the wire
+    /// layer reports verbatim.
+    pub fn build_weighted(
+        &self,
+        tuning: &LookaheadTuning,
+        weights: Arc<WeightTable>,
+    ) -> Result<BoxedStrategy, String> {
+        fn tune<M: setdisc_core::cost::CostModel>(
+            mut klp: KLp<M>,
+            tuning: &LookaheadTuning,
+        ) -> KLp<M> {
+            if tuning.threads != 0 {
+                klp = klp.with_threads(tuning.threads);
+            }
+            if let Some((min_survivors, min_view)) = tuning.parallel_gate {
+                klp = klp.with_parallel_gate(min_survivors, min_view);
+            }
+            klp
+        }
+        match (self.kind, self.metric) {
+            (StrategyKind::KLp, Metric::AvgDepth) => Ok(Box::new(
+                tune(KLp::<AvgDepth>::new(self.k), tuning).with_prior(weights),
+            )),
+            (StrategyKind::KLpLe, Metric::AvgDepth) => Ok(Box::new(
+                tune(KLp::<AvgDepth>::limited(self.k, self.beam), tuning).with_prior(weights),
+            )),
+            (StrategyKind::KLpLve, Metric::AvgDepth) => Ok(Box::new(
+                tune(KLp::<AvgDepth>::limited_variable(self.k, self.beam), tuning)
+                    .with_prior(weights),
+            )),
+            (StrategyKind::MostEven, _) => Ok(Box::new(WeightedMostEven::new(weights))),
+            _ => Err(format!(
+                "strategy {} does not support a prior \
+                 (want klp|klp-le|klp-lve with metric ad, or most-even)",
+                self.label()
+            )),
+        }
+    }
+
+    /// The display name [`Self::build_weighted`] would produce, mirroring
+    /// [`Self::label`].
+    pub fn weighted_label(&self, weights: &WeightTable) -> String {
+        let fp = weights.fp();
+        match self.kind {
+            StrategyKind::KLp => format!("k-LP(k={},AD,w:{fp:016x})", self.k),
+            StrategyKind::KLpLe => format!("k-LPLE(k={},q={},AD,w:{fp:016x})", self.k, self.beam),
+            StrategyKind::KLpLve => format!("k-LPLVE(k={},q={},AD,w:{fp:016x})", self.k, self.beam),
+            StrategyKind::MostEven => format!("MostEven(w:{fp:016x})"),
+            _ => self.label(),
+        }
+    }
+
     /// The configured strategy's display name (e.g. `"k-LP(k=2,AD)"`) —
     /// derived from the fields, without constructing the strategy, so the
     /// service's create path builds each strategy exactly once. Agreement
@@ -253,6 +311,28 @@ impl StrategySpec {
             metric,
             k,
             beam,
+            weight_fp: 0,
+        })
+    }
+
+    /// The plan-cache key of this configuration under `weights`, or `None`
+    /// when the configuration has no key or no weighted build (weighted
+    /// plans must never be shared with the unweighted strategy, and vice
+    /// versa — the prior's fingerprint keeps the key spaces disjoint).
+    pub fn weighted_plan_key(&self, weights: &WeightTable) -> Option<setdisc_plan::StrategyKey> {
+        let weighted_buildable = matches!(
+            (self.kind, self.metric),
+            (StrategyKind::KLp, Metric::AvgDepth)
+                | (StrategyKind::KLpLe, Metric::AvgDepth)
+                | (StrategyKind::KLpLve, Metric::AvgDepth)
+                | (StrategyKind::MostEven, _)
+        );
+        if !weighted_buildable {
+            return None;
+        }
+        self.plan_key().map(|key| setdisc_plan::StrategyKey {
+            weight_fp: weights.fp(),
+            ..key
         })
     }
 
@@ -348,6 +428,44 @@ mod tests {
         // The random baseline must never share plans.
         let r = StrategySpec::parse("random", None, None, None, Some(3)).unwrap();
         assert_eq!(r.plan_key(), None);
+    }
+
+    #[test]
+    fn weighted_builds_label_and_key_agree() {
+        let weights = Arc::new(WeightTable::new(&[5, 1, 1, 1, 1, 1, 1]).unwrap());
+        let tuning = LookaheadTuning::default();
+        for kind in ["klp", "klp-le", "klp-lve", "most-even"] {
+            let spec = StrategySpec::parse(kind, Some("ad"), Some(2), Some(5), None).unwrap();
+            let built = spec
+                .build_weighted(&tuning, Arc::clone(&weights))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(built.name(), spec.weighted_label(&weights), "{kind}");
+            let wkey = spec.weighted_plan_key(&weights).expect(kind);
+            assert_eq!(wkey.weight_fp, weights.fp());
+            assert_eq!(
+                setdisc_plan::StrategyKey {
+                    weight_fp: 0,
+                    ..wkey
+                },
+                spec.plan_key().unwrap(),
+                "weighted key differs from unweighted only in the prior"
+            );
+        }
+        // Height-metric lookahead and the other greedy families refuse.
+        for (kind, metric) in [
+            ("klp", "h"),
+            ("info-gain", "ad"),
+            ("lb1", "ad"),
+            ("random", "ad"),
+        ] {
+            let spec = StrategySpec::parse(kind, Some(metric), None, None, None).unwrap();
+            let err = spec
+                .build_weighted(&tuning, Arc::clone(&weights))
+                .err()
+                .unwrap_or_else(|| panic!("{kind}/{metric} should refuse a prior"));
+            assert!(err.contains("does not support a prior"), "{err}");
+            assert_eq!(spec.weighted_plan_key(&weights), None, "{kind}/{metric}");
+        }
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub struct SessionEntry {
     pub strategy_label: String,
     /// Maximum yes/no questions before `ask` reports `done:budget`.
     pub budget: u64,
-    /// The outstanding question, if `ask` was called without an `answer`
-    /// yet (makes `ask` idempotent without re-running selection).
-    pub pending: Option<EntityId>,
+    /// The outstanding question batch, if `ask` was called without an
+    /// `answer` yet (makes `ask` idempotent without re-running selection).
+    /// One entry for the classic single-question form; several for a §7
+    /// multiple-choice screen, in rank order.
+    pub pending: Vec<EntityId>,
     last_touch: Instant,
 }
 
@@ -58,7 +60,7 @@ impl SessionEntry {
             collection_name,
             strategy_label,
             budget,
-            pending: None,
+            pending: Vec::new(),
             last_touch: Instant::now(),
         }
     }

@@ -4,9 +4,10 @@
 //! initial examples.
 
 use setdisc_core::discovery::{Answer, Session};
+use setdisc_core::engine::Engine;
 use setdisc_core::entity::{EntityId, SetId};
 use setdisc_service::load::{Client, InProcessClient, SocketClient};
-use setdisc_service::proto::create_request;
+use setdisc_service::proto::{create_request, create_request_ext};
 use setdisc_service::strategy::StrategySpec;
 use setdisc_service::{Service, ServiceConfig, Snapshot};
 use setdisc_util::report::{parse_json, JsonValue};
@@ -292,6 +293,279 @@ fn shared_plan_cache_sessions_match_cache_off_direct_sessions() {
         stats.hits > 0,
         "repeat targets must be served from the shared plan: {stats:?}"
     );
+}
+
+/// §6/§7 job: a session that either lies (flagged unconfident) at a fixed
+/// question index with `recover:true`, or asks multiple-choice screens of
+/// a fixed width, verified bit-identical to a direct `Engine` run.
+enum ModeJob {
+    Noisy { target: SetId, lie_at: usize },
+    Mcq { target: SetId, width: usize },
+}
+
+/// Direct reference for a lying session: a backtracking engine answering
+/// truthfully except at `lie_at` (flipped, unconfident). Returns the asked
+/// entity sequence, surviving candidates, and the backtrack count.
+fn noisy_reference(
+    snapshot: &Snapshot,
+    target: SetId,
+    lie_at: usize,
+) -> (Vec<EntityId>, Vec<SetId>, u64) {
+    let target_set = snapshot.collection().set(target);
+    let mut engine = Engine::new(snapshot.collection(), &[], StrategySpec::default().build());
+    engine.set_backtracking(true);
+    let mut asked = Vec::new();
+    while let Some(entity) = engine.next_question() {
+        let truthful = target_set.contains(entity);
+        let (member, confident) = if asked.len() == lie_at {
+            (!truthful, false)
+        } else {
+            (truthful, true)
+        };
+        let answer = if member { Answer::Yes } else { Answer::No };
+        asked.push(entity);
+        engine.answer_full(entity, answer, confident);
+    }
+    let backtracks = engine.backtracks() as u64;
+    (asked, engine.outcome().candidates, backtracks)
+}
+
+/// Direct reference for a multiple-choice session: truthful first-member
+/// picks over width-`width` screens. Returns the flattened screen entity
+/// sequence and the surviving candidates.
+fn mcq_reference(snapshot: &Snapshot, target: SetId, width: usize) -> (Vec<EntityId>, Vec<SetId>) {
+    let target_set = snapshot.collection().set(target);
+    let mut engine = Engine::new(snapshot.collection(), &[], StrategySpec::default().build());
+    let mut asked = Vec::new();
+    while !engine.is_resolved() {
+        let batch = engine.next_questions(width);
+        if batch.is_empty() {
+            break;
+        }
+        asked.extend(batch.iter().copied());
+        let choice = batch
+            .iter()
+            .position(|&e| target_set.contains(e))
+            .unwrap_or(batch.len());
+        engine.answer_choice(&batch, choice, true);
+    }
+    (asked, engine.outcome().candidates)
+}
+
+/// Wire run of a lying session (`recover:true`); also asserts the final
+/// `status` reports the reference's backtrack count.
+fn wire_noisy_run(
+    client: &mut dyn Client,
+    collection: &str,
+    snapshot: &Snapshot,
+    target: SetId,
+    lie_at: usize,
+    expected_backtracks: u64,
+) -> (Vec<EntityId>, usize) {
+    let target_set = snapshot.collection().set(target);
+    let line = create_request_ext(collection, &StrategySpec::default(), &[], None, None, true);
+    let id = field_u64(&call(client, &line), "session");
+    let mut asked = Vec::new();
+    let survivors;
+    loop {
+        let resp = call(client, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            survivors = field_u64(&resp, "candidates") as usize;
+            break;
+        }
+        let name = resp
+            .get("entity")
+            .and_then(JsonValue::as_str)
+            .expect("ask must name an entity")
+            .to_string();
+        let entity = snapshot.resolve_entity(&name).expect("known entity");
+        let truthful = target_set.contains(entity);
+        let (member, confident) = if asked.len() == lie_at {
+            (!truthful, false)
+        } else {
+            (truthful, true)
+        };
+        asked.push(entity);
+        let answer = if member { "yes" } else { "no" };
+        let line = if confident {
+            format!(r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#)
+        } else {
+            format!(
+                r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}","confident":false}}"#
+            )
+        };
+        call(client, &line);
+    }
+    let status = call(client, &format!(r#"{{"op":"status","session":{id}}}"#));
+    let wire_backtracks = status
+        .get("backtracks")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    assert_eq!(
+        wire_backtracks, expected_backtracks,
+        "backtrack count diverged for target {target} (lie at {lie_at})"
+    );
+    call(client, &format!(r#"{{"op":"close","session":{id}}}"#));
+    (asked, survivors)
+}
+
+/// Wire run of a multiple-choice session: truthful picks over `choices`
+/// screens, flattening every screen into the asked sequence.
+fn wire_mcq_run(
+    client: &mut dyn Client,
+    collection: &str,
+    snapshot: &Snapshot,
+    target: SetId,
+    width: usize,
+) -> (Vec<EntityId>, usize) {
+    let target_set = snapshot.collection().set(target);
+    let line = create_request(collection, &StrategySpec::default(), &[], None);
+    let id = field_u64(&call(client, &line), "session");
+    let mut asked = Vec::new();
+    let survivors;
+    loop {
+        let resp = call(
+            client,
+            &format!(r#"{{"op":"ask","session":{id},"choices":{width}}}"#),
+        );
+        if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            survivors = field_u64(&resp, "candidates") as usize;
+            break;
+        }
+        let batch: Vec<EntityId> = match resp.get("entities").and_then(JsonValue::as_array) {
+            Some(items) => items
+                .iter()
+                .map(|v| {
+                    let name = v.as_str().expect("entity name");
+                    snapshot.resolve_entity(name).expect("known entity")
+                })
+                .collect(),
+            None => {
+                let name = resp
+                    .get("entity")
+                    .and_then(JsonValue::as_str)
+                    .expect("ask must name an entity");
+                vec![snapshot.resolve_entity(name).expect("known entity")]
+            }
+        };
+        asked.extend(batch.iter().copied());
+        let choice = batch
+            .iter()
+            .position(|&e| target_set.contains(e))
+            .unwrap_or(batch.len());
+        call(
+            client,
+            &format!(r#"{{"op":"answer","session":{id},"choice":{choice}}}"#),
+        );
+    }
+    call(client, &format!(r#"{{"op":"close","session":{id}}}"#));
+    (asked, survivors)
+}
+
+#[test]
+fn noisy_and_multiple_choice_wire_sessions_match_direct_engine_runs() {
+    // §6 + §7 over the wire, concurrently: 16 threads drain a queue mixing
+    // recover:true sessions with an unconfident lie at varying depths and
+    // multiple-choice sessions of varying widths. Every session's asked
+    // sequence, survivor count, and (for noisy jobs) backtrack count must
+    // be bit-identical to a direct single-threaded Engine run.
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().install_fixture("figure1").unwrap();
+    service
+        .registry()
+        .install_fixture("copyadd:60:0.7:11")
+        .unwrap();
+
+    let mut jobs: Vec<(String, ModeJob)> = Vec::new();
+    for t in 0..7u32 {
+        jobs.push((
+            "figure1".into(),
+            ModeJob::Noisy {
+                target: SetId(t),
+                lie_at: (t as usize) % 3,
+            },
+        ));
+        jobs.push((
+            "figure1".into(),
+            ModeJob::Mcq {
+                target: SetId(t),
+                width: 2 + (t as usize) % 3,
+            },
+        ));
+    }
+    let n = service
+        .registry()
+        .get("copyadd:60:0.7:11")
+        .unwrap()
+        .collection()
+        .len() as u32;
+    for t in (0..n).step_by(4) {
+        jobs.push((
+            "copyadd:60:0.7:11".into(),
+            ModeJob::Noisy {
+                target: SetId(t),
+                lie_at: (t as usize) % 4,
+            },
+        ));
+        jobs.push((
+            "copyadd:60:0.7:11".into(),
+            ModeJob::Mcq {
+                target: SetId(t),
+                width: 2 + (t as usize) % 3,
+            },
+        ));
+    }
+
+    let queue = Arc::new(Mutex::new(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let mut client = InProcessClient {
+                    service: Arc::clone(&service),
+                };
+                loop {
+                    let job = queue.lock().unwrap().pop();
+                    let Some((collection, mode)) = job else { break };
+                    let snapshot = service.registry().get(&collection).unwrap();
+                    match mode {
+                        ModeJob::Noisy { target, lie_at } => {
+                            let (ref_asked, ref_outcome, ref_backtracks) =
+                                noisy_reference(&snapshot, target, lie_at);
+                            let (wire_asked, wire_survivors) = wire_noisy_run(
+                                &mut client,
+                                &collection,
+                                &snapshot,
+                                target,
+                                lie_at,
+                                ref_backtracks,
+                            );
+                            assert_eq!(
+                                ref_asked, wire_asked,
+                                "noisy sequence diverged for target {target} of {collection}"
+                            );
+                            assert_eq!(ref_outcome.len(), wire_survivors);
+                        }
+                        ModeJob::Mcq { target, width } => {
+                            let (ref_asked, ref_outcome) = mcq_reference(&snapshot, target, width);
+                            let (wire_asked, wire_survivors) =
+                                wire_mcq_run(&mut client, &collection, &snapshot, target, width);
+                            assert_eq!(
+                                ref_asked, wire_asked,
+                                "screen sequence diverged for target {target} of {collection}"
+                            );
+                            assert_eq!(ref_outcome.len(), wire_survivors);
+                            if ref_outcome.len() == 1 {
+                                assert_eq!(ref_outcome[0], target, "wrong set discovered");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(service.open_sessions(), 0, "every session closed");
 }
 
 #[test]

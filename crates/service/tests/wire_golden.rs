@@ -1,20 +1,22 @@
-//! Golden-transcript test: the committed `wire_smoke.in` request script
-//! must produce exactly `wire_smoke.golden`, line for line. The same pair
-//! of files is replayed against the real `serve` binary (stdio transport)
-//! by `ci.sh`; this test covers the dispatcher in-process so plain
-//! `cargo test` catches protocol drift too.
+//! Golden-transcript tests: each committed `.in` request script must
+//! produce exactly its `.golden`, line for line. The same file pairs are
+//! replayed against the real `serve` binary (stdio transport) by `ci.sh`;
+//! these tests cover the dispatcher in-process so plain `cargo test`
+//! catches protocol drift too.
+//!
+//! `wire_smoke` is the pre-§6/§7 transcript — it must stay byte-identical
+//! with every session-mode extension compiled in (all new wire fields are
+//! strictly additive). `wire_noisy` pins the extensions themselves:
+//! `recover:true` backtracking, per-set priors (weighted strategy labels),
+//! multiple-choice screens, and their validation errors.
 
 use setdisc_service::{Service, ServiceConfig};
 
-const INPUT: &str = include_str!("wire_smoke.in");
-const GOLDEN: &str = include_str!("wire_smoke.golden");
-
-#[test]
-fn wire_protocol_matches_committed_golden_transcript() {
+fn replay(input: &str, golden: &str, pair: &str) {
     let service = Service::new(ServiceConfig::default());
     service.registry().install_fixture("figure1").unwrap();
     let mut produced = String::new();
-    for line in INPUT.lines() {
+    for line in input.lines() {
         if line.trim().is_empty() {
             continue;
         }
@@ -22,10 +24,28 @@ fn wire_protocol_matches_committed_golden_transcript() {
         produced.push('\n');
     }
     assert_eq!(
-        produced, GOLDEN,
-        "wire protocol behavior drifted from tests/wire_smoke.golden — \
+        produced, golden,
+        "wire protocol behavior drifted from tests/{pair}.golden — \
          if the change is intentional, regenerate the golden file with\n  \
          cargo run -p setdisc-service --bin serve -- --stdio --fixture figure1 \
-         < crates/service/tests/wire_smoke.in > crates/service/tests/wire_smoke.golden"
+         < crates/service/tests/{pair}.in > crates/service/tests/{pair}.golden"
+    );
+}
+
+#[test]
+fn wire_protocol_matches_committed_golden_transcript() {
+    replay(
+        include_str!("wire_smoke.in"),
+        include_str!("wire_smoke.golden"),
+        "wire_smoke",
+    );
+}
+
+#[test]
+fn session_mode_extensions_match_committed_noisy_transcript() {
+    replay(
+        include_str!("wire_noisy.in"),
+        include_str!("wire_noisy.golden"),
+        "wire_noisy",
     );
 }

@@ -180,6 +180,14 @@ impl JsonObject {
         self
     }
 
+    /// Adds an array-of-unsigned-integers field.
+    pub fn ints(mut self, key: &str, items: impl IntoIterator<Item = u64>) -> Self {
+        let inner: Vec<String> = items.into_iter().map(|v| v.to_string()).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", inner.join(","))));
+        self
+    }
+
     /// Adds an array-of-objects field.
     pub fn array(mut self, key: &str, items: Vec<JsonObject>) -> Self {
         let inner: Vec<String> = items.iter().map(JsonObject::encode).collect();

@@ -1,0 +1,271 @@
+//! Fuzz-style totality properties for `report::parse_json`, the parser
+//! every wire request and response goes through. Three contracts: the
+//! parser is total (never panics, any input → `Ok` or a positioned
+//! `JsonError`), field order and unknown fields never matter for the
+//! session-mode request/response shapes, and malformed `confident` /
+//! `prior` / `choice` payloads are rejected with a byte offset — either
+//! by the grammar or by the typed accessors.
+
+use proptest::prelude::*;
+use setdisc_util::report::{parse_json, JsonValue};
+
+/// Encodes a `JsonValue` back to a document the parser must accept and
+/// reproduce exactly. Numbers are restricted to integers by the
+/// generator below, so `{}` formatting is lossless here.
+fn encode(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        JsonValue::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        JsonValue::Array(items) => {
+            let inner: Vec<String> = items.iter().map(encode).collect();
+            format!("[{}]", inner.join(","))
+        }
+        JsonValue::Object(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}:{}", encode(&JsonValue::Str(k.clone())), encode(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// A short lowercase identifier derived from one seed word.
+fn key_from(word: u64) -> String {
+    let mut w = word | 1;
+    let len = 1 + (word % 6) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push((b'a' + (w % 26) as u8) as char);
+        w = w.rotate_left(7).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    s
+}
+
+/// A printable-ASCII string (quotes and backslashes included on purpose —
+/// the encoder must escape them) derived from one seed word.
+fn str_from(word: u64) -> String {
+    let mut w = word.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+    let len = (word % 10) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push((0x20 + (w % 95) as u8) as char); // all of ' '..='~'
+        w = w.rotate_left(11).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    s
+}
+
+/// Deterministically folds a stream of seed words into a JSON tree,
+/// depth-limited so the encoded document stays within the parser's
+/// nesting cap. Consumes words until the stream dries up (then leaves
+/// nulls), so the tree shape is entirely proptest-driven.
+fn tree_from(words: &mut std::vec::IntoIter<u64>, depth: usize) -> JsonValue {
+    let Some(w) = words.next() else {
+        return JsonValue::Null;
+    };
+    match if depth == 0 { w % 4 } else { w % 6 } {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(w & 16 != 0),
+        2 => JsonValue::Num(((w % 2_000_001) as i64 - 1_000_000) as f64),
+        3 => JsonValue::Str(str_from(w)),
+        4 => {
+            let n = (w >> 8) % 4;
+            JsonValue::Array((0..n).map(|_| tree_from(words, depth - 1)).collect())
+        }
+        _ => {
+            let n = (w >> 8) % 4;
+            JsonValue::Object(
+                (0..n)
+                    .map(|i| {
+                        let k = key_from(w.rotate_left(13 + i as u32));
+                        (k, tree_from(words, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn tree(seed: Vec<u64>) -> JsonValue {
+    tree_from(&mut seed.into_iter(), 3)
+}
+
+/// The session-mode answer request, assembled field by field so the
+/// properties below can permute the order and splice unknown fields in.
+fn answer_request_fields() -> Vec<(String, String)> {
+    vec![
+        ("op".into(), "\"answer\"".into()),
+        ("session".into(), "7".into()),
+        ("entity".into(), "\"e\"".into()),
+        ("answer".into(), "\"yes\"".into()),
+        ("confident".into(), "false".into()),
+        ("choice".into(), "2".into()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Totality on arbitrary input: any byte soup either parses or yields
+    /// an error whose offset points into (or just past) the input — never
+    /// a panic, never an out-of-range position.
+    #[test]
+    fn parser_is_total_on_arbitrary_input(bytes in prop::collection::vec(0u16..256, 0usize..64)) {
+        let text = String::from_utf8_lossy(
+            &bytes.iter().map(|&b| b as u8).collect::<Vec<_>>(),
+        )
+        .into_owned();
+        match parse_json(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(
+                    e.offset <= text.len(),
+                    "offset {} past input length {}", e.offset, text.len()
+                );
+                let shown = e.to_string();
+                prop_assert!(
+                    shown.starts_with(&format!("invalid JSON at byte {}: ", e.offset)),
+                    "error display drifted: {}", shown
+                );
+            }
+        }
+    }
+
+    /// Mutational totality: valid session-mode documents with random bytes
+    /// spliced in at random positions still never panic the parser.
+    #[test]
+    fn parser_survives_corrupted_wire_requests(
+        pick in 0usize..4,
+        at in 0usize..128,
+        junk in prop::collection::vec(0u16..256, 1usize..6),
+    ) {
+        let base: &str = [
+            r#"{"op":"create","collection":"figure1","strategy":"klp","k":2,"prior":[1,50,1,1,1,1,1],"recover":true}"#,
+            r#"{"op":"answer","session":1,"entity":"e","answer":"yes","confident":false}"#,
+            r#"{"op":"ask","session":3,"choices":3}"#,
+            r#"{"op":"answer","session":3,"choice":2}"#,
+        ][pick];
+        let mut bytes = base.as_bytes().to_vec();
+        let at = at % (bytes.len() + 1);
+        for (i, b) in junk.iter().enumerate() {
+            bytes.insert((at + i).min(bytes.len()), *b as u8);
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_json(&text); // must return, Ok or Err — never panic
+    }
+
+    /// Exact round trip: encode(tree) reparses to the identical tree, so
+    /// every response shape the service emits is readable by this parser.
+    #[test]
+    fn encode_parse_round_trip_is_exact(seed in prop::collection::vec(0u64..u64::MAX, 1usize..40)) {
+        let v = tree(seed);
+        let text = encode(&v);
+        let back = parse_json(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {text}")))?;
+        prop_assert_eq!(&back, &v, "round trip diverged for {}", &text);
+    }
+
+    /// Field order never matters and unknown fields are ignored: a
+    /// session-mode answer request parses to the same field values under
+    /// every permutation, with an arbitrary extra field spliced in.
+    #[test]
+    fn field_order_and_unknown_fields_are_immaterial(
+        perm in prop::collection::vec(0usize..6, 6usize..7),
+        extra_at in 0usize..7,
+        extra_seed in prop::collection::vec(0u64..u64::MAX, 1usize..12),
+    ) {
+        let mut fields = answer_request_fields();
+        // Sampled-index swaps: a cheap uniform-ish permutation.
+        let n = fields.len();
+        for (i, &j) in perm.iter().enumerate() {
+            fields.swap(i, j % n);
+        }
+        // An unknown field anywhere must be carried, not rejected.
+        fields.insert(
+            extra_at % (fields.len() + 1),
+            ("x_unknown_extension".into(), encode(&tree(extra_seed))),
+        );
+        let text = format!(
+            "{{{}}}",
+            fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let doc = parse_json(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {text}")))?;
+        prop_assert_eq!(doc.get("op").and_then(JsonValue::as_str), Some("answer"));
+        prop_assert_eq!(doc.get("session").and_then(JsonValue::as_u64), Some(7));
+        prop_assert_eq!(doc.get("entity").and_then(JsonValue::as_str), Some("e"));
+        prop_assert_eq!(doc.get("confident").and_then(JsonValue::as_bool), Some(false));
+        prop_assert_eq!(doc.get("choice").and_then(JsonValue::as_u64), Some(2));
+        prop_assert!(doc.get("x_unknown_extension").is_some(), "extra field dropped");
+    }
+}
+
+/// Malformed session-mode payloads: grammar-level breakage is rejected
+/// with the byte offset of the offending token, and well-formed JSON with
+/// the wrong *type* is caught by the typed accessors the service uses.
+#[test]
+fn malformed_mode_fields_are_rejected_with_positions() {
+    // Grammar-level: (input, offset of the reported error).
+    let syntactic = [
+        (r#"{"op":"answer","confident":tru}"#, 27),
+        (r#"{"op":"answer","choice":0x2}"#, 25),
+        (r#"{"op":"create","prior":[1,50,]}"#, 29),
+        (r#"{"op":"create","prior":[1 50]}"#, 26),
+        (r#"{"op":"answer","confident":False}"#, 27),
+        (r#"{"op":"answer","choice":+2}"#, 24),
+    ];
+    for (text, want_offset) in syntactic {
+        let err = parse_json(text).expect_err(text);
+        assert_eq!(
+            err.offset, want_offset,
+            "{text}: reported `{err}` (offset {}), want byte {want_offset}",
+            err.offset
+        );
+        assert_eq!(
+            err.to_string(),
+            format!("invalid JSON at byte {}: {}", err.offset, err.message)
+        );
+    }
+
+    // Type-level: parses fine, but the accessor the dispatcher uses says no.
+    let doc = parse_json(
+        r#"{"confident":0.5,"choice":1.5,"neg":-3,"big":18446744073709551615,"prior":[1,"2"]}"#,
+    )
+    .unwrap();
+    assert_eq!(doc.get("confident").and_then(JsonValue::as_bool), None);
+    assert_eq!(doc.get("choice").and_then(JsonValue::as_u64), None);
+    assert_eq!(doc.get("neg").and_then(JsonValue::as_u64), None);
+    assert_eq!(
+        doc.get("big").and_then(JsonValue::as_u64),
+        None,
+        "2^64-1 is not f64-exact"
+    );
+    let prior = doc.get("prior").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(prior[0].as_u64(), Some(1));
+    assert_eq!(prior[1].as_u64(), None, "a quoted weight is not a number");
+}

@@ -8,8 +8,10 @@
 //! ```
 
 use interactive_set_discovery::core::cost::AvgDepth;
-use interactive_set_discovery::core::discovery::{Session, SimulatedOracle, UnsureOracle};
-use interactive_set_discovery::core::ext::noisy::{FaultInjectingOracle, RecoveringSession};
+use interactive_set_discovery::core::discovery::{
+    FaultInjectingOracle, Session, SimulatedOracle, UnsureOracle,
+};
+use interactive_set_discovery::core::engine::Engine;
 use interactive_set_discovery::core::lookahead::KLp;
 use interactive_set_discovery::core::strategy::MostEven;
 use interactive_set_discovery::synth::webtables::{self, WebTablesConfig};
@@ -63,15 +65,19 @@ fn main() {
             .unwrap_or_else(|| format!("{} candidates left", outcome.candidates.len()))
     );
 
-    // An erring user: the third answer is wrong; confirm-and-backtrack
-    // recovery (§6) still finds the true target.
-    let mut recovering =
-        RecoveringSession::new(&corpus.collection, &q.entities, MostEven::new(), 16);
+    // An erring user: the third answer is wrong; the engine's backtracking
+    // mode (§6, Algorithm 2) confirms-and-recovers to the true target.
+    let mut recovering = Engine::new(&corpus.collection, &q.entities, MostEven::new());
+    recovering.set_backtracking(true);
     let mut oracle = FaultInjectingOracle::new(&target, target_id, vec![2]);
-    let recovered = recovering.run(&mut oracle).expect("recoverable");
+    let recovered = recovering
+        .run_confirming(&mut oracle, 1000)
+        .expect("recoverable");
     println!(
         "with one wrong answer: recovered {} after {} backtracks ({} questions total)",
-        recovered.discovered, recovered.backtracks, recovered.questions
+        target_id,
+        recovering.backtracks(),
+        recovered.questions
     );
-    assert_eq!(recovered.discovered, target_id);
+    assert_eq!(recovered.discovered(), Some(target_id));
 }

@@ -2,7 +2,8 @@
 //!
 //! * [`core`] — the paper's contribution: cost lower bounds, pruned k-step
 //!   lookahead (k-LP / k-LPLE / k-LPLVE), decision trees, discovery
-//!   sessions, exact optimal solver, extensions.
+//!   sessions (with §6 backtracking/priors and §7 multiple-choice modes),
+//!   exact optimal solver.
 //! * [`synth`] — synthetic workloads (copy-add collections, simulated web
 //!   tables).
 //! * [`relation`] — the relational substrate for query discovery.
