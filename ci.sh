@@ -22,6 +22,13 @@ run cargo test -q
 # Deny rustdoc warnings (broken intra-doc links etc.).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 
+# Chaos suite under a pinned fault seed: torn clients, oversized and
+# half-written frames, deadline stalls, injected I/O errors and panics —
+# with the invariant that surviving sessions stay bit-identical to direct
+# engine runs. The pinned seed makes any CI failure reproducible locally
+# with the same variable.
+SETDISC_FAULT_SEED=42 run cargo test -q -p setdisc-service --test chaos
+
 # End-to-end sanity: one experiment at smoke scale through the real binary.
 run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smoke --no-csv >/dev/null
 
@@ -86,6 +93,51 @@ GOLDEN_LINES=$(wc -l < crates/service/tests/wire_noisy.golden)
 head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | diff -u crates/service/tests/wire_noisy.golden -
 tail -n 1 "$PLAN_TMP/out" | grep -Eq '"plan_weighted_hits":[1-9]' \
     || { echo "weighted plan reported no hits:"; tail -n 1 "$PLAN_TMP/out"; exit 1; }
+rm -rf "$PLAN_TMP"
+
+# Crash safety: serve over TCP with an aggressive plan checkpointer, drive
+# real socket load, SIGKILL the server mid-checkpoint — several times.
+# Because saves are write-temp + fsync + atomic rename, the plan file must
+# come through every kill loadable (stray *.tmp.* staging files are
+# expected debris of a kill mid-write; the main file is what's guaranteed),
+# and a warm reboot from it must replay the golden transcript byte for
+# byte.
+echo "==> crash-safe plan persistence (SIGKILL mid-checkpoint)"
+cargo build --release -q -p setdisc-service --bin serve
+PLAN_TMP=$(mktemp -d)
+run cargo run --release -q -p setdisc-eval --bin discover -- precompute \
+    --fixture figure1 --strategy klp --k 2 \
+    --out "$PLAN_TMP/figure1.plan" --max-nodes 512 --max-depth 16
+for KILL_ROUND in 1 2 3; do
+    SERVE_OUT="$PLAN_TMP/serve_out.$KILL_ROUND"
+    ./target/release/serve --tcp 127.0.0.1:0 --fixture figure1 \
+        --plan-cache "$PLAN_TMP/figure1.plan" --checkpoint-ms 25 \
+        > "$SERVE_OUT" 2>"$SERVE_OUT.err" &
+    SERVE_PID=$!
+    trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+    for _ in $(seq 100); do
+        grep -q "listening on" "$SERVE_OUT" && break
+        sleep 0.05
+    done
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_OUT")
+    [ -n "$ADDR" ] || { echo "serve did not come up (round $KILL_ROUND)"; exit 1; }
+    grep -q "loaded plan cache" "$SERVE_OUT.err" \
+        || { echo "round $KILL_ROUND: plan did not survive the previous kill"; cat "$SERVE_OUT.err"; exit 1; }
+    cargo bench -p setdisc-service --bench bench_service -- \
+        --mode socket-only --addr "$ADDR" --fixture figure1 \
+        --clients 2 --sessions 3 >/dev/null 2>&1 &
+    LOAD_PID=$!
+    sleep 0.3   # several 25 ms checkpoints land under live traffic
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    trap - EXIT
+done
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --plan-cache "$PLAN_TMP/figure1.plan" \
+    < crates/service/tests/wire_smoke.in 2>"$PLAN_TMP/boot.err" \
+    | diff -u crates/service/tests/wire_smoke.golden -
+grep -q "loaded plan cache" "$PLAN_TMP/boot.err" \
+    || { echo "post-kill warm boot did not load the plan:"; cat "$PLAN_TMP/boot.err"; exit 1; }
 rm -rf "$PLAN_TMP"
 
 # Service TCP smoke: start serve on an ephemeral loopback port, drive a

@@ -286,6 +286,10 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// strategy repeated calls return the same entity — the property the
     /// wire protocol's idempotent `ask` relies on.
     pub fn next_question(&mut self) -> Option<EntityId> {
+        // Chaos hook: the canonical "strategy blew up mid-request" site the
+        // service edge's panic containment is tested against (free when no
+        // fault plan is armed).
+        setdisc_util::faults::trip("engine.select");
         if self.is_resolved() {
             return None;
         }
@@ -332,6 +336,9 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
     /// first), before reconsidering confident ones. Without backtracking
     /// enabled the flag is recorded nowhere and changes nothing.
     pub fn answer_full(&mut self, entity: EntityId, answer: Answer, confident: bool) {
+        // Chaos hook: a panic here fires while the engine mutates candidate
+        // state, exercising the service's quarantine-don't-reuse guarantee.
+        setdisc_util::faults::trip("engine.answer");
         self.history.push((entity, answer));
         if let Some(rs) = self.recover.as_mut() {
             rs.confident.push(confident);

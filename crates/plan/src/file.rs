@@ -85,8 +85,21 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Monotonic discriminator so concurrent saves to one path (e.g. the
+/// checkpointer racing a shutdown persist) never share a temp file.
+static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Serializes every resident node of `cache` (deterministic order) to
-/// `path`.
+/// `path` — crash-safely.
+///
+/// The bytes are staged in a process-unique sibling temp file, fsynced,
+/// and atomically renamed over `path` (whose directory is then fsynced so
+/// the rename itself survives power loss). A reader therefore always sees
+/// either the previous complete plan or the new complete plan, never a
+/// torn mix — a crash (or an injected fault; see the `plan.save.*` hook
+/// sites) between any two steps leaves the last good file in place. The
+/// stale temp file a crash can leave behind is harmless: temp names are
+/// never reused across processes and the loader only reads `path`.
 pub fn save_plan(cache: &PlanCache, path: impl AsRef<Path>) -> io::Result<u64> {
     let nodes = cache.export_nodes();
     let mut payload = Vec::with_capacity(nodes.len() * NODE_BYTES);
@@ -110,20 +123,69 @@ pub fn save_plan(cache: &PlanCache, path: impl AsRef<Path>) -> io::Result<u64> {
     let mut h = FxHasher::default();
     h.write(&payload);
 
-    if let Some(parent) = path.as_ref().parent() {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&MAGIC)?;
-    f.write_all(&cache.collection_fp().as_u128().to_le_bytes())?;
-    f.write_all(&cache.collection_len().to_le_bytes())?;
-    f.write_all(&(nodes.len() as u64).to_le_bytes())?;
-    f.write_all(&h.finish().to_le_bytes())?;
-    f.write_all(&payload)?;
-    f.flush()?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = write_staged(cache, &nodes, &payload, h.finish(), &tmp, path);
+    if result.is_err() {
+        // Best effort: a failed save must not litter; the main file is
+        // untouched either way.
+        std::fs::remove_file(&tmp).ok();
+    }
+    result?;
     Ok(nodes.len() as u64)
+}
+
+/// The staged write: temp file → fsync → rename → directory fsync. Split
+/// out so `save_plan` can clean up the temp on any failure.
+fn write_staged(
+    cache: &PlanCache,
+    nodes: &[(PlanKey, PlanNode)],
+    payload: &[u8],
+    checksum: u64,
+    tmp: &Path,
+    path: &Path,
+) -> io::Result<()> {
+    {
+        let mut f = io::BufWriter::new(std::fs::File::create(tmp)?);
+        f.write_all(&MAGIC)?;
+        f.write_all(&cache.collection_fp().as_u128().to_le_bytes())?;
+        f.write_all(&cache.collection_len().to_le_bytes())?;
+        f.write_all(&(nodes.len() as u64).to_le_bytes())?;
+        f.write_all(&checksum.to_le_bytes())?;
+        // Chaos hook: an injected `short` fault tears the staged payload,
+        // an injected `err` aborts mid-write — either way `path` keeps the
+        // last good plan.
+        setdisc_util::faults::check_io("plan.save.write")?;
+        let keep = setdisc_util::faults::short_len("plan.save.write.payload", payload.len());
+        f.write_all(&payload[..keep])?;
+        if keep < payload.len() {
+            f.flush()?;
+            return Err(io::Error::other("injected fault: short plan write"));
+        }
+        f.flush()?;
+        f.get_ref().sync_all()?;
+    }
+    setdisc_util::faults::check_io("plan.save.rename")?;
+    std::fs::rename(tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        // Persist the rename itself. Directory fsync is best-effort: some
+        // filesystems/platforms refuse to open a directory for sync.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+    Ok(())
 }
 
 /// Reads a plan file into a fresh cache bounded to at least `capacity`
@@ -296,6 +358,45 @@ mod tests {
         std::fs::write(&path, &v1).unwrap();
         let err = load_plan(&path, 0).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulted_saves_never_touch_the_last_good_file() {
+        // Process-global fault state: serialize with any other test that
+        // arms it (this is the only one in this crate).
+        let (_, cache) = sample_cache();
+        let dir = std::env::temp_dir().join("setdisc_plan_test_atomic");
+        let path = dir.join("x.plan");
+        save_plan(&cache, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        for spec in [
+            "seed=9,plan.save.write=err:1",
+            "seed=9,plan.save.write.payload=short:1:13",
+            "seed=9,plan.save.rename=err:1",
+        ] {
+            setdisc_util::faults::install_spec(spec).unwrap();
+            let err = save_plan(&cache, &path).unwrap_err();
+            assert!(err.to_string().contains("injected"), "{spec}: {err}");
+            setdisc_util::faults::clear();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                good,
+                "{spec}: last good file must be byte-identical"
+            );
+            load_plan(&path, 0).unwrap();
+            // No temp litter after a failed save.
+            let stray: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name() != "x.plan")
+                .collect();
+            assert!(stray.is_empty(), "{spec}: stray files {stray:?}");
+        }
+        // Disarmed again: saves succeed and replace atomically.
+        save_plan(&cache, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), good);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...
-//!       [--max-sessions N] [--budget N] [--idle-secs S]
-//!       [--plan-cache PATH] [--plan-capacity N]
+//!       [--max-sessions N] [--budget N] [--idle-timeout S]
+//!       [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]
+//!       [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]
+//!       [--io-timeout-ms MS] [--stdin-shutdown]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `setdisc_service::proto` over
@@ -15,14 +17,33 @@
 //!
 //! `--plan-cache PATH` boots warm: if `PATH` exists it must be a plan file
 //! (see `setdisc_plan::file`) matching one registered collection, whose
-//! snapshot then serves every cached selection from the first request; on
-//! clean stdio shutdown (EOF) the learned plan is written back to `PATH`,
-//! so repeated runs keep improving their prefix coverage. `--plan-capacity`
-//! bounds the resident node count; `0` disables plan caching entirely, in
-//! which case a `--plan-cache` file is neither loaded nor written.
+//! snapshot then serves every cached selection from the first request. A
+//! corrupt or mismatched file is never fatal — it is set aside (renamed to
+//! `PATH.corrupt`) or ignored with a warning and the service boots cold.
+//! The learned plan is written back (atomically) by a periodic
+//! checkpointer (`--checkpoint-ms`, default 30000; `0` disables), on clean
+//! stdio shutdown (EOF), and on a `--stdin-shutdown` TCP drain, so a crash
+//! loses at most one checkpoint interval of learning and never the last
+//! good file. `--plan-capacity` bounds the resident node count; `0`
+//! disables plan caching entirely, in which case a `--plan-cache` file is
+//! neither loaded nor written.
+//!
+//! Edge hardening (DESIGN.md §11): sessions idle past `--idle-timeout`
+//! (default 900 s, `0` disables; `--idle-secs` is a legacy alias) are
+//! swept; request lines over `--max-line-bytes` are refused with a
+//! `too_large` error; connections are capped globally (`--max-conns`,
+//! shed with `overloaded` + `retry_after`), per-connection
+//! (`--max-requests-per-conn`), and in time (`--io-timeout-ms` read
+//! deadline). `--stdin-shutdown` makes a TCP server treat stdin EOF as a
+//! drain request: stop accepting, let in-flight requests finish, persist
+//! the plan cache, exit. Fault injection for chaos testing is armed via
+//! the `SETDISC_FAULTS` environment variable (see `setdisc_util::faults`).
 
-use setdisc_service::server::{serve_stdio, serve_tcp, spawn_idle_sweeper};
+use setdisc_service::server::{
+    serve_stdio, spawn_idle_sweeper, spawn_plan_checkpointer, TcpServer,
+};
 use setdisc_service::{Service, ServiceConfig};
+use std::io::Read as _;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,8 +52,10 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...\n\
-         \x20            [--max-sessions N] [--budget N] [--idle-secs S]\n\
-         \x20            [--plan-cache PATH] [--plan-capacity N]"
+         \x20            [--max-sessions N] [--budget N] [--idle-timeout S]\n\
+         \x20            [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]\n\
+         \x20            [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]\n\
+         \x20            [--io-timeout-ms MS] [--stdin-shutdown]"
     );
     std::process::exit(2);
 }
@@ -42,19 +65,31 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Parses the next argument as a `T`, or exits with usage.
+fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
 fn main() {
+    setdisc_util::faults::init_from_env();
+
     let mut tcp: Option<String> = None;
     let mut stdio = false;
     let mut fixtures: Vec<String> = Vec::new();
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut config = ServiceConfig::default();
-    let mut idle_secs: Option<u64> = None;
+    let mut idle_secs: u64 = 900;
     let mut plan_path: Option<PathBuf> = None;
+    let mut checkpoint_ms: u64 = 30_000;
+    let mut stdin_shutdown = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stdio" => stdio = true,
+            "--stdin-shutdown" => stdin_shutdown = true,
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--fixture" => fixtures.push(args.next().unwrap_or_else(|| usage())),
             "--load" => {
@@ -64,33 +99,20 @@ fn main() {
                     None => usage(),
                 }
             }
-            "--max-sessions" => {
-                config.max_sessions = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--budget" => {
-                config.default_budget = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--idle-secs" => {
-                idle_secs = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
+            "--max-sessions" => config.max_sessions = parse_next(&mut args),
+            "--budget" => config.default_budget = parse_next(&mut args),
+            "--idle-timeout" | "--idle-secs" => idle_secs = parse_next(&mut args),
             "--plan-cache" => {
                 plan_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
-            "--plan-capacity" => {
-                config.plan_cache_capacity = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+            "--plan-capacity" => config.plan_cache_capacity = parse_next(&mut args),
+            "--checkpoint-ms" => checkpoint_ms = parse_next(&mut args),
+            "--max-conns" => config.edge.max_connections = parse_next(&mut args),
+            "--max-line-bytes" => config.edge.max_line_bytes = parse_next(&mut args),
+            "--max-requests-per-conn" => config.edge.max_requests_per_conn = parse_next(&mut args),
+            "--io-timeout-ms" => {
+                let ms: u64 = parse_next(&mut args);
+                config.edge.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
             _ => usage(),
         }
@@ -101,7 +123,7 @@ fn main() {
     if fixtures.is_empty() && loads.is_empty() {
         fixtures.push("figure1".to_string());
     }
-    config.idle_timeout = idle_secs.map(Duration::from_secs);
+    config.idle_timeout = (idle_secs > 0).then(|| Duration::from_secs(idle_secs));
     if config.plan_cache_capacity == 0 {
         // Caching disabled: neither load nor persist a plan.
         plan_path = None;
@@ -129,33 +151,48 @@ fn main() {
     // for, keeping the configured capacity as the growth headroom (a
     // cache bounded to exactly its payload would evict its own prefix on
     // the first new node). A missing file is not an error — the plan is
-    // learned from traffic and written there on shutdown.
+    // learned from traffic and written there on shutdown. Neither is a
+    // corrupt or mismatched one: a stale cache must never keep the
+    // service from booting, so it is set aside and the boot goes cold.
     if let Some(path) = plan_path.as_deref().filter(|p| p.exists()) {
-        let cache = match setdisc_plan::load_plan(path, plan_capacity) {
-            Ok(cache) => Arc::new(cache),
-            Err(e) => fail(&format!("load plan {}: {e}", path.display())),
-        };
-        let owner = service
-            .registry()
-            .snapshots()
-            .into_iter()
-            .find(|snap| cache.matches(snap.collection()));
-        match owner {
-            Some(snap) => {
-                let nodes = cache.len();
-                if let Err(e) = snap.install_plan_cache(cache) {
-                    fail(&e);
+        match setdisc_plan::load_plan(path, plan_capacity) {
+            Ok(cache) => {
+                let cache = Arc::new(cache);
+                let owner = service
+                    .registry()
+                    .snapshots()
+                    .into_iter()
+                    .find(|snap| cache.matches(snap.collection()));
+                match owner {
+                    Some(snap) => {
+                        let nodes = cache.len();
+                        if let Err(e) = snap.install_plan_cache(cache) {
+                            fail(&e);
+                        }
+                        eprintln!(
+                            "loaded plan cache: {nodes} nodes for {:?} from {}",
+                            snap.name(),
+                            path.display()
+                        );
+                    }
+                    None => eprintln!(
+                        "plan file {} matches no registered collection; booting cold \
+                         (file left in place)",
+                        path.display()
+                    ),
                 }
-                eprintln!(
-                    "loaded plan cache: {nodes} nodes for {:?} from {}",
-                    snap.name(),
-                    path.display()
-                );
             }
-            None => fail(&format!(
-                "plan file {} matches no registered collection",
-                path.display()
-            )),
+            Err(e) => {
+                let aside = PathBuf::from(format!("{}.corrupt", path.display()));
+                eprintln!(
+                    "plan file {} is unreadable ({e}); set aside as {} and booting cold",
+                    path.display(),
+                    aside.display()
+                );
+                if let Err(e) = std::fs::rename(path, &aside) {
+                    eprintln!("could not set aside corrupt plan file: {e}");
+                }
+            }
         }
     }
 
@@ -165,6 +202,9 @@ fn main() {
             .min(Duration::from_secs(1))
             .max(Duration::from_millis(100));
         spawn_idle_sweeper(Arc::clone(&service), period);
+    }
+    if plan_path.is_some() && checkpoint_ms > 0 {
+        spawn_plan_checkpointer(Arc::clone(&service), Duration::from_millis(checkpoint_ms));
     }
 
     match tcp {
@@ -177,20 +217,47 @@ fn main() {
             println!("listening on {addr}");
             use std::io::Write as _;
             std::io::stdout().flush().ok();
-            serve_tcp(service, listener);
+            let server = TcpServer::start(Arc::clone(&service), listener)
+                .unwrap_or_else(|e| fail(&format!("start accept loop: {e}")));
+            if stdin_shutdown {
+                // Treat stdin EOF as a drain request — the TCP twin of the
+                // stdio loop's clean-shutdown path. (Opt-in: services
+                // backgrounded with stdin on /dev/null would otherwise
+                // drain immediately.)
+                let mut sink = [0u8; 4096];
+                let mut stdin = std::io::stdin().lock();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                let drained = server.shutdown();
+                eprintln!(
+                    "drain {} — persisting and exiting",
+                    if drained {
+                        "complete"
+                    } else {
+                        "deadline expired (stragglers abandoned)"
+                    }
+                );
+                persist_on_exit(&service);
+            } else {
+                server.join();
+            }
         }
         None => {
             if let Err(e) = serve_stdio(&service) {
                 fail(&format!("stdio: {e}"));
             }
             // Clean EOF shutdown: persist what the sessions learned.
-            match service.persist_plans() {
-                Ok(Some((name, nodes))) => {
-                    eprintln!("persisted plan cache: {nodes} nodes for {name:?}")
-                }
-                Ok(None) => {}
-                Err(e) => fail(&e),
-            }
+            persist_on_exit(&service);
         }
+    }
+}
+
+/// Final plan persist on a clean shutdown path.
+fn persist_on_exit(service: &Service) {
+    match service.persist_plans() {
+        Ok(Some((name, nodes))) => {
+            eprintln!("persisted plan cache: {nodes} nodes for {name:?}")
+        }
+        Ok(None) => {}
+        Err(e) => fail(&e),
     }
 }

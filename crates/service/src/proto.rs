@@ -36,6 +36,14 @@
 //! ```
 //!
 //! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
+//! Failure classes introduced by the hardened service edge additionally
+//! carry a machine-readable `"code"` — `"too_large"` (request line over the
+//! configured byte cap), `"overloaded"` (connection shed at accept time or
+//! per-connection request cap reached; comes with `"retry_after"` seconds
+//! so clients can back off), `"deadline"` (per-connection I/O deadline
+//! expired), and `"internal"` (a panic was contained; the session involved
+//! is quarantined and closed). Classic validation errors stay code-free,
+//! byte-identical to the pre-hardening protocol.
 //! `ask` is idempotent (re-asking without answering returns the same
 //! entity — or, for a pending multiple-choice batch, the same batch), and
 //! `answer` accepts any entity — not just the last asked one — matching the
@@ -114,6 +122,33 @@ pub enum Request {
     },
     /// List registered collections.
     Collections,
+}
+
+impl Request {
+    /// The session a request operates on, if any — the entry panic
+    /// containment quarantines when dispatch blows up mid-request.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Request::Ask { session, .. }
+            | Request::Answer { session, .. }
+            | Request::AnswerChoice { session, .. }
+            | Request::Status { session }
+            | Request::Close { session } => Some(*session),
+            Request::Create { .. } | Request::ServiceStatus | Request::Collections => None,
+        }
+    }
+
+    /// The wire op name (for error messages and counters).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Create { .. } => "create",
+            Request::Ask { .. } => "ask",
+            Request::Answer { .. } | Request::AnswerChoice { .. } => "answer",
+            Request::Status { .. } | Request::ServiceStatus => "status",
+            Request::Close { .. } => "close",
+            Request::Collections => "collections",
+        }
+    }
 }
 
 /// Parses one request line. Errors are human-readable strings destined for
@@ -282,6 +317,28 @@ pub fn create_request_ext(
     }
     if recover {
         obj = obj.bool("recover", true);
+    }
+    obj.encode()
+}
+
+/// The error-response line for plain validation failures (no code).
+pub fn error_response(message: &str) -> String {
+    JsonObject::new()
+        .bool("ok", false)
+        .str("error", message)
+        .encode()
+}
+
+/// The error-response line for the hardened edge's failure classes:
+/// `{"ok":false,"error":...,"code":...}` plus `"retry_after"` seconds when
+/// the client should back off and try again (load shedding).
+pub fn error_response_coded(code: &str, message: &str, retry_after: Option<u64>) -> String {
+    let mut obj = JsonObject::new()
+        .bool("ok", false)
+        .str("error", message)
+        .str("code", code);
+    if let Some(secs) = retry_after {
+        obj = obj.int("retry_after", secs);
     }
     obj.encode()
 }

@@ -8,14 +8,51 @@
 //! only guaranteed per caller, which matches the one-line-in/one-line-out
 //! protocol contract.
 
-use crate::proto::{parse_request, Request};
+use crate::proto::{error_response_coded, parse_request, Request};
 use crate::snapshot::{Registry, SnapshotHandle};
 use crate::table::{ServiceEngine, SessionEntry, SessionTable};
 use setdisc_core::discovery::Answer;
 use setdisc_core::engine::Engine;
 use setdisc_core::entity::EntityId;
 use setdisc_util::report::JsonObject;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Counters for everything the hardened service edge sheds, bounds, or
+/// contains. Shared by the dispatcher (panics) and the TCP transport
+/// (connection-level limits); reported by the session-less `status` op —
+/// each field only once it is nonzero, so fault-free transcripts stay
+/// byte-identical to the pre-hardening protocol.
+#[derive(Debug, Default)]
+pub struct EdgeStats {
+    /// Request dispatches that panicked and were contained.
+    pub panics: AtomicU64,
+    /// Sessions force-closed because a dispatch panicked inside them.
+    pub quarantined: AtomicU64,
+    /// Connections shed at accept time (global connection cap).
+    pub shed_connections: AtomicU64,
+    /// Requests rejected over the per-connection request cap.
+    pub shed_requests: AtomicU64,
+    /// Request lines rejected for exceeding the byte cap.
+    pub too_large: AtomicU64,
+    /// Connections dropped on an expired read/write deadline.
+    pub deadline_drops: AtomicU64,
+    /// Transient accept() errors tolerated with backoff.
+    pub accept_retries: AtomicU64,
+}
+
+impl EdgeStats {
+    /// Relaxed-increment helper (counters are statistics, not
+    /// synchronization).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
 
 /// Service-wide limits and defaults.
 #[derive(Clone, Debug)]
@@ -38,9 +75,12 @@ pub struct ServiceConfig {
     /// — the wire protocol is unaffected.
     pub plan_cache_capacity: usize,
     /// Where [`Service::persist_plans`] writes the learned plan (the serve
-    /// binary calls it on clean stdio shutdown); `None` disables
-    /// persistence.
+    /// binary calls it on shutdown and from the periodic checkpointer);
+    /// `None` disables persistence.
     pub plan_persist: Option<std::path::PathBuf>,
+    /// Transport-edge limits applied by the TCP server (line/connection/
+    /// request caps, I/O deadlines, drain budget).
+    pub edge: crate::server::EdgeLimits,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +92,7 @@ impl Default for ServiceConfig {
             lookahead: crate::strategy::LookaheadTuning::default(),
             plan_cache_capacity: 1 << 18,
             plan_persist: None,
+            edge: crate::server::EdgeLimits::default(),
         }
     }
 }
@@ -61,6 +102,7 @@ pub struct Service {
     registry: Registry,
     table: SessionTable,
     config: ServiceConfig,
+    stats: EdgeStats,
 }
 
 impl Default for Service {
@@ -76,12 +118,24 @@ impl Service {
             registry: Registry::new(),
             table: SessionTable::new(config.max_sessions),
             config,
+            stats: EdgeStats::default(),
         }
     }
 
     /// The snapshot registry (load collections through this).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The service's configured limits (the TCP transport reads its edge
+    /// caps from here).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Counters of everything shed, bounded, or contained at the edge.
+    pub fn edge_stats(&self) -> &EdgeStats {
+        &self.stats
     }
 
     /// Number of live sessions.
@@ -107,8 +161,36 @@ impl Service {
         }
     }
 
-    /// Handles one parsed request.
+    /// Handles one parsed request, containing panics: a dispatch that
+    /// unwinds (strategy bug, poisoned invariant, injected fault) yields a
+    /// structured `"internal"` error instead of killing the transport
+    /// thread and hanging the client mid-read, and the session the request
+    /// addressed — whose engine state may be torn mid-mutation — is
+    /// quarantined (removed, never resumed). All *other* sessions are
+    /// untouched: shard locks recover from poisoning (see
+    /// `table::lock_shard`), and the chaos suite asserts their question
+    /// sequences stay bit-identical to direct engine runs.
     pub fn handle(&self, req: Request) -> String {
+        let session = req.session();
+        let op = req.op();
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
+            Ok(response) => response,
+            Err(_) => {
+                EdgeStats::bump(&self.stats.panics);
+                let mut msg = format!("internal error handling {op:?}");
+                if let Some(id) = session {
+                    if self.table.remove(id) {
+                        EdgeStats::bump(&self.stats.quarantined);
+                        msg = format!("{msg}; session {id} quarantined and closed");
+                    }
+                }
+                error_response_coded("internal", &msg, None)
+            }
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> String {
+        setdisc_util::faults::trip("service.dispatch");
         match req {
             Request::Create {
                 collection,
@@ -169,12 +251,28 @@ impl Service {
                 obj
             })
             .collect();
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .bool("ok", true)
             .str("op", "status")
-            .int("sessions", self.table.len() as u64)
-            .array("collections", items)
-            .encode()
+            .int("sessions", self.table.len() as u64);
+        // Edge counters are additive: emitted only once nonzero, so
+        // fault-free transcripts (and the committed goldens) stay
+        // byte-identical to the pre-hardening protocol.
+        for (key, counter) in [
+            ("panics", &self.stats.panics),
+            ("quarantined", &self.stats.quarantined),
+            ("shed_connections", &self.stats.shed_connections),
+            ("shed_requests", &self.stats.shed_requests),
+            ("too_large", &self.stats.too_large),
+            ("deadline_drops", &self.stats.deadline_drops),
+            ("accept_retries", &self.stats.accept_retries),
+        ] {
+            let value = EdgeStats::read(counter);
+            if value > 0 {
+                obj = obj.int(key, value);
+            }
+        }
+        obj.array("collections", items).encode()
     }
 
     /// Writes the most-populated plan cache to the configured persist path

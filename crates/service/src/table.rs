@@ -16,8 +16,22 @@ use setdisc_core::engine::Engine;
 use setdisc_core::entity::EntityId;
 use setdisc_util::FxHashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a shard, recovering from poisoning. A panic inside a session
+/// closure (a strategy bug, or an injected `engine.*` fault) poisons the
+/// shard mutex; the map structure itself is never mid-mutation at that
+/// point (the closure only holds `&mut SessionEntry`), so the lock is safe
+/// to recover — only the *offending entry* may hold torn engine state,
+/// and the service's panic containment removes exactly that entry
+/// immediately after. Without recovery, one panic would wedge 1/16th of
+/// all sessions forever.
+fn lock_shard(
+    shard: &Mutex<FxHashMap<u64, SessionEntry>>,
+) -> MutexGuard<'_, FxHashMap<u64, SessionEntry>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of independently locked shards.
 const SHARDS: usize = 16;
@@ -106,10 +120,7 @@ impl SessionTable {
             ));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id)
-            .lock()
-            .expect("session shard poisoned")
-            .insert(id, entry);
+        lock_shard(self.shard(id)).insert(id, entry);
         self.live.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -117,7 +128,7 @@ impl SessionTable {
     /// Runs `f` on the session, refreshing its idle clock; `None` when the
     /// id is unknown (never created, closed, or evicted).
     pub fn with<R>(&self, id: u64, f: impl FnOnce(&mut SessionEntry) -> R) -> Option<R> {
-        let mut shard = self.shard(id).lock().expect("session shard poisoned");
+        let mut shard = lock_shard(self.shard(id));
         let entry = shard.get_mut(&id)?;
         entry.last_touch = Instant::now();
         Some(f(entry))
@@ -125,12 +136,7 @@ impl SessionTable {
 
     /// Removes a session; true when it existed.
     pub fn remove(&self, id: u64) -> bool {
-        let removed = self
-            .shard(id)
-            .lock()
-            .expect("session shard poisoned")
-            .remove(&id)
-            .is_some();
+        let removed = lock_shard(self.shard(id)).remove(&id).is_some();
         if removed {
             self.live.fetch_sub(1, Ordering::Relaxed);
         }
@@ -152,7 +158,7 @@ impl SessionTable {
         let now = Instant::now();
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("session shard poisoned");
+            let mut shard = lock_shard(shard);
             let before = shard.len();
             shard.retain(|_, e| now.duration_since(e.last_touch) <= max_idle);
             evicted += before - shard.len();

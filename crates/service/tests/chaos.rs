@@ -1,0 +1,489 @@
+//! Chaos suite: torn clients, hostile frames, injected faults.
+//!
+//! Every test drives a real TCP server (ephemeral port, thread per
+//! connection) with deliberately broken client behavior — oversized
+//! lines, half-written frames, mid-request disconnects, stalls past the
+//! read deadline — or arms the deterministic fault layer
+//! (`setdisc_util::faults`) at the service's chaos hooks, and asserts the
+//! hardened edge degrades exactly as DESIGN.md §11 promises: structured
+//! error replies, quarantined sessions, counters in `status`, and —
+//! the core robustness claim — *sessions untouched by a fault stay
+//! bit-identical to a direct in-process engine run*.
+//!
+//! Fault schedules are seeded from `SETDISC_FAULT_SEED` (default 42) so a
+//! CI failure reproduces locally with the same variable. The fault plan
+//! is process-global, so every test that arms one holds a shared lock.
+
+use setdisc_core::discovery::{Answer, Session};
+use setdisc_core::entity::{EntityId, SetId};
+use setdisc_service::server::{EdgeLimits, TcpServer};
+use setdisc_service::strategy::StrategySpec;
+use setdisc_service::{Service, ServiceConfig, Snapshot};
+use setdisc_util::faults;
+use setdisc_util::report::{parse_json, JsonValue};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes tests that touch the process-global fault plan (and keeps
+/// unrelated tests from observing each other's injected faults).
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn fault_guard() -> MutexGuard<'static, ()> {
+    let guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    guard
+}
+
+/// The chaos seed: `SETDISC_FAULT_SEED` (CI pins it) or 42.
+fn seed() -> u64 {
+    std::env::var("SETDISC_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+fn service_with(mut edge: EdgeLimits) -> Arc<Service> {
+    // Tests end with clients still parked on open connections; the
+    // production drain budget would turn every teardown into a 5 s wait.
+    edge.drain_deadline = Duration::from_millis(250);
+    let service = Arc::new(Service::new(ServiceConfig {
+        edge,
+        ..ServiceConfig::default()
+    }));
+    service.registry().install_fixture("figure1").unwrap();
+    service
+}
+
+fn start(service: &Arc<Service>) -> TcpServer {
+    TcpServer::bind(Arc::clone(service), "127.0.0.1:0").unwrap()
+}
+
+/// A raw line-protocol client that can also misbehave.
+struct RawClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        // Short enough that storm rounds whose reply was killed by an
+        // injected read fault abort quickly instead of waiting out a
+        // long deadline.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Self { stream, reader }
+    }
+
+    /// One request/response round trip (parsed, `ok` not asserted).
+    fn call(&mut self, line: &str) -> JsonValue {
+        writeln!(self.stream, "{line}").unwrap();
+        parse_json(&self.read_line().expect("response line")).unwrap()
+    }
+
+    fn read_line(&mut self) -> Option<String> {
+        let mut resp = String::new();
+        match self.reader.read_line(&mut resp) {
+            Ok(0) => None,
+            Ok(_) => Some(resp.trim_end().to_string()),
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+
+    /// True when the server has closed this connection (clean EOF, or a
+    /// reset when the server closed with client bytes still unread).
+    fn at_eof(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.reader.read(&mut byte), Ok(0) | Err(_))
+    }
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+}
+
+/// Truthful membership answers for `target`.
+fn answer_for(snapshot: &Snapshot, target: SetId, entity: EntityId) -> Answer {
+    if snapshot.collection().set(target).contains(entity) {
+        Answer::Yes
+    } else {
+        Answer::No
+    }
+}
+
+/// Direct in-process reference: asked-entity sequence + final candidates.
+fn reference_run(snapshot: &Snapshot, target: SetId) -> (Vec<EntityId>, Vec<SetId>) {
+    let mut session = Session::new(snapshot.collection(), &[], StrategySpec::default().build());
+    let mut asked = Vec::new();
+    while let Some(entity) = session.next_question() {
+        let answer = answer_for(snapshot, target, entity);
+        asked.push(entity);
+        session.answer(entity, answer);
+    }
+    (asked, session.outcome().candidates)
+}
+
+/// The same discovery over the wire; panics on any non-`ok` response.
+fn wire_run(client: &mut RawClient, snapshot: &Snapshot, target: SetId) -> (Vec<EntityId>, u64) {
+    let resp = client.call(r#"{"op":"create","collection":"figure1"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let id = u64_field(&resp, "session");
+    let mut asked = Vec::new();
+    loop {
+        let resp = client.call(&format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+        if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            client.call(&format!(r#"{{"op":"close","session":{id}}}"#));
+            return (asked, u64_field(&resp, "candidates"));
+        }
+        let name = str_field(&resp, "entity").to_string();
+        let entity = snapshot.resolve_entity(&name).unwrap();
+        let answer = match answer_for(snapshot, target, entity) {
+            Answer::Yes => "yes",
+            Answer::No => "no",
+            Answer::Unknown => "unknown",
+        };
+        asked.push(entity);
+        client.call(&format!(
+            r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#
+        ));
+    }
+}
+
+/// Asserts a full wire discovery is bit-identical to the direct engine.
+fn assert_clean_discovery(client: &mut RawClient, snapshot: &Snapshot, target: SetId) {
+    let (ref_asked, ref_outcome) = reference_run(snapshot, target);
+    let (wire_asked, survivors) = wire_run(client, snapshot, target);
+    assert_eq!(ref_asked, wire_asked, "question sequence diverged");
+    assert_eq!(ref_outcome, vec![target]);
+    assert_eq!(survivors, 1);
+}
+
+#[test]
+fn oversized_line_is_refused_and_connection_closed() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits {
+        max_line_bytes: 1024,
+        ..EdgeLimits::default()
+    });
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+
+    // A line just under the cap is a normal (if invalid) request…
+    let almost = format!(r#"{{"op":"{}"}}"#, "x".repeat(900));
+    let resp = client.call(&almost);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert!(
+        resp.get("code").is_none(),
+        "validation errors carry no code"
+    );
+
+    // …one past it is refused with a structured code, and since the frame
+    // boundary is unknowable the connection is closed.
+    let flood = "y".repeat(4096);
+    writeln!(client.stream, "{flood}").unwrap();
+    let resp = parse_json(&client.read_line().unwrap()).unwrap();
+    assert_eq!(str_field(&resp, "code"), "too_large");
+    assert!(client.at_eof(), "connection must close after too_large");
+    assert_eq!(
+        service
+            .edge_stats()
+            .too_large
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // The shed shows up in session-less status (additive field).
+    let mut c2 = RawClient::connect(server.addr());
+    let status = c2.call(r#"{"op":"status"}"#);
+    assert_eq!(u64_field(&status, "too_large"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn torn_clients_leak_nothing_and_later_sessions_stay_bit_identical() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits::default());
+    let server = start(&service);
+    let snapshot = service.registry().get("figure1").unwrap();
+
+    // Client A creates a session, then dies mid-frame (half a request, no
+    // newline, socket torn down).
+    let mut torn = RawClient::connect(server.addr());
+    let resp = torn.call(r#"{"op":"create","collection":"figure1"}"#);
+    let torn_id = u64_field(&resp, "session");
+    torn.stream.write_all(br#"{"op":"ask","ses"#).unwrap();
+    drop(torn);
+
+    // Client B disconnects between request and response read — the
+    // response write hits a dead peer.
+    let mut gone = RawClient::connect(server.addr());
+    writeln!(gone.stream, r#"{{"op":"collections"}}"#).unwrap();
+    drop(gone);
+
+    // The session outlives its torn connection (sessions belong to the
+    // table, not the transport): a fresh connection can resume and then
+    // close it, and a full discovery on the same service is bit-identical
+    // to the direct engine run.
+    let mut fresh = RawClient::connect(server.addr());
+    let resp = fresh.call(&format!(r#"{{"op":"ask","session":{torn_id}}}"#));
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    fresh.call(&format!(r#"{{"op":"close","session":{torn_id}}}"#));
+    for target in [0u32, 3, 6] {
+        assert_clean_discovery(&mut fresh, &snapshot, SetId(target));
+    }
+    assert_eq!(service.open_sessions(), 0, "no leaked sessions");
+    server.shutdown();
+}
+
+#[test]
+fn stall_past_read_deadline_is_dropped_with_code() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits {
+        read_timeout: Some(Duration::from_millis(80)),
+        ..EdgeLimits::default()
+    });
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+
+    // Stall (send nothing) past the deadline.
+    let resp = parse_json(&client.read_line().unwrap()).unwrap();
+    assert_eq!(str_field(&resp, "code"), "deadline");
+    assert!(u64_field(&resp, "retry_after") >= 1);
+    assert!(client.at_eof(), "connection closed after deadline");
+    assert!(
+        service
+            .edge_stats()
+            .deadline_drops
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_cap_recycles_the_connection() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits {
+        max_requests_per_conn: 3,
+        ..EdgeLimits::default()
+    });
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+    for _ in 0..3 {
+        let resp = client.call(r#"{"op":"collections"}"#);
+        assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    }
+    let resp = client.call(r#"{"op":"collections"}"#);
+    assert_eq!(str_field(&resp, "code"), "overloaded");
+    assert!(u64_field(&resp, "retry_after") >= 1);
+    assert!(client.at_eof());
+
+    // Reconnecting continues service (state is in the table, not the
+    // connection).
+    let mut again = RawClient::connect(server.addr());
+    let resp = again.call(r#"{"op":"collections"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_retry_after() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits {
+        max_connections: 1,
+        ..EdgeLimits::default()
+    });
+    let server = start(&service);
+
+    // Establish (and prove live with a round trip) the one allowed
+    // connection.
+    let mut held = RawClient::connect(server.addr());
+    let resp = held.call(r#"{"op":"collections"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    // The next arrival is shed at accept time.
+    let mut shed = RawClient::connect(server.addr());
+    let resp = parse_json(&shed.read_line().unwrap()).unwrap();
+    assert_eq!(str_field(&resp, "code"), "overloaded");
+    assert!(u64_field(&resp, "retry_after") >= 1);
+    assert!(shed.at_eof());
+
+    // Freeing the held connection re-admits.
+    drop(held);
+    for _ in 0..100 {
+        if server.live_connections() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut admitted = RawClient::connect(server.addr());
+    let resp = admitted.call(r#"{"op":"collections"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn transient_accept_errors_are_retried_with_backoff() {
+    let _guard = fault_guard();
+    // The first three accepts fail (as if EMFILE/ECONNABORTED bursts);
+    // the loop must log-and-retry, not die.
+    faults::install_spec(&format!("seed={},server.accept=err:1:0:3", seed())).unwrap();
+    let service = service_with(EdgeLimits::default());
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+    let resp = client.call(r#"{"op":"collections"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        service
+            .edge_stats()
+            .accept_retries
+            .load(std::sync::atomic::Ordering::Relaxed),
+        3
+    );
+    faults::clear();
+    server.shutdown();
+}
+
+#[test]
+fn injected_panic_is_contained_quarantined_and_isolated() {
+    let _guard = fault_guard();
+    // Exactly one selection panics (limit 1); everything after runs clean.
+    faults::install_spec(&format!("seed={},engine.select=panic:1:0:1", seed())).unwrap();
+    let service = service_with(EdgeLimits::default());
+    let snapshot = service.registry().get("figure1").unwrap();
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+
+    let resp = client.call(r#"{"op":"create","collection":"figure1"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let id = u64_field(&resp, "session");
+
+    // The poisoned ask: contained, coded, and the session is quarantined.
+    let resp = client.call(&format!(r#"{{"op":"ask","session":{id}}}"#));
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(str_field(&resp, "code"), "internal");
+    assert!(str_field(&resp, "error").contains("quarantined"));
+    assert_eq!(service.open_sessions(), 0, "offender removed");
+
+    // The quarantined id is gone — a stale handle misses, never aliases.
+    let resp = client.call(&format!(r#"{{"op":"ask","session":{id}}}"#));
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert!(resp.get("code").is_none(), "plain unknown-session error");
+
+    // Counters surface in status; the shard mutex recovered (same-shard
+    // sessions still work: ids advance through all 16 shards below).
+    let status = client.call(r#"{"op":"status"}"#);
+    assert_eq!(u64_field(&status, "panics"), 1);
+    assert_eq!(u64_field(&status, "quarantined"), 1);
+
+    // Sessions after the fault are bit-identical to the direct engine —
+    // the service took a panic mid-selection and nothing was torn.
+    for target in 0..7u32 {
+        assert_clean_discovery(&mut client, &snapshot, SetId(target));
+    }
+    faults::clear();
+    server.shutdown();
+}
+
+#[test]
+fn seeded_io_fault_storm_never_corrupts_surviving_sessions() {
+    let _guard = fault_guard();
+    // A storm of socket-level faults: ~4% of reads and ~3% of writes
+    // error out, killing connections at deterministic per-site indices
+    // (a full figure1 discovery is ~20 I/O calls, so roughly half the
+    // rounds die). Sessions on killed connections are resumable;
+    // discoveries that run to completion must be bit-identical to the
+    // direct engine.
+    faults::install_spec(&format!(
+        "seed={},server.read=err:0.04,server.write=err:0.03",
+        seed()
+    ))
+    .unwrap();
+    let service = service_with(EdgeLimits::default());
+    let snapshot = service.registry().get("figure1").unwrap();
+    let server = start(&service);
+
+    // Silence panic backtraces for the storm rounds: a connection killed
+    // by an injected fault surfaces as a client-side panic we catch and
+    // count as an aborted round, not a failure.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut completed = 0u32;
+    let mut results = Vec::new();
+    for round in 0..30u32 {
+        let target = SetId(round % 7);
+        let mut client = RawClient::connect(server.addr());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wire_run(&mut client, &snapshot, target)
+        }));
+        if let Ok((wire_asked, survivors)) = outcome {
+            results.push((target, wire_asked, survivors));
+            completed += 1;
+        }
+    }
+    std::panic::set_hook(quiet);
+    for (target, wire_asked, survivors) in results {
+        let (ref_asked, ref_outcome) = reference_run(&snapshot, target);
+        assert_eq!(ref_asked, wire_asked, "surviving session diverged");
+        assert_eq!(ref_outcome, vec![target]);
+        assert_eq!(survivors, 1);
+    }
+    assert!(
+        completed > 0,
+        "storm killed every single run — rates too hot"
+    );
+
+    // Disarm and prove the service is fully healthy afterwards.
+    faults::clear();
+    let mut client = RawClient::connect(server.addr());
+    for target in 0..7u32 {
+        assert_clean_discovery(&mut client, &snapshot, SetId(target));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_reports() {
+    let _guard = fault_guard();
+    let service = service_with(EdgeLimits {
+        drain_deadline: Duration::from_millis(150),
+        ..EdgeLimits::default()
+    });
+    let server = start(&service);
+
+    // An idle connection parked inside its (long) read deadline cannot
+    // drain; shutdown must give up at the deadline and say so.
+    let _parked = RawClient::connect(server.addr());
+    for _ in 0..200 {
+        if server.live_connections() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.live_connections(), 1, "accept never saw the client");
+    assert!(!server.shutdown(), "parked connection cannot have drained");
+
+    // A fresh server whose clients disconnect cleanly drains completely,
+    // and a post-shutdown connect is refused (accept loop gone).
+    let service = service_with(EdgeLimits::default());
+    let server = start(&service);
+    let addr = server.addr();
+    let mut client = RawClient::connect(addr);
+    let resp = client.call(r#"{"op":"collections"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    drop(client);
+    assert!(server.shutdown(), "clean clients drain fully");
+}

@@ -1,0 +1,433 @@
+//! Deterministic fault injection behind named hook sites.
+//!
+//! Production code registers *sites* — `faults::trip("engine.select")`,
+//! `faults::check_io("plan.save.write")` — that are free when no plan is
+//! armed (one relaxed atomic load) and otherwise consult a seeded,
+//! per-site deterministic schedule of injectable faults: I/O errors,
+//! short writes, delays, allocation-pressure signals, and panics. The
+//! chaos test suite arms a plan, drives real traffic, and asserts the
+//! service degrades the way DESIGN.md §11 promises instead of wedging.
+//!
+//! # Spec grammar
+//!
+//! A plan is parsed from a spec string (programmatically via
+//! [`install_spec`], or from the `SETDISC_FAULTS` environment variable via
+//! [`init_from_env`], which the `serve` binary calls at boot):
+//!
+//! ```text
+//! spec  := entry (',' entry)*
+//! entry := 'seed=' u64
+//!        | site '=' kind ':' rate [':' param [':' limit]]
+//! kind  := 'err' | 'short' | 'delay' | 'alloc' | 'panic'
+//! ```
+//!
+//! `rate` is the per-call firing probability in `[0, 1]`; `param` is the
+//! kind's argument (`delay`: milliseconds to sleep, `short`: bytes to keep
+//! of the attempted write, others: unused); `limit` caps the total number
+//! of firings at the site (`0` = unlimited). Example:
+//!
+//! ```text
+//! SETDISC_FAULTS='seed=42,server.read=err:0.05,engine.select=panic:1:0:1'
+//! ```
+//!
+//! injects an I/O error on ~5% of socket reads and panics exactly once in
+//! the first selection that rolls the die.
+//!
+//! # Determinism
+//!
+//! Each site draws from its own counter-indexed stream: the `n`-th call at
+//! a site fires iff `splitmix64(seed ⊕ fx(site) ⊕ n)` falls under the
+//! rate. Two runs with the same seed and the same per-site call counts
+//! therefore inject the same number of faults at the same per-site call
+//! indices, independent of cross-site thread interleaving.
+
+use crate::hash::FxHasher;
+use crate::rng::Rng;
+use std::collections::HashMap;
+use std::hash::Hasher as _;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The kinds of fault a site rule can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An `io::Error` (kind `Other`, message names the site).
+    Err,
+    /// A short write: keep only `param` bytes of the attempted payload.
+    Short,
+    /// A delay of `param` milliseconds.
+    Delay,
+    /// Allocation pressure: the caller should behave as if an allocation
+    /// was refused (shed, error out) without actually exhausting memory.
+    Alloc,
+    /// A panic (contained by the service edge's `catch_unwind`).
+    Panic,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "err" => Self::Err,
+            "short" => Self::Short,
+            "delay" => Self::Delay,
+            "alloc" => Self::Alloc,
+            "panic" => Self::Panic,
+            other => return Err(format!("unknown fault kind {other:?}")),
+        })
+    }
+}
+
+/// A fault drawn at a site: the kind plus its rule's `param`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Kind-specific argument (delay ms / short-write byte count).
+    pub param: u64,
+}
+
+/// One armed rule at a site.
+#[derive(Clone, Debug)]
+struct SiteRule {
+    kind: FaultKind,
+    rate: f64,
+    param: u64,
+    /// Max firings (0 = unlimited).
+    limit: u64,
+}
+
+#[derive(Default)]
+struct SiteState {
+    rule: Option<SiteRule>,
+    /// Calls seen at this site (indexes the deterministic stream).
+    calls: AtomicU64,
+    /// Faults actually fired at this site.
+    fired: AtomicU64,
+}
+
+struct PlanState {
+    seed: u64,
+    sites: HashMap<String, SiteState>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<PlanState>> = Mutex::new(None);
+
+fn fx(site: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(site.as_bytes());
+    h.finish()
+}
+
+/// Parses a spec string into a plan and arms it (replacing any previous
+/// plan and zeroing all counters). An empty spec disarms injection.
+pub fn install_spec(spec: &str) -> Result<(), String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        clear();
+        return Ok(());
+    }
+    let mut seed = 0u64;
+    let mut sites: HashMap<String, SiteState> = HashMap::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("fault entry {entry:?} is not key=value"))?;
+        if key == "seed" {
+            seed = value
+                .parse()
+                .map_err(|_| format!("bad fault seed {value:?}"))?;
+            continue;
+        }
+        let mut parts = value.split(':');
+        let kind = FaultKind::parse(parts.next().unwrap_or(""))?;
+        let rate: f64 = parts
+            .next()
+            .ok_or_else(|| format!("fault rule {entry:?} is missing its rate"))?
+            .parse()
+            .map_err(|_| format!("bad fault rate in {entry:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate in {entry:?} is outside [0,1]"));
+        }
+        let param: u64 = match parts.next() {
+            None => 0,
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("bad fault param in {entry:?}"))?,
+        };
+        let limit: u64 = match parts.next() {
+            None => 0,
+            Some(l) => l
+                .parse()
+                .map_err(|_| format!("bad fault limit in {entry:?}"))?,
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in fault rule {entry:?}"));
+        }
+        sites.insert(
+            key.to_string(),
+            SiteState {
+                rule: Some(SiteRule {
+                    kind,
+                    rate,
+                    param,
+                    limit,
+                }),
+                ..SiteState::default()
+            },
+        );
+    }
+    let armed = !sites.is_empty();
+    *PLAN.lock().unwrap_or_else(|p| p.into_inner()) = Some(PlanState { seed, sites });
+    ARMED.store(armed, Ordering::Release);
+    Ok(())
+}
+
+/// Arms injection from the `SETDISC_FAULTS` environment variable (no-op
+/// when unset or empty). A malformed spec is reported on stderr and
+/// ignored — a typo in an ops knob must not take the service down.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("SETDISC_FAULTS") {
+        if let Err(e) = install_spec(&spec) {
+            eprintln!("SETDISC_FAULTS ignored: {e}");
+        }
+    }
+}
+
+/// Disarms injection and drops all rules and counters.
+pub fn clear() {
+    ARMED.store(false, Ordering::Release);
+    *PLAN.lock().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+/// True when any fault rule is armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Draws at a site: `None` (by far the common case) to proceed normally,
+/// or the fault to inject. Every armed call advances the site's
+/// deterministic stream; [`Fault::kind`] dispatch is the caller's job —
+/// use the [`trip`] / [`check_io`] / [`short_len`] wrappers where they
+/// fit.
+pub fn fire(site: &str) -> Option<Fault> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let guard = PLAN.lock().unwrap_or_else(|p| p.into_inner());
+    let plan = guard.as_ref()?;
+    let state = plan.sites.get(site)?;
+    let rule = state.rule.as_ref()?;
+    let n = state.calls.fetch_add(1, Ordering::Relaxed);
+    // One splitmix-seeded draw per (seed, site, call-index): deterministic
+    // under any thread interleaving of *other* sites.
+    let draw = Rng::new(plan.seed ^ fx(site) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15)).f64();
+    if draw >= rule.rate {
+        return None;
+    }
+    if rule.limit != 0 && state.fired.load(Ordering::Relaxed) >= rule.limit {
+        return None;
+    }
+    state.fired.fetch_add(1, Ordering::Relaxed);
+    Some(Fault {
+        kind: rule.kind,
+        param: rule.param,
+    })
+}
+
+/// Number of faults fired at `site` since the plan was armed.
+pub fn fired(site: &str) -> u64 {
+    let guard = PLAN.lock().unwrap_or_else(|p| p.into_inner());
+    guard
+        .as_ref()
+        .and_then(|p| p.sites.get(site))
+        .map_or(0, |s| s.fired.load(Ordering::Relaxed))
+}
+
+/// All sites with their fired counts (for reports and assertions).
+pub fn counters() -> Vec<(String, u64)> {
+    let guard = PLAN.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out: Vec<(String, u64)> = guard
+        .as_ref()
+        .map(|p| {
+            p.sites
+                .iter()
+                .map(|(k, s)| (k.clone(), s.fired.load(Ordering::Relaxed)))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// Computation-site hook: sleeps on an injected delay, panics on an
+/// injected panic, ignores I/O-shaped kinds. The cheap default for hooks
+/// inside pure code (`engine.select`, `service.dispatch`).
+pub fn trip(site: &str) {
+    match fire(site) {
+        Some(Fault {
+            kind: FaultKind::Delay,
+            param,
+        }) => std::thread::sleep(Duration::from_millis(param)),
+        Some(Fault {
+            kind: FaultKind::Panic,
+            ..
+        }) => panic!("injected fault: panic at {site}"),
+        _ => {}
+    }
+}
+
+/// I/O-site hook: returns an injected `io::Error` (for `Err` and `Alloc`
+/// faults), sleeps on `Delay`, panics on `Panic`; `Short` is ignored here
+/// (use [`short_len`] where a truncated transfer is representable).
+pub fn check_io(site: &str) -> io::Result<()> {
+    match fire(site) {
+        None
+        | Some(Fault {
+            kind: FaultKind::Short,
+            ..
+        }) => Ok(()),
+        Some(Fault {
+            kind: FaultKind::Delay,
+            param,
+        }) => {
+            std::thread::sleep(Duration::from_millis(param));
+            Ok(())
+        }
+        Some(Fault {
+            kind: FaultKind::Panic,
+            ..
+        }) => panic!("injected fault: panic at {site}"),
+        Some(Fault {
+            kind: FaultKind::Alloc,
+            ..
+        }) => Err(io::Error::other(format!(
+            "injected fault: allocation pressure at {site}"
+        ))),
+        Some(Fault {
+            kind: FaultKind::Err,
+            ..
+        }) => Err(io::Error::other(format!(
+            "injected fault: io error at {site}"
+        ))),
+    }
+}
+
+/// Transfer-site hook: the number of bytes a write of `len` at this site
+/// should actually attempt (`len` unless a `Short` fault fires, then the
+/// rule's `param`, capped at `len`).
+pub fn short_len(site: &str, len: usize) -> usize {
+    match fire(site) {
+        Some(Fault {
+            kind: FaultKind::Short,
+            param,
+        }) => len.min(param as usize),
+        _ => len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Fault state is process-global: tests touching it serialize here.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_is_silent() {
+        let _g = exclusive();
+        clear();
+        assert!(!armed());
+        assert_eq!(fire("anything"), None);
+        assert_eq!(fired("anything"), 0);
+        trip("anything");
+        check_io("anything").unwrap();
+        assert_eq!(short_len("anything", 7), 7);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let _g = exclusive();
+        let draw = |seed: u64| -> Vec<bool> {
+            install_spec(&format!("seed={seed},a.site=err:0.3")).unwrap();
+            let v = (0..64).map(|_| fire("a.site").is_some()).collect();
+            clear();
+            v
+        };
+        let a = draw(42);
+        let b = draw(42);
+        let c = draw(43);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!((1..64).contains(&hits), "rate 0.3 fires sometimes: {hits}");
+    }
+
+    #[test]
+    fn limits_cap_firing_and_counters_count() {
+        let _g = exclusive();
+        install_spec("seed=7,b.site=err:1:0:3").unwrap();
+        let hits = (0..10).filter(|_| fire("b.site").is_some()).count();
+        assert_eq!(hits, 3, "limit caps firings");
+        assert_eq!(fired("b.site"), 3);
+        assert_eq!(counters(), vec![("b.site".to_string(), 3)]);
+        clear();
+    }
+
+    #[test]
+    fn kinds_dispatch_through_the_wrappers() {
+        let _g = exclusive();
+        install_spec("seed=1,io.site=err:1,short.site=short:1:5,alloc.site=alloc:1").unwrap();
+        let err = check_io("io.site").unwrap_err();
+        assert!(err.to_string().contains("io.site"), "{err}");
+        assert_eq!(short_len("short.site", 100), 5);
+        assert_eq!(short_len("short.site", 3), 3, "short never grows a write");
+        assert!(check_io("alloc.site").is_err());
+        assert_eq!(fire("unregistered.site"), None);
+        clear();
+    }
+
+    #[test]
+    fn injected_panics_are_catchable() {
+        let _g = exclusive();
+        install_spec("seed=1,p.site=panic:1:0:1").unwrap();
+        let caught = std::panic::catch_unwind(|| trip("p.site"));
+        assert!(caught.is_err(), "panic fault must panic");
+        trip("p.site"); // limit reached: no second panic
+        assert_eq!(fired("p.site"), 1);
+        clear();
+    }
+
+    #[test]
+    fn spec_errors_are_reported_not_armed() {
+        let _g = exclusive();
+        clear();
+        for bad in [
+            "a.site",
+            "a.site=zap:0.5",
+            "a.site=err",
+            "a.site=err:2.0",
+            "a.site=err:-0.1",
+            "a.site=err:0.5:x",
+            "a.site=err:0.5:0:y",
+            "a.site=err:0.5:0:1:extra",
+            "seed=notanumber",
+        ] {
+            assert!(install_spec(bad).is_err(), "{bad:?} must be rejected");
+            assert!(!armed(), "failed install must not arm: {bad:?}");
+        }
+        install_spec("").unwrap();
+        assert!(!armed());
+    }
+}

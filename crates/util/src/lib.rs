@@ -11,6 +11,10 @@
 //!   (currently a standalone utility: the hot paths moved to sorted id
 //!   vectors + fingerprints), with a [`Fingerprint`]-compatible content
 //!   digest so bitset- and vector-represented sets agree on identity.
+//! * [`faults`] — deterministic fault injection behind named hook sites
+//!   (seeded schedules of I/O errors, short writes, delays, and panics),
+//!   armed by the chaos test suite and the `SETDISC_FAULTS` environment
+//!   variable; free (one atomic load) when disarmed.
 //! * [`pool`] — the scoped worker pool and the single `SETDISC_THREADS`
 //!   knob behind every parallel region (experiment `par_map`, the parallel
 //!   k-LP candidate loop), scheduled by an atomic claim counter.
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod faults;
 pub mod hash;
 pub mod math;
 pub mod pool;
