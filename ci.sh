@@ -56,6 +56,26 @@ cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figur
     < crates/service/tests/wire_noisy.in \
     | diff -u crates/service/tests/wire_noisy.golden -
 
+# Telemetry must be invisible on the wire: with span recording armed
+# (SETDISC_OBS=1 — same switch as serve --metrics), both committed golden
+# transcripts must stay byte-identical. Site histograms only ever surface
+# through the session-less metrics op, never in session replies.
+echo "==> armed-telemetry golden transcripts stay byte-identical"
+SETDISC_OBS=1 cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    < crates/service/tests/wire_smoke.in \
+    | diff -u crates/service/tests/wire_smoke.golden -
+SETDISC_OBS=1 cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    < crates/service/tests/wire_noisy.in \
+    | diff -u crates/service/tests/wire_noisy.golden -
+
+# Telemetry reconciliation: metrics_check boots a live TCP server with
+# spans armed, replays truthful sessions over real sockets, and asserts
+# (a) the Prometheus rendering parses against the minimal exposition
+# grammar, (b) the engine.select event count grew by exactly the number
+# of questions asked, and (c) plan hit/miss/node counters agree between
+# the metrics op, the status op, and the Prometheus text.
+run cargo run --release -q -p setdisc-service --bin metrics_check
+
 # Plan-cache round trip: precompute a question plan to disk, boot serve
 # warm from the persisted file, replay the golden transcript — output must
 # stay byte-identical with the cache enabled — and assert the plan actually
@@ -162,7 +182,10 @@ rm -f "$SERVE_OUT"
 
 # Service bench: the ≥1k-concurrent-open-sessions gate plus in-process and
 # loopback-socket throughput/latency phases; regenerates the committed
-# BENCH_service.json baseline (every session's outcome is verified).
-run cargo bench -p setdisc-service --bench bench_service -- --scale smoke --out "$PWD/BENCH_service.json"
+# BENCH_service.json baseline (every session's outcome is verified). Runs
+# with telemetry armed (SETDISC_OBS=1) so the committed baseline carries
+# the armed-span cost — the honest deployment configuration — and any
+# span-overhead regression shows up in the percentile deltas.
+SETDISC_OBS=1 run cargo bench -p setdisc-service --bench bench_service -- --scale smoke --out "$PWD/BENCH_service.json"
 
 echo "CI green."

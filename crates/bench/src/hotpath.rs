@@ -12,6 +12,7 @@ use setdisc_core::cost::AvgDepth;
 use setdisc_core::lookahead::{GainK, KLp};
 use setdisc_core::optimal::OptimalSolver;
 use setdisc_core::subcollection::{CountScratch, SubStorage};
+use setdisc_util::obs;
 use setdisc_util::report::{fmt_duration, parse_json, JsonObject, JsonValue};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -332,6 +333,41 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
         },
     );
 
+    // Telemetry guard pair: the same accumulate loop with and without a
+    // disarmed span at each step. A disarmed span is one relaxed load
+    // (DESIGN.md §12), so the two medians should be within noise of each
+    // other; the hard per-op ceiling is asserted in this module's tests,
+    // where it cannot rot out of the CI gate.
+    obs::arm(false);
+    let span_iters: u64 = scale.pick(1_000_000, 4_000_000);
+    run(
+        "obs_span_disarmed",
+        samples.max(10),
+        span_iters,
+        "spans",
+        &mut || {
+            let mut acc = 0u64;
+            for i in 0..span_iters {
+                let _span = obs::span(obs::Site::EngineSelect);
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        },
+    );
+    run(
+        "obs_span_baseline",
+        samples.max(10),
+        span_iters,
+        "spans",
+        &mut || {
+            let mut acc = 0u64;
+            for i in 0..span_iters {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        },
+    );
+
     reports
 }
 
@@ -451,6 +487,32 @@ mod tests {
         assert!(lines[2].contains("in baseline only"));
         assert!(compare_lines("not json", &[]).is_err());
         assert!(compare_lines("{\"bench\":\"hotpath\"}", &[]).is_err());
+    }
+
+    #[test]
+    fn disarmed_span_overhead_is_negligible() {
+        // The §12 contract: a disarmed span site costs one relaxed load.
+        // The ceiling is absolute and deliberately generous (a relaxed
+        // load is ~1 ns; 25 ns absorbs a heavily loaded CI host) so the
+        // guard catches regressions of kind — an accidental
+        // Instant::now(), lock, or allocation on the disarmed path, each
+        // of which costs well past it — without being wall-clock flaky.
+        obs::arm(false);
+        const ITERS: u64 = 200_000;
+        let rep = time_kernel("span_guard", 15, ITERS, "spans", || {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                let _span = obs::span(obs::Site::EngineSelect);
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        let per_op = rep.median_ns / ITERS as f64;
+        assert!(
+            per_op < 25.0,
+            "disarmed span costs {per_op:.2} ns/op — something heavy \
+             crept onto the disarmed path"
+        );
     }
 
     #[test]

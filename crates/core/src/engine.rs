@@ -27,7 +27,7 @@ use crate::entity::{EntityId, SetId};
 use crate::error::{Result, SetDiscError};
 use crate::strategy::{SelectionDetail, SelectionStrategy};
 use crate::subcollection::{SubCollection, SubStorage};
-use setdisc_util::{Fingerprint, FxHashSet};
+use setdisc_util::{obs, Fingerprint, FxHashSet};
 use std::mem;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -98,6 +98,10 @@ pub struct Engine<C, S> {
     questions: usize,
     unknowns: usize,
     recover: Option<RecoverState>,
+    /// Table-4 prune counters `(informative, evaluated)` from the most
+    /// recent strategy-computed selection; `None` after a plan-cache hit or
+    /// an excluded-path selection (where no detail is computed).
+    last_detail: Option<(u32, u32)>,
 }
 
 /// Backtracking bookkeeping, allocated only for sessions that opt in.
@@ -169,6 +173,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
             questions: 0,
             unknowns: 0,
             recover: None,
+            last_detail: None,
         }
     }
 
@@ -254,6 +259,15 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         self.recover.as_ref().map_or(0, |r| r.backtracks)
     }
 
+    /// Table-4 prune counters `(informative, evaluated)` recorded by the
+    /// most recent [`Self::next_question`] that ran the strategy with
+    /// detail tracking (the plan-cache miss path); `None` when the last
+    /// question came from the cache, from the excluded path, or no
+    /// selection has run yet. Session traces surface this per question.
+    pub fn last_selection_stats(&self) -> Option<(u32, u32)> {
+        self.last_detail
+    }
+
     /// Access to the strategy (e.g. to read prune statistics).
     pub fn strategy(&self) -> &S {
         &self.strategy
@@ -293,6 +307,9 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         if self.is_resolved() {
             return None;
         }
+        // Telemetry twin of the fault hook above: same site name, one
+        // relaxed load when `SETDISC_OBS` is disarmed.
+        let _span = obs::span(obs::Site::EngineSelect);
         let store = mem::take(&mut self.store);
         let view = SubCollection::from_storage_unchecked(self.collection.deref(), store, self.fp);
         // The plan cache only speaks for exclusion-free selections (see
@@ -301,16 +318,28 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         // path) selection always runs the strategy directly.
         let pick = match &self.plan {
             Some(cache) if self.excluded.is_empty() => match cache.lookup(&view) {
-                Some(entity) => Some(entity),
+                Some(entity) => {
+                    obs::hit(obs::Site::PlanHit);
+                    self.last_detail = None;
+                    Some(entity)
+                }
                 None => {
+                    obs::hit(obs::Site::PlanMiss);
                     let detail = self.strategy.select_with_detail(&view, &self.excluded);
                     if let Some(detail) = &detail {
                         cache.record(&view, detail);
+                        obs::hit(obs::Site::PlanRecord);
+                        obs::record(obs::Site::SelectInformative, u64::from(detail.informative));
+                        obs::record(obs::Site::SelectEvaluated, u64::from(detail.evaluated));
                     }
+                    self.last_detail = detail.as_ref().map(|d| (d.informative, d.evaluated));
                     detail.map(|d| d.entity)
                 }
             },
-            _ => self.strategy.select_excluding(&view, &self.excluded),
+            _ => {
+                self.last_detail = None;
+                self.strategy.select_excluding(&view, &self.excluded)
+            }
         };
         self.store = view.into_storage();
         pick
@@ -339,6 +368,7 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         // Chaos hook: a panic here fires while the engine mutates candidate
         // state, exercising the service's quarantine-don't-reuse guarantee.
         setdisc_util::faults::trip("engine.answer");
+        let _span = obs::span(obs::Site::EngineAnswer);
         self.history.push((entity, answer));
         if let Some(rs) = self.recover.as_mut() {
             rs.confident.push(confident);

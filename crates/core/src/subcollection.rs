@@ -43,7 +43,7 @@ use crate::collection::Collection;
 use crate::cost::Cost;
 use crate::entity::{EntityId, SetId};
 use crate::weights::WeightTable;
-use setdisc_util::{Fingerprint, FxHashSet};
+use setdisc_util::{obs, Fingerprint, FxHashSet};
 use std::sync::OnceLock;
 
 /// Content digest of one set id (the unit [`SubCollection`] fingerprints
@@ -301,6 +301,7 @@ impl<'c> SubCollection<'c> {
     /// element pass — callers needing a specific order re-sort by a total
     /// key); resets `scratch` before returning.
     pub fn count_entities(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
+        let _span = obs::span(obs::Site::Count);
         if self.use_postings(1) {
             self.count_postings_impl(out, u32::MAX);
             return;
@@ -330,6 +331,7 @@ impl<'c> SubCollection<'c> {
     /// membership [`Fingerprint`] in the same pass. Clears `out` first;
     /// deterministic order as documented on [`Self::count_entities`].
     pub fn count_entities_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
+        let _span = obs::span(obs::Site::Count);
         if self.use_postings(2) {
             self.count_with_fp_postings_impl(out, u32::MAX);
         } else {
@@ -343,6 +345,7 @@ impl<'c> SubCollection<'c> {
     /// [`Self::count_entities`] — callers that need a specific order
     /// re-sort by a total key.
     pub fn informative_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
+        let _span = obs::span(obs::Site::Count);
         let below = self.len;
         if self.use_postings(2) {
             self.count_with_fp_postings_impl(out, below);
@@ -635,6 +638,7 @@ impl<'c> SubCollection<'c> {
         mut yes: SubStorage,
         mut no: SubStorage,
     ) -> (SubCollection<'c>, SubCollection<'c>) {
+        let _span = obs::span(obs::Site::Partition);
         let c = self.collection;
         yes.ids.clear();
         no.ids.clear();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! discover <sets.txt> [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
-//!          [--examples e1,e2] [--plan-cache PATH]
+//!          [--examples e1,e2] [--plan-cache PATH] [--trace]
 //! discover precompute (<sets.txt> | --fixture SPEC) --out PATH
 //!          [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
 //!          [--max-nodes N] [--max-depth D]
@@ -21,6 +21,12 @@
 //! decision tree breadth-first to the node/depth budget and saves it, so a
 //! service boots warm without ever paying the lookahead cost online.
 //!
+//! `--trace` records the same structured question trace the service's
+//! `trace` wire op exposes (ask events with selection timing and Table-4
+//! prune counts, answer events with candidate-set deltas) and prints it as
+//! one JSON object after the conversation ends — so a terminal run can be
+//! diffed event-for-event against a wire-protocol run.
+//!
 //! The CLI is a thin terminal driver over the *same* stack the network
 //! service runs: collections become `setdisc_service::Snapshot`s,
 //! strategies are built through `StrategySpec`, and the question loop steps
@@ -34,6 +40,7 @@ use setdisc_core::weights::WeightTable;
 use setdisc_plan::{PlanCache, PrecomputeBudget, ScopedPlanCache};
 use setdisc_service::strategy::{BoxedStrategy, LookaheadTuning};
 use setdisc_service::{Snapshot, SnapshotHandle, StrategySpec};
+use setdisc_util::report::JsonObject;
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -42,7 +49,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: discover <sets.txt> [--strategy klp|klp-le|klp-lve|most-even|info-gain|\
          indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]\n\
-         \x20                [--plan-cache PATH] [--prior w1,w2,...]\n\
+         \x20                [--plan-cache PATH] [--prior w1,w2,...] [--trace]\n\
          \x20      discover precompute (<sets.txt> | --fixture SPEC) --out PATH\n\
          \x20                [--strategy ...] [--metric ad|h] [--k N] [--beam Q]\n\
          \x20                [--prior w1,w2,...] [--max-nodes N] [--max-depth D]"
@@ -66,6 +73,7 @@ struct CommonArgs {
     examples: Vec<String>,
     plan_cache: Option<String>,
     prior: Option<Vec<u64>>,
+    trace: bool,
     out: Option<String>,
     max_nodes: usize,
     max_depth: u32,
@@ -83,6 +91,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
         examples: Vec::new(),
         plan_cache: None,
         prior: None,
+        trace: false,
         out: None,
         max_nodes: 4096,
         max_depth: 16,
@@ -119,6 +128,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
                     .collect()
             }
             "--plan-cache" => c.plan_cache = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace" => c.trace = true,
             "--prior" => {
                 c.prior = Some(
                     it.next()
@@ -333,13 +343,32 @@ fn main() {
         engine.candidate_count()
     );
 
+    let mut trace: Option<Vec<JsonObject>> = args.trace.then(Vec::new);
+    let mut seq = 0u64;
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     while !engine.is_resolved() {
+        let candidates = engine.candidate_count() as u64;
+        let started = std::time::Instant::now();
         let Some(entity) = engine.next_question() else {
             println!("no more informative questions — remaining candidates:");
             break;
         };
+        if let Some(events) = trace.as_mut() {
+            let select_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let (informative, evaluated) = engine.last_selection_stats().unwrap_or((0, 0));
+            events.push(
+                JsonObject::new()
+                    .int("seq", seq)
+                    .str("kind", "ask")
+                    .str("entity", &snapshot.entity_label(entity))
+                    .int("candidates", candidates)
+                    .int("select_us", select_us)
+                    .int("informative", u64::from(informative))
+                    .int("evaluated", u64::from(evaluated)),
+            );
+            seq += 1;
+        }
         print!(
             "is {:?} in your set? [y/n/?/q] ",
             snapshot.entity_label(entity)
@@ -349,12 +378,35 @@ fn main() {
             Some(Ok(l)) => l,
             _ => break,
         };
-        match line.trim() {
-            "y" | "yes" => engine.answer(entity, Answer::Yes),
-            "n" | "no" => engine.answer(entity, Answer::No),
-            "?" => engine.answer(entity, Answer::Unknown),
+        let answer = match line.trim() {
+            "y" | "yes" => Answer::Yes,
+            "n" | "no" => Answer::No,
+            "?" => Answer::Unknown,
             "q" | "quit" => break,
-            other => println!("  (unrecognized {other:?}; asking again)"),
+            other => {
+                println!("  (unrecognized {other:?}; asking again)");
+                continue;
+            }
+        };
+        let before = engine.candidate_count() as u64;
+        engine.answer(entity, answer);
+        if let Some(events) = trace.as_mut() {
+            let token = match answer {
+                Answer::Yes => "yes",
+                Answer::No => "no",
+                Answer::Unknown => "unknown",
+            };
+            events.push(
+                JsonObject::new()
+                    .int("seq", seq)
+                    .str("kind", "answer")
+                    .str("entity", &snapshot.entity_label(entity))
+                    .str("answer", token)
+                    .int("before", before)
+                    .int("after", engine.candidate_count() as u64)
+                    .int("backtracks", engine.backtracks() as u64),
+            );
+            seq += 1;
         }
     }
     let outcome = engine.outcome();
@@ -370,6 +422,13 @@ fn main() {
             }
             println!("({} candidates remain)", outcome.candidates.len());
         }
+    }
+    if let Some(events) = trace {
+        let obj = JsonObject::new()
+            .str("op", "trace")
+            .int("questions", outcome.questions as u64)
+            .array("events", events);
+        println!("{}", obj.encode());
     }
     if let Some((path, cache)) = plan {
         match setdisc_plan::save_plan(&cache, &path) {

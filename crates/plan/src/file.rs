@@ -101,6 +101,7 @@ static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::ne
 /// stale temp file a crash can leave behind is harmless: temp names are
 /// never reused across processes and the loader only reads `path`.
 pub fn save_plan(cache: &PlanCache, path: impl AsRef<Path>) -> io::Result<u64> {
+    let _span = setdisc_util::obs::span(setdisc_util::obs::Site::PlanSave);
     let nodes = cache.export_nodes();
     let mut payload = Vec::with_capacity(nodes.len() * NODE_BYTES);
     for (key, node) in &nodes {

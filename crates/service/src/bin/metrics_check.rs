@@ -1,0 +1,251 @@
+//! CI reconciliation harness for the telemetry surface (DESIGN.md §12).
+//!
+//! ```text
+//! metrics_check [--sessions N]
+//! ```
+//!
+//! Arms the span timers (the in-process equivalent of `serve --metrics`),
+//! starts a live TCP server on an ephemeral port, replays `N` truthful
+//! discovery sessions over real sockets, scrapes the session-less
+//! `{"op":"metrics"}` op before and after, and asserts the three
+//! properties a scrape pipeline depends on:
+//!
+//! 1. the Prometheus text rendering parses against the minimal exposition
+//!    grammar (`# TYPE` comments; `name{label="value"} number` samples);
+//! 2. the `engine.select` event count grew by exactly the number of
+//!    questions asked (one fresh selection per answered question on a
+//!    truthful complete run — re-asks and resolved sessions select
+//!    nothing);
+//! 3. the plan hit/miss/node totals in `metrics` equal the ones `status`
+//!    reports, and the JSON and Prometheus forms agree with each other.
+//!
+//! Exits 0 with a one-line summary on success; panics (non-zero) with the
+//! failing assertion otherwise. Deterministic modulo timing values, so it
+//! is safe as a CI gate.
+
+use setdisc_core::entity::SetId;
+use setdisc_service::load::{Client, SocketClient};
+use setdisc_service::server::TcpServer;
+use setdisc_service::{Service, ServiceConfig};
+use setdisc_util::report::{parse_json, JsonValue};
+use setdisc_util::{obs, FxHashMap};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> &'a JsonValue {
+    v.get(key).unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+}
+
+fn call(client: &mut SocketClient, line: &str) -> JsonValue {
+    let resp = client.call(line).expect("transport");
+    let v = parse_json(&resp).expect("valid JSON response");
+    assert_eq!(
+        field(&v, "ok").as_bool(),
+        Some(true),
+        "request {line} failed: {resp}"
+    );
+    v
+}
+
+/// Site event counts and plan counters from one `metrics` scrape.
+struct Scrape {
+    sites: FxHashMap<String, u64>,
+    plan_hits: u64,
+    plan_misses: u64,
+    plan_nodes: u64,
+}
+
+fn scrape(client: &mut SocketClient) -> Scrape {
+    let resp = call(client, r#"{"op":"metrics"}"#);
+    let mut sites = FxHashMap::default();
+    for s in field(&resp, "sites").as_array().expect("sites array") {
+        sites.insert(
+            field(s, "site").as_str().expect("site name").to_string(),
+            field(s, "count").as_u64().expect("site count"),
+        );
+    }
+    let collections = field(&resp, "collections").as_array().expect("collections");
+    let c = collections.first().expect("one collection");
+    // Plan counters appear once the collection has a cache attached (the
+    // service installs it on first use); an absent field reads as zero.
+    let plan = |key: &str| c.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    Scrape {
+        sites,
+        plan_hits: plan("plan_hits"),
+        plan_misses: plan("plan_misses"),
+        plan_nodes: plan("plan_nodes"),
+    }
+}
+
+/// Validates one Prometheus exposition against the minimal grammar and
+/// returns the parsed samples as `full-name-with-labels -> value`.
+fn parse_prometheus(text: &str) -> FxHashMap<String, f64> {
+    let mut samples = FxHashMap::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE "), "bad comment line: {line}");
+            let mut words = line["# TYPE ".len()..].split(' ');
+            let (name, kind) = (words.next().unwrap_or(""), words.next().unwrap_or(""));
+            assert!(!name.is_empty(), "TYPE without a metric name: {line}");
+            assert!(
+                matches!(kind, "counter" | "gauge"),
+                "TYPE must be counter|gauge: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample must be `name value`: {line}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad sample value: {line}"));
+        let bare = match name.split_once('{') {
+            Some((metric, labels)) => {
+                let body = labels
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unclosed label set: {line}"));
+                let (key, val) = body
+                    .split_once("=\"")
+                    .unwrap_or_else(|| panic!("label must be key=\"value\": {line}"));
+                assert!(val.ends_with('"'), "unterminated label value: {line}");
+                assert!(
+                    key.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                    "bad label key: {line}"
+                );
+                metric
+            }
+            None => name,
+        };
+        assert!(
+            bare.starts_with("setdisc_")
+                && bare
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "bad metric name: {line}"
+        );
+        samples.insert(name.to_string(), value);
+    }
+    samples
+}
+
+/// Runs one truthful session against `target`, returning questions asked.
+fn run_session(
+    client: &mut SocketClient,
+    snapshot: &setdisc_service::Snapshot,
+    target: SetId,
+) -> u64 {
+    let resp = call(client, r#"{"op":"create","collection":"figure1"}"#);
+    let id = field(&resp, "session").as_u64().expect("session id");
+    let members = snapshot.collection().set(target);
+    let mut questions = 0;
+    loop {
+        let resp = call(client, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        if field(&resp, "done").as_bool() == Some(true) {
+            break;
+        }
+        let name = field(&resp, "entity").as_str().expect("entity").to_string();
+        let entity = snapshot.resolve_entity(&name).expect("known entity");
+        let answer = if members.contains(entity) {
+            "yes"
+        } else {
+            "no"
+        };
+        call(
+            client,
+            &format!(r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#),
+        );
+        questions += 1;
+    }
+    call(client, &format!(r#"{{"op":"close","session":{id}}}"#));
+    questions
+}
+
+fn main() {
+    let mut sessions: u32 = 7;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                sessions = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: metrics_check [--sessions N]");
+                    std::process::exit(2);
+                })
+            }
+            _ => {
+                eprintln!("usage: metrics_check [--sessions N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The in-process twin of `serve --metrics`: arm the spans, register
+    // the reference fixture, listen on an ephemeral port.
+    obs::arm(true);
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service
+        .registry()
+        .install_fixture("figure1")
+        .expect("fixture");
+    let snapshot = setdisc_service::snapshot::fixture("figure1").expect("fixture snapshot");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let server = TcpServer::start(Arc::clone(&service), listener).expect("accept loop");
+    let mut client = SocketClient::connect(addr).expect("connect");
+
+    let before = scrape(&mut client);
+    let n_sets = snapshot.collection().len() as u32;
+    let mut questions = 0;
+    for i in 0..sessions {
+        questions += run_session(&mut client, &snapshot, SetId(i % n_sets));
+    }
+    let after = scrape(&mut client);
+
+    // (2) Selection accounting: every answered question cost exactly one
+    // fresh selection, whether it came from the plan cache or lookahead.
+    let selected = after.sites["engine.select"] - before.sites["engine.select"];
+    assert_eq!(
+        selected, questions,
+        "engine.select grew by {selected}, but {questions} questions were asked"
+    );
+    assert_eq!(
+        after.sites["plan.hit"] + after.sites["plan.miss"],
+        after.sites["engine.select"],
+        "every selection is a plan hit or a plan miss"
+    );
+
+    // (3) One storage location: `status` and `metrics` read the same plan
+    // counters, so two back-to-back quiescent reads must agree exactly.
+    let status = call(&mut client, r#"{"op":"status"}"#);
+    let c = &field(&status, "collections")
+        .as_array()
+        .expect("collections")[0];
+    assert_eq!(field(c, "plan_hits").as_u64(), Some(after.plan_hits));
+    assert_eq!(field(c, "plan_misses").as_u64(), Some(after.plan_misses));
+    assert_eq!(field(c, "plan_nodes").as_u64(), Some(after.plan_nodes));
+    assert!(
+        after.plan_hits > before.plan_hits,
+        "repeated truthful sessions must hit the shared plan"
+    );
+
+    // (1) The Prometheus form parses, and agrees with the JSON form.
+    let resp = call(&mut client, r#"{"op":"metrics","format":"prometheus"}"#);
+    let samples = parse_prometheus(field(&resp, "text").as_str().expect("text"));
+    let events = samples["setdisc_site_events_total{site=\"engine.select\"}"];
+    assert_eq!(events as u64, after.sites["engine.select"]);
+    assert_eq!(
+        samples["setdisc_plan_hits_total{collection=\"figure1\"}"] as u64,
+        after.plan_hits
+    );
+    assert!(samples.len() > 20, "expected a full exposition");
+
+    server.shutdown();
+    println!(
+        "metrics_check: ok ({sessions} sessions, {questions} questions, \
+         {selected} selections, {} plan hits, {} samples)",
+        after.plan_hits,
+        samples.len()
+    );
+}

@@ -5,7 +5,7 @@
 //!       [--max-sessions N] [--budget N] [--idle-timeout S]
 //!       [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]
 //!       [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]
-//!       [--io-timeout-ms MS] [--stdin-shutdown]
+//!       [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `setdisc_service::proto` over
@@ -38,11 +38,19 @@
 //! drain request: stop accepting, let in-flight requests finish, persist
 //! the plan cache, exit. Fault injection for chaos testing is armed via
 //! the `SETDISC_FAULTS` environment variable (see `setdisc_util::faults`).
+//!
+//! Telemetry (DESIGN.md §12): `--metrics` arms the hot-path span timers
+//! (equivalent to `SETDISC_OBS=1`), so the session-less
+//! `{"op":"metrics"}` wire op reports populated site histograms alongside
+//! the always-on edge counters, plan-cache statistics, and Prometheus
+//! text rendering (`"format":"prometheus"`). The op itself is always
+//! available; without arming, site histograms simply read zero.
 
 use setdisc_service::server::{
     serve_stdio, spawn_idle_sweeper, spawn_plan_checkpointer, TcpServer,
 };
 use setdisc_service::{Service, ServiceConfig};
+use setdisc_util::obs;
 use std::io::Read as _;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -55,7 +63,7 @@ fn usage() -> ! {
          \x20            [--max-sessions N] [--budget N] [--idle-timeout S]\n\
          \x20            [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]\n\
          \x20            [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]\n\
-         \x20            [--io-timeout-ms MS] [--stdin-shutdown]"
+         \x20            [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]"
     );
     std::process::exit(2);
 }
@@ -74,6 +82,7 @@ fn parse_next<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> 
 
 fn main() {
     setdisc_util::faults::init_from_env();
+    obs::init_from_env();
 
     let mut tcp: Option<String> = None;
     let mut stdio = false;
@@ -90,6 +99,7 @@ fn main() {
         match arg.as_str() {
             "--stdio" => stdio = true,
             "--stdin-shutdown" => stdin_shutdown = true,
+            "--metrics" => obs::arm(true),
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--fixture" => fixtures.push(args.next().unwrap_or_else(|| usage())),
             "--load" => {
@@ -169,28 +179,28 @@ fn main() {
                         if let Err(e) = snap.install_plan_cache(cache) {
                             fail(&e);
                         }
-                        eprintln!(
+                        obs::info(&format!(
                             "loaded plan cache: {nodes} nodes for {:?} from {}",
                             snap.name(),
                             path.display()
-                        );
+                        ));
                     }
-                    None => eprintln!(
+                    None => obs::warn(&format!(
                         "plan file {} matches no registered collection; booting cold \
                          (file left in place)",
                         path.display()
-                    ),
+                    )),
                 }
             }
             Err(e) => {
                 let aside = PathBuf::from(format!("{}.corrupt", path.display()));
-                eprintln!(
+                obs::warn(&format!(
                     "plan file {} is unreadable ({e}); set aside as {} and booting cold",
                     path.display(),
                     aside.display()
-                );
+                ));
                 if let Err(e) = std::fs::rename(path, &aside) {
-                    eprintln!("could not set aside corrupt plan file: {e}");
+                    obs::warn(&format!("could not set aside corrupt plan file: {e}"));
                 }
             }
         }
@@ -228,14 +238,14 @@ fn main() {
                 let mut stdin = std::io::stdin().lock();
                 while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
                 let drained = server.shutdown();
-                eprintln!(
+                obs::info(&format!(
                     "drain {} — persisting and exiting",
                     if drained {
                         "complete"
                     } else {
                         "deadline expired (stragglers abandoned)"
                     }
-                );
+                ));
                 persist_on_exit(&service);
             } else {
                 server.join();
@@ -255,7 +265,7 @@ fn main() {
 fn persist_on_exit(service: &Service) {
     match service.persist_plans() {
         Ok(Some((name, nodes))) => {
-            eprintln!("persisted plan cache: {nodes} nodes for {name:?}")
+            obs::info(&format!("persisted plan cache: {nodes} nodes for {name:?}"));
         }
         Ok(None) => {}
         Err(e) => fail(&e),

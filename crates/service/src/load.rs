@@ -22,6 +22,7 @@ use crate::strategy::StrategySpec;
 use setdisc_core::discovery::Answer;
 use setdisc_core::engine::Engine;
 use setdisc_core::entity::SetId;
+use setdisc_util::obs::HistogramSnapshot;
 use setdisc_util::report::{parse_json, JsonObject, JsonValue};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -148,9 +149,13 @@ pub struct LoadReport {
     pub sessions_per_sec: f64,
     /// Mean questions per session.
     pub questions_per_session: f64,
-    /// Median ask+answer round-trip, microseconds.
+    /// Median ask+answer round-trip, microseconds. Reported as the log2
+    /// bucket upper bound from the shared
+    /// [`setdisc_util::obs::HistogramSnapshot`] — within one bucket of
+    /// the exact order statistic.
     pub p50_question_us: f64,
-    /// 99th-percentile ask+answer round-trip, microseconds.
+    /// 99th-percentile ask+answer round-trip, microseconds (bucketed as
+    /// above).
     pub p99_question_us: f64,
 }
 
@@ -179,7 +184,7 @@ struct WorkerStats {
     sessions: u64,
     questions: u64,
     errors: u64,
-    latencies_us: Vec<u64>,
+    latency_us: HistogramSnapshot,
 }
 
 /// Replays `clients × sessions_per_client` complete sessions, streaming
@@ -457,8 +462,8 @@ fn drive_open_session(
         asked += 1;
         stats.questions += 1;
         stats
-            .latencies_us
-            .push(round.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            .latency_us
+            .record(round.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
     let _ = client.call(&format!(r#"{{"op":"close","session":{id}}}"#));
     stats.sessions += 1;
@@ -487,21 +492,18 @@ fn merge(
     let mut sessions = 0;
     let mut questions = 0;
     let mut errors = 0;
-    let mut latencies: Vec<u64> = Vec::new();
+    // Percentiles come from the workspace's shared log2 histogram type
+    // (the one `metrics` exposes), not private sorting code — so the load
+    // harness and the telemetry surface can never disagree on what a
+    // percentile means. Quantiles are bucket upper bounds, within one
+    // log2 bucket of the exact order statistic (asserted in tests).
+    let mut latency_us = HistogramSnapshot::default();
     for s in stats {
         sessions += s.sessions;
         questions += s.questions;
         errors += s.errors;
-        latencies.extend(s.latencies_us);
+        latency_us.merge(&s.latency_us);
     }
-    latencies.sort_unstable();
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx] as f64
-    };
     LoadReport {
         label: label.to_string(),
         transport: transport.to_string(),
@@ -513,8 +515,8 @@ fn merge(
         peak_open,
         sessions_per_sec: sessions as f64 / elapsed.as_secs_f64().max(1e-9),
         questions_per_session: questions as f64 / (sessions as f64).max(1.0),
-        p50_question_us: pct(0.50),
-        p99_question_us: pct(0.99),
+        p50_question_us: latency_us.quantile(0.50) as f64,
+        p99_question_us: latency_us.quantile(0.99) as f64,
     }
 }
 
@@ -616,6 +618,48 @@ mod tests {
             );
         }
         assert_eq!(service.open_sessions(), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_sorted_reference() {
+        use setdisc_util::obs::bucket_of;
+        // The percentile code this replaced: sort, then index the exact
+        // order statistic. The shared histogram must land in the same
+        // log2 bucket (±1 for the rounding conventions at bucket edges)
+        // on a fixed-seed latency-shaped sample.
+        let mut state = 0x2545_f491_4f6c_dd1du64; // fixed seed
+        let mut next = move || {
+            // xorshift64*: deterministic, spans several buckets the way
+            // mixed fast/slow round-trips do.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut sorted: Vec<u64> = Vec::new();
+        let mut hist = HistogramSnapshot::default();
+        for i in 0..10_000u64 {
+            // Mostly-fast with a heavy tail: 1..128 µs typical, rare
+            // multi-ms stragglers.
+            let v = if i % 97 == 0 {
+                1_000 + next() % 30_000
+            } else {
+                1 + next() % 128
+            };
+            sorted.push(v);
+            hist.record(v);
+        }
+        sorted.sort_unstable();
+        for q in [0.50, 0.90, 0.99] {
+            let exact = sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            let bucketed = hist.quantile(q);
+            let (a, b) = (bucket_of(exact), bucket_of(bucketed));
+            assert!(
+                a.abs_diff(b) <= 1,
+                "q={q}: exact {exact} (bucket {a}) vs histogram {bucketed} (bucket {b})"
+            );
+        }
+        assert!(hist.quantile(0.99) >= hist.quantile(0.50), "monotone");
     }
 
     #[test]

@@ -26,13 +26,24 @@
 //!                                              recovery has fired)
 //! {"op":"status","session":ID}
 //!     -> {"ok":true,"op":"status",...full session state...}
-//! {"op":"status"}                 -> {"ok":true,"op":"status","sessions":N,
+//! {"op":"status","verbose":BOOL?} -> {"ok":true,"op":"status","sessions":N,
 //!                                     "collections":[{name,sets,entities,
 //!                                      plan_nodes?,plan_hits?,plan_misses?,
 //!                                      plan_hit_rate?}]}
+//!                                    (verbose adds every edge counter,
+//!                                     zeros included — a stable schema)
 //! {"op":"close","session":ID}     -> {"ok":true,"op":"close","session":ID}
 //! {"op":"collections"}            -> {"ok":true,"op":"collections",
 //!                                     "collections":[{name,sets,entities}]}
+//! {"op":"metrics","format":"json"|"prometheus"?}
+//!     -> {"ok":true,"op":"metrics","armed":BOOL,"sessions":N,
+//!         "sites":[{site,count,sum,p50,p90,p99}],
+//!         "edge":[{counter,value}],
+//!         "collections":[{name,sets,entities,plan_*?}]}
+//!      | (prometheus) {"ok":true,"op":"metrics","text":EXPOSITION}
+//! {"op":"trace","session":ID}
+//!     -> {"ok":true,"op":"trace","session":ID,"dropped":N,
+//!         "events":[{seq,kind:"ask"|"answer",...}]}
 //! ```
 //!
 //! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
@@ -114,7 +125,24 @@ pub enum Request {
     },
     /// Report service-level state (a `status` op with no `session` field):
     /// open-session count plus per-collection plan-cache statistics.
-    ServiceStatus,
+    ServiceStatus {
+        /// Emit every edge counter, zeros included (stable schema for
+        /// scrapers). The default emits only nonzero counters so
+        /// fault-free transcripts stay byte-identical.
+        verbose: bool,
+    },
+    /// Session-less telemetry snapshot (the `util::obs` exposition
+    /// surface).
+    Metrics {
+        /// Render the snapshot as Prometheus text exposition instead of
+        /// structured JSON.
+        prometheus: bool,
+    },
+    /// Retrieve a session's bounded question-trace ring.
+    Trace {
+        /// Session id.
+        session: u64,
+    },
     /// Close a session, releasing its slot.
     Close {
         /// Session id.
@@ -133,8 +161,12 @@ impl Request {
             | Request::Answer { session, .. }
             | Request::AnswerChoice { session, .. }
             | Request::Status { session }
+            | Request::Trace { session }
             | Request::Close { session } => Some(*session),
-            Request::Create { .. } | Request::ServiceStatus | Request::Collections => None,
+            Request::Create { .. }
+            | Request::ServiceStatus { .. }
+            | Request::Metrics { .. }
+            | Request::Collections => None,
         }
     }
 
@@ -144,7 +176,9 @@ impl Request {
             Request::Create { .. } => "create",
             Request::Ask { .. } => "ask",
             Request::Answer { .. } | Request::AnswerChoice { .. } => "answer",
-            Request::Status { .. } | Request::ServiceStatus => "status",
+            Request::Status { .. } | Request::ServiceStatus { .. } => "status",
+            Request::Metrics { .. } => "metrics",
+            Request::Trace { .. } => "trace",
             Request::Close { .. } => "close",
             Request::Collections => "collections",
         }
@@ -260,11 +294,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "status" => match v.get("session") {
-            None | Some(JsonValue::Null) => Ok(Request::ServiceStatus),
+            None | Some(JsonValue::Null) => Ok(Request::ServiceStatus {
+                verbose: opt_bool(&v, "verbose")?.unwrap_or(false),
+            }),
             Some(_) => Ok(Request::Status {
                 session: session_id(&v)?,
             }),
         },
+        "metrics" => {
+            let prometheus = match v.get("format").and_then(JsonValue::as_str) {
+                None | Some("json") => false,
+                Some("prometheus") => true,
+                Some(other) => {
+                    return Err(format!("metrics: bad format {other:?} (json|prometheus)"))
+                }
+            };
+            Ok(Request::Metrics { prometheus })
+        }
+        "trace" => Ok(Request::Trace {
+            session: session_id(&v)?,
+        }),
         "close" => Ok(Request::Close {
             session: session_id(&v)?,
         }),
@@ -454,17 +503,51 @@ mod tests {
         // present-but-bad session id is still an error.
         assert_eq!(
             parse_request(r#"{"op":"status"}"#).unwrap(),
-            Request::ServiceStatus
+            Request::ServiceStatus { verbose: false }
         );
         assert_eq!(
             parse_request(r#"{"op":"status","session":null}"#).unwrap(),
-            Request::ServiceStatus
+            Request::ServiceStatus { verbose: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status","verbose":true}"#).unwrap(),
+            Request::ServiceStatus { verbose: true }
         );
         assert_eq!(
             parse_request(r#"{"op":"status","session":9}"#).unwrap(),
             Request::Status { session: 9 }
         );
         assert!(parse_request(r#"{"op":"status","session":1.5}"#).is_err());
+        assert!(parse_request(r#"{"op":"status","verbose":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics { prometheus: true }
+        );
+        assert!(parse_request(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        assert_eq!(
+            parse_request(r#"{"op":"trace","session":4}"#).unwrap(),
+            Request::Trace { session: 4 }
+        );
+        assert!(parse_request(r#"{"op":"trace"}"#).is_err());
+        // The new ops stay absent from the pinned unknown-op error text —
+        // the committed goldens replay it byte-for-byte.
+        let err = parse_request(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(
+            err,
+            "unknown op \"frobnicate\" (create|ask|answer|status|close|collections)"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::proto::error_response_coded;
 use crate::service::{EdgeStats, Service};
+use setdisc_util::obs;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -125,6 +126,10 @@ impl<R: Read> BoundedLineReader<R> {
         // Chaos hook: injected read errors model peers torn down by the
         // kernel mid-stream.
         setdisc_util::faults::check_io("server.read")?;
+        // Armed, the span times the read syscall — which includes peer
+        // think time, so server.read quantifies client latency, not
+        // server work.
+        let _span = obs::span(obs::Site::ServerRead);
         if self.start > 0 {
             self.buf.drain(..self.start);
             self.start = 0;
@@ -356,8 +361,11 @@ pub fn spawn_plan_checkpointer(service: Arc<Service>, period: Duration) -> threa
         .name("setdisc-checkpoint".into())
         .spawn(move || loop {
             thread::sleep(period);
-            if let Err(e) = service.persist_plans() {
-                eprintln!("plan checkpoint failed (will retry): {e}");
+            let span = obs::span(obs::Site::PlanCheckpoint);
+            let result = service.persist_plans();
+            drop(span);
+            if let Err(e) = result {
+                obs::warn(&format!("plan checkpoint failed (will retry): {e}"));
             }
         })
         .expect("spawn checkpointer")
@@ -388,6 +396,7 @@ fn accept_loop(service: &Arc<Service>, listener: &TcpListener, shared: &Arc<Conn
             }
         };
         backoff = min_backoff;
+        obs::hit(obs::Site::ServerAccept);
         if shared.shutdown.load(Ordering::Acquire) {
             return; // the shutdown wake-up connection
         }
@@ -505,6 +514,7 @@ fn is_timeout(e: &io::Error) -> bool {
 
 /// Writes one response line; false when the peer is unreachable.
 fn send(writer: &mut impl Write, line: &str) -> bool {
+    let _span = obs::span(obs::Site::ServerWrite);
     setdisc_util::faults::check_io("server.write")
         .and_then(|()| writeln!(writer, "{line}"))
         .and_then(|()| writer.flush())

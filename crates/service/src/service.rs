@@ -10,47 +10,60 @@
 
 use crate::proto::{error_response_coded, parse_request, Request};
 use crate::snapshot::{Registry, SnapshotHandle};
-use crate::table::{ServiceEngine, SessionEntry, SessionTable};
+use crate::table::{ServiceEngine, SessionEntry, SessionTable, TraceStep};
 use setdisc_core::discovery::Answer;
 use setdisc_core::engine::Engine;
 use setdisc_core::entity::EntityId;
+use setdisc_util::obs::{self, Counter};
 use setdisc_util::report::JsonObject;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Counters for everything the hardened service edge sheds, bounds, or
 /// contains. Shared by the dispatcher (panics) and the TCP transport
-/// (connection-level limits); reported by the session-less `status` op —
-/// each field only once it is nonzero, so fault-free transcripts stay
-/// byte-identical to the pre-hardening protocol.
+/// (connection-level limits). Stored on the metric core's [`Counter`]
+/// cells, which both the session-less `status` op and the `metrics` op
+/// read — one storage location, so the two surfaces can never disagree.
+/// `status` reports each field only once it is nonzero (unless
+/// `verbose:true`), so fault-free transcripts stay byte-identical to the
+/// pre-hardening protocol.
 #[derive(Debug, Default)]
 pub struct EdgeStats {
     /// Request dispatches that panicked and were contained.
-    pub panics: AtomicU64,
+    pub panics: Counter,
     /// Sessions force-closed because a dispatch panicked inside them.
-    pub quarantined: AtomicU64,
+    pub quarantined: Counter,
     /// Connections shed at accept time (global connection cap).
-    pub shed_connections: AtomicU64,
+    pub shed_connections: Counter,
     /// Requests rejected over the per-connection request cap.
-    pub shed_requests: AtomicU64,
+    pub shed_requests: Counter,
     /// Request lines rejected for exceeding the byte cap.
-    pub too_large: AtomicU64,
+    pub too_large: Counter,
     /// Connections dropped on an expired read/write deadline.
-    pub deadline_drops: AtomicU64,
+    pub deadline_drops: Counter,
     /// Transient accept() errors tolerated with backoff.
-    pub accept_retries: AtomicU64,
+    pub accept_retries: Counter,
 }
 
 impl EdgeStats {
     /// Relaxed-increment helper (counters are statistics, not
     /// synchronization).
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn bump(counter: &Counter) {
+        counter.incr();
     }
 
-    fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// The counters in stable exposition order, with their wire names —
+    /// the single source both `status` and `metrics` iterate.
+    pub fn named(&self) -> [(&'static str, &Counter); 7] {
+        [
+            ("panics", &self.panics),
+            ("quarantined", &self.quarantined),
+            ("shed_connections", &self.shed_connections),
+            ("shed_requests", &self.shed_requests),
+            ("too_large", &self.too_large),
+            ("deadline_drops", &self.deadline_drops),
+            ("accept_retries", &self.accept_retries),
+        ]
     }
 }
 
@@ -191,6 +204,7 @@ impl Service {
 
     fn dispatch(&self, req: Request) -> String {
         setdisc_util::faults::trip("service.dispatch");
+        let _span = obs::span(obs::Site::ServiceDispatch);
         match req {
             Request::Create {
                 collection,
@@ -213,7 +227,9 @@ impl Service {
                 confident,
             } => self.answer_choice(session, choice, confident),
             Request::Status { session } => self.status(session),
-            Request::ServiceStatus => self.service_status(),
+            Request::ServiceStatus { verbose } => self.service_status(verbose),
+            Request::Metrics { prometheus } => self.metrics(prometheus),
+            Request::Trace { session } => self.trace(session),
             Request::Close { session } => self.close(session),
             Request::Collections => self.collections(),
         }
@@ -224,7 +240,7 @@ impl Service {
     /// count, hits, misses, and hit rate. Plan fields appear only for
     /// snapshots that actually carry a cache, so existing transcripts
     /// (which never install one before asking) stay byte-identical.
-    fn service_status(&self) -> String {
+    fn service_status(&self, verbose: bool) -> String {
         let items = self
             .registry
             .snapshots()
@@ -257,22 +273,211 @@ impl Service {
             .int("sessions", self.table.len() as u64);
         // Edge counters are additive: emitted only once nonzero, so
         // fault-free transcripts (and the committed goldens) stay
-        // byte-identical to the pre-hardening protocol.
-        for (key, counter) in [
-            ("panics", &self.stats.panics),
-            ("quarantined", &self.stats.quarantined),
-            ("shed_connections", &self.stats.shed_connections),
-            ("shed_requests", &self.stats.shed_requests),
-            ("too_large", &self.stats.too_large),
-            ("deadline_drops", &self.stats.deadline_drops),
-            ("accept_retries", &self.stats.accept_retries),
-        ] {
-            let value = EdgeStats::read(counter);
-            if value > 0 {
+        // byte-identical to the pre-hardening protocol. `verbose:true`
+        // opts into the stable all-fields schema instead.
+        for (key, counter) in self.stats.named() {
+            let value = counter.get();
+            if verbose || value > 0 {
                 obj = obj.int(key, value);
             }
         }
         obj.array("collections", items).encode()
+    }
+
+    /// The `util::obs` exposition surface: site histograms (count, sum,
+    /// p50/p90/p99 in µs — or raw values for the Table-4 prune sites),
+    /// the edge counters (all of them, zeros included — scrapers need a
+    /// stable schema), and per-collection plan-cache statistics read
+    /// through the same [`setdisc_plan::PlanCache::stats`] atomics the
+    /// `status` op reports.
+    fn metrics(&self, prometheus: bool) -> String {
+        let sites = obs::snapshot();
+        if prometheus {
+            return JsonObject::new()
+                .bool("ok", true)
+                .str("op", "metrics")
+                .str("text", &self.render_prometheus(&sites))
+                .encode();
+        }
+        let site_items = sites
+            .iter()
+            .map(|s| {
+                JsonObject::new()
+                    .str("site", s.name)
+                    .int("count", s.histogram.count)
+                    .int("sum", s.histogram.sum)
+                    .int("p50", s.histogram.quantile(0.50))
+                    .int("p90", s.histogram.quantile(0.90))
+                    .int("p99", s.histogram.quantile(0.99))
+            })
+            .collect();
+        let edge_items = self
+            .stats
+            .named()
+            .into_iter()
+            .map(|(key, counter)| {
+                JsonObject::new()
+                    .str("counter", key)
+                    .int("value", counter.get())
+            })
+            .collect();
+        let coll_items = self
+            .registry
+            .snapshots()
+            .into_iter()
+            .map(|snap| {
+                let mut obj = JsonObject::new()
+                    .str("name", snap.name())
+                    .int("sets", snap.collection().len() as u64)
+                    .int("entities", snap.collection().distinct_entities() as u64);
+                if let Some(cache) = snap.plan_cache() {
+                    let stats = cache.stats();
+                    obj = obj
+                        .int("plan_nodes", stats.nodes)
+                        .int("plan_hits", stats.hits)
+                        .int("plan_misses", stats.misses)
+                        .int("plan_inserted", stats.inserted)
+                        .int("plan_evicted", stats.evicted)
+                        .int("plan_weighted_hits", stats.weighted_hits);
+                }
+                obj
+            })
+            .collect();
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "metrics")
+            .bool("armed", obs::armed())
+            .int("sessions", self.table.len() as u64)
+            .array("sites", site_items)
+            .array("edge", edge_items)
+            .array("collections", coll_items)
+            .encode()
+    }
+
+    /// Prometheus text exposition (version 0.0.4 subset: `# TYPE` comments
+    /// plus `name{label="value"} number` samples, one per line).
+    fn render_prometheus(&self, sites: &[obs::SiteStats]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# TYPE setdisc_sessions_open gauge\n");
+        let _ = writeln!(out, "setdisc_sessions_open {}", self.table.len());
+        out.push_str("# TYPE setdisc_site_events_total counter\n");
+        for s in sites {
+            let _ = writeln!(
+                out,
+                "setdisc_site_events_total{{site=\"{}\"}} {}",
+                s.name, s.histogram.count
+            );
+        }
+        out.push_str("# TYPE setdisc_site_value_sum counter\n");
+        for s in sites {
+            let _ = writeln!(
+                out,
+                "setdisc_site_value_sum{{site=\"{}\"}} {}",
+                s.name, s.histogram.sum
+            );
+        }
+        for (metric, q) in [
+            ("setdisc_site_value_p50", 0.50),
+            ("setdisc_site_value_p90", 0.90),
+            ("setdisc_site_value_p99", 0.99),
+        ] {
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for s in sites {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{site=\"{}\"}} {}",
+                    s.name,
+                    s.histogram.quantile(q)
+                );
+            }
+        }
+        out.push_str("# TYPE setdisc_edge_total counter\n");
+        for (key, counter) in self.stats.named() {
+            let _ = writeln!(
+                out,
+                "setdisc_edge_total{{counter=\"{key}\"}} {}",
+                counter.get()
+            );
+        }
+        for (metric, pick) in [
+            ("setdisc_plan_nodes", 0usize),
+            ("setdisc_plan_hits_total", 1),
+            ("setdisc_plan_misses_total", 2),
+            ("setdisc_plan_inserted_total", 3),
+            ("setdisc_plan_evicted_total", 4),
+            ("setdisc_plan_weighted_hits_total", 5),
+        ] {
+            let kind = if pick == 0 { "gauge" } else { "counter" };
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            for snap in self.registry.snapshots() {
+                let Some(cache) = snap.plan_cache() else {
+                    continue;
+                };
+                let stats = cache.stats();
+                let value = [
+                    stats.nodes,
+                    stats.hits,
+                    stats.misses,
+                    stats.inserted,
+                    stats.evicted,
+                    stats.weighted_hits,
+                ][pick];
+                let _ = writeln!(out, "{metric}{{collection=\"{}\"}} {value}", snap.name());
+            }
+        }
+        out
+    }
+
+    /// The `trace` op: the session's retained ring, oldest first, plus how
+    /// many events the capacity bound has dropped.
+    fn trace(&self, session: u64) -> String {
+        self.with_session(session, |entry| {
+            let events = entry
+                .trace
+                .events()
+                .map(|(seq, step)| {
+                    let obj = JsonObject::new().int("seq", *seq);
+                    match step {
+                        TraceStep::Ask {
+                            entity,
+                            candidates,
+                            select_us,
+                            informative,
+                            evaluated,
+                        } => obj
+                            .str("kind", "ask")
+                            .str("entity", entity)
+                            .int("candidates", *candidates)
+                            .int("select_us", *select_us)
+                            .int("informative", u64::from(*informative))
+                            .int("evaluated", u64::from(*evaluated)),
+                        TraceStep::Answer {
+                            entity,
+                            answer,
+                            confident,
+                            before,
+                            after,
+                            backtracks,
+                        } => obj
+                            .str("kind", "answer")
+                            .str("entity", entity)
+                            .str("answer", answer)
+                            .bool("confident", *confident)
+                            .int("before", *before)
+                            .int("after", *after)
+                            .int("backtracks", *backtracks),
+                    }
+                })
+                .collect();
+            JsonObject::new()
+                .bool("ok", true)
+                .str("op", "trace")
+                .int("session", session)
+                .int("dropped", entry.trace.dropped())
+                .array("events", events)
+                .encode()
+        })
     }
 
     /// Writes the most-populated plan cache to the configured persist path
@@ -430,10 +635,25 @@ impl Service {
             // Re-asking before answering returns the outstanding question
             // (or §7 batch) verbatim; a fresh ask selects one.
             if entry.pending.is_empty() {
+                let candidates = entry.engine.candidate_count() as u64;
+                let started = std::time::Instant::now();
                 entry.pending = match choices {
                     Some(b) if b > 1 => entry.engine.next_questions(b),
                     _ => entry.engine.next_question().into_iter().collect(),
                 };
+                let select_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                if let Some(&first) = entry.pending.first() {
+                    let (informative, evaluated) =
+                        entry.engine.last_selection_stats().unwrap_or((0, 0));
+                    let entity = entry.snapshot.entity_label(first);
+                    entry.trace.push(TraceStep::Ask {
+                        entity,
+                        candidates,
+                        select_us,
+                        informative,
+                        evaluated,
+                    });
+                }
             }
             match entry.pending.first().copied() {
                 Some(first) => {
@@ -470,7 +690,10 @@ impl Service {
                 return Err(format!("unknown entity {entity:?}"));
             };
             entry.pending.clear();
+            let before = entry.engine.candidate_count() as u64;
+            let applied = entry.engine.history().len();
             entry.engine.answer_full(id, answer, confident);
+            trace_answers(entry, applied, before, confident);
             Ok(answer_outcome(entry))
         });
         self.finish_answer(session, result)
@@ -488,9 +711,12 @@ impl Service {
                 entry.pending = batch;
                 return Err(err);
             }
+            let before = entry.engine.candidate_count() as u64;
+            let applied = entry.engine.history().len();
             entry
                 .engine
                 .answer_choice(&batch, choice as usize, confident);
+            trace_answers(entry, applied, before, confident);
             Ok(answer_outcome(entry))
         });
         self.finish_answer(session, result)
@@ -608,6 +834,39 @@ fn answer_outcome(entry: &SessionEntry) -> AnswerOutcome {
         entry.engine.questions_asked() as u64,
         entry.engine.backtracks() as u64,
     ))
+}
+
+/// Pushes one trace event per history entry an answer op appended
+/// (several for a §7 choice — its implied assertions). Events record the
+/// transcript *as the engine holds it*, so a §6 recovery that rewrote the
+/// just-applied entry traces the corrected answer; the op-level
+/// before/after candidate counts and backtrack total are shared across
+/// the batch.
+fn trace_answers(entry: &mut SessionEntry, applied: usize, before: u64, confident: bool) {
+    let after = entry.engine.candidate_count() as u64;
+    let backtracks = entry.engine.backtracks() as u64;
+    let new: Vec<(EntityId, Answer)> = entry.engine.history()[applied..].to_vec();
+    for (id, ans) in new {
+        let entity = entry.snapshot.entity_label(id);
+        entry.trace.push(TraceStep::Answer {
+            entity,
+            answer: answer_token(ans),
+            confident,
+            before,
+            after,
+            backtracks,
+        });
+    }
+}
+
+/// The wire token for an answer (the inverse of the parser's accepted
+/// spellings).
+fn answer_token(answer: Answer) -> &'static str {
+    match answer {
+        Answer::Yes => "yes",
+        Answer::No => "no",
+        Answer::Unknown => "unknown",
+    }
 }
 
 /// The resolved set's label when exactly one candidate remains.
@@ -1102,6 +1361,170 @@ mod tests {
             );
             assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{resp:?}");
         }
+    }
+
+    #[test]
+    fn verbose_status_emits_every_edge_counter() {
+        let svc = figure1_service();
+        // Default: a fault-free service shows no edge counters at all.
+        let resp = call(&svc, r#"{"op":"status"}"#);
+        assert!(resp.get("panics").is_none());
+        // Verbose: the full stable schema, zeros included.
+        let resp = call(&svc, r#"{"op":"status","verbose":true}"#);
+        for key in [
+            "panics",
+            "quarantined",
+            "shed_connections",
+            "shed_requests",
+            "too_large",
+            "deadline_drops",
+            "accept_retries",
+        ] {
+            assert_eq!(field(&resp, key).as_u64(), Some(0), "{key}");
+        }
+    }
+
+    #[test]
+    fn metrics_op_reports_sites_edges_and_plans() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"metrics"}"#);
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "op").as_str(), Some("metrics"));
+        assert_eq!(field(&resp, "sessions").as_u64(), Some(0));
+        let sites = field(&resp, "sites").as_array().unwrap();
+        assert_eq!(sites.len(), setdisc_util::obs::SITES.len());
+        for s in sites {
+            for key in ["site", "count", "sum", "p50", "p90", "p99"] {
+                assert!(s.get(key).is_some(), "site missing {key}: {s:?}");
+            }
+        }
+        // Edge counters appear zero-valued (stable schema), and read the
+        // same cells as status.
+        let edge = field(&resp, "edge").as_array().unwrap();
+        assert_eq!(edge.len(), 7);
+        assert_eq!(field(&edge[0], "counter").as_str(), Some("panics"));
+        assert_eq!(field(&edge[0], "value").as_u64(), Some(0));
+        // Plan counters reconcile with the status report after a session.
+        let create = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&create, "session").as_u64().unwrap();
+        call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        let metrics = call(&svc, r#"{"op":"metrics"}"#);
+        let status = call(&svc, r#"{"op":"status"}"#);
+        let m = &field(&metrics, "collections").as_array().unwrap()[0];
+        let s = &field(&status, "collections").as_array().unwrap()[0];
+        assert_eq!(
+            field(m, "plan_hits").as_u64(),
+            field(s, "plan_hits").as_u64()
+        );
+        assert_eq!(
+            field(m, "plan_misses").as_u64(),
+            field(s, "plan_misses").as_u64()
+        );
+        assert!(field(m, "plan_inserted").as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_the_minimal_grammar() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"metrics","format":"prometheus"}"#);
+        let text = field(&resp, "text").as_str().unwrap();
+        let mut samples = 0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            samples += 1;
+            let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample must be `name value`: {line}");
+            });
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            let bare = match name.split_once('{') {
+                Some((metric, labels)) => {
+                    assert!(labels.ends_with('}'), "unclosed labels: {line}");
+                    let body = &labels[..labels.len() - 1];
+                    let (key, val) = body.split_once("=\"").unwrap_or_else(|| {
+                        panic!("label must be key=\"value\": {line}");
+                    });
+                    assert!(val.ends_with('"'), "unterminated label: {line}");
+                    assert!(
+                        key.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                        "bad label key in: {line}"
+                    );
+                    metric
+                }
+                None => name,
+            };
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad metric name in: {line}"
+            );
+            assert!(bare.starts_with("setdisc_"), "unprefixed metric: {line}");
+        }
+        assert!(samples > 20, "expected a full exposition, got {samples}");
+    }
+
+    #[test]
+    fn trace_records_asks_and_answers_for_replay() {
+        let svc = figure1_service();
+        let resp = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        let id = field(&resp, "session").as_u64().unwrap();
+        let target = ["a", "d", "e"];
+        loop {
+            let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+            if field(&resp, "done").as_bool() == Some(true) {
+                break;
+            }
+            let entity = field(&resp, "entity").as_str().unwrap().to_string();
+            let ans = if target.contains(&entity.as_str()) {
+                "yes"
+            } else {
+                "no"
+            };
+            call(
+                &svc,
+                &format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{entity}","answer":"{ans}"}}"#
+                ),
+            );
+        }
+        let trace = call(&svc, &format!(r#"{{"op":"trace","session":{id}}}"#));
+        assert_eq!(field(&trace, "ok").as_bool(), Some(true));
+        assert_eq!(field(&trace, "dropped").as_u64(), Some(0));
+        let events = field(&trace, "events").as_array().unwrap();
+        let asks: Vec<_> = events
+            .iter()
+            .filter(|e| field(e, "kind").as_str() == Some("ask"))
+            .collect();
+        let answers: Vec<_> = events
+            .iter()
+            .filter(|e| field(e, "kind").as_str() == Some("answer"))
+            .collect();
+        assert_eq!(asks.len(), answers.len(), "one selection per answer");
+        assert!(!asks.is_empty());
+        // Ask events carry the view size and selection timing; every
+        // answer narrows (before > after on this truthful run).
+        for ask in &asks {
+            assert!(field(ask, "candidates").as_u64().unwrap() >= 2);
+            assert!(ask.get("select_us").is_some());
+        }
+        for ans in &answers {
+            let before = field(ans, "before").as_u64().unwrap();
+            let after = field(ans, "after").as_u64().unwrap();
+            assert!(before >= after, "answers narrow: {before} -> {after}");
+        }
+        // The traced (entity, answer) pairs replay to the same resolution
+        // on a fresh direct engine (bit-identity is asserted end-to-end in
+        // the e2e_concurrent suite).
+        let status = call(&svc, &format!(r#"{{"op":"status","session":{id}}}"#));
+        assert_eq!(
+            field(&status, "questions").as_u64(),
+            Some(answers.len() as u64)
+        );
+        // Unknown sessions error like any session op.
+        let missing = call(&svc, r#"{"op":"trace","session":999}"#);
+        assert_eq!(field(&missing, "ok").as_bool(), Some(false));
     }
 
     #[test]

@@ -39,6 +39,80 @@ const SHARDS: usize = 16;
 /// The engine type the table stores: owned snapshot handle, boxed strategy.
 pub type ServiceEngine = Engine<SnapshotHandle, BoxedStrategy>;
 
+/// Per-session trace ring capacity. Past it the oldest events drop
+/// (oldest-first); the drop count is reported with the ring so clients can
+/// detect truncation.
+pub const TRACE_CAPACITY: usize = 256;
+
+/// One structured event in a session's question trace.
+#[derive(Clone, Debug)]
+pub enum TraceStep {
+    /// A fresh selection ran (re-asks of an outstanding question return it
+    /// verbatim and are not re-recorded — selection is what costs and what
+    /// the paper's Table 4 counts).
+    Ask {
+        /// Entity token selected (the first of the batch in §7 mode).
+        entity: String,
+        /// Candidate-set size at selection time.
+        candidates: u64,
+        /// Wall-clock selection time in µs (measured always — the ring is
+        /// per-session state, not gated on `SETDISC_OBS`).
+        select_us: u64,
+        /// Table-4 informative count (0 when the selection was served from
+        /// the plan cache or the strategy does not track it).
+        informative: u32,
+        /// Table-4 evaluated-after-pruning count (0 as above).
+        evaluated: u32,
+    },
+    /// One answer assertion as applied to the engine (a §7 choice expands
+    /// into its implied assertions, one event each, sharing the
+    /// batch-level before/after counts).
+    Answer {
+        /// Entity token the assertion concerns.
+        entity: String,
+        /// The reply as recorded in the engine history (`yes`/`no`/
+        /// `unknown`).
+        answer: &'static str,
+        /// Confidence flag as given on the wire.
+        confident: bool,
+        /// Candidates before the answer op.
+        before: u64,
+        /// Candidates after it.
+        after: u64,
+        /// Cumulative §6 backtracks after the op.
+        backtracks: u64,
+    },
+}
+
+/// A bounded ring of [`TraceStep`]s with monotone sequence numbers, so a
+/// truncated trace still shows *where* it was truncated.
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    events: std::collections::VecDeque<(u64, TraceStep)>,
+    next: u64,
+}
+
+impl TraceRing {
+    /// Appends one event, dropping the oldest at capacity.
+    pub fn push(&mut self, step: TraceStep) {
+        if self.events.len() == TRACE_CAPACITY {
+            self.events.pop_front();
+        }
+        self.events.push_back((self.next, step));
+        self.next += 1;
+    }
+
+    /// The retained events, oldest first, with their sequence numbers.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceStep)> {
+        self.events.iter()
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.next - self.events.len() as u64
+    }
+}
+
 /// One live session and its service-level bookkeeping.
 pub struct SessionEntry {
     /// The discovery state machine.
@@ -56,6 +130,8 @@ pub struct SessionEntry {
     /// One entry for the classic single-question form; several for a §7
     /// multiple-choice screen, in rank order.
     pub pending: Vec<EntityId>,
+    /// The bounded question trace, retrievable via the `trace` wire op.
+    pub trace: TraceRing,
     last_touch: Instant,
 }
 
@@ -75,6 +151,7 @@ impl SessionEntry {
             strategy_label,
             budget,
             pending: Vec::new(),
+            trace: TraceRing::default(),
             last_touch: Instant::now(),
         }
     }

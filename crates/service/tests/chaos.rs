@@ -197,13 +197,7 @@ fn oversized_line_is_refused_and_connection_closed() {
     let resp = parse_json(&client.read_line().unwrap()).unwrap();
     assert_eq!(str_field(&resp, "code"), "too_large");
     assert!(client.at_eof(), "connection must close after too_large");
-    assert_eq!(
-        service
-            .edge_stats()
-            .too_large
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(service.edge_stats().too_large.get(), 1);
 
     // The shed shows up in session-less status (additive field).
     let mut c2 = RawClient::connect(server.addr());
@@ -263,13 +257,7 @@ fn stall_past_read_deadline_is_dropped_with_code() {
     assert_eq!(str_field(&resp, "code"), "deadline");
     assert!(u64_field(&resp, "retry_after") >= 1);
     assert!(client.at_eof(), "connection closed after deadline");
-    assert!(
-        service
-            .edge_stats()
-            .deadline_drops
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 1
-    );
+    assert!(service.edge_stats().deadline_drops.get() >= 1);
     server.shutdown();
 }
 
@@ -346,13 +334,7 @@ fn transient_accept_errors_are_retried_with_backoff() {
     let mut client = RawClient::connect(server.addr());
     let resp = client.call(r#"{"op":"collections"}"#);
     assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
-    assert_eq!(
-        service
-            .edge_stats()
-            .accept_retries
-            .load(std::sync::atomic::Ordering::Relaxed),
-        3
-    );
+    assert_eq!(service.edge_stats().accept_retries.get(), 3);
     faults::clear();
     server.shutdown();
 }

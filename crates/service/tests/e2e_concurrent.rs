@@ -666,3 +666,109 @@ fn sessions_interleave_without_cross_talk() {
         );
     }
 }
+
+#[test]
+fn session_traces_replay_bit_identical_to_a_direct_engine() {
+    // The telemetry tentpole's correctness claim for traces: the ring is a
+    // faithful transcript. Replaying a session's trace — asks checked
+    // against a fresh direct engine's selections, answers applied as
+    // recorded — must reproduce the exact question sequence, the exact
+    // per-step candidate counts, and the exact outcome.
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().install_fixture("figure1").unwrap();
+    let snapshot = service.registry().get("figure1").unwrap();
+    let mut client = InProcessClient {
+        service: Arc::clone(&service),
+    };
+
+    for t in 0..7u32 {
+        let target = SetId(t);
+        let plan = Plan {
+            snapshot: &snapshot,
+            target,
+            unknown_at: &[],
+        };
+        // Drive a truthful wire session, retrieving the trace before close.
+        let line = create_request("figure1", &StrategySpec::default(), &[], None);
+        let resp = call(&mut client, &line);
+        let id = field_u64(&resp, "session");
+        let mut asked = 0usize;
+        let survivors;
+        loop {
+            let resp = call(&mut client, &format!(r#"{{"op":"ask","session":{id}}}"#));
+            if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+                survivors = field_u64(&resp, "candidates");
+                break;
+            }
+            let name = resp
+                .get("entity")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string();
+            let entity = snapshot.resolve_entity(&name).unwrap();
+            let answer = match plan.answer_for(entity, asked) {
+                Answer::Yes => "yes",
+                _ => "no",
+            };
+            asked += 1;
+            call(
+                &mut client,
+                &format!(
+                    r#"{{"op":"answer","session":{id},"entity":"{name}","answer":"{answer}"}}"#
+                ),
+            );
+        }
+        let trace = call(&mut client, &format!(r#"{{"op":"trace","session":{id}}}"#));
+        call(&mut client, &format!(r#"{{"op":"close","session":{id}}}"#));
+
+        assert_eq!(field_u64(&trace, "dropped"), 0, "short session never drops");
+        let events = trace.get("events").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(events.len(), 2 * asked, "one ask + one answer per question");
+
+        // Replay against a cache-free direct engine.
+        let mut engine = Engine::new(snapshot.collection(), &[], StrategySpec::default().build());
+        for ev in events {
+            let name = ev.get("entity").and_then(JsonValue::as_str).unwrap();
+            let entity = snapshot.resolve_entity(name).unwrap();
+            match ev.get("kind").and_then(JsonValue::as_str).unwrap() {
+                "ask" => {
+                    assert_eq!(
+                        field_u64(ev, "candidates"),
+                        engine.candidate_count() as u64,
+                        "view size at selection, target {t}"
+                    );
+                    let next = engine
+                        .next_question()
+                        .expect("direct engine has a question");
+                    assert_eq!(next, entity, "traced ask diverged, target {t}");
+                }
+                "answer" => {
+                    assert_eq!(field_u64(ev, "before"), engine.candidate_count() as u64);
+                    let answer = match ev.get("answer").and_then(JsonValue::as_str).unwrap() {
+                        "yes" => Answer::Yes,
+                        "no" => Answer::No,
+                        _ => Answer::Unknown,
+                    };
+                    engine.answer(entity, answer);
+                    assert_eq!(
+                        field_u64(ev, "after"),
+                        engine.candidate_count() as u64,
+                        "candidate delta, target {t}"
+                    );
+                    assert_eq!(field_u64(ev, "backtracks"), 0, "truthful run");
+                }
+                other => panic!("unknown trace kind {other:?}"),
+            }
+        }
+        let outcome = engine.outcome();
+        assert_eq!(
+            outcome.candidates.len() as u64,
+            survivors,
+            "replayed outcome size, target {t}"
+        );
+        if let Some(discovered) = outcome.discovered() {
+            assert_eq!(discovered, target, "replayed to the wrong set");
+        }
+    }
+    assert_eq!(service.open_sessions(), 0, "every session closed");
+}

@@ -15,6 +15,11 @@
 //!   (seeded schedules of I/O errors, short writes, delays, and panics),
 //!   armed by the chaos test suite and the `SETDISC_FAULTS` environment
 //!   variable; free (one atomic load) when disarmed.
+//! * [`obs`] — vendor-free telemetry: a lock-free metric core (monotone
+//!   counters, gauges, log2-bucketed histograms merged from per-thread
+//!   shards), span timing at the same named sites [`faults`] trips (armed
+//!   via `SETDISC_OBS`; one relaxed load when disarmed), and the leveled
+//!   stderr logger every binary's diagnostics flow through.
 //! * [`pool`] — the scoped worker pool and the single `SETDISC_THREADS`
 //!   knob behind every parallel region (experiment `par_map`, the parallel
 //!   k-LP candidate loop), scheduled by an atomic claim counter.
@@ -34,6 +39,7 @@ pub mod bitset;
 pub mod faults;
 pub mod hash;
 pub mod math;
+pub mod obs;
 pub mod pool;
 pub mod report;
 pub mod rng;

@@ -63,7 +63,7 @@ pub fn configured_threads() -> usize {
         let (threads, warning) =
             threads_from(std::env::var("SETDISC_THREADS").ok().as_deref(), fallback);
         if let Some(warning) = warning {
-            eprintln!("warning: {warning}");
+            crate::obs::warn(&warning);
         }
         threads
     })

@@ -1,0 +1,102 @@
+//! Property coverage for the `obs` metric core's shard-merge argument:
+//! splitting a value stream across concurrent per-thread histograms and
+//! merging the snapshots must lose no counts, reproduce the sequential
+//! bucket state exactly, and keep every quantile within one log2 bucket
+//! of a sorted-reference percentile.
+
+use proptest::prelude::*;
+use setdisc_util::obs::{bucket_of, Histogram, HistogramSnapshot};
+
+/// The sorted-reference percentile the load harness used to compute by
+/// hand: the value at index `round((len-1) · q)`.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concurrent recording into per-thread histograms, merged in an
+    /// arbitrary order, equals one sequential histogram over the same
+    /// stream — cell for cell.
+    #[test]
+    fn concurrent_shard_merge_loses_no_counts(
+        values in prop::collection::vec(0u64..1_000_000, 1usize..400),
+        threads in 1usize..8,
+    ) {
+        let shards: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+        std::thread::scope(|scope| {
+            for (t, shard) in shards.iter().enumerate() {
+                let chunk: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                scope.spawn(move || {
+                    for v in chunk {
+                        shard.record(v);
+                    }
+                });
+            }
+        });
+        let mut merged = HistogramSnapshot::default();
+        for shard in shards.iter().rev() {
+            merged.merge(&shard.snapshot());
+        }
+        let mut sequential = HistogramSnapshot::default();
+        for &v in &values {
+            sequential.record(v);
+        }
+        prop_assert_eq!(merged, sequential);
+    }
+
+    /// Every extracted quantile stays within one log2 bucket of the
+    /// sorted-reference percentile over the same samples.
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_sorted_reference(
+        values in prop::collection::vec(0u64..10_000_000, 1usize..400),
+    ) {
+        let mut h = HistogramSnapshot::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_percentile(&sorted, q);
+            let approx = h.quantile(q);
+            prop_assert!(
+                bucket_of(exact).abs_diff(bucket_of(approx)) <= 1,
+                "q={} exact={} (bucket {}) approx={} (bucket {})",
+                q, exact, bucket_of(exact), approx, bucket_of(approx)
+            );
+        }
+    }
+
+    /// One *shared* histogram under true concurrent writers still counts
+    /// every event (the lock-free claim: relaxed `fetch_add` per cell).
+    #[test]
+    fn shared_histogram_is_lock_free_lossless(
+        per_thread in 1usize..300,
+        threads in 2usize..8,
+    ) {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record((t * 1009 + i * 31) as u64);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, (threads * per_thread) as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+}
