@@ -68,6 +68,49 @@ SETDISC_OBS=1 cargo run --release -q -p setdisc-service --bin serve -- --stdio -
     < crates/service/tests/wire_noisy.in \
     | diff -u crates/service/tests/wire_noisy.golden -
 
+# Memory-governance soak (DESIGN.md §13): a 1 MB budget cannot hold the
+# lazily registered multi-MB fixtures, so a 100-create flood against them
+# must shed every single request with the structured overloaded shape —
+# each attempt materializes the snapshot, walks the degradation ladder,
+# and is refused *before* a session id is allocated. The classic
+# transcript then replays on the very same process: session ids 1 and 2,
+# every line after the collections listing byte-identical to the golden
+# (line 1 differs only by the extra registered fixtures and figure1's
+# governed state, since the ladder unloaded the cold figure1 too).
+echo "==> memory-governance soak (1 MB budget)"
+SOAK_TMP=$(mktemp -d)
+{
+    for _ in $(seq 50); do
+        echo '{"op":"create","collection":"copyadd:3000:0.5:1"}'
+        echo '{"op":"create","collection":"copyadd:2500:0.5:2"}'
+    done
+    cat crates/service/tests/wire_smoke.in
+} > "$SOAK_TMP/in"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --memory-budget-mb 1 \
+    --register copyadd:3000:0.5:1 --register copyadd:2500:0.5:2 \
+    < "$SOAK_TMP/in" > "$SOAK_TMP/out"
+NOT_SHED=$(head -n 100 "$SOAK_TMP/out" | { grep -vc '"code":"overloaded"' || true; })
+[ "$NOT_SHED" -eq 0 ] \
+    || { echo "flood creates were not all shed:"; head -n 100 "$SOAK_TMP/out" | grep -v overloaded | head -n 3; exit 1; }
+sed -n '101p' "$SOAK_TMP/out" | grep -q '"figure1"' \
+    || { echo "collections listing lost figure1:"; sed -n '101p' "$SOAK_TMP/out"; exit 1; }
+tail -n +102 "$SOAK_TMP/out" | diff -u <(tail -n +2 crates/service/tests/wire_smoke.golden) -
+rm -rf "$SOAK_TMP"
+
+# With a generous budget the governor must be invisible: both committed
+# transcripts replay byte-for-byte with governance armed. (The same pair
+# runs in-process in crates/service/tests/wire_golden.rs.)
+echo "==> governed golden transcripts stay byte-identical (512 MB budget)"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --memory-budget-mb 512 \
+    < crates/service/tests/wire_smoke.in \
+    | diff -u crates/service/tests/wire_smoke.golden -
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --memory-budget-mb 512 \
+    < crates/service/tests/wire_noisy.in \
+    | diff -u crates/service/tests/wire_noisy.golden -
+
 # Telemetry reconciliation: metrics_check boots a live TCP server with
 # spans armed, replays truthful sessions over real sockets, and asserts
 # (a) the Prometheus rendering parses against the minimal exposition
@@ -90,7 +133,13 @@ cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figur
     --plan-cache "$PLAN_TMP/figure1.plan" \
     < "$PLAN_TMP/in" > "$PLAN_TMP/out"
 GOLDEN_LINES=$(wc -l < crates/service/tests/wire_smoke.golden)
-head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | diff -u crates/service/tests/wire_smoke.golden -
+# Line 1 is the collections listing, whose accounted plan_bytes is
+# honestly nonzero on a warm boot (the precomputed plan is resident
+# memory); every session line from 2 on must stay byte-identical.
+sed -n '1p' "$PLAN_TMP/out" | grep -Eq '"plan_bytes":[1-9]' \
+    || { echo "warm boot reported no resident plan bytes:"; sed -n '1p' "$PLAN_TMP/out"; exit 1; }
+head -n "$GOLDEN_LINES" "$PLAN_TMP/out" | tail -n +2 \
+    | diff -u <(tail -n +2 crates/service/tests/wire_smoke.golden) -
 tail -n 1 "$PLAN_TMP/out" | grep -Eq '"plan_hits":[1-9]' \
     || { echo "plan cache reported no hits:"; tail -n 1 "$PLAN_TMP/out"; exit 1; }
 rm -rf "$PLAN_TMP"
@@ -154,8 +203,11 @@ for KILL_ROUND in 1 2 3; do
 done
 cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
     --plan-cache "$PLAN_TMP/figure1.plan" \
-    < crates/service/tests/wire_smoke.in 2>"$PLAN_TMP/boot.err" \
-    | diff -u crates/service/tests/wire_smoke.golden -
+    < crates/service/tests/wire_smoke.in 2>"$PLAN_TMP/boot.err" > "$PLAN_TMP/warm.out"
+# Warm boots report their resident plan bytes on line 1 (see the
+# precompute round trip above); the transcript proper must match.
+tail -n +2 "$PLAN_TMP/warm.out" \
+    | diff -u <(tail -n +2 crates/service/tests/wire_smoke.golden) -
 grep -q "loaded plan cache" "$PLAN_TMP/boot.err" \
     || { echo "post-kill warm boot did not load the plan:"; cat "$PLAN_TMP/boot.err"; exit 1; }
 rm -rf "$PLAN_TMP"

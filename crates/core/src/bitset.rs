@@ -174,6 +174,12 @@ impl IdBitmap {
     }
 }
 
+impl setdisc_util::mem::HeapSize for IdBitmap {
+    fn heap_bytes(&self) -> usize {
+        setdisc_util::mem::vec_bytes(&self.words)
+    }
+}
+
 impl std::fmt::Debug for IdBitmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_set().entries(self.iter().map(|id| id.0)).finish()
@@ -240,6 +246,14 @@ impl EntityPostings {
     #[inline]
     pub fn scan_cost(&self) -> u64 {
         self.scan_cost
+    }
+}
+
+impl setdisc_util::mem::HeapSize for EntityPostings {
+    fn heap_bytes(&self) -> usize {
+        // The spine plus every materialized dense bitmap (boxed, so each
+        // carries its own `IdBitmap` header on the heap).
+        self.dense.heap_bytes()
     }
 }
 

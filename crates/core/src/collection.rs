@@ -183,6 +183,19 @@ impl Collection {
     }
 }
 
+impl setdisc_util::mem::HeapSize for Collection {
+    fn heap_bytes(&self) -> usize {
+        use setdisc_util::mem::vec_bytes;
+        self.sets.heap_bytes()
+            + self.inverted.capacity() * std::mem::size_of::<Vec<SetId>>()
+            + self.inverted.iter().map(vec_bytes).sum::<usize>()
+            + self.postings.heap_bytes()
+            + vec_bytes(&self.set_fps)
+            + vec_bytes(&self.set_sizes)
+            + vec_bytes(&self.occurring)
+    }
+}
+
 impl std::fmt::Debug for Collection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Full set contents for small collections (proptest shrink output),
@@ -447,6 +460,22 @@ mod tests {
             c.try_set(SetId(7)).err(),
             Some(SetDiscError::UnknownSet(SetId(7)))
         );
+    }
+
+    #[test]
+    fn heap_accounting_is_deterministic_and_covers_the_elements() {
+        use setdisc_util::mem::HeapSize as _;
+        let a = figure1();
+        let b = figure1();
+        assert_eq!(
+            a.heap_bytes(),
+            b.heap_bytes(),
+            "identical builds account identically"
+        );
+        // Every element is stored once in `sets` and once in `inverted`,
+        // 4 bytes each — the accounted total must cover at least that.
+        let elems: usize = a.iter().map(|(_, s)| s.len()).sum();
+        assert!(a.heap_bytes() >= 2 * 4 * elems, "{}", a.heap_bytes());
     }
 
     #[test]

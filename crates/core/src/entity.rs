@@ -76,6 +76,15 @@ impl EntityInterner {
     }
 }
 
+impl setdisc_util::mem::HeapSize for EntityInterner {
+    fn heap_bytes(&self) -> usize {
+        use setdisc_util::mem::map_spine_bytes;
+        self.names.heap_bytes()
+            + map_spine_bytes::<String, EntityId>(self.index.capacity())
+            + self.index.keys().map(String::capacity).sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

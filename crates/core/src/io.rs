@@ -30,6 +30,12 @@ impl NamedCollection {
     }
 }
 
+impl setdisc_util::mem::HeapSize for NamedCollection {
+    fn heap_bytes(&self) -> usize {
+        self.collection.heap_bytes() + self.entities.heap_bytes() + self.set_names.heap_bytes()
+    }
+}
+
 /// Parses the text format described in the module docs.
 pub fn parse_collection(text: &str) -> Result<NamedCollection> {
     let mut entities = EntityInterner::new();

@@ -128,6 +128,12 @@ impl EntitySet {
     }
 }
 
+impl setdisc_util::mem::HeapSize for EntitySet {
+    fn heap_bytes(&self) -> usize {
+        setdisc_util::mem::boxed_slice_bytes(&self.elems)
+    }
+}
+
 impl std::fmt::Debug for EntitySet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_set()
@@ -204,6 +210,13 @@ mod tests {
             s(&[7, 9]).fingerprint(),
             Fingerprint::of(7) + Fingerprint::of(9)
         );
+    }
+
+    #[test]
+    fn heap_bytes_is_exact_for_the_boxed_elements() {
+        use setdisc_util::mem::HeapSize as _;
+        assert_eq!(s(&[1, 2, 3]).heap_bytes(), 3 * 4);
+        assert_eq!(s(&[]).heap_bytes(), 0);
     }
 
     #[test]

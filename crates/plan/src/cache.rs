@@ -24,9 +24,10 @@ use setdisc_core::engine::SelectionCache;
 use setdisc_core::entity::EntityId;
 use setdisc_core::strategy::SelectionDetail;
 use setdisc_core::subcollection::SubCollection;
-use setdisc_util::{Fingerprint, FxHashMap, FxHasher};
+use setdisc_util::mem::{map_spine_bytes, HeapSize};
+use setdisc_util::{faults, Fingerprint, FxHashMap, FxHasher};
 use std::hash::Hasher as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of independently locked shards.
@@ -126,9 +127,39 @@ struct Entry {
     stamp: u64,
 }
 
+/// Deterministic byte cost accounted per resident node: the key-value
+/// slot plus one hash-table control byte. Every entry is the same size
+/// (`PlanNode` is `Copy` and flat), so a shard's byte counter is exactly
+/// `node_bytes × residents` — which is what lets tests cold-recount the
+/// incrementally maintained counters from [`PlanCache::export_nodes`].
+const NODE_BYTES: usize = std::mem::size_of::<(PlanKey, Entry)>() + 1;
+
 #[derive(Default)]
 struct Shard {
     map: FxHashMap<PlanKey, Entry>,
+    /// Accounted bytes of this shard's residents — maintained on insert
+    /// and evict, never recomputed (DESIGN.md §13).
+    bytes: usize,
+}
+
+impl Shard {
+    /// Drops the least-recently-stamped entries until at most `keep`
+    /// remain, returning how many were dropped. Stamps are unique
+    /// (global counter), so the cutoff retain removes an exact count.
+    fn evict_to(&mut self, keep: usize) -> u64 {
+        let drop = self.map.len().saturating_sub(keep);
+        if drop == 0 {
+            return 0;
+        }
+        let mut stamps: Vec<u64> = self.map.values().map(|e| e.stamp).collect();
+        let (_, cutoff, _) = stamps.select_nth_unstable(drop - 1);
+        let cutoff = *cutoff;
+        let before = self.map.len();
+        self.map.retain(|_, e| e.stamp > cutoff);
+        let dropped = before - self.map.len();
+        self.bytes -= dropped * NODE_BYTES;
+        dropped as u64
+    }
 }
 
 /// A concurrent, size-bounded, persistable store of decision-tree nodes
@@ -136,7 +167,9 @@ struct Shard {
 pub struct PlanCache {
     collection_fp: Fingerprint,
     collection_len: u32,
-    capacity: usize,
+    /// Node bound. Atomic so the memory governor can lower it on a live
+    /// cache ([`Self::shrink_to`]) without stopping traffic.
+    capacity: AtomicUsize,
     shards: Vec<Mutex<Shard>>,
     clock: AtomicU64,
     resident: AtomicU64,
@@ -184,7 +217,7 @@ impl PlanCache {
         Self {
             collection_fp,
             collection_len,
-            capacity: capacity.max(SHARDS),
+            capacity: AtomicUsize::new(capacity.max(SHARDS)),
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             clock: AtomicU64::new(0),
             resident: AtomicU64::new(0),
@@ -208,7 +241,61 @@ impl PlanCache {
 
     /// The configured node bound.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic byte cost accounted per resident node.
+    pub fn node_bytes() -> usize {
+        NODE_BYTES
+    }
+
+    /// Accounted resident bytes, summed from the per-shard counters
+    /// (maintained on insert/evict — this read takes the shard locks but
+    /// recomputes nothing).
+    pub fn accounted_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan shard poisoned").bytes)
+            .sum()
+    }
+
+    /// The per-shard byte counters, in shard order (diagnostics and the
+    /// governance invariants suite).
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan shard poisoned").bytes)
+            .collect()
+    }
+
+    /// Lowers the node bound to `new_cap` (clamped to ≥ the shard count;
+    /// never raises it) and evicts least-recently-stamped entries per
+    /// shard until every shard fits its even share of the new bound.
+    /// Returns the number of nodes evicted. This is the degradation
+    /// ladder's first rung: plan nodes are derived data — re-learnable
+    /// from traffic — so they are the cheapest thing to give back.
+    pub fn shrink_to(&self, new_cap: usize) -> u64 {
+        let new_cap = new_cap.max(SHARDS);
+        let current = self.capacity.load(Ordering::Relaxed);
+        if new_cap < current {
+            self.capacity.store(new_cap, Ordering::Relaxed);
+        }
+        let target = self.capacity.load(Ordering::Relaxed);
+        let per_shard = target.div_ceil(SHARDS);
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan shard poisoned");
+            dropped += shard.evict_to(per_shard);
+            // A governor shrink must actually give spine memory back:
+            // eviction alone retains the table allocation (fine for hot
+            // quarter-evictions, pointless under a byte budget).
+            shard.map.shrink_to_fit();
+        }
+        if dropped > 0 {
+            self.resident.fetch_sub(dropped, Ordering::Relaxed);
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
     }
 
     /// True when `collection` is (content- and id-wise) the collection this
@@ -260,27 +347,28 @@ impl PlanCache {
     /// transient overshoot of at most one entry per momentarily empty
     /// shard, the same soft-admission trade the session table makes).
     pub fn insert(&self, key: PlanKey, node: PlanNode) {
+        // Under injected allocation pressure the node is simply not
+        // cached — plans are derived data, and a cache that cannot grow
+        // still serves what it holds (the session recomputes this one
+        // selection).
+        if faults::alloc_pressure("plan.insert") {
+            return;
+        }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(&key).lock().expect("plan shard poisoned");
-        if self.resident.load(Ordering::Relaxed) >= self.capacity as u64
+        if self.resident.load(Ordering::Relaxed) >= self.capacity() as u64
             && !shard.map.is_empty()
             && !shard.map.contains_key(&key)
         {
-            // Drop the least-recently-stamped quarter (at least one entry):
-            // the cutoff is the drop-count-th smallest stamp, and stamps
-            // are unique (global counter), so `retain` removes exactly the
-            // entries at or below it.
-            let mut stamps: Vec<u64> = shard.map.values().map(|e| e.stamp).collect();
-            let drop = (stamps.len() / 4).max(1);
-            let (_, cutoff, _) = stamps.select_nth_unstable(drop - 1);
-            let cutoff = *cutoff;
-            let before = shard.map.len();
-            shard.map.retain(|_, e| e.stamp > cutoff);
-            let dropped = (before - shard.map.len()) as u64;
+            // Drop the least-recently-stamped quarter (at least one
+            // entry) — O(shard) once per quarter-shard of churn.
+            let keep = shard.map.len() - (shard.map.len() / 4).max(1);
+            let dropped = shard.evict_to(keep);
             self.resident.fetch_sub(dropped, Ordering::Relaxed);
             self.evicted.fetch_add(dropped, Ordering::Relaxed);
         }
         if shard.map.insert(key, Entry { node, stamp }).is_none() {
+            shard.bytes += NODE_BYTES;
             self.resident.fetch_add(1, Ordering::Relaxed);
             self.inserted.fetch_add(1, Ordering::Relaxed);
         }
@@ -342,6 +430,23 @@ impl PlanCache {
             let shard = shard.lock().expect("plan shard poisoned");
             shard.map.keys().any(|k| k.strategy == strategy)
         })
+    }
+}
+
+impl HeapSize for PlanCache {
+    fn heap_bytes(&self) -> usize {
+        // Resident entries from the maintained counters, plus the spare
+        // table slots each shard still has allocated (a slot costs the
+        // same whether occupied or not, so this sums to the spine at the
+        // shard's current capacity without recounting residents).
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().expect("plan shard poisoned");
+                let spare = s.map.capacity().saturating_sub(s.map.len());
+                s.bytes + map_spine_bytes::<PlanKey, Entry>(spare)
+            })
+            .sum()
     }
 }
 
@@ -623,6 +728,53 @@ mod tests {
         let other = Collection::from_raw_sets(vec![vec![0, 1], vec![0, 2]]).unwrap();
         let cache = Arc::new(PlanCache::for_collection(&c, 64));
         assert!(ScopedPlanCache::new(cache, KLP2, &other).is_none());
+    }
+
+    #[test]
+    fn byte_counters_track_churn_exactly() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 64);
+        for i in 0..5_000u64 {
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(1));
+            // Re-inserting an existing key must not double-account.
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(2));
+        }
+        let recount = cache.export_nodes().len() * PlanCache::node_bytes();
+        assert_eq!(cache.accounted_bytes(), recount, "after eviction churn");
+        assert_eq!(
+            cache.shard_bytes().iter().sum::<usize>(),
+            cache.accounted_bytes()
+        );
+        use setdisc_util::mem::HeapSize as _;
+        assert!(cache.heap_bytes() >= cache.accounted_bytes());
+    }
+
+    #[test]
+    fn shrink_to_lowers_the_bound_and_evicts_cold_entries() {
+        let c = figure1();
+        let cache = PlanCache::for_collection(&c, 1024);
+        for i in 0..512u64 {
+            cache.insert(key(KLP2, Fingerprint::of(i), 7), node(1));
+        }
+        let hot = key(KLP2, Fingerprint::of(3), 7);
+        assert!(cache.get(&hot).is_some(), "stamp the hot entry freshest");
+        let dropped = cache.shrink_to(64);
+        assert!(dropped > 0);
+        assert_eq!(cache.capacity(), 64, "bound lowered");
+        assert!(cache.len() <= 64, "residents fit the new bound");
+        assert!(cache.peek(&hot).is_some(), "recently used survives");
+        assert_eq!(
+            cache.accounted_bytes(),
+            cache.export_nodes().len() * PlanCache::node_bytes(),
+            "counters stay exact through shrink"
+        );
+        // Never raises: asking for more capacity back is a no-op.
+        cache.shrink_to(4096);
+        assert_eq!(cache.capacity(), 64);
+        // The floor is one entry per shard.
+        cache.shrink_to(0);
+        assert_eq!(cache.capacity(), 16);
+        assert!(cache.len() <= 16);
     }
 
     #[test]

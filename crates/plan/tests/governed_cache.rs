@@ -1,0 +1,121 @@
+//! Governance invariants of the plan cache (DESIGN.md §13): the
+//! per-shard byte counters maintained incrementally on insert/evict must
+//! always equal a cold recount of [`PlanCache::export_nodes`] — through
+//! insert churn, quarter-shard eviction at capacity, and live
+//! [`PlanCache::shrink_to`] calls — and injected allocation pressure at
+//! the `plan.insert` site must shed the node without corrupting the
+//! counters.
+
+use proptest::prelude::*;
+use setdisc_core::collection::Collection;
+use setdisc_core::entity::EntityId;
+use setdisc_plan::{PlanCache, PlanKey, PlanNode, StrategyKey};
+use setdisc_util::{faults, Fingerprint};
+use std::sync::Mutex;
+
+/// Fault state is process-global: every test in this binary serializes
+/// here so an armed `plan.insert` rule never leaks into a neighbor.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+const KLP2: StrategyKey = StrategyKey {
+    family: 0,
+    metric: 0,
+    k: 2,
+    beam: 0,
+    weight_fp: 0,
+};
+
+fn key_of(i: u64) -> PlanKey {
+    PlanKey {
+        strategy: KLP2,
+        fp: Fingerprint::of(i),
+        len: 7,
+    }
+}
+
+fn node_of(i: u64) -> PlanNode {
+    PlanNode {
+        entity: EntityId((i % 11) as u32),
+        bound: 17,
+        informative: 5,
+        evaluated: 2,
+        yes: (Fingerprint::of(1), 3),
+        no: (Fingerprint::of(2), 4),
+    }
+}
+
+fn tiny() -> Collection {
+    Collection::from_raw_sets(vec![vec![0, 1], vec![0, 2], vec![1, 2]]).unwrap()
+}
+
+/// Cold recount: what the counters must equal, derived only from the
+/// exported resident nodes and the fixed per-node cost.
+fn recount(cache: &PlanCache) -> usize {
+    cache.export_nodes().len() * PlanCache::node_bytes()
+}
+
+proptest! {
+    #[test]
+    fn shard_byte_counters_equal_a_cold_recount(
+        raw_ops in prop::collection::vec(0u64..1_000_000, 1..500usize),
+        cap in 16usize..200,
+    ) {
+        let _g = FAULTS.lock().unwrap_or_else(|p| p.into_inner());
+        faults::clear();
+        let c = tiny();
+        let cache = PlanCache::for_collection(&c, cap);
+        for raw in raw_ops {
+            let x = raw / 16;
+            match raw % 16 {
+                // Mostly inserts (with key reuse, so replaces happen).
+                0..=10 => cache.insert(key_of(x % 300), node_of(x)),
+                // Stamp refreshes interleave with churn.
+                11..=13 => { let _ = cache.get(&key_of(x % 300)); }
+                // Occasional governor shrink, sometimes below the floor.
+                _ => { let _ = cache.shrink_to(x as usize % 256); }
+            }
+            }
+        let cold = recount(&cache);
+        prop_assert_eq!(cache.accounted_bytes(), cold);
+        prop_assert_eq!(cache.shard_bytes().iter().sum::<usize>(), cold);
+        prop_assert!(
+            cache.len() <= cache.capacity() + 16,
+            "resident {} vs bound {}",
+            cache.len(),
+            cache.capacity()
+        );
+    }
+}
+
+#[test]
+fn alloc_pressure_at_plan_insert_sheds_the_node() {
+    let _g = FAULTS.lock().unwrap_or_else(|p| p.into_inner());
+    faults::install_spec("seed=1,plan.insert=alloc:1").unwrap();
+    let c = tiny();
+    let cache = PlanCache::for_collection(&c, 64);
+    cache.insert(key_of(1), node_of(1));
+    faults::clear();
+    assert!(cache.is_empty(), "pressured insert is dropped");
+    assert_eq!(cache.accounted_bytes(), 0);
+    assert_eq!(cache.stats().inserted, 0);
+    cache.insert(key_of(1), node_of(1));
+    assert_eq!(cache.len(), 1, "pressure lifted, inserts resume");
+    assert_eq!(cache.accounted_bytes(), recount(&cache));
+}
+
+#[test]
+fn delay_and_limit_rules_at_plan_insert_still_insert() {
+    let _g = FAULTS.lock().unwrap_or_else(|p| p.into_inner());
+    // A delay fault slows the insert but must not drop it; a limited
+    // alloc rule stops shedding once its budget is spent.
+    faults::install_spec("seed=2,plan.insert=alloc:1:0:2").unwrap();
+    let c = tiny();
+    let cache = PlanCache::for_collection(&c, 64);
+    for i in 0..5 {
+        cache.insert(key_of(i), node_of(i));
+    }
+    assert_eq!(faults::fired("plan.insert"), 2);
+    assert_eq!(cache.len(), 3, "only the limited firings shed");
+    faults::clear();
+    assert_eq!(cache.accounted_bytes(), recount(&cache));
+}

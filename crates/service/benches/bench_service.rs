@@ -31,6 +31,12 @@
 //!   served from the weighted plan partition);
 //! * `inproc_klp2_mc4` — §7 multiple-choice screens of width 4
 //!   (`questions` counts screens for this phase);
+//! * `mem_governed` — the streaming workload on a memory-governed service
+//!   (DESIGN.md §13) whose byte budget cannot hold the preloaded ballast
+//!   collection: the degradation ladder must unload the cold ballast,
+//!   every session must still verify, and the artifact carries the
+//!   governor's accounting (budget, component bytes, shrink/unload/shed
+//!   counts) alongside the phase latencies;
 //! * `socket_klp2` — the cold-cache workload over a real TCP loopback
 //!   socket served by `setdisc_service::server`.
 //!
@@ -127,7 +133,11 @@ fn main() {
         ..LoadConfig::default()
     };
 
-    let (reports, plan_stats): (Vec<LoadReport>, Option<JsonObject>) = if mode == "socket-only" {
+    let (reports, plan_stats, mem_stats): (
+        Vec<LoadReport>,
+        Option<JsonObject>,
+        Option<JsonObject>,
+    ) = if mode == "socket-only" {
         let addr: SocketAddr = addr
             .expect("--mode socket-only requires --addr")
             .parse()
@@ -142,7 +152,7 @@ fn main() {
         );
         eprintln!("{}", summary(&report));
         assert_eq!(report.errors, 0, "socket sessions must all verify");
-        (vec![report], None)
+        (vec![report], None, None)
     } else {
         run_all_phases(scale, &fixture, &snapshot, &klp_cfg)
     };
@@ -154,6 +164,9 @@ fn main() {
         .array("phases", reports.iter().map(LoadReport::to_json).collect());
     if let Some(plan) = plan_stats {
         doc = doc.array("plan_cache", vec![plan]);
+    }
+    if let Some(mem) = mem_stats {
+        doc = doc.array("memory", vec![mem]);
     }
     match &out {
         Some(path) => {
@@ -169,9 +182,10 @@ fn run_all_phases(
     fixture: &str,
     snapshot: &Arc<Snapshot>,
     klp_cfg: &dyn Fn(usize, usize) -> LoadConfig,
-) -> (Vec<LoadReport>, Option<JsonObject>) {
+) -> (Vec<LoadReport>, Option<JsonObject>, Option<JsonObject>) {
     let mut reports = Vec::new();
     let plan_stats;
+    let mem_stats;
 
     // Phase 1: ≥ 1k sessions open concurrently in one process. The cheap
     // MostEven strategy keeps the phase about table/session scaling rather
@@ -383,6 +397,77 @@ fn run_all_phases(
         reports.push(report);
     }
 
+    // Phase 2h: the streaming workload on a memory-governed service. The
+    // budget holds the workload collection plus about half the preloaded
+    // ballast — reachable only by walking the ladder (plan shrinks, then
+    // unloading the cold ballast snapshot). Measures what admission
+    // accounting and ladder walks cost per question; every session still
+    // verifies, so governance is proven invisible to admitted work.
+    {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        service
+            .registry()
+            .install_fixture(fixture)
+            .expect("fixture");
+        let ballast = "copyadd:1500:0.6:97";
+        service
+            .registry()
+            .install_fixture(ballast)
+            .expect("ballast fixture");
+        let (mut keep, mut drop_bytes) = (0usize, 0usize);
+        for info in service.registry().list() {
+            let total = info.bytes + info.plan_bytes;
+            if info.name == ballast {
+                drop_bytes += total;
+            } else {
+                keep += total;
+            }
+        }
+        let budget = keep + drop_bytes / 2;
+        service.registry().set_budget(budget);
+        let cfg = klp_cfg(scale.pick(4, 8), scale.pick(25, 100));
+        let svc = Arc::clone(&service);
+        let report = run_load(
+            "mem_governed",
+            "in-process",
+            snapshot,
+            &move || {
+                Ok(Box::new(InProcessClient {
+                    service: Arc::clone(&svc),
+                }) as Box<dyn Client>)
+            },
+            &cfg,
+        );
+        eprintln!("{}", summary(&report));
+        assert_eq!(report.errors, 0, "governed sessions must all verify");
+        let registry = service.registry();
+        let gov = registry.governor();
+        assert!(
+            gov.unloads() >= 1,
+            "the budget cannot hold the ballast; the ladder must have unloaded it"
+        );
+        eprintln!(
+            "memory governor: budget {budget} B, resident {} B collections + {} B plans, \
+             {} shrinks / {} unloads / {} sheds",
+            registry.collections_bytes(),
+            registry.plan_cache_bytes(),
+            gov.plan_shrinks(),
+            gov.unloads(),
+            gov.sheds()
+        );
+        mem_stats = Some(
+            JsonObject::new()
+                .int("budget_bytes", budget as u64)
+                .int("collections_bytes", registry.collections_bytes() as u64)
+                .int("plan_cache_bytes", registry.plan_cache_bytes() as u64)
+                .int("session_bytes", service.session_bytes() as u64)
+                .int("plan_shrinks", gov.plan_shrinks())
+                .int("unloads", gov.unloads())
+                .int("sheds", gov.sheds()),
+        );
+        reports.push(report);
+    }
+
     // Phase 3: the same workload over a real TCP loopback socket.
     {
         let service = Arc::new(Service::new(ServiceConfig::default()));
@@ -406,7 +491,7 @@ fn run_all_phases(
         reports.push(report);
     }
 
-    (reports, plan_stats)
+    (reports, plan_stats, mem_stats)
 }
 
 fn summary(r: &LoadReport) -> String {

@@ -1,8 +1,10 @@
 //! The discovery service binary.
 //!
 //! ```text
-//! serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...
+//! serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--register SPEC]...
+//!       [--load NAME=PATH]...
 //!       [--max-sessions N] [--budget N] [--idle-timeout S]
+//!       [--memory-budget-mb N]
 //!       [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]
 //!       [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]
 //!       [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]
@@ -13,7 +15,17 @@
 //! ephemeral port; the bound address is printed as `listening on ADDR` so
 //! scripts can scrape it. Collections come from `--fixture` specs
 //! (`figure1`, `copyadd:<n>:<alpha>:<seed>`) and/or `--load name=path`
-//! text-format files.
+//! text-format files — both built eagerly at boot — or from `--register`
+//! specs, which only record the rebuild recipe: a registered fixture costs
+//! no memory until the first `create` names it (DESIGN.md §13).
+//!
+//! `--memory-budget-mb N` arms the memory governor with a global byte
+//! budget over loaded collections, plan caches, and session entries.
+//! Over budget, a deterministic degradation ladder engages in order:
+//! plan caches shrink toward their per-collection floors, cold snapshots
+//! without live sessions unload (rebuildable from their recipes), and
+//! finally new `create`s are shed with the structured `overloaded` +
+//! `retry_after` shape. Established sessions are never touched.
 //!
 //! `--plan-cache PATH` boots warm: if `PATH` exists it must be a plan file
 //! (see `setdisc_plan::file`) matching one registered collection, whose
@@ -59,8 +71,10 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--load NAME=PATH]...\n\
+        "usage: serve [--stdio | --tcp ADDR] [--fixture SPEC]... [--register SPEC]...\n\
+         \x20            [--load NAME=PATH]...\n\
          \x20            [--max-sessions N] [--budget N] [--idle-timeout S]\n\
+         \x20            [--memory-budget-mb N]\n\
          \x20            [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]\n\
          \x20            [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]\n\
          \x20            [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]"
@@ -87,6 +101,7 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut stdio = false;
     let mut fixtures: Vec<String> = Vec::new();
+    let mut registers: Vec<String> = Vec::new();
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut config = ServiceConfig::default();
     let mut idle_secs: u64 = 900;
@@ -102,6 +117,7 @@ fn main() {
             "--metrics" => obs::arm(true),
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--fixture" => fixtures.push(args.next().unwrap_or_else(|| usage())),
+            "--register" => registers.push(args.next().unwrap_or_else(|| usage())),
             "--load" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 match spec.split_once('=') {
@@ -111,6 +127,10 @@ fn main() {
             }
             "--max-sessions" => config.max_sessions = parse_next(&mut args),
             "--budget" => config.default_budget = parse_next(&mut args),
+            "--memory-budget-mb" => {
+                let mb: usize = parse_next(&mut args);
+                config.memory = (mb > 0).then_some(mb * 1024 * 1024);
+            }
             "--idle-timeout" | "--idle-secs" => idle_secs = parse_next(&mut args),
             "--plan-cache" => {
                 plan_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
@@ -130,7 +150,7 @@ fn main() {
     if stdio && tcp.is_some() {
         usage();
     }
-    if fixtures.is_empty() && loads.is_empty() {
+    if fixtures.is_empty() && loads.is_empty() && registers.is_empty() {
         fixtures.push("figure1".to_string());
     }
     config.idle_timeout = (idle_secs > 0).then(|| Duration::from_secs(idle_secs));
@@ -153,6 +173,12 @@ fn main() {
             .registry()
             .load_file(name, std::path::Path::new(path))
         {
+            fail(&e);
+        }
+    }
+    for spec in &registers {
+        // Recipe only — validated now, built on first `create`.
+        if let Err(e) = service.registry().register_fixture(spec) {
             fail(&e);
         }
     }

@@ -54,5 +54,5 @@ pub mod strategy;
 pub mod table;
 
 pub use service::{Service, ServiceConfig};
-pub use snapshot::{Registry, Snapshot, SnapshotHandle};
+pub use snapshot::{MemoryGovernor, Registry, Snapshot, SnapshotHandle, SnapshotInfo};
 pub use strategy::StrategySpec;

@@ -31,12 +31,23 @@
 //!                                      plan_nodes?,plan_hits?,plan_misses?,
 //!                                      plan_hit_rate?}]}
 //!                                    (verbose adds every edge counter,
-//!                                     zeros included — a stable schema)
+//!                                     zeros included, plus the memory
+//!                                     block: mem_collections_bytes,
+//!                                     mem_plan_bytes, mem_sessions_bytes,
+//!                                     mem_total_bytes, mem_budget_bytes,
+//!                                     mem_plan_shrinks, mem_unloads,
+//!                                     mem_sheds — a stable schema)
 //! {"op":"close","session":ID}     -> {"ok":true,"op":"close","session":ID}
 //! {"op":"collections"}            -> {"ok":true,"op":"collections",
-//!                                     "collections":[{name,sets,entities}]}
+//!                                     "collections":[{name,sets,entities,
+//!                                      state:"registered"|"loaded"|
+//!                                      "unloaded",bytes,plan_bytes}]}
 //! {"op":"metrics","format":"json"|"prometheus"?}
 //!     -> {"ok":true,"op":"metrics","armed":BOOL,"sessions":N,
+//!         "mem_collections_bytes":N,"mem_plan_bytes":N,
+//!         "mem_sessions_bytes":N,"mem_total_bytes":N,
+//!         "mem_budget_bytes":N,"mem_plan_shrinks":N,"mem_unloads":N,
+//!         "mem_sheds":N,
 //!         "sites":[{site,count,sum,p50,p90,p99}],
 //!         "edge":[{counter,value}],
 //!         "collections":[{name,sets,entities,plan_*?}]}
@@ -49,8 +60,10 @@
 //! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
 //! Failure classes introduced by the hardened service edge additionally
 //! carry a machine-readable `"code"` — `"too_large"` (request line over the
-//! configured byte cap), `"overloaded"` (connection shed at accept time or
-//! per-connection request cap reached; comes with `"retry_after"` seconds
+//! configured byte cap), `"overloaded"` (connection shed at accept time,
+//! per-connection request cap reached, the session table full, or a
+//! `create` refused by the memory governor — the budget ladder exhausted
+//! or a load refused under pressure; comes with `"retry_after"` seconds
 //! so clients can back off), `"deadline"` (per-connection I/O deadline
 //! expired), and `"internal"` (a panic was contained; the session involved
 //! is quarantined and closed). Classic validation errors stay code-free,

@@ -94,6 +94,14 @@ pub struct ServiceConfig {
     /// Transport-edge limits applied by the TCP server (line/connection/
     /// request caps, I/O deadlines, drain budget).
     pub edge: crate::server::EdgeLimits,
+    /// Global memory budget in bytes over everything the service accounts
+    /// — loaded collections, plan caches, and session entries. `None`
+    /// disables governance (the seed behavior); set, it arms the
+    /// registry's degradation ladder: plan-cache shrinks, then
+    /// cold-snapshot unloads, then shedding new `create`s with the
+    /// structured `overloaded` shape. Established sessions are never
+    /// touched (DESIGN.md §13).
+    pub memory: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +114,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 1 << 18,
             plan_persist: None,
             edge: crate::server::EdgeLimits::default(),
+            memory: None,
         }
     }
 }
@@ -127,8 +136,10 @@ impl Default for Service {
 impl Service {
     /// Empty service with the given limits.
     pub fn new(config: ServiceConfig) -> Self {
+        let registry = Registry::new();
+        registry.set_budget(config.memory.unwrap_or(0));
         Self {
-            registry: Registry::new(),
+            registry,
             table: SessionTable::new(config.max_sessions),
             config,
             stats: EdgeStats::default(),
@@ -156,6 +167,12 @@ impl Service {
         self.table.len()
     }
 
+    /// Accounted bytes of the session table (admission-time estimates,
+    /// maintained on insert/remove/evict).
+    pub fn session_bytes(&self) -> usize {
+        self.table.accounted_bytes()
+    }
+
     /// Evicts idle sessions per the configured timeout; returns the count
     /// (0 when eviction is disabled).
     pub fn evict_idle(&self) -> usize {
@@ -163,6 +180,25 @@ impl Service {
             Some(timeout) => self.table.evict_idle(timeout),
             None => 0,
         }
+    }
+
+    /// Pushes the accounted byte totals into the always-on `util::obs`
+    /// memory gauges (`setdisc_mem_bytes{component=...}`). Called on every
+    /// create outcome and metrics read, so scrapes and the `metrics` op
+    /// agree on one storage location.
+    pub fn refresh_mem_gauges(&self) {
+        obs::mem_set(
+            obs::MemComponent::Collections,
+            self.registry.collections_bytes() as u64,
+        );
+        obs::mem_set(
+            obs::MemComponent::PlanCaches,
+            self.registry.plan_cache_bytes() as u64,
+        );
+        obs::mem_set(
+            obs::MemComponent::Sessions,
+            self.table.accounted_bytes() as u64,
+        );
     }
 
     /// Handles one protocol line, returning one response line (no trailing
@@ -281,6 +317,24 @@ impl Service {
                 obj = obj.int(key, value);
             }
         }
+        // Verbose opts into the memory-accounting block (plain status
+        // lines — and the committed goldens — stay byte-identical).
+        if verbose {
+            self.refresh_mem_gauges();
+            let governor = self.registry.governor();
+            obj = obj
+                .int(
+                    "mem_collections_bytes",
+                    self.registry.collections_bytes() as u64,
+                )
+                .int("mem_plan_bytes", self.registry.plan_cache_bytes() as u64)
+                .int("mem_sessions_bytes", self.table.accounted_bytes() as u64)
+                .int("mem_total_bytes", obs::mem_total())
+                .int("mem_budget_bytes", governor.budget() as u64)
+                .int("mem_plan_shrinks", governor.plan_shrinks())
+                .int("mem_unloads", governor.unloads())
+                .int("mem_sheds", governor.sheds());
+        }
         obj.array("collections", items).encode()
     }
 
@@ -291,6 +345,7 @@ impl Service {
     /// through the same [`setdisc_plan::PlanCache::stats`] atomics the
     /// `status` op reports.
     fn metrics(&self, prometheus: bool) -> String {
+        self.refresh_mem_gauges();
         let sites = obs::snapshot();
         if prometheus {
             return JsonObject::new()
@@ -343,11 +398,26 @@ impl Service {
                 obj
             })
             .collect();
+        let governor = self.registry.governor();
         JsonObject::new()
             .bool("ok", true)
             .str("op", "metrics")
             .bool("armed", obs::armed())
             .int("sessions", self.table.len() as u64)
+            // Memory accounting is always-on (additive fields): the three
+            // component gauges, their sum, and the governor's budget and
+            // ladder counters.
+            .int(
+                "mem_collections_bytes",
+                self.registry.collections_bytes() as u64,
+            )
+            .int("mem_plan_bytes", self.registry.plan_cache_bytes() as u64)
+            .int("mem_sessions_bytes", self.table.accounted_bytes() as u64)
+            .int("mem_total_bytes", obs::mem_total())
+            .int("mem_budget_bytes", governor.budget() as u64)
+            .int("mem_plan_shrinks", governor.plan_shrinks())
+            .int("mem_unloads", governor.unloads())
+            .int("mem_sheds", governor.sheds())
             .array("sites", site_items)
             .array("edge", edge_items)
             .array("collections", coll_items)
@@ -398,6 +468,29 @@ impl Service {
                 out,
                 "setdisc_edge_total{{counter=\"{key}\"}} {}",
                 counter.get()
+            );
+        }
+        out.push_str("# TYPE setdisc_mem_bytes gauge\n");
+        for component in obs::MEM_COMPONENTS {
+            let _ = writeln!(
+                out,
+                "setdisc_mem_bytes{{component=\"{}\"}} {}",
+                component.name(),
+                obs::mem_bytes(component)
+            );
+        }
+        let governor = self.registry.governor();
+        out.push_str("# TYPE setdisc_mem_budget_bytes gauge\n");
+        let _ = writeln!(out, "setdisc_mem_budget_bytes {}", governor.budget());
+        out.push_str("# TYPE setdisc_mem_governor_total counter\n");
+        for (action, value) in [
+            ("plan_shrink", governor.plan_shrinks()),
+            ("unload", governor.unloads()),
+            ("shed", governor.sheds()),
+        ] {
+            let _ = writeln!(
+                out,
+                "setdisc_mem_governor_total{{action=\"{action}\"}} {value}"
             );
         }
         for (metric, pick) in [
@@ -515,8 +608,16 @@ impl Service {
         prior: &[u64],
         recover: bool,
     ) -> String {
-        let Some(snapshot) = self.registry.get(collection) else {
-            return err_response(&format!("unknown collection {collection:?}"));
+        // `acquire` materializes a lazily registered (or governor-unloaded)
+        // snapshot and takes the lease the session will hold: from here to
+        // entry drop, the degradation ladder cannot unload this snapshot.
+        let (snapshot, lease) = match self.registry.acquire(collection) {
+            Ok(Some(pair)) => pair,
+            Ok(None) => return err_response(&format!("unknown collection {collection:?}")),
+            Err(crate::snapshot::AcquireError::Pressure(msg)) => {
+                return error_response_coded("overloaded", &msg, Some(1));
+            }
+            Err(crate::snapshot::AcquireError::Build(msg)) => return err_response(&msg),
         };
         let mut initial: Vec<EntityId> = Vec::with_capacity(examples.len());
         for token in examples {
@@ -597,15 +698,41 @@ impl Service {
             collection.to_string(),
             label,
             budget.unwrap_or(self.config.default_budget),
-        );
+        )
+        .with_lease(lease);
+        // Memory admission runs before the table allocates an id, so a
+        // shed create consumes nothing a later replay would observe. The
+        // ladder may shrink plan caches or unload cold snapshots here;
+        // only when both rungs fail is this create refused — established
+        // sessions are never touched.
+        if !self
+            .registry
+            .admit(self.table.accounted_bytes() + entry.accounted_bytes())
+        {
+            // Dropping the entry releases the lease; the reclaim pass can
+            // then unload the snapshot this refused create materialized.
+            drop(entry);
+            self.registry.reclaim(self.table.accounted_bytes());
+            self.refresh_mem_gauges();
+            return error_response_coded(
+                "overloaded",
+                "memory budget exhausted; new sessions are shed, established sessions continue",
+                Some(1),
+            );
+        }
         match self.table.insert(entry) {
-            Ok(id) => JsonObject::new()
-                .bool("ok", true)
-                .str("op", "create")
-                .int("session", id)
-                .int("candidates", candidates as u64)
-                .encode(),
-            Err(e) => err_response(&e),
+            Ok(id) => {
+                self.refresh_mem_gauges();
+                JsonObject::new()
+                    .bool("ok", true)
+                    .str("op", "create")
+                    .int("session", id)
+                    .int("candidates", candidates as u64)
+                    .encode()
+            }
+            // Session-count exhaustion is the same backpressure class as
+            // the byte budget: structured, retryable, never a hard error.
+            Err(e) => error_response_coded("overloaded", &e, Some(1)),
         }
     }
 
@@ -790,11 +917,14 @@ impl Service {
             .registry
             .list()
             .into_iter()
-            .map(|(name, sets, entities)| {
+            .map(|info| {
                 JsonObject::new()
-                    .str("name", &name)
-                    .int("sets", sets as u64)
-                    .int("entities", entities as u64)
+                    .str("name", &info.name)
+                    .int("sets", info.sets as u64)
+                    .int("entities", info.entities as u64)
+                    .str("state", info.state)
+                    .int("bytes", info.bytes as u64)
+                    .int("plan_bytes", info.plan_bytes as u64)
             })
             .collect();
         JsonObject::new()
@@ -1058,6 +1188,25 @@ mod tests {
         assert_eq!(list.len(), 2);
         assert_eq!(field(&list[0], "name").as_str(), Some("copyadd:10:0.5:1"));
         assert_eq!(field(&list[1], "sets").as_u64(), Some(7));
+        // Governance fields are always present: load state and accounted
+        // bytes per collection (plan bytes 0 until a cache exists).
+        assert_eq!(field(&list[0], "state").as_str(), Some("loaded"));
+        assert!(field(&list[0], "bytes").as_u64().unwrap() > 0);
+        assert_eq!(field(&list[0], "plan_bytes").as_u64(), Some(0));
+        // A lazily registered fixture lists as `registered` with nothing
+        // resident, and `create` materializes it transparently.
+        svc.registry().register_fixture("copyadd:12:0.5:9").unwrap();
+        let resp = call(&svc, r#"{"op":"collections"}"#);
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert_eq!(field(&list[1], "state").as_str(), Some("registered"));
+        assert_eq!(field(&list[1], "bytes").as_u64(), Some(0));
+        assert_eq!(field(&list[1], "sets").as_u64(), Some(0));
+        let made = call(&svc, r#"{"op":"create","collection":"copyadd:12:0.5:9"}"#);
+        assert_eq!(field(&made, "ok").as_bool(), Some(true));
+        let resp = call(&svc, r#"{"op":"collections"}"#);
+        let list = field(&resp, "collections").as_array().unwrap();
+        assert_eq!(field(&list[1], "state").as_str(), Some("loaded"));
+        assert_eq!(field(&list[1], "sets").as_u64(), Some(12));
     }
 
     #[test]
@@ -1539,5 +1688,43 @@ mod tests {
         let second = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
         assert_eq!(field(&second, "ok").as_bool(), Some(false));
         assert!(field(&second, "error").as_str().unwrap().contains("full"));
+        // Session exhaustion is structured backpressure, not a hard error.
+        assert_eq!(field(&second, "code").as_str(), Some("overloaded"));
+        assert_eq!(field(&second, "retry_after").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn memory_budget_sheds_creates_but_never_established_sessions() {
+        let svc = figure1_service();
+        let first = call(
+            &svc,
+            r#"{"op":"create","collection":"figure1","examples":["d"]}"#,
+        );
+        let id = field(&first, "session").as_u64().unwrap();
+        // Tighten the budget below what a second session would need: the
+        // ladder cannot unload figure1 (the live session holds its lease),
+        // so the create is shed with the structured overloaded shape.
+        let registry = svc.registry();
+        registry.set_budget(
+            registry.collections_bytes() + registry.plan_cache_bytes() + svc.session_bytes() + 4096,
+        );
+        let second = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        assert_eq!(field(&second, "ok").as_bool(), Some(false));
+        assert_eq!(field(&second, "code").as_str(), Some("overloaded"));
+        assert_eq!(field(&second, "retry_after").as_u64(), Some(1));
+        assert!(registry.governor().sheds() >= 1);
+        assert_eq!(registry.governor().unloads(), 0, "leased snapshot kept");
+        // The established session is untouched and still serves.
+        let resp = call(&svc, &format!(r#"{{"op":"ask","session":{id}}}"#));
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        let status = call(&svc, r#"{"op":"status","verbose":true}"#);
+        assert_eq!(field(&status, "sessions").as_u64(), Some(1));
+        assert!(field(&status, "mem_sheds").as_u64().unwrap() >= 1);
+        assert!(field(&status, "mem_total_bytes").as_u64().unwrap() > 0);
+        // Closing the session releases the lease; the same create now
+        // fits after the ladder reclaims what it must.
+        call(&svc, &format!(r#"{{"op":"close","session":{id}}}"#));
+        let third = call(&svc, r#"{"op":"create","collection":"figure1"}"#);
+        assert_eq!(field(&third, "ok").as_bool(), Some(true), "{third:?}");
     }
 }

@@ -1,24 +1,41 @@
-//! Named, immutable collection snapshots shared across sessions.
+//! Named, immutable collection snapshots shared across sessions — and the
+//! memory governance that decides which of them stay resident.
 //!
 //! A [`Snapshot`] bundles a pre-indexed [`Collection`] with its entity and
-//! set names; a [`Registry`] maps snapshot names to `Arc<Snapshot>`s.
+//! set names; a [`Registry`] maps snapshot names to *slots*. A slot may be
+//! `registered` (a rebuild recipe only — fixture spec or file path, no
+//! bytes resident), `loaded` (snapshot built and shared), or `unloaded`
+//! (previously loaded, evicted by the governor, rebuildable on demand).
 //! Snapshots are strictly immutable after construction — sessions hold
 //! [`SnapshotHandle`] clones, so the service never copies set data and a
-//! collection can be swapped in the registry without disturbing sessions
-//! already running over the old version. The derived indexes the bitmap
-//! kernels rely on — the `EntityPostings` bitmaps, per-set fingerprint and
-//! size tables — are built once inside the [`Collection`] and therefore
-//! shared by every session over the snapshot: a thousand concurrent
-//! sessions split against one postings index.
+//! collection can be swapped or unloaded in the registry without
+//! disturbing sessions already running over the old version. The derived
+//! indexes the bitmap kernels rely on — the `EntityPostings` bitmaps,
+//! per-set fingerprint and size tables — are built once inside the
+//! [`Collection`] and therefore shared by every session over the snapshot:
+//! a thousand concurrent sessions split against one postings index.
+//!
+//! The [`MemoryGovernor`] (DESIGN.md §13) enforces a global byte budget
+//! over everything the registry accounts: loaded collections, their plan
+//! caches, and the session bytes the service reports into
+//! [`Registry::admit`]. Under pressure a deterministic degradation ladder
+//! engages in documented order — shrink plan caches toward their
+//! per-collection floors, unload cold snapshots (never one with live
+//! session leases), and finally shed the new `create` — so the service
+//! degrades and sheds instead of being OOM-killed, and established
+//! sessions are never touched.
 
 use setdisc_core::entity::{EntityId, SetId};
 use setdisc_core::io::{parse_collection, NamedCollection};
 use setdisc_core::Collection;
 use setdisc_plan::PlanCache;
 use setdisc_synth::copyadd::{generate_copy_add, CopyAddConfig};
-use setdisc_util::FxHashMap;
+use setdisc_util::mem::HeapSize as _;
+use setdisc_util::{faults, obs, FxHashMap};
+use std::collections::VecDeque;
 use std::ops::Deref;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// An immutable named collection: the unit sessions snapshot.
 ///
@@ -71,6 +88,18 @@ impl Snapshot {
     /// The shared collection.
     pub fn collection(&self) -> &Collection {
         &self.named.collection
+    }
+
+    /// Accounted heap bytes of the collection side: sets, inverted index,
+    /// postings bitmaps, fingerprint/size tables, and every label
+    /// (deterministic and exact per `util::mem`).
+    pub fn collection_bytes(&self) -> usize {
+        self.name.capacity() + self.named.heap_bytes()
+    }
+
+    /// Accounted heap bytes of the installed plan cache (0 when none).
+    pub fn plan_bytes(&self) -> usize {
+        self.plan.get().map_or(0, |c| c.heap_bytes())
     }
 
     /// Human label for a set id (`S<id>` when the source had no names).
@@ -146,79 +175,532 @@ impl Deref for SnapshotHandle {
     }
 }
 
-/// Thread-safe name → snapshot map.
-#[derive(Default)]
+/// A live-session lease on a registry slot. Held by every session entry;
+/// while any lease is outstanding, the degradation ladder will not unload
+/// the slot's snapshot, so a session's shared plan cache and postings
+/// index stay resident until it drains. Dropping the entry (close, idle
+/// eviction, quarantine, contradiction) releases the lease automatically.
+pub struct SnapshotLease {
+    count: Arc<AtomicUsize>,
+}
+
+impl SnapshotLease {
+    fn take(count: &Arc<AtomicUsize>) -> Self {
+        count.fetch_add(1, Ordering::Relaxed);
+        Self {
+            count: Arc::clone(count),
+        }
+    }
+}
+
+impl Drop for SnapshotLease {
+    fn drop(&mut self) {
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Why [`Registry::acquire`] could not hand out a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AcquireError {
+    /// Memory pressure (an armed `registry.load` / `snapshot.build` fault,
+    /// standing in for a failed allocation) refused materialization; the
+    /// caller should shed with the structured `overloaded` shape.
+    Pressure(String),
+    /// The slot's rebuild source failed (I/O or parse error).
+    Build(String),
+}
+
+/// One row of [`Registry::list`]: name, shape, and governance state.
+/// Shape is the last built shape — `(0, 0)` for a slot that was registered
+/// but never materialized.
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Registry name.
+    pub name: String,
+    /// Number of sets (0 when never built).
+    pub sets: usize,
+    /// Distinct entities (0 when never built).
+    pub entities: usize,
+    /// `registered`, `loaded`, or `unloaded`.
+    pub state: &'static str,
+    /// Accounted collection bytes currently resident (0 unless loaded).
+    pub bytes: usize,
+    /// Accounted plan-cache bytes currently resident (0 unless loaded and
+    /// a cache exists).
+    pub plan_bytes: usize,
+    /// Outstanding session leases (sessions created over the loaded
+    /// snapshot and not yet closed or evicted).
+    pub live_sessions: usize,
+}
+
+/// Bounded governor event log capacity (oldest dropped first).
+const EVENT_CAPACITY: usize = 64;
+
+/// The per-collection plan-cache floor the ladder shrinks toward: one
+/// resident node per cache shard, the structural minimum
+/// [`PlanCache::shrink_to`] clamps to. Shrinking below it would leave
+/// some shards permanently empty without freeing anything.
+const PLAN_CACHE_FLOOR: usize = 16;
+
+/// Byte-budget enforcement state: the budget itself, counters for each
+/// rung of the degradation ladder, and a bounded event log the chaos
+/// suite asserts ladder *order* against.
+///
+/// A budget of 0 disables governance entirely (the seed behavior).
+/// Counters are statistics, not synchronization.
+pub struct MemoryGovernor {
+    budget: AtomicUsize,
+    plan_shrinks: AtomicU64,
+    unloads: AtomicU64,
+    sheds: AtomicU64,
+    events: Mutex<VecDeque<String>>,
+}
+
+impl MemoryGovernor {
+    fn new() -> Self {
+        Self {
+            budget: AtomicUsize::new(0),
+            plan_shrinks: AtomicU64::new(0),
+            unloads: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The global byte budget (0 = ungoverned).
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the global byte budget (0 disables governance).
+    pub fn set_budget(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Plan-cache shrink steps the ladder has taken.
+    pub fn plan_shrinks(&self) -> u64 {
+        self.plan_shrinks.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the ladder has unloaded.
+    pub fn unloads(&self) -> u64 {
+        self.unloads.load(Ordering::Relaxed)
+    }
+
+    /// Creates shed because the ladder could not reach the budget (or a
+    /// load was refused under injected allocation pressure).
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// The retained event log, oldest first (bounded; for tests and
+    /// postmortems, not a stable wire surface).
+    pub fn events(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn note(&self, event: String) {
+        let mut log = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() == EVENT_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(event);
+    }
+}
+
+/// How a registry slot rebuilds its snapshot after an unload.
+enum SlotSource {
+    /// Built-in fixture spec — deterministic, rebuildable at any time.
+    Fixture(String),
+    /// Text-format collection file, re-read on materialization.
+    File(std::path::PathBuf),
+    /// Directly inserted snapshot: no rebuild recipe, never unloaded.
+    Direct,
+}
+
+/// One named registry entry: rebuild source, resident snapshot (if any),
+/// cached shape, byte accounting, lease count, and last-use stamp.
+struct Slot {
+    source: SlotSource,
+    built: Option<Arc<Snapshot>>,
+    shape: Option<(usize, usize)>,
+    bytes: usize,
+    leases: Arc<AtomicUsize>,
+    last_use: u64,
+    was_loaded: bool,
+}
+
+impl Slot {
+    fn state(&self) -> &'static str {
+        if self.built.is_some() {
+            "loaded"
+        } else if self.was_loaded {
+            "unloaded"
+        } else {
+            "registered"
+        }
+    }
+
+    fn plan_bytes(&self) -> usize {
+        self.built.as_ref().map_or(0, |b| b.plan_bytes())
+    }
+}
+
+/// Thread-safe name → snapshot-slot map with memory governance.
 pub struct Registry {
-    map: RwLock<FxHashMap<String, Arc<Snapshot>>>,
+    slots: RwLock<FxHashMap<String, Slot>>,
+    clock: AtomicU64,
+    governor: MemoryGovernor,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Registry {
-    /// Empty registry.
+    /// Empty, ungoverned registry (budget 0 = unlimited).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            slots: RwLock::new(FxHashMap::default()),
+            clock: AtomicU64::new(0),
+            governor: MemoryGovernor::new(),
+        }
     }
 
-    /// Inserts (or replaces) a snapshot under its own name. Sessions
-    /// already holding the old snapshot keep running over it.
+    /// The memory governor (budget, ladder counters, event log).
+    pub fn governor(&self) -> &MemoryGovernor {
+        &self.governor
+    }
+
+    /// Sets the global byte budget (0 disables governance).
+    pub fn set_budget(&self, bytes: usize) {
+        self.governor.set_budget(bytes);
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn write_slots(&self) -> std::sync::RwLockWriteGuard<'_, FxHashMap<String, Slot>> {
+        self.slots.write().expect("registry lock poisoned")
+    }
+
+    fn read_slots(&self) -> std::sync::RwLockReadGuard<'_, FxHashMap<String, Slot>> {
+        self.slots.read().expect("registry lock poisoned")
+    }
+
+    /// Inserts a loaded snapshot under its own name. Name collisions
+    /// *replace* the previous slot — the explicit, logged policy (a
+    /// redeploy overwrites, it does not error) — and sessions already
+    /// holding the old snapshot keep running over it undisturbed; their
+    /// leases belong to the replaced slot and expire with them. Directly
+    /// inserted snapshots carry no rebuild recipe, so the degradation
+    /// ladder never unloads them.
     pub fn insert(&self, snapshot: Arc<Snapshot>) {
-        self.map
-            .write()
-            .expect("registry lock poisoned")
-            .insert(snapshot.name().to_string(), snapshot);
+        self.insert_slot(snapshot, SlotSource::Direct);
     }
 
-    /// Looks up a snapshot by name.
+    fn insert_slot(&self, snapshot: Arc<Snapshot>, source: SlotSource) {
+        let name = snapshot.name().to_string();
+        let shape = (
+            snapshot.collection().len(),
+            snapshot.collection().distinct_entities(),
+        );
+        let slot = Slot {
+            source,
+            bytes: snapshot.collection_bytes(),
+            built: Some(snapshot),
+            shape: Some(shape),
+            leases: Arc::new(AtomicUsize::new(0)),
+            last_use: self.tick(),
+            was_loaded: true,
+        };
+        if let Some(old) = self.write_slots().insert(name.clone(), slot) {
+            obs::warn(&format!(
+                "registry: replaced snapshot {name:?} ({} live sessions keep the old version)",
+                old.leases.load(Ordering::Relaxed)
+            ));
+        }
+    }
+
+    /// Registers a fixture spec *without building it* (the spec is
+    /// validated, nothing is allocated): the slot starts `registered` and
+    /// is materialized lazily by the first `create` that names it.
+    /// Returns the registry name (the spec itself). Replaces any previous
+    /// slot under the same name, logged as in [`Registry::insert`].
+    pub fn register_fixture(&self, spec: &str) -> Result<String, String> {
+        parse_fixture_spec(spec)?;
+        self.register_slot(spec.to_string(), SlotSource::Fixture(spec.to_string()));
+        Ok(spec.to_string())
+    }
+
+    /// Registers a collection file *without reading it* beyond an
+    /// existence check; parsed lazily on the first `create`. Replaces any
+    /// previous slot under the same name, logged.
+    pub fn register_file(&self, name: &str, path: &std::path::Path) -> Result<(), String> {
+        std::fs::metadata(path).map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+        self.register_slot(name.to_string(), SlotSource::File(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn register_slot(&self, name: String, source: SlotSource) {
+        let slot = Slot {
+            source,
+            built: None,
+            shape: None,
+            bytes: 0,
+            leases: Arc::new(AtomicUsize::new(0)),
+            last_use: self.tick(),
+            was_loaded: false,
+        };
+        if self.write_slots().insert(name.clone(), slot).is_some() {
+            obs::warn(&format!(
+                "registry: replaced snapshot {name:?} with a lazy registration"
+            ));
+        }
+    }
+
+    /// Looks up a *loaded* snapshot by name (no materialization — the
+    /// read-only path `status` and the plan tooling use; `create` goes
+    /// through [`Registry::acquire`]).
     pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
-        self.map
-            .read()
-            .expect("registry lock poisoned")
-            .get(name)
-            .cloned()
+        self.read_slots().get(name).and_then(|s| s.built.clone())
     }
 
-    /// Every registered snapshot, name-sorted (the service-status path —
+    /// The snapshot for a `create`: materializes a `registered`/`unloaded`
+    /// slot from its source and takes a session lease that shields the
+    /// slot from the degradation ladder until the lease drops. The armed
+    /// chaos sites fire here: `registry.load` gates admission of the load
+    /// itself, `snapshot.build` the build allocation — either refusal
+    /// surfaces as [`AcquireError::Pressure`] and the slot stays unbuilt.
+    ///
+    /// `Ok(None)` means the name is unknown. Materialization holds the
+    /// registry lock (a deliberate simplification: one cold load at a
+    /// time; warm acquires on other collections queue behind it).
+    pub fn acquire(
+        &self,
+        name: &str,
+    ) -> Result<Option<(Arc<Snapshot>, SnapshotLease)>, AcquireError> {
+        let stamp = self.tick();
+        let mut slots = self.write_slots();
+        let Some(slot) = slots.get_mut(name) else {
+            return Ok(None);
+        };
+        slot.last_use = stamp;
+        if slot.built.is_none() {
+            if faults::alloc_pressure("registry.load") {
+                self.governor.sheds.fetch_add(1, Ordering::Relaxed);
+                self.governor.note(format!("shed load {name}"));
+                return Err(AcquireError::Pressure(format!(
+                    "memory pressure: collection {name:?} cannot be loaded right now"
+                )));
+            }
+            let snapshot = match build_slot(name, &slot.source) {
+                Ok(s) => s,
+                Err(e) => {
+                    if matches!(e, AcquireError::Pressure(_)) {
+                        self.governor.sheds.fetch_add(1, Ordering::Relaxed);
+                        self.governor.note(format!("shed build {name}"));
+                    }
+                    return Err(e);
+                }
+            };
+            slot.bytes = snapshot.collection_bytes();
+            slot.shape = Some((
+                snapshot.collection().len(),
+                snapshot.collection().distinct_entities(),
+            ));
+            slot.was_loaded = true;
+            slot.built = Some(snapshot);
+        }
+        let snapshot = Arc::clone(slot.built.as_ref().expect("just built"));
+        let lease = SnapshotLease::take(&slot.leases);
+        Ok(Some((snapshot, lease)))
+    }
+
+    /// Materializes a slot without keeping a lease (the `serve` binary's
+    /// warm plan boot uses this to build snapshots it wants to attach a
+    /// persisted plan cache to).
+    pub fn materialize(&self, name: &str) -> Result<(), String> {
+        match self.acquire(name) {
+            Ok(Some(_)) => Ok(()),
+            Ok(None) => Err(format!("unknown collection {name:?}")),
+            Err(AcquireError::Pressure(e)) | Err(AcquireError::Build(e)) => Err(e),
+        }
+    }
+
+    /// Admission check for a new session: `session_bytes` is the session
+    /// table's accounted total *including* the candidate entry. Within
+    /// budget (or ungoverned) this returns true untouched; over budget
+    /// the degradation ladder runs — plan-cache shrinks, then
+    /// cold-snapshot unloads — and only if the budget is still
+    /// unreachable does it return false (counted as a shed; the caller
+    /// replies `overloaded`).
+    pub fn admit(&self, session_bytes: usize) -> bool {
+        let budget = self.governor.budget();
+        if budget == 0 || self.run_ladder(session_bytes, budget) {
+            return true;
+        }
+        self.governor.sheds.fetch_add(1, Ordering::Relaxed);
+        self.governor.note("shed create".to_string());
+        false
+    }
+
+    /// Post-shed cleanup: re-walks the ladder without counting a shed, so
+    /// a refused create's freshly materialized snapshot (now lease-free)
+    /// is released promptly instead of squatting over the budget until
+    /// the next create.
+    pub fn reclaim(&self, session_bytes: usize) {
+        let budget = self.governor.budget();
+        if budget != 0 {
+            let _ = self.run_ladder(session_bytes, budget);
+        }
+    }
+
+    /// The degradation ladder. Rung 1: halve plan-cache capacities (bytes
+    /// follow via eviction) toward [`PLAN_CACHE_FLOOR`], name-sorted,
+    /// until under budget or every cache is at its floor. Rung 2: unload
+    /// cold snapshots — coldest last-use first, name tie-break — skipping
+    /// leased slots (live sessions) and direct inserts (no rebuild
+    /// recipe). Returns false when both rungs are exhausted and the total
+    /// still exceeds the budget.
+    fn run_ladder(&self, session_bytes: usize, budget: usize) -> bool {
+        fn total(slots: &FxHashMap<String, Slot>, session_bytes: usize) -> usize {
+            slots
+                .values()
+                .map(|s| s.bytes + s.plan_bytes())
+                .sum::<usize>()
+                + session_bytes
+        }
+        let mut slots = self.write_slots();
+        if total(&slots, session_bytes) <= budget {
+            return true;
+        }
+        loop {
+            let mut names: Vec<String> = slots
+                .iter()
+                .filter(|(_, s)| {
+                    s.built
+                        .as_ref()
+                        .and_then(|b| b.plan_cache())
+                        .is_some_and(|c| c.capacity() > PLAN_CACHE_FLOOR)
+                })
+                .map(|(n, _)| n.clone())
+                .collect();
+            if names.is_empty() {
+                break;
+            }
+            names.sort();
+            for name in names {
+                let Some(cache) = slots
+                    .get(&name)
+                    .and_then(|s| s.built.as_ref())
+                    .and_then(|b| b.plan_cache())
+                else {
+                    continue;
+                };
+                let cap = cache.capacity();
+                if cap <= PLAN_CACHE_FLOOR {
+                    continue;
+                }
+                let target = (cap / 2).max(PLAN_CACHE_FLOOR);
+                cache.shrink_to(target);
+                self.governor.plan_shrinks.fetch_add(1, Ordering::Relaxed);
+                self.governor
+                    .note(format!("plan.shrink {name} {cap}->{target}"));
+                if total(&slots, session_bytes) <= budget {
+                    return true;
+                }
+            }
+        }
+        while let Some(name) = slots
+            .iter()
+            .filter(|(_, s)| {
+                s.built.is_some()
+                    && s.leases.load(Ordering::Relaxed) == 0
+                    && !matches!(s.source, SlotSource::Direct)
+            })
+            .min_by(|a, b| a.1.last_use.cmp(&b.1.last_use).then_with(|| a.0.cmp(b.0)))
+            .map(|(n, _)| n.clone())
+        {
+            let slot = slots.get_mut(&name).expect("selected above");
+            let freed = slot.bytes + slot.plan_bytes();
+            slot.built = None;
+            slot.bytes = 0;
+            self.governor.unloads.fetch_add(1, Ordering::Relaxed);
+            self.governor.note(format!("unload {name} {freed}"));
+            if total(&slots, session_bytes) <= budget {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Accounted bytes of every loaded collection.
+    pub fn collections_bytes(&self) -> usize {
+        self.read_slots().values().map(|s| s.bytes).sum()
+    }
+
+    /// Accounted bytes of every loaded snapshot's plan cache.
+    pub fn plan_cache_bytes(&self) -> usize {
+        self.read_slots().values().map(Slot::plan_bytes).sum()
+    }
+
+    /// Every *loaded* snapshot, name-sorted (the service-status path —
     /// shape *and* plan-cache statistics come from the snapshots
-    /// themselves).
+    /// themselves; registered/unloaded slots have neither resident).
     pub fn snapshots(&self) -> Vec<Arc<Snapshot>> {
         let mut out: Vec<Arc<Snapshot>> = self
-            .map
-            .read()
-            .expect("registry lock poisoned")
+            .read_slots()
             .values()
-            .cloned()
+            .filter_map(|s| s.built.clone())
             .collect();
         out.sort_by(|a, b| a.name().cmp(b.name()));
         out
     }
 
-    /// Registered names with basic shape statistics, name-sorted.
-    pub fn list(&self) -> Vec<(String, usize, usize)> {
-        let mut out: Vec<(String, usize, usize)> = self
-            .map
-            .read()
-            .expect("registry lock poisoned")
-            .values()
-            .map(|s| {
-                (
-                    s.name().to_string(),
-                    s.collection().len(),
-                    s.collection().distinct_entities(),
-                )
+    /// Every slot with shape, governance state, and byte accounting,
+    /// name-sorted.
+    pub fn list(&self) -> Vec<SnapshotInfo> {
+        let slots = self.read_slots();
+        let mut out: Vec<SnapshotInfo> = slots
+            .iter()
+            .map(|(name, slot)| {
+                let (sets, entities) = slot.shape.unwrap_or((0, 0));
+                SnapshotInfo {
+                    name: name.clone(),
+                    sets,
+                    entities,
+                    state: slot.state(),
+                    bytes: slot.bytes,
+                    plan_bytes: slot.plan_bytes(),
+                    live_sessions: slot.leases.load(Ordering::Relaxed),
+                }
             })
             .collect();
-        out.sort();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
 
-    /// Loads a text-format collection file under `name`.
+    /// Loads a text-format collection file under `name` (eagerly; the
+    /// slot is unload-eligible and re-reads the file on rematerialize).
     pub fn load_file(&self, name: &str, path: &std::path::Path) -> Result<(), String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        self.insert(Snapshot::parse(name, &text)?);
+        self.insert_slot(Snapshot::parse(name, &text)?, SlotSource::File(path.into()));
         Ok(())
     }
 
-    /// Installs a built-in fixture and returns its registry name.
+    /// Installs a built-in fixture eagerly and returns its registry name.
+    /// The slot keeps its spec as the rebuild source, so the governor may
+    /// unload it when cold and rebuild it deterministically on demand.
     ///
     /// Specs: `figure1` (the paper's 7-set example) or
     /// `copyadd:<n_sets>:<overlap>:<seed>` (the §5.2.2 copy-add generator
@@ -228,16 +710,46 @@ impl Registry {
     pub fn install_fixture(&self, spec: &str) -> Result<String, String> {
         let snapshot = fixture(spec)?;
         let name = snapshot.name().to_string();
-        self.insert(snapshot);
+        self.insert_slot(snapshot, SlotSource::Fixture(spec.to_string()));
         Ok(name)
     }
 }
 
-/// Builds a fixture snapshot from a spec string (see
-/// [`Registry::install_fixture`]).
-pub fn fixture(spec: &str) -> Result<Arc<Snapshot>, String> {
+/// Materializes a slot from its rebuild source, passing the
+/// `snapshot.build` chaos gate first.
+fn build_slot(name: &str, source: &SlotSource) -> Result<Arc<Snapshot>, AcquireError> {
+    if faults::alloc_pressure("snapshot.build") {
+        return Err(AcquireError::Pressure(format!(
+            "memory pressure: building collection {name:?} was aborted"
+        )));
+    }
+    match source {
+        SlotSource::Fixture(spec) => fixture(spec).map_err(AcquireError::Build),
+        SlotSource::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| AcquireError::Build(format!("cannot read {}: {e}", path.display())))?;
+            Snapshot::parse(name, &text).map_err(AcquireError::Build)
+        }
+        SlotSource::Direct => Err(AcquireError::Build(format!(
+            "snapshot {name:?} has no rebuild source"
+        ))),
+    }
+}
+
+/// A parsed fixture spec (validation without construction — what lazy
+/// registration checks up front).
+enum FixtureSpec {
+    Figure1,
+    CopyAdd {
+        n_sets: usize,
+        overlap: f64,
+        seed: u64,
+    },
+}
+
+fn parse_fixture_spec(spec: &str) -> Result<FixtureSpec, String> {
     if spec == "figure1" {
-        return Snapshot::parse("figure1", FIGURE1_TEXT);
+        return Ok(FixtureSpec::Figure1);
     }
     if let Some(rest) = spec.strip_prefix("copyadd:") {
         let parts: Vec<&str> = rest.split(':').collect();
@@ -254,17 +766,36 @@ pub fn fixture(spec: &str) -> Result<Arc<Snapshot>, String> {
         if n_sets < 2 || !(0.0..1.0).contains(&overlap) {
             return Err(format!("copyadd spec {spec:?} out of range"));
         }
-        let collection = generate_copy_add(&CopyAddConfig {
+        return Ok(FixtureSpec::CopyAdd {
             n_sets,
-            size_range: (20, 30),
             overlap,
             seed,
         });
-        return Ok(Snapshot::from_collection(spec, collection));
     }
     Err(format!(
         "unknown fixture {spec:?} (want figure1 or copyadd:<n>:<alpha>:<seed>)"
     ))
+}
+
+/// Builds a fixture snapshot from a spec string (see
+/// [`Registry::install_fixture`]).
+pub fn fixture(spec: &str) -> Result<Arc<Snapshot>, String> {
+    match parse_fixture_spec(spec)? {
+        FixtureSpec::Figure1 => Snapshot::parse("figure1", FIGURE1_TEXT),
+        FixtureSpec::CopyAdd {
+            n_sets,
+            overlap,
+            seed,
+        } => {
+            let collection = generate_copy_add(&CopyAddConfig {
+                n_sets,
+                size_range: (20, 30),
+                overlap,
+                seed,
+            });
+            Ok(Snapshot::from_collection(spec, collection))
+        }
+    }
 }
 
 /// Figure 1 of the paper in the text format (entities a..k).
@@ -323,6 +854,7 @@ mod tests {
             "copyadd:x:0.5:0",
         ] {
             assert!(fixture(bad).is_err(), "{bad}");
+            assert!(Registry::new().register_fixture(bad).is_err(), "{bad}");
         }
     }
 
@@ -331,18 +863,164 @@ mod tests {
         let r = Registry::new();
         r.install_fixture("figure1").unwrap();
         let old = r.get("figure1").unwrap();
-        // Replace under the same name with a different collection.
+        // A lease on the old snapshot must not bleed into the new slot.
+        let (_snap, old_lease) = r.acquire("figure1").unwrap().unwrap();
+        // Replace under the same name with a different collection — the
+        // pinned collision policy: replace (with a log line), never error.
         r.insert(Snapshot::parse("figure1", "x: p q\ny: q r\n").unwrap());
         let new = r.get("figure1").unwrap();
         assert_eq!(old.collection().len(), 7, "old snapshot untouched");
         assert_eq!(new.collection().len(), 2);
         assert_eq!(r.list().len(), 1);
+        assert_eq!(
+            r.list()[0].live_sessions,
+            0,
+            "old leases do not count against the replacement"
+        );
+        drop(old_lease);
+    }
+
+    #[test]
+    fn lazy_registration_materializes_on_first_acquire() {
+        let r = Registry::new();
+        r.register_fixture("copyadd:10:0.5:1").unwrap();
+        let info = &r.list()[0];
+        assert_eq!(info.state, "registered");
+        assert_eq!((info.sets, info.entities), (0, 0), "shape unknown");
+        assert_eq!(info.bytes, 0, "nothing resident");
+        assert!(r.get("copyadd:10:0.5:1").is_none(), "get never builds");
+        assert!(r.snapshots().is_empty(), "status sees loaded slots only");
+
+        let (snap, lease) = r.acquire("copyadd:10:0.5:1").unwrap().unwrap();
+        assert_eq!(snap.collection().len(), 10);
+        let info = &r.list()[0];
+        assert_eq!(info.state, "loaded");
+        assert_eq!(info.sets, 10);
+        assert!(info.bytes > 0);
+        assert_eq!(info.live_sessions, 1);
+        drop(lease);
+        assert_eq!(r.list()[0].live_sessions, 0);
+        // Unknown names are a clean miss, not an error.
+        assert!(matches!(r.acquire("nope"), Ok(None)));
+    }
+
+    #[test]
+    fn register_file_defers_the_read_and_rebuilds_after_unload() {
+        let dir = std::env::temp_dir().join(format!("setdisc_reg_file_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            Registry::new().register_file("tiny", &path).is_err(),
+            "missing file refused at registration"
+        );
+        std::fs::write(&path, "a: x y\nb: y z\n").unwrap();
+        let r = Registry::new();
+        r.register_file("tiny", &path).unwrap();
+        assert_eq!(r.list()[0].state, "registered");
+        let (snap, lease) = r.acquire("tiny").unwrap().unwrap();
+        assert_eq!(snap.collection().len(), 2);
+        drop(lease);
+        // Force an unload through the governor, then rematerialize.
+        r.set_budget(1);
+        assert!(r.admit(0), "unloading the cold file slot meets the budget");
+        assert_eq!(r.list()[0].state, "unloaded");
+        r.set_budget(0);
+        let (again, _lease) = r.acquire("tiny").unwrap().unwrap();
+        assert_eq!(again.collection().len(), 2, "rebuilt from the file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ladder_spares_leased_snapshots_and_sheds_when_exhausted() {
+        let r = Registry::new();
+        r.install_fixture("figure1").unwrap();
+        let bytes = r.collections_bytes();
+        assert!(bytes > 0);
+        r.set_budget(bytes / 2);
+        // With a live lease the only unload candidate is protected: the
+        // ladder is exhausted and the create is shed.
+        let (_snap, lease) = r.acquire("figure1").unwrap().unwrap();
+        assert!(!r.admit(0));
+        assert_eq!(r.governor().sheds(), 1);
+        assert_eq!(r.governor().unloads(), 0);
+        assert_eq!(r.list()[0].state, "loaded", "leased snapshot survives");
+        // Lease released: the same pressure unloads the cold snapshot
+        // instead of shedding.
+        drop(lease);
+        assert!(r.admit(0));
+        assert_eq!(r.governor().unloads(), 1);
+        assert_eq!(r.list()[0].state, "unloaded");
+        assert_eq!(r.collections_bytes(), 0);
+        // Rematerialization is deterministic.
+        let (snap, _lease) = r.acquire("figure1").unwrap().unwrap();
+        assert_eq!(snap.collection().len(), 7);
+    }
+
+    #[test]
+    fn direct_inserts_are_never_unloaded() {
+        let r = Registry::new();
+        r.insert(Snapshot::parse("direct", "x: p q\ny: q r\n").unwrap());
+        r.set_budget(1);
+        assert!(!r.admit(0), "nothing unloadable: over-budget sheds");
+        assert_eq!(r.list()[0].state, "loaded");
+        assert_eq!(r.governor().unloads(), 0);
+    }
+
+    #[test]
+    fn ladder_shrinks_plans_before_unloading() {
+        use setdisc_plan::{PlanKey, PlanNode, StrategyKey};
+        use setdisc_util::Fingerprint;
+        let r = Registry::new();
+        r.install_fixture("figure1").unwrap();
+        let snap = r.get("figure1").unwrap();
+        let cache = snap.plan_cache_or_init(1 << 12);
+        let strategy = StrategyKey {
+            family: 0,
+            metric: 0,
+            k: 2,
+            beam: 0,
+            weight_fp: 0,
+        };
+        for i in 0..512u64 {
+            cache.insert(
+                PlanKey {
+                    strategy,
+                    fp: Fingerprint::of(i),
+                    len: 7,
+                },
+                PlanNode {
+                    entity: EntityId((i % 11) as u32),
+                    bound: 17,
+                    informative: 5,
+                    evaluated: 2,
+                    yes: (Fingerprint::of(1), 3),
+                    no: (Fingerprint::of(2), 4),
+                },
+            );
+        }
+        // Budget admits the collection and ~60% of the plan bytes: rung 1
+        // (shrink toward the floor) must fire and suffice, rung 2 must
+        // not — the snapshot itself stays loaded.
+        r.set_budget(r.collections_bytes() + r.plan_cache_bytes() * 6 / 10);
+        let (_s, _lease) = r.acquire("figure1").unwrap().unwrap();
+        assert!(r.admit(0));
+        assert!(r.governor().plan_shrinks() > 0, "rung 1 engaged");
+        assert_eq!(r.governor().unloads(), 0, "rung 2 never reached");
+        assert!(cache.capacity() < 1 << 12, "capacity actually lowered");
+        assert_eq!(r.list()[0].state, "loaded");
+        let events = r.governor().events();
+        assert!(
+            events.iter().all(|e| e.starts_with("plan.shrink")),
+            "{events:?}"
+        );
     }
 
     #[test]
     fn plan_cache_installs_once_and_validates_collection() {
         let snap = fixture("figure1").unwrap();
         assert!(snap.plan_cache().is_none());
+        assert_eq!(snap.plan_bytes(), 0);
         let lazy = snap.plan_cache_or_init(128);
         assert!(Arc::ptr_eq(&lazy, &snap.plan_cache_or_init(999)));
         // A second install is rejected — the lazy cache is already live.
@@ -378,6 +1056,18 @@ mod tests {
         assert_eq!(handle.len(), 7);
         let again = handle.clone();
         assert_eq!(again.universe(), snap.collection().universe());
+    }
+
+    #[test]
+    fn collection_bytes_are_deterministic_and_cover_the_payload() {
+        let a = fixture("copyadd:40:0.8:3").unwrap();
+        let b = fixture("copyadd:40:0.8:3").unwrap();
+        assert_eq!(a.collection_bytes(), b.collection_bytes());
+        let elements: usize = a.collection().iter().map(|(_, s)| s.len()).sum();
+        assert!(
+            a.collection_bytes() >= elements * 4,
+            "accounting must at least cover the raw element storage"
+        );
     }
 
     #[test]

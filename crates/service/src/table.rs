@@ -10,7 +10,7 @@
 //! evict_idle`] sweeps entries whose clock exceeded the configured
 //! timeout.
 
-use crate::snapshot::{Snapshot, SnapshotHandle};
+use crate::snapshot::{Snapshot, SnapshotHandle, SnapshotLease};
 use crate::strategy::BoxedStrategy;
 use setdisc_core::engine::Engine;
 use setdisc_core::entity::EntityId;
@@ -132,6 +132,12 @@ pub struct SessionEntry {
     pub pending: Vec<EntityId>,
     /// The bounded question trace, retrievable via the `trace` wire op.
     pub trace: TraceRing,
+    /// Registry lease shielding the session's snapshot from the memory
+    /// governor's unload rung; released on drop (close/evict/quarantine).
+    lease: Option<SnapshotLease>,
+    /// Admission-time byte estimate, fixed for the entry's lifetime (see
+    /// [`SessionEntry::accounted_bytes`]).
+    bytes: usize,
     last_touch: Instant,
 }
 
@@ -144,6 +150,17 @@ impl SessionEntry {
         strategy_label: String,
         budget: u64,
     ) -> Self {
+        let bytes = std::mem::size_of::<Self>()
+            + collection_name.len()
+            + strategy_label.len()
+            // The trace ring is reserved at its capacity bound up front:
+            // a long-lived session will fill it, and a fixed figure keeps
+            // admission deterministic.
+            + TRACE_CAPACITY * std::mem::size_of::<(u64, TraceStep)>()
+            // Engine candidate state scales with the collection; the
+            // constant covers the engine's fixed-size bookkeeping.
+            + snapshot.collection().len() * 8
+            + 1024;
         Self {
             engine,
             snapshot,
@@ -152,8 +169,25 @@ impl SessionEntry {
             budget,
             pending: Vec::new(),
             trace: TraceRing::default(),
+            lease: None,
+            bytes,
             last_touch: Instant::now(),
         }
+    }
+
+    /// Attaches the registry lease the entry holds for its lifetime.
+    pub fn with_lease(mut self, lease: SnapshotLease) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// The bytes this entry counts against the memory budget: a
+    /// deterministic admission-time estimate (struct, labels, trace ring
+    /// at capacity, candidate state), *not* a live measurement — session
+    /// entries are bounded by construction, so one fixed figure per entry
+    /// keeps admission cheap and reproducible.
+    pub fn accounted_bytes(&self) -> usize {
+        self.bytes
     }
 }
 
@@ -162,6 +196,7 @@ pub struct SessionTable {
     shards: Vec<Mutex<FxHashMap<u64, SessionEntry>>>,
     next_id: AtomicU64,
     live: AtomicUsize,
+    bytes: AtomicUsize,
     max_sessions: usize,
 }
 
@@ -174,6 +209,7 @@ impl SessionTable {
                 .collect(),
             next_id: AtomicU64::new(1),
             live: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
             max_sessions,
         }
     }
@@ -197,6 +233,7 @@ impl SessionTable {
             ));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(entry.bytes, Ordering::Relaxed);
         lock_shard(self.shard(id)).insert(id, entry);
         self.live.fetch_add(1, Ordering::Relaxed);
         Ok(id)
@@ -213,16 +250,25 @@ impl SessionTable {
 
     /// Removes a session; true when it existed.
     pub fn remove(&self, id: u64) -> bool {
-        let removed = lock_shard(self.shard(id)).remove(&id).is_some();
-        if removed {
-            self.live.fetch_sub(1, Ordering::Relaxed);
+        match lock_shard(self.shard(id)).remove(&id) {
+            Some(entry) => {
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                self.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Number of live sessions (O(1): maintained counter, no locks).
     pub fn len(&self) -> usize {
         self.live.load(Ordering::Relaxed)
+    }
+
+    /// Accounted bytes of every live session (O(1): maintained on
+    /// insert/remove/evict, never recomputed).
+    pub fn accounted_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// True when no session is live.
@@ -234,14 +280,22 @@ impl SessionTable {
     pub fn evict_idle(&self, max_idle: Duration) -> usize {
         let now = Instant::now();
         let mut evicted = 0;
+        let mut freed = 0usize;
         for shard in &self.shards {
             let mut shard = lock_shard(shard);
             let before = shard.len();
-            shard.retain(|_, e| now.duration_since(e.last_touch) <= max_idle);
+            shard.retain(|_, e| {
+                let keep = now.duration_since(e.last_touch) <= max_idle;
+                if !keep {
+                    freed += e.bytes;
+                }
+                keep
+            });
             evicted += before - shard.len();
         }
         if evicted > 0 {
             self.live.fetch_sub(evicted, Ordering::Relaxed);
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
         }
         evicted
     }
@@ -292,6 +346,25 @@ mod tests {
         let n = t.with(id, |e| e.engine.candidate_count()).unwrap();
         assert_eq!(n, 7);
         assert!(t.with(id + 1, |_| ()).is_none());
+    }
+
+    #[test]
+    fn byte_accounting_follows_insert_remove_and_eviction() {
+        let t = SessionTable::new(8);
+        assert_eq!(t.accounted_bytes(), 0);
+        let a = t.insert(entry()).unwrap();
+        let per = t.accounted_bytes();
+        assert!(
+            per > TRACE_CAPACITY * std::mem::size_of::<(u64, TraceStep)>(),
+            "estimate covers at least the reserved trace ring"
+        );
+        let _b = t.insert(entry()).unwrap();
+        assert_eq!(t.accounted_bytes(), 2 * per, "estimates are deterministic");
+        assert!(t.remove(a));
+        assert_eq!(t.accounted_bytes(), per);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(t.evict_idle(Duration::from_millis(1)), 1);
+        assert_eq!(t.accounted_bytes(), 0);
     }
 
     #[test]

@@ -438,6 +438,149 @@ fn seeded_io_fault_storm_never_corrupts_surviving_sessions() {
 }
 
 #[test]
+fn memory_pressure_walks_the_ladder_and_spares_established_sessions() {
+    let _guard = fault_guard();
+    // Arm the allocation chaos sites (DESIGN.md §13): the first cold load
+    // is refused at the registry gate, the next one at the build gate —
+    // one firing each, then real byte pressure takes over.
+    faults::install_spec(&format!(
+        "seed={},registry.load=alloc:1:0:1,snapshot.build=alloc:1:0:1",
+        seed()
+    ))
+    .unwrap();
+    let service = service_with(EdgeLimits::default());
+    let registry = service.registry();
+    registry.register_fixture("copyadd:20:0.5:11").unwrap();
+    registry.register_fixture("copyadd:20:0.5:12").unwrap();
+    let snapshot = registry.get("figure1").unwrap();
+    let server = start(&service);
+    let mut client = RawClient::connect(server.addr());
+
+    // Injected pressure at the registry gate sheds the cold load with the
+    // structured overloaded shape; the slot stays an unbuilt recipe.
+    let resp = client.call(r#"{"op":"create","collection":"copyadd:20:0.5:11"}"#);
+    assert_eq!(str_field(&resp, "code"), "overloaded");
+    assert!(u64_field(&resp, "retry_after") >= 1);
+    // The retry passes the registry gate and dies at the build gate.
+    let resp = client.call(r#"{"op":"create","collection":"copyadd:20:0.5:11"}"#);
+    assert_eq!(str_field(&resp, "code"), "overloaded");
+    assert_eq!(registry.governor().sheds(), 2);
+
+    // Both alloc faults are spent — materialize both cold fixtures, then
+    // release them (closed sessions drop their leases).
+    for spec in ["copyadd:20:0.5:11", "copyadd:20:0.5:12"] {
+        let resp = client.call(&format!(r#"{{"op":"create","collection":"{spec}"}}"#));
+        assert_eq!(
+            resp.get("ok").and_then(JsonValue::as_bool),
+            Some(true),
+            "faults exhausted, load must succeed: {resp:?}"
+        );
+        let id = u64_field(&resp, "session");
+        client.call(&format!(r#"{{"op":"close","session":{id}}}"#));
+    }
+
+    // Establish a figure1 session and take it mid-discovery: its lease is
+    // what shields figure1 from the ladder below.
+    let target = SetId(5);
+    let (ref_asked, ref_outcome) = reference_run(&snapshot, target);
+    let resp = client.call(r#"{"op":"create","collection":"figure1"}"#);
+    let live = u64_field(&resp, "session");
+    let mut asked = Vec::new();
+    for _ in 0..2 {
+        let resp = client.call(&format!(r#"{{"op":"ask","session":{live}}}"#));
+        let name = str_field(&resp, "entity").to_string();
+        let entity = snapshot.resolve_entity(&name).unwrap();
+        let answer = match answer_for(&snapshot, target, entity) {
+            Answer::Yes => "yes",
+            Answer::No => "no",
+            Answer::Unknown => "unknown",
+        };
+        asked.push(entity);
+        client.call(&format!(
+            r#"{{"op":"answer","session":{live},"entity":"{name}","answer":"{answer}"}}"#
+        ));
+    }
+
+    // Starve the budget: the next create must walk the ladder in order —
+    // every plan cache to its floor, then both cold copyadds unloaded
+    // (figure1 is leased and survives) — and, the budget still being
+    // unreachable, shed.
+    registry.set_budget(1);
+    let resp = client.call(r#"{"op":"create","collection":"figure1"}"#);
+    assert_eq!(str_field(&resp, "code"), "overloaded");
+    assert!(u64_field(&resp, "retry_after") >= 1);
+    assert_eq!(registry.governor().unloads(), 2);
+    let events = registry.governor().events();
+    let first_unload = events
+        .iter()
+        .position(|e| e.starts_with("unload "))
+        .unwrap();
+    let shed_create = events.iter().position(|e| e == "shed create").unwrap();
+    assert!(
+        events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.starts_with("plan.shrink"))
+            .all(|(i, _)| i < first_unload),
+        "ladder order violated (shrinks after an unload): {events:?}"
+    );
+    assert!(
+        first_unload < shed_create,
+        "shed before unloads: {events:?}"
+    );
+    assert!(
+        !events.iter().any(|e| e.starts_with("unload figure1")),
+        "unloaded a leased snapshot: {events:?}"
+    );
+    for info in registry.list() {
+        match info.name.as_str() {
+            "figure1" => assert_eq!(info.state, "loaded"),
+            _ => assert_eq!(info.state, "unloaded", "{}", info.name),
+        }
+    }
+
+    // The established session drains to completion under standing
+    // pressure, bit-identical to the direct engine run.
+    loop {
+        let resp = client.call(&format!(r#"{{"op":"ask","session":{live}}}"#));
+        assert_eq!(
+            resp.get("ok").and_then(JsonValue::as_bool),
+            Some(true),
+            "established session must keep serving: {resp:?}"
+        );
+        if resp.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            assert_eq!(u64_field(&resp, "candidates"), 1);
+            client.call(&format!(r#"{{"op":"close","session":{live}}}"#));
+            break;
+        }
+        let name = str_field(&resp, "entity").to_string();
+        let entity = snapshot.resolve_entity(&name).unwrap();
+        let answer = match answer_for(&snapshot, target, entity) {
+            Answer::Yes => "yes",
+            Answer::No => "no",
+            Answer::Unknown => "unknown",
+        };
+        asked.push(entity);
+        client.call(&format!(
+            r#"{{"op":"answer","session":{live},"entity":"{name}","answer":"{answer}"}}"#
+        ));
+    }
+    assert_eq!(ref_asked, asked, "pressured session diverged");
+    assert_eq!(ref_outcome, vec![target]);
+
+    // Lifting the budget restores full health — including rebuilding a
+    // ladder-unloaded snapshot from its recipe.
+    registry.set_budget(0);
+    for target in 0..7u32 {
+        assert_clean_discovery(&mut client, &snapshot, SetId(target));
+    }
+    let resp = client.call(r#"{"op":"create","collection":"copyadd:20:0.5:12"}"#);
+    assert_eq!(resp.get("ok").and_then(JsonValue::as_bool), Some(true));
+    faults::clear();
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_and_reports() {
     let _guard = fault_guard();
     let service = service_with(EdgeLimits {

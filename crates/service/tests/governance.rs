@@ -1,0 +1,104 @@
+//! Memory-governance invariants of the service (DESIGN.md §13), driven
+//! through the real wire dispatcher under randomized create/ask/close
+//! churn with a deliberately starved byte budget: the degradation ladder
+//! may shrink plan caches, unload cold snapshots, and shed new creates —
+//! but it must never unload a snapshot with live sessions, and every
+//! session the service admitted must keep serving until closed.
+
+use proptest::prelude::*;
+use setdisc_service::{Service, ServiceConfig};
+use setdisc_util::report::{parse_json, JsonValue};
+
+fn call(service: &Service, line: &str) -> JsonValue {
+    parse_json(&service.handle_line(line)).unwrap()
+}
+
+fn ok(resp: &JsonValue) -> bool {
+    resp.get("ok").and_then(JsonValue::as_bool) == Some(true)
+}
+
+/// The three collections under churn: one eager, two lazy recipes.
+const NAMES: [&str; 3] = ["figure1", "copyadd:6:0.5:3", "copyadd:8:0.5:4"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn ladder_never_unloads_a_snapshot_with_live_sessions(
+        raw_ops in prop::collection::vec(0u64..1_000_000, 1..100usize),
+        budget_kb in 1usize..96,
+    ) {
+        let service = Service::new(ServiceConfig {
+            memory: Some(budget_kb * 1024),
+            ..ServiceConfig::default()
+        });
+        service.registry().install_fixture(NAMES[0]).unwrap();
+        service.registry().register_fixture(NAMES[1]).unwrap();
+        service.registry().register_fixture(NAMES[2]).unwrap();
+
+        let mut open: Vec<(u64, &str)> = Vec::new();
+        for raw in raw_ops {
+            let x = (raw / 16) as usize;
+            match raw % 16 {
+                // Creates dominate, spread across all three collections;
+                // a governed refusal must carry the structured shape.
+                0..=5 => {
+                    let name = NAMES[x % NAMES.len()];
+                    let resp = call(
+                        &service,
+                        &format!(r#"{{"op":"create","collection":"{name}"}}"#),
+                    );
+                    if ok(&resp) {
+                        let id = resp
+                            .get("session")
+                            .and_then(JsonValue::as_u64)
+                            .expect("session id");
+                        open.push((id, name));
+                    } else {
+                        prop_assert_eq!(
+                            resp.get("code").and_then(JsonValue::as_str),
+                            Some("overloaded"),
+                            "governed refusal must be coded: {:?}",
+                            resp
+                        );
+                    }
+                }
+                // Asks on an arbitrary open session: an admitted session
+                // must keep serving no matter what the ladder did since.
+                6..=10 => {
+                    if let Some(&(id, _)) = open.get(x % open.len().max(1)) {
+                        let resp =
+                            call(&service, &format!(r#"{{"op":"ask","session":{id}}}"#));
+                        prop_assert!(ok(&resp), "established session refused: {:?}", resp);
+                    }
+                }
+                // Closes release the lease, making the snapshot fair game.
+                _ => {
+                    if !open.is_empty() {
+                        let (id, _) = open.remove(x % open.len());
+                        call(&service, &format!(r#"{{"op":"close","session":{id}}}"#));
+                    }
+                }
+            }
+            // The core invariant, after every single operation.
+            for info in service.registry().list() {
+                if info.live_sessions > 0 {
+                    prop_assert_eq!(
+                        info.state,
+                        "loaded",
+                        "snapshot {} has {} live sessions but was unloaded",
+                        info.name,
+                        info.live_sessions
+                    );
+                }
+            }
+        }
+        // Leases drain exactly with the table: closing everything leaves
+        // zero live sessions on every slot.
+        for (id, _) in open.drain(..) {
+            call(&service, &format!(r#"{{"op":"close","session":{id}}}"#));
+        }
+        for info in service.registry().list() {
+            prop_assert_eq!(info.live_sessions, 0, "leaked lease on {}", info.name);
+        }
+    }
+}

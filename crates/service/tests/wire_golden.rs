@@ -13,7 +13,11 @@
 use setdisc_service::{Service, ServiceConfig};
 
 fn replay(input: &str, golden: &str, pair: &str) {
-    let service = Service::new(ServiceConfig::default());
+    replay_with(ServiceConfig::default(), input, golden, pair);
+}
+
+fn replay_with(config: ServiceConfig, input: &str, golden: &str, pair: &str) {
+    let service = Service::new(config);
     service.registry().install_fixture("figure1").unwrap();
     let mut produced = String::new();
     for line in input.lines() {
@@ -44,6 +48,29 @@ fn wire_protocol_matches_committed_golden_transcript() {
 #[test]
 fn session_mode_extensions_match_committed_noisy_transcript() {
     replay(
+        include_str!("wire_noisy.in"),
+        include_str!("wire_noisy.golden"),
+        "wire_noisy",
+    );
+}
+
+/// With the memory governor armed at a generous budget, both transcripts
+/// must stay byte-identical: governance only changes behavior under
+/// pressure, never the happy-path wire (DESIGN.md §13).
+#[test]
+fn governed_service_replays_both_goldens_byte_identical() {
+    let config = ServiceConfig {
+        memory: Some(512 * 1024 * 1024),
+        ..ServiceConfig::default()
+    };
+    replay_with(
+        config.clone(),
+        include_str!("wire_smoke.in"),
+        include_str!("wire_smoke.golden"),
+        "wire_smoke",
+    );
+    replay_with(
+        config,
         include_str!("wire_noisy.in"),
         include_str!("wire_noisy.golden"),
         "wire_noisy",

@@ -319,6 +319,33 @@ pub fn check_io(site: &str) -> io::Result<()> {
     }
 }
 
+/// Allocation-site hook for the memory governor's pressure paths
+/// (`registry.load`, `plan.insert`, `snapshot.build`): returns `true`
+/// when an `Alloc` fault fires — the caller should behave as if the
+/// allocation was refused (degrade, shed) without exhausting real
+/// memory. `Delay` sleeps and `Panic` panics as usual; `Err`/`Short`
+/// are not allocation-shaped and are ignored here.
+pub fn alloc_pressure(site: &str) -> bool {
+    match fire(site) {
+        Some(Fault {
+            kind: FaultKind::Alloc,
+            ..
+        }) => true,
+        Some(Fault {
+            kind: FaultKind::Delay,
+            param,
+        }) => {
+            std::thread::sleep(Duration::from_millis(param));
+            false
+        }
+        Some(Fault {
+            kind: FaultKind::Panic,
+            ..
+        }) => panic!("injected fault: panic at {site}"),
+        _ => false,
+    }
+}
+
 /// Transfer-site hook: the number of bytes a write of `len` at this site
 /// should actually attempt (`len` unless a `Short` fault fires, then the
 /// rule's `param`, capped at `len`).
@@ -394,6 +421,8 @@ mod tests {
         assert_eq!(short_len("short.site", 100), 5);
         assert_eq!(short_len("short.site", 3), 3, "short never grows a write");
         assert!(check_io("alloc.site").is_err());
+        assert!(alloc_pressure("alloc.site"), "alloc fires as pressure");
+        assert!(!alloc_pressure("io.site"), "err is not allocation-shaped");
         assert_eq!(fire("unregistered.site"), None);
         clear();
     }

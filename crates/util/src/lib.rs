@@ -23,6 +23,10 @@
 //! * [`pool`] — the scoped worker pool and the single `SETDISC_THREADS`
 //!   knob behind every parallel region (experiment `par_map`, the parallel
 //!   k-LP candidate loop), scheduled by an atomic claim counter.
+//! * [`mem`] — the [`mem::HeapSize`] accounting trait behind the memory
+//!   governor's global byte budget: exact owned-heap-bytes reporting for
+//!   the workspace's own types, surfaced through the [`obs`] memory
+//!   gauges.
 //! * [`math`] — exact integer math for the paper's cost lower bounds, most
 //!   importantly `⌈n·log₂ n⌉` computed in fixed point so pruning decisions
 //!   never depend on float rounding.
@@ -39,6 +43,7 @@ pub mod bitset;
 pub mod faults;
 pub mod hash;
 pub mod math;
+pub mod mem;
 pub mod obs;
 pub mod pool;
 pub mod report;

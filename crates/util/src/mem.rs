@@ -1,0 +1,117 @@
+//! Heap-size accounting for the memory-governance subsystem
+//! (DESIGN.md §13).
+//!
+//! [`HeapSize`] reports the bytes a value owns *outside* its own
+//! `size_of` footprint — the quantity a byte budget has to govern,
+//! because the inline part is already paid for by whoever embeds the
+//! value. Implementations are exact where the layout allows (capacity,
+//! not length, for growable containers) and deliberately deterministic:
+//! the same value always accounts to the same number, so governance
+//! decisions replay bit-identically under a fixed request schedule and
+//! tests can cold-recount incrementally-maintained counters.
+//!
+//! The trait lives here in the substrate crate so `core`, `plan`, and
+//! `service` can each implement it over their own private layouts; the
+//! totals surface through the [`crate::obs`] memory gauges
+//! (`setdisc_mem_bytes{component=...}` in the Prometheus exposition).
+
+/// Bytes a value owns on the heap, excluding `size_of::<Self>()`.
+pub trait HeapSize {
+    /// Owned heap bytes. Exact for the workspace's own types; container
+    /// *capacity* counts, not length — a half-full `Vec` still holds its
+    /// allocation.
+    fn heap_bytes(&self) -> usize;
+
+    /// Heap bytes plus the value's own inline size — what one more of
+    /// these costs a parent container slot.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().heap_bytes()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Heap bytes of a `Vec` whose elements own no heap of their own
+/// (ids, counts, fingerprints). Capacity counts, not length.
+pub fn vec_bytes<T: Copy>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Heap bytes of a boxed slice of plain elements (exact: boxed slices
+/// have no spare capacity).
+pub fn boxed_slice_bytes<T: Copy>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+/// Deterministic estimate of a hash table's allocation at the given
+/// usable capacity: one key-value slot plus one control byte per slot.
+/// Not bit-exact against the allocator (bucket rounding and group
+/// padding are implementation details), but a fixed insertion sequence
+/// always accounts to the same number — which is what replayable
+/// governance decisions need.
+pub fn map_spine_bytes<K, V>(capacity: usize) -> usize {
+    capacity * (std::mem::size_of::<(K, V)>() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_account_capacity_not_length() {
+        let mut s = String::with_capacity(64);
+        s.push_str("abc");
+        assert_eq!(s.heap_bytes(), 64);
+        assert_eq!(s.total_bytes(), std::mem::size_of::<String>() + 64);
+        assert_eq!(String::new().heap_bytes(), 0);
+    }
+
+    #[test]
+    fn nested_containers_sum_exactly() {
+        let v: Vec<String> = vec![String::from("xy"), String::new()];
+        let spine = v.capacity() * std::mem::size_of::<String>();
+        assert_eq!(v.heap_bytes(), spine + 2);
+        let boxed: Box<String> = Box::new(String::from("abc"));
+        assert_eq!(
+            boxed.heap_bytes(),
+            std::mem::size_of::<String>() + "abc".len()
+        );
+        assert_eq!(None::<String>.heap_bytes(), 0);
+        assert_eq!(Some(String::from("ab")).heap_bytes(), 2);
+    }
+
+    #[test]
+    fn plain_helpers_count_allocation_not_length() {
+        let mut ids: Vec<u32> = Vec::with_capacity(10);
+        ids.push(7);
+        assert_eq!(vec_bytes(&ids), 40);
+        let slice: Box<[u64]> = vec![1u64, 2, 3].into_boxed_slice();
+        assert_eq!(boxed_slice_bytes(&slice), 24);
+    }
+}

@@ -168,6 +168,62 @@ impl Gauge {
     }
 }
 
+/// The memory-accounting components whose byte levels the governor
+/// publishes (DESIGN.md §13). Fixed at compile time so the gauges are a
+/// flat array and the Prometheus label set is closed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemComponent {
+    /// Loaded snapshot collections (bitmaps, postings, labels, tables).
+    Collections,
+    /// Plan caches, per-shard counters summed across collections.
+    PlanCaches,
+    /// Session-table entries (engines, pending queues, trace rings).
+    Sessions,
+}
+
+/// Every memory component, in stable exposition order.
+pub const MEM_COMPONENTS: [MemComponent; 3] = [
+    MemComponent::Collections,
+    MemComponent::PlanCaches,
+    MemComponent::Sessions,
+];
+
+impl MemComponent {
+    /// The `component` label value in `setdisc_mem_bytes{component=...}`
+    /// and the field suffix in `{"op":"metrics"}`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemComponent::Collections => "collections",
+            MemComponent::PlanCaches => "plan_caches",
+            MemComponent::Sessions => "sessions",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The always-on memory gauges — unlike the span histograms these are
+/// not gated on [`armed`]: byte accounting is what the governor steers
+/// by, so it is never optional.
+static MEM_GAUGES: [Gauge; 3] = [const { Gauge::new() }; 3];
+
+/// Publishes the accounted byte level for one component.
+pub fn mem_set(component: MemComponent, bytes: u64) {
+    MEM_GAUGES[component.index()].set(bytes);
+}
+
+/// The last published byte level for one component.
+pub fn mem_bytes(component: MemComponent) -> u64 {
+    MEM_GAUGES[component.index()].get()
+}
+
+/// Sum of every component's last published level.
+pub fn mem_total() -> u64 {
+    MEM_COMPONENTS.iter().map(|c| mem_bytes(*c)).sum()
+}
+
 /// A lock-free log2-bucketed histogram: concurrent recorders bump
 /// relaxed atomics, readers fold the buckets into a
 /// [`HistogramSnapshot`]. No count is ever lost — `record` is a single
@@ -620,6 +676,29 @@ mod tests {
         assert_eq!(g.get(), 9);
         g.set(2);
         assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn mem_gauges_are_always_on_and_total_sums_components() {
+        let _guard = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        arm(false); // gauges must work disarmed — they are never optional
+        for c in MEM_COMPONENTS {
+            mem_set(c, 0);
+        }
+        mem_set(MemComponent::Collections, 100);
+        mem_set(MemComponent::PlanCaches, 40);
+        mem_set(MemComponent::Sessions, 2);
+        assert_eq!(mem_bytes(MemComponent::Collections), 100);
+        assert_eq!(mem_total(), 142);
+        mem_set(MemComponent::Collections, 10); // gauges move both ways
+        assert_eq!(mem_total(), 52);
+        assert_eq!(
+            MEM_COMPONENTS.map(MemComponent::name),
+            ["collections", "plan_caches", "sessions"]
+        );
+        for c in MEM_COMPONENTS {
+            mem_set(c, 0);
+        }
     }
 
     #[test]
