@@ -39,6 +39,12 @@ run cargo run --release -p setdisc-eval --bin experiments -- table1 --scale smok
 run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke \
     --compare "$PWD/BENCH_hotpath.json" --out "$PWD/BENCH_hotpath.json"
 
+# Cost-model calibration report (DESIGN.md §14): force both counting
+# kernels over a size range, fit ns/element and ns/scan-unit through the
+# origin, and print the implied break-even dispatch factor next to the
+# committed constants — the measured input for ROADMAP item 3's re-fit.
+run cargo bench -p setdisc-bench --bench bench_hotpath -- --scale smoke --calibrate
+
 # Service wire-protocol smoke: the serve binary (stdio transport) must
 # reproduce the committed golden transcript byte for byte. (The same pair
 # of files is replayed in-process by crates/service/tests/wire_golden.rs.)
@@ -67,6 +73,34 @@ SETDISC_OBS=1 cargo run --release -q -p setdisc-service --bin serve -- --stdio -
 SETDISC_OBS=1 cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
     < crates/service/tests/wire_noisy.in \
     | diff -u crates/service/tests/wire_noisy.golden -
+
+# Record → replay (DESIGN.md §14): drive both committed transcripts
+# through serve with the session journal armed — the wire output must stay
+# byte-identical to the goldens — then re-drive each journal through a
+# fresh in-process service with the replay binary, which must reproduce
+# every recorded response byte for byte. A third, chaos-armed recording
+# (pinned fault seed, one injected selection panic mid-conversation) must
+# also replay exactly: the journal's meta record captures the
+# SETDISC_FAULTS spec, and replay re-arms it so the seeded per-site stream
+# fires at the same dispatch ordinal.
+echo "==> session journal record -> replay"
+JOURNAL_TMP=$(mktemp -d)
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --journal "$JOURNAL_TMP/smoke" \
+    < crates/service/tests/wire_smoke.in \
+    | diff -u crates/service/tests/wire_smoke.golden -
+run cargo run --release -q -p setdisc-service --bin replay -- --quiet "$JOURNAL_TMP/smoke"
+cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --journal "$JOURNAL_TMP/noisy" \
+    < crates/service/tests/wire_noisy.in \
+    | diff -u crates/service/tests/wire_noisy.golden -
+run cargo run --release -q -p setdisc-service --bin replay -- --quiet "$JOURNAL_TMP/noisy"
+SETDISC_FAULTS="seed=42,engine.select=panic:1:0:1" \
+    cargo run --release -q -p setdisc-service --bin serve -- --stdio --fixture figure1 \
+    --journal "$JOURNAL_TMP/chaos" \
+    < crates/service/tests/wire_smoke.in >/dev/null 2>"$JOURNAL_TMP/chaos.err"
+run cargo run --release -q -p setdisc-service --bin replay -- --quiet "$JOURNAL_TMP/chaos"
+rm -rf "$JOURNAL_TMP"
 
 # Memory-governance soak (DESIGN.md §13): a 1 MB budget cannot hold the
 # lazily registered multi-MB fixtures, so a 100-create flood against them
@@ -210,6 +244,39 @@ tail -n +2 "$PLAN_TMP/warm.out" \
     | diff -u <(tail -n +2 crates/service/tests/wire_smoke.golden) -
 grep -q "loaded plan cache" "$PLAN_TMP/boot.err" \
     || { echo "post-kill warm boot did not load the plan:"; cat "$PLAN_TMP/boot.err"; exit 1; }
+
+# SIGKILL mid-journal-write: the same kill treatment with the session
+# journal armed and a single sequential client (one connection keeps the
+# journal's dispatch order equal to the wire order). Each round boots into
+# the same directory, appending a fresh meta record; after the kills the
+# journal must still read — a torn tail drops whole exchanges, never half
+# of one — and every surviving exchange across all rounds must replay
+# byte-identically.
+echo "==> crash-tolerant session journal (SIGKILL mid-write)"
+cargo build --release -q -p setdisc-service --bin replay
+for KILL_ROUND in 1 2 3; do
+    SERVE_OUT="$PLAN_TMP/journal_serve.$KILL_ROUND"
+    ./target/release/serve --tcp 127.0.0.1:0 --fixture figure1 \
+        --journal "$PLAN_TMP/journal" \
+        > "$SERVE_OUT" 2>"$SERVE_OUT.err" &
+    SERVE_PID=$!
+    trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+    for _ in $(seq 100); do
+        grep -q "listening on" "$SERVE_OUT" && break
+        sleep 0.05
+    done
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_OUT")
+    [ -n "$ADDR" ] || { echo "journal serve did not come up (round $KILL_ROUND)"; exit 1; }
+    cargo bench -p setdisc-service --bench bench_service -- \
+        --mode socket-only --addr "$ADDR" --fixture figure1 \
+        --clients 1 --sessions 50 >/dev/null 2>&1 &
+    LOAD_PID=$!
+    sleep 0.3   # enough traffic that the kill lands mid-append batch
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    trap - EXIT
+done
+run ./target/release/replay --quiet "$PLAN_TMP/journal"
 rm -rf "$PLAN_TMP"
 
 # Service TCP smoke: start serve on an ephemeral loopback port, drive a

@@ -7,23 +7,34 @@
 //! cargo bench -p setdisc-bench --bench bench_hotpath -- \
 //!     --scale smoke --out BENCH_hotpath.json \
 //!     [--filter substr] [--compare BASELINE.json]
+//! cargo bench -p setdisc-bench --bench bench_hotpath -- \
+//!     --scale smoke --calibrate
 //! ```
 //!
 //! `--compare` reads a previously emitted document *before* running (so it
 //! may name the same path as `--out`) and prints per-kernel median deltas
 //! after the run — the workflow `ci.sh` uses to show every PR's effect on
 //! the committed baseline.
+//!
+//! `--calibrate` is a separate mode: instead of the kernel suite it forces
+//! both counting kernels over a size range, fits ns-per-element and
+//! ns-per-scan-unit by least squares through the origin, and prints the
+//! implied break-even dispatch factor next to the committed constants —
+//! the measured input for re-fitting the `use_postings` cost model
+//! (ROADMAP item 3, DESIGN.md §14).
 
-use setdisc_bench::hotpath::{compare_lines, run_kernels, to_json, HotpathScale};
+use setdisc_bench::hotpath::{compare_lines, run_calibration, run_kernels, to_json, HotpathScale};
 
 fn main() {
     let mut scale = HotpathScale::Smoke;
     let mut out: Option<String> = None;
     let mut filter: Option<String> = None;
     let mut compare: Option<String> = None;
+    let mut calibrate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--calibrate" => calibrate = true,
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
                 scale = HotpathScale::parse(&v)
@@ -36,6 +47,14 @@ fn main() {
             // and any other criterion-style flag so the harness composes.
             _ => {}
         }
+    }
+
+    if calibrate {
+        eprintln!("cost-model calibration: forced counting kernels over full views");
+        for line in run_calibration(scale).lines() {
+            println!("{line}");
+        }
+        return;
     }
 
     // Read the baseline up front: --compare and --out may be the same file.

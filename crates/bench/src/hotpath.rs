@@ -371,6 +371,159 @@ pub fn run_kernels(scale: HotpathScale, filter: Option<&str>) -> Vec<KernelRepor
     reports
 }
 
+/// One calibration measurement: a forced run of a counting kernel over a
+/// view whose predicted cost driver is `units` (total elements for the
+/// element pass, index scan cost for the postings sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationPoint {
+    /// Collection size (sets) the view was taken over.
+    pub n: usize,
+    /// Predicted cost units for this kernel on this view.
+    pub units: u64,
+    /// Median nanoseconds for one forced pass.
+    pub median_ns: f64,
+}
+
+/// Measured calibration data for both counting kernels, with the
+/// least-squares fits the `calibrate` report prints. Feeds ROADMAP item 3:
+/// the committed dispatch factors (1 for the count-only pass, 2 for the
+/// fingerprint variants) encode an assumed ratio between the per-unit
+/// costs of the two kernels, and this report measures that ratio on the
+/// current machine.
+#[derive(Debug, Default)]
+pub struct Calibration {
+    /// Element-pass points (`units` = view total elements).
+    pub elements: Vec<CalibrationPoint>,
+    /// Postings-sweep points (`units` = index scan cost).
+    pub postings: Vec<CalibrationPoint>,
+}
+
+/// Least-squares slope through the origin for `median_ns = c × units`:
+/// `c = Σ(units·ns) / Σ(units²)`. Zero when there is nothing to fit.
+fn fit_through_origin(points: &[CalibrationPoint]) -> f64 {
+    let num: f64 = points.iter().map(|p| p.units as f64 * p.median_ns).sum();
+    let den: f64 = points.iter().map(|p| (p.units as f64).powi(2)).sum();
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+impl Calibration {
+    /// Fitted nanoseconds per element for the forced element pass.
+    pub fn ns_per_element(&self) -> f64 {
+        fit_through_origin(&self.elements)
+    }
+
+    /// Fitted nanoseconds per scan unit for the forced postings sweep.
+    pub fn ns_per_scan_unit(&self) -> f64 {
+        fit_through_origin(&self.postings)
+    }
+
+    /// The break-even dispatch factor the fits imply. The dispatcher sweeps
+    /// postings when `total_elements > factor × scan_cost`; cost parity
+    /// holds at `elements · c_e = scan · c_s`, i.e. the measured factor is
+    /// `c_s / c_e`. Zero when the element fit is degenerate.
+    pub fn fitted_factor(&self) -> f64 {
+        let e = self.ns_per_element();
+        if e > 0.0 {
+            self.ns_per_scan_unit() / e
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the calibrate report: per-point measurements, the two fitted
+    /// constants, and the implied dispatch factor next to the committed
+    /// ones.
+    pub fn lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, points) in [("elements", &self.elements), ("postings", &self.postings)] {
+            for p in points {
+                lines.push(format!(
+                    "{:>10} n={:<6} units={:<9} median={:>10}  {:>8.3} ns/unit",
+                    name,
+                    p.n,
+                    p.units,
+                    fmt_duration(Duration::from_nanos(p.median_ns as u64)),
+                    if p.units > 0 {
+                        p.median_ns / p.units as f64
+                    } else {
+                        0.0
+                    },
+                ));
+            }
+        }
+        lines.push(format!(
+            "fitted: {:.3} ns/element, {:.3} ns/scan-unit",
+            self.ns_per_element(),
+            self.ns_per_scan_unit()
+        ));
+        lines.push(format!(
+            "fitted dispatch factor {:.2} (committed: 1 for count-only, 2 for fingerprint passes)",
+            self.fitted_factor()
+        ));
+        lines
+    }
+}
+
+/// Runs the calibration workload: forced element-pass and postings-sweep
+/// counting over full views of copy-add collections across a size range,
+/// timing each and recording the predicted cost units the dispatcher would
+/// have compared. The same measurement the armed
+/// `setdisc_cost_model_error` histograms collect in production, but under
+/// controlled sizes and with both kernels forced on every view.
+pub fn run_calibration(scale: HotpathScale) -> Calibration {
+    use setdisc_core::subcollection::EntityStats;
+    let sizes: &[usize] = scale.pick(
+        &[250, 500, 1_000, 2_000],
+        &[500, 1_000, 2_000, 4_000, 8_000],
+    );
+    let samples = scale.pick(7, 11);
+    let mut cal = Calibration::default();
+    for &n in sizes {
+        let coll = crate::synthetic(n, 0.9);
+        let view = coll.full_view();
+        let preview = view.dispatch_preview(2);
+        let mut scratch = CountScratch::new();
+        let mut out: Vec<EntityStats> = Vec::new();
+        let rep = time_kernel(
+            &format!("calibrate_elements_n{n}"),
+            samples,
+            preview.total_elements,
+            "elements",
+            || {
+                out.clear();
+                view.count_entities_with_fp_elements(&mut scratch, &mut out);
+                out.len() as u64
+            },
+        );
+        cal.elements.push(CalibrationPoint {
+            n,
+            units: preview.total_elements,
+            median_ns: rep.median_ns,
+        });
+        let rep = time_kernel(
+            &format!("calibrate_postings_n{n}"),
+            samples,
+            preview.scan_cost,
+            "scan-units",
+            || {
+                out.clear();
+                view.count_entities_with_fp_postings(&mut out);
+                out.len() as u64
+            },
+        );
+        cal.postings.push(CalibrationPoint {
+            n,
+            units: preview.scan_cost,
+            median_ns: rep.median_ns,
+        });
+    }
+    cal
+}
+
 /// Renders a per-kernel comparison of `reports` against a previously
 /// emitted `BENCH_hotpath.json` document, one line per kernel
 /// (`name old → new speedup`); kernels present on only one side are
@@ -487,6 +640,48 @@ mod tests {
         assert!(lines[2].contains("in baseline only"));
         assert!(compare_lines("not json", &[]).is_err());
         assert!(compare_lines("{\"bench\":\"hotpath\"}", &[]).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_a_known_slope() {
+        // Exact points on median_ns = 3 × units fit back to 3.
+        let points: Vec<CalibrationPoint> = [10u64, 100, 1000]
+            .iter()
+            .map(|&units| CalibrationPoint {
+                n: units as usize,
+                units,
+                median_ns: 3.0 * units as f64,
+            })
+            .collect();
+        let slope = fit_through_origin(&points);
+        assert!((slope - 3.0).abs() < 1e-9, "{slope}");
+        assert_eq!(fit_through_origin(&[]), 0.0);
+    }
+
+    #[test]
+    fn calibration_report_shape() {
+        let mut cal = Calibration::default();
+        cal.elements.push(CalibrationPoint {
+            n: 100,
+            units: 1000,
+            median_ns: 2000.0,
+        });
+        cal.postings.push(CalibrationPoint {
+            n: 100,
+            units: 250,
+            median_ns: 1500.0,
+        });
+        assert!((cal.ns_per_element() - 2.0).abs() < 1e-9);
+        assert!((cal.ns_per_scan_unit() - 6.0).abs() < 1e-9);
+        assert!((cal.fitted_factor() - 3.0).abs() < 1e-9);
+        let lines = cal.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("elements"));
+        assert!(lines[1].contains("postings"));
+        assert!(lines[2].contains("ns/element"));
+        assert!(lines[3].contains("committed: 1 for count-only"));
+        // Degenerate element fit must not divide by zero.
+        assert_eq!(Calibration::default().fitted_factor(), 0.0);
     }
 
     #[test]

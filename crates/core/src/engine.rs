@@ -51,6 +51,100 @@ pub trait SelectionCache: Send + Sync {
 
     /// Records a freshly computed selection for this view.
     fn record(&self, view: &SubCollection<'_>, detail: &SelectionDetail);
+
+    /// [`Self::lookup`] plus where the served node came from. MUST be
+    /// observably identical to one `lookup` call (same stats, stamps, and
+    /// eviction effects) — the engine substitutes it for `lookup` only
+    /// when provenance capture is armed, and armed/disarmed runs must
+    /// leave bit-identical cache state. The default reports
+    /// [`PlanOrigin::Unknown`] for caches that don't track origin.
+    fn lookup_with_origin(&self, view: &SubCollection<'_>) -> Option<(EntityId, PlanOrigin)> {
+        self.lookup(view).map(|e| (e, PlanOrigin::Unknown))
+    }
+}
+
+/// Where a plan-cache hit's node was born.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlanOrigin {
+    /// Loaded from a persisted plan file (warm boot / precompute).
+    File,
+    /// Recorded online by a live session on this process.
+    Online,
+    /// The cache implementation doesn't track origin.
+    Unknown,
+}
+
+impl PlanOrigin {
+    /// Stable wire name for provenance JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanOrigin::File => "file",
+            PlanOrigin::Online => "online",
+            PlanOrigin::Unknown => "unknown",
+        }
+    }
+}
+
+/// How the plan cache participated in one selection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlanDisposition {
+    /// Served from the cache; the origin tells file vs online.
+    Hit(PlanOrigin),
+    /// Probed and missed; the strategy ran and the result was recorded.
+    Miss,
+    /// Not consulted: the exclusion set was non-empty (cache contract).
+    Bypassed,
+    /// No cache is attached to this engine.
+    Unattached,
+}
+
+impl PlanDisposition {
+    /// Stable wire name for provenance JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanDisposition::Hit(PlanOrigin::File) => "hit_file",
+            PlanDisposition::Hit(PlanOrigin::Online) => "hit_online",
+            PlanDisposition::Hit(PlanOrigin::Unknown) => "hit",
+            PlanDisposition::Miss => "miss",
+            PlanDisposition::Bypassed => "bypassed",
+            PlanDisposition::Unattached => "unattached",
+        }
+    }
+}
+
+/// The per-question "why" record [`Engine::next_question`] captures when
+/// explain mode is armed ([`Engine::set_explain`]): every decision behind
+/// the pick — ranked candidates with prune reasons, plan-cache
+/// disposition and key, counting-kernel dispatch with predicted cost
+/// drivers next to a measured pass time. Capture is strictly read-only
+/// with respect to selection state; armed and disarmed runs produce
+/// bit-identical questions, budgets, and plan-cache contents.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// 1-based ordinal of the question this record explains.
+    pub question: usize,
+    /// The selected entity.
+    pub entity: EntityId,
+    /// Candidate sets in the view at selection time.
+    pub candidates: usize,
+    /// The view's content fingerprint — with `view_len`, the plan key.
+    pub view_fp: Fingerprint,
+    /// The view's length — the other half of the plan key.
+    pub view_len: u32,
+    /// How the plan cache participated.
+    pub plan: PlanDisposition,
+    /// The strategy's bound for the pick (0 on plan hits — the engine
+    /// never recomputes it).
+    pub bound: u64,
+    /// Ranked candidates with Table-4 prune reasons; `None` on plan hits
+    /// (the strategy never ran — the plan *is* the why).
+    pub trace: Option<crate::strategy::SelectionTrace>,
+    /// What the counting dispatcher would decide for this view under the
+    /// fingerprint-pass factor, with its predicted cost drivers.
+    pub dispatch: crate::subcollection::DispatchPreview,
+    /// Wall time of one measured read-only counting pass over the view
+    /// (the kernel `dispatch` chose), in nanoseconds.
+    pub measured_count_ns: u64,
 }
 
 /// A cheaply-cloneable handle to an immutable [`Collection`].
@@ -102,6 +196,10 @@ pub struct Engine<C, S> {
     /// recent strategy-computed selection; `None` after a plan-cache hit or
     /// an excluded-path selection (where no detail is computed).
     last_detail: Option<(u32, u32)>,
+    /// Whether [`Self::next_question`] captures a [`Provenance`] record.
+    explain: bool,
+    /// The most recent captured record (explain mode only).
+    last_provenance: Option<Provenance>,
 }
 
 /// Backtracking bookkeeping, allocated only for sessions that opt in.
@@ -174,6 +272,8 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
             unknowns: 0,
             recover: None,
             last_detail: None,
+            explain: false,
+            last_provenance: None,
         }
     }
 
@@ -268,6 +368,32 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         self.last_detail
     }
 
+    /// Arms (or disarms) per-question [`Provenance`] capture. Disarmed —
+    /// the default — [`Self::next_question`] is byte-for-byte the code
+    /// path it always was; armed, each selection additionally records a
+    /// provenance record readable via [`Self::provenance`]. Arming never
+    /// changes selections, budgets, or plan-cache contents (pinned by the
+    /// explain-purity property suite).
+    pub fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+        if !on {
+            self.last_provenance = None;
+        }
+    }
+
+    /// True when provenance capture is armed.
+    pub fn explain_enabled(&self) -> bool {
+        self.explain
+    }
+
+    /// The provenance record of the most recent [`Self::next_question`],
+    /// when explain mode was armed for it. Repeated reads return the same
+    /// record; answering does not clear it (the record explains the last
+    /// *question*, which an answer resolves).
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.last_provenance.as_ref()
+    }
+
     /// Access to the strategy (e.g. to read prune statistics).
     pub fn strategy(&self) -> &S {
         &self.strategy
@@ -316,31 +442,96 @@ impl<C: CollectionRef, S: SelectionStrategy> Engine<C, S> {
         // [`SelectionCache`]): consult it before running the strategy,
         // populate it after a miss. With exclusions (the "don't know"
         // path) selection always runs the strategy directly.
+        let explain = self.explain;
+        let disposition;
+        let mut explain_detail: Option<SelectionDetail> = None;
         let pick = match &self.plan {
-            Some(cache) if self.excluded.is_empty() => match cache.lookup(&view) {
-                Some(entity) => {
-                    obs::hit(obs::Site::PlanHit);
-                    self.last_detail = None;
-                    Some(entity)
-                }
-                None => {
-                    obs::hit(obs::Site::PlanMiss);
-                    let detail = self.strategy.select_with_detail(&view, &self.excluded);
-                    if let Some(detail) = &detail {
-                        cache.record(&view, detail);
-                        obs::hit(obs::Site::PlanRecord);
-                        obs::record(obs::Site::SelectInformative, u64::from(detail.informative));
-                        obs::record(obs::Site::SelectEvaluated, u64::from(detail.evaluated));
+            Some(cache) if self.excluded.is_empty() => {
+                // One probe either way: `lookup_with_origin` is contractually
+                // identical to `lookup` in every cache-state effect, so the
+                // armed path stays bit-identical to the disarmed one.
+                let looked = if explain {
+                    cache.lookup_with_origin(&view)
+                } else {
+                    cache.lookup(&view).map(|e| (e, PlanOrigin::Unknown))
+                };
+                match looked {
+                    Some((entity, origin)) => {
+                        obs::hit(obs::Site::PlanHit);
+                        self.last_detail = None;
+                        disposition = PlanDisposition::Hit(origin);
+                        Some(entity)
                     }
-                    self.last_detail = detail.as_ref().map(|d| (d.informative, d.evaluated));
-                    detail.map(|d| d.entity)
+                    None => {
+                        obs::hit(obs::Site::PlanMiss);
+                        let detail = self.strategy.select_with_detail(&view, &self.excluded);
+                        if let Some(detail) = &detail {
+                            cache.record(&view, detail);
+                            obs::hit(obs::Site::PlanRecord);
+                            obs::record(
+                                obs::Site::SelectInformative,
+                                u64::from(detail.informative),
+                            );
+                            obs::record(obs::Site::SelectEvaluated, u64::from(detail.evaluated));
+                        }
+                        self.last_detail = detail.as_ref().map(|d| (d.informative, d.evaluated));
+                        disposition = PlanDisposition::Miss;
+                        explain_detail = detail;
+                        detail.map(|d| d.entity)
+                    }
                 }
-            },
+            }
             _ => {
                 self.last_detail = None;
-                self.strategy.select_excluding(&view, &self.excluded)
+                disposition = if self.plan.is_some() {
+                    PlanDisposition::Bypassed
+                } else {
+                    PlanDisposition::Unattached
+                };
+                if explain {
+                    // `select_with_detail` selects identically to
+                    // `select_excluding` (trait contract); the detail feeds
+                    // the trace reconstruction. Nothing is recorded to the
+                    // cache on this path either way.
+                    let detail = self.strategy.select_with_detail(&view, &self.excluded);
+                    explain_detail = detail;
+                    detail.map(|d| d.entity)
+                } else {
+                    self.strategy.select_excluding(&view, &self.excluded)
+                }
             }
         };
+        if explain {
+            self.last_provenance = None;
+            if let Some(entity) = pick {
+                let trace = explain_detail
+                    .as_ref()
+                    .map(|d| self.strategy.explain_last(&view, &self.excluded, d));
+                // Predicted cost drivers for the fingerprint counting pass
+                // (dispatch factor 2), next to one measured read-only pass
+                // of whichever kernel the dispatcher picks — local scratch,
+                // so selection state is untouched.
+                let dispatch = view.dispatch_preview(2);
+                let started = std::time::Instant::now();
+                let mut scratch = crate::subcollection::CountScratch::new();
+                let mut counted = Vec::new();
+                view.count_entities_with_fp(&mut scratch, &mut counted);
+                let measured_count_ns =
+                    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.last_provenance = Some(Provenance {
+                    question: self.questions + 1,
+                    entity,
+                    candidates: view.len(),
+                    view_fp: view.fingerprint(),
+                    view_len: view.len() as u32,
+                    plan: disposition,
+                    bound: explain_detail.map_or(0, |d| d.bound),
+                    trace,
+                    dispatch,
+                    measured_count_ns,
+                });
+            }
+        }
         self.store = view.into_storage();
         pick
     }

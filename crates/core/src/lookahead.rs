@@ -62,7 +62,9 @@
 
 use crate::cost::{imbalance, AvgDepth, Cost, CostModel, Lb0Table, UNBOUNDED};
 use crate::entity::EntityId;
-use crate::strategy::SelectionStrategy;
+use crate::strategy::{
+    CandidateOutcome, RankedCandidate, SelectionStrategy, SelectionTrace, EXPLAIN_RANKED_CAP,
+};
 use crate::subcollection::{Candidate, LookaheadScratch, SubCollection, SubStorage};
 use crate::weights::{combine_w, ul_first_w, ul_second_w, wlb0, WeightTable};
 use setdisc_util::{pool, Fingerprint, FxHashMap, FxHashSet};
@@ -1173,6 +1175,116 @@ impl<M: CostModel> SelectionStrategy for KLp<M> {
             informative,
             evaluated,
         })
+    }
+
+    /// Reconstructs the ranked frontier of the selection `detail` came
+    /// from. Pure by construction: one read-only counting pass into local
+    /// buffers regenerates the candidates exactly as `select_top` did
+    /// (same scores, same total rank order), and the scan horizon is
+    /// replayed from the detail's `evaluated` counter — the memo, dedup
+    /// state, and scratch invariants of live selection are untouched, so
+    /// any number of calls leaves future selections and recorded plan
+    /// nodes bit-identical.
+    fn explain_last(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+        detail: &crate::strategy::SelectionDetail,
+    ) -> SelectionTrace {
+        let n = view.len() as u64;
+        let mut trace = SelectionTrace::default();
+        if n < 2 {
+            return trace;
+        }
+        self.lb0.ensure(n);
+        let mut cand: Vec<Candidate> = Vec::new();
+        if let Some(w) = self.weights.as_deref() {
+            let wv = view.total_weight(w);
+            let mut wstats = Vec::new();
+            view.informative_weighted(&mut self.scratch.counts, &mut wstats, w);
+            for s in &wstats {
+                if !excluded.is_empty() && excluded.contains(&s.entity) {
+                    continue;
+                }
+                let (n1, n2) = (s.count as u64, n - s.count as u64);
+                let (w1, w2) = (s.wsum, wv - s.wsum);
+                cand.push(Candidate {
+                    score: combine_w(
+                        wv,
+                        wlb0(w1, n1, self.lb0.lb0(n1)),
+                        wlb0(w2, n2, self.lb0.lb0(n2)),
+                    ),
+                    imbalance: (2 * w1).abs_diff(wv),
+                    entity: s.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
+            }
+        } else {
+            let mut ecounts = Vec::new();
+            view.informative_into(&mut self.scratch.counts, &mut ecounts);
+            for ec in &ecounts {
+                if !excluded.is_empty() && excluded.contains(&ec.entity) {
+                    continue;
+                }
+                let n1 = ec.count as u64;
+                cand.push(Candidate {
+                    score: self.lb0.lb1(n, n1),
+                    imbalance: imbalance(n, n1),
+                    entity: ec.entity,
+                    n1,
+                    fp: Fingerprint::ZERO,
+                });
+            }
+        }
+        cand.sort_unstable_by_key(rank_key);
+        trace.informative = cand.len() as u32;
+        // A memoized selection re-ran no scan (informative/evaluated both
+        // zero on a real node is impossible: the winner itself is
+        // informative) — the frontier below is the memoized node's.
+        trace.memo_hit = detail.informative == 0 && detail.evaluated == 0;
+        trace.evaluated = detail.evaluated;
+
+        // The sequential scan bumps `evaluated` *before* the duplicate
+        // check, so exactly the first `evaluated` rank positions were
+        // scanned; duplicates among them are re-identified by membership
+        // digest and everything past the horizon was cut by the ranked
+        // early exit / beam before its bound computation started.
+        let scanned = if trace.memo_hit {
+            0
+        } else {
+            (detail.evaluated as usize).min(cand.len())
+        };
+        let mut seen: FxHashSet<(Fingerprint, u64)> = FxHashSet::default();
+        for (i, c) in cand.iter().enumerate() {
+            let outcome = if c.entity == detail.entity {
+                CandidateOutcome::Selected
+            } else if i < scanned {
+                if !seen.insert((view.membership_fp(c.entity), c.n1)) {
+                    trace.pruned_duplicate += 1;
+                    CandidateOutcome::PrunedDuplicate
+                } else {
+                    CandidateOutcome::Evaluated
+                }
+            } else {
+                trace.pruned_bound += 1;
+                CandidateOutcome::PrunedBound
+            };
+            if outcome == CandidateOutcome::Selected && i < scanned {
+                // The winner's digest participates in dedup for later ranks.
+                seen.insert((view.membership_fp(c.entity), c.n1));
+            }
+            // The winner is always recorded, even past the ranked cap.
+            if trace.ranked.len() < EXPLAIN_RANKED_CAP || outcome == CandidateOutcome::Selected {
+                trace.ranked.push(RankedCandidate {
+                    entity: c.entity,
+                    count: c.n1 as u32,
+                    rank: i as u32,
+                    outcome,
+                });
+            }
+        }
+        trace
     }
 }
 

@@ -40,6 +40,72 @@ pub struct SelectionDetail {
     pub evaluated: u32,
 }
 
+/// Most ranked candidates a [`SelectionTrace`] retains verbatim; the tail
+/// beyond the cap is summarized by the trace's aggregate counters.
+pub const EXPLAIN_RANKED_CAP: usize = 16;
+
+/// Why one candidate entity did or did not become the question — the
+/// paper's Table-4 prune taxonomy, per candidate instead of aggregate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// This candidate won the argmin and was selected.
+    Selected,
+    /// Its bound was fully computed; it lost to the selected entity.
+    Evaluated,
+    /// Its partition was content-identical to an earlier candidate's
+    /// (membership-digest dedup) — bound skipped, outcome inherited.
+    PrunedDuplicate,
+    /// The ranked early exit cut it: its 1-step key already ruled out
+    /// beating the incumbent bound, so lookahead never descended.
+    PrunedBound,
+}
+
+impl CandidateOutcome {
+    /// Stable wire name for provenance JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CandidateOutcome::Selected => "selected",
+            CandidateOutcome::Evaluated => "evaluated",
+            CandidateOutcome::PrunedDuplicate => "pruned_duplicate",
+            CandidateOutcome::PrunedBound => "pruned_bound",
+        }
+    }
+}
+
+/// One candidate in the strategy's own ranked consideration order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RankedCandidate {
+    /// The candidate entity.
+    pub entity: EntityId,
+    /// Yes-side size of `partition(entity)` over the view.
+    pub count: u32,
+    /// Position in the strategy's ranking (0 = considered first).
+    pub rank: u32,
+    /// What happened to it.
+    pub outcome: CandidateOutcome,
+}
+
+/// A per-question "why" record: the ranked candidates a strategy
+/// considered and the Table-4 reason each non-winner was discarded.
+/// Produced only on demand by [`SelectionStrategy::explain_last`] —
+/// never on the selection hot path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionTrace {
+    /// Candidates in rank order, truncated at [`EXPLAIN_RANKED_CAP`].
+    pub ranked: Vec<RankedCandidate>,
+    /// Informative candidates at the node (Table 4 `|I|`).
+    pub informative: u32,
+    /// Candidates whose bound computation ran.
+    pub evaluated: u32,
+    /// Candidates discarded as duplicate partitions.
+    pub pruned_duplicate: u32,
+    /// Candidates cut by the ranked early exit before evaluation.
+    pub pruned_bound: u32,
+    /// The selection was served from the strategy's internal memo — the
+    /// ranked reconstruction reflects the memoized node's frontier.
+    pub memo_hit: bool,
+}
+
 /// Chooses the entity for the next membership question on a sub-collection.
 ///
 /// Implementations may keep internal caches; `select` takes `&mut self`.
@@ -81,6 +147,40 @@ pub trait SelectionStrategy {
                 informative: 0,
                 evaluated: 0,
             })
+    }
+
+    /// Reconstructs the "why" behind the selection `detail` describes:
+    /// the ranked candidate list and the prune reason per discarded
+    /// candidate, for the same `(view, excluded)` the selection ran on.
+    ///
+    /// **Purity contract:** implementations MUST NOT change any state
+    /// that selection outcomes depend on — calling this any number of
+    /// times leaves future selections bit-identical (pinned by the
+    /// engine's explain-purity property suite). It may cost a fresh
+    /// counting pass; it only runs when a caller asked "why".
+    ///
+    /// The default reports what the default `select_with_detail` knows:
+    /// the winner alone, with the detail's aggregate counters.
+    fn explain_last(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+        detail: &SelectionDetail,
+    ) -> SelectionTrace {
+        let _ = (view, excluded);
+        SelectionTrace {
+            ranked: vec![RankedCandidate {
+                entity: detail.entity,
+                count: 0,
+                rank: 0,
+                outcome: CandidateOutcome::Selected,
+            }],
+            informative: detail.informative,
+            evaluated: detail.evaluated,
+            pruned_duplicate: 0,
+            pruned_bound: 0,
+            memo_hit: false,
+        }
     }
 }
 
@@ -389,6 +489,15 @@ impl<T: SelectionStrategy + ?Sized> SelectionStrategy for Box<T> {
         excluded: &FxHashSet<EntityId>,
     ) -> Option<SelectionDetail> {
         (**self).select_with_detail(view, excluded)
+    }
+
+    fn explain_last(
+        &mut self,
+        view: &SubCollection<'_>,
+        excluded: &FxHashSet<EntityId>,
+        detail: &SelectionDetail,
+    ) -> SelectionTrace {
+        (**self).explain_last(view, excluded, detail)
     }
 }
 

@@ -54,6 +54,38 @@ pub fn fp_of_set(id: SetId) -> Fingerprint {
     Fingerprint::of(id.0 as u64)
 }
 
+/// What the counting dispatcher would decide for one pass, plus the cost-
+/// model inputs it compared — see [`SubCollection::dispatch_preview`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DispatchPreview {
+    /// `true` → the postings sweep runs; `false` → the element pass.
+    pub use_postings: bool,
+    /// Predicted element-pass cost driver: members summed over view sets.
+    pub total_elements: u64,
+    /// Predicted postings-sweep cost driver: the index's fixed scan cost.
+    pub scan_cost: u64,
+    /// The dispatch factor the comparison multiplied `scan_cost` by.
+    pub factor: u64,
+}
+
+/// Cost-model calibration hook: when telemetry is armed, times `pass` and
+/// records its measured cost in **milli-nanoseconds per predicted cost
+/// unit** at `site` (so the histogram directly reads as "ns/unit ×1000" —
+/// the fitted constant ROADMAP item 3's re-fit compares against the
+/// committed dispatch factor). Disarmed this is one relaxed load and a
+/// branch; the pass itself is always run exactly once.
+#[inline]
+fn record_kernel_cost(site: obs::Site, units: u64, pass: impl FnOnce()) {
+    if !obs::armed() {
+        pass();
+        return;
+    }
+    let started = std::time::Instant::now();
+    pass();
+    let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    obs::record(site, ns.saturating_mul(1000) / units.max(1));
+}
+
 /// A view over a sorted subset of sets in a [`Collection`]: a dense bitmap
 /// with a lazily materialized sorted id vector.
 #[derive(Clone)]
@@ -303,28 +335,34 @@ impl<'c> SubCollection<'c> {
     pub fn count_entities(&self, scratch: &mut CountScratch, out: &mut Vec<EntityCount>) {
         let _span = obs::span(obs::Site::Count);
         if self.use_postings(1) {
-            self.count_postings_impl(out, u32::MAX);
+            let units = self.collection.postings().scan_cost();
+            record_kernel_cost(obs::Site::CostModelPostings, units, || {
+                self.count_postings_impl(out, u32::MAX);
+            });
             return;
         }
-        scratch.ensure(self.collection.universe());
-        for id in self.bits.iter() {
-            for e in self.collection.set(id).iter() {
-                let slot = &mut scratch.counts[e.0 as usize];
-                if *slot == 0 {
-                    scratch.touched.push(e);
+        let units = self.total_elements() as u64;
+        record_kernel_cost(obs::Site::CostModelElements, units, || {
+            scratch.ensure(self.collection.universe());
+            for id in self.bits.iter() {
+                for e in self.collection.set(id).iter() {
+                    let slot = &mut scratch.counts[e.0 as usize];
+                    if *slot == 0 {
+                        scratch.touched.push(e);
+                    }
+                    *slot += 1;
                 }
-                *slot += 1;
             }
-        }
-        out.reserve(scratch.touched.len());
-        for &e in &scratch.touched {
-            out.push(EntityCount {
-                entity: e,
-                count: scratch.counts[e.0 as usize],
-            });
-            scratch.counts[e.0 as usize] = 0;
-        }
-        scratch.touched.clear();
+            out.reserve(scratch.touched.len());
+            for &e in &scratch.touched {
+                out.push(EntityCount {
+                    entity: e,
+                    count: scratch.counts[e.0 as usize],
+                });
+                scratch.counts[e.0 as usize] = 0;
+            }
+            scratch.touched.clear();
+        });
     }
 
     /// Like [`Self::count_entities`], but also accumulates each entity's
@@ -333,9 +371,15 @@ impl<'c> SubCollection<'c> {
     pub fn count_entities_with_fp(&self, scratch: &mut CountScratch, out: &mut Vec<EntityStats>) {
         let _span = obs::span(obs::Site::Count);
         if self.use_postings(2) {
-            self.count_with_fp_postings_impl(out, u32::MAX);
+            let units = self.collection.postings().scan_cost();
+            record_kernel_cost(obs::Site::CostModelPostings, units, || {
+                self.count_with_fp_postings_impl(out, u32::MAX);
+            });
         } else {
-            self.count_with_fp_elements_impl(scratch, out, u32::MAX);
+            let units = self.total_elements() as u64;
+            record_kernel_cost(obs::Site::CostModelElements, units, || {
+                self.count_with_fp_elements_impl(scratch, out, u32::MAX);
+            });
         }
     }
 
@@ -348,9 +392,15 @@ impl<'c> SubCollection<'c> {
         let _span = obs::span(obs::Site::Count);
         let below = self.len;
         if self.use_postings(2) {
-            self.count_with_fp_postings_impl(out, below);
+            let units = self.collection.postings().scan_cost();
+            record_kernel_cost(obs::Site::CostModelPostings, units, || {
+                self.count_with_fp_postings_impl(out, below);
+            });
         } else {
-            self.count_with_fp_elements_impl(scratch, out, below);
+            let units = self.total_elements() as u64;
+            record_kernel_cost(obs::Site::CostModelElements, units, || {
+                self.count_with_fp_elements_impl(scratch, out, below);
+            });
         }
     }
 
@@ -385,6 +435,22 @@ impl<'c> SubCollection<'c> {
     fn use_postings(&self, factor: u64) -> bool {
         let scan = self.collection.postings().scan_cost();
         scan > 0 && self.total_elements() as u64 > scan.saturating_mul(factor)
+    }
+
+    /// The counting-dispatch decision for one pass, without running it:
+    /// which kernel the internal `use_postings` gate would pick under `factor` and
+    /// the two cost-model inputs it compared. Pure — provenance capture
+    /// and tests read the dispatcher's mind through this without
+    /// perturbing any counter or cache.
+    pub fn dispatch_preview(&self, factor: u64) -> DispatchPreview {
+        let scan_cost = self.collection.postings().scan_cost();
+        let total_elements = self.total_elements() as u64;
+        DispatchPreview {
+            use_postings: scan_cost > 0 && total_elements > scan_cost.saturating_mul(factor),
+            total_elements,
+            scan_cost,
+            factor,
+        }
     }
 
     fn count_with_fp_elements_impl(
@@ -536,28 +602,34 @@ impl<'c> SubCollection<'c> {
         out.clear();
         let n = self.len;
         if self.use_postings(1) {
-            self.count_postings_impl(out, n);
+            let units = self.collection.postings().scan_cost();
+            record_kernel_cost(obs::Site::CostModelPostings, units, || {
+                self.count_postings_impl(out, n);
+            });
             return;
         }
-        scratch.ensure(self.collection.universe());
-        for id in self.bits.iter() {
-            for e in self.collection.set(id).iter() {
-                let slot = &mut scratch.counts[e.0 as usize];
-                if *slot == 0 {
-                    scratch.touched.push(e);
+        let units = self.total_elements() as u64;
+        record_kernel_cost(obs::Site::CostModelElements, units, || {
+            scratch.ensure(self.collection.universe());
+            for id in self.bits.iter() {
+                for e in self.collection.set(id).iter() {
+                    let slot = &mut scratch.counts[e.0 as usize];
+                    if *slot == 0 {
+                        scratch.touched.push(e);
+                    }
+                    *slot += 1;
                 }
-                *slot += 1;
             }
-        }
-        out.reserve(scratch.touched.len());
-        for &e in &scratch.touched {
-            let count = scratch.counts[e.0 as usize];
-            scratch.counts[e.0 as usize] = 0;
-            if count < n {
-                out.push(EntityCount { entity: e, count });
+            out.reserve(scratch.touched.len());
+            for &e in &scratch.touched {
+                let count = scratch.counts[e.0 as usize];
+                scratch.counts[e.0 as usize] = 0;
+                if count < n {
+                    out.push(EntityCount { entity: e, count });
+                }
             }
-        }
-        scratch.touched.clear();
+            scratch.touched.clear();
+        });
     }
 
     /// Informative entities with counts, membership digests, **and** prior

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! discover <sets.txt> [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
-//!          [--examples e1,e2] [--plan-cache PATH] [--trace]
+//!          [--examples e1,e2] [--plan-cache PATH] [--trace] [--explain]
 //! discover precompute (<sets.txt> | --fixture SPEC) --out PATH
 //!          [--strategy NAME] [--metric ad|h] [--k N] [--beam Q]
 //!          [--max-nodes N] [--max-depth D]
@@ -27,6 +27,16 @@
 //! one JSON object after the conversation ends — so a terminal run can be
 //! diffed event-for-event against a wire-protocol run.
 //!
+//! `--explain` arms the engine's decision provenance (the same record the
+//! service's `explain` wire op reports): after each question is selected,
+//! the full why — ranked candidates with Table-4 prune outcomes,
+//! plan-cache disposition, counting-kernel dispatch with its predicted
+//! cost inputs and measured pass time — prints as one JSON line. The two
+//! flags compose: with both, `--trace` additionally rings a compact
+//! explain event beside each ask, exactly as the service does. Arming
+//! explain never changes which questions are asked (a pinned engine
+//! property).
+//!
 //! The CLI is a thin terminal driver over the *same* stack the network
 //! service runs: collections become `setdisc_service::Snapshot`s,
 //! strategies are built through `StrategySpec`, and the question loop steps
@@ -49,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: discover <sets.txt> [--strategy klp|klp-le|klp-lve|most-even|info-gain|\
          indist-pairs|lb1|random] [--metric ad|h] [--k N] [--beam Q] [--examples e1,e2,...]\n\
-         \x20                [--plan-cache PATH] [--prior w1,w2,...] [--trace]\n\
+         \x20                [--plan-cache PATH] [--prior w1,w2,...] [--trace] [--explain]\n\
          \x20      discover precompute (<sets.txt> | --fixture SPEC) --out PATH\n\
          \x20                [--strategy ...] [--metric ad|h] [--k N] [--beam Q]\n\
          \x20                [--prior w1,w2,...] [--max-nodes N] [--max-depth D]"
@@ -74,6 +84,7 @@ struct CommonArgs {
     plan_cache: Option<String>,
     prior: Option<Vec<u64>>,
     trace: bool,
+    explain: bool,
     out: Option<String>,
     max_nodes: usize,
     max_depth: u32,
@@ -92,6 +103,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
         plan_cache: None,
         prior: None,
         trace: false,
+        explain: false,
         out: None,
         max_nodes: 4096,
         max_depth: 16,
@@ -129,6 +141,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> (bool, CommonArgs) {
             }
             "--plan-cache" => c.plan_cache = Some(it.next().unwrap_or_else(|| usage())),
             "--trace" => c.trace = true,
+            "--explain" => c.explain = true,
             "--prior" => {
                 c.prior = Some(
                     it.next()
@@ -256,6 +269,56 @@ fn run_precompute(c: &CommonArgs) {
     );
 }
 
+/// Renders a provenance record as the same JSON shape the service's
+/// `explain` wire op reports (minus the session envelope), so terminal
+/// and wire explanations diff field-for-field.
+fn render_provenance(p: &setdisc_core::engine::Provenance, snapshot: &Snapshot) -> JsonObject {
+    let mut obj = JsonObject::new()
+        .int("question", p.question as u64)
+        .str("entity", &snapshot.entity_label(p.entity))
+        .int("candidates", p.candidates as u64)
+        .int("view_len", u64::from(p.view_len))
+        .str("plan", p.plan.name())
+        .int("bound", p.bound)
+        .obj(
+            "dispatch",
+            JsonObject::new()
+                .str(
+                    "kernel",
+                    if p.dispatch.use_postings {
+                        "postings"
+                    } else {
+                        "elements"
+                    },
+                )
+                .int("total_elements", p.dispatch.total_elements)
+                .int("scan_cost", p.dispatch.scan_cost)
+                .int("factor", p.dispatch.factor),
+        )
+        .int("count_ns", p.measured_count_ns);
+    if let Some(t) = &p.trace {
+        let ranked = t
+            .ranked
+            .iter()
+            .map(|c| {
+                JsonObject::new()
+                    .str("entity", &snapshot.entity_label(c.entity))
+                    .int("count", u64::from(c.count))
+                    .int("rank", u64::from(c.rank))
+                    .str("outcome", c.outcome.name())
+            })
+            .collect();
+        obj = obj
+            .array("ranked", ranked)
+            .int("informative", u64::from(t.informative))
+            .int("evaluated", u64::from(t.evaluated))
+            .int("pruned_duplicate", u64::from(t.pruned_duplicate))
+            .int("pruned_bound", u64::from(t.pruned_bound))
+            .bool("memo_hit", t.memo_hit);
+    }
+    obj
+}
+
 fn main() {
     let (precompute, args) = parse_args(std::env::args().skip(1));
     if precompute {
@@ -292,6 +355,11 @@ fn main() {
     let (strategy, label, plan_key) = resolve_strategy(&spec, weights.as_ref());
     let mut engine: Engine<SnapshotHandle, BoxedStrategy> =
         Engine::new(SnapshotHandle(Arc::clone(&snapshot)), &initial, strategy);
+    if args.explain {
+        // Provenance capture is read-only — the question sequence is
+        // bit-identical to an unarmed run.
+        engine.set_explain(true);
+    }
 
     // Load (or lazily create) the shared plan so this terminal session
     // reads and extends the same decision tree a service would. Loaded
@@ -368,6 +436,34 @@ fn main() {
                     .int("evaluated", u64::from(evaluated)),
             );
             seq += 1;
+        }
+        if args.explain {
+            if let Some(p) = engine.provenance() {
+                // Full record to the terminal; a compact ring event into
+                // the trace (the same composition the service performs).
+                println!("  explain {}", render_provenance(p, &snapshot).encode());
+                if let Some(events) = trace.as_mut() {
+                    events.push(
+                        JsonObject::new()
+                            .int("seq", seq)
+                            .str("kind", "explain")
+                            .str("entity", &snapshot.entity_label(p.entity))
+                            .int("candidates", p.candidates as u64)
+                            .str("plan", p.plan.name())
+                            .int("bound", p.bound)
+                            .str(
+                                "kernel",
+                                if p.dispatch.use_postings {
+                                    "postings"
+                                } else {
+                                    "elements"
+                                },
+                            )
+                            .int("count_ns", p.measured_count_ns),
+                    );
+                    seq += 1;
+                }
+            }
         }
         print!(
             "is {:?} in your set? [y/n/?/q] ",

@@ -20,7 +20,7 @@
 
 use setdisc_core::collection::Collection;
 use setdisc_core::cost::Cost;
-use setdisc_core::engine::SelectionCache;
+use setdisc_core::engine::{PlanOrigin, SelectionCache};
 use setdisc_core::entity::EntityId;
 use setdisc_core::strategy::SelectionDetail;
 use setdisc_core::subcollection::SubCollection;
@@ -125,6 +125,9 @@ impl PlanStats {
 struct Entry {
     node: PlanNode,
     stamp: u64,
+    /// Provenance bit: `true` when the node arrived via a plan-file load
+    /// ([`PlanCache::insert_loaded`]) rather than a live session's record.
+    from_file: bool,
 }
 
 /// Deterministic byte cost accounted per resident node: the key-value
@@ -316,6 +319,14 @@ impl PlanCache {
     /// The cached node for `key`, stamping it most-recently-used. Counts a
     /// hit or miss.
     pub fn get(&self, key: &PlanKey) -> Option<PlanNode> {
+        self.get_with_origin(key).map(|(node, _)| node)
+    }
+
+    /// [`Self::get`] plus whether the served node was loaded from a plan
+    /// file or recorded online — byte-identical cache-state effects (one
+    /// probe, same stamp, same hit/miss counters), so provenance-armed
+    /// and disarmed runs leave indistinguishable caches.
+    pub fn get_with_origin(&self, key: &PlanKey) -> Option<(PlanNode, PlanOrigin)> {
         let mut shard = self.shard(key).lock().expect("plan shard poisoned");
         match shard.map.get_mut(key) {
             Some(entry) => {
@@ -324,7 +335,12 @@ impl PlanCache {
                 if key.strategy.weight_fp != 0 {
                     self.weighted_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(entry.node)
+                let origin = if entry.from_file {
+                    PlanOrigin::File
+                } else {
+                    PlanOrigin::Online
+                };
+                Some((entry.node, origin))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -347,6 +363,17 @@ impl PlanCache {
     /// transient overshoot of at most one entry per momentarily empty
     /// shard, the same soft-admission trade the session table makes).
     pub fn insert(&self, key: PlanKey, node: PlanNode) {
+        self.insert_with_origin(key, node, false);
+    }
+
+    /// [`Self::insert`] marking the node as plan-file-loaded — the warm
+    /// boot / precompute-install path, so later hits can report
+    /// [`PlanOrigin::File`].
+    pub fn insert_loaded(&self, key: PlanKey, node: PlanNode) {
+        self.insert_with_origin(key, node, true);
+    }
+
+    fn insert_with_origin(&self, key: PlanKey, node: PlanNode, from_file: bool) {
         // Under injected allocation pressure the node is simply not
         // cached — plans are derived data, and a cache that cannot grow
         // still serves what it holds (the session recomputes this one
@@ -367,7 +394,18 @@ impl PlanCache {
             self.resident.fetch_sub(dropped, Ordering::Relaxed);
             self.evicted.fetch_add(dropped, Ordering::Relaxed);
         }
-        if shard.map.insert(key, Entry { node, stamp }).is_none() {
+        if shard
+            .map
+            .insert(
+                key,
+                Entry {
+                    node,
+                    stamp,
+                    from_file,
+                },
+            )
+            .is_none()
+        {
             shard.bytes += NODE_BYTES;
             self.resident.fetch_add(1, Ordering::Relaxed);
             self.inserted.fetch_add(1, Ordering::Relaxed);
@@ -535,6 +573,16 @@ impl SelectionCache for ScopedPlanCache {
             return None;
         }
         self.cache.get(&self.key_of(view)).map(|node| node.entity)
+    }
+
+    fn lookup_with_origin(&self, view: &SubCollection<'_>) -> Option<(EntityId, PlanOrigin)> {
+        if view.collection().token() != self.collection_token {
+            debug_assert!(false, "plan cache consulted for a foreign collection");
+            return None;
+        }
+        self.cache
+            .get_with_origin(&self.key_of(view))
+            .map(|(node, origin)| (node.entity, origin))
     }
 
     fn record(&self, view: &SubCollection<'_>, detail: &SelectionDetail) {

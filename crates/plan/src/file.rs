@@ -243,7 +243,9 @@ pub fn load_plan(path: impl AsRef<Path>, capacity: usize) -> io::Result<PlanCach
             yes: (c.fp()?, c.u32()?),
             no: (c.fp()?, c.u32()?),
         };
-        cache.insert(key, node);
+        // Provenance: hits on these nodes report a file origin (`explain`
+        // distinguishes warm-boot plans from online-learned ones).
+        cache.insert_loaded(key, node);
     }
     Ok(cache)
 }

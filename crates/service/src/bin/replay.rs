@@ -1,0 +1,61 @@
+//! Deterministic replay of a `serve --journal` directory.
+//!
+//! ```text
+//! replay [--quiet] JOURNAL_DIR
+//! ```
+//!
+//! Reads the journal, rebuilds the service each run's meta record
+//! describes (collection recipes, limits, `SETDISC_FAULTS` spec, obs
+//! arming), re-drives every recorded request through a fresh in-process
+//! service, and byte-diffs every response against the recorded one.
+//! Prints a summary (and the first mismatching exchanges unless
+//! `--quiet`); exits 0 when every response reproduced byte-identically,
+//! 1 on any mismatch, 2 on usage or an unreadable journal.
+//!
+//! The process arms fault injection and telemetry *from the journal*, not
+//! from the environment — a replay is a reconstruction of the recorded
+//! run, so `SETDISC_FAULTS`/`SETDISC_OBS` in the caller's environment are
+//! deliberately ignored.
+
+use setdisc_service::replay::replay_dir;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: replay [--quiet] JOURNAL_DIR");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quiet = false;
+    let mut dir: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            _ if dir.is_none() => dir = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let report = match replay_dir(&dir, true) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "replayed {} exchanges across {} run(s): {} mismatch(es)",
+        report.exchanges, report.runs, report.mismatches
+    );
+    if !quiet {
+        for diag in &report.diagnostics {
+            eprintln!("{diag}");
+        }
+        let shown = report.diagnostics.len() as u64;
+        if report.mismatches > shown {
+            eprintln!("... and {} more", report.mismatches - shown);
+        }
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

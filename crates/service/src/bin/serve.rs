@@ -8,6 +8,7 @@
 //!       [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]
 //!       [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]
 //!       [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]
+//!       [--journal DIR]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `setdisc_service::proto` over
@@ -51,6 +52,16 @@
 //! the plan cache, exit. Fault injection for chaos testing is armed via
 //! the `SETDISC_FAULTS` environment variable (see `setdisc_util::faults`).
 //!
+//! Crash tolerance (DESIGN.md §14): `--journal DIR` appends every wire
+//! request/response pair the dispatcher handles to a rotating,
+//! fsync-batched JSONL journal in `DIR`, led by a meta record pinning the
+//! collection recipes, service limits, fault spec, and telemetry arming.
+//! The `replay` binary re-drives a journal through a fresh in-process
+//! service and byte-diffs every response. Restarting into the same
+//! directory appends a new run (fresh segment, fresh meta); a crash
+//! mid-append loses at most the unsynced batch tail, never a torn
+//! half-record.
+//!
 //! Telemetry (DESIGN.md §12): `--metrics` arms the hot-path span timers
 //! (equivalent to `SETDISC_OBS=1`), so the session-less
 //! `{"op":"metrics"}` wire op reports populated site histograms alongside
@@ -77,7 +88,8 @@ fn usage() -> ! {
          \x20            [--memory-budget-mb N]\n\
          \x20            [--plan-cache PATH] [--plan-capacity N] [--checkpoint-ms MS]\n\
          \x20            [--max-conns N] [--max-line-bytes N] [--max-requests-per-conn N]\n\
-         \x20            [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]"
+         \x20            [--io-timeout-ms MS] [--stdin-shutdown] [--metrics]\n\
+         \x20            [--journal DIR]"
     );
     std::process::exit(2);
 }
@@ -108,6 +120,7 @@ fn main() {
     let mut plan_path: Option<PathBuf> = None;
     let mut checkpoint_ms: u64 = 30_000;
     let mut stdin_shutdown = false;
+    let mut journal_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -134,6 +147,9 @@ fn main() {
             "--idle-timeout" | "--idle-secs" => idle_secs = parse_next(&mut args),
             "--plan-cache" => {
                 plan_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--journal" => {
+                journal_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
             "--plan-capacity" => config.plan_cache_capacity = parse_next(&mut args),
             "--checkpoint-ms" => checkpoint_ms = parse_next(&mut args),
@@ -162,7 +178,7 @@ fn main() {
     let idle_timeout = config.idle_timeout;
     let plan_capacity = config.plan_cache_capacity;
 
-    let service = Arc::new(Service::new(config));
+    let mut service = Service::new(config);
     for spec in &fixtures {
         if let Err(e) = service.registry().install_fixture(spec) {
             fail(&e);
@@ -182,6 +198,22 @@ fn main() {
             fail(&e);
         }
     }
+    if let Some(dir) = &journal_dir {
+        // The meta record pins the recipes in application order, so the
+        // replay binary rebuilds collections exactly as this boot did.
+        let recipes = fixtures
+            .iter()
+            .map(|s| format!("fixture:{s}"))
+            .chain(loads.iter().map(|(n, p)| format!("load:{n}={p}")))
+            .chain(registers.iter().map(|s| format!("register:{s}")))
+            .collect();
+        let meta = setdisc_service::journal::JournalMeta::capture(service.config(), recipes);
+        match setdisc_service::journal::ServiceJournal::open(dir, &meta) {
+            Ok(journal) => service.set_journal(journal),
+            Err(e) => fail(&format!("open journal {}: {e}", dir.display())),
+        }
+    }
+    let service = Arc::new(service);
 
     // Warm boot: attach a persisted plan to the collection it was built
     // for, keeping the configured capacity as the growth headroom (a
@@ -287,8 +319,13 @@ fn main() {
     }
 }
 
-/// Final plan persist on a clean shutdown path.
+/// Final plan persist (and journal sync) on a clean shutdown path.
 fn persist_on_exit(service: &Service) {
+    if let Some(journal) = service.journal() {
+        if let Err(e) = journal.sync() {
+            obs::warn(&format!("final journal sync failed: {e}"));
+        }
+    }
     match service.persist_plans() {
         Ok(Some((name, nodes))) => {
             obs::info(&format!("persisted plan cache: {nodes} nodes for {name:?}"));

@@ -1,0 +1,364 @@
+//! The session journal: every wire exchange, durably, for replay.
+//!
+//! [`ServiceJournal`] composes the content-agnostic rotating line journal
+//! of [`setdisc_util::journal`] into the service's crash-tolerance story.
+//! A journal directory holds one *meta* record (written at open) followed
+//! by one *exchange* record per request/response pair the dispatcher
+//! handled, in dispatch order:
+//!
+//! ```text
+//! {"kind":"meta","version":1,"obs":BOOL,"faults":SPEC?,
+//!  "default_budget":N,"max_sessions":N,"plan_capacity":N,
+//!  "memory_bytes":N?,"collections":["fixture:figure1",...]}
+//! {"kind":"exchange","seq":1,"req":RAW_REQUEST,"resp":RAW_RESPONSE}
+//! ```
+//!
+//! The meta record pins everything a replay needs to reconstruct the
+//! process: the collection recipes (`fixture:`/`register:`/`load:` specs
+//! exactly as given to `serve`), the service limits that shape responses
+//! (budget, session cap, plan capacity, memory budget), and the
+//! nondeterminism arming — the `SETDISC_FAULTS` spec and the `util::obs`
+//! switch. Fault streams are seeded per site, so re-arming the same spec
+//! replays the same injected failures at the same dispatch ordinals.
+//!
+//! Exchanges pair the raw request line with the raw response line in one
+//! record, so the torn-tail tolerance of the underlying reader drops whole
+//! exchanges, never half of one. Requests that fail to parse are journaled
+//! too (their error responses replay byte-identically). What the journal
+//! does *not* see: edge errors produced inside the transports
+//! (`too_large`, `deadline`, `overloaded` connection sheds) — those never
+//! reach [`crate::Service::handle_line`], and they depend on wall-clock
+//! and socket state no replay could reproduce.
+//!
+//! Durability is inherited from [`setdisc_util::journal::JournalWriter`]:
+//! rotation never splits a record, fsync runs every batch of appends and
+//! on drop, and a reopened directory starts a fresh segment. A journal
+//! append failure (disk full, injected `journal.append` fault) is
+//! *contained*: the exchange is dropped from the journal with a warning,
+//! the client still gets its response — journaling must never take the
+//! service down.
+
+use setdisc_util::journal::JournalWriter;
+use setdisc_util::report::{parse_json, JsonObject, JsonValue};
+use setdisc_util::{faults, obs};
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Journal format version written to (and required of) the meta record.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Everything a replay needs to rebuild the service that wrote the
+/// journal: collection recipes, response-shaping limits, and the
+/// nondeterminism arming.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Whether `util::obs` span timing was armed (`--metrics` /
+    /// `SETDISC_OBS=1`). Replay re-arms it so armed-only side effects run
+    /// at the same points.
+    pub obs: bool,
+    /// The `SETDISC_FAULTS` spec in force, if any. Replay re-installs it;
+    /// per-site seeded streams then fire identically.
+    pub faults: Option<String>,
+    /// Default question budget for sessions created without one.
+    pub default_budget: u64,
+    /// Session-table capacity (shapes `overloaded` sheds).
+    pub max_sessions: usize,
+    /// Plan-cache node bound (`0` disables caching — a perf knob only,
+    /// selections are bit-identical either way, but recorded for
+    /// completeness).
+    pub plan_capacity: usize,
+    /// Memory-governor budget in bytes, when armed.
+    pub memory: Option<usize>,
+    /// Collection recipes exactly as given to the server, each prefixed
+    /// with its kind: `fixture:SPEC`, `register:SPEC`, or
+    /// `load:NAME=PATH`.
+    pub collections: Vec<String>,
+}
+
+impl JournalMeta {
+    /// Captures the arming and limits of a live service plus the given
+    /// collection recipes.
+    pub fn capture(config: &crate::ServiceConfig, collections: Vec<String>) -> Self {
+        Self {
+            obs: obs::armed(),
+            faults: std::env::var("SETDISC_FAULTS")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            default_budget: config.default_budget,
+            max_sessions: config.max_sessions,
+            plan_capacity: config.plan_cache_capacity,
+            memory: config.memory,
+            collections,
+        }
+    }
+
+    /// Encodes the meta record line.
+    fn encode(&self) -> String {
+        let mut obj = JsonObject::new()
+            .str("kind", "meta")
+            .int("version", JOURNAL_VERSION)
+            .bool("obs", self.obs);
+        if let Some(spec) = &self.faults {
+            obj = obj.str("faults", spec);
+        }
+        obj = obj
+            .int("default_budget", self.default_budget)
+            .int("max_sessions", self.max_sessions as u64)
+            .int("plan_capacity", self.plan_capacity as u64);
+        if let Some(bytes) = self.memory {
+            obj = obj.int("memory_bytes", bytes as u64);
+        }
+        obj.strs("collections", &self.collections).encode()
+    }
+
+    /// Parses a meta record line (the first line of a journal).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = parse_json(line).map_err(|e| format!("journal meta: {e}"))?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("meta") {
+            return Err("journal does not start with a meta record".into());
+        }
+        let version = v
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("journal meta: missing version")?;
+        if version != JOURNAL_VERSION {
+            return Err(format!(
+                "journal version {version} unsupported (reader speaks {JOURNAL_VERSION})"
+            ));
+        }
+        let collections = match v.get("collections") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "journal meta: collections must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("journal meta: missing collections".into()),
+        };
+        Ok(Self {
+            obs: v.get("obs").and_then(JsonValue::as_bool).unwrap_or(false),
+            faults: v
+                .get("faults")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            default_budget: v
+                .get("default_budget")
+                .and_then(JsonValue::as_u64)
+                .ok_or("journal meta: missing default_budget")?,
+            max_sessions: v
+                .get("max_sessions")
+                .and_then(JsonValue::as_u64)
+                .ok_or("journal meta: missing max_sessions")? as usize,
+            plan_capacity: v
+                .get("plan_capacity")
+                .and_then(JsonValue::as_u64)
+                .ok_or("journal meta: missing plan_capacity")? as usize,
+            memory: v
+                .get("memory_bytes")
+                .and_then(JsonValue::as_u64)
+                .map(|b| b as usize),
+            collections,
+        })
+    }
+
+    /// Re-arms the nondeterminism sources this meta records: the fault
+    /// spec (or a clean slate when none was armed) and the obs switch.
+    pub fn arm(&self) -> Result<(), String> {
+        match &self.faults {
+            Some(spec) => faults::install_spec(spec)?,
+            None => faults::clear(),
+        }
+        obs::arm(self.obs);
+        Ok(())
+    }
+}
+
+/// One recorded request/response pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exchange {
+    /// 1-based dispatch ordinal.
+    pub seq: u64,
+    /// The raw request line as received.
+    pub req: String,
+    /// The raw response line as sent.
+    pub resp: String,
+}
+
+impl Exchange {
+    /// Parses an exchange record line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = parse_json(line).map_err(|e| format!("journal exchange: {e}"))?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("exchange") {
+            return Err(format!("not an exchange record: {line}"));
+        }
+        Ok(Self {
+            seq: v
+                .get("seq")
+                .and_then(JsonValue::as_u64)
+                .ok_or("journal exchange: missing seq")?,
+            req: v
+                .get("req")
+                .and_then(JsonValue::as_str)
+                .ok_or("journal exchange: missing req")?
+                .to_string(),
+            resp: v
+                .get("resp")
+                .and_then(JsonValue::as_str)
+                .ok_or("journal exchange: missing resp")?
+                .to_string(),
+        })
+    }
+}
+
+/// The service-side journal sink: a rotating writer behind a mutex, so
+/// concurrent transport threads serialize their exchanges into one global
+/// dispatch order (the order replay re-drives).
+pub struct ServiceJournal {
+    state: Mutex<State>,
+}
+
+struct State {
+    writer: JournalWriter,
+    seq: u64,
+    write_errors: u64,
+}
+
+impl ServiceJournal {
+    /// Opens (or resumes) a journal in `dir` and writes the meta record.
+    /// Resuming an existing directory starts a fresh segment — and writes
+    /// a fresh meta record, so every segment run is self-describing.
+    pub fn open(dir: &Path, meta: &JournalMeta) -> io::Result<Self> {
+        Self::with_writer(JournalWriter::open(dir)?, meta)
+    }
+
+    /// [`Self::open`] with an explicit segment-rotation threshold —
+    /// durability tests use a tiny one to put record boundaries right on
+    /// segment boundaries.
+    pub fn open_with_rotation(
+        dir: &Path,
+        meta: &JournalMeta,
+        rotate_bytes: u64,
+    ) -> io::Result<Self> {
+        Self::with_writer(JournalWriter::with_rotation(dir, rotate_bytes)?, meta)
+    }
+
+    fn with_writer(mut writer: JournalWriter, meta: &JournalMeta) -> io::Result<Self> {
+        writer.append(&meta.encode())?;
+        writer.sync()?;
+        Ok(Self {
+            state: Mutex::new(State {
+                writer,
+                seq: 0,
+                write_errors: 0,
+            }),
+        })
+    }
+
+    /// Records one exchange. Append failures are contained: the record is
+    /// dropped with a warning (first occurrence only — a full disk must
+    /// not flood the log) and the service keeps serving.
+    pub fn record(&self, req: &str, resp: &str) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.seq += 1;
+        let line = JsonObject::new()
+            .str("kind", "exchange")
+            .int("seq", state.seq)
+            .str("req", req)
+            .str("resp", resp)
+            .encode();
+        if let Err(e) = state.writer.append(&line) {
+            state.write_errors += 1;
+            if state.write_errors == 1 {
+                obs::warn(&format!(
+                    "journal append failed ({e}); this and further failed exchanges are \
+                     dropped from the journal"
+                ));
+            }
+        }
+    }
+
+    /// Exchanges dropped by append failures so far.
+    pub fn write_errors(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .write_errors
+    }
+
+    /// Forces buffered appends to disk (the writer also syncs every batch
+    /// and on drop).
+    pub fn sync(&self) -> io::Result<()> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .writer
+            .sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setdisc_util::journal::read_dir;
+
+    fn meta() -> JournalMeta {
+        JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        }
+    }
+
+    #[test]
+    fn meta_round_trips_through_its_record_line() {
+        let mut m = meta();
+        m.faults = Some("engine.select:0.5:7".into());
+        m.memory = Some(64 << 20);
+        m.obs = true;
+        let parsed = JournalMeta::parse(&m.encode()).unwrap();
+        assert_eq!(parsed, m);
+        // Optional fields stay optional.
+        let bare = meta();
+        assert_eq!(JournalMeta::parse(&bare.encode()).unwrap(), bare);
+        // Wrong kind and wrong version are errors.
+        assert!(JournalMeta::parse(r#"{"kind":"exchange","seq":1}"#).is_err());
+        assert!(JournalMeta::parse(
+            r#"{"kind":"meta","version":99,"obs":false,"default_budget":1,
+                "max_sessions":1,"plan_capacity":1,"collections":[]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn records_exchanges_in_dispatch_order_with_meta_first() {
+        let dir = std::env::temp_dir().join(format!("setdisc_svc_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = ServiceJournal::open(&dir, &meta()).unwrap();
+        journal.record(r#"{"op":"collections"}"#, r#"{"ok":true}"#);
+        journal.record("garbage", r#"{"ok":false,"error":"x"}"#);
+        journal.sync().unwrap();
+        let lines = read_dir(&dir).unwrap();
+        assert_eq!(lines.len(), 3);
+        let m = JournalMeta::parse(&lines[0]).unwrap();
+        assert_eq!(m.collections, vec!["fixture:figure1".to_string()]);
+        let first = Exchange::parse(&lines[1]).unwrap();
+        assert_eq!(first.seq, 1);
+        assert_eq!(first.req, r#"{"op":"collections"}"#);
+        assert_eq!(first.resp, r#"{"ok":true}"#);
+        let second = Exchange::parse(&lines[2]).unwrap();
+        assert_eq!(second.seq, 2);
+        assert_eq!(second.req, "garbage");
+        assert_eq!(journal.write_errors(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

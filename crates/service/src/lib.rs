@@ -32,6 +32,12 @@
 //!   dispatcher tying the three together (`&Service` is `Sync`; call it
 //!   from any number of threads).
 //! * [`server`] — TCP and stdio transports for the `serve` binary.
+//! * [`journal`] — the crash-tolerant session journal: every exchange
+//!   [`service::Service::handle_line`] processes, appended to a rotating
+//!   fsync-batched directory (`serve --journal DIR`), paired with
+//! * [`replay`] — deterministic re-driving of a journal through a fresh
+//!   in-process service, byte-diffing every response (the `replay`
+//!   binary).
 //! * [`load`] — the load harness: N simulated clients replayed against an
 //!   in-process service or a real socket, reporting sessions/sec and
 //!   p50/p99 per-question latency (the `bench_service` target emits
@@ -45,8 +51,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod load;
 pub mod proto;
+pub mod replay;
 pub mod server;
 pub mod service;
 pub mod snapshot;

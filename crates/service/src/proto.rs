@@ -9,7 +9,7 @@
 //! {"op":"create","collection":NAME,
 //!  "strategy":FAMILY?,"metric":"ad"|"h"?,"k":N?,"beam":N?,"seed":N?,
 //!  "examples":[ENTITY,...]?,"budget":N?,
-//!  "prior":[WEIGHT,...]?,"recover":BOOL?}
+//!  "prior":[WEIGHT,...]?,"recover":BOOL?,"explain":BOOL?}
 //!     -> {"ok":true,"op":"create","session":ID,"candidates":N}
 //! {"op":"ask","session":ID,"choices":N?}
 //!     -> {"ok":true,"op":"ask","session":ID,"done":false,"entity":NAME,
@@ -54,7 +54,22 @@
 //!      | (prometheus) {"ok":true,"op":"metrics","text":EXPOSITION}
 //! {"op":"trace","session":ID}
 //!     -> {"ok":true,"op":"trace","session":ID,"dropped":N,
-//!         "events":[{seq,kind:"ask"|"answer",...}]}
+//!         "events":[{seq,kind:"ask"|"answer"|"explain",...}]}
+//! {"op":"explain","session":ID}
+//!     -> {"ok":true,"op":"explain","session":ID,"armed":false}
+//!        (session created without "explain":true, or no fresh
+//!         selection has run yet: "armed":true,"question":null)
+//!      | {"ok":true,"op":"explain","session":ID,"armed":true,
+//!         "question":N,"entity":NAME,"candidates":N,"plan":
+//!         "hit_file"|"hit_online"|"miss"|"bypassed"|"unattached",
+//!         "bound":N,"dispatch":{kernel,total_elements,scan_cost,
+//!         factor},"count_ns":N,
+//!         "ranked":[{entity,count,rank,outcome}]?,
+//!         "informative":N?,"evaluated":N?,"pruned_duplicate":N?,
+//!         "pruned_bound":N?,"memo_hit":BOOL?}
+//!        (the ranked/counter block is present only when the selection
+//!         ran the strategy — plan hits carry no trace: the plan is the
+//!         why)
 //! ```
 //!
 //! Errors are `{"ok":false,"error":MESSAGE}`; the connection stays usable.
@@ -101,6 +116,11 @@ pub enum Request {
         /// Arm §6 backtracking: contradictions trigger Algorithm-2
         /// recovery instead of closing the session.
         recover: bool,
+        /// Arm per-question decision provenance: the engine records a
+        /// [`setdisc_core::engine::Provenance`] for every fresh selection,
+        /// retrievable via the `explain` op. Strictly additive — the
+        /// armed engine's decisions are bit-identical to an unarmed one.
+        explain: bool,
     },
     /// Request the next membership question.
     Ask {
@@ -156,6 +176,12 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Retrieve the provenance record of a session's latest fresh
+    /// selection (requires an `"explain":true` create).
+    Explain {
+        /// Session id.
+        session: u64,
+    },
     /// Close a session, releasing its slot.
     Close {
         /// Session id.
@@ -175,6 +201,7 @@ impl Request {
             | Request::AnswerChoice { session, .. }
             | Request::Status { session }
             | Request::Trace { session }
+            | Request::Explain { session }
             | Request::Close { session } => Some(*session),
             Request::Create { .. }
             | Request::ServiceStatus { .. }
@@ -192,6 +219,7 @@ impl Request {
             Request::Status { .. } | Request::ServiceStatus { .. } => "status",
             Request::Metrics { .. } => "metrics",
             Request::Trace { .. } => "trace",
+            Request::Explain { .. } => "explain",
             Request::Close { .. } => "close",
             Request::Collections => "collections",
         }
@@ -256,6 +284,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 budget: opt_u64(&v, "budget")?,
                 prior,
                 recover: opt_bool(&v, "recover")?.unwrap_or(false),
+                explain: opt_bool(&v, "explain")?.unwrap_or(false),
             })
         }
         "ask" => {
@@ -325,6 +354,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Metrics { prometheus })
         }
         "trace" => Ok(Request::Trace {
+            session: session_id(&v)?,
+        }),
+        "explain" => Ok(Request::Explain {
             session: session_id(&v)?,
         }),
         "close" => Ok(Request::Close {
@@ -444,6 +476,7 @@ mod tests {
             budget,
             prior,
             recover,
+            explain,
         } = req
         else {
             panic!("wrong variant");
@@ -454,6 +487,7 @@ mod tests {
         assert_eq!(budget, None);
         assert!(prior.is_empty());
         assert!(!recover);
+        assert!(!explain);
 
         let req = parse_request(
             r#"{"op":"create","collection":"c","strategy":"klp-le","metric":"h","k":3,
@@ -554,6 +588,16 @@ mod tests {
             Request::Trace { session: 4 }
         );
         assert!(parse_request(r#"{"op":"trace"}"#).is_err());
+        assert_eq!(
+            parse_request(r#"{"op":"explain","session":4}"#).unwrap(),
+            Request::Explain { session: 4 }
+        );
+        assert!(parse_request(r#"{"op":"explain"}"#).is_err());
+        assert!(matches!(
+            parse_request(r#"{"op":"create","collection":"c","explain":true}"#).unwrap(),
+            Request::Create { explain: true, .. }
+        ));
+        assert!(parse_request(r#"{"op":"create","collection":"c","explain":"on"}"#).is_err());
         // The new ops stay absent from the pinned unknown-op error text —
         // the committed goldens replay it byte-for-byte.
         let err = parse_request(r#"{"op":"frobnicate"}"#).unwrap_err();
@@ -577,6 +621,7 @@ mod tests {
                 budget: Some(42),
                 prior: Vec::new(),
                 recover: false,
+                explain: false,
             }
         );
         // The extension builder round-trips too, and degenerates to the
@@ -596,6 +641,7 @@ mod tests {
                 budget: Some(9),
                 prior: vec![3, 1, 1],
                 recover: true,
+                explain: false,
             }
         );
     }

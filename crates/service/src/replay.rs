@@ -1,0 +1,398 @@
+//! Deterministic replay of a session journal.
+//!
+//! [`replay_dir`] reads a journal directory written by
+//! [`crate::journal::ServiceJournal`], rebuilds the service the journal's
+//! meta record describes — same collection recipes, same limits, same
+//! fault spec, same obs arming — and re-drives every recorded request
+//! through a fresh in-process [`crate::Service`], byte-diffing each
+//! response against the recorded one.
+//!
+//! Determinism rests on three pinned properties: session ids are assigned
+//! from a fresh counter in dispatch order (never reused), selection is
+//! bit-identical across runs for a fixed collection/strategy/seed (the
+//! engine is sans-IO; the plan cache is a perf knob that cannot change
+//! answers), and fault streams are seeded per site, so the same spec trips
+//! the same dispatch ordinals. A journal of ops whose responses embed
+//! wall-clock measurements (`trace` with its `select_us`, armed `metrics`
+//! histograms) will of course diff there — the CI record→replay stage
+//! journals only deterministic transcripts. The one deliberate carve-out
+//! is the provenance record's `count_ns` (the *measured* counting-pass
+//! time next to the predicted cost): every other explain field is pinned
+//! by the determinism contract, so the diff masks that field to `0` on
+//! both sides instead of excluding explain from replay wholesale.
+//!
+//! A resumed journal directory (server restarted into the same `--journal`
+//! dir) holds several meta records, one per run. Each meta re-arms and
+//! **rebuilds the service from scratch** — a restart loses live sessions,
+//! and the replay faithfully reproduces exactly that.
+
+use crate::journal::{Exchange, JournalMeta};
+use crate::{Service, ServiceConfig};
+use setdisc_util::journal::read_dir;
+use std::path::Path;
+
+/// The outcome of a replay: totals plus the first few mismatches, already
+/// rendered for the terminal.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Meta records encountered (one per server run in the directory).
+    pub runs: u64,
+    /// Exchanges re-driven.
+    pub exchanges: u64,
+    /// Exchanges whose replayed response differed from the recorded one.
+    pub mismatches: u64,
+    /// Human-readable diagnostics for the first mismatches (capped).
+    pub diagnostics: Vec<String>,
+}
+
+impl ReplayReport {
+    /// True when every recorded response was reproduced byte-identically.
+    pub fn ok(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// How many mismatch diagnostics to keep (the count is always exact).
+const MAX_DIAGNOSTICS: usize = 8;
+
+/// Masks the one measured-wall-clock field a deterministic response can
+/// carry — the provenance record's `"count_ns":N` — to `0`, so explain
+/// responses byte-diff on their deterministic content only.
+fn mask_count_ns(resp: &str) -> std::borrow::Cow<'_, str> {
+    const KEY: &str = "\"count_ns\":";
+    if !resp.contains(KEY) {
+        return std::borrow::Cow::Borrowed(resp);
+    }
+    let mut out = String::with_capacity(resp.len());
+    let mut rest = resp;
+    while let Some(pos) = rest.find(KEY) {
+        out.push_str(&rest[..pos + KEY.len()]);
+        out.push('0');
+        rest = rest[pos + KEY.len()..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    std::borrow::Cow::Owned(out)
+}
+
+/// Builds the service a meta record describes: limits from the meta,
+/// collections from its recipes. Fault/obs arming is the caller's step
+/// ([`JournalMeta::arm`]) — kept separate so tests can replay without
+/// touching process-global state.
+pub fn build_service(meta: &JournalMeta) -> Result<Service, String> {
+    let config = ServiceConfig {
+        max_sessions: meta.max_sessions,
+        default_budget: meta.default_budget,
+        plan_cache_capacity: meta.plan_capacity,
+        memory: meta.memory,
+        ..ServiceConfig::default()
+    };
+    let service = Service::new(config);
+    for recipe in &meta.collections {
+        let (kind, spec) = recipe
+            .split_once(':')
+            .ok_or_else(|| format!("malformed collection recipe {recipe:?}"))?;
+        match kind {
+            "fixture" => {
+                service.registry().install_fixture(spec)?;
+            }
+            "register" => {
+                service.registry().register_fixture(spec)?;
+            }
+            "load" => {
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed load recipe {recipe:?}"))?;
+                service.registry().load_file(name, Path::new(path))?;
+            }
+            other => return Err(format!("unknown collection recipe kind {other:?}")),
+        }
+    }
+    Ok(service)
+}
+
+/// Replays a journal directory. `arm` controls whether each run's meta
+/// record re-installs its fault spec and obs switch (process-global; the
+/// replay binary arms, in-process tests that must not disturb their
+/// process pass `false` only when the journal was recorded unarmed).
+pub fn replay_dir(dir: &Path, arm: bool) -> Result<ReplayReport, String> {
+    let lines = read_dir(dir).map_err(|e| format!("read journal {}: {e}", dir.display()))?;
+    if lines.is_empty() {
+        return Err(format!("journal {} is empty", dir.display()));
+    }
+    let mut report = ReplayReport::default();
+    let mut service: Option<Service> = None;
+    for line in &lines {
+        if let Ok(meta) = JournalMeta::parse(line) {
+            // A new run: rebuild the world exactly as that run booted it.
+            if arm {
+                meta.arm()?;
+            }
+            service = Some(build_service(&meta)?);
+            report.runs += 1;
+            continue;
+        }
+        let exchange = Exchange::parse(line)?;
+        let service = service
+            .as_ref()
+            .ok_or("journal has exchanges before any meta record")?;
+        let got = service.handle_line(&exchange.req);
+        report.exchanges += 1;
+        if mask_count_ns(&got) != mask_count_ns(&exchange.resp) {
+            report.mismatches += 1;
+            if report.diagnostics.len() < MAX_DIAGNOSTICS {
+                report.diagnostics.push(format!(
+                    "seq {}:\n  req:      {}\n  recorded: {}\n  replayed: {}",
+                    exchange.seq, exchange.req, exchange.resp, got
+                ));
+            }
+        }
+    }
+    if report.runs == 0 {
+        return Err("journal contains no meta record".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::ServiceJournal;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("setdisc_replay_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Journals a full truthful conversation, then replays it.
+    #[test]
+    fn journaled_conversation_replays_byte_identically() {
+        let dir = temp_dir("conv");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        let mut service = build_service(&meta).unwrap();
+        service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+        // Drive a full discovery of S2 = {a, d, e} plus every other op
+        // shape, including a parse error and an unknown session.
+        let target = ["a", "d", "e"];
+        let drive = |line: &str| -> String { service.handle_line(line) };
+        drive(r#"{"op":"collections"}"#);
+        drive(r#"{"op":"create","collection":"figure1"}"#);
+        loop {
+            let resp = drive(r#"{"op":"ask","session":1}"#);
+            if resp.contains("\"done\":true") {
+                break;
+            }
+            let entity = resp
+                .split("\"entity\":\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string();
+            let ans = if target.contains(&entity.as_str()) {
+                "yes"
+            } else {
+                "no"
+            };
+            drive(&format!(
+                r#"{{"op":"answer","session":1,"entity":"{entity}","answer":"{ans}"}}"#
+            ));
+        }
+        drive(r#"{"op":"status","session":1}"#);
+        drive(r#"{"op":"status"}"#);
+        drive("garbage");
+        drive(r#"{"op":"ask","session":99}"#);
+        drive(r#"{"op":"close","session":1}"#);
+        drop(service); // syncs the journal
+        let report = replay_dir(&dir, false).unwrap();
+        assert!(report.ok(), "{:#?}", report.diagnostics);
+        assert_eq!(report.runs, 1);
+        assert!(report.exchanges >= 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A restarted server appends a second meta record; replay rebuilds
+    /// from scratch at that point, reproducing the session loss.
+    #[test]
+    fn multi_run_journal_replays_each_run_fresh() {
+        let dir = temp_dir("restart");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        for _ in 0..2 {
+            let mut service = build_service(&meta).unwrap();
+            service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+            service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+            service.handle_line(r#"{"op":"ask","session":1}"#);
+            // Session 1 of the *first* run is gone after the restart: the
+            // second run's create gets id 1 again from its fresh counter.
+        }
+        let report = replay_dir(&dir, false).unwrap();
+        assert!(report.ok(), "{:#?}", report.diagnostics);
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.exchanges, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A mismatch is detected and reported, not silently tolerated.
+    #[test]
+    fn tampered_journal_fails_the_byte_diff() {
+        let dir = temp_dir("tamper");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        let mut service = build_service(&meta).unwrap();
+        service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+        service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+        drop(service);
+        // Tamper: rewrite the recorded candidate count (the response is a
+        // JSON string inside the record, so its quotes are escaped).
+        let seg = setdisc_util::journal::segment_paths(&dir)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let text = std::fs::read_to_string(&seg).unwrap();
+        let tampered = text.replace(r#"\"candidates\":7"#, r#"\"candidates\":8"#);
+        assert_ne!(tampered, text, "tamper pattern must hit");
+        std::fs::write(&seg, tampered).unwrap();
+        let report = replay_dir(&dir, false).unwrap();
+        assert_eq!(report.mismatches, 1);
+        assert!(!report.ok());
+        assert_eq!(report.diagnostics.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A journal forced across many segment rotations replays exactly like
+    /// a single-segment one — rotation never splits a record.
+    #[test]
+    fn rotation_boundary_replays_clean() {
+        let dir = temp_dir("rotate");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        let mut service = build_service(&meta).unwrap();
+        // A 256-byte threshold rotates roughly every exchange record.
+        service.set_journal(ServiceJournal::open_with_rotation(&dir, &meta, 256).unwrap());
+        service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+        let mut driven = 1u64;
+        loop {
+            let resp = service.handle_line(r#"{"op":"ask","session":1}"#);
+            driven += 1;
+            if resp.contains(r#""done":true"#) {
+                break;
+            }
+            let entity = resp
+                .split(r#""entity":""#)
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .expect("ask carries an entity")
+                .to_string();
+            service.handle_line(&format!(
+                r#"{{"op":"answer","session":1,"entity":"{entity}","answer":"no"}}"#
+            ));
+            driven += 1;
+        }
+        drop(service);
+        let segments = setdisc_util::journal::segment_paths(&dir).unwrap();
+        assert!(segments.len() >= 3, "expected rotations, got {segments:?}");
+        let report = replay_dir(&dir, false).unwrap();
+        assert!(report.ok(), "{:#?}", report.diagnostics);
+        assert_eq!(report.exchanges, driven);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Explain responses embed the measured counting-pass time; the diff
+    /// masks that one field, so an explain-armed journal replays clean
+    /// while every deterministic provenance field still participates.
+    #[test]
+    fn explain_armed_journal_replays_with_count_ns_masked() {
+        assert_eq!(
+            mask_count_ns(r#"a"count_ns":12345,"b":1"#),
+            r#"a"count_ns":0,"b":1"#
+        );
+        assert!(matches!(
+            mask_count_ns("no timing here"),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        let dir = temp_dir("explain");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        let mut service = build_service(&meta).unwrap();
+        service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+        service.handle_line(r#"{"op":"create","collection":"figure1","explain":true}"#);
+        service.handle_line(r#"{"op":"ask","session":1}"#);
+        let resp = service.handle_line(r#"{"op":"explain","session":1}"#);
+        assert!(resp.contains(r#""count_ns":"#), "provenance was recorded");
+        drop(service);
+        let report = replay_dir(&dir, false).unwrap();
+        assert!(report.ok(), "{:#?}", report.diagnostics);
+        assert_eq!(report.exchanges, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Torn tails (a crash mid-append) drop whole exchanges, never half of
+    /// one — the surviving prefix still replays clean.
+    #[test]
+    fn torn_tail_drops_whole_exchanges_and_prefix_replays() {
+        let dir = temp_dir("torn");
+        let meta = JournalMeta {
+            obs: false,
+            faults: None,
+            default_budget: 10_000,
+            max_sessions: 100_000,
+            plan_capacity: 1 << 18,
+            memory: None,
+            collections: vec!["fixture:figure1".into()],
+        };
+        let mut service = build_service(&meta).unwrap();
+        service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+        service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+        service.handle_line(r#"{"op":"ask","session":1}"#);
+        drop(service);
+        // Simulate the crash: truncate the segment mid-record.
+        let seg = setdisc_util::journal::segment_paths(&dir)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+        let report = replay_dir(&dir, false).unwrap();
+        assert!(report.ok(), "{:#?}", report.diagnostics);
+        assert_eq!(report.exchanges, 1, "the torn ask exchange is dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -125,6 +125,7 @@ pub struct Service {
     table: SessionTable,
     config: ServiceConfig,
     stats: EdgeStats,
+    journal: Option<crate::journal::ServiceJournal>,
 }
 
 impl Default for Service {
@@ -143,7 +144,22 @@ impl Service {
             table: SessionTable::new(config.max_sessions),
             config,
             stats: EdgeStats::default(),
+            journal: None,
         }
+    }
+
+    /// Attaches the session journal: from here on, every request/response
+    /// pair [`Service::handle_line`] processes is appended to it in
+    /// dispatch order. Called once at boot (before the service is shared
+    /// across transport threads).
+    pub fn set_journal(&mut self, journal: crate::journal::ServiceJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached session journal, if any (the serve binary syncs it on
+    /// clean shutdown).
+    pub fn journal(&self) -> Option<&crate::journal::ServiceJournal> {
+        self.journal.as_ref()
     }
 
     /// The snapshot registry (load collections through this).
@@ -204,10 +220,19 @@ impl Service {
     /// Handles one protocol line, returning one response line (no trailing
     /// newline).
     pub fn handle_line(&self, line: &str) -> String {
-        match parse_request(line) {
+        let response = match parse_request(line) {
             Ok(req) => self.handle(req),
             Err(e) => err_response(&e),
+        };
+        // Journal the exchange as one record — request and response
+        // together, so a torn tail can only lose whole exchanges. Edge
+        // errors produced inside the transports never reach this choke
+        // point and are deliberately not journaled (they depend on socket
+        // state no replay could reproduce).
+        if let Some(journal) = &self.journal {
+            journal.record(line, &response);
         }
+        response
     }
 
     /// Handles one parsed request, containing panics: a dispatch that
@@ -249,7 +274,16 @@ impl Service {
                 budget,
                 prior,
                 recover,
-            } => self.create(&collection, strategy, &examples, budget, &prior, recover),
+                explain,
+            } => self.create(
+                &collection,
+                strategy,
+                &examples,
+                budget,
+                &prior,
+                recover,
+                explain,
+            ),
             Request::Ask { session, choices } => self.ask(session, choices),
             Request::Answer {
                 session,
@@ -266,6 +300,7 @@ impl Service {
             Request::ServiceStatus { verbose } => self.service_status(verbose),
             Request::Metrics { prometheus } => self.metrics(prometheus),
             Request::Trace { session } => self.trace(session),
+            Request::Explain { session } => self.explain(session),
             Request::Close { session } => self.close(session),
             Request::Collections => self.collections(),
         }
@@ -404,6 +439,9 @@ impl Service {
             .str("op", "metrics")
             .bool("armed", obs::armed())
             .int("sessions", self.table.len() as u64)
+            // Process-wide trace-ring truncation (additive): per-session
+            // `dropped` figures die with their sessions; this one survives.
+            .int("trace_dropped", crate::table::trace_dropped_total())
             // Memory accounting is always-on (additive fields): the three
             // component gauges, their sum, and the governor's budget and
             // ladder counters.
@@ -469,6 +507,38 @@ impl Service {
                 "setdisc_edge_total{{counter=\"{key}\"}} {}",
                 counter.get()
             );
+        }
+        out.push_str("# TYPE setdisc_trace_dropped_total counter\n");
+        let _ = writeln!(
+            out,
+            "setdisc_trace_dropped_total {}",
+            crate::table::trace_dropped_total()
+        );
+        // Per-kernel predicted-vs-actual counting cost (milli-ns per cost
+        // unit): the same cells as the `cost_model.*` sites, re-labelled by
+        // kernel so dashboards can chart the dispatch heuristic's error
+        // without parsing site names.
+        for (metric, kind) in [
+            ("setdisc_cost_model_error_count", "counter"),
+            ("setdisc_cost_model_error_sum", "counter"),
+            ("setdisc_cost_model_error_p50", "gauge"),
+            ("setdisc_cost_model_error_p90", "gauge"),
+            ("setdisc_cost_model_error_p99", "gauge"),
+        ] {
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            for s in sites {
+                let Some(kernel) = s.name.strip_prefix("cost_model.") else {
+                    continue;
+                };
+                let value = match metric {
+                    "setdisc_cost_model_error_count" => s.histogram.count,
+                    "setdisc_cost_model_error_sum" => s.histogram.sum,
+                    "setdisc_cost_model_error_p50" => s.histogram.quantile(0.50),
+                    "setdisc_cost_model_error_p90" => s.histogram.quantile(0.90),
+                    _ => s.histogram.quantile(0.99),
+                };
+                let _ = writeln!(out, "{metric}{{kernel=\"{kernel}\"}} {value}");
+            }
         }
         out.push_str("# TYPE setdisc_mem_bytes gauge\n");
         for component in obs::MEM_COMPONENTS {
@@ -560,6 +630,21 @@ impl Service {
                             .int("before", *before)
                             .int("after", *after)
                             .int("backtracks", *backtracks),
+                        TraceStep::Explain {
+                            entity,
+                            candidates,
+                            plan,
+                            bound,
+                            kernel,
+                            count_ns,
+                        } => obj
+                            .str("kind", "explain")
+                            .str("entity", entity)
+                            .int("candidates", *candidates)
+                            .str("plan", plan)
+                            .int("bound", *bound)
+                            .str("kernel", kernel)
+                            .int("count_ns", *count_ns),
                     }
                 })
                 .collect();
@@ -570,6 +655,73 @@ impl Service {
                 .int("dropped", entry.trace.dropped())
                 .array("events", events)
                 .encode()
+        })
+    }
+
+    /// The `explain` op: the provenance record of the session's latest
+    /// fresh selection. Session-less-safe — an unknown session errors like
+    /// any session op, a session created without `"explain":true` answers
+    /// `armed:false`, and an armed session that has not selected yet
+    /// answers `armed:true` with no record. The ranked/counter block is
+    /// present only when the strategy actually ran (plan hits carry no
+    /// trace: the plan is the why).
+    fn explain(&self, session: u64) -> String {
+        self.with_session(session, |entry| {
+            let base = JsonObject::new()
+                .bool("ok", true)
+                .str("op", "explain")
+                .int("session", session);
+            if !entry.engine.explain_enabled() {
+                return base.bool("armed", false).encode();
+            }
+            let Some(p) = entry.engine.provenance() else {
+                return base.bool("armed", true).encode();
+            };
+            let mut obj = base
+                .bool("armed", true)
+                .int("question", p.question as u64)
+                .str("entity", &entry.snapshot.entity_label(p.entity))
+                .int("candidates", p.candidates as u64)
+                .int("view_len", u64::from(p.view_len))
+                .str("plan", p.plan.name())
+                .int("bound", p.bound)
+                .obj(
+                    "dispatch",
+                    JsonObject::new()
+                        .str(
+                            "kernel",
+                            if p.dispatch.use_postings {
+                                "postings"
+                            } else {
+                                "elements"
+                            },
+                        )
+                        .int("total_elements", p.dispatch.total_elements)
+                        .int("scan_cost", p.dispatch.scan_cost)
+                        .int("factor", p.dispatch.factor),
+                )
+                .int("count_ns", p.measured_count_ns);
+            if let Some(trace) = &p.trace {
+                let ranked = trace
+                    .ranked
+                    .iter()
+                    .map(|c| {
+                        JsonObject::new()
+                            .str("entity", &entry.snapshot.entity_label(c.entity))
+                            .int("count", u64::from(c.count))
+                            .int("rank", u64::from(c.rank))
+                            .str("outcome", c.outcome.name())
+                    })
+                    .collect();
+                obj = obj
+                    .array("ranked", ranked)
+                    .int("informative", u64::from(trace.informative))
+                    .int("evaluated", u64::from(trace.evaluated))
+                    .int("pruned_duplicate", u64::from(trace.pruned_duplicate))
+                    .int("pruned_bound", u64::from(trace.pruned_bound))
+                    .bool("memo_hit", trace.memo_hit);
+            }
+            obj.encode()
         })
     }
 
@@ -599,6 +751,7 @@ impl Service {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn create(
         &self,
         collection: &str,
@@ -607,6 +760,7 @@ impl Service {
         budget: Option<u64>,
         prior: &[u64],
         recover: bool,
+        explain: bool,
     ) -> String {
         // `acquire` materializes a lazily registered (or governor-unloaded)
         // snapshot and takes the lease the session will hold: from here to
@@ -671,6 +825,12 @@ impl Service {
         );
         if recover {
             engine.set_backtracking(true);
+        }
+        if explain {
+            // Provenance capture is read-only: the armed engine's question
+            // sequence is bit-identical to an unarmed one (pinned by the
+            // explain-purity property test).
+            engine.set_explain(true);
         }
         // Deterministic strategies share the snapshot's plan cache: every
         // selection is served from (and recorded into) the cross-session
@@ -780,6 +940,24 @@ impl Service {
                         informative,
                         evaluated,
                     });
+                    // Explain-armed sessions also ring a compact provenance
+                    // event beside the ask (the full record stays on the
+                    // engine for the `explain` op).
+                    let explained = entry.engine.provenance().map(|p| TraceStep::Explain {
+                        entity: entry.snapshot.entity_label(p.entity),
+                        candidates: p.candidates as u64,
+                        plan: p.plan.name(),
+                        bound: p.bound,
+                        kernel: if p.dispatch.use_postings {
+                            "postings"
+                        } else {
+                            "elements"
+                        },
+                        count_ns: p.measured_count_ns,
+                    });
+                    if let Some(step) = explained {
+                        entry.trace.push(step);
+                    }
                 }
             }
             match entry.pending.first().copied() {

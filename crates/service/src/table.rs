@@ -44,6 +44,17 @@ pub type ServiceEngine = Engine<SnapshotHandle, BoxedStrategy>;
 /// detect truncation.
 pub const TRACE_CAPACITY: usize = 256;
 
+/// Process-wide count of trace events dropped by the capacity bound,
+/// across every ring that ever existed. A per-session `dropped` figure
+/// dies with the session (close/evict); this survives, so scrapers can
+/// alarm on truncation even when sessions churn.
+static TRACE_DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Trace events dropped process-wide (all sessions, living and closed).
+pub fn trace_dropped_total() -> u64 {
+    TRACE_DROPPED_TOTAL.load(Ordering::Relaxed)
+}
+
 /// One structured event in a session's question trace.
 #[derive(Clone, Debug)]
 pub enum TraceStep {
@@ -82,6 +93,25 @@ pub enum TraceStep {
         /// Cumulative §6 backtracks after the op.
         backtracks: u64,
     },
+    /// A provenance snapshot for an explain-armed selection: the compact
+    /// why-this-question record (full detail lives in the `explain` op's
+    /// response; the ring keeps only what fits a post-mortem).
+    Explain {
+        /// Entity token selected.
+        entity: String,
+        /// Candidate-set size at selection time.
+        candidates: u64,
+        /// Plan-cache disposition name (`hit_file`/`hit_online`/`miss`/
+        /// `bypassed`/`unattached`).
+        plan: &'static str,
+        /// The selected split's Table-4 bound (0 on plan hits).
+        bound: u64,
+        /// Counting kernel the dispatch heuristic chose (`postings` or
+        /// `elements`).
+        kernel: &'static str,
+        /// Measured wall-clock of one counting pass in ns.
+        count_ns: u64,
+    },
 }
 
 /// A bounded ring of [`TraceStep`]s with monotone sequence numbers, so a
@@ -97,6 +127,7 @@ impl TraceRing {
     pub fn push(&mut self, step: TraceStep) {
         if self.events.len() == TRACE_CAPACITY {
             self.events.pop_front();
+            TRACE_DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
         }
         self.events.push_back((self.next, step));
         self.next += 1;

@@ -581,6 +581,84 @@ fn memory_pressure_walks_the_ladder_and_spares_established_sessions() {
 }
 
 #[test]
+fn chaos_armed_journal_replays_byte_identically() {
+    let _guard = fault_guard();
+    use setdisc_service::journal::{JournalMeta, ServiceJournal};
+    use setdisc_service::replay::{build_service, replay_dir};
+
+    // A pinned-seed fault spec: exactly one injected selection panic. The
+    // journal's meta record carries the spec, so replay re-arms it and the
+    // per-site seeded stream fires at the same dispatch ordinal — the
+    // quarantine, the dead session id, and every clean exchange after it
+    // must all reproduce byte-for-byte.
+    let spec = format!("seed={},engine.select=panic:1:0:1", seed());
+    let meta = JournalMeta {
+        obs: false,
+        faults: Some(spec),
+        default_budget: 10_000,
+        max_sessions: 100_000,
+        plan_capacity: 1 << 18,
+        memory: None,
+        collections: vec!["fixture:figure1".into()],
+    };
+    let dir = std::env::temp_dir().join(format!("setdisc_chaos_journal_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Record: arm exactly what the meta claims, then drive a conversation
+    // through the fault. Injected panics are expected here — silence the
+    // default hook's backtraces for the duration.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    meta.arm().unwrap();
+    let mut service = build_service(&meta).unwrap();
+    service.set_journal(ServiceJournal::open(&dir, &meta).unwrap());
+    let resp = service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+    assert!(resp.contains(r#""ok":true"#), "{resp}");
+    // The one injected panic lands on the first ask and quarantines.
+    let resp = service.handle_line(r#"{"op":"ask","session":1}"#);
+    assert!(resp.contains("quarantined"), "{resp}");
+    // A stale probe of the quarantined id, then a clean full discovery of
+    // S2 = {a, d, e} on a fresh session.
+    service.handle_line(r#"{"op":"ask","session":1}"#);
+    let resp = service.handle_line(r#"{"op":"create","collection":"figure1"}"#);
+    assert!(resp.contains(r#""session":2"#), "{resp}");
+    let target = ["a", "d", "e"];
+    loop {
+        let resp = service.handle_line(r#"{"op":"ask","session":2}"#);
+        if resp.contains(r#""done":true"#) {
+            break;
+        }
+        let entity = resp
+            .split(r#""entity":""#)
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("ask carries an entity")
+            .to_string();
+        let answer = if target.contains(&entity.as_str()) {
+            "yes"
+        } else {
+            "no"
+        };
+        service.handle_line(&format!(
+            r#"{{"op":"answer","session":2,"entity":"{entity}","answer":"{answer}"}}"#
+        ));
+    }
+    service.handle_line(r#"{"op":"status","session":2}"#);
+    service.handle_line(r#"{"op":"close","session":2}"#);
+    drop(service); // syncs the journal
+
+    // Wipe the caller's fault state: replay must re-arm from the journal
+    // alone and still reproduce the panic at the same ordinal.
+    faults::clear();
+    let report = replay_dir(&dir, true).unwrap();
+    std::panic::set_hook(quiet);
+    assert!(report.ok(), "{:#?}", report.diagnostics);
+    assert!(report.exchanges >= 10);
+    faults::clear();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn graceful_shutdown_drains_and_reports() {
     let _guard = fault_guard();
     let service = service_with(EdgeLimits {

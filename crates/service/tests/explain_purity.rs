@@ -1,0 +1,104 @@
+//! `explain` is pure (DESIGN.md §14): interleaving explain ops into a
+//! conversation — and arming provenance capture at create time — must not
+//! change a single byte of any non-explain response, nor the shared plan
+//! cache the conversation leaves behind.
+//!
+//! Two services drive the same randomized answer sequence over the same
+//! collection. The observed run creates its session with `"explain":true`
+//! and fires an `explain` op at random points between every step; the
+//! control run never mentions explain. Every ask / answer / status / close
+//! response must be byte-identical, and the plan-cache exports must agree
+//! node for node.
+
+use proptest::prelude::*;
+use setdisc_service::{Service, ServiceConfig};
+
+/// Collections to churn: the paper fixture and a mid-size copy-add one.
+const NAMES: [&str; 2] = ["figure1", "copyadd:10:0.6:5"];
+
+fn service_over(name: &str) -> Service {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().install_fixture(name).unwrap();
+    service
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn explain_never_perturbs_outcomes_or_plans(
+        answers in prop::collection::vec(0u64..2, 1..40usize),
+        probes in prop::collection::vec(0u64..2, 1..40usize),
+        which in 0usize..NAMES.len(),
+    ) {
+        let name = NAMES[which];
+        let control = service_over(name);
+        let observed = service_over(name);
+
+        let create = format!(r#"{{"op":"create","collection":"{name}"}}"#);
+        let create_explain =
+            format!(r#"{{"op":"create","collection":"{name}","explain":true}}"#);
+        prop_assert_eq!(
+            control.handle_line(&create),
+            observed.handle_line(&create_explain),
+            "create response must not betray the explain flag"
+        );
+
+        for (i, &yes) in answers.iter().enumerate() {
+            let yes = yes == 1;
+            // Probe before the ask on the observed side only.
+            if probes[i % probes.len()] == 1 {
+                let resp = observed.handle_line(r#"{"op":"explain","session":1}"#);
+                prop_assert!(resp.contains(r#""ok":true"#), "{resp}");
+            }
+            let asked = control.handle_line(r#"{"op":"ask","session":1}"#);
+            prop_assert_eq!(
+                &asked,
+                &observed.handle_line(r#"{"op":"ask","session":1}"#)
+            );
+            if asked.contains(r#""done":true"#) {
+                break;
+            }
+            let entity = asked
+                .split(r#""entity":""#)
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .expect("ask carries an entity")
+                .to_string();
+            // Probe between ask and answer too — provenance for the
+            // pending question is live here on the observed side.
+            if probes[(i + 1) % probes.len()] == 1 {
+                let resp = observed.handle_line(r#"{"op":"explain","session":1}"#);
+                prop_assert!(resp.contains(r#""ok":true"#), "{resp}");
+            }
+            let answer = format!(
+                r#"{{"op":"answer","session":1,"entity":"{entity}","answer":"{}"}}"#,
+                if yes { "yes" } else { "no" }
+            );
+            prop_assert_eq!(
+                control.handle_line(&answer),
+                observed.handle_line(&answer)
+            );
+        }
+
+        prop_assert_eq!(
+            control.handle_line(r#"{"op":"status","session":1}"#),
+            observed.handle_line(r#"{"op":"status","session":1}"#)
+        );
+        prop_assert_eq!(
+            control.handle_line(r#"{"op":"close","session":1}"#),
+            observed.handle_line(r#"{"op":"close","session":1}"#)
+        );
+
+        // The conversations fed the shared plan cache identically: explain
+        // must not have recorded, evicted, or reordered a single node.
+        let plans = |svc: &Service| {
+            svc.registry()
+                .get(name)
+                .unwrap()
+                .plan_cache()
+                .map(|cache| cache.export_nodes())
+                .unwrap_or_default()
+        };
+        prop_assert_eq!(plans(&control), plans(&observed));
+    }
+}

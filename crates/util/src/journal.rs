@@ -1,0 +1,321 @@
+//! Rotating, fsync-batched, line-oriented journal files.
+//!
+//! The service layer appends one JSON line per record (the *content* is the
+//! caller's business — this module only guarantees durable, ordered,
+//! recoverable *lines*). Records land in a directory as
+//! `journal-NNNNNN.jsonl` segments; a segment rotates once it crosses a
+//! byte threshold **on a record boundary**, so no record ever spans two
+//! files. Writes are buffered and fsynced every `SYNC_EVERY` (32)
+//! records (and on [`JournalWriter::sync`]/drop), trading a bounded tail of
+//! at-risk records for not paying an fsync per request.
+//!
+//! # Durability contract
+//!
+//! After a crash (including SIGKILL mid-write) the journal is readable up
+//! to the last complete record: [`read_dir`] walks segments in order and
+//! tolerates a *torn tail* — trailing bytes after the final newline of the
+//! last segment are dropped, and a final newline-terminated line that the
+//! caller's parser rejects can be skipped by the caller (the reader itself
+//! is content-agnostic). Earlier segments are required to be intact; a torn
+//! middle segment indicates corruption beyond a crash tail and is reported
+//! as an error.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Default rotation threshold: segments rotate after crossing 4 MiB.
+pub const DEFAULT_ROTATE_BYTES: u64 = 4 << 20;
+
+/// Appends newline-terminated records to rotating segment files.
+pub struct JournalWriter {
+    dir: PathBuf,
+    file: File,
+    seg_index: u64,
+    seg_bytes: u64,
+    rotate_bytes: u64,
+    unsynced: u32,
+}
+
+/// Batch size: fsync once per this many appended records.
+const SYNC_EVERY: u32 = 32;
+
+fn segment_name(index: u64) -> String {
+    format!("journal-{index:06}.jsonl")
+}
+
+/// Lists the journal segment files in `dir`, sorted by segment index.
+pub fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("journal-") else {
+            continue;
+        };
+        let Some(idx) = rest.strip_suffix(".jsonl") else {
+            continue;
+        };
+        let Ok(idx) = idx.parse::<u64>() else {
+            continue;
+        };
+        found.push((idx, entry.path()));
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+impl JournalWriter {
+    /// Opens (creating the directory if needed) a journal in `dir`,
+    /// continuing after the highest existing segment so a restarted
+    /// process never overwrites history.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_rotation(dir, DEFAULT_ROTATE_BYTES)
+    }
+
+    /// [`JournalWriter::open`] with an explicit rotation threshold
+    /// (tests use tiny thresholds to force rotation boundaries).
+    pub fn with_rotation(dir: impl AsRef<Path>, rotate_bytes: u64) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let existing = segment_paths(&dir)?;
+        // Never append into an old segment: its tail may be torn from a
+        // previous crash, and a fresh segment keeps recovery per-file.
+        let seg_index = match existing.last() {
+            Some(last) => {
+                let name = last.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                let idx: u64 = name
+                    .trim_start_matches("journal-")
+                    .trim_end_matches(".jsonl")
+                    .parse()
+                    .unwrap_or(0);
+                idx + 1
+            }
+            None => 0,
+        };
+        let file = Self::create_segment(&dir, seg_index)?;
+        Ok(Self {
+            dir,
+            file,
+            seg_index,
+            seg_bytes: 0,
+            rotate_bytes: rotate_bytes.max(1),
+            unsynced: 0,
+        })
+    }
+
+    fn create_segment(dir: &Path, index: u64) -> io::Result<File> {
+        OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(dir.join(segment_name(index)))
+    }
+
+    /// Directory this journal writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record (`line` must not contain `\n`; the terminator is
+    /// added here). Rotates to a new segment *before* writing when the
+    /// current one is full, so records never straddle segments.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "journal records are single lines");
+        if self.seg_bytes >= self.rotate_bytes {
+            self.rotate()?;
+        }
+        setdisc_crate_faults_check("journal.append")?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.seg_bytes += line.len() as u64 + 1;
+        self.unsynced += 1;
+        if self.unsynced >= SYNC_EVERY {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.sync()?;
+        self.seg_index += 1;
+        self.file = Self::create_segment(&self.dir, self.seg_index)?;
+        self.seg_bytes = 0;
+        Ok(())
+    }
+
+    /// Flushes buffered records to stable storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        self.sync().ok();
+    }
+}
+
+// `util::journal` sits below `util::faults` conceptually but the fault
+// registry is in the same crate — a thin shim keeps the hook name in one
+// place and the call free when disarmed.
+fn setdisc_crate_faults_check(site: &str) -> io::Result<()> {
+    crate::faults::check_io(site)
+}
+
+/// Reads every complete record from the journal in `dir`, in append order.
+///
+/// The final segment tolerates a torn tail: bytes after its last newline
+/// are discarded (a crash mid-`write_all` leaves exactly that shape). Any
+/// *earlier* segment with a missing trailing newline is real corruption —
+/// rotation always syncs the old segment first — and yields an error.
+pub fn read_dir(dir: impl AsRef<Path>) -> io::Result<Vec<String>> {
+    let paths = segment_paths(dir.as_ref())?;
+    let mut out = Vec::new();
+    let last = paths.len().saturating_sub(1);
+    for (i, path) in paths.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let complete = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(pos) => &bytes[..=pos],
+            None if bytes.is_empty() => &bytes[..],
+            None if i == last => &[][..], // torn before its first newline
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("journal segment {} has no complete record", path.display()),
+                ));
+            }
+        };
+        if i != last && complete.len() != bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal segment {} has a torn tail", path.display()),
+            ));
+        }
+        let text = String::from_utf8_lossy(complete);
+        out.extend(text.lines().map(|l| l.to_string()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("setdisc_journal_{name}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = tmp("roundtrip");
+        let mut w = JournalWriter::open(&dir).unwrap();
+        for i in 0..100 {
+            w.append(&format!("{{\"seq\":{i}}}")).unwrap();
+        }
+        w.sync().unwrap();
+        let lines = read_dir(&dir).unwrap();
+        assert_eq!(lines.len(), 100);
+        assert_eq!(lines[0], "{\"seq\":0}");
+        assert_eq!(lines[99], "{\"seq\":99}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_never_splits_a_record() {
+        let dir = tmp("rotate");
+        // Tiny threshold: every couple of records forces a new segment.
+        let mut w = JournalWriter::with_rotation(&dir, 32).unwrap();
+        for i in 0..50 {
+            w.append(&format!("{{\"seq\":{i},\"pad\":\"xxxxxxxx\"}}"))
+                .unwrap();
+        }
+        drop(w);
+        let segs = segment_paths(&dir).unwrap();
+        assert!(segs.len() > 1, "rotation must have occurred: {segs:?}");
+        for seg in &segs {
+            let text = fs::read_to_string(seg).unwrap();
+            assert!(
+                text.ends_with('\n'),
+                "{seg:?} must end on a record boundary"
+            );
+            for line in text.lines() {
+                assert!(line.starts_with("{\"seq\":"), "torn record {line:?}");
+            }
+        }
+        let lines = read_dir(&dir).unwrap();
+        assert_eq!(lines.len(), 50);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i},")), "{line}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_in_last_segment_is_dropped() {
+        let dir = tmp("torn");
+        let mut w = JournalWriter::open(&dir).unwrap();
+        w.append("{\"seq\":0}").unwrap();
+        w.append("{\"seq\":1}").unwrap();
+        w.sync().unwrap();
+        let seg = segment_paths(&dir).unwrap().pop().unwrap();
+        // Simulate a crash mid-append: partial record, no trailing newline.
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"{\"seq\":2,\"partia").unwrap();
+        drop(f);
+        let lines = read_dir(&dir).unwrap();
+        assert_eq!(lines, vec!["{\"seq\":0}", "{\"seq\":1}"]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_middle_segment_is_an_error() {
+        let dir = tmp("torn_middle");
+        let mut w = JournalWriter::with_rotation(&dir, 8).unwrap();
+        for i in 0..6 {
+            w.append(&format!("{{\"seq\":{i}}}")).unwrap();
+        }
+        drop(w);
+        let segs = segment_paths(&dir).unwrap();
+        assert!(segs.len() >= 2);
+        // Tear a non-final segment.
+        let first = &segs[0];
+        let bytes = fs::read(first).unwrap();
+        fs::write(first, &bytes[..bytes.len() - 1]).unwrap();
+        let err = read_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_starts_a_fresh_segment() {
+        let dir = tmp("reopen");
+        let mut w = JournalWriter::open(&dir).unwrap();
+        w.append("{\"seq\":0}").unwrap();
+        drop(w);
+        let mut w2 = JournalWriter::open(&dir).unwrap();
+        w2.append("{\"seq\":1}").unwrap();
+        drop(w2);
+        assert_eq!(segment_paths(&dir).unwrap().len(), 2);
+        let lines = read_dir(&dir).unwrap();
+        assert_eq!(lines, vec!["{\"seq\":0}", "{\"seq\":1}"]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_directories() {
+        let dir = tmp("empty");
+        assert!(read_dir(&dir).is_err(), "missing dir is an error");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_dir(&dir).unwrap().len(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,9 @@
 //!   (seeded schedules of I/O errors, short writes, delays, and panics),
 //!   armed by the chaos test suite and the `SETDISC_FAULTS` environment
 //!   variable; free (one atomic load) when disarmed.
+//! * [`journal`] — rotating, fsync-batched, line-oriented journal files
+//!   with a torn-tail-tolerant reader: the durable substrate under the
+//!   service's request/response journal and its deterministic replay.
 //! * [`obs`] — vendor-free telemetry: a lock-free metric core (monotone
 //!   counters, gauges, log2-bucketed histograms merged from per-thread
 //!   shards), span timing at the same named sites [`faults`] trips (armed
@@ -42,6 +45,7 @@
 pub mod bitset;
 pub mod faults;
 pub mod hash;
+pub mod journal;
 pub mod math;
 pub mod mem;
 pub mod obs;

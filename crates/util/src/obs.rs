@@ -68,10 +68,18 @@ pub enum Site {
     /// Table-4 prune statistic: entities actually evaluated per
     /// selection after pruning (value histogram).
     SelectEvaluated,
+    /// Cost-model calibration: measured element-pass cost in milli-ns
+    /// per element, recorded at the counting-dispatch sites when the
+    /// element kernel runs (value histogram; feeds the `core::cost`
+    /// re-fit).
+    CostModelElements,
+    /// Cost-model calibration: measured postings-sweep cost in milli-ns
+    /// per scan-cost unit (value histogram).
+    CostModelPostings,
 }
 
 /// Every site, in stable exposition order.
-pub const SITES: [Site; 15] = [
+pub const SITES: [Site; 17] = [
     Site::EngineSelect,
     Site::EngineAnswer,
     Site::Partition,
@@ -87,6 +95,8 @@ pub const SITES: [Site; 15] = [
     Site::ServerAccept,
     Site::SelectInformative,
     Site::SelectEvaluated,
+    Site::CostModelElements,
+    Site::CostModelPostings,
 ];
 
 impl Site {
@@ -109,6 +119,8 @@ impl Site {
             Site::ServerAccept => "server.accept",
             Site::SelectInformative => "select.informative",
             Site::SelectEvaluated => "select.evaluated",
+            Site::CostModelElements => "cost_model.elements",
+            Site::CostModelPostings => "cost_model.postings",
         }
     }
 
@@ -357,13 +369,13 @@ impl HistogramSnapshot {
 
 /// One thread's private cells: a histogram per site.
 struct Shard {
-    cells: [Histogram; 15],
+    cells: [Histogram; 17],
 }
 
 impl Shard {
     fn new() -> Self {
         Self {
-            cells: [const { Histogram::new() }; 15],
+            cells: [const { Histogram::new() }; 17],
         }
     }
 }

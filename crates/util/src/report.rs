@@ -188,6 +188,12 @@ impl JsonObject {
         self
     }
 
+    /// Adds a nested-object field.
+    pub fn obj(mut self, key: &str, value: JsonObject) -> Self {
+        self.fields.push((key.to_string(), value.encode()));
+        self
+    }
+
     /// Adds an array-of-objects field.
     pub fn array(mut self, key: &str, items: Vec<JsonObject>) -> Self {
         let inner: Vec<String> = items.iter().map(JsonObject::encode).collect();
